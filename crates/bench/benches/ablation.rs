@@ -1,0 +1,163 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md.
+//!
+//! * hash-indexed vs linear write sets for full transactions (Spear et al.);
+//! * encounter-time vs commit-time locking in short read-write transactions;
+//! * orec-table size (false-sharing rate in the orec layout);
+//! * contention-manager backoff on vs off under self-conflicting workloads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use spectm::variants::{OrecStm, TvarStm};
+use spectm::{Config, ShortLocking, Stm, StmThread, WriteSetKind};
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+}
+
+/// Full transactions writing a spread of locations: hash-indexed write set vs
+/// linear write set with linear read-after-write search.
+fn write_set_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_write_set");
+    configure(&mut group);
+    for (label, kind) in [
+        ("hashed", WriteSetKind::Hashed),
+        ("linear", WriteSetKind::Linear),
+    ] {
+        for width in [4usize, 16, 64] {
+            let config = Config {
+                write_set: kind,
+                orec_table_size: 1 << 16,
+                ..Config::global()
+            };
+            let stm = TvarStm::with_config(config);
+            let cells: Vec<_> = (0..width).map(|i| stm.new_cell(i)).collect();
+            let mut thread = stm.register();
+            group.bench_function(format!("{label}/{width}_writes"), |b| {
+                b.iter(|| {
+                    thread.atomic(|tx| {
+                        for cell in &cells {
+                            let v = tx.read(cell)?;
+                            tx.write(cell, v + 2)?;
+                        }
+                        // Read-after-write pass: must hit the write set.
+                        let mut sum = 0usize;
+                        for cell in &cells {
+                            sum = sum.wrapping_add(tx.read(cell)?);
+                        }
+                        Ok(sum)
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Short read-write transactions: encounter-time locking (the paper's design)
+/// vs the commit-time-locking ablation discussed around Figure 9(c).
+fn short_locking_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_short_locking");
+    configure(&mut group);
+    for (label, locking) in [
+        ("encounter_time", ShortLocking::Encounter),
+        ("commit_time", ShortLocking::Commit),
+    ] {
+        let config = Config {
+            short_locking: locking,
+            orec_table_size: 1 << 16,
+            ..Config::global()
+        };
+        let stm = TvarStm::with_config(config);
+        let a = stm.new_cell(0);
+        let b_cell = stm.new_cell(0);
+        let mut thread = stm.register();
+        group.bench_function(label, |b| {
+            b.iter(|| loop {
+                let va = thread.rw_read(0, &a);
+                let vb = thread.rw_read(1, &b_cell);
+                if !thread.rw_is_valid(2) {
+                    continue;
+                }
+                if thread.rw_commit(2, &[va + 2, vb + 2]) {
+                    break;
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Orec-table size: smaller tables increase false sharing between unrelated
+/// cells (the cost the TVar layout eliminates entirely).
+fn orec_table_size_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_orec_table_size");
+    configure(&mut group);
+    for bits in [8usize, 12, 16, 20] {
+        let config = Config {
+            orec_table_size: 1 << bits,
+            ..Config::global()
+        };
+        let stm = OrecStm::with_config(config);
+        let cells: Vec<_> = (0..1024usize).map(|i| stm.new_cell(i)).collect();
+        let mut thread = stm.register();
+        let mut i = 0usize;
+        group.bench_function(format!("2^{bits}_orecs"), |b| {
+            b.iter(|| {
+                i = (i + 7) % 1024;
+                loop {
+                    let v = thread.rw_read(0, &cells[i]);
+                    let w = thread.rw_read(1, &cells[(i + 511) % 1024]);
+                    if !thread.rw_is_valid(2) {
+                        continue;
+                    }
+                    if thread.rw_commit(2, &[v + 2, w + 2]) {
+                        break;
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Contention-manager backoff on vs off; single-threaded this shows the
+/// zero-conflict overhead is nil, which is exactly the property the paper's
+/// randomized-linear scheme is chosen for.
+fn backoff_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backoff");
+    configure(&mut group);
+    for (label, backoff) in [("backoff_on", true), ("backoff_off", false)] {
+        let config = Config {
+            backoff,
+            orec_table_size: 1 << 16,
+            ..Config::global()
+        };
+        let stm = TvarStm::with_config(config);
+        let cell = stm.new_cell(0);
+        let mut thread = stm.register();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                thread.atomic(|tx| {
+                    let v = tx.read(&cell)?;
+                    tx.write(&cell, v + 1)?;
+                    Ok(())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    write_set_ablation,
+    short_locking_ablation,
+    orec_table_size_ablation,
+    backoff_ablation
+);
+criterion_main!(ablations);

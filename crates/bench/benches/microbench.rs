@@ -1,0 +1,81 @@
+//! Figure 5: single-threaded cost of short transactions, per variant, per
+//! transaction kind, per array size.
+//!
+//! Each Criterion iteration builds a fresh STM instance and runs a fixed
+//! batch of transactions of the given shape on randomly chosen slots of a
+//! cache-line-aligned array of transactional cells, exactly as the paper's
+//! synthetic workload does; `sequential` measures the plain load / CAS
+//! baseline the paper normalizes against.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use harness::single_thread::{sequential_ns_per_op, stm_ns_per_op, TxKind};
+use spectm::variants::{OrecStm, TvarStm, ValShort};
+use spectm::{Config, Stm};
+use spectm_ds::ApiMode;
+
+/// The array sizes of Figure 5(a)–(c): L1-, L2- and L3-resident working sets.
+const SIZES: [usize; 3] = [128, 1024, 32_768];
+
+/// Transactions folded into one Criterion iteration so the measured unit is a
+/// batch large enough to dominate setup and timer overhead.
+const BATCH: usize = 4_000;
+
+fn bench_config() -> Config {
+    Config {
+        orec_table_size: 1 << 16,
+        ..Config::global()
+    }
+}
+
+fn fig5(c: &mut Criterion) {
+    for size in SIZES {
+        let mut group = c.benchmark_group(format!("fig5_array_{size}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(100))
+            .measurement_time(Duration::from_millis(400));
+
+        for kind in TxKind::all() {
+            group.bench_function(format!("sequential/{}", kind.label()), |b| {
+                b.iter(|| std::hint::black_box(sequential_ns_per_op(kind, size, BATCH)))
+            });
+            group.bench_function(format!("orec-full-g/{}", kind.label()), |b| {
+                b.iter(|| {
+                    let stm = OrecStm::with_config(bench_config());
+                    std::hint::black_box(stm_ns_per_op(&stm, ApiMode::Full, kind, size, BATCH))
+                })
+            });
+            group.bench_function(format!("orec-short-g/{}", kind.label()), |b| {
+                b.iter(|| {
+                    let stm = OrecStm::with_config(bench_config());
+                    std::hint::black_box(stm_ns_per_op(&stm, ApiMode::Short, kind, size, BATCH))
+                })
+            });
+            group.bench_function(format!("tvar-short-g/{}", kind.label()), |b| {
+                b.iter(|| {
+                    let stm = TvarStm::with_config(bench_config());
+                    std::hint::black_box(stm_ns_per_op(&stm, ApiMode::Short, kind, size, BATCH))
+                })
+            });
+            group.bench_function(format!("val-full/{}", kind.label()), |b| {
+                b.iter(|| {
+                    let stm = ValShort::with_config(bench_config());
+                    std::hint::black_box(stm_ns_per_op(&stm, ApiMode::Full, kind, size, BATCH))
+                })
+            });
+            group.bench_function(format!("val-short/{}", kind.label()), |b| {
+                b.iter(|| {
+                    let stm = ValShort::with_config(bench_config());
+                    std::hint::black_box(stm_ns_per_op(&stm, ApiMode::Short, kind, size, BATCH))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(micro, fig5);
+criterion_main!(micro);

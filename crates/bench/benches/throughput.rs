@@ -1,0 +1,163 @@
+//! Per-operation latency of every variant on the paper's integer-set
+//! workloads — one Criterion group per figure panel.
+//!
+//! These benches capture the *relative ordering* of the variants (the shape
+//! of each figure at low thread counts); the full multi-threaded sweeps are
+//! produced by the `harness` binaries `fig1`, `fig6`..`fig10`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{hash_runner, skip_runner, KeyStream};
+use harness::VariantSpec;
+
+const KEY_RANGE: u64 = 16_384;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400));
+}
+
+fn bench_hash_panel(
+    c: &mut Criterion,
+    group_name: &str,
+    buckets: usize,
+    lookup_pct: u64,
+    variants: &[VariantSpec],
+) {
+    let mut group = c.benchmark_group(group_name);
+    configure(&mut group);
+    for &spec in variants {
+        let mut runner = hash_runner(spec, buckets, KEY_RANGE, lookup_pct);
+        let mut stream = KeyStream::new(0xDEAD_BEEF, KEY_RANGE);
+        group.bench_function(spec.label(), |b| {
+            b.iter(|| {
+                let (key, dice) = stream.next();
+                runner(key, dice);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_skip_panel(
+    c: &mut Criterion,
+    group_name: &str,
+    lookup_pct: u64,
+    variants: &[VariantSpec],
+) {
+    let mut group = c.benchmark_group(group_name);
+    configure(&mut group);
+    for &spec in variants {
+        let mut runner = skip_runner(spec, KEY_RANGE, lookup_pct);
+        let mut stream = KeyStream::new(0xFACE_FEED, KEY_RANGE);
+        group.bench_function(spec.label(), |b| {
+            b.iter(|| {
+                let (key, dice) = stream.next();
+                runner(key, dice);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 1: hash table, 90% lookups, all headline variants + baselines.
+fn fig1(c: &mut Criterion) {
+    bench_hash_panel(
+        c,
+        "fig1_hash_90pct",
+        4_096,
+        90,
+        &[
+            VariantSpec::Sequential,
+            VariantSpec::LockFree,
+            VariantSpec::ValShort,
+            VariantSpec::TvarShortG,
+            VariantSpec::OrecShortG,
+            VariantSpec::OrecFullG,
+        ],
+    );
+}
+
+/// Figure 6: skip list, 90% and 10% lookups (16-way machine in the paper).
+fn fig6(c: &mut Criterion) {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortG,
+        VariantSpec::OrecShortG,
+        VariantSpec::OrecFullG,
+        VariantSpec::TvarFullL,
+        VariantSpec::OrecFullGFine,
+    ];
+    bench_skip_panel(c, "fig6a_skiplist_90pct", 90, &variants);
+    bench_skip_panel(c, "fig6b_skiplist_10pct", 10, &variants[..5]);
+}
+
+/// Figure 7: hash table, 90% and 10% lookups (16-way machine in the paper).
+fn fig7(c: &mut Criterion) {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortG,
+        VariantSpec::TvarShortL,
+        VariantSpec::OrecShortG,
+        VariantSpec::OrecFullG,
+        VariantSpec::OrecFullL,
+    ];
+    bench_hash_panel(c, "fig7a_hash_90pct", 4_096, 90, &variants);
+    bench_hash_panel(c, "fig7b_hash_10pct", 4_096, 10, &variants);
+}
+
+/// Figure 8: skip list, 98% / 90% / 10% lookups (128-way machine in the paper).
+fn fig8(c: &mut Criterion) {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortL,
+        VariantSpec::OrecShortL,
+        VariantSpec::OrecFullL,
+        VariantSpec::OrecFullG,
+        VariantSpec::OrecShortG,
+    ];
+    bench_skip_panel(c, "fig8a_skiplist_98pct", 98, &variants);
+    bench_skip_panel(c, "fig8b_skiplist_90pct", 90, &variants);
+    bench_skip_panel(c, "fig8c_skiplist_10pct", 10, &variants);
+}
+
+/// Figure 9: hash table, 98% / 90% / 10% lookups (128-way machine in the paper).
+fn fig9(c: &mut Criterion) {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortL,
+        VariantSpec::OrecShortL,
+        VariantSpec::OrecFullL,
+        VariantSpec::OrecFullG,
+    ];
+    bench_hash_panel(c, "fig9a_hash_98pct", 4_096, 98, &variants);
+    bench_hash_panel(c, "fig9b_hash_90pct", 4_096, 90, &variants);
+    bench_hash_panel(c, "fig9c_hash_10pct", 4_096, 10, &variants);
+}
+
+/// Figure 10: hash table with short (0.5-entry) and long (32-entry) chains.
+fn fig10(c: &mut Criterion) {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortL,
+        VariantSpec::OrecShortL,
+        VariantSpec::OrecFullL,
+        VariantSpec::TvarFullL,
+    ];
+    // Short chains: more buckets than keys (0.5-entry chains).
+    bench_hash_panel(c, "fig10a_hash_short_chains_98pct", 32_768, 98, &variants);
+    // Long chains: 32-entry chains on average.
+    bench_hash_panel(c, "fig10b_hash_long_chains_90pct", 512, 90, &variants);
+}
+
+criterion_group!(figures, fig1, fig6, fig7, fig8, fig9, fig10);
+criterion_main!(figures);

@@ -1,0 +1,194 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! The benchmark targets in `benches/` reproduce the paper's figures at the
+//! granularity Criterion is good at — per-operation latency of each variant —
+//! while the `harness` binaries (`fig1`..`fig10`) produce the full
+//! multi-threaded throughput sweeps.  DESIGN.md maps every figure to both.
+//!
+//! The main abstraction here is a *type-erased operation runner*: a boxed
+//! closure that owns a fully constructed integer set (a given STM variant +
+//! data structure + API mode, or a baseline) together with its per-thread
+//! context, and performs one lookup/insert/remove per call.  Erasing the
+//! types lets one Criterion loop iterate over the whole variant catalogue.
+
+#![warn(missing_docs)]
+
+use harness::adapters::{BenchSet, LockFreeBench, SeqBench, StmHashBench, StmSkipBench};
+use harness::VariantSpec;
+use lockfree::{LockFreeHashTable, LockFreeSkipList, SeqHashTable, SeqSkipList};
+use spectm::variants::{OrecStm, TvarStm, ValShort};
+use spectm::{Config, Stm};
+use spectm_ds::ApiMode;
+use txepoch::Collector;
+
+/// A type-erased integer-set operation driver: `runner(key, dice)` performs a
+/// lookup when `dice < lookup_pct`, otherwise an insert or remove.
+pub type OpRunner = Box<dyn FnMut(u64, u64)>;
+
+fn erase<B: BenchSet>(set: B, key_range: u64, lookup_pct: u64) -> OpRunner {
+    harness::intset::prefill(&set, key_range);
+    let mut ctx = set.thread_ctx();
+    Box::new(move |key, dice| {
+        let dice = dice % 100;
+        if dice < lookup_pct {
+            std::hint::black_box(set.contains(key, &mut ctx));
+        } else if dice % 2 == 0 {
+            std::hint::black_box(set.insert(key, &mut ctx));
+        } else {
+            std::hint::black_box(set.remove(key, &mut ctx));
+        }
+    })
+}
+
+fn stm_config(spec: VariantSpec) -> Config {
+    let mut config = match spec {
+        VariantSpec::OrecFullL
+        | VariantSpec::OrecShortL
+        | VariantSpec::TvarFullL
+        | VariantSpec::TvarShortL => Config::local(),
+        _ => Config::global(),
+    };
+    config.orec_table_size = 1 << 18;
+    config
+}
+
+fn api_mode(spec: VariantSpec) -> ApiMode {
+    match spec {
+        VariantSpec::OrecShortG
+        | VariantSpec::OrecShortL
+        | VariantSpec::TvarShortG
+        | VariantSpec::TvarShortL
+        | VariantSpec::ValShort => ApiMode::Short,
+        VariantSpec::OrecFullGFine => ApiMode::Fine,
+        _ => ApiMode::Full,
+    }
+}
+
+/// Builds an operation runner over the hash table for `spec`.
+pub fn hash_runner(spec: VariantSpec, buckets: usize, key_range: u64, lookup_pct: u64) -> OpRunner {
+    match spec {
+        VariantSpec::Sequential => erase(
+            SeqBench::new(SeqHashTable::new(buckets)),
+            key_range,
+            lookup_pct,
+        ),
+        VariantSpec::LockFree => erase(
+            LockFreeBench::new(LockFreeHashTable::new(buckets, Collector::new())),
+            key_range,
+            lookup_pct,
+        ),
+        VariantSpec::OrecFullG
+        | VariantSpec::OrecFullL
+        | VariantSpec::OrecShortG
+        | VariantSpec::OrecShortL
+        | VariantSpec::OrecFullGFine => erase(
+            StmHashBench::new(OrecStm::with_config(stm_config(spec)), buckets, api_mode(spec)),
+            key_range,
+            lookup_pct,
+        ),
+        VariantSpec::TvarFullG
+        | VariantSpec::TvarFullL
+        | VariantSpec::TvarShortG
+        | VariantSpec::TvarShortL => erase(
+            StmHashBench::new(TvarStm::with_config(stm_config(spec)), buckets, api_mode(spec)),
+            key_range,
+            lookup_pct,
+        ),
+        VariantSpec::ValFull | VariantSpec::ValShort => erase(
+            StmHashBench::new(ValShort::with_config(stm_config(spec)), buckets, api_mode(spec)),
+            key_range,
+            lookup_pct,
+        ),
+    }
+}
+
+/// Builds an operation runner over the skip list for `spec`.
+pub fn skip_runner(spec: VariantSpec, key_range: u64, lookup_pct: u64) -> OpRunner {
+    match spec {
+        VariantSpec::Sequential => erase(SeqBench::new(SeqSkipList::new()), key_range, lookup_pct),
+        VariantSpec::LockFree => erase(
+            LockFreeBench::new(LockFreeSkipList::new(Collector::new())),
+            key_range,
+            lookup_pct,
+        ),
+        VariantSpec::OrecFullG
+        | VariantSpec::OrecFullL
+        | VariantSpec::OrecShortG
+        | VariantSpec::OrecShortL
+        | VariantSpec::OrecFullGFine => erase(
+            StmSkipBench::new(OrecStm::with_config(stm_config(spec)), api_mode(spec)),
+            key_range,
+            lookup_pct,
+        ),
+        VariantSpec::TvarFullG
+        | VariantSpec::TvarFullL
+        | VariantSpec::TvarShortG
+        | VariantSpec::TvarShortL => erase(
+            StmSkipBench::new(TvarStm::with_config(stm_config(spec)), api_mode(spec)),
+            key_range,
+            lookup_pct,
+        ),
+        VariantSpec::ValFull | VariantSpec::ValShort => erase(
+            StmSkipBench::new(ValShort::with_config(stm_config(spec)), api_mode(spec)),
+            key_range,
+            lookup_pct,
+        ),
+    }
+}
+
+/// A deterministic key/dice stream shared by the bench loops.
+pub struct KeyStream {
+    state: u64,
+    key_range: u64,
+}
+
+impl KeyStream {
+    /// Creates a stream over `0..key_range`.
+    pub fn new(seed: u64, key_range: u64) -> Self {
+        Self {
+            state: seed | 1,
+            key_range,
+        }
+    }
+
+    /// Next `(key, dice)` pair.
+    pub fn next(&mut self) -> (u64, u64) {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let key = self.state % self.key_range;
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (key, self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runners_execute_operations_for_every_variant() {
+        for spec in VariantSpec::all() {
+            let mut runner = hash_runner(spec, 64, 256, 80);
+            let mut stream = KeyStream::new(7, 256);
+            for _ in 0..200 {
+                let (key, dice) = stream.next();
+                runner(key, dice);
+            }
+        }
+    }
+
+    #[test]
+    fn skip_runners_execute_operations_for_every_variant() {
+        for spec in VariantSpec::all() {
+            let mut runner = skip_runner(spec, 256, 80);
+            let mut stream = KeyStream::new(9, 256);
+            for _ in 0..200 {
+                let (key, dice) = stream.next();
+                runner(key, dice);
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Uniform benchmark interface over every implementation under test.
+//!
+//! The paper compares STM-based, CAS-based and sequential implementations of
+//! the same integer-set abstraction.  [`BenchSet`] is the minimal trait the
+//! workload driver needs; adapters wrap each concrete implementation.
+
+use std::sync::Arc;
+
+use lockfree::{ConcurrentIntSet, SequentialIntSet};
+use spectm::Stm;
+use spectm_ds::{ApiMode, StmHashTable, StmSkipList};
+
+/// A concurrent integer set as seen by the workload driver.
+///
+/// `ThreadCtx` carries whatever per-thread state the implementation needs
+/// (an STM thread handle, an epoch handle, or nothing); it is created on the
+/// worker thread itself.
+pub trait BenchSet: Send + Sync + 'static {
+    /// Per-worker-thread context.
+    type ThreadCtx;
+
+    /// Creates the calling thread's context.
+    fn thread_ctx(&self) -> Self::ThreadCtx;
+    /// Inserts `key`, returning `true` if it was not present.
+    fn insert(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool;
+    /// Removes `key`, returning `true` if it was present.
+    fn remove(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool;
+    /// Returns whether `key` is present.
+    fn contains(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool;
+    /// Whether the implementation is safe to drive from multiple threads.
+    fn supports_concurrency(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// STM hash table / skip list
+// ---------------------------------------------------------------------------
+
+/// [`BenchSet`] adapter for [`StmHashTable`].
+pub struct StmHashBench<S: Stm + Clone> {
+    stm: S,
+    table: StmHashTable<S>,
+}
+
+impl<S: Stm + Clone> StmHashBench<S> {
+    /// Builds a table with `buckets` chains over `stm`, driven in `mode`.
+    pub fn new(stm: S, buckets: usize, mode: ApiMode) -> Self {
+        let table = StmHashTable::new(&stm, buckets, mode);
+        Self { stm, table }
+    }
+}
+
+impl<S: Stm + Clone> BenchSet for StmHashBench<S> {
+    type ThreadCtx = S::Thread;
+
+    fn thread_ctx(&self) -> Self::ThreadCtx {
+        self.stm.register()
+    }
+
+    fn insert(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.table.insert(key, ctx)
+    }
+
+    fn remove(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.table.remove(key, ctx)
+    }
+
+    fn contains(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.table.contains(key, ctx)
+    }
+}
+
+/// [`BenchSet`] adapter for [`StmSkipList`].
+pub struct StmSkipBench<S: Stm + Clone> {
+    stm: S,
+    list: StmSkipList<S>,
+}
+
+impl<S: Stm + Clone> StmSkipBench<S> {
+    /// Builds a skip list over `stm`, driven in `mode`.
+    pub fn new(stm: S, mode: ApiMode) -> Self {
+        let list = StmSkipList::new(&stm, mode);
+        Self { stm, list }
+    }
+}
+
+impl<S: Stm + Clone> BenchSet for StmSkipBench<S> {
+    type ThreadCtx = S::Thread;
+
+    fn thread_ctx(&self) -> Self::ThreadCtx {
+        self.stm.register()
+    }
+
+    fn insert(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.list.insert(key, ctx)
+    }
+
+    fn remove(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.list.remove(key, ctx)
+    }
+
+    fn contains(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.list.contains(key, ctx)
+    }
+}
+
+/// The STM thread handle doubles as the context; expose its statistics so the
+/// driver can report abort rates.
+impl<S: Stm + Clone> StmHashBench<S> {
+    /// The underlying STM instance (for statistics or inspection).
+    pub fn stm(&self) -> &S {
+        &self.stm
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free baselines
+// ---------------------------------------------------------------------------
+
+/// [`BenchSet`] adapter for the lock-free structures.
+pub struct LockFreeBench<T: ConcurrentIntSet> {
+    inner: Arc<T>,
+}
+
+impl<T: ConcurrentIntSet> LockFreeBench<T> {
+    /// Wraps a lock-free integer set.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner: Arc::new(inner),
+        }
+    }
+}
+
+impl<T: ConcurrentIntSet + 'static> BenchSet for LockFreeBench<T> {
+    type ThreadCtx = txepoch::LocalHandle;
+
+    fn thread_ctx(&self) -> Self::ThreadCtx {
+        self.inner.collector().register()
+    }
+
+    fn insert(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.inner.insert(key, ctx)
+    }
+
+    fn remove(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.inner.remove(key, ctx)
+    }
+
+    fn contains(&self, key: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.inner.contains(key, ctx)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential baseline
+// ---------------------------------------------------------------------------
+
+/// [`BenchSet`] adapter for the single-threaded baselines.
+///
+/// The sequential structures have no concurrency control whatsoever; the
+/// driver refuses to run them with more than one thread
+/// ([`BenchSet::supports_concurrency`] returns `false`).
+pub struct SeqBench<T: SequentialIntSet + Send> {
+    inner: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the workload driver asserts single-threaded use before driving a
+// `SeqBench` (see `supports_concurrency`), mirroring the paper's "not safe
+// for multi-threaded use" sequential baseline.
+unsafe impl<T: SequentialIntSet + Send> Sync for SeqBench<T> {}
+// SAFETY: `T: Send` and the cell adds no thread affinity.
+unsafe impl<T: SequentialIntSet + Send> Send for SeqBench<T> {}
+
+impl<T: SequentialIntSet + Send> SeqBench<T> {
+    /// Wraps a sequential integer set.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner: std::cell::UnsafeCell::new(inner),
+        }
+    }
+
+    #[expect(clippy::mut_from_ref)]
+    fn inner(&self) -> &mut T {
+        // SAFETY: single-threaded use is enforced by the driver.
+        unsafe { &mut *self.inner.get() }
+    }
+}
+
+impl<T: SequentialIntSet + Send + 'static> BenchSet for SeqBench<T> {
+    type ThreadCtx = ();
+
+    fn thread_ctx(&self) -> Self::ThreadCtx {}
+
+    fn insert(&self, key: u64, _ctx: &mut Self::ThreadCtx) -> bool {
+        self.inner().insert(key)
+    }
+
+    fn remove(&self, key: u64, _ctx: &mut Self::ThreadCtx) -> bool {
+        self.inner().remove(key)
+    }
+
+    fn contains(&self, key: u64, _ctx: &mut Self::ThreadCtx) -> bool {
+        self.inner().contains(key)
+    }
+
+    fn supports_concurrency(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockfree::{LockFreeHashTable, SeqHashTable};
+    use spectm::variants::ValShort;
+
+    #[test]
+    fn adapters_expose_identical_semantics() {
+        let stm_set = StmHashBench::new(ValShort::new(), 64, ApiMode::Short);
+        let lf_set = LockFreeBench::new(LockFreeHashTable::new(64, txepoch::Collector::new()));
+        let seq_set = SeqBench::new(SeqHashTable::new(64));
+
+        let mut a = stm_set.thread_ctx();
+        let mut b = lf_set.thread_ctx();
+        let mut c = seq_set.thread_ctx();
+        for k in [1u64, 5, 9, 5, 1] {
+            let ra = stm_set.insert(k, &mut a);
+            let rb = lf_set.insert(k, &mut b);
+            let rc = seq_set.insert(k, &mut c);
+            assert_eq!(ra, rb);
+            assert_eq!(rb, rc);
+        }
+        for k in 0..12u64 {
+            assert_eq!(stm_set.contains(k, &mut a), lf_set.contains(k, &mut b));
+            assert_eq!(lf_set.contains(k, &mut b), seq_set.contains(k, &mut c));
+        }
+        assert!(stm_set.supports_concurrency());
+        assert!(!seq_set.supports_concurrency());
+    }
+}

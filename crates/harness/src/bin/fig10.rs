@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig10 series (see DESIGN.md for the experiment index).
+
+fn main() {
+    let opts = harness::figures::opts_from_args(std::env::args().skip(1));
+    let rows = harness::figures::fig10(&opts);
+    harness::figures::print_rows(&rows);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 5 series (single-threaded overheads).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 20_000 } else { 200_000 };
+    let rows = harness::figures::fig5(iters);
+    harness::figures::print_rows(&rows);
+}

@@ -1,0 +1,468 @@
+//! One driver per figure of the paper's evaluation.
+//!
+//! Each `figN` function produces the series of the corresponding figure as
+//! plain rows (figure, panel, series label, x value, y value) so the `fig*`
+//! binaries and the Criterion benches can print or assert on them.  The
+//! defaults are scaled down so a full figure regenerates in seconds on a
+//! laptop; pass [`FigureOpts::paper`] sized options to approach the paper's
+//! durations and thread counts (the shape, not the absolute numbers, is what
+//! the reproduction targets — see EXPERIMENTS.md).
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+use crate::intset::WorkloadConfig;
+use crate::single_thread::run_fig5;
+use crate::variants::{run_hash_variant, run_skip_variant, VariantSpec};
+
+/// Options shared by every figure driver.
+#[derive(Debug, Clone)]
+pub struct FigureOpts {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Measured duration per data point.
+    pub duration: Duration,
+    /// Runs per data point (min and max are discarded when > 2).
+    pub runs: usize,
+    /// Key range of the integer-set workloads.
+    pub key_range: u64,
+}
+
+impl Default for FigureOpts {
+    fn default() -> Self {
+        Self {
+            threads: default_thread_sweep(),
+            duration: Duration::from_millis(250),
+            runs: 3,
+            key_range: 65_536,
+        }
+    }
+}
+
+impl FigureOpts {
+    /// A fast smoke configuration (used by `--quick` and by the tests).
+    pub fn quick() -> Self {
+        Self {
+            threads: vec![1, 2],
+            duration: Duration::from_millis(30),
+            runs: 1,
+            key_range: 4_096,
+        }
+    }
+
+    /// A configuration close to the paper's methodology (six runs, one-second
+    /// points, 64k keys); thread counts still depend on the host.
+    pub fn paper() -> Self {
+        Self {
+            threads: default_thread_sweep(),
+            duration: Duration::from_secs(1),
+            runs: 6,
+            key_range: 65_536,
+        }
+    }
+}
+
+/// Threads to sweep by default: powers of two up to the host's parallelism,
+/// always including 1.
+pub fn default_thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut sweep = vec![1usize];
+    let mut t = 2;
+    while t <= max {
+        sweep.push(t);
+        t *= 2;
+    }
+    if !sweep.contains(&max) {
+        sweep.push(max);
+    }
+    sweep
+}
+
+/// One data point of a figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureRow {
+    /// Figure identifier, e.g. `"fig6"`.
+    pub figure: &'static str,
+    /// Panel within the figure, e.g. `"(a) 90% lookups"`.
+    pub panel: String,
+    /// Series label (variant name).
+    pub series: String,
+    /// X coordinate (thread count, or array size for Figure 5).
+    pub x: f64,
+    /// Y value (throughput in ops/s, or normalized value).
+    pub y: f64,
+}
+
+impl FigureRow {
+    /// Renders the row as a tab-separated line.
+    pub fn tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{:.1}",
+            self.figure, self.panel, self.series, self.x, self.y
+        )
+    }
+}
+
+/// Prints rows with a header, as the `fig*` binaries do.
+pub fn print_rows(rows: &[FigureRow]) {
+    println!("figure\tpanel\tseries\tx\ty");
+    for row in rows {
+        println!("{}", row.tsv());
+    }
+}
+
+/// Which data structure a figure sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Structure {
+    Hash { buckets: usize },
+    Skip,
+}
+
+/// Sweeps `variants` over the thread counts for one panel.
+#[expect(clippy::too_many_arguments)]
+fn sweep(
+    figure: &'static str,
+    panel: &str,
+    structure: Structure,
+    lookup_pct: u32,
+    variants: &[VariantSpec],
+    opts: &FigureOpts,
+    normalize_to_sequential: bool,
+    rows: &mut Vec<FigureRow>,
+) {
+    // The sequential reference point is measured once, single-threaded.
+    let seq_throughput = if normalize_to_sequential {
+        let cfg = WorkloadConfig {
+            key_range: opts.key_range,
+            lookup_pct,
+            threads: 1,
+            duration: opts.duration,
+            prefill: true,
+        };
+        Some(match structure {
+            Structure::Hash { buckets } => {
+                run_hash_variant(VariantSpec::Sequential, buckets, &cfg, opts.runs)
+            }
+            Structure::Skip => run_skip_variant(VariantSpec::Sequential, &cfg, opts.runs),
+        })
+    } else {
+        None
+    };
+
+    for &variant in variants {
+        for &threads in &opts.threads {
+            if threads > 1 && !variant.concurrent() {
+                continue;
+            }
+            let cfg = WorkloadConfig {
+                key_range: opts.key_range,
+                lookup_pct,
+                threads,
+                duration: opts.duration,
+                prefill: true,
+            };
+            let throughput = match structure {
+                Structure::Hash { buckets } => run_hash_variant(variant, buckets, &cfg, opts.runs),
+                Structure::Skip => run_skip_variant(variant, &cfg, opts.runs),
+            };
+            let y = match seq_throughput {
+                Some(seq) if seq > 0.0 => throughput / seq,
+                _ => throughput,
+            };
+            rows.push(FigureRow {
+                figure,
+                panel: panel.to_string(),
+                series: variant.label().to_string(),
+                x: threads as f64,
+                y,
+            });
+        }
+    }
+}
+
+/// Figure 1: hash table, 90% lookups, throughput normalized to sequential.
+pub fn fig1(opts: &FigureOpts) -> Vec<FigureRow> {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortG,
+        VariantSpec::OrecShortG,
+        VariantSpec::OrecFullG,
+    ];
+    let mut rows = Vec::new();
+    sweep(
+        "fig1",
+        "hash table, 90% lookups (normalized to sequential)",
+        Structure::Hash { buckets: 16_384 },
+        90,
+        &variants,
+        opts,
+        true,
+        &mut rows,
+    );
+    rows
+}
+
+/// Figure 5: single-threaded synthetic array workload, normalized execution
+/// time per transaction kind and array size.
+pub fn fig5(iters: usize) -> Vec<FigureRow> {
+    let rows5 = run_fig5(&[128, 1024, 32_768], iters);
+    rows5
+        .into_iter()
+        .map(|r| FigureRow {
+            figure: "fig5",
+            panel: format!("{} elements / {}", r.array_size, r.kind),
+            series: r.variant,
+            x: r.array_size as f64,
+            y: r.normalized_time,
+        })
+        .collect()
+}
+
+/// Figure 6: skip list on the 16-way machine, 90% and 10% lookups.
+pub fn fig6(opts: &FigureOpts) -> Vec<FigureRow> {
+    let variants_a = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortG,
+        VariantSpec::OrecShortG,
+        VariantSpec::OrecFullG,
+        VariantSpec::TvarFullL,
+        VariantSpec::OrecFullGFine,
+    ];
+    let variants_b = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortG,
+        VariantSpec::OrecShortG,
+        VariantSpec::OrecFullG,
+    ];
+    let mut rows = Vec::new();
+    sweep(
+        "fig6",
+        "(a) skip list, 90% lookups",
+        Structure::Skip,
+        90,
+        &variants_a,
+        opts,
+        false,
+        &mut rows,
+    );
+    sweep(
+        "fig6",
+        "(b) skip list, 10% lookups",
+        Structure::Skip,
+        10,
+        &variants_b,
+        opts,
+        false,
+        &mut rows,
+    );
+    rows
+}
+
+/// Figure 7: hash table on the 16-way machine, 90% and 10% lookups.
+pub fn fig7(opts: &FigureOpts) -> Vec<FigureRow> {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortG,
+        VariantSpec::TvarShortL,
+        VariantSpec::OrecShortG,
+        VariantSpec::OrecFullG,
+        VariantSpec::OrecFullL,
+    ];
+    let mut rows = Vec::new();
+    for (panel, pct) in [("(a) 90% lookups", 90), ("(b) 10% lookups", 10)] {
+        sweep(
+            "fig7",
+            &format!("hash table {panel}"),
+            Structure::Hash { buckets: 16_384 },
+            pct,
+            &variants,
+            opts,
+            false,
+            &mut rows,
+        );
+    }
+    rows
+}
+
+/// Figure 8: skip list on the 128-way machine, 98%, 90% and 10% lookups.
+pub fn fig8(opts: &FigureOpts) -> Vec<FigureRow> {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortL,
+        VariantSpec::OrecShortL,
+        VariantSpec::OrecFullL,
+        VariantSpec::OrecFullG,
+        VariantSpec::OrecShortG,
+    ];
+    let mut rows = Vec::new();
+    for (panel, pct) in [
+        ("(a) 98% lookups", 98),
+        ("(b) 90% lookups", 90),
+        ("(c) 10% lookups", 10),
+    ] {
+        sweep(
+            "fig8",
+            &format!("skip list {panel}"),
+            Structure::Skip,
+            pct,
+            &variants,
+            opts,
+            false,
+            &mut rows,
+        );
+    }
+    rows
+}
+
+/// Figure 9: hash table on the 128-way machine, 98%, 90% and 10% lookups.
+pub fn fig9(opts: &FigureOpts) -> Vec<FigureRow> {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortL,
+        VariantSpec::OrecShortL,
+        VariantSpec::OrecFullL,
+        VariantSpec::OrecFullG,
+    ];
+    let mut rows = Vec::new();
+    for (panel, pct) in [
+        ("(a) 98% lookups", 98),
+        ("(b) 90% lookups", 90),
+        ("(c) 10% lookups", 10),
+    ] {
+        sweep(
+            "fig9",
+            &format!("hash table {panel}"),
+            Structure::Hash { buckets: 16_384 },
+            pct,
+            &variants,
+            opts,
+            false,
+            &mut rows,
+        );
+    }
+    rows
+}
+
+/// Figure 10: hash table with short (0.5-entry) and long (32-entry) chains.
+pub fn fig10(opts: &FigureOpts) -> Vec<FigureRow> {
+    let variants = [
+        VariantSpec::LockFree,
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortL,
+        VariantSpec::OrecShortL,
+        VariantSpec::OrecFullL,
+        VariantSpec::TvarFullL,
+    ];
+    let mut rows = Vec::new();
+    sweep(
+        "fig10",
+        "(a) 98% lookups, 64k buckets (0.5-entry chains)",
+        Structure::Hash { buckets: 65_536 },
+        98,
+        &variants,
+        opts,
+        false,
+        &mut rows,
+    );
+    sweep(
+        "fig10",
+        "(b) 90% lookups, 1k buckets (32-entry chains)",
+        Structure::Hash { buckets: 1_024 },
+        90,
+        &variants,
+        opts,
+        false,
+        &mut rows,
+    );
+    rows
+}
+
+/// Parses the common command-line options of the `fig*` binaries.
+pub fn opts_from_args(args: impl Iterator<Item = String>) -> FigureOpts {
+    let mut opts = FigureOpts::default();
+    let args: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts = FigureOpts::quick(),
+            "--paper" => opts = FigureOpts::paper(),
+            "--threads" => {
+                i += 1;
+                opts.threads = args[i]
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect();
+            }
+            "--duration-ms" => {
+                i += 1;
+                opts.duration = Duration::from_millis(args[i].parse().unwrap_or(250));
+            }
+            "--runs" => {
+                i += 1;
+                opts.runs = args[i].parse().unwrap_or(3);
+            }
+            "--key-range" => {
+                i += 1;
+                opts.key_range = args[i].parse().unwrap_or(65_536);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_sweep_starts_at_one() {
+        let sweep = default_thread_sweep();
+        assert_eq!(sweep[0], 1);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn opts_parse_overrides() {
+        let opts = opts_from_args(
+            ["--threads", "1,3,5", "--duration-ms", "10", "--runs", "2"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(opts.threads, vec![1, 3, 5]);
+        assert_eq!(opts.duration, Duration::from_millis(10));
+        assert_eq!(opts.runs, 2);
+    }
+
+    #[test]
+    fn fig1_quick_produces_rows_for_every_series() {
+        let mut opts = FigureOpts::quick();
+        opts.threads = vec![1];
+        opts.duration = Duration::from_millis(10);
+        let rows = fig1(&opts);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.y > 0.0));
+    }
+
+    #[test]
+    fn rows_render_as_tsv() {
+        let row = FigureRow {
+            figure: "fig1",
+            panel: "p".into(),
+            series: "s".into(),
+            x: 1.0,
+            y: 2.0,
+        };
+        assert!(row.tsv().starts_with("fig1\tp\ts\t1"));
+    }
+}

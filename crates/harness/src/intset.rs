@@ -1,0 +1,239 @@
+//! The integer-set workload driver (Section 4.4).
+//!
+//! Threads perform a random mix of lookups, insertions and removals with keys
+//! drawn uniformly from a fixed range.  Before a run, the set is pre-filled
+//! with half the keys of the range; inserts and removes are issued in equal
+//! proportion so the set size stays roughly constant (about half the inserts
+//! and removes fail, as in the paper).  Throughput is the total number of
+//! completed operations divided by the wall-clock duration.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use crate::adapters::BenchSet;
+
+/// Parameters of one integer-set run.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadConfig {
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: u64,
+    /// Percentage of operations that are lookups (the rest splits evenly
+    /// between inserts and removes).
+    pub lookup_pct: u32,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock duration of the measured phase.
+    pub duration: Duration,
+    /// Whether to pre-fill the structure with half the key range.
+    pub prefill: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            key_range: 65_536,
+            lookup_pct: 90,
+            threads: 1,
+            duration: Duration::from_millis(300),
+            prefill: true,
+        }
+    }
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Total completed operations across all threads.
+    pub total_ops: u64,
+    /// Operations completed by each thread.
+    pub per_thread_ops: Vec<u64>,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+    /// Operations per second.
+    pub throughput: f64,
+}
+
+impl RunResult {
+    fn from_counts(per_thread_ops: Vec<u64>, elapsed: Duration) -> Self {
+        let total_ops: u64 = per_thread_ops.iter().sum();
+        let throughput = total_ops as f64 / elapsed.as_secs_f64();
+        Self {
+            total_ops,
+            per_thread_ops,
+            elapsed,
+            throughput,
+        }
+    }
+}
+
+/// Cheap per-thread xorshift generator (the workload must not be bottlenecked
+/// by random-number generation).
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Pre-fills `set` with every even key of the range (exactly half the range),
+/// which keeps the expected set size identical across implementations.
+pub fn prefill<B: BenchSet>(set: &B, key_range: u64) {
+    let mut ctx = set.thread_ctx();
+    for key in (0..key_range).step_by(2) {
+        set.insert(key, &mut ctx);
+    }
+}
+
+/// Runs the workload once and reports throughput.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads > 1` and the implementation does not support
+/// concurrency (the sequential baselines).
+pub fn run_intset<B: BenchSet>(set: Arc<B>, cfg: &WorkloadConfig) -> RunResult {
+    assert!(
+        cfg.threads == 1 || set.supports_concurrency(),
+        "sequential baseline cannot run with {} threads",
+        cfg.threads
+    );
+    if cfg.prefill {
+        prefill(&*set, cfg.key_range);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let start_barrier = Arc::new(std::sync::Barrier::new(cfg.threads + 1));
+    let mut joins = Vec::with_capacity(cfg.threads);
+    for tid in 0..cfg.threads {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&start_barrier);
+        let cfg = cfg.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut ctx = set.thread_ctx();
+            let mut rng = Xorshift::new(0x9E37_79B9 * (tid as u64 + 1));
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Issue a small batch between stop-flag checks.
+                for _ in 0..64 {
+                    let key = rng.next() % cfg.key_range;
+                    let dice = rng.next() % 100;
+                    if dice < cfg.lookup_pct as u64 {
+                        std::hint::black_box(set.contains(key, &mut ctx));
+                    } else if dice % 2 == 0 {
+                        std::hint::black_box(set.insert(key, &mut ctx));
+                    } else {
+                        std::hint::black_box(set.remove(key, &mut ctx));
+                    }
+                    ops += 1;
+                }
+            }
+            ops
+        }));
+    }
+
+    start_barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let per_thread: Vec<u64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    let elapsed = start.elapsed();
+    RunResult::from_counts(per_thread, elapsed)
+}
+
+/// Runs the workload `runs` times on fresh structures produced by `make_set`
+/// and returns the mean throughput after discarding the minimum and maximum
+/// (the paper's repetition policy uses six runs).
+pub fn run_intset_repeated<B, F>(make_set: F, cfg: &WorkloadConfig, runs: usize) -> f64
+where
+    B: BenchSet,
+    F: Fn() -> B,
+{
+    assert!(runs >= 1);
+    let mut throughputs: Vec<f64> = (0..runs)
+        .map(|_| run_intset(Arc::new(make_set()), cfg).throughput)
+        .collect();
+    throughputs.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+    let trimmed: &[f64] = if throughputs.len() > 2 {
+        &throughputs[1..throughputs.len() - 1]
+    } else {
+        &throughputs
+    };
+    trimmed.iter().sum::<f64>() / trimmed.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{LockFreeBench, SeqBench, StmHashBench};
+    use lockfree::{LockFreeHashTable, SeqHashTable};
+    use spectm::variants::ValShort;
+    use spectm::Stm;
+    use spectm_ds::ApiMode;
+
+    fn quick_cfg(threads: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            key_range: 512,
+            lookup_pct: 80,
+            threads,
+            duration: Duration::from_millis(40),
+            prefill: true,
+        }
+    }
+
+    #[test]
+    fn stm_workload_produces_positive_throughput() {
+        let set = Arc::new(StmHashBench::new(ValShort::new(), 128, ApiMode::Short));
+        let res = run_intset(set, &quick_cfg(2));
+        assert!(res.total_ops > 0);
+        assert!(res.throughput > 0.0);
+        assert_eq!(res.per_thread_ops.len(), 2);
+    }
+
+    #[test]
+    fn lock_free_workload_produces_positive_throughput() {
+        let set = Arc::new(LockFreeBench::new(LockFreeHashTable::new(
+            128,
+            txepoch::Collector::new(),
+        )));
+        let res = run_intset(set, &quick_cfg(2));
+        assert!(res.total_ops > 0);
+    }
+
+    #[test]
+    fn sequential_workload_runs_single_threaded() {
+        let set = Arc::new(SeqBench::new(SeqHashTable::new(128)));
+        let res = run_intset(set, &quick_cfg(1));
+        assert!(res.total_ops > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential baseline")]
+    fn sequential_workload_rejects_multiple_threads() {
+        let set = Arc::new(SeqBench::new(SeqHashTable::new(128)));
+        let _ = run_intset(set, &quick_cfg(2));
+    }
+
+    #[test]
+    fn repeated_runs_trim_extremes() {
+        let cfg = quick_cfg(1);
+        let mean = run_intset_repeated(
+            || StmHashBench::new(ValShort::new(), 128, ApiMode::Short),
+            &cfg,
+            3,
+        );
+        assert!(mean > 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Benchmark harness for the SpecTM reproduction.
+//!
+//! The harness provides everything needed to regenerate the figures of the
+//! paper's evaluation (Section 4):
+//!
+//! * [`intset`] — the multi-threaded integer-set workload (random mixes of
+//!   lookups, inserts and removes over a fixed key range, the structure
+//!   pre-filled to half the range), with the paper's repetition policy
+//!   (mean of six runs, minimum and maximum discarded);
+//! * [`adapters`] — a uniform [`BenchSet`] interface over the STM hash table
+//!   and skip list (per variant and API mode), the lock-free baselines and
+//!   the sequential baselines;
+//! * [`variants`] — the catalogue of variant labels used in the figures and
+//!   constructors that assemble the right STM + data structure + API mode
+//!   for each label;
+//! * [`single_thread`] — the single-threaded synthetic-array micro-benchmark
+//!   of Figure 5;
+//! * [`figures`] — one driver per figure, used by the `fig*` binaries and by
+//!   the Criterion benches.
+//!
+//! Binaries: `cargo run --release -p harness --bin fig1` (likewise `fig5`
+//! through `fig10`).  Each accepts `--quick` for a fast smoke run and
+//! `--threads a,b,c` to override the sweep.
+
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod figures;
+pub mod intset;
+pub mod single_thread;
+pub mod variants;
+
+pub use adapters::BenchSet;
+pub use intset::{run_intset, run_intset_repeated, RunResult, WorkloadConfig};
+pub use variants::VariantSpec;

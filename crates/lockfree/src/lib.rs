@@ -1,0 +1,66 @@
+//! Lock-free (CAS-based) and sequential baseline data structures.
+//!
+//! The SpecTM paper compares every STM variant against lock-free hash tables
+//! and skip lists "implemented from Fraser's design" and against optimized
+//! sequential code.  This crate provides those baselines:
+//!
+//! * [`HarrisList`] — the sorted lock-free linked list with marked pointers
+//!   (Harris / Fraser) used as the bucket chain of the hash table;
+//! * [`LockFreeHashTable`] — a fixed-bucket-count lock-free integer set;
+//! * [`LockFreeSkipList`] — Fraser's lock-free skip list;
+//! * [`SeqHashTable`] and [`SeqSkipList`] — single-threaded reference
+//!   implementations used to normalize throughput ("sequential" in the
+//!   paper's figures) and as oracles in tests.
+//!
+//! All concurrent structures reclaim memory through the [`txepoch`] crate —
+//! the same epoch-based scheme the STM variants use — so the comparison
+//! between STM and CAS designs is not skewed by different reclamation costs.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod hashtable;
+pub mod list;
+pub mod rng;
+pub mod seq;
+pub mod skiplist;
+
+pub use hashtable::LockFreeHashTable;
+pub use list::HarrisList;
+pub use seq::{SeqHashTable, SeqSkipList};
+pub use skiplist::LockFreeSkipList;
+
+use txepoch::LocalHandle;
+
+/// A concurrent set of `u64` keys.
+///
+/// The per-thread [`LocalHandle`] carries the epoch-reclamation state; obtain
+/// one per worker thread from the structure's collector (see
+/// [`ConcurrentIntSet::collector`]).
+pub trait ConcurrentIntSet: Send + Sync {
+    /// Inserts `key`, returning `true` if it was not already present.
+    fn insert(&self, key: u64, handle: &LocalHandle) -> bool;
+    /// Removes `key`, returning `true` if it was present.
+    fn remove(&self, key: u64, handle: &LocalHandle) -> bool;
+    /// Returns whether `key` is present.
+    fn contains(&self, key: u64, handle: &LocalHandle) -> bool;
+    /// The epoch collector threads must register with.
+    fn collector(&self) -> &txepoch::Collector;
+}
+
+/// A single-threaded set of `u64` keys, used as the sequential baseline and
+/// as a test oracle.
+pub trait SequentialIntSet {
+    /// Inserts `key`, returning `true` if it was not already present.
+    fn insert(&mut self, key: u64) -> bool;
+    /// Removes `key`, returning `true` if it was present.
+    fn remove(&mut self, key: u64) -> bool;
+    /// Returns whether `key` is present.
+    fn contains(&self, key: u64) -> bool;
+    /// Number of keys currently stored.
+    fn len(&self) -> usize;
+    /// Returns whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,380 @@
+//! Harris-style lock-free sorted linked list.
+//!
+//! This is the classic CAS-based sorted list with a "deleted" mark stored in
+//! bit 0 of each node's `next` pointer (Harris 2001, as used throughout
+//! Fraser's thesis).  Removal is two-phase: the node is first *logically*
+//! deleted by marking its `next` pointer, then *physically* unlinked — either
+//! by the remover itself or by any later traversal that encounters the marked
+//! node.  Unlinked nodes are retired through epoch-based reclamation.
+//!
+//! The list stores `u64` keys in ascending order and is used directly as the
+//! bucket chain of [`crate::LockFreeHashTable`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use txepoch::{Collector, LocalHandle};
+
+const MARK: usize = 1;
+
+#[inline]
+fn marked(p: usize) -> bool {
+    p & MARK != 0
+}
+
+#[inline]
+fn unmark(p: usize) -> usize {
+    p & !MARK
+}
+
+#[inline]
+fn with_mark(p: usize) -> usize {
+    p | MARK
+}
+
+/// A list node.  `next` packs the successor pointer with the deletion mark.
+struct Node {
+    key: u64,
+    next: AtomicUsize,
+}
+
+impl Node {
+    fn alloc(key: u64, next: usize) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key,
+            next: AtomicUsize::new(next),
+        }))
+    }
+}
+
+/// A lock-free sorted linked list of `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use lockfree::HarrisList;
+/// let collector = txepoch::Collector::new();
+/// let list = HarrisList::new(collector.clone());
+/// let handle = collector.register();
+/// assert!(list.insert(3, &handle));
+/// assert!(list.contains(3, &handle));
+/// assert!(list.remove(3, &handle));
+/// assert!(!list.contains(3, &handle));
+/// ```
+pub struct HarrisList {
+    head: AtomicUsize,
+    collector: Collector,
+}
+
+// SAFETY: the list is a standard lock-free structure; all shared mutation
+// goes through atomics and reclamation is deferred via epochs.
+unsafe impl Send for HarrisList {}
+// SAFETY: as above.
+unsafe impl Sync for HarrisList {}
+
+/// Result of a search: the address of the predecessor's `next` field and the
+/// (unmarked) pointer to the first node with `node.key >= key`.
+struct Window {
+    prev_link: *const AtomicUsize,
+    curr: usize,
+}
+
+impl HarrisList {
+    /// Creates an empty list tied to `collector`.
+    pub fn new(collector: Collector) -> Self {
+        Self {
+            head: AtomicUsize::new(0),
+            collector,
+        }
+    }
+
+    /// The epoch collector used for node reclamation.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Finds the window for `key`, physically unlinking any marked nodes
+    /// encountered on the way (the caller must hold an epoch guard).
+    fn search(&self, key: u64, handle: &LocalHandle) -> Window {
+        'retry: loop {
+            let mut prev_link: *const AtomicUsize = &self.head;
+            // SAFETY: `prev_link` starts at a field of `self` and is only ever
+            // advanced to `next` fields of nodes protected by the epoch guard.
+            let mut curr = unsafe { (*prev_link).load(Ordering::Acquire) };
+            debug_assert!(!marked(curr), "head/next links store unmarked pointers");
+            loop {
+                if unmark(curr) == 0 {
+                    return Window { prev_link, curr: 0 };
+                }
+                // SAFETY: `curr` was read from a reachable link while pinned,
+                // so the node cannot have been freed yet.
+                let curr_node = unsafe { &*(unmark(curr) as *const Node) };
+                let next = curr_node.next.load(Ordering::Acquire);
+                if marked(next) {
+                    // `curr` is logically deleted: unlink it before moving on.
+                    // SAFETY: `prev_link` is valid (see above).
+                    let link = unsafe { &*prev_link };
+                    if link
+                        .compare_exchange(curr, unmark(next), Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    let guard = handle.pin();
+                    // SAFETY: the node has just been unlinked by the CAS above
+                    // and can no longer be reached by new traversals.
+                    unsafe { guard.defer_drop(unmark(curr) as *mut Node) };
+                    curr = unmark(next);
+                    continue;
+                }
+                if curr_node.key >= key {
+                    return Window { prev_link, curr };
+                }
+                prev_link = &curr_node.next;
+                curr = next;
+            }
+        }
+    }
+
+    /// Returns whether `key` is in the list.
+    pub fn contains(&self, key: u64, handle: &LocalHandle) -> bool {
+        let _guard = handle.pin();
+        let w = self.search(key, handle);
+        if unmark(w.curr) == 0 {
+            return false;
+        }
+        // SAFETY: protected by the guard above.
+        let node = unsafe { &*(unmark(w.curr) as *const Node) };
+        node.key == key
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    pub fn insert(&self, key: u64, handle: &LocalHandle) -> bool {
+        let _guard = handle.pin();
+        let mut new_node: *mut Node = std::ptr::null_mut();
+        loop {
+            let w = self.search(key, handle);
+            if unmark(w.curr) != 0 {
+                // SAFETY: protected by the guard above.
+                let node = unsafe { &*(unmark(w.curr) as *const Node) };
+                if node.key == key {
+                    if !new_node.is_null() {
+                        // SAFETY: the speculatively allocated node was never
+                        // published.
+                        drop(unsafe { Box::from_raw(new_node) });
+                    }
+                    return false;
+                }
+            }
+            if new_node.is_null() {
+                new_node = Node::alloc(key, w.curr);
+            } else {
+                // SAFETY: `new_node` is still private to this thread.
+                unsafe { (*new_node).next.store(w.curr, Ordering::Relaxed) };
+            }
+            // SAFETY: `prev_link` is protected by the guard.
+            let link = unsafe { &*w.prev_link };
+            if link
+                .compare_exchange(
+                    w.curr,
+                    new_node as usize,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Removes `key`; returns `false` if it was not present.
+    pub fn remove(&self, key: u64, handle: &LocalHandle) -> bool {
+        let _guard = handle.pin();
+        loop {
+            let w = self.search(key, handle);
+            if unmark(w.curr) == 0 {
+                return false;
+            }
+            // SAFETY: protected by the guard above.
+            let node = unsafe { &*(unmark(w.curr) as *const Node) };
+            if node.key != key {
+                return false;
+            }
+            let next = node.next.load(Ordering::Acquire);
+            if marked(next) {
+                // Someone else is already deleting it; help and report absent.
+                continue;
+            }
+            // Logical deletion: mark the next pointer.
+            if node
+                .next
+                .compare_exchange(next, with_mark(next), Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // Physical deletion: try to unlink immediately; if the CAS fails a
+            // later search will clean up (and retire) the node.
+            // SAFETY: `prev_link` is protected by the guard.
+            let link = unsafe { &*w.prev_link };
+            if link
+                .compare_exchange(w.curr, unmark(next), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let guard = handle.pin();
+                // SAFETY: unlinked by the CAS above; unreachable for new
+                // traversals.
+                unsafe { guard.defer_drop(unmark(w.curr) as *mut Node) };
+            } else {
+                let _ = self.search(key, handle);
+            }
+            return true;
+        }
+    }
+
+    /// Iterates the current keys (not linearizable; test/diagnostic helper).
+    pub fn snapshot(&self, handle: &LocalHandle) -> Vec<u64> {
+        let _guard = handle.pin();
+        let mut out = Vec::new();
+        let mut curr = self.head.load(Ordering::Acquire);
+        while unmark(curr) != 0 {
+            // SAFETY: protected by the guard above.
+            let node = unsafe { &*(unmark(curr) as *const Node) };
+            let next = node.next.load(Ordering::Acquire);
+            if !marked(next) {
+                out.push(node.key);
+            }
+            curr = unmark(next);
+        }
+        out
+    }
+}
+
+impl Drop for HarrisList {
+    fn drop(&mut self) {
+        // Exclusive access: free the remaining nodes directly.
+        let mut curr = unmark(*self.head.get_mut());
+        while curr != 0 {
+            // SAFETY: nodes were allocated with `Box::into_raw` and nothing
+            // else can reference them during drop.
+            let node = unsafe { Box::from_raw(curr as *mut Node) };
+            curr = unmark(node.next.load(Ordering::Relaxed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn new_list() -> (HarrisList, Collector) {
+        let collector = Collector::new();
+        (HarrisList::new(collector.clone()), collector)
+    }
+
+    #[test]
+    fn insert_remove_contains_basic() {
+        let (list, collector) = new_list();
+        let h = collector.register();
+        assert!(!list.contains(5, &h));
+        assert!(list.insert(5, &h));
+        assert!(!list.insert(5, &h));
+        assert!(list.contains(5, &h));
+        assert!(list.remove(5, &h));
+        assert!(!list.remove(5, &h));
+        assert!(!list.contains(5, &h));
+    }
+
+    #[test]
+    fn keys_stay_sorted_and_unique() {
+        let (list, collector) = new_list();
+        let h = collector.register();
+        for k in [5u64, 1, 9, 3, 7, 3, 1] {
+            list.insert(k, &h);
+        }
+        let snap = list.snapshot(&h);
+        assert_eq!(snap, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn matches_btreeset_oracle_sequentially() {
+        let (list, collector) = new_list();
+        let h = collector.register();
+        let mut oracle = BTreeSet::new();
+        crate::rng::seed(99);
+        for _ in 0..4_000 {
+            let k = crate::rng::next_u64() % 128;
+            match crate::rng::next_u64() % 3 {
+                0 => assert_eq!(list.insert(k, &h), oracle.insert(k)),
+                1 => assert_eq!(list.remove(k, &h), oracle.remove(&k)),
+                _ => assert_eq!(list.contains(k, &h), oracle.contains(&k)),
+            }
+        }
+        let snap = list.snapshot(&h);
+        let expect: Vec<u64> = oracle.into_iter().collect();
+        assert_eq!(snap, expect);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_removes_preserve_membership() {
+        // Each thread owns a disjoint key range, so the final contents are
+        // exactly predictable despite arbitrary interleavings.
+        const THREADS: u64 = 4;
+        const RANGE: u64 = 512;
+        let (list, collector) = new_list();
+        let list = Arc::new(list);
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let list = Arc::clone(&list);
+            let collector = collector.clone();
+            joins.push(std::thread::spawn(move || {
+                let h = collector.register();
+                let base = t * RANGE;
+                for k in 0..RANGE {
+                    assert!(list.insert(base + k, &h));
+                }
+                for k in 0..RANGE {
+                    if k % 2 == 0 {
+                        assert!(list.remove(base + k, &h));
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let h = collector.register();
+        for t in 0..THREADS {
+            for k in 0..RANGE {
+                let key = t * RANGE + k;
+                assert_eq!(list.contains(key, &h), k % 2 == 1, "key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn contended_single_key_has_exactly_one_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (list, collector) = new_list();
+        let list = Arc::new(list);
+        let wins = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let list = Arc::clone(&list);
+            let collector = collector.clone();
+            let wins = Arc::clone(&wins);
+            joins.push(std::thread::spawn(move || {
+                let h = collector.register();
+                if list.insert(42, &h) {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Small thread-local PRNG used for skip-list level generation.
+//!
+//! The benchmark structures need a cheap source of randomness on the insert
+//! fast path; a thread-local xorshift avoids both shared state and the cost
+//! of a cryptographic generator.
+
+use std::cell::Cell;
+
+thread_local! {
+    static STATE: Cell<u64> = const { Cell::new(0x9E37_79B9_7F4A_7C15) };
+}
+
+/// Seeds the calling thread's generator (useful for reproducible tests).
+pub fn seed(value: u64) {
+    STATE.with(|s| s.set(value | 1));
+}
+
+/// Returns the next pseudo-random 64-bit value for the calling thread.
+pub fn next_u64() -> u64 {
+    STATE.with(|s| {
+        let mut x = s.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        s.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+/// Draws a geometric skip-list level in `1..=max_level` with `p = 1/2`.
+///
+/// A node is assigned level `l` with probability `2^-l`, exactly as in the
+/// paper's skip lists.
+pub fn random_level(max_level: usize) -> usize {
+    let bits = next_u64();
+    let level = bits.trailing_ones() as usize + 1;
+    level.min(max_level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_in_range() {
+        for _ in 0..10_000 {
+            let l = random_level(32);
+            assert!((1..=32).contains(&l));
+        }
+    }
+
+    #[test]
+    fn level_distribution_is_roughly_geometric() {
+        seed(12345);
+        let mut counts = [0usize; 33];
+        const N: usize = 100_000;
+        for _ in 0..N {
+            counts[random_level(32)] += 1;
+        }
+        // About half the nodes are level 1, about a quarter level 2.
+        assert!(counts[1] > N * 4 / 10 && counts[1] < N * 6 / 10);
+        assert!(counts[2] > N * 2 / 10 && counts[2] < N * 3 / 10);
+    }
+
+    #[test]
+    fn seed_makes_sequences_reproducible() {
+        seed(7);
+        let a: Vec<u64> = (0..5).map(|_| next_u64()).collect();
+        seed(7);
+        let b: Vec<u64> = (0..5).map(|_| next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,324 @@
+//! Optimized sequential baselines.
+//!
+//! The paper normalizes throughput against "optimized sequential code; it is
+//! not safe for multi-threaded use, but it provides a reference point of the
+//! cost of an implementation without concurrency control."  These structures
+//! mirror the shape of the concurrent ones (chained hash table, skip list)
+//! but use plain loads and stores.
+
+use crate::rng::random_level;
+use crate::SequentialIntSet;
+
+// ---------------------------------------------------------------------------
+// Sequential chained hash table
+// ---------------------------------------------------------------------------
+
+/// A single-threaded chained hash table storing a set of `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use lockfree::{SeqHashTable, SequentialIntSet};
+/// let mut t = SeqHashTable::new(1024);
+/// assert!(t.insert(5));
+/// assert!(t.contains(5));
+/// assert!(t.remove(5));
+/// assert!(t.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct SeqHashTable {
+    buckets: Vec<Vec<u64>>,
+    mask: u64,
+    len: usize,
+}
+
+#[inline]
+fn hash_key(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17
+}
+
+impl SeqHashTable {
+    /// Creates a table with `buckets` chains (rounded up to a power of two).
+    pub fn new(buckets: usize) -> Self {
+        let len = buckets.next_power_of_two().max(1);
+        Self {
+            buckets: vec![Vec::new(); len],
+            mask: len as u64 - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_mut(&mut self, key: u64) -> &mut Vec<u64> {
+        let idx = (hash_key(key) & self.mask) as usize;
+        &mut self.buckets[idx]
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &Vec<u64> {
+        &self.buckets[(hash_key(key) & self.mask) as usize]
+    }
+}
+
+impl SequentialIntSet for SeqHashTable {
+    fn insert(&mut self, key: u64) -> bool {
+        let chain = self.bucket_mut(key);
+        if chain.contains(&key) {
+            return false;
+        }
+        chain.push(key);
+        self.len += 1;
+        true
+    }
+
+    fn remove(&mut self, key: u64) -> bool {
+        let chain = self.bucket_mut(key);
+        if let Some(pos) = chain.iter().position(|&k| k == key) {
+            chain.swap_remove(pos);
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.bucket(key).contains(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential skip list
+// ---------------------------------------------------------------------------
+
+const MAX_LEVEL: usize = 32;
+
+struct SeqNode {
+    key: u64,
+    next: Vec<*mut SeqNode>,
+}
+
+/// A single-threaded skip list storing a set of `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use lockfree::{SeqSkipList, SequentialIntSet};
+/// let mut l = SeqSkipList::new();
+/// assert!(l.insert(3));
+/// assert!(l.insert(1));
+/// assert!(!l.insert(3));
+/// assert_eq!(l.len(), 2);
+/// ```
+pub struct SeqSkipList {
+    head: Vec<*mut SeqNode>,
+    len: usize,
+}
+
+// SAFETY: the list exclusively owns every node it points to; moving the whole
+// structure to another thread transfers that ownership wholesale.  It remains
+// unsafe to *share* (`!Sync`), which is exactly the paper's "not safe for
+// multi-threaded use" caveat.
+unsafe impl Send for SeqSkipList {}
+
+impl Default for SeqSkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeqSkipList {
+    /// Creates an empty skip list.
+    pub fn new() -> Self {
+        Self {
+            head: vec![std::ptr::null_mut(); MAX_LEVEL],
+            len: 0,
+        }
+    }
+
+    /// Locates the predecessors of `key` at every level.
+    fn find_preds(&mut self, key: u64) -> Vec<*mut *mut SeqNode> {
+        let mut preds: Vec<*mut *mut SeqNode> = vec![std::ptr::null_mut(); MAX_LEVEL];
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut link: *mut *mut SeqNode = &mut self.head[lvl];
+            loop {
+                // SAFETY: `link` always points either at a head slot or at a
+                // `next` slot of a live node owned by this list.
+                let node = unsafe { *link };
+                if node.is_null() {
+                    break;
+                }
+                // SAFETY: nodes are owned by the list and alive until removed.
+                let node_ref = unsafe { &mut *node };
+                if node_ref.key < key {
+                    link = &mut node_ref.next[lvl];
+                } else {
+                    break;
+                }
+            }
+            preds[lvl] = link;
+        }
+        preds
+    }
+}
+
+impl SequentialIntSet for SeqSkipList {
+    fn insert(&mut self, key: u64) -> bool {
+        let preds = self.find_preds(key);
+        // SAFETY: see `find_preds`.
+        let curr = unsafe { *preds[0] };
+        if !curr.is_null() {
+            // SAFETY: as above.
+            if unsafe { (*curr).key } == key {
+                return false;
+            }
+        }
+        let level = random_level(MAX_LEVEL);
+        let node = Box::into_raw(Box::new(SeqNode {
+            key,
+            next: vec![std::ptr::null_mut(); level],
+        }));
+        for (lvl, &pred) in preds.iter().enumerate().take(level) {
+            // SAFETY: `pred` points into a live node (or the head) and `node`
+            // is freshly allocated.
+            unsafe {
+                let node_ref = &mut *node;
+                node_ref.next[lvl] = *pred;
+                *pred = node;
+            }
+        }
+        self.len += 1;
+        true
+    }
+
+    fn remove(&mut self, key: u64) -> bool {
+        let preds = self.find_preds(key);
+        // SAFETY: see `find_preds`.
+        let curr = unsafe { *preds[0] };
+        if curr.is_null() {
+            return false;
+        }
+        // SAFETY: as above.
+        if unsafe { (*curr).key } != key {
+            return false;
+        }
+        // SAFETY: the node is alive; its level equals its `next` length.
+        let level = unsafe { (*curr).next.len() };
+        for (lvl, &pred) in preds.iter().enumerate().take(level) {
+            // SAFETY: predecessors at levels below the node's height point at
+            // the node itself; splice it out.
+            unsafe {
+                if *pred == curr {
+                    let curr_ref = &*curr;
+                    *pred = curr_ref.next[lvl];
+                }
+            }
+        }
+        // SAFETY: the node is now unlinked and uniquely owned.
+        drop(unsafe { Box::from_raw(curr) });
+        self.len -= 1;
+        true
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        let mut level = MAX_LEVEL;
+        let mut next_slots: &[*mut SeqNode] = &self.head;
+        while level > 0 {
+            level -= 1;
+            loop {
+                let node = next_slots[level];
+                if node.is_null() {
+                    break;
+                }
+                // SAFETY: nodes are owned by the list and alive.
+                let node_ref = unsafe { &*node };
+                match node_ref.key.cmp(&key) {
+                    std::cmp::Ordering::Less => next_slots = &node_ref.next,
+                    std::cmp::Ordering::Equal => return true,
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl Drop for SeqSkipList {
+    fn drop(&mut self) {
+        let mut curr = self.head[0];
+        while !curr.is_null() {
+            // SAFETY: level-0 links thread through every node exactly once.
+            let node = unsafe { Box::from_raw(curr) };
+            curr = node.next[0];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn oracle_check<S: SequentialIntSet>(mut set: S, seed: u64, range: u64, ops: usize) {
+        let mut oracle = BTreeSet::new();
+        crate::rng::seed(seed);
+        for _ in 0..ops {
+            let k = crate::rng::next_u64() % range;
+            match crate::rng::next_u64() % 3 {
+                0 => assert_eq!(set.insert(k), oracle.insert(k)),
+                1 => assert_eq!(set.remove(k), oracle.remove(&k)),
+                _ => assert_eq!(set.contains(k), oracle.contains(&k)),
+            }
+            assert_eq!(set.len(), oracle.len());
+        }
+    }
+
+    #[test]
+    fn hash_table_matches_oracle() {
+        oracle_check(SeqHashTable::new(64), 1, 300, 10_000);
+    }
+
+    #[test]
+    fn skip_list_matches_oracle() {
+        oracle_check(SeqSkipList::new(), 2, 300, 10_000);
+    }
+
+    #[test]
+    fn hash_table_basics() {
+        let mut t = SeqHashTable::new(4);
+        assert!(t.is_empty());
+        assert!(t.insert(1));
+        assert!(t.insert(2));
+        assert!(!t.insert(2));
+        assert_eq!(t.len(), 2);
+        assert!(t.remove(1));
+        assert!(!t.remove(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn skip_list_handles_many_sequential_keys() {
+        let mut l = SeqSkipList::new();
+        for k in 0..2_000u64 {
+            assert!(l.insert(k));
+        }
+        for k in 0..2_000u64 {
+            assert!(l.contains(k));
+        }
+        for k in (0..2_000u64).step_by(2) {
+            assert!(l.remove(k));
+        }
+        assert_eq!(l.len(), 1_000);
+        for k in 0..2_000u64 {
+            assert_eq!(l.contains(k), k % 2 == 1);
+        }
+    }
+}

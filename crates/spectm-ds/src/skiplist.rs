@@ -1,0 +1,935 @@
+//! STM-based integer-set skip list (the case study of Section 3).
+//!
+//! Towers store a key and one transactional forward pointer per level; bit 1
+//! of every forward pointer is the "deleted" mark (bit 0 stays clear for the
+//! value-based layout's lock bit).  A removal marks the tower's own forward
+//! pointers *and* unlinks it from every level in one atomic step, so a tower
+//! is either fully linked or fully removed — this is precisely the
+//! simplification over the CAS-based skip list that the paper advertises.
+//!
+//! The [`ApiMode`] selects how those atomic steps are expressed:
+//!
+//! * **Short** — towers of height 1 use a single-location CAS, towers of
+//!   height 2 use a short read-write transaction, and taller towers (about
+//!   25 % of inserts with p = ½) fall back to an ordinary transaction —
+//!   exactly the split described in Section 3.
+//! * **Full** — every insert/remove/search is one ordinary transaction.
+//! * **Fine** — the same fine-grained steps as **Short**, but each step is an
+//!   ordinary transaction (the `orec-full-g (fine)` line of Figure 6(a)).
+
+use spectm::{decode_int, encode_int, is_marked, mark, unmark, Stm, StmThread, Word};
+
+use crate::ApiMode;
+
+/// Maximum tower height (the paper sets it to 32).
+pub const MAX_LEVEL: usize = 32;
+
+/// Tallest tower that the Short mode handles with specialized transactions;
+/// taller towers use ordinary transactions (Section 3 uses levels 1–2).
+pub const SHORT_LEVEL_CUTOFF: usize = 2;
+
+/// A skip-list tower.  The key and height are immutable after publication.
+struct Tower<S: Stm> {
+    key: u64,
+    level: usize,
+    next: Vec<S::Cell>,
+}
+
+/// Traversal window: predecessor cell and successor pointer per level.
+struct Window<'a, S: Stm> {
+    preds: Vec<&'a S::Cell>,
+    succs: Vec<Word>,
+    /// Number of levels the search actually traversed; predecessors at
+    /// `top..` are just head cells.  Because a tower linked at level `L >= 2`
+    /// can only have been created by a transaction that raised the height
+    /// hint to at least `L + 1`, every level at or above `top` is guaranteed
+    /// empty.
+    top: usize,
+}
+
+/// An STM-based skip list storing a set of `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use spectm::{Stm, variants::ValShort};
+/// use spectm_ds::{ApiMode, StmSkipList};
+///
+/// let stm = ValShort::new();
+/// let list = StmSkipList::new(&stm, ApiMode::Short);
+/// let mut thread = stm.register();
+/// assert!(list.insert(42, &mut thread));
+/// assert!(list.contains(42, &mut thread));
+/// assert!(list.remove(42, &mut thread));
+/// ```
+pub struct StmSkipList<S: Stm> {
+    stm: S,
+    head: Vec<S::Cell>,
+    /// Encoded current height hint (the paper's `head.lvl`).
+    level_hint: S::Cell,
+    mode: ApiMode,
+}
+
+// SAFETY: raw tower pointers stored in cells are published by transactions,
+// retired through epochs after being unlinked, and dereferenced only under an
+// epoch pin (or inside a transaction, which pins for its duration).
+unsafe impl<S: Stm> Send for StmSkipList<S> {}
+// SAFETY: as above.
+unsafe impl<S: Stm> Sync for StmSkipList<S> {}
+
+impl<S: Stm> StmSkipList<S> {
+    /// Creates an empty skip list driven through the given [`ApiMode`].
+    pub fn new(stm: &S, mode: ApiMode) -> Self
+    where
+        S: Clone,
+    {
+        Self {
+            stm: stm.clone(),
+            head: (0..MAX_LEVEL).map(|_| stm.new_cell(0)).collect(),
+            level_hint: stm.new_cell(encode_int(1)),
+            mode,
+        }
+    }
+
+    /// The API mode this instance drives.
+    pub fn mode(&self) -> ApiMode {
+        self.mode
+    }
+
+    #[inline]
+    fn tower(ptr: Word) -> *mut Tower<S> {
+        unmark(ptr) as *mut Tower<S>
+    }
+
+    fn alloc_tower(&self, key: u64, level: usize) -> *mut Tower<S> {
+        Box::into_raw(Box::new(Tower {
+            key,
+            level,
+            next: (0..level).map(|_| self.stm.new_cell(0)).collect(),
+        }))
+    }
+
+    /// Draws a tower height with the paper's geometric distribution.
+    fn random_level() -> usize {
+        lockfree_level()
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    pub fn insert(&self, key: u64, thread: &mut S::Thread) -> bool {
+        match self.mode {
+            ApiMode::Full => self.insert_txn(key, Self::random_level(), thread),
+            ApiMode::Short | ApiMode::Fine => self.insert_split(key, thread),
+        }
+    }
+
+    /// Removes `key`; returns `false` if it was not present.
+    pub fn remove(&self, key: u64, thread: &mut S::Thread) -> bool {
+        match self.mode {
+            ApiMode::Full => self.remove_txn(key, thread),
+            ApiMode::Short | ApiMode::Fine => self.remove_split(key, thread),
+        }
+    }
+
+    /// Returns whether `key` is present.
+    pub fn contains(&self, key: u64, thread: &mut S::Thread) -> bool {
+        match self.mode {
+            ApiMode::Full => self.contains_txn(key, thread),
+            ApiMode::Short | ApiMode::Fine => self.contains_walk(key, thread),
+        }
+    }
+
+    /// Collects every key currently present (non-transactional; only
+    /// meaningful when no concurrent operations run).
+    pub fn quiescent_snapshot(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut curr = S::peek(&self.head[0]);
+        while unmark(curr) != 0 {
+            // SAFETY: quiescence is required by the contract.
+            let tower = unsafe { &*Self::tower(curr) };
+            let next = S::peek(&tower.next[0]);
+            if !is_marked(next) {
+                out.push(tower.key);
+            }
+            curr = unmark(next);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Walk-based traversal (Short / Fine modes)
+    // ------------------------------------------------------------------
+
+    /// Reads one forward pointer, either with a single-location transaction
+    /// (Short) or with a one-read ordinary transaction (Fine).
+    #[inline]
+    fn read_link(&self, cell: &S::Cell, thread: &mut S::Thread) -> Word {
+        match self.mode {
+            ApiMode::Fine => thread
+                .atomic(|tx| tx.read(cell))
+                .expect("read_link is never cancelled"),
+            _ => thread.single_read(cell),
+        }
+    }
+
+    /// The paper's `Skiplist::Search`: walks from the level hint down to
+    /// level 0, recording the predecessor cell and successor pointer at every
+    /// level.  The caller must hold an epoch pin.
+    fn search<'a>(&'a self, key: u64, thread: &mut S::Thread) -> Window<'a, S> {
+        // Traverse at least the levels covered by the short fast paths so the
+        // window's low-level predecessors are always real, even before any
+        // tall tower has raised the height hint.
+        let top = decode_int(self.read_link(&self.level_hint, thread))
+            .clamp(SHORT_LEVEL_CUTOFF, MAX_LEVEL);
+        let mut preds: Vec<&S::Cell> = Vec::with_capacity(MAX_LEVEL);
+        let mut succs: Vec<Word> = vec![0; MAX_LEVEL];
+        preds.resize(MAX_LEVEL, &self.head[0]);
+        for lvl in (0..MAX_LEVEL).rev() {
+            preds[lvl] = &self.head[lvl];
+        }
+        let mut pred_cell: &S::Cell = &self.head[top - 1];
+        for lvl in (0..top).rev() {
+            // Step down: the predecessor found at the level above is also a
+            // valid starting point at this level.
+            let mut curr = unmark(self.read_link(pred_cell, thread));
+            loop {
+                if curr == 0 {
+                    break;
+                }
+                // SAFETY: `curr` was read from a reachable link under the
+                // caller's epoch pin.
+                let tower = unsafe { &*Self::tower(curr) };
+                if tower.key >= key {
+                    break;
+                }
+                let next = self.read_link(&tower.next[lvl], thread);
+                pred_cell = &tower.next[lvl];
+                curr = unmark(next);
+            }
+            preds[lvl] = pred_cell;
+            succs[lvl] = curr;
+            if lvl > 0 {
+                // Move the walking pointer to the same tower's next-lower
+                // level; for the head this is just the lower head cell.
+                pred_cell = self.step_down(preds[lvl], lvl);
+            }
+        }
+        Window { preds, succs, top }
+    }
+
+    /// Given the predecessor cell at `lvl`, returns the same tower's cell at
+    /// `lvl - 1` (head cells step down to head cells).
+    fn step_down<'a>(&'a self, pred: &'a S::Cell, lvl: usize) -> &'a S::Cell {
+        let head_cell = &self.head[lvl] as *const S::Cell;
+        if std::ptr::eq(pred, head_cell) {
+            &self.head[lvl - 1]
+        } else {
+            // `pred` is `&tower.next[lvl]`; recover the tower to index its
+            // lower level.  The cells of one tower live in one `Vec`, so the
+            // cell at `lvl - 1` sits one element earlier.
+            // SAFETY: `pred` points into a live tower's `next` vector (it was
+            // obtained under the caller's epoch pin), and `lvl >= 1`.
+            unsafe {
+                let base = (pred as *const S::Cell).sub(lvl);
+                &*base.add(lvl - 1)
+            }
+        }
+    }
+
+    fn contains_walk(&self, key: u64, thread: &mut S::Thread) -> bool {
+        let _pin = thread.epoch().pin();
+        let w = self.search(key, thread);
+        let curr = w.succs[0];
+        if curr == 0 {
+            return false;
+        }
+        // SAFETY: protected by the epoch pin above.
+        let tower = unsafe { &*Self::tower(curr) };
+        tower.key == key && !is_marked(self.read_link(&tower.next[0], thread))
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    fn insert_split(&self, key: u64, thread: &mut S::Thread) -> bool {
+        let level = Self::random_level();
+        let mut new_tower: *mut Tower<S> = std::ptr::null_mut();
+        let mut attempts = 0u32;
+        loop {
+            // Contention management between restarts breaks symmetric
+            // conflict patterns (and matters when threads outnumber cores).
+            if attempts > 0 {
+                thread.backoff().wait();
+            }
+            attempts += 1;
+            let pin = thread.epoch().pin();
+            let w = self.search(key, thread);
+            if w.succs[0] != 0 {
+                // SAFETY: protected by the epoch pin.
+                let tower = unsafe { &*Self::tower(w.succs[0]) };
+                if tower.key == key {
+                    if is_marked(self.read_link(&tower.next[0], thread)) {
+                        // Deleted but still linked: wait for the remover.
+                        drop(pin);
+                        continue;
+                    }
+                    if !new_tower.is_null() {
+                        // SAFETY: never published.
+                        drop(unsafe { Box::from_raw(new_tower) });
+                    }
+                    return false;
+                }
+            }
+            if new_tower.is_null() {
+                new_tower = self.alloc_tower(key, level);
+            }
+            // SAFETY: still private to this thread.
+            let tower = unsafe { &*new_tower };
+            for lvl in 0..level {
+                S::poke(&tower.next[lvl], w.succs[lvl]);
+            }
+            let published = if self.mode == ApiMode::Short {
+                if level == 1 {
+                    // The paper's AddLevelOne: one single-location CAS.
+                    thread.single_cas(w.preds[0], w.succs[0], new_tower as Word) == w.succs[0]
+                } else if level <= SHORT_LEVEL_CUTOFF {
+                    self.insert_short_rw(&w, level, new_tower as Word, thread)
+                } else {
+                    self.insert_txn_linked(&w, level, new_tower as Word, key, thread)
+                }
+            } else {
+                // Fine mode: every step is an ordinary transaction.
+                self.insert_txn_linked(&w, level, new_tower as Word, key, thread)
+            };
+            if published {
+                return true;
+            }
+            drop(pin);
+        }
+    }
+
+    /// Links a tower of height ≤ [`SHORT_LEVEL_CUTOFF`] using one short
+    /// read-write transaction over its predecessors.
+    fn insert_short_rw(
+        &self,
+        w: &Window<'_, S>,
+        level: usize,
+        new_ptr: Word,
+        thread: &mut S::Thread,
+    ) -> bool {
+        for lvl in 0..level {
+            let observed = thread.rw_read(lvl, w.preds[lvl]);
+            if !thread.rw_is_valid(lvl + 1) {
+                return false;
+            }
+            if observed != w.succs[lvl] {
+                thread.rw_abort(lvl + 1);
+                return false;
+            }
+        }
+        let values = vec![new_ptr; level];
+        thread.rw_commit(level, &values)
+    }
+
+    /// Links a tower using one ordinary transaction (used for tall towers in
+    /// Short mode, and for every tower in Full/Fine modes once the window is
+    /// known).  Mirrors the paper's `AddLevelN`.
+    fn insert_txn_linked(
+        &self,
+        w: &Window<'_, S>,
+        level: usize,
+        new_ptr: Word,
+        _key: u64,
+        thread: &mut S::Thread,
+    ) -> bool {
+        // A `None` outcome means the transaction was cancelled (the paper's
+        // `STM_ABORT_TX`): nothing was published, so the caller retries with
+        // a fresh search.  Returning a committed `false` here would be wrong:
+        // writes to lower levels buffered before the mismatch was discovered
+        // would still take effect, publishing a half-linked tower.
+        thread
+            .atomic(|tx| {
+                // Raise the list's height hint if needed.
+                let head_lvl = decode_int(tx.read(&self.level_hint)?);
+                if level > head_lvl {
+                    tx.write(&self.level_hint, encode_int(level))?;
+                }
+                for lvl in 0..level {
+                    // Levels the search did not traverse are guaranteed empty
+                    // (see `Window::top`), so the new tower hangs off the
+                    // head there; traversed levels must still match the
+                    // window the search computed.
+                    let above_window = lvl >= w.top;
+                    let pred = if above_window {
+                        &self.head[lvl]
+                    } else {
+                        w.preds[lvl]
+                    };
+                    let observed = tx.read(pred)?;
+                    let expected = if above_window { 0 } else { w.succs[lvl] };
+                    if observed != expected || is_marked(observed) {
+                        // The neighbourhood changed since the search.
+                        return tx.cancel();
+                    }
+                    // Retarget the new tower's forward pointer in case this
+                    // level hangs off the head.
+                    // SAFETY: the new tower is still private.
+                    let tower = unsafe { &*Self::tower(new_ptr) };
+                    S::poke(&tower.next[lvl], observed);
+                    tx.write(pred, new_ptr)?;
+                }
+                Ok(())
+            })
+            .is_some()
+    }
+
+    /// Full-mode insert: search and link inside a single ordinary transaction.
+    fn insert_txn(&self, key: u64, level: usize, thread: &mut S::Thread) -> bool {
+        let mut new_tower: *mut Tower<S> = std::ptr::null_mut();
+        let inserted = thread
+            .atomic(|tx| {
+                let head_lvl = decode_int(tx.read(&self.level_hint)?).clamp(1, MAX_LEVEL);
+                let mut preds: Vec<*const S::Cell> = Vec::with_capacity(MAX_LEVEL);
+                let mut succs: Vec<Word> = vec![0; MAX_LEVEL];
+                for lvl in 0..MAX_LEVEL {
+                    preds.push(&self.head[lvl]);
+                }
+                let mut pred_cell: *const S::Cell = &self.head[head_lvl - 1];
+                for lvl in (0..head_lvl).rev() {
+                    // SAFETY: predecessor cells are either head cells or cells
+                    // of towers read transactionally within this attempt; the
+                    // transaction's epoch pin keeps them alive.
+                    let mut curr = unmark(tx.read(unsafe { &*pred_cell })?);
+                    loop {
+                        if curr == 0 {
+                            break;
+                        }
+                        // SAFETY: as above.
+                        let tower = unsafe { &*Self::tower(curr) };
+                        if tower.key >= key {
+                            break;
+                        }
+                        let next = tx.read(&tower.next[lvl])?;
+                        pred_cell = &tower.next[lvl];
+                        curr = unmark(next);
+                    }
+                    preds[lvl] = pred_cell;
+                    succs[lvl] = curr;
+                    if lvl > 0 {
+                        // SAFETY: as above.
+                        pred_cell = self.step_down(unsafe { &*pred_cell }, lvl);
+                    }
+                }
+                if succs[0] != 0 {
+                    // SAFETY: as above.
+                    let tower = unsafe { &*Self::tower(succs[0]) };
+                    if tower.key == key && !is_marked(tx.read(&tower.next[0])?) {
+                        return Ok(false);
+                    }
+                    if tower.key == key {
+                        return tx.restart();
+                    }
+                }
+                if level > head_lvl {
+                    tx.write(&self.level_hint, encode_int(level))?;
+                }
+                if new_tower.is_null() {
+                    new_tower = self.alloc_tower(key, level);
+                }
+                // SAFETY: still private to this thread.
+                let tower = unsafe { &*new_tower };
+                for lvl in 0..level {
+                    let (pred, succ) = if lvl < head_lvl {
+                        (preds[lvl], succs[lvl])
+                    } else {
+                        (&self.head[lvl] as *const S::Cell, tx.read(&self.head[lvl])?)
+                    };
+                    S::poke(&tower.next[lvl], succ);
+                    // SAFETY: as above.
+                    tx.write(unsafe { &*pred }, new_tower as Word)?;
+                }
+                Ok(true)
+            })
+            .expect("insert transaction is never cancelled");
+        if !inserted && !new_tower.is_null() {
+            // SAFETY: never published.
+            drop(unsafe { Box::from_raw(new_tower) });
+        }
+        inserted
+    }
+
+    // ------------------------------------------------------------------
+    // Remove
+    // ------------------------------------------------------------------
+
+    fn remove_split(&self, key: u64, thread: &mut S::Thread) -> bool {
+        let mut attempts = 0u32;
+        loop {
+            if attempts > 0 {
+                thread.backoff().wait();
+            }
+            attempts += 1;
+            let pin = thread.epoch().pin();
+            let w = self.search(key, thread);
+            if w.succs[0] == 0 {
+                return false;
+            }
+            let target = w.succs[0];
+            // SAFETY: protected by the epoch pin.
+            let tower = unsafe { &*Self::tower(target) };
+            if tower.key != key {
+                return false;
+            }
+            let level = tower.level;
+            #[derive(PartialEq)]
+            enum Outcome {
+                Removed,
+                AlreadyGone,
+                Retry,
+            }
+            let outcome = if self.mode == ApiMode::Short && level <= SHORT_LEVEL_CUTOFF {
+                self.remove_short_rw(&w, target, level, thread)
+            } else {
+                self.remove_txn_unlink(&w, target, level, thread)
+            };
+            let outcome = match outcome {
+                0 => Outcome::Removed,
+                1 => Outcome::AlreadyGone,
+                _ => Outcome::Retry,
+            };
+            match outcome {
+                Outcome::Removed => {
+                    // SAFETY: unlinked and marked by the committed step above;
+                    // unreachable for new operations.
+                    unsafe { pin.defer_drop(Self::tower(target)) };
+                    return true;
+                }
+                Outcome::AlreadyGone => return false,
+                Outcome::Retry => {
+                    drop(pin);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Removes a tower of height ≤ [`SHORT_LEVEL_CUTOFF`] with one short
+    /// read-write transaction covering the predecessors and the tower's own
+    /// forward pointers.  Returns 0 = removed, 1 = already deleted, 2 = retry.
+    fn remove_short_rw(
+        &self,
+        w: &Window<'_, S>,
+        target: Word,
+        level: usize,
+        thread: &mut S::Thread,
+    ) -> u8 {
+        // SAFETY: the caller holds an epoch pin and verified the key.
+        let tower = unsafe { &*Self::tower(target) };
+        let mut values = [0 as Word; 2 * SHORT_LEVEL_CUTOFF];
+        // First the predecessors (unlink), then the tower's own pointers
+        // (mark).  All locations are distinct.
+        for lvl in 0..level {
+            let observed = thread.rw_read(lvl, w.preds[lvl]);
+            if !thread.rw_is_valid(lvl + 1) {
+                return 2;
+            }
+            if observed != target {
+                thread.rw_abort(lvl + 1);
+                return 2;
+            }
+        }
+        for lvl in 0..level {
+            let own = thread.rw_read(level + lvl, &tower.next[lvl]);
+            if !thread.rw_is_valid(level + lvl + 1) {
+                return 2;
+            }
+            if is_marked(own) {
+                thread.rw_abort(level + lvl + 1);
+                return 1;
+            }
+            values[lvl] = unmark(own);
+            values[level + lvl] = mark(own);
+        }
+        if thread.rw_commit(2 * level, &values[..2 * level]) {
+            0
+        } else {
+            2
+        }
+    }
+
+    /// Removes a tower with one ordinary transaction (tall towers in Short
+    /// mode; every tower in Full/Fine modes).  Returns 0/1/2 as above.
+    fn remove_txn_unlink(
+        &self,
+        w: &Window<'_, S>,
+        target: Word,
+        level: usize,
+        thread: &mut S::Thread,
+    ) -> u8 {
+        // SAFETY: the caller holds an epoch pin and verified the key.
+        let tower = unsafe { &*Self::tower(target) };
+        thread
+            .atomic(|tx| {
+                for lvl in 0..level {
+                    if tx.read(w.preds[lvl])? != target {
+                        return Ok(2);
+                    }
+                }
+                let mut nexts = [0 as Word; MAX_LEVEL];
+                for lvl in 0..level {
+                    let own = tx.read(&tower.next[lvl])?;
+                    if is_marked(own) {
+                        return Ok(1);
+                    }
+                    nexts[lvl] = own;
+                }
+                for lvl in 0..level {
+                    tx.write(w.preds[lvl], unmark(nexts[lvl]))?;
+                    tx.write(&tower.next[lvl], mark(nexts[lvl]))?;
+                }
+                Ok(0)
+            })
+            .expect("remove transaction is never cancelled")
+    }
+
+    /// Full-mode remove: search and unlink inside one ordinary transaction.
+    fn remove_txn(&self, key: u64, thread: &mut S::Thread) -> bool {
+        let mut unlinked: Word = 0;
+        let removed = thread
+            .atomic(|tx| {
+                unlinked = 0;
+                let head_lvl = decode_int(tx.read(&self.level_hint)?).clamp(1, MAX_LEVEL);
+                let mut preds: Vec<*const S::Cell> = Vec::with_capacity(MAX_LEVEL);
+                for lvl in 0..MAX_LEVEL {
+                    preds.push(&self.head[lvl]);
+                }
+                let mut succs: Vec<Word> = vec![0; MAX_LEVEL];
+                let mut pred_cell: *const S::Cell = &self.head[head_lvl - 1];
+                for lvl in (0..head_lvl).rev() {
+                    // SAFETY: see `insert_txn`.
+                    let mut curr = unmark(tx.read(unsafe { &*pred_cell })?);
+                    loop {
+                        if curr == 0 {
+                            break;
+                        }
+                        // SAFETY: as above.
+                        let tower = unsafe { &*Self::tower(curr) };
+                        if tower.key >= key {
+                            break;
+                        }
+                        let next = tx.read(&tower.next[lvl])?;
+                        pred_cell = &tower.next[lvl];
+                        curr = unmark(next);
+                    }
+                    preds[lvl] = pred_cell;
+                    succs[lvl] = curr;
+                    if lvl > 0 {
+                        // SAFETY: as above.
+                        pred_cell = self.step_down(unsafe { &*pred_cell }, lvl);
+                    }
+                }
+                if succs[0] == 0 {
+                    return Ok(false);
+                }
+                // SAFETY: as above.
+                let tower = unsafe { &*Self::tower(succs[0]) };
+                if tower.key != key {
+                    return Ok(false);
+                }
+                let mut nexts = [0 as Word; MAX_LEVEL];
+                for lvl in 0..tower.level {
+                    let own = tx.read(&tower.next[lvl])?;
+                    if is_marked(own) {
+                        return Ok(false);
+                    }
+                    nexts[lvl] = own;
+                }
+                for lvl in 0..tower.level {
+                    let pred = if lvl < head_lvl {
+                        preds[lvl]
+                    } else {
+                        &self.head[lvl] as *const S::Cell
+                    };
+                    // SAFETY: as above.
+                    if tx.read(unsafe { &*pred })? == succs[0] {
+                        tx.write(unsafe { &*pred }, unmark(nexts[lvl]))?;
+                    } else {
+                        return tx.restart();
+                    }
+                    tx.write(&tower.next[lvl], mark(nexts[lvl]))?;
+                }
+                unlinked = succs[0];
+                Ok(true)
+            })
+            .expect("remove transaction is never cancelled");
+        if removed && unlinked != 0 {
+            let pin = thread.epoch().pin();
+            // SAFETY: the committed transaction unlinked and marked the tower.
+            unsafe { pin.defer_drop(Self::tower(unlinked)) };
+        }
+        removed
+    }
+
+    // ------------------------------------------------------------------
+    // Full-mode lookup
+    // ------------------------------------------------------------------
+
+    fn contains_txn(&self, key: u64, thread: &mut S::Thread) -> bool {
+        thread
+            .atomic(|tx| {
+                let head_lvl = decode_int(tx.read(&self.level_hint)?).clamp(1, MAX_LEVEL);
+                let mut pred_cell: *const S::Cell = &self.head[head_lvl - 1];
+                let mut found: Word = 0;
+                for lvl in (0..head_lvl).rev() {
+                    // SAFETY: see `insert_txn`.
+                    let mut curr = unmark(tx.read(unsafe { &*pred_cell })?);
+                    loop {
+                        if curr == 0 {
+                            break;
+                        }
+                        // SAFETY: as above.
+                        let tower = unsafe { &*Self::tower(curr) };
+                        if tower.key >= key {
+                            if tower.key == key {
+                                found = curr;
+                            }
+                            break;
+                        }
+                        let next = tx.read(&tower.next[lvl])?;
+                        pred_cell = &tower.next[lvl];
+                        curr = unmark(next);
+                    }
+                    if lvl > 0 {
+                        // SAFETY: as above.
+                        pred_cell = self.step_down(unsafe { &*pred_cell }, lvl);
+                    }
+                }
+                if found == 0 {
+                    return Ok(false);
+                }
+                // SAFETY: as above.
+                let tower = unsafe { &*Self::tower(found) };
+                Ok(!is_marked(tx.read(&tower.next[0])?))
+            })
+            .expect("contains transaction is never cancelled")
+    }
+}
+
+impl<S: Stm> Drop for StmSkipList<S> {
+    fn drop(&mut self) {
+        // Exclusive access: free every remaining tower via level 0.
+        let mut curr = S::peek(&self.head[0]);
+        while unmark(curr) != 0 {
+            // SAFETY: towers were allocated with `Box::into_raw`; during drop
+            // nothing else references them.
+            let tower = unsafe { Box::from_raw(Self::tower(curr)) };
+            curr = S::peek(&tower.next[0]);
+        }
+    }
+}
+
+/// Geometric level distribution shared with the lock-free baseline so that
+/// both skip lists have identical expected shapes.
+fn lockfree_level() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0x853c_49e6_748f_ea9b) };
+    }
+    STATE.with(|s| {
+        let mut x = s.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        s.set(x);
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        ((bits.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectm::variants::{OrecFullG, OrecStm, TvarShortG, ValShort};
+    use spectm::Config;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn oracle_test<S: Stm + Clone>(stm: S, mode: ApiMode) {
+        let list = StmSkipList::new(&stm, mode);
+        let mut t = stm.register();
+        let mut oracle = BTreeSet::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2_000 {
+            let k = rng() % 200 + 1;
+            match rng() % 3 {
+                0 => assert_eq!(list.insert(k, &mut t), oracle.insert(k), "insert {k}"),
+                1 => assert_eq!(list.remove(k, &mut t), oracle.remove(&k), "remove {k}"),
+                _ => assert_eq!(list.contains(k, &mut t), oracle.contains(&k), "contains {k}"),
+            }
+        }
+        assert_eq!(
+            list.quiescent_snapshot(),
+            oracle.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn oracle_short_val() {
+        oracle_test(ValShort::new(), ApiMode::Short);
+    }
+
+    #[test]
+    fn oracle_short_tvar() {
+        oracle_test(TvarShortG::new(), ApiMode::Short);
+    }
+
+    #[test]
+    fn oracle_full_orec_global_and_local() {
+        oracle_test(OrecFullG::new(), ApiMode::Full);
+        oracle_test(OrecStm::with_config(Config::local()), ApiMode::Full);
+    }
+
+    #[test]
+    fn oracle_fine_orec() {
+        oracle_test(OrecFullG::new(), ApiMode::Fine);
+    }
+
+    #[test]
+    fn oracle_full_val() {
+        oracle_test(ValShort::new(), ApiMode::Full);
+    }
+
+    fn concurrent_disjoint<S: Stm + Clone>(stm: S, mode: ApiMode) {
+        let stm = Arc::new(stm);
+        let list = Arc::new(StmSkipList::new(&*stm, mode));
+        const THREADS: u64 = 4;
+        const RANGE: u64 = 250;
+        let mut joins = Vec::new();
+        for tid in 0..THREADS {
+            let stm = Arc::clone(&stm);
+            let list = Arc::clone(&list);
+            joins.push(std::thread::spawn(move || {
+                let mut t = stm.register();
+                let base = 1 + tid * RANGE;
+                for k in 0..RANGE {
+                    assert!(list.insert(base + k, &mut t));
+                }
+                for k in (0..RANGE).step_by(2) {
+                    assert!(list.remove(base + k, &mut t));
+                }
+                for k in 0..RANGE {
+                    assert_eq!(list.contains(base + k, &mut t), k % 2 == 1);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(
+            list.quiescent_snapshot().len(),
+            (THREADS * RANGE / 2) as usize
+        );
+    }
+
+    #[test]
+    fn concurrent_disjoint_val_short() {
+        concurrent_disjoint(ValShort::new(), ApiMode::Short);
+    }
+
+    #[test]
+    fn concurrent_disjoint_tvar_short() {
+        concurrent_disjoint(TvarShortG::new(), ApiMode::Short);
+    }
+
+    #[test]
+    fn concurrent_disjoint_orec_full() {
+        concurrent_disjoint(OrecFullG::new(), ApiMode::Full);
+    }
+
+    fn contended_churn<S: Stm + Clone>(stm: S, mode: ApiMode) {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let stm = Arc::new(stm);
+        let list = Arc::new(StmSkipList::new(&*stm, mode));
+        let balance: Arc<Vec<AtomicI64>> = Arc::new((0..48).map(|_| AtomicI64::new(0)).collect());
+        let mut joins = Vec::new();
+        for tid in 0..4u64 {
+            let stm = Arc::clone(&stm);
+            let list = Arc::clone(&list);
+            let balance = Arc::clone(&balance);
+            joins.push(std::thread::spawn(move || {
+                let mut t = stm.register();
+                let mut state = tid * 131 + 17;
+                let mut rng = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for _ in 0..2_500 {
+                    let k = rng() % 48 + 1;
+                    if rng() % 2 == 0 {
+                        if list.insert(k, &mut t) {
+                            balance[(k - 1) as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else if list.remove(k, &mut t) {
+                        balance[(k - 1) as usize].fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut t = stm.register();
+        for k in 1..=48u64 {
+            let bal = balance[(k - 1) as usize].load(std::sync::atomic::Ordering::Relaxed);
+            assert!(bal == 0 || bal == 1, "key {k} balance {bal}");
+            assert_eq!(list.contains(k, &mut t), bal == 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn contended_churn_val_short() {
+        contended_churn(ValShort::new(), ApiMode::Short);
+    }
+
+    #[test]
+    fn contended_churn_tvar_short() {
+        contended_churn(TvarShortG::new(), ApiMode::Short);
+    }
+
+    #[test]
+    fn contended_churn_orec_full() {
+        contended_churn(OrecFullG::new(), ApiMode::Full);
+    }
+
+    #[test]
+    fn tall_towers_use_the_fallback_path() {
+        // Insert enough keys that towers above the short cutoff certainly
+        // appear, exercising the ordinary-transaction fallback.
+        let stm = ValShort::new();
+        let list = StmSkipList::new(&stm, ApiMode::Short);
+        let mut t = stm.register();
+        for k in 1..=800u64 {
+            assert!(list.insert(k, &mut t));
+        }
+        for k in 1..=800u64 {
+            assert!(list.contains(k, &mut t));
+        }
+        let snapshot = list.quiescent_snapshot();
+        assert_eq!(snapshot.len(), 800);
+        assert!(snapshot.windows(2).all(|w| w[0] < w[1]), "keys stay sorted");
+        for k in (1..=800u64).step_by(3) {
+            assert!(list.remove(k, &mut t));
+        }
+        for k in 1..=800u64 {
+            assert_eq!(list.contains(k, &mut t), (k - 1) % 3 != 0);
+        }
+    }
+}

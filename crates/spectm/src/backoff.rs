@@ -1,0 +1,120 @@
+//! Contention management: randomized linear backoff.
+//!
+//! The paper uses a simple contention manager (the first phase of SwissTM's
+//! two-phase scheme): a transaction that detects a conflict aborts itself and
+//! waits for a randomized, linearly growing interval before restarting.
+
+use std::cell::Cell;
+
+/// Exponential cap on the number of spin iterations per wait.
+const MAX_WAIT_UNITS: u32 = 1 << 14;
+
+/// Per-thread backoff state used between transaction restarts.
+///
+/// Not shared between threads; embed one in each transaction descriptor or
+/// restart loop.
+///
+/// # Examples
+///
+/// ```
+/// let backoff = spectm::Backoff::new(42);
+/// for _attempt in 0..3 {
+///     // ... try an operation, it conflicts ...
+///     backoff.wait();
+/// }
+/// backoff.reset();
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    /// Consecutive failures since the last success.
+    failures: Cell<u32>,
+    /// xorshift PRNG state for randomizing the wait length.
+    rng: Cell<u64>,
+}
+
+impl Backoff {
+    /// Creates a backoff helper seeded from `seed` (use the thread id).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            failures: Cell::new(0),
+            rng: Cell::new(seed | 1),
+        }
+    }
+
+    /// Records a success, resetting the wait interval.
+    #[inline]
+    pub fn reset(&self) {
+        self.failures.set(0);
+    }
+
+    /// Number of consecutive failures recorded since the last [`reset`].
+    ///
+    /// [`reset`]: Backoff::reset
+    #[inline]
+    pub fn failures(&self) -> u32 {
+        self.failures.get()
+    }
+
+    #[inline]
+    fn next_rand(&self) -> u64 {
+        // xorshift64*: cheap, no shared state, good enough for jitter.
+        let mut x = self.rng.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Records a failure and spins for a randomized interval that grows
+    /// linearly with the number of consecutive failures.
+    pub fn wait(&self) {
+        let failures = self.failures.get().saturating_add(1);
+        self.failures.set(failures);
+        let ceiling = (failures.min(64) * 32).min(MAX_WAIT_UNITS) as u64;
+        let spins = self.next_rand() % (ceiling.max(1));
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        if failures > 16 {
+            // Under persistent contention also yield the time slice so that
+            // over-subscribed configurations (more threads than cores) make
+            // progress.
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_accumulate_and_reset() {
+        let b = Backoff::new(1);
+        assert_eq!(b.failures(), 0);
+        b.wait();
+        b.wait();
+        assert_eq!(b.failures(), 2);
+        b.reset();
+        assert_eq!(b.failures(), 0);
+    }
+
+    #[test]
+    fn rng_produces_distinct_values() {
+        let b = Backoff::new(7);
+        let a = b.next_rand();
+        let c = b.next_rand();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wait_terminates_quickly_for_low_failure_counts() {
+        let b = Backoff::new(3);
+        let start = std::time::Instant::now();
+        for _ in 0..100 {
+            b.wait();
+        }
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
+    }
+}

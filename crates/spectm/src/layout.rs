@@ -1,0 +1,228 @@
+//! Meta-data placement strategies for the versioned STM variants.
+//!
+//! The paper's Figure 3 shows three ways of organizing STM meta-data; this
+//! module implements the first two, which share the TL2-style versioned-orec
+//! machinery and differ only in *where* the orec lives:
+//!
+//! * [`OrecTableLayout`] — a global table of ownership records indexed by a
+//!   hash of the data address (Figure 3(a)).  Accessing a datum touches two
+//!   cache lines and distinct data words may *false-share* an orec.
+//! * [`TvarLayout`] — each transactional variable carries its own orec in the
+//!   adjacent word, 16-byte aligned so both live on one cache line
+//!   (Figure 3(b), following STM-Haskell's `TVar`).
+//!
+//! The third organization (one lock bit inside the data word, Figure 3(c)) is
+//! sufficiently different that it has a dedicated implementation in
+//! [`crate::val`].
+
+use std::sync::atomic::AtomicUsize;
+#[cfg(test)]
+use std::sync::atomic::Ordering;
+
+use crate::orec::Orec;
+use crate::word::{addr_of, Word};
+
+/// A meta-data placement strategy: maps transactional cells to orecs.
+pub trait Layout: Send + Sync + Sized + 'static {
+    /// The per-location cell type exposed to applications.
+    type Cell: Send + Sync;
+
+    /// Creates the layout's shared state (`orec_table_size` is only used by
+    /// the orec-table layout).
+    fn new(orec_table_size: usize) -> Self;
+
+    /// Creates a cell holding `initial`.
+    fn new_cell(initial: Word) -> Self::Cell;
+
+    /// The application data word of a cell.
+    fn data(cell: &Self::Cell) -> &AtomicUsize;
+
+    /// The ownership record guarding a cell.
+    fn orec<'a>(&'a self, cell: &'a Self::Cell) -> &'a Orec;
+
+    /// Short label used in variant names (`"orec"` or `"tvar"`).
+    fn label() -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Orec-table layout
+// ---------------------------------------------------------------------------
+
+/// The traditional layout: data words are bare, meta-data lives in a global
+/// hash-indexed table of ownership records.
+///
+/// The table is a packed array of one-word orecs, as in TL2: with on the
+/// order of a million slots, padding each to a cache line would waste tens of
+/// megabytes for little benefit, and the paper's point about this layout is
+/// precisely that *application* accesses touch a second, unrelated cache line.
+#[derive(Debug)]
+pub struct OrecTableLayout {
+    table: Box<[Orec]>,
+    mask: usize,
+}
+
+/// A bare transactional data word (orec-table layout).
+#[derive(Debug)]
+#[repr(transparent)]
+pub struct OrecCell {
+    data: AtomicUsize,
+}
+
+impl OrecTableLayout {
+    /// Maps a data address to its orec index.
+    ///
+    /// Fibonacci hashing of the address with the low alignment bits dropped,
+    /// as is conventional for word-based STMs.
+    #[inline]
+    fn index_of(&self, addr: usize) -> usize {
+        let h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 16) & self.mask
+    }
+
+    /// Number of slots in the table.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Returns the orec slot index used for a given cell (exposed so tests
+    /// can construct deliberate false-sharing scenarios).
+    pub fn slot_of(&self, cell: &OrecCell) -> usize {
+        self.index_of(addr_of(&cell.data))
+    }
+}
+
+impl Layout for OrecTableLayout {
+    type Cell = OrecCell;
+
+    fn new(orec_table_size: usize) -> Self {
+        let len = orec_table_size.next_power_of_two().max(2);
+        let mut table = Vec::with_capacity(len);
+        table.resize_with(len, Orec::default);
+        Self {
+            table: table.into_boxed_slice(),
+            mask: len - 1,
+        }
+    }
+
+    fn new_cell(initial: Word) -> Self::Cell {
+        OrecCell {
+            data: AtomicUsize::new(initial),
+        }
+    }
+
+    #[inline]
+    fn data(cell: &Self::Cell) -> &AtomicUsize {
+        &cell.data
+    }
+
+    #[inline]
+    fn orec<'a>(&'a self, cell: &'a Self::Cell) -> &'a Orec {
+        &self.table[self.index_of(addr_of(&cell.data))]
+    }
+
+    fn label() -> &'static str {
+        "orec"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TVar layout
+// ---------------------------------------------------------------------------
+
+/// The TVar layout: every cell carries its own orec on the same cache line.
+#[derive(Debug, Default)]
+pub struct TvarLayout;
+
+/// A transactional variable: one application word plus its ownership record,
+/// aligned so that both always share a cache line.
+#[derive(Debug)]
+#[repr(C, align(16))]
+pub struct TvarCell {
+    data: AtomicUsize,
+    orec: Orec,
+}
+
+impl Layout for TvarLayout {
+    type Cell = TvarCell;
+
+    fn new(_orec_table_size: usize) -> Self {
+        Self
+    }
+
+    fn new_cell(initial: Word) -> Self::Cell {
+        TvarCell {
+            data: AtomicUsize::new(initial),
+            orec: Orec::new(),
+        }
+    }
+
+    #[inline]
+    fn data(cell: &Self::Cell) -> &AtomicUsize {
+        &cell.data
+    }
+
+    #[inline]
+    fn orec<'a>(&'a self, cell: &'a Self::Cell) -> &'a Orec {
+        &cell.orec
+    }
+
+    fn label() -> &'static str {
+        "tvar"
+    }
+}
+
+/// Reads a cell's data word directly (non-transactionally).
+#[cfg(test)]
+pub(crate) fn peek_data<L: Layout>(cell: &L::Cell) -> Word {
+    L::data(cell).load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orec_table_size_rounds_to_power_of_two() {
+        let l = OrecTableLayout::new(1000);
+        assert_eq!(l.table_len(), 1024);
+    }
+
+    #[test]
+    fn orec_table_maps_deterministically() {
+        let l = OrecTableLayout::new(1 << 10);
+        let c = OrecTableLayout::new_cell(5);
+        let a = l.orec(&c) as *const Orec;
+        let b = l.orec(&c) as *const Orec;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_cells_usually_map_to_distinct_orecs() {
+        let l = OrecTableLayout::new(1 << 16);
+        let cells: Vec<_> = (0..64).map(|i| OrecTableLayout::new_cell(i)).collect();
+        let mut slots: Vec<_> = cells.iter().map(|c| l.slot_of(c)).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        // With a 64Ki-entry table and 64 cells, collisions should be rare.
+        assert!(slots.len() >= 60, "too many orec collisions: {}", slots.len());
+    }
+
+    #[test]
+    fn tvar_cell_is_one_cache_line_and_16_aligned() {
+        assert_eq!(std::mem::align_of::<TvarCell>(), 16);
+        assert!(std::mem::size_of::<TvarCell>() <= 64);
+        let c = TvarLayout::new_cell(9);
+        assert_eq!(peek_data::<TvarLayout>(&c), 9);
+    }
+
+    #[test]
+    fn cell_data_is_readable() {
+        let c = OrecTableLayout::new_cell(1234);
+        assert_eq!(peek_data::<OrecTableLayout>(&c), 1234);
+    }
+
+    #[test]
+    fn orec_table_entries_are_one_word() {
+        assert_eq!(std::mem::size_of::<Orec>(), std::mem::size_of::<usize>());
+    }
+}

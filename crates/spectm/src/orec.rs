@@ -1,0 +1,199 @@
+//! Ownership records ("orecs").
+//!
+//! An orec is one word of STM meta-data guarding one or more application data
+//! words.  The word packs a lock bit with either a version number (when
+//! unlocked) or a pointer to the owning transaction's descriptor (when
+//! locked), exactly as in TL2-style STMs and in the paper's Figure 3:
+//!
+//! ```text
+//!   unlocked:  [ version .......................... | 0 ]
+//!   locked:    [ owner descriptor address >> 1 ..... | 1 ]
+//! ```
+//!
+//! Versions are drawn either from the global version clock (`*-g` variants)
+//! or are private to the orec (`*-l` variants); the orec itself does not care.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::word::Word;
+
+const LOCK_BIT: Word = 1;
+
+/// Snapshot of an orec's state at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrecState {
+    /// The orec is unlocked and carries this version number.
+    Unlocked(Word),
+    /// The orec is locked by the transaction descriptor at this address.
+    Locked(usize),
+}
+
+/// One ownership record.
+///
+/// The in-memory representation is a single `AtomicUsize`; in the orec-table
+/// layout records are additionally padded to a cache line to avoid false
+/// sharing between neighbouring table slots.
+#[derive(Debug)]
+#[repr(transparent)]
+pub struct Orec {
+    word: AtomicUsize,
+}
+
+impl Default for Orec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Orec {
+    /// Creates an unlocked orec with version 0.
+    pub const fn new() -> Self {
+        Self {
+            word: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates an unlocked orec with the given initial version.
+    pub const fn with_version(version: Word) -> Self {
+        Self {
+            word: AtomicUsize::new(version << 1),
+        }
+    }
+
+    /// Reads the current state.
+    #[inline]
+    pub fn state(&self, order: Ordering) -> OrecState {
+        Self::decode(self.word.load(order))
+    }
+
+    /// Decodes a raw orec word.
+    #[inline]
+    pub fn decode(raw: Word) -> OrecState {
+        if raw & LOCK_BIT == 0 {
+            OrecState::Unlocked(raw >> 1)
+        } else {
+            OrecState::Locked(raw & !LOCK_BIT)
+        }
+    }
+
+    /// Loads the raw word (useful for double-checked read protocols).
+    #[inline]
+    pub fn raw(&self, order: Ordering) -> Word {
+        self.word.load(order)
+    }
+
+    /// Returns the version if `raw` encodes an unlocked orec.
+    #[inline]
+    pub fn version_of(raw: Word) -> Option<Word> {
+        if raw & LOCK_BIT == 0 {
+            Some(raw >> 1)
+        } else {
+            None
+        }
+    }
+
+    /// Returns whether `raw` encodes a locked orec.
+    #[inline]
+    pub fn is_locked_raw(raw: Word) -> bool {
+        raw & LOCK_BIT != 0
+    }
+
+    /// Attempts to lock the orec for `owner` (a descriptor address), given the
+    /// raw word previously observed.
+    ///
+    /// Returns `true` on success.  Fails if the orec changed since
+    /// `observed_raw` was read (different version, or already locked).
+    #[inline]
+    pub fn try_lock(&self, observed_raw: Word, owner: usize) -> bool {
+        if Self::is_locked_raw(observed_raw) {
+            return false;
+        }
+        debug_assert_eq!(owner & LOCK_BIT, 0, "descriptor addresses are aligned");
+        self.word
+            .compare_exchange(
+                observed_raw,
+                owner | LOCK_BIT,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Returns whether the orec is currently locked by `owner`.
+    #[inline]
+    pub fn is_locked_by(&self, owner: usize) -> bool {
+        self.word.load(Ordering::Relaxed) == owner | LOCK_BIT
+    }
+
+    /// Releases a lock held by the caller, installing `new_version`.
+    ///
+    /// The caller must own the lock (checked in debug builds).
+    #[inline]
+    pub fn unlock_to_version(&self, owner: usize, new_version: Word) {
+        debug_assert!(
+            self.is_locked_by(owner),
+            "unlock_to_version by a non-owner"
+        );
+        let _ = owner;
+        self.word.store(new_version << 1, Ordering::Release);
+    }
+
+    /// Reads the version, assuming (and debug-asserting) the orec is unlocked.
+    #[inline]
+    pub fn version(&self, order: Ordering) -> Word {
+        let raw = self.word.load(order);
+        debug_assert!(!Self::is_locked_raw(raw));
+        raw >> 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_orec_is_unlocked_version_zero() {
+        let o = Orec::new();
+        assert_eq!(o.state(Ordering::Relaxed), OrecState::Unlocked(0));
+    }
+
+    #[test]
+    fn lock_unlock_roundtrip() {
+        let o = Orec::with_version(7);
+        let raw = o.raw(Ordering::Relaxed);
+        assert_eq!(Orec::version_of(raw), Some(7));
+        let owner = 0x1000usize;
+        assert!(o.try_lock(raw, owner));
+        assert!(o.is_locked_by(owner));
+        assert_eq!(Orec::version_of(o.raw(Ordering::Relaxed)), None);
+        o.unlock_to_version(owner, 8);
+        assert_eq!(o.state(Ordering::Relaxed), OrecState::Unlocked(8));
+    }
+
+    #[test]
+    fn lock_fails_on_stale_observation() {
+        let o = Orec::with_version(3);
+        let stale = Orec::with_version(2).raw(Ordering::Relaxed);
+        assert!(!o.try_lock(stale, 0x2000));
+        assert_eq!(o.state(Ordering::Relaxed), OrecState::Unlocked(3));
+    }
+
+    #[test]
+    fn lock_fails_when_already_locked() {
+        let o = Orec::new();
+        let raw = o.raw(Ordering::Relaxed);
+        assert!(o.try_lock(raw, 0x10));
+        let raw2 = o.raw(Ordering::Relaxed);
+        assert!(!o.try_lock(raw2, 0x20));
+        assert!(o.is_locked_by(0x10));
+    }
+
+    #[test]
+    fn decode_locked_recovers_owner() {
+        let owner = 0xabcd_ef00_usize;
+        match Orec::decode(owner | 1) {
+            OrecState::Locked(a) => assert_eq!(a, owner),
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Transaction statistics.
+//!
+//! Each thread keeps its own counters (no shared cache lines on the fast
+//! path); the harness aggregates snapshots after a run to report commit and
+//! abort rates alongside throughput.
+
+use std::ops::AddAssign;
+
+/// Per-thread transaction counters.
+///
+/// All counters are plain `u64`s updated by the owning thread only.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Full transactions started (including restarts).
+    pub full_starts: u64,
+    /// Full transactions committed.
+    pub full_commits: u64,
+    /// Full transactions aborted because of a conflict.
+    pub full_aborts: u64,
+    /// Full transactions cancelled explicitly by the user.
+    pub full_cancels: u64,
+    /// Transactional reads performed by full transactions.
+    pub full_reads: u64,
+    /// Transactional writes performed by full transactions.
+    pub full_writes: u64,
+    /// Timebase extensions that succeeded (global-clock mode only).
+    pub extensions: u64,
+    /// Short read-write transactions started.
+    pub short_rw_starts: u64,
+    /// Short read-write transactions committed.
+    pub short_rw_commits: u64,
+    /// Short read-write transactions that failed to acquire a location.
+    pub short_rw_conflicts: u64,
+    /// Short read-only transactions validated successfully.
+    pub short_ro_commits: u64,
+    /// Short read-only transactions that failed validation.
+    pub short_ro_conflicts: u64,
+    /// Single-location transactions (read, write or CAS).
+    pub singles: u64,
+}
+
+impl Stats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a copyable snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            full_starts: self.full_starts,
+            full_commits: self.full_commits,
+            full_aborts: self.full_aborts,
+            full_cancels: self.full_cancels,
+            full_reads: self.full_reads,
+            full_writes: self.full_writes,
+            extensions: self.extensions,
+            short_rw_starts: self.short_rw_starts,
+            short_rw_commits: self.short_rw_commits,
+            short_rw_conflicts: self.short_rw_conflicts,
+            short_ro_commits: self.short_ro_commits,
+            short_ro_conflicts: self.short_ro_conflicts,
+            singles: self.singles,
+        }
+    }
+}
+
+/// An owned, aggregatable snapshot of [`Stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`Stats::full_starts`].
+    pub full_starts: u64,
+    /// See [`Stats::full_commits`].
+    pub full_commits: u64,
+    /// See [`Stats::full_aborts`].
+    pub full_aborts: u64,
+    /// See [`Stats::full_cancels`].
+    pub full_cancels: u64,
+    /// See [`Stats::full_reads`].
+    pub full_reads: u64,
+    /// See [`Stats::full_writes`].
+    pub full_writes: u64,
+    /// See [`Stats::extensions`].
+    pub extensions: u64,
+    /// See [`Stats::short_rw_starts`].
+    pub short_rw_starts: u64,
+    /// See [`Stats::short_rw_commits`].
+    pub short_rw_commits: u64,
+    /// See [`Stats::short_rw_conflicts`].
+    pub short_rw_conflicts: u64,
+    /// See [`Stats::short_ro_commits`].
+    pub short_ro_commits: u64,
+    /// See [`Stats::short_ro_conflicts`].
+    pub short_ro_conflicts: u64,
+    /// See [`Stats::singles`].
+    pub singles: u64,
+}
+
+impl StatsSnapshot {
+    /// Total commits across full and short transactions.
+    pub fn total_commits(&self) -> u64 {
+        self.full_commits + self.short_rw_commits + self.short_ro_commits + self.singles
+    }
+
+    /// Total conflicts/aborts across full and short transactions.
+    pub fn total_aborts(&self) -> u64 {
+        self.full_aborts + self.short_rw_conflicts + self.short_ro_conflicts
+    }
+
+    /// Abort ratio in `[0, 1]`; zero when nothing ran.
+    pub fn abort_ratio(&self) -> f64 {
+        let attempts = self.total_commits() + self.total_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / attempts as f64
+        }
+    }
+}
+
+impl AddAssign for StatsSnapshot {
+    fn add_assign(&mut self, rhs: Self) {
+        self.full_starts += rhs.full_starts;
+        self.full_commits += rhs.full_commits;
+        self.full_aborts += rhs.full_aborts;
+        self.full_cancels += rhs.full_cancels;
+        self.full_reads += rhs.full_reads;
+        self.full_writes += rhs.full_writes;
+        self.extensions += rhs.extensions;
+        self.short_rw_starts += rhs.short_rw_starts;
+        self.short_rw_commits += rhs.short_rw_commits;
+        self.short_rw_conflicts += rhs.short_rw_conflicts;
+        self.short_ro_commits += rhs.short_ro_commits;
+        self.short_ro_conflicts += rhs.short_ro_conflicts;
+        self.singles += rhs.singles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let mut s = Stats::new();
+        s.full_commits = 3;
+        s.short_rw_commits = 2;
+        let snap = s.snapshot();
+        assert_eq!(snap.full_commits, 3);
+        assert_eq!(snap.total_commits(), 5);
+    }
+
+    #[test]
+    fn aggregation_adds_fields() {
+        let mut a = StatsSnapshot {
+            full_commits: 1,
+            full_aborts: 1,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            full_commits: 2,
+            short_rw_conflicts: 4,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.full_commits, 3);
+        assert_eq!(a.total_aborts(), 5);
+    }
+
+    #[test]
+    fn abort_ratio_handles_zero() {
+        let s = StatsSnapshot::default();
+        assert_eq!(s.abort_ratio(), 0.0);
+        let s = StatsSnapshot {
+            full_commits: 1,
+            full_aborts: 1,
+            ..Default::default()
+        };
+        assert!((s.abort_ratio() - 0.5).abs() < 1e-9);
+    }
+}

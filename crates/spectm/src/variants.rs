@@ -1,0 +1,61 @@
+//! Convenient names for the points of the paper's design space.
+//!
+//! The paper names variants `<layout>-<api>-<clock>`:
+//!
+//! * layout ∈ {`orec`, `tvar`, `val`} — where the STM meta-data lives;
+//! * api ∈ {`full`, `short`} — whether the data structure uses the
+//!   traditional interface or the specialized short-transaction interface;
+//! * clock ∈ {`g`, `l`} — global version clock vs per-orec (local) versions.
+//!
+//! The *layout* and *clock* are properties of the STM instance (its type and
+//! its [`crate::Config`]); the *api* is a property of how the data structure
+//! uses that instance.  The aliases below therefore map each layout to its
+//! type, and the `full`/`short` aliases exist purely for readability in
+//! examples and benchmarks — e.g. [`TvarShortG`] and [`TvarFullG`] are the
+//! same type, instantiated with the same configuration, but the benchmarks
+//! drive them through different APIs.
+
+use crate::layout::{OrecTableLayout, TvarLayout};
+use crate::versioned::VersionedStm;
+
+/// STM with a hash-indexed table of ownership records (Figure 3(a)).
+pub type OrecStm = VersionedStm<OrecTableLayout>;
+
+/// STM with per-data-item ownership records on the same cache line
+/// (Figure 3(b)).
+pub type TvarStm = VersionedStm<TvarLayout>;
+
+/// The paper's BaseTM: orec table, traditional API, global version clock.
+pub type OrecFullG = OrecStm;
+
+/// Orec table driven through the short-transaction API, global clock.
+pub type OrecShortG = OrecStm;
+
+/// TVar layout, traditional API, global clock.
+pub type TvarFullG = TvarStm;
+
+/// TVar layout driven through the short-transaction API, global clock.
+pub type TvarShortG = TvarStm;
+
+/// Value-based layout, traditional (NOrec-style) API.
+pub type ValFull = crate::val::ValStm;
+
+/// Value-based layout driven through the short-transaction API — the paper's
+/// fastest variant.
+pub type ValShort = crate::val::ValStm;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Stm;
+    use crate::config::Config;
+
+    #[test]
+    fn aliases_build_and_label() {
+        assert_eq!(OrecFullG::new().label(), "orec-g");
+        assert_eq!(TvarShortG::new().label(), "tvar-g");
+        assert_eq!(ValShort::new().label(), "val");
+        assert_eq!(OrecStm::with_config(Config::local()).label(), "orec-l");
+        assert_eq!(TvarStm::with_config(Config::local()).label(), "tvar-l");
+    }
+}

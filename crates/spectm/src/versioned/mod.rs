@@ -1,0 +1,365 @@
+//! The versioned-orec STM engine shared by the `orec-*` and `tvar-*` variants.
+//!
+//! The engine implements BaseTM (the paper's traditional STM: TL2-style
+//! versioned ownership records, commit-time locking, invisible reads,
+//! deferred updates, timebase extension, hash-based write sets) *and* the
+//! specialized short-transaction interface of Section 2.2 over the same
+//! meta-data, so short and full transactions interoperate freely.
+//!
+//! The engine is generic over the [`Layout`], which decides whether orecs
+//! live in a global table ([`crate::layout::OrecTableLayout`], the `orec-*`
+//! variants) or next to each datum ([`crate::layout::TvarLayout`], the
+//! `tvar-*` variants).
+
+mod full;
+mod short;
+pub(crate) mod writeset;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::api::{Stm, StmThread, TxResult};
+use crate::backoff::Backoff;
+use crate::clock::{ClockMode, GlobalClock};
+use crate::config::Config;
+use crate::layout::Layout;
+use crate::orec::Orec;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::word::Word;
+use crate::MAX_SHORT;
+
+use writeset::WriteSet;
+
+/// Shared state of a versioned STM instance.
+#[derive(Debug)]
+pub(crate) struct VersionedInner<L: Layout> {
+    pub(crate) layout: L,
+    pub(crate) clock: GlobalClock,
+    pub(crate) config: Config,
+    pub(crate) collector: txepoch::Collector,
+    pub(crate) thread_seq: AtomicUsize,
+}
+
+/// An STM instance using versioned ownership records.
+///
+/// Cloning is cheap (the shared state is reference counted); clones refer to
+/// the same transactional memory.
+#[derive(Debug)]
+pub struct VersionedStm<L: Layout> {
+    pub(crate) inner: Arc<VersionedInner<L>>,
+}
+
+impl<L: Layout> Clone for VersionedStm<L> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// One entry of a short read-write transaction's inline location set.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShortRwEntry {
+    pub(crate) data: *const AtomicUsize,
+    pub(crate) orec: *const Orec,
+    /// Orec word observed when ownership was acquired (restored on abort).
+    pub(crate) old_orec_raw: Word,
+    /// Whether this entry acquired the orec (false when an earlier entry of
+    /// the same transaction already owns it, e.g. under orec-table sharing).
+    pub(crate) locked_here: bool,
+}
+
+impl Default for ShortRwEntry {
+    fn default() -> Self {
+        Self {
+            data: std::ptr::null(),
+            orec: std::ptr::null(),
+            old_orec_raw: 0,
+            locked_here: false,
+        }
+    }
+}
+
+/// One entry of a short read-only transaction's inline location set.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShortRoEntry {
+    pub(crate) data: *const AtomicUsize,
+    pub(crate) orec: *const Orec,
+    /// Version observed by the read.
+    pub(crate) version: Word,
+    /// Set once the location has been upgraded into the read-write set.
+    pub(crate) upgraded: bool,
+}
+
+impl Default for ShortRoEntry {
+    fn default() -> Self {
+        Self {
+            data: std::ptr::null(),
+            orec: std::ptr::null(),
+            version: 0,
+            upgraded: false,
+        }
+    }
+}
+
+/// Heap-allocated block whose address identifies the owning thread in locked
+/// orecs.  Boxed so the address is stable even though the thread handle
+/// itself may move.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct Descriptor {
+    /// Diagnostic thread id.
+    pub(crate) id: usize,
+}
+
+/// A per-thread handle onto a [`VersionedStm`].
+pub struct VersionedThread<L: Layout> {
+    pub(crate) stm: VersionedStm<L>,
+    pub(crate) descriptor: Box<Descriptor>,
+    pub(crate) epoch: txepoch::LocalHandle,
+    pub(crate) backoff: Backoff,
+    pub(crate) stats: Stats,
+
+    // ---- full-transaction state ----
+    pub(crate) in_tx: bool,
+    pub(crate) start_ts: Word,
+    pub(crate) read_set: Vec<(*const Orec, Word)>,
+    pub(crate) write_set: WriteSet,
+
+    // ---- short-transaction state ----
+    pub(crate) rw_entries: [ShortRwEntry; MAX_SHORT],
+    pub(crate) rw_count: usize,
+    pub(crate) rw_valid: bool,
+    pub(crate) ro_entries: [ShortRoEntry; MAX_SHORT],
+    pub(crate) ro_count: usize,
+    pub(crate) ro_valid: bool,
+    pub(crate) ro_start_ts: Word,
+}
+
+impl<L: Layout> VersionedThread<L> {
+    /// The descriptor address used to mark orecs locked by this thread.
+    #[inline]
+    pub(crate) fn owner(&self) -> usize {
+        &*self.descriptor as *const Descriptor as usize
+    }
+
+    #[inline]
+    pub(crate) fn clock_mode(&self) -> ClockMode {
+        self.stm.inner.config.clock
+    }
+
+    #[inline]
+    pub(crate) fn layout(&self) -> &L {
+        &self.stm.inner.layout
+    }
+
+    #[inline]
+    pub(crate) fn clock(&self) -> &GlobalClock {
+        &self.stm.inner.clock
+    }
+}
+
+impl<L: Layout> Stm for VersionedStm<L> {
+    type Cell = L::Cell;
+    type Thread = VersionedThread<L>;
+
+    fn with_config(config: Config) -> Self {
+        Self {
+            inner: Arc::new(VersionedInner {
+                layout: L::new(config.orec_table_size),
+                clock: GlobalClock::new(),
+                config,
+                collector: txepoch::Collector::new(),
+                thread_seq: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    fn config(&self) -> &Config {
+        &self.inner.config
+    }
+
+    fn register(&self) -> Self::Thread {
+        let id = self.inner.thread_seq.fetch_add(1, Ordering::Relaxed);
+        VersionedThread {
+            stm: self.clone(),
+            descriptor: Box::new(Descriptor { id }),
+            epoch: self.inner.collector.register(),
+            backoff: Backoff::new(id as u64 + 1),
+            stats: Stats::new(),
+            in_tx: false,
+            start_ts: 0,
+            read_set: Vec::with_capacity(64),
+            write_set: WriteSet::new(self.inner.config.write_set),
+            rw_entries: [ShortRwEntry::default(); MAX_SHORT],
+            rw_count: 0,
+            rw_valid: true,
+            ro_entries: [ShortRoEntry::default(); MAX_SHORT],
+            ro_count: 0,
+            ro_valid: true,
+            ro_start_ts: 0,
+        }
+    }
+
+    fn new_cell(&self, initial: Word) -> Self::Cell {
+        L::new_cell(initial)
+    }
+
+    fn peek(cell: &Self::Cell) -> Word {
+        L::data(cell).load(Ordering::Acquire)
+    }
+
+    fn poke(cell: &Self::Cell, value: Word) {
+        L::data(cell).store(value, Ordering::Release);
+    }
+
+    fn label(&self) -> String {
+        let clock = match self.inner.config.clock {
+            ClockMode::Global => "g",
+            ClockMode::Local => "l",
+        };
+        format!("{}-{}", L::label(), clock)
+    }
+
+    fn collector(&self) -> &txepoch::Collector {
+        &self.inner.collector
+    }
+}
+
+impl<L: Layout> StmThread for VersionedThread<L> {
+    type Stm = VersionedStm<L>;
+
+    fn epoch(&self) -> &txepoch::LocalHandle {
+        &self.epoch
+    }
+
+    fn backoff(&self) -> &Backoff {
+        &self.backoff
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn stm(&self) -> &Self::Stm {
+        &self.stm
+    }
+
+    fn single_read(&mut self, cell: &L::Cell) -> Word {
+        self.do_single_read(cell)
+    }
+
+    fn single_write(&mut self, cell: &L::Cell, value: Word) {
+        self.do_single_write(cell, value);
+    }
+
+    fn single_cas(&mut self, cell: &L::Cell, expected: Word, new: Word) -> Word {
+        self.do_single_cas(cell, expected, new)
+    }
+
+    fn rw_read(&mut self, idx: usize, cell: &L::Cell) -> Word {
+        self.do_rw_read(idx, cell)
+    }
+
+    fn rw_is_valid(&mut self, n: usize) -> bool {
+        self.do_rw_is_valid(n)
+    }
+
+    fn rw_commit(&mut self, n: usize, values: &[Word]) -> bool {
+        self.do_rw_commit(n, values)
+    }
+
+    fn rw_abort(&mut self, n: usize) {
+        self.do_rw_abort(n);
+    }
+
+    fn ro_read(&mut self, idx: usize, cell: &L::Cell) -> Word {
+        self.do_ro_read(idx, cell)
+    }
+
+    fn ro_is_valid(&mut self, n: usize) -> bool {
+        self.do_ro_is_valid(n)
+    }
+
+    fn upgrade_ro_to_rw(&mut self, ro_idx: usize, rw_idx: usize) -> bool {
+        self.do_upgrade(ro_idx, rw_idx)
+    }
+
+    fn ro_rw_commit(&mut self, n_ro: usize, n_rw: usize, values: &[Word]) -> bool {
+        self.do_ro_rw_commit(n_ro, n_rw, values)
+    }
+
+    fn full_begin(&mut self) {
+        self.do_full_begin();
+    }
+
+    fn full_read(&mut self, cell: &L::Cell) -> TxResult<Word> {
+        self.do_full_read(cell)
+    }
+
+    fn full_write(&mut self, cell: &L::Cell, value: Word) -> TxResult<()> {
+        self.do_full_write(cell, value)
+    }
+
+    fn full_try_commit(&mut self) -> bool {
+        self.do_full_commit()
+    }
+
+    fn full_rollback(&mut self) {
+        self.do_full_rollback();
+    }
+}
+
+// SAFETY: the raw pointers held in the thread's transaction records refer to
+// cells protected by the epoch collector and are only dereferenced while the
+// owning thread is pinned; the handle is still confined to one thread at a
+// time (it is not `Sync`), and moving it between threads between transactions
+// is sound because no transaction is in flight at that point.  We nevertheless
+// do NOT implement `Send`: the embedded `txepoch::LocalHandle` is `!Send`, so
+// the compiler already prevents cross-thread moves, which matches the paper's
+// "descriptor per thread, allocated at thread start-up" model.
+impl<L: Layout> std::fmt::Debug for VersionedThread<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedThread")
+            .field("id", &self.descriptor.id)
+            .field("label", &self.stm.label())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{OrecTableLayout, TvarLayout};
+
+    #[test]
+    fn labels_follow_paper_convention() {
+        let orec_g = VersionedStm::<OrecTableLayout>::with_config(Config::global());
+        assert_eq!(orec_g.label(), "orec-g");
+        let tvar_l = VersionedStm::<TvarLayout>::with_config(Config::local());
+        assert_eq!(tvar_l.label(), "tvar-l");
+    }
+
+    #[test]
+    fn registration_assigns_distinct_descriptors() {
+        let stm = VersionedStm::<TvarLayout>::new();
+        let t1 = stm.register();
+        let t2 = stm.register();
+        assert_ne!(t1.owner(), t2.owner());
+        assert_ne!(t1.descriptor.id, t2.descriptor.id);
+    }
+
+    #[test]
+    fn peek_reads_initial_value() {
+        let stm = VersionedStm::<OrecTableLayout>::new();
+        let c = stm.new_cell(77);
+        assert_eq!(VersionedStm::<OrecTableLayout>::peek(&c), 77);
+    }
+
+    #[test]
+    fn owner_addresses_are_even() {
+        let stm = VersionedStm::<TvarLayout>::new();
+        let t = stm.register();
+        assert_eq!(t.owner() & 1, 0);
+    }
+}

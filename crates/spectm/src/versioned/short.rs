@@ -1,0 +1,612 @@
+//! Specialized short transactions over versioned orecs (Section 2.2).
+//!
+//! Short read-write transactions acquire ownership eagerly at the time of the
+//! read (encounter-time locking), keep their location set in a fixed-size
+//! inline array, defer all stores to the commit call, and therefore need no
+//! update log, no read-after-write checks and no commit-time read validation.
+//! Short read-only transactions use invisible reads validated against the
+//! version clock.  Single-location transactions avoid the transaction record
+//! entirely.
+
+use std::sync::atomic::Ordering;
+
+use crate::clock::ClockMode;
+use crate::config::ShortLocking;
+use crate::layout::Layout;
+use crate::orec::Orec;
+use crate::word::Word;
+use crate::MAX_SHORT;
+
+use super::{ShortRoEntry, ShortRwEntry, VersionedThread};
+
+impl<L: Layout> VersionedThread<L> {
+    // ------------------------------------------------------------------
+    // Single-location transactions
+    // ------------------------------------------------------------------
+
+    pub(crate) fn do_single_read(&mut self, cell: &L::Cell) -> Word {
+        self.stats.singles += 1;
+        let orec = self.layout().orec(cell);
+        let data = L::data(cell);
+        loop {
+            let o1 = orec.raw(Ordering::Acquire);
+            if Orec::is_locked_raw(o1) {
+                std::thread::yield_now();
+                continue;
+            }
+            let value = data.load(Ordering::Acquire);
+            let o2 = orec.raw(Ordering::Acquire);
+            if o1 == o2 {
+                return value;
+            }
+        }
+    }
+
+    pub(crate) fn do_single_write(&mut self, cell: &L::Cell, value: Word) {
+        self.stats.singles += 1;
+        let owner = self.owner();
+        let orec = self.layout().orec(cell);
+        let data = L::data(cell);
+        loop {
+            let raw = orec.raw(Ordering::Acquire);
+            if Orec::is_locked_raw(raw) || !orec.try_lock(raw, owner) {
+                std::thread::yield_now();
+                continue;
+            }
+            data.store(value, Ordering::Release);
+            let new_version = match self.clock_mode() {
+                ClockMode::Global => self.clock().tick(),
+                ClockMode::Local => (raw >> 1) + 1,
+            };
+            orec.unlock_to_version(owner, new_version);
+            return;
+        }
+    }
+
+    pub(crate) fn do_single_cas(&mut self, cell: &L::Cell, expected: Word, new: Word) -> Word {
+        self.stats.singles += 1;
+        let owner = self.owner();
+        let orec = self.layout().orec(cell);
+        let data = L::data(cell);
+        loop {
+            let raw = orec.raw(Ordering::Acquire);
+            if Orec::is_locked_raw(raw) || !orec.try_lock(raw, owner) {
+                std::thread::yield_now();
+                continue;
+            }
+            let current = data.load(Ordering::Acquire);
+            if current == expected {
+                data.store(new, Ordering::Release);
+                let new_version = match self.clock_mode() {
+                    ClockMode::Global => self.clock().tick(),
+                    ClockMode::Local => (raw >> 1) + 1,
+                };
+                orec.unlock_to_version(owner, new_version);
+            } else {
+                // No update: restore the original version.
+                orec.unlock_to_version(owner, raw >> 1);
+            }
+            return current;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Short read-write transactions
+    // ------------------------------------------------------------------
+
+    fn release_rw_locks(&mut self, restore_version: bool) {
+        let owner = self.owner();
+        for i in 0..self.rw_count {
+            let e = self.rw_entries[i];
+            if !e.locked_here {
+                continue;
+            }
+            // SAFETY: orecs referenced by in-flight short transactions live in
+            // the orec table or in cells protected by the caller's epoch pin.
+            let orec = unsafe { &*e.orec };
+            let _ = restore_version;
+            orec.unlock_to_version(owner, e.old_orec_raw >> 1);
+            self.rw_entries[i].locked_here = false;
+        }
+    }
+
+    pub(crate) fn do_rw_read(&mut self, idx: usize, cell: &L::Cell) -> Word {
+        assert!(idx < MAX_SHORT, "short transaction index out of range");
+        if idx == 0 {
+            self.rw_count = 0;
+            self.rw_valid = true;
+            self.stats.short_rw_starts += 1;
+        }
+        debug_assert_eq!(idx, self.rw_count, "short RW indices must be sequential");
+        if !self.rw_valid {
+            return 0;
+        }
+        let data = L::data(cell) as *const _;
+        let orec_ref = self.layout().orec(cell);
+        let orec = orec_ref as *const Orec;
+
+        // Under the orec-table layout two distinct cells may share an orec; if
+        // an earlier access of this transaction already owns it, do not try to
+        // acquire it again.
+        let already_owned = self.rw_entries[..self.rw_count]
+            .iter()
+            .any(|e| e.orec == orec && e.locked_here);
+
+        match self.stm.inner.config.short_locking {
+            ShortLocking::Encounter => {
+                if already_owned {
+                    self.rw_entries[self.rw_count] = ShortRwEntry {
+                        data,
+                        orec,
+                        old_orec_raw: 0,
+                        locked_here: false,
+                    };
+                } else {
+                    let raw = orec_ref.raw(Ordering::Acquire);
+                    // Deadlock is avoided conservatively: abort if the lock is
+                    // not immediately free (Section 2.4).
+                    if Orec::is_locked_raw(raw)
+                        || !orec_ref.try_lock(raw, self.owner())
+                    {
+                        self.stats.short_rw_conflicts += 1;
+                        self.rw_valid = false;
+                        self.release_rw_locks(true);
+                        self.rw_count = 0;
+                        return 0;
+                    }
+                    self.rw_entries[self.rw_count] = ShortRwEntry {
+                        data,
+                        orec,
+                        old_orec_raw: raw,
+                        locked_here: true,
+                    };
+                }
+            }
+            ShortLocking::Commit => {
+                // Ablation mode: record the observed version; locks are taken
+                // by `rw_commit`.
+                let raw = orec_ref.raw(Ordering::Acquire);
+                if Orec::is_locked_raw(raw) {
+                    self.stats.short_rw_conflicts += 1;
+                    self.rw_valid = false;
+                    self.rw_count = 0;
+                    return 0;
+                }
+                self.rw_entries[self.rw_count] = ShortRwEntry {
+                    data,
+                    orec,
+                    old_orec_raw: raw,
+                    locked_here: false,
+                };
+            }
+        }
+        self.rw_count += 1;
+        // SAFETY: `data` points into `cell`, which the caller keeps alive.
+        unsafe { (*data).load(Ordering::Acquire) }
+    }
+
+    pub(crate) fn do_rw_is_valid(&mut self, n: usize) -> bool {
+        debug_assert!(n <= MAX_SHORT);
+        self.rw_valid && self.rw_count >= n
+    }
+
+    pub(crate) fn do_rw_commit(&mut self, n: usize, values: &[Word]) -> bool {
+        assert!(values.len() >= n, "missing commit values");
+        if !self.rw_valid || self.rw_count < n {
+            self.release_rw_locks(true);
+            self.rw_count = 0;
+            return false;
+        }
+        let owner = self.owner();
+
+        // Commit-time-locking ablation: acquire ownership now, verifying that
+        // the versions observed by the reads are still current.
+        if self.stm.inner.config.short_locking == ShortLocking::Commit {
+            for i in 0..n {
+                let e = self.rw_entries[i];
+                let already_owned = self.rw_entries[..i]
+                    .iter()
+                    .any(|p| p.orec == e.orec && p.locked_here);
+                if already_owned {
+                    continue;
+                }
+                // SAFETY: see `release_rw_locks`.
+                let orec = unsafe { &*e.orec };
+                if !orec.try_lock(e.old_orec_raw, owner) {
+                    self.stats.short_rw_conflicts += 1;
+                    self.rw_valid = false;
+                    self.release_rw_locks(true);
+                    self.rw_count = 0;
+                    return false;
+                }
+                self.rw_entries[i].locked_here = true;
+            }
+        }
+
+        let commit_version = match self.clock_mode() {
+            ClockMode::Global => Some(self.clock().tick()),
+            ClockMode::Local => None,
+        };
+        for i in 0..n {
+            let e = self.rw_entries[i];
+            // SAFETY: data words live in cells kept alive by the caller.
+            unsafe { (*e.data).store(values[i], Ordering::Release) };
+        }
+        for i in 0..n {
+            let e = self.rw_entries[i];
+            if !e.locked_here {
+                continue;
+            }
+            // SAFETY: see `release_rw_locks`.
+            let orec = unsafe { &*e.orec };
+            let v = match commit_version {
+                Some(v) => v,
+                None => (e.old_orec_raw >> 1) + 1,
+            };
+            orec.unlock_to_version(owner, v);
+            self.rw_entries[i].locked_here = false;
+        }
+        self.rw_count = 0;
+        self.stats.short_rw_commits += 1;
+        true
+    }
+
+    pub(crate) fn do_rw_abort(&mut self, n: usize) {
+        debug_assert!(n <= MAX_SHORT);
+        self.release_rw_locks(true);
+        self.rw_count = 0;
+        self.rw_valid = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Short read-only transactions
+    // ------------------------------------------------------------------
+
+    pub(crate) fn do_ro_read(&mut self, idx: usize, cell: &L::Cell) -> Word {
+        assert!(idx < MAX_SHORT, "short transaction index out of range");
+        if idx == 0 {
+            self.ro_count = 0;
+            self.ro_valid = true;
+            if self.clock_mode() == ClockMode::Global {
+                self.ro_start_ts = self.clock().now();
+            }
+        }
+        debug_assert_eq!(idx, self.ro_count, "short RO indices must be sequential");
+        let data = L::data(cell);
+        let orec_ptr = self.layout().orec(cell) as *const Orec;
+        // SAFETY: the orec lives either in the STM's shared table or inside
+        // `cell`, both of which outlive this call.
+        let orec_ref = unsafe { &*orec_ptr };
+
+        let mut value = 0;
+        let mut version = 0;
+        let mut consistent = false;
+        for _ in 0..64 {
+            let o1 = orec_ref.raw(Ordering::Acquire);
+            if Orec::is_locked_raw(o1) {
+                std::thread::yield_now();
+                continue;
+            }
+            value = data.load(Ordering::Acquire);
+            let o2 = orec_ref.raw(Ordering::Acquire);
+            if o1 == o2 {
+                version = o1 >> 1;
+                consistent = true;
+                break;
+            }
+        }
+        if !consistent {
+            self.ro_valid = false;
+        } else {
+            match self.clock_mode() {
+                ClockMode::Global => {
+                    if version > self.ro_start_ts {
+                        // Extend the snapshot: the earlier reads must still be
+                        // valid at the later timestamp.
+                        let now = self.clock().now();
+                        if self.validate_ro(self.ro_count) {
+                            self.ro_start_ts = now;
+                        } else {
+                            self.ro_valid = false;
+                        }
+                    }
+                }
+                ClockMode::Local => {
+                    // Incremental validation of everything read so far.
+                    if !self.validate_ro(self.ro_count) {
+                        self.ro_valid = false;
+                    }
+                }
+            }
+        }
+        self.ro_entries[self.ro_count] = ShortRoEntry {
+            data,
+            orec: orec_ref as *const Orec,
+            version,
+            upgraded: false,
+        };
+        self.ro_count += 1;
+        value
+    }
+
+    /// Re-checks that the first `n` read-only locations still hold the
+    /// versions observed when they were read (upgraded ones are owned by this
+    /// thread and therefore stable).
+    fn validate_ro(&self, n: usize) -> bool {
+        let owner = self.owner();
+        for e in &self.ro_entries[..n] {
+            if e.upgraded {
+                // SAFETY: see `release_rw_locks`.
+                let orec = unsafe { &*e.orec };
+                if !orec.is_locked_by(owner) {
+                    return false;
+                }
+                continue;
+            }
+            // SAFETY: see `release_rw_locks`.
+            let orec = unsafe { &*e.orec };
+            let raw = orec.raw(Ordering::Acquire);
+            match Orec::version_of(raw) {
+                Some(v) if v == e.version => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    pub(crate) fn do_ro_is_valid(&mut self, n: usize) -> bool {
+        debug_assert!(n <= MAX_SHORT);
+        let ok = self.ro_valid && self.ro_count >= n && self.validate_ro(n);
+        if ok {
+            self.stats.short_ro_commits += 1;
+        } else {
+            self.stats.short_ro_conflicts += 1;
+        }
+        ok
+    }
+
+    // ------------------------------------------------------------------
+    // Combined read-only / read-write transactions
+    // ------------------------------------------------------------------
+
+    pub(crate) fn do_upgrade(&mut self, ro_idx: usize, rw_idx: usize) -> bool {
+        assert!(ro_idx < MAX_SHORT && rw_idx < MAX_SHORT);
+        if !self.ro_valid || ro_idx >= self.ro_count {
+            return false;
+        }
+        if rw_idx == 0 {
+            self.rw_count = 0;
+            self.rw_valid = true;
+            self.stats.short_rw_starts += 1;
+        }
+        debug_assert_eq!(rw_idx, self.rw_count, "upgrade must use the next RW index");
+        let entry = self.ro_entries[ro_idx];
+        // SAFETY: see `release_rw_locks`.
+        let orec = unsafe { &*entry.orec };
+        let expected_raw = entry.version << 1;
+        if !orec.try_lock(expected_raw, self.owner()) {
+            self.stats.short_rw_conflicts += 1;
+            self.rw_valid = false;
+            self.release_rw_locks(true);
+            self.rw_count = 0;
+            return false;
+        }
+        self.rw_entries[rw_idx] = ShortRwEntry {
+            data: entry.data,
+            orec: entry.orec,
+            old_orec_raw: expected_raw,
+            locked_here: true,
+        };
+        self.ro_entries[ro_idx].upgraded = true;
+        self.rw_count = rw_idx + 1;
+        true
+    }
+
+    pub(crate) fn do_ro_rw_commit(&mut self, n_ro: usize, n_rw: usize, values: &[Word]) -> bool {
+        assert!(values.len() >= n_rw, "missing commit values");
+        if !self.rw_valid || !self.ro_valid || self.rw_count < n_rw || self.ro_count < n_ro {
+            self.release_rw_locks(true);
+            self.rw_count = 0;
+            return false;
+        }
+        // With every write location already owned, the read-only locations are
+        // validated once; this forms the transaction's linearization point.
+        if !self.validate_ro(n_ro) {
+            self.stats.short_ro_conflicts += 1;
+            self.release_rw_locks(true);
+            self.rw_count = 0;
+            return false;
+        }
+        self.do_rw_commit(n_rw, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::api::{Stm, StmThread};
+    use crate::config::{Config, ShortLocking};
+    use crate::layout::{OrecTableLayout, TvarLayout};
+    use crate::versioned::VersionedStm;
+
+    #[test]
+    fn single_ops_roundtrip() {
+        let stm = VersionedStm::<TvarLayout>::new();
+        let c = stm.new_cell(5);
+        let mut t = stm.register();
+        assert_eq!(t.single_read(&c), 5);
+        t.single_write(&c, 6);
+        assert_eq!(t.single_read(&c), 6);
+        assert_eq!(t.single_cas(&c, 6, 7), 6);
+        assert_eq!(t.single_read(&c), 7);
+        assert_eq!(t.single_cas(&c, 6, 8), 7);
+        assert_eq!(t.single_read(&c), 7);
+    }
+
+    #[test]
+    fn short_rw_commit_updates_all_locations() {
+        let stm = VersionedStm::<TvarLayout>::new();
+        let a = stm.new_cell(1);
+        let b = stm.new_cell(2);
+        let mut t = stm.register();
+        let va = t.rw_read(0, &a);
+        let vb = t.rw_read(1, &b);
+        assert!(t.rw_is_valid(2));
+        assert!(t.rw_commit(2, &[vb, va]));
+        assert_eq!(t.single_read(&a), 2);
+        assert_eq!(t.single_read(&b), 1);
+    }
+
+    #[test]
+    fn short_rw_abort_leaves_data_unchanged() {
+        let stm = VersionedStm::<OrecTableLayout>::new();
+        let a = stm.new_cell(10);
+        let mut t = stm.register();
+        let _ = t.rw_read(0, &a);
+        assert!(t.rw_is_valid(1));
+        t.rw_abort(1);
+        assert_eq!(t.single_read(&a), 10);
+        // The cell must be usable again immediately.
+        let v = t.rw_read(0, &a);
+        assert!(t.rw_is_valid(1));
+        assert!(t.rw_commit(1, &[v + 1]));
+        assert_eq!(t.single_read(&a), 11);
+    }
+
+    #[test]
+    fn conflicting_short_rw_detected_between_threads() {
+        // Thread 1 holds a location; thread 2's rw_read must fail fast.
+        let stm = VersionedStm::<TvarLayout>::new();
+        let a = stm.new_cell(0);
+        let mut t1 = stm.register();
+        let mut t2 = stm.register();
+        let _ = t1.rw_read(0, &a);
+        assert!(t1.rw_is_valid(1));
+        let _ = t2.rw_read(0, &a);
+        assert!(!t2.rw_is_valid(1));
+        t1.rw_abort(1);
+        // After the owner releases, the other thread succeeds.
+        let v = t2.rw_read(0, &a);
+        assert!(t2.rw_is_valid(1));
+        assert!(t2.rw_commit(1, &[v + 5]));
+        assert_eq!(t1.single_read(&a), 5);
+    }
+
+    #[test]
+    fn short_ro_validation_detects_concurrent_write() {
+        let stm = VersionedStm::<TvarLayout>::new();
+        let a = stm.new_cell(1);
+        let b = stm.new_cell(2);
+        let mut reader = stm.register();
+        let mut writer = stm.register();
+        let _ = reader.ro_read(0, &a);
+        let _ = reader.ro_read(1, &b);
+        assert!(reader.ro_is_valid(2));
+        writer.single_write(&a, 100);
+        assert!(!reader.ro_is_valid(2));
+    }
+
+    #[test]
+    fn upgrade_then_commit_applies_write() {
+        let stm = VersionedStm::<TvarLayout>::new();
+        let a = stm.new_cell(7);
+        let b = stm.new_cell(8);
+        let mut t = stm.register();
+        let va = t.ro_read(0, &a);
+        let _vb = t.ro_read(1, &b);
+        assert!(t.upgrade_ro_to_rw(0, 0));
+        assert!(t.ro_rw_commit(2, 1, &[va + 1]));
+        assert_eq!(t.single_read(&a), 8);
+        assert_eq!(t.single_read(&b), 8);
+    }
+
+    #[test]
+    fn upgrade_fails_after_concurrent_update() {
+        let stm = VersionedStm::<TvarLayout>::new();
+        let a = stm.new_cell(7);
+        let mut t = stm.register();
+        let mut w = stm.register();
+        let _ = t.ro_read(0, &a);
+        w.single_write(&a, 9);
+        assert!(!t.upgrade_ro_to_rw(0, 0));
+    }
+
+    #[test]
+    fn commit_time_locking_ablation_still_correct() {
+        let config = Config {
+            short_locking: ShortLocking::Commit,
+            ..Config::global()
+        };
+        let stm = VersionedStm::<TvarLayout>::with_config(config);
+        let a = stm.new_cell(1);
+        let b = stm.new_cell(2);
+        let mut t = stm.register();
+        let va = t.rw_read(0, &a);
+        let vb = t.rw_read(1, &b);
+        assert!(t.rw_is_valid(2));
+        assert!(t.rw_commit(2, &[va + vb, vb]));
+        assert_eq!(t.single_read(&a), 3);
+    }
+
+    #[test]
+    fn short_and_full_transactions_interoperate() {
+        let stm = VersionedStm::<TvarLayout>::new();
+        let a = stm.new_cell(0);
+        let mut t = stm.register();
+        // Full transaction writes, short transaction reads, and vice versa.
+        t.atomic(|tx| {
+            tx.write(&a, 41)?;
+            Ok(())
+        });
+        let v = t.rw_read(0, &a);
+        assert!(t.rw_is_valid(1));
+        assert!(t.rw_commit(1, &[v + 1]));
+        let seen = t.atomic(|tx| tx.read(&a));
+        assert_eq!(seen, Some(42));
+    }
+
+    #[test]
+    fn sixteen_threads_of_mixed_short_increments() {
+        use std::sync::Arc;
+        let stm = Arc::new(VersionedStm::<TvarLayout>::new());
+        let cell = Arc::new(stm.new_cell(0));
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 800;
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let stm = Arc::clone(&stm);
+            let cell = Arc::clone(&cell);
+            joins.push(std::thread::spawn(move || {
+                let mut t = stm.register();
+                for i in 0..PER_THREAD {
+                    if i % 2 == 0 {
+                        // Short RW increment.
+                        loop {
+                            let v = t.rw_read(0, &cell);
+                            if !t.rw_is_valid(1) {
+                                continue;
+                            }
+                            if t.rw_commit(1, &[v + 1]) {
+                                break;
+                            }
+                        }
+                    } else {
+                        // Single-location CAS increment.
+                        loop {
+                            let v = t.single_read(&cell);
+                            if t.single_cas(&cell, v, v + 1) == v {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(
+            VersionedStm::<TvarLayout>::peek(&cell),
+            THREADS * PER_THREAD
+        );
+    }
+}

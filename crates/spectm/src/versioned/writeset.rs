@@ -1,0 +1,257 @@
+//! Write sets for full (traditional) transactions.
+//!
+//! BaseTM uses deferred updates: transactional writes are buffered in a write
+//! set and flushed to memory at commit time.  Because later reads of the same
+//! location must observe the buffered value, the write set needs an efficient
+//! read-after-write lookup; following Spear et al. the default representation
+//! is a small open-addressing hash table over the entry log.  A plain linear
+//! log is available for the ablation benchmarks.
+
+use std::sync::atomic::AtomicUsize;
+
+use crate::config::WriteSetKind;
+use crate::orec::Orec;
+use crate::word::Word;
+
+/// One buffered transactional write.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WriteEntry {
+    /// Address of the application data word.
+    pub data: *const AtomicUsize,
+    /// Address of the orec guarding it.
+    pub orec: *const Orec,
+    /// The value to store at commit time.
+    pub value: Word,
+    /// Set during commit when this entry was the one that acquired its orec
+    /// (false-sharing can map several entries to one orec).
+    pub locked_here: bool,
+    /// The orec word observed when the lock was acquired (used to restore the
+    /// version on abort).
+    pub old_orec_raw: Word,
+}
+
+/// A deferred-update write set with O(1) read-after-write lookups.
+#[derive(Debug)]
+pub(crate) struct WriteSet {
+    kind: WriteSetKind,
+    entries: Vec<WriteEntry>,
+    /// Open-addressing index over `entries`; stores `entry_index + 1`, with
+    /// zero meaning "empty slot".
+    index: Vec<u32>,
+    mask: usize,
+}
+
+const INITIAL_INDEX_SLOTS: usize = 64;
+
+#[inline]
+fn hash_ptr(p: *const AtomicUsize) -> usize {
+    (p as usize >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13
+}
+
+impl WriteSet {
+    pub(crate) fn new(kind: WriteSetKind) -> Self {
+        Self {
+            kind,
+            entries: Vec::with_capacity(16),
+            index: vec![0; INITIAL_INDEX_SLOTS],
+            mask: INITIAL_INDEX_SLOTS - 1,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn entries(&self) -> &[WriteEntry] {
+        &self.entries
+    }
+
+    pub(crate) fn entries_mut(&mut self) -> &mut [WriteEntry] {
+        &mut self.entries
+    }
+
+    /// Removes every entry, keeping allocations for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        if self.kind == WriteSetKind::Hashed {
+            self.index.iter_mut().for_each(|slot| *slot = 0);
+        }
+    }
+
+    /// Buffers a write of `value` to `data` (guarded by `orec`), overwriting
+    /// any earlier buffered write to the same word.
+    pub(crate) fn insert(&mut self, data: *const AtomicUsize, orec: *const Orec, value: Word) {
+        match self.kind {
+            WriteSetKind::Linear => {
+                for e in &mut self.entries {
+                    if e.data == data {
+                        e.value = value;
+                        return;
+                    }
+                }
+                self.push_entry(data, orec, value);
+            }
+            WriteSetKind::Hashed => {
+                let mut slot = hash_ptr(data) & self.mask;
+                loop {
+                    let idx = self.index[slot];
+                    if idx == 0 {
+                        let entry_idx = self.push_entry(data, orec, value);
+                        self.index[slot] = entry_idx as u32 + 1;
+                        if self.entries.len() * 2 >= self.index.len() {
+                            self.grow_index();
+                        }
+                        return;
+                    }
+                    let entry = &mut self.entries[idx as usize - 1];
+                    if entry.data == data {
+                        entry.value = value;
+                        return;
+                    }
+                    slot = (slot + 1) & self.mask;
+                }
+            }
+        }
+    }
+
+    /// Returns the buffered value for `data`, if any (read-after-write).
+    pub(crate) fn lookup(&self, data: *const AtomicUsize) -> Option<Word> {
+        match self.kind {
+            WriteSetKind::Linear => self
+                .entries
+                .iter()
+                .find(|e| e.data == data)
+                .map(|e| e.value),
+            WriteSetKind::Hashed => {
+                if self.entries.is_empty() {
+                    return None;
+                }
+                let mut slot = hash_ptr(data) & self.mask;
+                loop {
+                    let idx = self.index[slot];
+                    if idx == 0 {
+                        return None;
+                    }
+                    let entry = &self.entries[idx as usize - 1];
+                    if entry.data == data {
+                        return Some(entry.value);
+                    }
+                    slot = (slot + 1) & self.mask;
+                }
+            }
+        }
+    }
+
+    fn push_entry(&mut self, data: *const AtomicUsize, orec: *const Orec, value: Word) -> usize {
+        self.entries.push(WriteEntry {
+            data,
+            orec,
+            value,
+            locked_here: false,
+            old_orec_raw: 0,
+        });
+        self.entries.len() - 1
+    }
+
+    fn grow_index(&mut self) {
+        let new_len = self.index.len() * 2;
+        self.index = vec![0; new_len];
+        self.mask = new_len - 1;
+        for (i, e) in self.entries.iter().enumerate() {
+            let mut slot = hash_ptr(e.data) & self.mask;
+            while self.index[slot] != 0 {
+                slot = (slot + 1) & self.mask;
+            }
+            self.index[slot] = i as u32 + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_cells(n: usize) -> Vec<AtomicUsize> {
+        (0..n).map(AtomicUsize::new).collect()
+    }
+
+    #[test]
+    fn insert_then_lookup_hashed() {
+        let cells = mk_cells(8);
+        let orec = Orec::new();
+        let mut ws = WriteSet::new(WriteSetKind::Hashed);
+        assert!(ws.is_empty());
+        for (i, c) in cells.iter().enumerate() {
+            ws.insert(c, &orec, i * 10);
+        }
+        assert_eq!(ws.len(), 8);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(ws.lookup(c as *const _), Some(i * 10));
+        }
+        let other = AtomicUsize::new(0);
+        assert_eq!(ws.lookup(&other), None);
+    }
+
+    #[test]
+    fn overwrite_keeps_single_entry() {
+        let cells = mk_cells(1);
+        let orec = Orec::new();
+        for kind in [WriteSetKind::Hashed, WriteSetKind::Linear] {
+            let mut ws = WriteSet::new(kind);
+            ws.insert(&cells[0], &orec, 1);
+            ws.insert(&cells[0], &orec, 2);
+            assert_eq!(ws.len(), 1);
+            assert_eq!(ws.lookup(&cells[0] as *const _), Some(2));
+        }
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let cells = mk_cells(4);
+        let orec = Orec::new();
+        let mut ws = WriteSet::new(WriteSetKind::Hashed);
+        for c in &cells {
+            ws.insert(c, &orec, 7);
+        }
+        ws.clear();
+        assert!(ws.is_empty());
+        assert_eq!(ws.lookup(&cells[0] as *const _), None);
+        // The set must be fully reusable after clearing.
+        ws.insert(&cells[1], &orec, 9);
+        assert_eq!(ws.lookup(&cells[1] as *const _), Some(9));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let cells = mk_cells(500);
+        let orec = Orec::new();
+        let mut ws = WriteSet::new(WriteSetKind::Hashed);
+        for (i, c) in cells.iter().enumerate() {
+            ws.insert(c, &orec, i);
+        }
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(ws.lookup(c as *const _), Some(i));
+        }
+    }
+
+    #[test]
+    fn linear_matches_hashed_semantics() {
+        let cells = mk_cells(64);
+        let orec = Orec::new();
+        let mut hashed = WriteSet::new(WriteSetKind::Hashed);
+        let mut linear = WriteSet::new(WriteSetKind::Linear);
+        for (i, c) in cells.iter().enumerate() {
+            hashed.insert(c, &orec, i);
+            linear.insert(c, &orec, i);
+        }
+        for c in &cells {
+            assert_eq!(hashed.lookup(c), linear.lookup(c));
+        }
+    }
+}

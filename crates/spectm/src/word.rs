@@ -1,0 +1,123 @@
+//! The transactional word type and value-encoding helpers.
+//!
+//! SpecTM, like the paper's C implementation, manages memory at the
+//! granularity of one machine word.  Values stored in transactional cells are
+//! plain [`Word`]s; data structures store either pointers (converted with
+//! `as usize`) or small integers.
+//!
+//! The `val` layout (Section 2.4 of the paper) reserves **bit 0** of every
+//! data word for the STM's lock bit, so values stored in [`crate::ValCell`]s
+//! must keep bit 0 clear.  Pointers to 2-byte-or-better aligned data satisfy
+//! this naturally; integers must be encoded with [`encode_int`] /
+//! [`decode_int`], which shift them into the 63 spare bits.
+//!
+//! Data structures additionally use **bit 1** as a logical-deletion mark on
+//! pointers (the skip list's "deleted" bit), via [`mark`] / [`unmark`] /
+//! [`is_marked`].  Bit 1 is used instead of the customary bit 0 precisely so
+//! that marked pointers remain legal `val`-layout values.
+
+/// A transactional machine word.
+pub type Word = usize;
+
+/// Number of value bits available to the application in the `val` layout
+/// (one bit of the word is reserved for the STM lock bit).
+pub const VAL_SPARE_BITS: u32 = Word::BITS - 1;
+
+/// Bit reserved by the *data structures* (not the STM) as a logical deletion
+/// mark on stored pointers.
+pub const MARK_BIT: Word = 0b10;
+
+/// Encodes a small integer as a transactional value with bit 0 clear.
+///
+/// # Panics
+///
+/// Panics in debug builds if `v` does not fit in [`VAL_SPARE_BITS`] bits.
+///
+/// # Examples
+///
+/// ```
+/// let w = spectm::encode_int(1234);
+/// assert_eq!(spectm::decode_int(w), 1234);
+/// assert_eq!(w & 1, 0);
+/// ```
+#[inline]
+pub const fn encode_int(v: usize) -> Word {
+    debug_assert!(v < (1 << VAL_SPARE_BITS));
+    v << 1
+}
+
+/// Decodes an integer previously encoded with [`encode_int`].
+#[inline]
+pub const fn decode_int(w: Word) -> usize {
+    w >> 1
+}
+
+/// Sets the logical-deletion mark on a stored pointer value.
+///
+/// # Examples
+///
+/// ```
+/// let p = 0x1000_usize;
+/// assert!(spectm::is_marked(spectm::mark(p)));
+/// assert_eq!(spectm::unmark(spectm::mark(p)), p);
+/// ```
+#[inline]
+pub const fn mark(w: Word) -> Word {
+    w | MARK_BIT
+}
+
+/// Clears the logical-deletion mark from a stored pointer value.
+#[inline]
+pub const fn unmark(w: Word) -> Word {
+    w & !MARK_BIT
+}
+
+/// Returns whether the logical-deletion mark is set.
+#[inline]
+pub const fn is_marked(w: Word) -> bool {
+    w & MARK_BIT != 0
+}
+
+/// Converts a reference to a word-sized address, used as a hash key when
+/// locating ownership records.
+#[inline]
+pub(crate) fn addr_of<T>(r: &T) -> usize {
+    r as *const T as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        for v in [0usize, 1, 42, 65_535, (1 << 62) - 1] {
+            assert_eq!(decode_int(encode_int(v)), v);
+            assert_eq!(encode_int(v) & 0b01, 0);
+        }
+    }
+
+    #[test]
+    fn mark_roundtrip() {
+        let p = 0xdead_bee0_usize;
+        assert!(!is_marked(p));
+        let m = mark(p);
+        assert!(is_marked(m));
+        assert_eq!(unmark(m), p);
+        // Marking must not disturb the val-layout lock bit.
+        assert_eq!(m & 0b01, 0);
+    }
+
+    #[test]
+    fn mark_is_idempotent() {
+        let p = 0x40_usize;
+        assert_eq!(mark(mark(p)), mark(p));
+        assert_eq!(unmark(unmark(mark(p))), p);
+    }
+
+    #[test]
+    fn addresses_are_word_aligned() {
+        let x = 0u64;
+        assert_eq!(addr_of(&x) % std::mem::align_of::<u64>(), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Global epoch state shared by every participating thread.
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::deferred::Deferred;
+use crate::local::Local;
+use crate::LocalHandle;
+
+/// A participant record: one per registered thread slot.
+///
+/// `state` packs the observed epoch in the upper bits and an *active* flag in
+/// bit 0.  Records are never unlinked from the list; a thread that exits marks
+/// its record as free (`in_use == false`) and a later registration may reuse
+/// it, so the list length is bounded by the peak number of concurrently
+/// registered handles.
+pub(crate) struct Participant {
+    /// `(epoch << 1) | active`.
+    pub(crate) state: AtomicUsize,
+    /// Whether this slot is currently owned by a live `LocalHandle`.
+    pub(crate) in_use: AtomicBool,
+    /// Next record in the collector's singly-linked participant list.
+    pub(crate) next: AtomicPtr<Participant>,
+}
+
+impl Participant {
+    fn new() -> Self {
+        Self {
+            state: AtomicUsize::new(0),
+            in_use: AtomicBool::new(true),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Returns `(epoch, active)` decoded from the packed state word.
+    #[inline]
+    pub(crate) fn load_state(&self, order: Ordering) -> (usize, bool) {
+        let s = self.state.load(order);
+        (s >> 1, s & 1 == 1)
+    }
+
+    /// Announces this participant as active in `epoch`.
+    #[inline]
+    pub(crate) fn set_active(&self, epoch: usize) {
+        self.state.store((epoch << 1) | 1, Ordering::SeqCst);
+        // A full fence orders the announcement before any subsequent shared
+        // read performed under the guard (Fraser, §5.2.3).
+        fence(Ordering::SeqCst);
+    }
+
+    /// Announces this participant as quiescent (not inside any guard).
+    #[inline]
+    pub(crate) fn set_inactive(&self) {
+        let (epoch, _) = self.load_state(Ordering::Relaxed);
+        self.state.store(epoch << 1, Ordering::Release);
+    }
+}
+
+/// Shared collector state; reference-counted behind [`Collector`] and every
+/// [`LocalHandle`].
+pub(crate) struct Inner {
+    /// The global epoch counter.
+    pub(crate) epoch: AtomicUsize,
+    /// Head of the participant list.
+    head: AtomicPtr<Participant>,
+    /// Garbage from threads that unregistered before it became reclaimable,
+    /// tagged with the epoch in which it was retired.
+    pub(crate) orphans: Mutex<Vec<(usize, Deferred)>>,
+    /// Number of objects freed so far (for statistics and tests).
+    pub(crate) reclaimed: AtomicUsize,
+    /// Number of objects retired so far (for statistics and tests).
+    pub(crate) retired: AtomicUsize,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Self {
+            epoch: AtomicUsize::new(0),
+            head: AtomicPtr::new(ptr::null_mut()),
+            orphans: Mutex::new(Vec::new()),
+            reclaimed: AtomicUsize::new(0),
+            retired: AtomicUsize::new(0),
+        }
+    }
+
+    /// Acquires a participant slot, reusing a free one if possible.
+    pub(crate) fn acquire_participant(&self) -> *const Participant {
+        // First try to reuse a slot left behind by an exited thread.
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: participant records are never freed while `Inner` is
+            // alive, so `cur` is valid.
+            let p = unsafe { &*cur };
+            if !p.in_use.load(Ordering::Relaxed)
+                && p.in_use
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                p.state.store(0, Ordering::Release);
+                return cur;
+            }
+            cur = p.next.load(Ordering::Acquire);
+        }
+
+        // No free slot: push a fresh record at the head of the list.
+        let node = Box::into_raw(Box::new(Participant::new()));
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            // SAFETY: `node` is owned by us until the CAS below publishes it.
+            unsafe { (*node).next.store(head, Ordering::Relaxed) };
+            match self
+                .head
+                .compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return node,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Attempts to advance the global epoch by one.
+    ///
+    /// Advancing from `e` to `e + 1` is permitted only when every *active*
+    /// participant has announced epoch `e`.  Returns the (possibly advanced)
+    /// global epoch.
+    pub(crate) fn try_advance(&self) -> usize {
+        let global = self.epoch.load(Ordering::SeqCst);
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: records live as long as `Inner`.
+            let p = unsafe { &*cur };
+            if p.in_use.load(Ordering::Relaxed) {
+                let (epoch, active) = p.load_state(Ordering::SeqCst);
+                if active && epoch != global {
+                    return global;
+                }
+            }
+            cur = p.next.load(Ordering::Acquire);
+        }
+        // All active participants are in `global`; it is safe to move on.
+        let _ = self.epoch.compare_exchange(
+            global,
+            global + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Frees orphaned garbage that has become reclaimable.
+    pub(crate) fn collect_orphans(&self, global: usize) {
+        if let Ok(mut orphans) = self.orphans.try_lock() {
+            let mut i = 0;
+            while i < orphans.len() {
+                if global >= orphans[i].0 + 2 {
+                    let (_, d) = orphans.swap_remove(i);
+                    // SAFETY: the grace period has elapsed: the object was
+                    // retired at least two epochs ago.
+                    unsafe { d.execute() };
+                    self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // No participant can be active any more: dropping `Inner` means every
+        // `Collector` clone and every `LocalHandle` has been dropped.  Free the
+        // participant records and run any remaining deferred destructors.
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: records were allocated with `Box::into_raw` and are not
+            // referenced by anyone else at this point.
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next.load(Ordering::Relaxed);
+        }
+        let orphans = std::mem::take(self.orphans.get_mut().expect("poisoned orphan list"));
+        for (_, d) in orphans {
+            // SAFETY: nothing can reference retired objects once all handles
+            // are gone.
+            unsafe { d.execute() };
+            self.reclaimed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Counters describing the work a [`Collector`] has performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Current value of the global epoch.
+    pub global_epoch: usize,
+    /// Total number of objects handed to `defer_*` so far.
+    pub retired: usize,
+    /// Total number of objects whose destructors have already run.
+    pub reclaimed: usize,
+}
+
+/// An epoch-based garbage collector domain.
+///
+/// Cloning a `Collector` is cheap and yields another handle to the same
+/// domain.  Threads join the domain with [`Collector::register`].
+///
+/// # Examples
+///
+/// ```
+/// use txepoch::Collector;
+/// let c = Collector::new();
+/// let h = c.register();
+/// let guard = h.pin();
+/// drop(guard);
+/// assert_eq!(c.stats().retired, 0);
+/// ```
+#[derive(Clone)]
+pub struct Collector {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Collector {
+    /// Creates a new, empty reclamation domain.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner::new()),
+        }
+    }
+
+    /// Registers the calling thread and returns its local handle.
+    ///
+    /// The handle is `!Send`: it must stay on the thread that created it.
+    pub fn register(&self) -> LocalHandle {
+        let participant = self.inner.acquire_participant();
+        LocalHandle::new(Local::new(Arc::clone(&self.inner), participant))
+    }
+
+    /// Returns a snapshot of the collector's counters.
+    pub fn stats(&self) -> CollectorStats {
+        CollectorStats {
+            global_epoch: self.inner.epoch.load(Ordering::SeqCst),
+            retired: self.inner.retired.load(Ordering::Relaxed),
+            reclaimed: self.inner.reclaimed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the current global epoch (exposed for tests and diagnostics).
+    pub fn global_epoch(&self) -> usize {
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_starts_at_zero() {
+        let c = Collector::new();
+        assert_eq!(c.global_epoch(), 0);
+    }
+
+    #[test]
+    fn participant_state_roundtrip() {
+        let p = Participant::new();
+        p.set_active(7);
+        assert_eq!(p.load_state(Ordering::SeqCst), (7, true));
+        p.set_inactive();
+        assert_eq!(p.load_state(Ordering::SeqCst), (7, false));
+    }
+
+    #[test]
+    fn participant_slots_are_reused() {
+        let c = Collector::new();
+        let h1 = c.register();
+        drop(h1);
+        let inner = &c.inner;
+        let first = inner.head.load(Ordering::Acquire);
+        let h2 = c.register();
+        let second = inner.head.load(Ordering::Acquire);
+        // Re-registration must not have pushed a second node.
+        assert_eq!(first, second);
+        drop(h2);
+    }
+
+    #[test]
+    fn advance_blocked_by_active_participant() {
+        let c = Collector::new();
+        let h = c.register();
+        let g = h.pin();
+        let e0 = c.global_epoch();
+        // The pinned thread has observed `e0`, so one advance is allowed...
+        c.inner.try_advance();
+        assert_eq!(c.global_epoch(), e0 + 1);
+        // ...but a second advance is blocked until the guard re-pins.
+        c.inner.try_advance();
+        assert_eq!(c.global_epoch(), e0 + 1);
+        drop(g);
+        c.inner.try_advance();
+        assert_eq!(c.global_epoch(), e0 + 2);
+        drop(h);
+    }
+
+    #[test]
+    fn clone_shares_domain() {
+        let c = Collector::new();
+        let c2 = c.clone();
+        c.inner.try_advance();
+        assert_eq!(c2.global_epoch(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Type-erased deferred destructor calls.
+
+/// A single retired object: a pointer plus the function that destroys it.
+///
+/// The function pointer is stored rather than a boxed closure so that retiring
+/// an object never allocates beyond the `Vec` push in the owning bag.
+pub(crate) struct Deferred {
+    ptr: *mut u8,
+    destroy: unsafe fn(*mut u8),
+}
+
+// SAFETY: A `Deferred` is only ever executed once, by whichever thread ends up
+// reclaiming the bag that holds it.  The pointed-to object has been unlinked
+// from all shared structures before being retired, so ownership has been
+// transferred to the reclamation machinery and may move between threads.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Creates a deferred destructor for `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// `destroy(ptr)` must be safe to call exactly once, at any later time, on
+    /// any thread.
+    pub(crate) unsafe fn new(ptr: *mut u8, destroy: unsafe fn(*mut u8)) -> Self {
+        Self { ptr, destroy }
+    }
+
+    /// Runs the destructor.
+    ///
+    /// # Safety
+    ///
+    /// Must be called at most once, after the grace period has elapsed.
+    pub(crate) unsafe fn execute(self) {
+        // SAFETY: guaranteed by the constructor contract and the caller.
+        unsafe { (self.destroy)(self.ptr) };
+    }
+}
+
+/// Destructor used by `defer_drop`: re-boxes and drops a `T`.
+///
+/// # Safety
+///
+/// `ptr` must have originated from `Box::<T>::into_raw` and must not be used
+/// again afterwards.
+pub(crate) unsafe fn drop_box<T>(ptr: *mut u8) {
+    // SAFETY: guaranteed by the caller (see function-level contract).
+    drop(unsafe { Box::from_raw(ptr.cast::<T>()) });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    struct SetOnDrop(Arc<AtomicBool>);
+    impl Drop for SetOnDrop {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn execute_runs_drop_exactly_once() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let raw = Box::into_raw(Box::new(SetOnDrop(Arc::clone(&flag)))).cast::<u8>();
+        // SAFETY: `raw` comes from `Box::into_raw` of the matching type.
+        let d = unsafe { Deferred::new(raw, drop_box::<SetOnDrop>) };
+        assert!(!flag.load(Ordering::SeqCst));
+        // SAFETY: executed exactly once.
+        unsafe { d.execute() };
+        assert!(flag.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,201 @@
+//! Multi-threaded integration tests for the epoch reclamation substrate.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use txepoch::Collector;
+
+/// A Treiber stack built directly on the collector, used as a torture test:
+/// every popped node is retired, and every pop dereferences nodes that other
+/// threads may concurrently retire.
+struct Stack {
+    head: AtomicPtr<Node>,
+    collector: Collector,
+}
+
+struct Node {
+    value: usize,
+    next: *mut Node,
+}
+
+impl Stack {
+    fn new(collector: Collector) -> Self {
+        Self {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            collector,
+        }
+    }
+
+    fn push(&self, value: usize) {
+        let node = Box::into_raw(Box::new(Node {
+            value,
+            next: std::ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            // SAFETY: `node` is not yet shared.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    fn pop(&self, handle: &txepoch::LocalHandle) -> Option<usize> {
+        let guard = handle.pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            if head.is_null() {
+                return None;
+            }
+            // SAFETY: `head` was read under the guard, so even if another
+            // thread pops and retires it concurrently, it cannot be freed
+            // until we unpin.
+            let next = unsafe { (*head).next };
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: we won the CAS, so we are the unique retirer.
+                let value = unsafe { (*head).value };
+                unsafe { guard.defer_drop(head) };
+                return Some(value);
+            }
+        }
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        let handle = self.collector.register();
+        while self.pop(&handle).is_some() {}
+    }
+}
+
+#[test]
+fn treiber_stack_torture() {
+    const THREADS: usize = 4;
+    const OPS: usize = 8_000;
+
+    let collector = Collector::new();
+    let stack = Arc::new(Stack::new(collector.clone()));
+    let pushed = Arc::new(AtomicUsize::new(0));
+    let popped = Arc::new(AtomicUsize::new(0));
+
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let stack = Arc::clone(&stack);
+        let collector = collector.clone();
+        let pushed = Arc::clone(&pushed);
+        let popped = Arc::clone(&popped);
+        joins.push(thread::spawn(move || {
+            let handle = collector.register();
+            for i in 0..OPS {
+                if (i + t) % 2 == 0 {
+                    stack.push(i);
+                    pushed.fetch_add(i, Ordering::Relaxed);
+                } else if let Some(v) = stack.pop(&handle) {
+                    popped.fetch_add(v, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Drain what is left and check value conservation.
+    let handle = collector.register();
+    while let Some(v) = stack.pop(&handle) {
+        popped.fetch_add(v, Ordering::Relaxed);
+    }
+    assert_eq!(pushed.load(Ordering::Relaxed), popped.load(Ordering::Relaxed));
+
+    drop(stack);
+    drop(handle);
+    let stats = collector.stats();
+    assert!(stats.retired >= THREADS * OPS / 4);
+    drop(collector);
+}
+
+#[test]
+fn reclamation_happens_under_churn() {
+    const THREADS: usize = 3;
+    const OPS: usize = 10_000;
+
+    let collector = Collector::new();
+    let mut joins = Vec::new();
+    for _ in 0..THREADS {
+        let collector = collector.clone();
+        joins.push(thread::spawn(move || {
+            let handle = collector.register();
+            for i in 0..OPS {
+                let guard = handle.pin();
+                let p = Box::into_raw(Box::new(i));
+                // SAFETY: freshly allocated and never shared.
+                unsafe { guard.defer_drop(p) };
+            }
+            handle.flush();
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let stats = collector.stats();
+    assert_eq!(stats.retired, THREADS * OPS);
+    // Most garbage must have been reclaimed while threads were still running;
+    // the remainder is freed when the collector itself is dropped.
+    assert!(stats.reclaimed > 0);
+    drop(collector);
+}
+
+#[test]
+fn guards_keep_memory_alive_across_threads() {
+    // A reader pins and reads a pointer; a writer swaps it out and retires the
+    // old object.  The reader must still be able to dereference its snapshot.
+    let collector = Collector::new();
+    let slot = Arc::new(AtomicPtr::new(Box::into_raw(Box::new(123_usize))));
+
+    let reader_collector = collector.clone();
+    let reader_slot = Arc::clone(&slot);
+    let reader = thread::spawn(move || {
+        let handle = reader_collector.register();
+        for _ in 0..5_000 {
+            let guard = handle.pin();
+            let p = reader_slot.load(Ordering::Acquire);
+            // SAFETY: protected by the guard; the writer retires but cannot
+            // free `p` while we are pinned.
+            let v = unsafe { *p };
+            assert!(v == 123 || v == 456);
+            drop(guard);
+        }
+    });
+
+    let writer_collector = collector.clone();
+    let writer_slot = Arc::clone(&slot);
+    let writer = thread::spawn(move || {
+        let handle = writer_collector.register();
+        for i in 0..10_000 {
+            let guard = handle.pin();
+            let newv = if i % 2 == 0 { 456 } else { 123 };
+            let new = Box::into_raw(Box::new(newv));
+            let old = writer_slot.swap(new, Ordering::AcqRel);
+            // SAFETY: `old` has been unlinked by the swap above.
+            unsafe { guard.defer_drop(old) };
+        }
+    });
+
+    reader.join().unwrap();
+    writer.join().unwrap();
+
+    let last = slot.load(Ordering::Acquire);
+    // SAFETY: all threads are done; we own the final object.
+    unsafe { drop(Box::from_raw(last)) };
+    drop(collector);
+}

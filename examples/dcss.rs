@@ -1,0 +1,85 @@
+//! Building a multi-word primitive from short transactions: the paper's
+//! double-compare-single-swap (DCSS), used here to implement a tiny
+//! "leader election with fencing token" pattern.
+//!
+//! A leader slot may only be claimed (`leader := me`) while the fencing epoch
+//! still holds the value the candidate observed — the classic use of DCSS.
+//!
+//! Run with: `cargo run --release --example dcss`
+
+use std::sync::Arc;
+
+use spectm::variants::ValShort;
+use spectm::{decode_int, encode_int, Stm, StmThread};
+use spectm_ds::dcss;
+
+const CANDIDATES: usize = 8;
+const ROUNDS: usize = 200;
+
+fn main() {
+    let stm = Arc::new(ValShort::new());
+    // leader = 0 means "vacant"; otherwise it holds the winner's id.
+    let leader = Arc::new(stm.new_cell(encode_int(0)));
+    let epoch = Arc::new(stm.new_cell(encode_int(1)));
+
+    let mut handles = Vec::new();
+    for id in 1..=CANDIDATES {
+        let stm = Arc::clone(&stm);
+        let leader = Arc::clone(&leader);
+        let epoch = Arc::clone(&epoch);
+        handles.push(std::thread::spawn(move || {
+            let mut thread = stm.register();
+            let mut wins = 0u32;
+            for _ in 0..ROUNDS {
+                let current_epoch = thread.single_read(&epoch);
+                // Claim the leadership only if it is vacant AND the epoch has
+                // not advanced since we sampled it.
+                if dcss::<ValShort>(
+                    &leader,
+                    &epoch,
+                    encode_int(0),
+                    current_epoch,
+                    encode_int(id),
+                    &mut thread,
+                ) {
+                    wins += 1;
+                    // Do "leader work", then step down and advance the epoch
+                    // atomically with a short read-write transaction.
+                    loop {
+                        let l = thread.rw_read(0, &leader);
+                        let e = thread.rw_read(1, &epoch);
+                        if !thread.rw_is_valid(2) {
+                            continue;
+                        }
+                        assert_eq!(decode_int(l), id, "only the leader steps down");
+                        let next_epoch = encode_int(decode_int(e) + 1);
+                        if thread.rw_commit(2, &[encode_int(0), next_epoch]) {
+                            break;
+                        }
+                    }
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            wins
+        }));
+    }
+
+    let wins: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let total: u32 = wins.iter().sum();
+    let mut thread = stm.register();
+    let final_epoch = decode_int(thread.single_read(&epoch));
+    println!("leadership handovers per candidate: {wins:?}");
+    println!("total handovers: {total}, final epoch: {final_epoch}");
+    assert_eq!(
+        final_epoch as u32,
+        total + 1,
+        "each successful claim advances the epoch exactly once"
+    );
+    assert_eq!(
+        decode_int(thread.single_read(&leader)),
+        0,
+        "leadership is vacant at the end"
+    );
+    println!("ok: DCSS-based leader election behaved atomically");
+}

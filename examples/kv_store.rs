@@ -1,0 +1,119 @@
+//! A tiny concurrent key-value membership store backed by the STM hash
+//! table — the kind of key-value store index the paper's introduction
+//! motivates.
+//!
+//! Several worker threads apply a random stream of put/delete/get requests
+//! over the `val-short` variant while a reader thread continuously checks a
+//! few invariant keys.  At the end the store is compared against a
+//! sequentially-replayed oracle.
+//!
+//! Run with: `cargo run --release --example kv_store`
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use spectm::variants::ValShort;
+use spectm::Stm;
+use spectm_ds::{ApiMode, StmHashTable};
+
+const WORKERS: usize = 4;
+const OPS_PER_WORKER: usize = 20_000;
+const KEY_SPACE: u64 = 4_096;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn main() {
+    let stm = Arc::new(ValShort::new());
+    let store = Arc::new(StmHashTable::new(&*stm, 1_024, ApiMode::Short));
+
+    // "Pinned" keys that are inserted up front and never deleted.
+    let mut setup_thread = stm.register();
+    for k in 0..16u64 {
+        store.insert(KEY_SPACE + k, &mut setup_thread);
+    }
+
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let stm = Arc::clone(&stm);
+        let store = Arc::clone(&store);
+        handles.push(std::thread::spawn(move || {
+            let mut thread = stm.register();
+            let mut state = (w as u64 + 1) * 0x9E37_79B9;
+            // Record this worker's successful updates so the main thread can
+            // rebuild an oracle.
+            let mut journal: Vec<(u64, bool)> = Vec::new();
+            for _ in 0..OPS_PER_WORKER {
+                let key = xorshift(&mut state) % KEY_SPACE;
+                match xorshift(&mut state) % 10 {
+                    0..=4 => {
+                        // get
+                        std::hint::black_box(store.contains(key, &mut thread));
+                    }
+                    5..=7 => {
+                        if store.insert(key, &mut thread) {
+                            journal.push((key, true));
+                        }
+                    }
+                    _ => {
+                        if store.remove(key, &mut thread) {
+                            journal.push((key, false));
+                        }
+                    }
+                }
+            }
+            journal
+        }));
+    }
+
+    // A reader thread hammering the pinned keys: they must always be present.
+    let reader = {
+        let stm = Arc::clone(&stm);
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            let mut thread = stm.register();
+            for _ in 0..100_000 {
+                for k in 0..16u64 {
+                    assert!(
+                        store.contains(KEY_SPACE + k, &mut thread),
+                        "pinned key vanished"
+                    );
+                }
+            }
+        })
+    };
+
+    let journals: Vec<Vec<(u64, bool)>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    reader.join().unwrap();
+
+    // Sanity check: per-key, the number of successful inserts and removes can
+    // differ by at most one, and the key is present iff inserts > removes.
+    let mut thread = stm.register();
+    let mut balance = vec![0i64; KEY_SPACE as usize];
+    for journal in &journals {
+        for &(key, inserted) in journal {
+            balance[key as usize] += if inserted { 1 } else { -1 };
+        }
+    }
+    let mut oracle = BTreeSet::new();
+    for (key, bal) in balance.iter().enumerate() {
+        assert!((0..=1).contains(bal), "key {key} balance {bal}");
+        if *bal == 1 {
+            oracle.insert(key as u64);
+        }
+        assert_eq!(
+            store.contains(key as u64, &mut thread),
+            *bal == 1,
+            "key {key} presence mismatch"
+        );
+    }
+    println!(
+        "kv store verified: {} live keys after {} operations across {WORKERS} workers",
+        oracle.len(),
+        WORKERS * OPS_PER_WORKER
+    );
+}

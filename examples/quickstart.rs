@@ -1,0 +1,68 @@
+//! Quickstart: the SpecTM API in five minutes.
+//!
+//! Shows the three levels of the API on a tiny bank-account example:
+//! traditional transactions, specialized short transactions, and
+//! single-location operations — all on the same cells.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use spectm::variants::ValShort;
+use spectm::{decode_int, encode_int, Stm, StmThread};
+
+fn main() {
+    // 1. Create an STM instance.  `ValShort` is the paper's fastest variant:
+    //    one lock bit folded into each data word, value-based validation.
+    let stm = ValShort::new();
+
+    // 2. Create transactional cells.  The val layout reserves bit 0, so plain
+    //    integers are stored through `encode_int` / `decode_int`.
+    let checking = stm.new_cell(encode_int(1_000));
+    let savings = stm.new_cell(encode_int(250));
+
+    // 3. Register the current thread.
+    let mut thread = stm.register();
+
+    // --- Traditional transaction: atomically move money between accounts ---
+    let moved = thread
+        .atomic(|tx| {
+            let c = decode_int(tx.read(&checking)?);
+            let s = decode_int(tx.read(&savings)?);
+            let amount = 300.min(c);
+            tx.write(&checking, encode_int(c - amount))?;
+            tx.write(&savings, encode_int(s + amount))?;
+            Ok(amount)
+        })
+        .expect("transfer is never cancelled");
+    println!("moved {moved} from checking to savings");
+
+    // --- Specialized short transaction: the same transfer, hand-optimized ---
+    loop {
+        let c = thread.rw_read(0, &checking);
+        let s = thread.rw_read(1, &savings);
+        if !thread.rw_is_valid(2) {
+            continue; // conflict: restart
+        }
+        let (c, s) = (decode_int(c), decode_int(s));
+        let amount = 100.min(c);
+        if thread.rw_commit(2, &[encode_int(c - amount), encode_int(s + amount)]) {
+            println!("moved {amount} more with a short transaction");
+            break;
+        }
+    }
+
+    // --- Single-location operations ---
+    let balance = decode_int(thread.single_read(&savings));
+    println!("savings balance: {balance}");
+    assert_eq!(
+        decode_int(thread.single_read(&checking)) + balance,
+        1_250,
+        "money is conserved"
+    );
+
+    // Statistics collected by this thread.
+    let stats = thread.stats();
+    println!(
+        "commits: full={} short={} singles={}",
+        stats.full_commits, stats.short_rw_commits, stats.singles
+    );
+}

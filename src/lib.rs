@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the SpecTM reproduction workspace.
+#![warn(missing_docs)]
+
+pub use harness;
+pub use lockfree;
+pub use spectm;
+pub use spectm_ds;
+pub use txepoch;

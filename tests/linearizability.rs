@@ -1,0 +1,214 @@
+//! Concurrency-focused integration tests: atomicity and isolation of the
+//! SpecTM primitives observed from multiple threads.
+
+use std::sync::Arc;
+
+use spectm::variants::{OrecStm, TvarStm, ValShort};
+use spectm::{decode_int, encode_int, Config, Stm, StmThread};
+
+/// A bank of accounts with a conserved total, updated through every API level
+/// at once.  Any torn or lost update changes the total.
+fn conserved_transfers<S: Stm + Clone>(stm: S, encode: bool) {
+    const ACCOUNTS: usize = 16;
+    const PER_ACCOUNT: usize = 1_000;
+    const THREADS: usize = 4;
+    const OPS: usize = 1_500;
+
+    let enc = move |v: usize| if encode { encode_int(v) } else { v };
+    let dec = move |v: usize| if encode { decode_int(v) } else { v };
+
+    let stm = Arc::new(stm);
+    let accounts: Arc<Vec<S::Cell>> = Arc::new(
+        (0..ACCOUNTS)
+            .map(|_| stm.new_cell(enc(PER_ACCOUNT)))
+            .collect(),
+    );
+
+    let mut joins = Vec::new();
+    for tid in 0..THREADS {
+        let stm = Arc::clone(&stm);
+        let accounts = Arc::clone(&accounts);
+        joins.push(std::thread::spawn(move || {
+            let mut t = stm.register();
+            let mut state = tid as u64 * 77 + 13;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..OPS {
+                let from = (rng() as usize) % ACCOUNTS;
+                let to = (rng() as usize) % ACCOUNTS;
+                if from == to {
+                    continue;
+                }
+                let amount = (rng() as usize) % 5;
+                if rng() % 2 == 0 {
+                    // Full transaction.
+                    t.atomic(|tx| {
+                        let f = dec(tx.read(&accounts[from])?);
+                        let s = dec(tx.read(&accounts[to])?);
+                        if f >= amount {
+                            tx.write(&accounts[from], enc(f - amount))?;
+                            tx.write(&accounts[to], enc(s + amount))?;
+                        }
+                        Ok(())
+                    });
+                } else {
+                    // Short read-write transaction.
+                    loop {
+                        let f = t.rw_read(0, &accounts[from]);
+                        let s = t.rw_read(1, &accounts[to]);
+                        if !t.rw_is_valid(2) {
+                            continue;
+                        }
+                        let (f, s) = (dec(f), dec(s));
+                        let (nf, ns) = if f >= amount {
+                            (f - amount, s + amount)
+                        } else {
+                            (f, s)
+                        };
+                        if t.rw_commit(2, &[enc(nf), enc(ns)]) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    let total: usize = accounts.iter().map(|c| dec(S::peek(c))).sum();
+    assert_eq!(total, ACCOUNTS * PER_ACCOUNT, "money must be conserved");
+}
+
+#[test]
+fn transfers_conserve_total_val() {
+    conserved_transfers(ValShort::new(), true);
+}
+
+#[test]
+fn transfers_conserve_total_tvar_global() {
+    conserved_transfers(TvarStm::with_config(Config::global()), false);
+}
+
+#[test]
+fn transfers_conserve_total_orec_local() {
+    conserved_transfers(OrecStm::with_config(Config::local()), false);
+}
+
+/// Readers running full read-only transactions must always observe the
+/// invariant (opacity): the sum of the two cells never appears torn.
+fn opacity_under_writers<S: Stm + Clone>(stm: S, encode: bool) {
+    let enc = move |v: usize| if encode { encode_int(v) } else { v };
+    let dec = move |v: usize| if encode { decode_int(v) } else { v };
+
+    let stm = Arc::new(stm);
+    let a = Arc::new(stm.new_cell(enc(512)));
+    let b = Arc::new(stm.new_cell(enc(512)));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let writer = {
+        let stm = Arc::clone(&stm);
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut t = stm.register();
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                i += 1;
+                t.atomic(|tx| {
+                    let va = dec(tx.read(&a)?);
+                    let vb = dec(tx.read(&b)?);
+                    let delta = (i % 7).min(va);
+                    tx.write(&a, enc(va - delta))?;
+                    tx.write(&b, enc(vb + delta))?;
+                    Ok(())
+                });
+            }
+        })
+    };
+
+    let mut reader = stm.register();
+    for _ in 0..4_000 {
+        let sum = reader
+            .atomic(|tx| {
+                let va = dec(tx.read(&a)?);
+                let vb = dec(tx.read(&b)?);
+                Ok(va + vb)
+            })
+            .unwrap();
+        assert_eq!(sum, 1024, "read-only transaction observed a torn state");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+#[test]
+fn opacity_holds_for_all_layouts() {
+    opacity_under_writers(OrecStm::with_config(Config::global()), false);
+    opacity_under_writers(OrecStm::with_config(Config::local()), false);
+    opacity_under_writers(TvarStm::with_config(Config::global()), false);
+    opacity_under_writers(ValShort::new(), true);
+}
+
+/// Short read-only transactions validated by value must also see consistent
+/// pairs when writers always update both locations (special case 1 + 2 of
+/// Section 2.4).
+#[test]
+fn short_ro_snapshot_is_consistent_val() {
+    let stm = Arc::new(ValShort::new());
+    let a = Arc::new(stm.new_cell(encode_int(100)));
+    let b = Arc::new(stm.new_cell(encode_int(100)));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let writer = {
+        let stm = Arc::clone(&stm);
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut t = stm.register();
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                i = i.wrapping_add(1);
+                loop {
+                    let va = t.rw_read(0, &a);
+                    let vb = t.rw_read(1, &b);
+                    if !t.rw_is_valid(2) {
+                        continue;
+                    }
+                    // Keep the sum constant at 200, sliding value from b to a
+                    // and resetting when b runs out.
+                    let (na, nb) = if decode_int(vb) == 0 {
+                        (100, 100)
+                    } else {
+                        (decode_int(va) + 1, decode_int(vb) - 1)
+                    };
+                    if t.rw_commit(2, &[encode_int(na), encode_int(nb)]) {
+                        break;
+                    }
+                }
+            }
+        })
+    };
+
+    let mut reader = stm.register();
+    for _ in 0..6_000 {
+        let va = reader.ro_read(0, &a);
+        let vb = reader.ro_read(1, &b);
+        if reader.ro_is_valid(2) {
+            assert_eq!(
+                decode_int(va) + decode_int(vb),
+                200,
+                "validated short RO snapshot must be consistent"
+            );
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}

@@ -1,0 +1,162 @@
+//! Property-based tests over the core data structures and the STM itself.
+
+use proptest::prelude::*;
+
+use lockfree::{SeqHashTable, SeqSkipList, SequentialIntSet};
+use spectm::variants::{TvarStm, ValShort};
+use spectm::{decode_int, encode_int, mark, unmark, Config, Stm};
+use spectm_ds::{ApiMode, StmHashTable, StmSkipList, TxDeque};
+
+/// A single step of the integer-set workload.
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn set_op_strategy(key_range: u64) -> impl Strategy<Value = SetOp> {
+    (0u8..3, 1..key_range).prop_map(|(kind, key)| match kind {
+        0 => SetOp::Insert(key),
+        1 => SetOp::Remove(key),
+        _ => SetOp::Contains(key),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Word-encoding helpers round-trip and preserve the val-layout lock bit.
+    #[test]
+    fn word_encoding_roundtrips(v in 0usize..(1 << 50)) {
+        prop_assert_eq!(decode_int(encode_int(v)), v);
+        prop_assert_eq!(encode_int(v) & 1, 0);
+        let p = v << 3; // an "aligned pointer"
+        prop_assert_eq!(unmark(mark(p)), p);
+    }
+
+    /// The STM hash table behaves exactly like the sequential oracle for any
+    /// operation sequence, on both a versioned layout and the val layout.
+    #[test]
+    fn stm_hash_table_matches_oracle(ops in proptest::collection::vec(set_op_strategy(96), 1..400)) {
+        let stm = ValShort::new();
+        let table = StmHashTable::new(&stm, 16, ApiMode::Short);
+        let stm2 = TvarStm::with_config(Config::global());
+        let table2 = StmHashTable::new(&stm2, 16, ApiMode::Full);
+        let mut oracle = SeqHashTable::new(16);
+        let mut t = stm.register();
+        let mut t2 = stm2.register();
+        for op in ops {
+            match op {
+                SetOp::Insert(k) => {
+                    let expect = oracle.insert(k);
+                    prop_assert_eq!(table.insert(k, &mut t), expect);
+                    prop_assert_eq!(table2.insert(k, &mut t2), expect);
+                }
+                SetOp::Remove(k) => {
+                    let expect = oracle.remove(k);
+                    prop_assert_eq!(table.remove(k, &mut t), expect);
+                    prop_assert_eq!(table2.remove(k, &mut t2), expect);
+                }
+                SetOp::Contains(k) => {
+                    let expect = oracle.contains(k);
+                    prop_assert_eq!(table.contains(k, &mut t), expect);
+                    prop_assert_eq!(table2.contains(k, &mut t2), expect);
+                }
+            }
+        }
+        prop_assert_eq!(table.quiescent_snapshot().len(), oracle.len());
+    }
+
+    /// The STM skip list likewise matches the oracle and stays sorted.
+    #[test]
+    fn stm_skip_list_matches_oracle(ops in proptest::collection::vec(set_op_strategy(96), 1..300)) {
+        let stm = ValShort::new();
+        let list = StmSkipList::new(&stm, ApiMode::Short);
+        let mut oracle = SeqSkipList::new();
+        let mut t = stm.register();
+        for op in ops {
+            match op {
+                SetOp::Insert(k) => prop_assert_eq!(list.insert(k, &mut t), oracle.insert(k)),
+                SetOp::Remove(k) => prop_assert_eq!(list.remove(k, &mut t), oracle.remove(k)),
+                SetOp::Contains(k) => prop_assert_eq!(list.contains(k, &mut t), oracle.contains(k)),
+            }
+        }
+        let snap = list.quiescent_snapshot();
+        prop_assert!(snap.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(snap.len(), oracle.len());
+    }
+
+    /// The transactional deque behaves like `VecDeque` for any sequence of
+    /// pushes and pops at either end (within capacity).
+    #[test]
+    fn deque_matches_vecdeque(ops in proptest::collection::vec((0u8..4, 1u64..1000), 1..200)) {
+        let stm = ValShort::new();
+        let deque = TxDeque::new(&stm, 64);
+        let mut oracle: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        let mut t = stm.register();
+        for (kind, value) in ops {
+            match kind {
+                0 => {
+                    if oracle.len() < 63 {
+                        prop_assert!(deque.push_right(value, &mut t));
+                        oracle.push_back(value);
+                    }
+                }
+                1 => {
+                    prop_assert_eq!(deque.pop_left(&mut t), oracle.pop_front());
+                }
+                2 => {
+                    if oracle.len() < 63 {
+                        // push_left may legitimately report "full" when the
+                        // left index is at its initial position.
+                        if deque.push_left(value, &mut t) {
+                            oracle.push_front(value);
+                        }
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(deque.pop_right(&mut t), oracle.pop_back());
+                }
+            }
+        }
+        prop_assert_eq!(deque.quiescent_len(), oracle.len());
+    }
+
+    /// Transactional counters never lose updates regardless of the mix of
+    /// full, short and single-operation increments.
+    #[test]
+    fn counter_increments_are_exact(kinds in proptest::collection::vec(0u8..3, 1..200)) {
+        use spectm::StmThread;
+        let stm = ValShort::new();
+        let cell = stm.new_cell(encode_int(0));
+        let mut t = stm.register();
+        for kind in &kinds {
+            match kind {
+                0 => {
+                    t.atomic(|tx| {
+                        let v = decode_int(tx.read(&cell)?);
+                        tx.write(&cell, encode_int(v + 1))?;
+                        Ok(())
+                    });
+                }
+                1 => loop {
+                    let v = t.rw_read(0, &cell);
+                    if !t.rw_is_valid(1) {
+                        continue;
+                    }
+                    if t.rw_commit(1, &[encode_int(decode_int(v) + 1)]) {
+                        break;
+                    }
+                },
+                _ => loop {
+                    let v = t.single_read(&cell);
+                    if t.single_cas(&cell, v, encode_int(decode_int(v) + 1)) == v {
+                        break;
+                    }
+                },
+            }
+        }
+        prop_assert_eq!(decode_int(ValShort::peek(&cell)), kinds.len());
+    }
+}
