@@ -35,7 +35,7 @@ fn bench_hash_panel(
         let mut stream = KeyStream::new(0xDEAD_BEEF, KEY_RANGE);
         group.bench_function(spec.label(), |b| {
             b.iter(|| {
-                let (key, dice) = stream.next();
+                let (key, dice) = stream.next_pair();
                 runner(key, dice);
             })
         });
@@ -56,7 +56,7 @@ fn bench_skip_panel(
         let mut stream = KeyStream::new(0xFACE_FEED, KEY_RANGE);
         group.bench_function(spec.label(), |b| {
             b.iter(|| {
-                let (key, dice) = stream.next();
+                let (key, dice) = stream.next_pair();
                 runner(key, dice);
             })
         });

@@ -82,7 +82,11 @@ pub fn hash_runner(spec: VariantSpec, buckets: usize, key_range: u64, lookup_pct
         | VariantSpec::OrecShortG
         | VariantSpec::OrecShortL
         | VariantSpec::OrecFullGFine => erase(
-            StmHashBench::new(OrecStm::with_config(stm_config(spec)), buckets, api_mode(spec)),
+            StmHashBench::new(
+                OrecStm::with_config(stm_config(spec)),
+                buckets,
+                api_mode(spec),
+            ),
             key_range,
             lookup_pct,
         ),
@@ -90,12 +94,20 @@ pub fn hash_runner(spec: VariantSpec, buckets: usize, key_range: u64, lookup_pct
         | VariantSpec::TvarFullL
         | VariantSpec::TvarShortG
         | VariantSpec::TvarShortL => erase(
-            StmHashBench::new(TvarStm::with_config(stm_config(spec)), buckets, api_mode(spec)),
+            StmHashBench::new(
+                TvarStm::with_config(stm_config(spec)),
+                buckets,
+                api_mode(spec),
+            ),
             key_range,
             lookup_pct,
         ),
         VariantSpec::ValFull | VariantSpec::ValShort => erase(
-            StmHashBench::new(ValShort::with_config(stm_config(spec)), buckets, api_mode(spec)),
+            StmHashBench::new(
+                ValShort::with_config(stm_config(spec)),
+                buckets,
+                api_mode(spec),
+            ),
             key_range,
             lookup_pct,
         ),
@@ -152,7 +164,7 @@ impl KeyStream {
     }
 
     /// Next `(key, dice)` pair.
-    pub fn next(&mut self) -> (u64, u64) {
+    pub fn next_pair(&mut self) -> (u64, u64) {
         self.state ^= self.state << 13;
         self.state ^= self.state >> 7;
         self.state ^= self.state << 17;
@@ -174,7 +186,7 @@ mod tests {
             let mut runner = hash_runner(spec, 64, 256, 80);
             let mut stream = KeyStream::new(7, 256);
             for _ in 0..200 {
-                let (key, dice) = stream.next();
+                let (key, dice) = stream.next_pair();
                 runner(key, dice);
             }
         }
@@ -186,7 +198,7 @@ mod tests {
             let mut runner = skip_runner(spec, 256, 80);
             let mut stream = KeyStream::new(9, 256);
             for _ in 0..200 {
-                let (key, dice) = stream.next();
+                let (key, dice) = stream.next_pair();
                 runner(key, dice);
             }
         }

@@ -391,28 +391,56 @@ pub fn opts_from_args(args: impl Iterator<Item = String>) -> FigureOpts {
     let mut opts = FigureOpts::default();
     let args: Vec<String> = args.collect();
     let mut i = 0;
+    // A missing or unparsable value warns and keeps the current setting
+    // (which may come from an earlier `--paper`/`--quick`) instead of
+    // panicking or silently reverting to a hardcoded fallback.
+    let value = |args: &[String], i: usize| args.get(i).cloned().unwrap_or_default();
+    fn parse_or_warn<T: std::str::FromStr>(flag: &str, raw: &str) -> Option<T> {
+        match raw.parse() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                eprintln!("warning: ignoring `{flag} {raw}`: expected a number");
+                None
+            }
+        }
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => opts = FigureOpts::quick(),
             "--paper" => opts = FigureOpts::paper(),
             "--threads" => {
                 i += 1;
-                opts.threads = args[i]
+                let threads: Vec<usize> = value(&args, i)
                     .split(',')
                     .filter_map(|s| s.trim().parse().ok())
                     .collect();
+                if threads.is_empty() {
+                    eprintln!(
+                        "warning: ignoring `--threads {}`: expected a comma-separated list \
+                         of thread counts",
+                        value(&args, i)
+                    );
+                } else {
+                    opts.threads = threads;
+                }
             }
             "--duration-ms" => {
                 i += 1;
-                opts.duration = Duration::from_millis(args[i].parse().unwrap_or(250));
+                if let Some(ms) = parse_or_warn("--duration-ms", &value(&args, i)) {
+                    opts.duration = Duration::from_millis(ms);
+                }
             }
             "--runs" => {
                 i += 1;
-                opts.runs = args[i].parse().unwrap_or(3);
+                if let Some(runs) = parse_or_warn("--runs", &value(&args, i)) {
+                    opts.runs = runs;
+                }
             }
             "--key-range" => {
                 i += 1;
-                opts.key_range = args[i].parse().unwrap_or(65_536);
+                if let Some(range) = parse_or_warn("--key-range", &value(&args, i)) {
+                    opts.key_range = range;
+                }
             }
             _ => {}
         }

@@ -127,7 +127,13 @@ pub fn sequential_ns_per_op(kind: TxKind, array_size: usize, iters: usize) -> f6
 /// Nanoseconds per operation for STM variant `S` driving `kind` through
 /// either the traditional (`ApiMode::Full`) or specialized (`ApiMode::Short`)
 /// interface.
-pub fn stm_ns_per_op<S: Stm>(stm: &S, api: ApiMode, kind: TxKind, array_size: usize, iters: usize) -> f64 {
+pub fn stm_ns_per_op<S: Stm>(
+    stm: &S,
+    api: ApiMode,
+    kind: TxKind,
+    array_size: usize,
+    iters: usize,
+) -> f64 {
     let cells: Vec<Padded<S::Cell>> = (0..array_size)
         .map(|i| Padded(stm.new_cell(encode_int(i))))
         .collect();

@@ -1,0 +1,107 @@
+//! Smoke tests for the `fig*` binaries: run each compiled binary with a tiny
+//! configuration (1 thread, small key range, millisecond points) and check
+//! that it exits cleanly and emits well-formed rows.  This keeps the figure
+//! pipeline from rotting silently: any driver that panics, hangs or stops
+//! printing rows fails here in a few hundred milliseconds.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on one binary's runtime; a deadlocked sweep fails here
+/// instead of hanging the whole suite.
+const DEADLINE: Duration = Duration::from_secs(60);
+
+/// Arguments that shrink a sweep to a near-instant single-threaded run.
+const TINY: &[&str] = &[
+    "--threads",
+    "1",
+    "--duration-ms",
+    "5",
+    "--runs",
+    "1",
+    "--key-range",
+    "512",
+];
+
+/// Runs one binary under a watchdog and validates its TSV output shape.
+fn run_fig(exe: &str, args: &[&str]) {
+    let mut child = Command::new(exe)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    let deadline = Instant::now() + DEADLINE;
+    let status = loop {
+        match child.try_wait().expect("wait on fig binary") {
+            Some(status) => break status,
+            None if Instant::now() >= deadline => {
+                child.kill().ok();
+                child.wait().ok();
+                panic!("{exe} still running after {DEADLINE:?}; killed");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    let output = child
+        .wait_with_output()
+        .unwrap_or_else(|e| panic!("failed to collect {exe} output: {e}"));
+    assert!(
+        status.success(),
+        "{exe} exited with {status:?}; stderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("fig output must be UTF-8");
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some("figure\tpanel\tseries\tx\ty"),
+        "missing TSV header in {exe} output"
+    );
+    let mut rows = 0;
+    for line in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 5, "malformed row from {exe}: {line:?}");
+        fields[3].parse::<f64>().expect("x must be numeric");
+        fields[4].parse::<f64>().expect("y must be numeric");
+        rows += 1;
+    }
+    assert!(rows > 0, "{exe} produced a header but no data rows");
+}
+
+#[test]
+fn fig1_smoke() {
+    run_fig(env!("CARGO_BIN_EXE_fig1"), TINY);
+}
+
+#[test]
+fn fig5_smoke() {
+    // fig5 is the single-threaded synthetic benchmark; `--quick` is its only
+    // size knob.
+    run_fig(env!("CARGO_BIN_EXE_fig5"), &["--quick"]);
+}
+
+#[test]
+fn fig6_smoke() {
+    run_fig(env!("CARGO_BIN_EXE_fig6"), TINY);
+}
+
+#[test]
+fn fig7_smoke() {
+    run_fig(env!("CARGO_BIN_EXE_fig7"), TINY);
+}
+
+#[test]
+fn fig8_smoke() {
+    run_fig(env!("CARGO_BIN_EXE_fig8"), TINY);
+}
+
+#[test]
+fn fig9_smoke() {
+    run_fig(env!("CARGO_BIN_EXE_fig9"), TINY);
+}
+
+#[test]
+fn fig10_smoke() {
+    run_fig(env!("CARGO_BIN_EXE_fig10"), TINY);
+}

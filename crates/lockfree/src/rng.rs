@@ -43,6 +43,7 @@ mod tests {
 
     #[test]
     fn levels_are_in_range() {
+        seed(0xA5A5_5A5A);
         for _ in 0..10_000 {
             let l = random_level(32);
             assert!((1..=32).contains(&l));

@@ -281,57 +281,55 @@ impl LockFreeSkipList {
 
     fn do_remove(&self, key: u64, handle: &LocalHandle) -> bool {
         let _guard = handle.pin();
-        loop {
-            let w = self.search(key, handle);
-            if !w.found {
-                return false;
-            }
-            let node_ptr = w.succs[0];
-            // SAFETY: protected by the guard above.
-            let node = unsafe { &*(node_ptr as *const Tower) };
+        let w = self.search(key, handle);
+        if !w.found {
+            return false;
+        }
+        let node_ptr = w.succs[0];
+        // SAFETY: protected by the guard above.
+        let node = unsafe { &*(node_ptr as *const Tower) };
 
-            // Mark the upper levels first (top-down).
-            for lvl in (1..node.level).rev() {
-                loop {
-                    let next = node.next[lvl].load(Ordering::Acquire);
-                    if marked(next) {
-                        break;
-                    }
-                    if node.next[lvl]
-                        .compare_exchange(next, next | MARK, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        break;
-                    }
-                }
-            }
-
-            // Level 0 decides which of several concurrent removers wins.
+        // Mark the upper levels first (top-down).
+        for lvl in (1..node.level).rev() {
             loop {
-                let next = node.next[0].load(Ordering::Acquire);
+                let next = node.next[lvl].load(Ordering::Acquire);
                 if marked(next) {
-                    // Someone else deleted it first.
-                    return false;
+                    break;
                 }
-                if node.next[0]
+                if node.next[lvl]
                     .compare_exchange(next, next | MARK, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    // We own the deletion: unlink the tower everywhere and
-                    // retire it once it is unreachable.
-                    loop {
-                        let w2 = self.search(key, handle);
-                        if !w2.succs.contains(&node_ptr) {
-                            break;
-                        }
-                    }
-                    let guard = handle.pin();
-                    // SAFETY: the tower is marked at every level and no longer
-                    // reachable from the head; epoch reclamation protects any
-                    // readers that still hold references.
-                    unsafe { guard.defer_drop(node_ptr as *mut Tower) };
-                    return true;
+                    break;
                 }
+            }
+        }
+
+        // Level 0 decides which of several concurrent removers wins.
+        loop {
+            let next = node.next[0].load(Ordering::Acquire);
+            if marked(next) {
+                // Someone else deleted it first.
+                return false;
+            }
+            if node.next[0]
+                .compare_exchange(next, next | MARK, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // We own the deletion: unlink the tower everywhere and
+                // retire it once it is unreachable.
+                loop {
+                    let w2 = self.search(key, handle);
+                    if !w2.succs.contains(&node_ptr) {
+                        break;
+                    }
+                }
+                let guard = handle.pin();
+                // SAFETY: the tower is marked at every level and no longer
+                // reachable from the head; epoch reclamation protects any
+                // readers that still hold references.
+                unsafe { guard.defer_drop(node_ptr as *mut Tower) };
+                return true;
             }
         }
     }
@@ -492,8 +490,7 @@ mod tests {
         // insert of the same key.
         use std::sync::atomic::{AtomicI64, Ordering};
         let l = Arc::new(LockFreeSkipList::new(Collector::new()));
-        let balance: Arc<Vec<AtomicI64>> =
-            Arc::new((0..64).map(|_| AtomicI64::new(0)).collect());
+        let balance: Arc<Vec<AtomicI64>> = Arc::new((0..64).map(|_| AtomicI64::new(0)).collect());
         let mut joins = Vec::new();
         for t in 0..4u64 {
             let l = Arc::clone(&l);

@@ -362,8 +362,8 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        let total: u64 = (0..(PRODUCERS as u64 * PER_PRODUCER)).sum::<u64>()
-            + PRODUCERS as u64 * PER_PRODUCER;
+        let total: u64 =
+            (0..(PRODUCERS as u64 * PER_PRODUCER)).sum::<u64>() + PRODUCERS as u64 * PER_PRODUCER;
         assert_eq!(
             consumed.load(std::sync::atomic::Ordering::Relaxed),
             total,

@@ -162,11 +162,7 @@ impl<S: Stm> StmHashTable<S> {
     /// address (unmarked) as read from the link.
     ///
     /// The caller must hold an epoch pin.
-    fn search_short<'a>(
-        &'a self,
-        key: u64,
-        thread: &mut S::Thread,
-    ) -> (&'a S::Cell, Word) {
+    fn search_short<'a>(&'a self, key: u64, thread: &mut S::Thread) -> (&'a S::Cell, Word) {
         let mut prev: &S::Cell = self.bucket(key);
         let mut curr = unmark(thread.single_read(prev));
         loop {

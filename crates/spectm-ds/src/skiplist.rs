@@ -576,16 +576,16 @@ impl<S: Stm> StmSkipList<S> {
                     }
                 }
                 let mut nexts = [0 as Word; MAX_LEVEL];
-                for lvl in 0..level {
+                for (lvl, next) in nexts.iter_mut().enumerate().take(level) {
                     let own = tx.read(&tower.next[lvl])?;
                     if is_marked(own) {
                         return Ok(1);
                     }
-                    nexts[lvl] = own;
+                    *next = own;
                 }
-                for lvl in 0..level {
-                    tx.write(w.preds[lvl], unmark(nexts[lvl]))?;
-                    tx.write(&tower.next[lvl], mark(nexts[lvl]))?;
+                for (lvl, &next) in nexts.iter().enumerate().take(level) {
+                    tx.write(w.preds[lvl], unmark(next))?;
+                    tx.write(&tower.next[lvl], mark(next))?;
                 }
                 Ok(0)
             })
@@ -637,12 +637,12 @@ impl<S: Stm> StmSkipList<S> {
                     return Ok(false);
                 }
                 let mut nexts = [0 as Word; MAX_LEVEL];
-                for lvl in 0..tower.level {
+                for (lvl, next) in nexts.iter_mut().enumerate().take(tower.level) {
                     let own = tx.read(&tower.next[lvl])?;
                     if is_marked(own) {
                         return Ok(false);
                     }
-                    nexts[lvl] = own;
+                    *next = own;
                 }
                 for lvl in 0..tower.level {
                     let pred = if lvl < head_lvl {
@@ -770,7 +770,11 @@ mod tests {
             match rng() % 3 {
                 0 => assert_eq!(list.insert(k, &mut t), oracle.insert(k), "insert {k}"),
                 1 => assert_eq!(list.remove(k, &mut t), oracle.remove(&k), "remove {k}"),
-                _ => assert_eq!(list.contains(k, &mut t), oracle.contains(&k), "contains {k}"),
+                _ => assert_eq!(
+                    list.contains(k, &mut t),
+                    oracle.contains(&k),
+                    "contains {k}"
+                ),
             }
         }
         assert_eq!(

@@ -372,6 +372,6 @@ mod tests {
 
     #[test]
     fn max_short_is_at_least_the_papers_four() {
-        assert!(MAX_SHORT >= 4);
+        const { assert!(MAX_SHORT >= 4) };
     }
 }

@@ -118,7 +118,10 @@ impl ThreadClocks {
 
     /// Reads the logical clock: the sum of every thread's counter.
     pub fn read(&self) -> usize {
-        let n = self.registered.load(Ordering::Acquire).min(MAX_CLOCK_THREADS);
+        let n = self
+            .registered
+            .load(Ordering::Acquire)
+            .min(MAX_CLOCK_THREADS);
         let mut sum = 0usize;
         for slot in &self.slots[..n] {
             sum = sum.wrapping_add(slot.value.load(Ordering::Acquire));

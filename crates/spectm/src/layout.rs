@@ -199,12 +199,16 @@ mod tests {
     #[test]
     fn distinct_cells_usually_map_to_distinct_orecs() {
         let l = OrecTableLayout::new(1 << 16);
-        let cells: Vec<_> = (0..64).map(|i| OrecTableLayout::new_cell(i)).collect();
+        let cells: Vec<_> = (0..64).map(OrecTableLayout::new_cell).collect();
         let mut slots: Vec<_> = cells.iter().map(|c| l.slot_of(c)).collect();
         slots.sort_unstable();
         slots.dedup();
         // With a 64Ki-entry table and 64 cells, collisions should be rare.
-        assert!(slots.len() >= 60, "too many orec collisions: {}", slots.len());
+        assert!(
+            slots.len() >= 60,
+            "too many orec collisions: {}",
+            slots.len()
+        );
     }
 
     #[test]

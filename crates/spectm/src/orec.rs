@@ -130,10 +130,7 @@ impl Orec {
     /// The caller must own the lock (checked in debug builds).
     #[inline]
     pub fn unlock_to_version(&self, owner: usize, new_version: Word) {
-        debug_assert!(
-            self.is_locked_by(owner),
-            "unlock_to_version by a non-owner"
-        );
+        debug_assert!(self.is_locked_by(owner), "unlock_to_version by a non-owner");
         let _ = owner;
         self.word.store(new_version << 1, Ordering::Release);
     }

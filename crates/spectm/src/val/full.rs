@@ -131,7 +131,11 @@ impl ValThread {
 
     pub(crate) fn do_full_write(&mut self, cell: &ValCell, value: Word) -> TxResult<()> {
         debug_assert!(self.in_tx);
-        debug_assert_eq!(value & LOCK_BIT, 0, "val-layout values must keep bit 0 clear");
+        debug_assert_eq!(
+            value & LOCK_BIT,
+            0,
+            "val-layout values must keep bit 0 clear"
+        );
         self.stats.full_writes += 1;
         self.write_set
             .insert((cell as *const ValCell).cast(), ptr::null(), value);

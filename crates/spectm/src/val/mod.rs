@@ -53,7 +53,11 @@ pub struct ValCell {
 impl ValCell {
     /// Creates a cell holding `initial` (bit 0 must be clear).
     pub fn new(initial: Word) -> Self {
-        debug_assert_eq!(initial & LOCK_BIT, 0, "val-layout values must keep bit 0 clear");
+        debug_assert_eq!(
+            initial & LOCK_BIT,
+            0,
+            "val-layout values must keep bit 0 clear"
+        );
         Self {
             word: AtomicUsize::new(initial),
         }
@@ -236,7 +240,11 @@ impl Stm for ValStm {
     }
 
     fn poke(cell: &Self::Cell, value: Word) {
-        debug_assert_eq!(value & LOCK_BIT, 0, "val-layout values must keep bit 0 clear");
+        debug_assert_eq!(
+            value & LOCK_BIT,
+            0,
+            "val-layout values must keep bit 0 clear"
+        );
         cell.store(value, Ordering::Release);
     }
 

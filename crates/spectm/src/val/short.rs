@@ -30,7 +30,11 @@ impl ValThread {
     }
 
     pub(crate) fn do_single_write(&mut self, cell: &ValCell, value: Word) {
-        debug_assert_eq!(value & LOCK_BIT, 0, "val-layout values must keep bit 0 clear");
+        debug_assert_eq!(
+            value & LOCK_BIT,
+            0,
+            "val-layout values must keep bit 0 clear"
+        );
         self.stats.singles += 1;
         loop {
             let cur = cell.load(Ordering::Acquire);
@@ -94,10 +98,14 @@ impl ValThread {
             self.rw_valid = true;
             self.stats.short_rw_starts += 1;
         }
-        debug_assert_eq!(idx, self.rw_count, "short RW indices must be sequential");
+        // An earlier read of this transaction may have failed to acquire a
+        // lock, invalidating the attempt and resetting `rw_count`; later
+        // reads of the same attempt must fall through here (the caller only
+        // discovers the conflict at `rw_is_valid`).
         if !self.rw_valid {
             return 0;
         }
+        debug_assert_eq!(idx, self.rw_count, "short RW indices must be sequential");
         let lock_word = self.lock_word();
         let cur = cell.load(Ordering::Acquire);
         // Deadlock avoidance is conservative: if the word is owned (even by a
@@ -130,9 +138,9 @@ impl ValThread {
             self.rw_count = 0;
             return false;
         }
-        for i in 0..n {
+        for (i, &value) in values.iter().enumerate().take(n) {
             debug_assert_eq!(
-                values[i] & LOCK_BIT,
+                value & LOCK_BIT,
                 0,
                 "val-layout values must keep bit 0 clear"
             );
@@ -140,7 +148,7 @@ impl ValThread {
             // SAFETY: see `release_rw_locks`.
             let cell = unsafe { &*e.cell };
             // A single store publishes the value and releases the lock.
-            cell.store(values[i], Ordering::Release);
+            cell.store(value, Ordering::Release);
             self.rw_entries[i].locked_here = false;
         }
         self.rw_count = 0;
@@ -229,7 +237,10 @@ impl ValThread {
         let entry = self.ro_entries[ro_idx];
         // SAFETY: see `release_rw_locks`.
         let cell = unsafe { &*entry.cell };
-        if cell.compare_exchange(entry.value, self.lock_word()).is_err() {
+        if cell
+            .compare_exchange(entry.value, self.lock_word())
+            .is_err()
+        {
             self.stats.short_rw_conflicts += 1;
             self.rw_valid = false;
             self.release_rw_locks();

@@ -117,10 +117,14 @@ impl<L: Layout> VersionedThread<L> {
             self.rw_valid = true;
             self.stats.short_rw_starts += 1;
         }
-        debug_assert_eq!(idx, self.rw_count, "short RW indices must be sequential");
+        // An earlier read of this transaction may have failed to acquire an
+        // orec, invalidating the attempt and resetting `rw_count`; later
+        // reads of the same attempt must fall through here (the caller only
+        // discovers the conflict at `rw_is_valid`).
         if !self.rw_valid {
             return 0;
         }
+        debug_assert_eq!(idx, self.rw_count, "short RW indices must be sequential");
         let data = L::data(cell) as *const _;
         let orec_ref = self.layout().orec(cell);
         let orec = orec_ref as *const Orec;
@@ -145,9 +149,7 @@ impl<L: Layout> VersionedThread<L> {
                     let raw = orec_ref.raw(Ordering::Acquire);
                     // Deadlock is avoided conservatively: abort if the lock is
                     // not immediately free (Section 2.4).
-                    if Orec::is_locked_raw(raw)
-                        || !orec_ref.try_lock(raw, self.owner())
-                    {
+                    if Orec::is_locked_raw(raw) || !orec_ref.try_lock(raw, self.owner()) {
                         self.stats.short_rw_conflicts += 1;
                         self.rw_valid = false;
                         self.release_rw_locks(true);
@@ -227,10 +229,10 @@ impl<L: Layout> VersionedThread<L> {
             ClockMode::Global => Some(self.clock().tick()),
             ClockMode::Local => None,
         };
-        for i in 0..n {
+        for (i, &value) in values.iter().enumerate().take(n) {
             let e = self.rw_entries[i];
             // SAFETY: data words live in cells kept alive by the caller.
-            unsafe { (*e.data).store(values[i], Ordering::Release) };
+            unsafe { (*e.data).store(value, Ordering::Release) };
         }
         for i in 0..n {
             let e = self.rw_entries[i];

@@ -140,12 +140,9 @@ impl Inner {
             cur = p.next.load(Ordering::Acquire);
         }
         // All active participants are in `global`; it is safe to move on.
-        let _ = self.epoch.compare_exchange(
-            global,
-            global + 1,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
+        let _ = self
+            .epoch
+            .compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst);
         self.epoch.load(Ordering::SeqCst)
     }
 

@@ -115,7 +115,10 @@ fn treiber_stack_torture() {
     while let Some(v) = stack.pop(&handle) {
         popped.fetch_add(v, Ordering::Relaxed);
     }
-    assert_eq!(pushed.load(Ordering::Relaxed), popped.load(Ordering::Relaxed));
+    assert_eq!(
+        pushed.load(Ordering::Relaxed),
+        popped.load(Ordering::Relaxed)
+    );
 
     drop(stack);
     drop(handle);

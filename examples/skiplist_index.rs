@@ -100,7 +100,10 @@ fn main() {
     }
     let snapshot = index.quiescent_snapshot();
     assert_eq!(snapshot, oracle.iter().copied().collect::<Vec<_>>());
-    assert!(snapshot.windows(2).all(|w| w[0] < w[1]), "index stays sorted");
+    assert!(
+        snapshot.windows(2).all(|w| w[0] < w[1]),
+        "index stays sorted"
+    );
 
     println!(
         "index verified: {} keys; fast-path commits: {}, ordinary-transaction commits: {}",

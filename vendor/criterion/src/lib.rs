@@ -1,0 +1,231 @@
+//! Offline shim for the parts of `criterion` this workspace uses.
+//!
+//! Benches written against the real criterion 0.5 API (`Criterion`,
+//! `benchmark_group`, `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`, `criterion_main!`)
+//! compile and run unchanged.  Each benchmark is warmed up for the group's
+//! warm-up time, then measured for the group's measurement time split across
+//! the configured samples; the mean ns/iter is printed to stdout.  There are
+//! no statistics, plots, CLI filters or saved baselines.  See
+//! `vendor/README.md` for swap-back instructions.
+
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement marker types (shim for `criterion::measurement`).
+
+    /// Wall-clock time measurement — the only measurement the shim supports.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Prevents the optimizer from discarding a value (shim for
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to each benchmark target (shim for
+/// `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+            _criterion: self,
+            _measurement: measurement::WallTime,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing configuration (shim for
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: M,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for compatibility; the shim ignores throughput annotations.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group and prints its mean time per
+    /// iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + self.warm_up_time,
+            },
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        bencher.mode = Mode::Measure { per_sample };
+        bencher.iters = 0;
+        bencher.elapsed = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mean_ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        println!(
+            "{}/{id}: {mean_ns:.1} ns/iter ({} iters)",
+            self.name, bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    WarmUp { until: Instant },
+    Measure { per_sample: Duration },
+}
+
+/// Throughput annotation (shim for `criterion::Throughput`); accepted and
+/// ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure (shim for
+/// `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for the configured slice of time,
+    /// accumulating iteration counts and elapsed wall-clock time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                while Instant::now() < until {
+                    std::hint::black_box(routine());
+                }
+            }
+            Mode::Measure { per_sample } => {
+                // Run geometrically growing batches between clock reads so
+                // the `Instant::now` cost is amortized away even for
+                // nanosecond-scale routines (a per-iteration clock read
+                // would dominate the very costs these benches measure).
+                let start = Instant::now();
+                let mut iters = 0u64;
+                let mut batch = 1u64;
+                loop {
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    iters += batch;
+                    let elapsed = start.elapsed();
+                    if elapsed >= per_sample {
+                        self.iters += iters;
+                        self.elapsed += elapsed;
+                        break;
+                    }
+                    if batch < 1 << 20 {
+                        batch *= 2;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark targets (shim for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (shim for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

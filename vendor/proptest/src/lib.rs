@@ -1,0 +1,85 @@
+//! Offline shim for the parts of `proptest` this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, the [`Strategy`](strategy::Strategy)
+//! trait with `prop_map`, integer-range and tuple strategies,
+//! [`collection::vec`], [`ProptestConfig`](test_runner::Config) and the
+//! `prop_assert*` macros.  Differences from the real crate:
+//!
+//! * value generation is random but **deterministically seeded** from the
+//!   test name, so runs are reproducible;
+//! * there is **no shrinking** — a failing case panics with the generated
+//!   values printed by the assertion itself;
+//! * `prop_assert!`/`prop_assert_eq!` are plain `assert!`/`assert_eq!`.
+//!
+//! See `vendor/README.md` for swap-back instructions.
+
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the `proptest::prelude::*` glob import is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Builds the deterministic RNG for one property, seeded from its name.
+pub fn rng_for(test_name: &str) -> rng::TestRng {
+    rng::TestRng::from_name(test_name)
+}
+
+/// Shim for `proptest::prop_assert!`: panics (no shrinking) instead of
+/// returning a `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Shim for `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Shim for `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Shim for the `proptest!` macro: runs each property `config.cases` times
+/// with freshly generated inputs.  Supports the inner
+/// `#![proptest_config(..)]` attribute and one or more `pat in strategy`
+/// parameters per property.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut __proptest_rng = $crate::rng_for(stringify!($name));
+                for __proptest_case in 0..config.cases {
+                    let _ = __proptest_case;
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &$strategy,
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($rest)*
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Shim for `proptest::test_runner`: the run configuration.
+
+/// Shim for `proptest::test_runner::Config` (exported from the prelude as
+/// `ProptestConfig`).  Only `cases` is honoured; the other fields exist so
+/// `..ProptestConfig::default()` struct updates keep compiling if callers
+/// set them.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to generate and run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim never rejects cases.
+    pub max_global_rejects: u32,
+    /// Accepted for compatibility; the shim does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            // The real default is 256; the shim trims it to keep `cargo
+            // test -q` for the whole workspace inside a few seconds.
+            cases: 64,
+            max_global_rejects: 1024,
+            max_shrink_iters: 0,
+        }
+    }
+}

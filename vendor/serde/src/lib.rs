@@ -1,0 +1,15 @@
+//! Offline shim for the parts of `serde` this workspace uses.
+//!
+//! The workspace only *derives* [`Serialize`] on plain result-row types so a
+//! future exporter can serialize them; nothing serializes values yet.  The
+//! shim therefore reduces `Serialize` to a marker trait and the derive macro
+//! to an empty implementation.  See `vendor/README.md` for the swap-back
+//! instructions once real crates.io access exists.
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The real trait's `serialize` method is intentionally omitted: no code in
+/// the workspace calls it, and omitting it keeps the derive trivial.
+pub trait Serialize {}
+
+pub use serde_derive_shim::Serialize;

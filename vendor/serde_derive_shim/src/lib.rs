@@ -1,0 +1,34 @@
+//! `#[derive(Serialize)]` for the offline serde shim.
+//!
+//! Emits `impl serde::Serialize for <Type> {}` for the (non-generic) derive
+//! targets used in this workspace.  Types with generic parameters are not
+//! supported — the real `serde_derive` should be restored before any appear.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the shim's marker `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter();
+    // Skip attributes and visibility until the `struct`/`enum` keyword, then
+    // take the following identifier as the type name.
+    let mut name = None;
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let s = ident.to_string();
+            if s == "struct" || s == "enum" {
+                if let Some(TokenTree::Ident(type_name)) = tokens.next() {
+                    name = Some(type_name.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("serde shim derive: could not find type name");
+    if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (see vendor/README.md)");
+    }
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl failed to parse")
+}
