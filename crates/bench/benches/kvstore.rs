@@ -1,0 +1,71 @@
+//! Per-operation latency of the sharded KV store under the YCSB-style
+//! mixes and key distributions — the Criterion companion of the `kv`
+//! binary's multi-threaded sweeps (see EXPERIMENTS.md).
+//!
+//! One group per mix × distribution panel; within each group, one series
+//! per variant (the short-transaction layouts, the BaseTM full-transaction
+//! shape and the lock-free baseline).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::kv_runner;
+use harness::intset::Xorshift;
+use harness::kv::{KeyDist, KeySampler, KvMix};
+use harness::VariantSpec;
+
+const NUM_KEYS: u64 = 16_384;
+const SHARDS: usize = 16;
+const BUCKETS_PER_SHARD: usize = 2_048;
+
+const VARIANTS: [VariantSpec; 4] = [
+    VariantSpec::ValShort,
+    VariantSpec::TvarShortG,
+    VariantSpec::OrecFullG,
+    VariantSpec::LockFree,
+];
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400));
+}
+
+fn bench_kv_panel(c: &mut Criterion, mix: KvMix, dist: KeyDist) {
+    let group_name = format!("kv_{}_{}", mix.label().replace('/', "_"), dist.label());
+    let mut group = c.benchmark_group(&group_name);
+    configure(&mut group);
+    for spec in VARIANTS {
+        let mut runner = kv_runner(spec, SHARDS, BUCKETS_PER_SHARD, NUM_KEYS, mix, dist);
+        let sampler = KeySampler::new(dist, NUM_KEYS);
+        let mut rng = Xorshift::new(0xC0DE_5EED);
+        group.bench_function(spec.label(), |b| {
+            b.iter(|| {
+                let key = sampler.sample(&mut rng);
+                let raw = rng.next();
+                runner(key, raw);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn read_heavy(c: &mut Criterion) {
+    bench_kv_panel(c, KvMix::ReadHeavy, KeyDist::Uniform);
+    bench_kv_panel(c, KvMix::ReadHeavy, KeyDist::Zipfian);
+}
+
+fn update_heavy(c: &mut Criterion) {
+    bench_kv_panel(c, KvMix::UpdateHeavy, KeyDist::Uniform);
+    bench_kv_panel(c, KvMix::UpdateHeavy, KeyDist::Zipfian);
+}
+
+fn read_modify_write(c: &mut Criterion) {
+    bench_kv_panel(c, KvMix::ReadModifyWrite, KeyDist::Uniform);
+    bench_kv_panel(c, KvMix::ReadModifyWrite, KeyDist::Latest);
+}
+
+criterion_group!(kvstore, read_heavy, update_heavy, read_modify_write);
+criterion_main!(kvstore);

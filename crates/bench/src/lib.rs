@@ -14,27 +14,33 @@
 #![warn(missing_docs)]
 
 use harness::adapters::{BenchSet, LockFreeBench, SeqBench, StmHashBench, StmSkipBench};
+use harness::intset::Xorshift;
+use harness::intset::{choose_op, SetOp};
+use harness::kv::{KeyDist, KeySampler, KvMix, KvStore, LockFreeKvBench, StmKvBench};
 use harness::VariantSpec;
-use lockfree::{LockFreeHashTable, LockFreeSkipList, SeqHashTable, SeqSkipList};
+use lockfree::{LockFreeHashTable, LockFreeKvMap, LockFreeSkipList, SeqHashTable, SeqSkipList};
 use spectm::variants::{OrecStm, TvarStm, ValShort};
 use spectm::{Config, Stm};
 use spectm_ds::ApiMode;
 use txepoch::Collector;
 
-/// A type-erased integer-set operation driver: `runner(key, dice)` performs a
-/// lookup when `dice < lookup_pct`, otherwise an insert or remove.
+/// A type-erased integer-set operation driver: `runner(key, raw)` picks a
+/// lookup, insert or remove from the raw random draw via
+/// [`harness::intset::choose_op`] — the same dispatch the multi-threaded
+/// driver uses, so the two agree on the exact operation mix.
 pub type OpRunner = Box<dyn FnMut(u64, u64)>;
 
 fn erase<B: BenchSet>(set: B, key_range: u64, lookup_pct: u64) -> OpRunner {
     harness::intset::prefill(&set, key_range);
     let mut ctx = set.thread_ctx();
-    Box::new(move |key, dice| {
-        let dice = dice % 100;
-        if dice < lookup_pct {
+    Box::new(move |key, raw| match choose_op(raw, lookup_pct as u32) {
+        SetOp::Lookup => {
             std::hint::black_box(set.contains(key, &mut ctx));
-        } else if dice % 2 == 0 {
+        }
+        SetOp::Insert => {
             std::hint::black_box(set.insert(key, &mut ctx));
-        } else {
+        }
+        SetOp::Remove => {
             std::hint::black_box(set.remove(key, &mut ctx));
         }
     })
@@ -148,7 +154,100 @@ pub fn skip_runner(spec: VariantSpec, key_range: u64, lookup_pct: u64) -> OpRunn
     }
 }
 
-/// A deterministic key/dice stream shared by the bench loops.
+// ---------------------------------------------------------------------------
+// KV-store runners
+// ---------------------------------------------------------------------------
+
+fn erase_kv<K: KvStore>(store: K, num_keys: u64, mix: KvMix, dist: KeyDist) -> OpRunner {
+    harness::kv::load_keys(&store, num_keys);
+    let mut ctx = store.thread_ctx();
+    // Extra RMW keys follow the panel's distribution, exactly as in the
+    // multi-threaded driver (`perform_op` is the single dispatch shared by
+    // both, so the bench and the `kv` binary measure the same workload).
+    let sampler = KeySampler::new(dist, num_keys);
+    let mut rng = Xorshift::new(0x1D10_7BEE);
+    let mut rmw_buf = [0u64; 2];
+    Box::new(move |key, raw| {
+        harness::kv::perform_op(
+            &store,
+            &mut ctx,
+            mix,
+            key,
+            raw,
+            &sampler,
+            &mut rng,
+            &mut rmw_buf,
+        );
+    })
+}
+
+/// Builds an operation runner over the sharded KV store for `spec` (any STM
+/// variant or the lock-free baseline; there is no sequential KV store).
+/// `dist` governs the keys of multi-key read-modify-writes; the primary key
+/// is whatever the caller feeds the runner.
+pub fn kv_runner(
+    spec: VariantSpec,
+    shards: usize,
+    buckets_per_shard: usize,
+    num_keys: u64,
+    mix: KvMix,
+    dist: KeyDist,
+) -> OpRunner {
+    match spec {
+        VariantSpec::Sequential => panic!("the KV store has no sequential baseline"),
+        VariantSpec::LockFree => erase_kv(
+            LockFreeKvBench::new(LockFreeKvMap::new(
+                shards * buckets_per_shard,
+                Collector::new(),
+            )),
+            num_keys,
+            mix,
+            dist,
+        ),
+        VariantSpec::OrecFullG
+        | VariantSpec::OrecFullL
+        | VariantSpec::OrecShortG
+        | VariantSpec::OrecShortL
+        | VariantSpec::OrecFullGFine => erase_kv(
+            StmKvBench::new(
+                OrecStm::with_config(stm_config(spec)),
+                shards,
+                buckets_per_shard,
+                api_mode(spec),
+            ),
+            num_keys,
+            mix,
+            dist,
+        ),
+        VariantSpec::TvarFullG
+        | VariantSpec::TvarFullL
+        | VariantSpec::TvarShortG
+        | VariantSpec::TvarShortL => erase_kv(
+            StmKvBench::new(
+                TvarStm::with_config(stm_config(spec)),
+                shards,
+                buckets_per_shard,
+                api_mode(spec),
+            ),
+            num_keys,
+            mix,
+            dist,
+        ),
+        VariantSpec::ValFull | VariantSpec::ValShort => erase_kv(
+            StmKvBench::new(
+                ValShort::with_config(stm_config(spec)),
+                shards,
+                buckets_per_shard,
+                api_mode(spec),
+            ),
+            num_keys,
+            mix,
+            dist,
+        ),
+    }
+}
+
+/// A deterministic key/raw-draw stream shared by the bench loops.
 pub struct KeyStream {
     state: u64,
     key_range: u64,
@@ -163,7 +262,8 @@ impl KeyStream {
         }
     }
 
-    /// Next `(key, dice)` pair.
+    /// Next `(key, raw)` pair: a uniform key plus a raw 64-bit draw for the
+    /// operation dispatch.
     pub fn next_pair(&mut self) -> (u64, u64) {
         self.state ^= self.state << 13;
         self.state ^= self.state >> 7;
@@ -200,6 +300,23 @@ mod tests {
             for _ in 0..200 {
                 let (key, dice) = stream.next_pair();
                 runner(key, dice);
+            }
+        }
+    }
+
+    #[test]
+    fn kv_runners_execute_operations_for_every_concurrent_variant() {
+        for mix in [KvMix::ReadHeavy, KvMix::UpdateHeavy, KvMix::ReadModifyWrite] {
+            for spec in VariantSpec::all() {
+                if spec == VariantSpec::Sequential {
+                    continue;
+                }
+                let mut runner = kv_runner(spec, 4, 64, 256, mix, KeyDist::Zipfian);
+                let mut stream = KeyStream::new(21, 256);
+                for _ in 0..200 {
+                    let (key, raw) = stream.next_pair();
+                    runner(key, raw);
+                }
             }
         }
     }

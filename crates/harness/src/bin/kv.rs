@@ -1,0 +1,15 @@
+//! Throughput sweeps of the sharded transactional KV store (see
+//! EXPERIMENTS.md for the workload index).
+//!
+//! Sweeps threads × {read-heavy 95/5, update 50/50, rmw 50/50} ×
+//! {uniform, zipfian, latest} over the short-transaction STM variants, the
+//! BaseTM full-transaction shape and the lock-free baseline, printing the
+//! same TSV rows as the `fig*` binaries.  Accepts the common flags
+//! (`--quick`, `--paper`, `--threads a,b,c`, `--duration-ms`, `--runs`,
+//! `--key-range`).
+
+fn main() {
+    let opts = harness::figures::opts_from_args(std::env::args().skip(1));
+    let rows = harness::kv::kv_rows(&opts);
+    harness::figures::print_rows(&rows);
+}

@@ -442,11 +442,27 @@ pub fn opts_from_args(args: impl Iterator<Item = String>) -> FigureOpts {
                     opts.key_range = range;
                 }
             }
-            _ => {}
+            other => {
+                eprintln!(
+                    "warning: ignoring unknown argument `{other}` (expected --quick, --paper, \
+                     --threads, --duration-ms, --runs or --key-range)"
+                );
+            }
         }
         i += 1;
     }
     opts
+}
+
+/// Number of Figure 5 iterations corresponding to `opts`.
+///
+/// Figure 5 is the single-threaded synthetic benchmark: it has no threads or
+/// key range, so its one size knob (iterations per data point) is derived
+/// from the shared per-point duration — 800 iterations per millisecond, which
+/// maps the default 250 ms to the historical 200k iterations, `--quick` to
+/// 24k and `--paper` to 800k.
+pub fn fig5_iters(opts: &FigureOpts) -> usize {
+    (opts.duration.as_millis() as usize).max(1) * 800
 }
 
 #[cfg(test)]

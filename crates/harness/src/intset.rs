@@ -4,16 +4,20 @@
 //! drawn uniformly from a fixed range.  Before a run, the set is pre-filled
 //! with half the keys of the range; inserts and removes are issued in equal
 //! proportion so the set size stays roughly constant (about half the inserts
-//! and removes fail, as in the paper).  Throughput is the total number of
-//! completed operations divided by the wall-clock duration.
+//! and removes fail, as in the paper).  Each thread times its own measured
+//! window (see [`crate::measure`]); the reported throughput is the sum of
+//! the per-thread rates.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use serde::Serialize;
 
 use crate::adapters::BenchSet;
+use crate::measure::{run_timed, ThreadSample};
+
+/// Operations between consecutive stop-flag checks.
+pub(crate) const BATCH_OPS: u64 = 64;
 
 /// Parameters of one integer-set run.
 #[derive(Debug, Clone, Serialize)]
@@ -50,19 +54,29 @@ pub struct RunResult {
     pub total_ops: u64,
     /// Operations completed by each thread.
     pub per_thread_ops: Vec<u64>,
-    /// Measured wall-clock duration.
+    /// Each thread's own measured window (covers exactly the operations that
+    /// thread counted, including its post-stop batch tail).
+    pub per_thread_windows: Vec<Duration>,
+    /// Longest per-thread window (the run's wall-clock footprint).
     pub elapsed: Duration,
-    /// Operations per second.
+    /// Operations per second: the sum of the per-thread rates.
     pub throughput: f64,
 }
 
 impl RunResult {
-    fn from_counts(per_thread_ops: Vec<u64>, elapsed: Duration) -> Self {
-        let total_ops: u64 = per_thread_ops.iter().sum();
-        let throughput = total_ops as f64 / elapsed.as_secs_f64();
+    /// Aggregates per-thread samples into a run result.
+    pub fn from_samples(samples: Vec<ThreadSample>) -> Self {
+        let total_ops: u64 = samples.iter().map(|s| s.ops).sum();
+        let throughput: f64 = samples.iter().map(|s| s.rate()).sum();
+        let elapsed = samples
+            .iter()
+            .map(|s| s.window)
+            .max()
+            .unwrap_or(Duration::ZERO);
         Self {
             total_ops,
-            per_thread_ops,
+            per_thread_ops: samples.iter().map(|s| s.ops).collect(),
+            per_thread_windows: samples.iter().map(|s| s.window).collect(),
             elapsed,
             throughput,
         }
@@ -71,19 +85,60 @@ impl RunResult {
 
 /// Cheap per-thread xorshift generator (the workload must not be bottlenecked
 /// by random-number generation).
-struct Xorshift(u64);
+pub struct Xorshift(u64);
 
 impl Xorshift {
-    fn new(seed: u64) -> Self {
+    /// Seeds the generator (zero seeds are fixed up).
+    pub fn new(seed: u64) -> Self {
         Self(seed | 1)
     }
 
+    /// Next raw 64-bit draw.
+    // Deliberately named after the C-style RNG convention; this is not an
+    // iterator (it never ends and yields by value).
+    #[allow(clippy::should_implement_trait)]
     #[inline]
-    fn next(&mut self) -> u64 {
+    pub fn next(&mut self) -> u64 {
         self.0 ^= self.0 << 13;
         self.0 ^= self.0 >> 7;
         self.0 ^= self.0 << 17;
         self.0
+    }
+
+    /// Next draw mapped to `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One integer-set operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Membership query.
+    Lookup,
+    /// Insertion.
+    Insert,
+    /// Removal.
+    Remove,
+}
+
+/// Picks the operation for one raw 64-bit random draw: `lookup_pct` percent
+/// lookups, the rest split **exactly evenly** between inserts and removes.
+///
+/// The split must not be derived from the residual of the percentage dice
+/// (`dice % 2` over `lookup_pct..100`): for odd-sized residual ranges that
+/// skews the mix — at 95% lookups it yields 40/60 insert/remove, which
+/// slowly drains the structure and distorts long runs.  An independent bit
+/// of the same draw gives an exact 50/50 split for every `lookup_pct`.
+#[inline]
+pub fn choose_op(raw: u64, lookup_pct: u32) -> SetOp {
+    if raw % 100 < lookup_pct as u64 {
+        SetOp::Lookup
+    } else if (raw >> 32) & 1 == 0 {
+        SetOp::Insert
+    } else {
+        SetOp::Remove
     }
 }
 
@@ -112,45 +167,31 @@ pub fn run_intset<B: BenchSet>(set: Arc<B>, cfg: &WorkloadConfig) -> RunResult {
         prefill(&*set, cfg.key_range);
     }
 
-    let stop = Arc::new(AtomicBool::new(false));
-    let start_barrier = Arc::new(std::sync::Barrier::new(cfg.threads + 1));
-    let mut joins = Vec::with_capacity(cfg.threads);
-    for tid in 0..cfg.threads {
-        let set = Arc::clone(&set);
-        let stop = Arc::clone(&stop);
-        let barrier = Arc::clone(&start_barrier);
+    let samples = run_timed(cfg.threads, cfg.duration, |tid| {
+        let mut ctx = set.thread_ctx();
+        let mut rng = Xorshift::new(0x9E37_79B9 * (tid as u64 + 1));
+        let set = &set;
         let cfg = cfg.clone();
-        joins.push(std::thread::spawn(move || {
-            let mut ctx = set.thread_ctx();
-            let mut rng = Xorshift::new(0x9E37_79B9 * (tid as u64 + 1));
-            barrier.wait();
-            let mut ops = 0u64;
-            while !stop.load(Ordering::Relaxed) {
-                // Issue a small batch between stop-flag checks.
-                for _ in 0..64 {
-                    let key = rng.next() % cfg.key_range;
-                    let dice = rng.next() % 100;
-                    if dice < cfg.lookup_pct as u64 {
+        move || {
+            // Issue a small batch between stop-flag checks.
+            for _ in 0..BATCH_OPS {
+                let key = rng.next() % cfg.key_range;
+                match choose_op(rng.next(), cfg.lookup_pct) {
+                    SetOp::Lookup => {
                         std::hint::black_box(set.contains(key, &mut ctx));
-                    } else if dice % 2 == 0 {
+                    }
+                    SetOp::Insert => {
                         std::hint::black_box(set.insert(key, &mut ctx));
-                    } else {
+                    }
+                    SetOp::Remove => {
                         std::hint::black_box(set.remove(key, &mut ctx));
                     }
-                    ops += 1;
                 }
             }
-            ops
-        }));
-    }
-
-    start_barrier.wait();
-    let start = Instant::now();
-    std::thread::sleep(cfg.duration);
-    stop.store(true, Ordering::Relaxed);
-    let per_thread: Vec<u64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
-    let elapsed = start.elapsed();
-    RunResult::from_counts(per_thread, elapsed)
+            BATCH_OPS
+        }
+    });
+    RunResult::from_samples(samples)
 }
 
 /// Runs the workload `runs` times on fresh structures produced by `make_set`
@@ -182,6 +223,7 @@ mod tests {
     use spectm::variants::ValShort;
     use spectm::Stm;
     use spectm_ds::ApiMode;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn quick_cfg(threads: usize) -> WorkloadConfig {
         WorkloadConfig {
@@ -200,6 +242,7 @@ mod tests {
         assert!(res.total_ops > 0);
         assert!(res.throughput > 0.0);
         assert_eq!(res.per_thread_ops.len(), 2);
+        assert_eq!(res.per_thread_windows.len(), 2);
     }
 
     #[test]
@@ -235,5 +278,120 @@ mod tests {
             3,
         );
         assert!(mean > 0.0);
+    }
+
+    /// A [`BenchSet`] whose second registered thread stalls on every
+    /// operation: a controllable "straggler" for the measurement-window
+    /// regression test below.
+    struct StragglerSet {
+        registrations: AtomicUsize,
+        stall: Duration,
+    }
+
+    impl BenchSet for StragglerSet {
+        type ThreadCtx = bool; // "am I the straggler?"
+
+        fn thread_ctx(&self) -> bool {
+            self.registrations.fetch_add(1, Ordering::Relaxed) == 1
+        }
+
+        fn insert(&self, _key: u64, straggler: &mut bool) -> bool {
+            if *straggler {
+                std::thread::sleep(self.stall);
+            }
+            true
+        }
+
+        fn remove(&self, _key: u64, straggler: &mut bool) -> bool {
+            if *straggler {
+                std::thread::sleep(self.stall);
+            }
+            true
+        }
+
+        fn contains(&self, _key: u64, straggler: &mut bool) -> bool {
+            if *straggler {
+                std::thread::sleep(self.stall);
+            }
+            true
+        }
+    }
+
+    /// Regression test for the measured-window fix.  The straggler thread
+    /// needs ~`64 * 5 ms ≈ 320 ms` to drain its final batch after the 30 ms
+    /// stop flag, while the fast thread stops almost immediately.  The old
+    /// measurement (total ops / wall time until the *last* join) diluted the
+    /// fast thread's rate by the straggler's overrun — deflating throughput
+    /// by ~10x in this setup.  Per-thread windows keep each thread's rate
+    /// honest regardless of the overrun.  (The asserted 4x margin leaves
+    /// ~50 ms of scheduler slack on the fast thread's 30 ms window before
+    /// the test could flake on a loaded machine.)
+    #[test]
+    fn throughput_is_not_skewed_by_post_stop_stragglers() {
+        let set = Arc::new(StragglerSet {
+            registrations: AtomicUsize::new(0),
+            stall: Duration::from_millis(5),
+        });
+        let cfg = WorkloadConfig {
+            key_range: 64,
+            lookup_pct: 100,
+            threads: 2,
+            duration: Duration::from_millis(30),
+            prefill: false,
+        };
+        let res = run_intset(set, &cfg);
+        assert_eq!(res.per_thread_ops.len(), 2);
+        // The straggler really did overrun the measured phase…
+        assert!(
+            res.elapsed > cfg.duration * 3,
+            "straggler finished too quickly ({:?}) for the regression to bite",
+            res.elapsed
+        );
+        // …and every thread's window covers at least the configured phase.
+        for w in &res.per_thread_windows {
+            assert!(*w >= cfg.duration);
+        }
+        // The old aggregate (total ops over the full wall window) must be a
+        // gross underestimate of the per-thread-rate aggregate.
+        let old_estimate = res.total_ops as f64 / res.elapsed.as_secs_f64();
+        assert!(
+            res.throughput > 4.0 * old_estimate,
+            "per-thread windows no longer correct the straggler skew: \
+             {} vs old {}",
+            res.throughput,
+            old_estimate
+        );
+    }
+
+    /// Regression test for the insert/remove split: with 95% lookups the
+    /// old `dice % 2` split sent 40/60 of the residual to insert/remove;
+    /// the independent-bit split must stay balanced for every lookup_pct.
+    #[test]
+    fn insert_remove_split_is_balanced_for_odd_residuals() {
+        for lookup_pct in [0u32, 10, 50, 90, 95, 97] {
+            let mut rng = Xorshift::new(0xABCD_EF01);
+            let (mut lookups, mut inserts, mut removes) = (0u64, 0u64, 0u64);
+            const DRAWS: u64 = 200_000;
+            for _ in 0..DRAWS {
+                match choose_op(rng.next(), lookup_pct) {
+                    SetOp::Lookup => lookups += 1,
+                    SetOp::Insert => inserts += 1,
+                    SetOp::Remove => removes += 1,
+                }
+            }
+            let lookup_share = lookups as f64 / DRAWS as f64;
+            assert!(
+                (lookup_share - lookup_pct as f64 / 100.0).abs() < 0.01,
+                "lookup share {lookup_share} at {lookup_pct}%"
+            );
+            let updates = inserts + removes;
+            if updates > 0 {
+                let insert_share = inserts as f64 / updates as f64;
+                assert!(
+                    (insert_share - 0.5).abs() < 0.02,
+                    "insert/remove split {insert_share} at {lookup_pct}% lookups"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,667 @@
+//! YCSB-style workload driver for the sharded transactional KV store.
+//!
+//! Where [`crate::intset`] reproduces the paper's microbenchmarks, this
+//! module stresses the same STM variants through a *service-level* shape:
+//! the sharded `u64 -> u64` store of the `spectm-kv` crate, driven by the
+//! standard key-value mixes (read-heavy 95/5, update 50/50, and a
+//! read-modify-write mix whose multi-key updates compose across shards) and
+//! by skewed key-popularity distributions (zipfian and latest) next to the
+//! uniform draw of the microbenchmarks.  EXPERIMENTS.md maps the mixes to
+//! their YCSB counterparts.
+//!
+//! Everything is generic over [`KvStore`], so the STM-backed store and the
+//! CAS-based [`lockfree::LockFreeKvMap`] baseline run the identical driver,
+//! and [`run_kv_variant`] accepts the same [`VariantSpec`] labels the figure
+//! drivers use.  Measurement uses the per-thread windows of
+//! [`crate::measure`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lockfree::LockFreeKvMap;
+use serde::Serialize;
+use spectm::variants::{OrecStm, TvarStm, ValShort};
+use spectm::Stm;
+use spectm_kv::ShardedKv;
+use txepoch::Collector;
+
+use crate::intset::{RunResult, Xorshift, BATCH_OPS};
+use crate::measure::run_timed;
+use crate::variants::{bench_config, Layout, VariantSpec};
+
+/// A key-value store as seen by the workload driver.
+///
+/// `ThreadCtx` carries the per-thread state (an STM thread handle or an
+/// epoch handle) and is created on the worker thread itself.
+pub trait KvStore: Send + Sync + 'static {
+    /// Per-worker-thread context.
+    type ThreadCtx;
+
+    /// Creates the calling thread's context.
+    fn thread_ctx(&self) -> Self::ThreadCtx;
+    /// Returns the value stored under `key`.
+    fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64>;
+    /// Stores `value` under `key`, returning the previous value if present.
+    fn put(&self, key: u64, value: u64, ctx: &mut Self::ThreadCtx) -> Option<u64>;
+    /// Removes `key`, returning the value it held.
+    fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64>;
+    /// Adds `delta` to every key in `keys`.  Atomic across keys for the STM
+    /// store; per-key atomic only for the lock-free baseline.
+    fn rmw_add(&self, keys: &[u64], delta: u64, ctx: &mut Self::ThreadCtx) -> bool;
+    /// Whether the implementation is safe to drive from multiple threads.
+    fn supports_concurrency(&self) -> bool {
+        true
+    }
+}
+
+/// [`KvStore`] adapter for the sharded STM store.
+pub struct StmKvBench<S: Stm + Clone> {
+    store: ShardedKv<S>,
+}
+
+impl<S: Stm + Clone> StmKvBench<S> {
+    /// Builds a store with `shards` shards of `buckets_per_shard` chains
+    /// over `stm`, driven in `mode`.
+    pub fn new(stm: S, shards: usize, buckets_per_shard: usize, mode: spectm_ds::ApiMode) -> Self {
+        Self {
+            store: ShardedKv::new(&stm, shards, buckets_per_shard, mode),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &ShardedKv<S> {
+        &self.store
+    }
+}
+
+impl<S: Stm + Clone> KvStore for StmKvBench<S> {
+    type ThreadCtx = S::Thread;
+
+    fn thread_ctx(&self) -> Self::ThreadCtx {
+        self.store.register()
+    }
+
+    fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+        self.store.get(key, ctx)
+    }
+
+    fn put(&self, key: u64, value: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+        self.store.put(key, value, ctx)
+    }
+
+    fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+        self.store.del(key, ctx)
+    }
+
+    fn rmw_add(&self, keys: &[u64], delta: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.store.rmw_add(keys, delta, ctx)
+    }
+}
+
+/// [`KvStore`] adapter for the lock-free baseline.
+pub struct LockFreeKvBench {
+    inner: Arc<LockFreeKvMap>,
+}
+
+impl LockFreeKvBench {
+    /// Wraps a lock-free KV map.
+    pub fn new(inner: LockFreeKvMap) -> Self {
+        Self {
+            inner: Arc::new(inner),
+        }
+    }
+}
+
+impl KvStore for LockFreeKvBench {
+    type ThreadCtx = txepoch::LocalHandle;
+
+    fn thread_ctx(&self) -> Self::ThreadCtx {
+        self.inner.collector().register()
+    }
+
+    fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+        self.inner.get(key, ctx)
+    }
+
+    fn put(&self, key: u64, value: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+        self.inner.put(key, value, ctx)
+    }
+
+    fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+        self.inner.del(key, ctx)
+    }
+
+    fn rmw_add(&self, keys: &[u64], delta: u64, ctx: &mut Self::ThreadCtx) -> bool {
+        self.inner.rmw_add(keys, delta, ctx)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operation mixes and key distributions
+// ---------------------------------------------------------------------------
+
+/// Operation mix of a KV workload (labels follow the YCSB core workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum KvMix {
+    /// 95% reads / 5% writes (YCSB-B).
+    ReadHeavy,
+    /// 50% reads / 50% writes (YCSB-A).
+    UpdateHeavy,
+    /// 50% reads / 50% multi-key read-modify-writes (YCSB-F, generalized to
+    /// [`KvWorkloadConfig::rmw_keys`] keys so updates span shards).
+    ReadModifyWrite,
+}
+
+impl KvMix {
+    /// Label used in the TSV panel column.
+    pub fn label(self) -> &'static str {
+        match self {
+            KvMix::ReadHeavy => "read-heavy-95/5",
+            KvMix::UpdateHeavy => "update-50/50",
+            KvMix::ReadModifyWrite => "rmw-50/50",
+        }
+    }
+
+    /// Percentage of operations that are plain reads.
+    pub fn read_pct(self) -> u32 {
+        match self {
+            KvMix::ReadHeavy => 95,
+            KvMix::UpdateHeavy | KvMix::ReadModifyWrite => 50,
+        }
+    }
+}
+
+/// Key-popularity distribution of a KV workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum KeyDist {
+    /// Every key equally likely (the microbenchmarks' draw).
+    Uniform,
+    /// Zipfian-popular keys scattered over the key space (YCSB's scrambled
+    /// zipfian, constant 0.99).
+    Zipfian,
+    /// Zipfian-popular keys clustered at the top of the key space (YCSB's
+    /// "latest": recency skew with locality).
+    Latest,
+}
+
+impl KeyDist {
+    /// Label used in the TSV panel column.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Zipfian => "zipfian",
+            KeyDist::Latest => "latest",
+        }
+    }
+}
+
+/// The YCSB zipfian constant.
+pub const ZIPFIAN_THETA: f64 = 0.99;
+
+/// Zipfian rank generator (Gray et al.'s method, as used by YCSB): rank 0 is
+/// the most popular, with popularity `∝ 1 / (rank+1)^theta`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Builds a generator over ranks `0..n` with skew `theta` in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty rank space");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0);
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Maps a uniform draw `u ∈ [0, 1)` to a rank in `0..n`.
+    pub fn sample(&self, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Per-thread key sampler combining a distribution with the rank-to-key
+/// mapping.
+pub struct KeySampler {
+    dist: KeyDist,
+    num_keys: u64,
+    zipf: Option<Zipfian>,
+}
+
+impl KeySampler {
+    /// Builds a sampler over `0..num_keys`.
+    pub fn new(dist: KeyDist, num_keys: u64) -> Self {
+        let zipf = match dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipfian | KeyDist::Latest => Some(Zipfian::new(num_keys, ZIPFIAN_THETA)),
+        };
+        Self {
+            dist,
+            num_keys,
+            zipf,
+        }
+    }
+
+    /// Draws the next key.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xorshift) -> u64 {
+        match self.dist {
+            KeyDist::Uniform => rng.next() % self.num_keys,
+            KeyDist::Zipfian => {
+                // Scatter the popular ranks over the key space so hot keys
+                // spread across shards and buckets (scrambled zipfian).
+                let rank = self.zipf.as_ref().unwrap().sample(rng.next_f64());
+                rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.num_keys
+            }
+            KeyDist::Latest => {
+                // Popular ranks map to the *top* of the key space: recency
+                // skew with locality, unscrambled on purpose.
+                let rank = self.zipf.as_ref().unwrap().sample(rng.next_f64());
+                self.num_keys - 1 - rank
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The workload driver
+// ---------------------------------------------------------------------------
+
+/// Parameters of one KV-store run.
+#[derive(Debug, Clone, Serialize)]
+pub struct KvWorkloadConfig {
+    /// Keys are drawn from `0..num_keys`; the load phase inserts all of
+    /// them, so reads and RMWs always hit.
+    pub num_keys: u64,
+    /// Shard count of the store (power of two).
+    pub shards: usize,
+    /// Bucket chains per shard.
+    pub buckets_per_shard: usize,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock duration of the measured phase.
+    pub duration: Duration,
+    /// Operation mix.
+    pub mix: KvMix,
+    /// Key-popularity distribution.
+    pub dist: KeyDist,
+    /// Keys touched by one read-modify-write (drawn independently, so they
+    /// usually land on different shards).
+    pub rmw_keys: usize,
+}
+
+impl Default for KvWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            num_keys: 65_536,
+            shards: 16,
+            buckets_per_shard: 8_192,
+            threads: 1,
+            duration: Duration::from_millis(300),
+            mix: KvMix::ReadHeavy,
+            dist: KeyDist::Uniform,
+            rmw_keys: 2,
+        }
+    }
+}
+
+impl KvWorkloadConfig {
+    /// Derives the store-sizing fields from a key-space size: 16 shards (or
+    /// fewer for tiny spaces) and about two buckets per key overall.
+    pub fn sized_for(num_keys: u64) -> Self {
+        let shards = 16usize.min((num_keys / 64).max(1) as usize);
+        let buckets_per_shard = ((num_keys * 2) as usize / shards).max(16);
+        Self {
+            num_keys,
+            shards,
+            buckets_per_shard,
+            ..Self::default()
+        }
+    }
+}
+
+/// Loads every key of `0..num_keys` with `value = key`.
+pub fn load_keys<K: KvStore>(store: &K, num_keys: u64) {
+    let mut ctx = store.thread_ctx();
+    for key in 0..num_keys {
+        store.put(key, key, &mut ctx);
+    }
+}
+
+/// Executes one workload operation: a read with probability
+/// `mix.read_pct()`, otherwise the mix's write shape.  `key` is the primary
+/// key and `raw` the dispatch draw; the extra read-modify-write keys (slots
+/// `1..` of `rmw_buf`) are drawn from `sampler`, so *every* key an operation
+/// touches follows the panel's distribution.  Shared by the multi-threaded
+/// driver and the Criterion runners in the `bench` crate so the two cannot
+/// drift apart.
+#[inline]
+#[expect(clippy::too_many_arguments)]
+pub fn perform_op<K: KvStore>(
+    store: &K,
+    ctx: &mut K::ThreadCtx,
+    mix: KvMix,
+    key: u64,
+    raw: u64,
+    sampler: &KeySampler,
+    rng: &mut Xorshift,
+    rmw_buf: &mut [u64],
+) {
+    if raw % 100 < mix.read_pct() as u64 {
+        std::hint::black_box(store.get(key, ctx));
+    } else {
+        match mix {
+            KvMix::ReadHeavy | KvMix::UpdateHeavy => {
+                std::hint::black_box(store.put(key, raw >> 2, ctx));
+            }
+            KvMix::ReadModifyWrite => {
+                rmw_buf[0] = key;
+                for slot in rmw_buf[1..].iter_mut() {
+                    *slot = sampler.sample(rng);
+                }
+                std::hint::black_box(store.rmw_add(rmw_buf, 1, ctx));
+            }
+        }
+    }
+}
+
+/// Runs the workload once (load phase + measured phase) and reports
+/// throughput.  One read-modify-write counts as one operation.
+pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
+    assert!(
+        cfg.threads == 1 || store.supports_concurrency(),
+        "store cannot run with {} threads",
+        cfg.threads
+    );
+    assert!(
+        cfg.rmw_keys >= 1 && cfg.rmw_keys <= spectm_kv::MAX_RMW_KEYS,
+        "rmw_keys must be in 1..={}",
+        spectm_kv::MAX_RMW_KEYS
+    );
+    load_keys(&*store, cfg.num_keys);
+
+    let samples = run_timed(cfg.threads, cfg.duration, |tid| {
+        let mut ctx = store.thread_ctx();
+        let mut rng = Xorshift::new(0x0BAD_5EED ^ (0x9E37_79B9 * (tid as u64 + 1)));
+        let sampler = KeySampler::new(cfg.dist, cfg.num_keys);
+        let store = &store;
+        let cfg = cfg.clone();
+        let mut rmw_buf = vec![0u64; cfg.rmw_keys];
+        move || {
+            for _ in 0..BATCH_OPS {
+                let key = sampler.sample(&mut rng);
+                let raw = rng.next();
+                perform_op(
+                    &**store,
+                    &mut ctx,
+                    cfg.mix,
+                    key,
+                    raw,
+                    &sampler,
+                    &mut rng,
+                    &mut rmw_buf,
+                );
+            }
+            BATCH_OPS
+        }
+    });
+    RunResult::from_samples(samples)
+}
+
+/// Runs the workload `runs` times on fresh stores produced by `make_store`
+/// and returns the mean throughput after discarding the minimum and maximum
+/// (the same repetition policy as the figure sweeps).
+pub fn run_kv_repeated<K, F>(make_store: F, cfg: &KvWorkloadConfig, runs: usize) -> f64
+where
+    K: KvStore,
+    F: Fn() -> K,
+{
+    assert!(runs >= 1);
+    let mut throughputs: Vec<f64> = (0..runs)
+        .map(|_| run_kv(Arc::new(make_store()), cfg).throughput)
+        .collect();
+    throughputs.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+    let trimmed: &[f64] = if throughputs.len() > 2 {
+        &throughputs[1..throughputs.len() - 1]
+    } else {
+        &throughputs
+    };
+    trimmed.iter().sum::<f64>() / trimmed.len() as f64
+}
+
+/// Runs the KV workload for a [`VariantSpec`] label, returning mean
+/// throughput in operations per second.
+///
+/// # Panics
+///
+/// Panics for [`VariantSpec::Sequential`]: the store is a concurrent
+/// subsystem and has no single-threaded reference implementation.
+pub fn run_kv_variant(spec: VariantSpec, cfg: &KvWorkloadConfig, runs: usize) -> f64 {
+    match spec {
+        VariantSpec::Sequential => {
+            panic!("the KV store has no sequential baseline; use lock-free or an STM variant")
+        }
+        VariantSpec::LockFree => run_kv_repeated(
+            || {
+                LockFreeKvBench::new(LockFreeKvMap::new(
+                    cfg.shards * cfg.buckets_per_shard,
+                    Collector::new(),
+                ))
+            },
+            cfg,
+            runs,
+        ),
+        _ => {
+            let (layout, api, config) = spec.stm_parts().expect("STM variant");
+            let config = bench_config(config);
+            match layout {
+                Layout::Orec => run_kv_repeated(
+                    || {
+                        StmKvBench::new(
+                            OrecStm::with_config(config),
+                            cfg.shards,
+                            cfg.buckets_per_shard,
+                            api,
+                        )
+                    },
+                    cfg,
+                    runs,
+                ),
+                Layout::Tvar => run_kv_repeated(
+                    || {
+                        StmKvBench::new(
+                            TvarStm::with_config(config),
+                            cfg.shards,
+                            cfg.buckets_per_shard,
+                            api,
+                        )
+                    },
+                    cfg,
+                    runs,
+                ),
+                Layout::Val => run_kv_repeated(
+                    || {
+                        StmKvBench::new(
+                            ValShort::with_config(config),
+                            cfg.shards,
+                            cfg.buckets_per_shard,
+                            api,
+                        )
+                    },
+                    cfg,
+                    runs,
+                ),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The `kv` binary's sweep
+// ---------------------------------------------------------------------------
+
+use crate::figures::{FigureOpts, FigureRow};
+
+/// Variants the `kv` binary sweeps: the paper's best short-transaction
+/// variant, a second short layout, the BaseTM full-transaction shape and the
+/// CAS baseline.
+pub fn kv_variants() -> Vec<VariantSpec> {
+    vec![
+        VariantSpec::ValShort,
+        VariantSpec::TvarShortG,
+        VariantSpec::OrecFullG,
+        VariantSpec::LockFree,
+    ]
+}
+
+/// Produces the `kv` binary's rows: threads × mix × distribution × variant,
+/// in the same TSV row shape as the figure drivers (`figure` is `"kv"`,
+/// `panel` is `"<mix> / <dist>"`, `x` is the thread count).
+pub fn kv_rows(opts: &FigureOpts) -> Vec<FigureRow> {
+    let mixes = [KvMix::ReadHeavy, KvMix::UpdateHeavy, KvMix::ReadModifyWrite];
+    let dists = [KeyDist::Uniform, KeyDist::Zipfian, KeyDist::Latest];
+    let mut rows = Vec::new();
+    for mix in mixes {
+        for dist in dists {
+            let panel = format!("{} / {}", mix.label(), dist.label());
+            for variant in kv_variants() {
+                for &threads in &opts.threads {
+                    let cfg = KvWorkloadConfig {
+                        threads,
+                        duration: opts.duration,
+                        mix,
+                        dist,
+                        ..KvWorkloadConfig::sized_for(opts.key_range)
+                    };
+                    let y = run_kv_variant(variant, &cfg, opts.runs);
+                    rows.push(FigureRow {
+                        figure: "kv",
+                        panel: panel.clone(),
+                        series: variant.label().to_string(),
+                        x: threads as f64,
+                        y,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectm_ds::ApiMode;
+
+    fn tiny_cfg(mix: KvMix, dist: KeyDist, threads: usize) -> KvWorkloadConfig {
+        KvWorkloadConfig {
+            threads,
+            duration: Duration::from_millis(20),
+            mix,
+            dist,
+            ..KvWorkloadConfig::sized_for(512)
+        }
+    }
+
+    #[test]
+    fn zipfian_ranks_are_skewed_and_in_range() {
+        let z = Zipfian::new(1_000, ZIPFIAN_THETA);
+        let mut rng = Xorshift::new(7);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..20_000 {
+            let rank = z.sample(rng.next_f64());
+            assert!(rank < 1_000);
+            counts[rank as usize] += 1;
+        }
+        // Rank 0 must dominate: more draws than the entire upper half.
+        let upper_half: u32 = counts[500..].iter().sum();
+        assert!(
+            counts[0] > upper_half,
+            "rank 0 drawn {} times vs upper half {}",
+            counts[0],
+            upper_half
+        );
+    }
+
+    #[test]
+    fn samplers_stay_in_range_for_every_distribution() {
+        for dist in [KeyDist::Uniform, KeyDist::Zipfian, KeyDist::Latest] {
+            let sampler = KeySampler::new(dist, 333);
+            let mut rng = Xorshift::new(11);
+            for _ in 0..5_000 {
+                assert!(sampler.sample(&mut rng) < 333, "{dist:?} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn latest_distribution_prefers_recent_keys() {
+        let sampler = KeySampler::new(KeyDist::Latest, 1_000);
+        let mut rng = Xorshift::new(13);
+        let mut top_decile = 0u32;
+        const DRAWS: u32 = 10_000;
+        for _ in 0..DRAWS {
+            if sampler.sample(&mut rng) >= 900 {
+                top_decile += 1;
+            }
+        }
+        // Under uniform the top decile would get ~10%; recency skew must
+        // push it far beyond that.
+        assert!(
+            top_decile > DRAWS / 2,
+            "top decile only drew {top_decile} of {DRAWS}"
+        );
+    }
+
+    #[test]
+    fn stm_store_serves_every_mix() {
+        for mix in [KvMix::ReadHeavy, KvMix::UpdateHeavy, KvMix::ReadModifyWrite] {
+            let store = Arc::new(StmKvBench::new(ValShort::new(), 4, 128, ApiMode::Short));
+            let res = run_kv(store, &tiny_cfg(mix, KeyDist::Zipfian, 2));
+            assert!(res.total_ops > 0, "{mix:?}");
+            assert!(res.throughput > 0.0, "{mix:?}");
+        }
+    }
+
+    #[test]
+    fn lock_free_store_serves_every_mix() {
+        for mix in [KvMix::ReadHeavy, KvMix::UpdateHeavy, KvMix::ReadModifyWrite] {
+            let store = Arc::new(LockFreeKvBench::new(LockFreeKvMap::new(
+                512,
+                Collector::new(),
+            )));
+            let res = run_kv(store, &tiny_cfg(mix, KeyDist::Uniform, 2));
+            assert!(res.total_ops > 0, "{mix:?}");
+        }
+    }
+
+    #[test]
+    fn variant_runner_covers_the_acceptance_variants() {
+        let cfg = tiny_cfg(KvMix::ReadModifyWrite, KeyDist::Zipfian, 1);
+        for spec in kv_variants() {
+            let thpt = run_kv_variant(spec, &cfg, 1);
+            assert!(thpt > 0.0, "{} produced no throughput", spec.label());
+        }
+    }
+}

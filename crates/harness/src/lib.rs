@@ -16,20 +16,29 @@
 //! * [`single_thread`] — the single-threaded synthetic-array micro-benchmark
 //!   of Figure 5;
 //! * [`figures`] — one driver per figure, used by the `fig*` binaries and by
-//!   the Criterion benches.
+//!   the Criterion benches;
+//! * [`measure`] — the shared timed-run scaffolding (per-thread measurement
+//!   windows);
+//! * [`kv`] — the YCSB-style workload driver for the sharded transactional
+//!   KV store of the `spectm-kv` crate (operation mixes, zipfian/latest key
+//!   distributions, and the `kv` binary's sweep).
 //!
 //! Binaries: `cargo run --release -p harness --bin fig1` (likewise `fig5`
-//! through `fig10`).  Each accepts `--quick` for a fast smoke run and
-//! `--threads a,b,c` to override the sweep.
+//! through `fig10`, and `kv` for the KV-store sweeps).  Each accepts
+//! `--quick` for a fast smoke run and `--threads a,b,c` to override the
+//! sweep.
 
 #![warn(missing_docs)]
 
 pub mod adapters;
 pub mod figures;
 pub mod intset;
+pub mod kv;
+pub mod measure;
 pub mod single_thread;
 pub mod variants;
 
 pub use adapters::BenchSet;
-pub use intset::{run_intset, run_intset_repeated, RunResult, WorkloadConfig};
+pub use intset::{choose_op, run_intset, run_intset_repeated, RunResult, SetOp, WorkloadConfig};
+pub use kv::{run_kv, run_kv_repeated, run_kv_variant, KvMix, KvStore, KvWorkloadConfig};
 pub use variants::VariantSpec;

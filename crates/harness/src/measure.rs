@@ -1,0 +1,123 @@
+//! Shared timed-run scaffolding for the throughput drivers.
+//!
+//! Both workload drivers (the integer-set driver of [`crate::intset`] and
+//! the KV-store driver of [`crate::kv`]) measure the same way: spawn
+//! workers, release them through a barrier, sleep for the configured
+//! duration, raise a stop flag, and aggregate per-thread operation counts.
+//!
+//! Workers only check the stop flag between *batches* of operations, so
+//! every thread runs up to a batch worth of extra operations after the flag
+//! flips, and a straggling thread (contention, preemption, a slow batch)
+//! keeps running after the others stopped.  Dividing the summed counts by
+//! one shared wall-clock interval therefore skews throughput — badly so at
+//! `--quick` durations, where a single 64-op batch can be a visible
+//! fraction of the 30 ms window.  Instead, **each thread times its own
+//! measured window** (barrier release to loop exit, covering exactly the
+//! operations it counted) and the aggregate throughput is the sum of the
+//! per-thread rates.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// One worker thread's contribution to a run: how many operations it
+/// completed and the window in which it completed them.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadSample {
+    /// Operations completed by this thread.
+    pub ops: u64,
+    /// The thread's own measured window (barrier release to loop exit); it
+    /// covers every counted operation, including the post-stop batch tail.
+    pub window: Duration,
+}
+
+impl ThreadSample {
+    /// This thread's throughput in operations per second.
+    pub fn rate(&self) -> f64 {
+        if self.window.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / self.window.as_secs_f64()
+        }
+    }
+}
+
+/// Runs `threads` workers for (at least) `duration` and returns each
+/// thread's sample.
+///
+/// `make_worker` is invoked **on the worker thread itself** (so per-thread
+/// contexts that are not `Send` can be created inside it) and returns the
+/// batch closure; each call of the batch closure performs one batch of
+/// operations and returns how many it completed.  The stop flag is checked
+/// between batches.
+pub fn run_timed<F, W>(threads: usize, duration: Duration, make_worker: F) -> Vec<ThreadSample>
+where
+    F: Fn(usize) -> W + Sync,
+    W: FnMut() -> u64,
+{
+    let stop = AtomicBool::new(false);
+    let start_barrier = Barrier::new(threads + 1);
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let start_barrier = &start_barrier;
+        let make_worker = &make_worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let mut batch = make_worker(tid);
+                    start_barrier.wait();
+                    let start = Instant::now();
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        ops += batch();
+                    }
+                    ThreadSample {
+                        ops,
+                        window: start.elapsed(),
+                    }
+                })
+            })
+            .collect();
+        start_barrier.wait();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_thread_reports_a_window_covering_the_duration() {
+        let samples = run_timed(3, Duration::from_millis(20), |_tid| {
+            || {
+                std::hint::black_box(1 + 1);
+                1
+            }
+        });
+        assert_eq!(samples.len(), 3);
+        for s in &samples {
+            assert!(s.ops > 0);
+            assert!(s.window >= Duration::from_millis(20));
+            assert!(s.rate() > 0.0);
+        }
+    }
+
+    #[test]
+    fn worker_contexts_are_created_on_the_worker_thread() {
+        // A non-Send context (Rc) must be constructible inside make_worker.
+        let samples = run_timed(2, Duration::from_millis(5), |tid| {
+            let ctx = std::rc::Rc::new(tid);
+            move || {
+                std::hint::black_box(*ctx);
+                1
+            }
+        });
+        assert!(samples.iter().all(|s| s.ops > 0));
+    }
+}

@@ -96,7 +96,7 @@ impl VariantSpec {
         self != VariantSpec::Sequential
     }
 
-    fn stm_parts(self) -> Option<(Layout, ApiMode, Config)> {
+    pub(crate) fn stm_parts(self) -> Option<(Layout, ApiMode, Config)> {
         let (layout, api, config) = match self {
             VariantSpec::OrecFullG => (Layout::Orec, ApiMode::Full, Config::global()),
             VariantSpec::OrecFullL => (Layout::Orec, ApiMode::Full, Config::local()),
@@ -117,7 +117,7 @@ impl VariantSpec {
 
 /// Meta-data layout component of a variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Layout {
+pub(crate) enum Layout {
     Orec,
     Tvar,
     Val,
@@ -125,7 +125,7 @@ enum Layout {
 
 /// A smaller orec table than the library default keeps per-run setup cheap
 /// while still making false sharing rare for 64k-key workloads.
-fn bench_config(mut config: Config) -> Config {
+pub(crate) fn bench_config(mut config: Config) -> Config {
     config.orec_table_size = 1 << 18;
     config
 }

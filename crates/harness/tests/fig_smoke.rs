@@ -23,8 +23,9 @@ const TINY: &[&str] = &[
     "512",
 ];
 
-/// Runs one binary under a watchdog and validates its TSV output shape.
-fn run_fig(exe: &str, args: &[&str]) {
+/// Runs one binary under a watchdog and validates its TSV output shape,
+/// returning the data rows as `(panel, series, x, y)` tuples.
+fn run_fig(exe: &str, args: &[&str]) -> Vec<(String, String, f64, f64)> {
     let mut child = Command::new(exe)
         .args(args)
         .stdout(Stdio::piped())
@@ -58,15 +59,16 @@ fn run_fig(exe: &str, args: &[&str]) {
         Some("figure\tpanel\tseries\tx\ty"),
         "missing TSV header in {exe} output"
     );
-    let mut rows = 0;
+    let mut rows = Vec::new();
     for line in lines {
         let fields: Vec<&str> = line.split('\t').collect();
         assert_eq!(fields.len(), 5, "malformed row from {exe}: {line:?}");
-        fields[3].parse::<f64>().expect("x must be numeric");
-        fields[4].parse::<f64>().expect("y must be numeric");
-        rows += 1;
+        let x = fields[3].parse::<f64>().expect("x must be numeric");
+        let y = fields[4].parse::<f64>().expect("y must be numeric");
+        rows.push((fields[1].to_string(), fields[2].to_string(), x, y));
     }
-    assert!(rows > 0, "{exe} produced a header but no data rows");
+    assert!(!rows.is_empty(), "{exe} produced a header but no data rows");
+    rows
 }
 
 #[test]
@@ -76,9 +78,17 @@ fn fig1_smoke() {
 
 #[test]
 fn fig5_smoke() {
-    // fig5 is the single-threaded synthetic benchmark; `--quick` is its only
-    // size knob.
-    run_fig(env!("CARGO_BIN_EXE_fig5"), &["--quick"]);
+    // fig5 is single-threaded; it now accepts the common flags and derives
+    // its iteration count from the per-point duration.
+    run_fig(env!("CARGO_BIN_EXE_fig5"), TINY);
+}
+
+#[test]
+fn fig5_smoke_quick_flag() {
+    run_fig(
+        env!("CARGO_BIN_EXE_fig5"),
+        &["--quick", "--duration-ms", "5"],
+    );
 }
 
 #[test]
@@ -104,4 +114,30 @@ fn fig9_smoke() {
 #[test]
 fn fig10_smoke() {
     run_fig(env!("CARGO_BIN_EXE_fig10"), TINY);
+}
+
+/// The KV-store sweep must cover every mix × distribution panel with the
+/// short-transaction, BaseTM and lock-free variants, and every data point
+/// must report positive throughput (the store really served the workload).
+#[test]
+fn kv_smoke() {
+    let rows = run_fig(env!("CARGO_BIN_EXE_kv"), TINY);
+    for (panel, series, _x, y) in &rows {
+        assert!(*y > 0.0, "zero throughput for {series} in panel {panel:?}");
+    }
+    for series in ["val-short", "orec-full-g", "lock-free"] {
+        assert!(
+            rows.iter().any(|(_, s, _, _)| s == series),
+            "missing series {series}"
+        );
+    }
+    for mix in ["read-heavy-95/5", "update-50/50", "rmw-50/50"] {
+        for dist in ["uniform", "zipfian", "latest"] {
+            let panel = format!("{mix} / {dist}");
+            assert!(
+                rows.iter().any(|(p, _, _, _)| *p == panel),
+                "missing panel {panel:?}"
+            );
+        }
+    }
 }

@@ -1,0 +1,453 @@
+//! Lock-free (CAS-based) key-value hash map, the non-STM baseline for the
+//! sharded KV-store benchmarks.
+//!
+//! Structurally this is [`crate::LockFreeHashTable`] with a value word
+//! attached to each node: a fixed array of bucket heads, each bucket a
+//! Harris-style sorted chain with the deletion mark in bit 0 of the `next`
+//! pointer.  Values live in a plain `AtomicU64` per node and are updated in
+//! place, so a `put` on an existing key is a single atomic swap — the
+//! fastest update the hardware offers, which is exactly what an STM-based
+//! store must be compared against.
+//!
+//! Two caveats, both inherent to the CAS-based design and shared by the
+//! paper's lock-free baselines:
+//!
+//! * a `put` racing with a `remove` of the same key may update the value of
+//!   a node that is concurrently being logically deleted; the put retries as
+//!   a fresh insert, but the previous-value it reports is advisory under such
+//!   races;
+//! * there is no multi-key atomicity: [`LockFreeKvMap::rmw_add`] applies a
+//!   per-key `fetch_add`, so a concurrent reader can observe a partially
+//!   applied multi-key update.  The STM store (the `spectm-kv` crate)
+//!   provides the atomic variant; the contrast is the point of the
+//!   benchmark.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use txepoch::{Collector, LocalHandle};
+
+const MARK: usize = 1;
+
+#[inline]
+fn marked(p: usize) -> bool {
+    p & MARK != 0
+}
+
+#[inline]
+fn unmark(p: usize) -> usize {
+    p & !MARK
+}
+
+#[inline]
+fn with_mark(p: usize) -> usize {
+    p | MARK
+}
+
+/// A chain node.  `next` packs the successor pointer with the deletion mark;
+/// `value` is updated in place.
+struct Node {
+    key: u64,
+    value: AtomicU64,
+    next: AtomicUsize,
+}
+
+impl Node {
+    fn alloc(key: u64, value: u64, next: usize) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key,
+            value: AtomicU64::new(value),
+            next: AtomicUsize::new(next),
+        }))
+    }
+}
+
+/// Result of a chain search: the predecessor's `next` field and the
+/// (possibly null) pointer to the first node with `node.key >= key`.
+struct Window {
+    prev_link: *const AtomicUsize,
+    curr: usize,
+}
+
+/// A lock-free hash map from `u64` keys to `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use lockfree::LockFreeKvMap;
+/// let map = LockFreeKvMap::new(64, txepoch::Collector::new());
+/// let handle = map.collector().register();
+/// assert_eq!(map.put(7, 70, &handle), None);
+/// assert_eq!(map.get(7, &handle), Some(70));
+/// assert_eq!(map.put(7, 71, &handle), Some(70));
+/// assert_eq!(map.del(7, &handle), Some(71));
+/// assert_eq!(map.get(7, &handle), None);
+/// ```
+pub struct LockFreeKvMap {
+    buckets: Box<[AtomicUsize]>,
+    mask: u64,
+    collector: Collector,
+}
+
+// SAFETY: all shared mutation goes through atomics; node reclamation is
+// deferred through epochs, exactly as in the other lock-free structures.
+unsafe impl Send for LockFreeKvMap {}
+// SAFETY: as above.
+unsafe impl Sync for LockFreeKvMap {}
+
+#[inline]
+fn hash_key(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17
+}
+
+impl LockFreeKvMap {
+    /// Creates a map with `buckets` chains (rounded up to a power of two),
+    /// reclaiming memory through `collector`.
+    pub fn new(buckets: usize, collector: Collector) -> Self {
+        let len = buckets.next_power_of_two().max(1);
+        Self {
+            buckets: (0..len).map(|_| AtomicUsize::new(0)).collect(),
+            mask: len as u64 - 1,
+            collector,
+        }
+    }
+
+    /// The epoch collector threads must register with.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Number of bucket chains.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &AtomicUsize {
+        &self.buckets[(hash_key(key) & self.mask) as usize]
+    }
+
+    /// Finds the window for `key` in its bucket, physically unlinking marked
+    /// nodes on the way.  The caller must hold an epoch guard.
+    fn search(&self, key: u64, handle: &LocalHandle) -> Window {
+        'retry: loop {
+            let mut prev_link: *const AtomicUsize = self.bucket(key);
+            // SAFETY: `prev_link` starts at a bucket head of `self` and only
+            // advances to `next` fields of epoch-protected nodes.
+            let mut curr = unsafe { (*prev_link).load(Ordering::Acquire) };
+            loop {
+                if unmark(curr) == 0 {
+                    return Window { prev_link, curr: 0 };
+                }
+                // SAFETY: read from a reachable link while pinned.
+                let curr_node = unsafe { &*(unmark(curr) as *const Node) };
+                let next = curr_node.next.load(Ordering::Acquire);
+                if marked(next) {
+                    // SAFETY: `prev_link` is valid (see above).
+                    let link = unsafe { &*prev_link };
+                    if link
+                        .compare_exchange(curr, unmark(next), Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    let guard = handle.pin();
+                    // SAFETY: just unlinked; unreachable for new traversals.
+                    unsafe { guard.defer_drop(unmark(curr) as *mut Node) };
+                    curr = unmark(next);
+                    continue;
+                }
+                if curr_node.key >= key {
+                    return Window { prev_link, curr };
+                }
+                prev_link = &curr_node.next;
+                curr = next;
+            }
+        }
+    }
+
+    /// Returns the value stored under `key`, if present.
+    pub fn get(&self, key: u64, handle: &LocalHandle) -> Option<u64> {
+        let _guard = handle.pin();
+        let w = self.search(key, handle);
+        if unmark(w.curr) == 0 {
+            return None;
+        }
+        // SAFETY: protected by the guard above.
+        let node = unsafe { &*(unmark(w.curr) as *const Node) };
+        if node.key != key {
+            return None;
+        }
+        Some(node.value.load(Ordering::Acquire))
+    }
+
+    /// Stores `value` under `key`, returning the previous value if the key
+    /// was present (advisory under concurrent removal, see the module docs).
+    pub fn put(&self, key: u64, value: u64, handle: &LocalHandle) -> Option<u64> {
+        let _guard = handle.pin();
+        let mut new_node: *mut Node = std::ptr::null_mut();
+        loop {
+            let w = self.search(key, handle);
+            if unmark(w.curr) != 0 {
+                // SAFETY: protected by the guard above.
+                let node = unsafe { &*(unmark(w.curr) as *const Node) };
+                if node.key == key {
+                    let old = node.value.swap(value, Ordering::AcqRel);
+                    if marked(node.next.load(Ordering::Acquire)) {
+                        // The node was logically deleted concurrently; the
+                        // swapped-in value died with it.  Retry as an insert.
+                        continue;
+                    }
+                    if !new_node.is_null() {
+                        // SAFETY: the speculative node was never published.
+                        drop(unsafe { Box::from_raw(new_node) });
+                    }
+                    return Some(old);
+                }
+            }
+            if new_node.is_null() {
+                new_node = Node::alloc(key, value, w.curr);
+            } else {
+                // SAFETY: `new_node` is still private to this thread.
+                unsafe { (*new_node).next.store(w.curr, Ordering::Relaxed) };
+            }
+            // SAFETY: `prev_link` is protected by the guard.
+            let link = unsafe { &*w.prev_link };
+            if link
+                .compare_exchange(
+                    w.curr,
+                    new_node as usize,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return None;
+            }
+        }
+    }
+
+    /// Removes `key`, returning the value it held.
+    pub fn del(&self, key: u64, handle: &LocalHandle) -> Option<u64> {
+        let _guard = handle.pin();
+        loop {
+            let w = self.search(key, handle);
+            if unmark(w.curr) == 0 {
+                return None;
+            }
+            // SAFETY: protected by the guard above.
+            let node = unsafe { &*(unmark(w.curr) as *const Node) };
+            if node.key != key {
+                return None;
+            }
+            let next = node.next.load(Ordering::Acquire);
+            if marked(next) {
+                // Another remover is already deleting it; help and report
+                // absent.
+                continue;
+            }
+            let value = node.value.load(Ordering::Acquire);
+            // Logical deletion first, then best-effort physical unlink.
+            if node
+                .next
+                .compare_exchange(next, with_mark(next), Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: `prev_link` is protected by the guard.
+            let link = unsafe { &*w.prev_link };
+            if link
+                .compare_exchange(w.curr, unmark(next), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let guard = handle.pin();
+                // SAFETY: unlinked by the CAS above.
+                unsafe { guard.defer_drop(unmark(w.curr) as *mut Node) };
+            } else {
+                let _ = self.search(key, handle);
+            }
+            return Some(value);
+        }
+    }
+
+    /// Adds `delta` to the value of each key in `keys` that is present.
+    ///
+    /// Each key's update is individually atomic (`fetch_add`) but there is
+    /// **no atomicity across keys** — the lock-free design has no way to
+    /// compose updates.  Returns `false` if any key was absent (the updates
+    /// to the keys that were present still took effect).
+    pub fn rmw_add(&self, keys: &[u64], delta: u64, handle: &LocalHandle) -> bool {
+        let mut all_present = true;
+        for &key in keys {
+            let _guard = handle.pin();
+            let w = self.search(key, handle);
+            let found = if unmark(w.curr) != 0 {
+                // SAFETY: protected by the guard above.
+                let node = unsafe { &*(unmark(w.curr) as *const Node) };
+                if node.key == key && !marked(node.next.load(Ordering::Acquire)) {
+                    node.value.fetch_add(delta, Ordering::AcqRel);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            all_present &= found;
+        }
+        all_present
+    }
+
+    /// Collects the current `(key, value)` pairs (not linearizable; only
+    /// meaningful when no concurrent operations run).
+    pub fn snapshot(&self, handle: &LocalHandle) -> Vec<(u64, u64)> {
+        let _guard = handle.pin();
+        let mut out = Vec::new();
+        for b in self.buckets.iter() {
+            let mut curr = b.load(Ordering::Acquire);
+            while unmark(curr) != 0 {
+                // SAFETY: protected by the guard above.
+                let node = unsafe { &*(unmark(curr) as *const Node) };
+                let next = node.next.load(Ordering::Acquire);
+                if !marked(next) {
+                    out.push((node.key, node.value.load(Ordering::Acquire)));
+                }
+                curr = unmark(next);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl Drop for LockFreeKvMap {
+    fn drop(&mut self) {
+        // Exclusive access: free the remaining nodes directly.
+        for b in self.buckets.iter_mut() {
+            let mut curr = unmark(*b.get_mut());
+            while curr != 0 {
+                // SAFETY: nodes were allocated with `Box::into_raw` and
+                // nothing else references them during drop.
+                let node = unsafe { Box::from_raw(curr as *mut Node) };
+                curr = unmark(node.next.load(Ordering::Relaxed));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    fn new_map(buckets: usize) -> LockFreeKvMap {
+        LockFreeKvMap::new(buckets, Collector::new())
+    }
+
+    #[test]
+    fn get_put_del_roundtrip() {
+        let map = new_map(16);
+        let h = map.collector().register();
+        assert_eq!(map.get(3, &h), None);
+        assert_eq!(map.put(3, 30, &h), None);
+        assert_eq!(map.get(3, &h), Some(30));
+        assert_eq!(map.put(3, 31, &h), Some(30));
+        assert_eq!(map.get(3, &h), Some(31));
+        assert_eq!(map.del(3, &h), Some(31));
+        assert_eq!(map.del(3, &h), None);
+        assert_eq!(map.get(3, &h), None);
+    }
+
+    #[test]
+    fn matches_btreemap_oracle_sequentially() {
+        let map = new_map(8); // few buckets => long chains
+        let h = map.collector().register();
+        let mut oracle = BTreeMap::new();
+        crate::rng::seed(2024);
+        for _ in 0..4_000 {
+            let k = crate::rng::next_u64() % 128;
+            let v = crate::rng::next_u64();
+            match crate::rng::next_u64() % 3 {
+                0 => assert_eq!(map.put(k, v, &h), oracle.insert(k, v)),
+                1 => assert_eq!(map.del(k, &h), oracle.remove(&k)),
+                _ => assert_eq!(map.get(k, &h), oracle.get(&k).copied()),
+            }
+        }
+        let expect: Vec<(u64, u64)> = oracle.into_iter().collect();
+        assert_eq!(map.snapshot(&h), expect);
+    }
+
+    #[test]
+    fn rmw_add_updates_present_keys() {
+        let map = new_map(16);
+        let h = map.collector().register();
+        map.put(1, 10, &h);
+        map.put(2, 20, &h);
+        assert!(map.rmw_add(&[1, 2], 5, &h));
+        assert_eq!(map.get(1, &h), Some(15));
+        assert_eq!(map.get(2, &h), Some(25));
+        assert!(!map.rmw_add(&[1, 99], 5, &h));
+        assert_eq!(map.get(1, &h), Some(20));
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges_are_exact() {
+        let map = Arc::new(new_map(64));
+        const THREADS: u64 = 4;
+        const RANGE: u64 = 400;
+        let mut joins = Vec::new();
+        for tid in 0..THREADS {
+            let map = Arc::clone(&map);
+            joins.push(std::thread::spawn(move || {
+                let h = map.collector().register();
+                let base = tid * RANGE;
+                for k in 0..RANGE {
+                    assert_eq!(map.put(base + k, k, &h), None);
+                }
+                for k in (0..RANGE).step_by(2) {
+                    assert_eq!(map.del(base + k, &h), Some(k));
+                }
+                for k in 0..RANGE {
+                    let expect = if k % 2 == 1 { Some(k) } else { None };
+                    assert_eq!(map.get(base + k, &h), expect);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let h = map.collector().register();
+        assert_eq!(map.snapshot(&h).len(), (THREADS * RANGE / 2) as usize);
+    }
+
+    #[test]
+    fn concurrent_counters_conserve_increments() {
+        let map = Arc::new(new_map(16));
+        {
+            let h = map.collector().register();
+            for k in 0..8u64 {
+                map.put(k, 0, &h);
+            }
+        }
+        const THREADS: usize = 4;
+        const INCS: u64 = 2_000;
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let map = Arc::clone(&map);
+            joins.push(std::thread::spawn(move || {
+                let h = map.collector().register();
+                for i in 0..INCS {
+                    let k = (i + t as u64) % 8;
+                    assert!(map.rmw_add(&[k], 1, &h));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let h = map.collector().register();
+        let total: u64 = (0..8u64).map(|k| map.get(k, &h).unwrap()).sum();
+        assert_eq!(total, THREADS as u64 * INCS);
+    }
+}

@@ -8,6 +8,9 @@
 //!   (Harris / Fraser) used as the bucket chain of the hash table;
 //! * [`LockFreeHashTable`] — a fixed-bucket-count lock-free integer set;
 //! * [`LockFreeSkipList`] — Fraser's lock-free skip list;
+//! * [`LockFreeKvMap`] — a CAS-based `u64 -> u64` hash map, the non-STM
+//!   baseline for the sharded KV-store workloads (values updated in place,
+//!   no multi-key atomicity);
 //! * [`SeqHashTable`] and [`SeqSkipList`] — single-threaded reference
 //!   implementations used to normalize throughput ("sequential" in the
 //!   paper's figures) and as oracles in tests.
@@ -20,12 +23,14 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod hashtable;
+pub mod kv;
 pub mod list;
 pub mod rng;
 pub mod seq;
 pub mod skiplist;
 
 pub use hashtable::LockFreeHashTable;
+pub use kv::LockFreeKvMap;
 pub use list::HarrisList;
 pub use seq::{SeqHashTable, SeqSkipList};
 pub use skiplist::LockFreeSkipList;

@@ -12,7 +12,7 @@
 //! * [`StmSkipList`] — the integer-set skip list of Section 3, which uses
 //!   specialized short transactions for towers of height 1–2 and ordinary
 //!   transactions for taller towers;
-//! * [`dcss`] — the double-compare-single-swap helper built from a combined
+//! * [`dcss`](mod@dcss) — the double-compare-single-swap helper built from a combined
 //!   read-only/read-write short transaction (Section 2.2).
 //!
 //! Each concurrent structure's operations take a `&mut S::Thread` handle; the

@@ -1,0 +1,61 @@
+//! A sharded, concurrent key-value store built on the SpecTM API.
+//!
+//! The paper evaluates specialized short transactions through integer-set
+//! microbenchmarks; this crate grows them into a service-level subsystem: a
+//! `u64 -> u64` store whose hot paths are exactly the short-transaction
+//! shapes the paper optimizes, layered behind the sharding a production
+//! deployment would use.
+//!
+//! Three layers:
+//!
+//! * [`StmHashMap`] — a chained transactional hash map (the integer-set
+//!   table of `spectm-ds` with a value word per node).  Single-key reads are
+//!   short read-only transactions, updates are single-location CASes or
+//!   two/three-location short read-write transactions, and every operation
+//!   also exists as a traditional full transaction (the BaseTM shape);
+//! * [`ShardRouter`] — a power-of-two router assigning each key to a shard;
+//! * [`ShardedKv`] — the store itself.  All shards share **one** STM
+//!   instance, so while `get`/`put`/`del` touch only the owning shard, a
+//!   multi-key [`ShardedKv::rmw`] composes reads and writes *across* shards
+//!   inside a single full transaction and stays serializable with every
+//!   concurrent short transaction — the interoperability the paper's design
+//!   guarantees (Section 2).
+//!
+//! Values are stored with [`spectm::encode_int`], so they must fit in 63
+//! bits; keys are arbitrary `u64`s.  The workload drivers live in the
+//! `harness` crate (`kv` binary), the CAS-based baseline in
+//! `lockfree::LockFreeKvMap`; DESIGN.md documents the architecture and
+//! EXPERIMENTS.md the workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use spectm::{Stm, variants::ValShort};
+//! use spectm_ds::ApiMode;
+//! use spectm_kv::ShardedKv;
+//!
+//! let stm = ValShort::new();
+//! let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
+//! let mut thread = store.register();
+//! assert_eq!(store.put(1, 10, &mut thread), None);
+//! assert_eq!(store.put(2, 20, &mut thread), None);
+//! // Cross-shard atomic transfer: one full transaction over both shards.
+//! assert!(store.rmw(&[1, 2], |vals| { vals[0] -= 5; vals[1] += 5; }, &mut thread));
+//! assert_eq!(store.get(1, &mut thread), Some(5));
+//! assert_eq!(store.get(2, &mut thread), Some(25));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod map;
+pub mod router;
+pub mod store;
+
+pub use map::StmHashMap;
+pub use router::ShardRouter;
+pub use store::{ShardedKv, MAX_RMW_KEYS};
+
+/// Largest value storable in the map (one bit of the word is reserved for
+/// the value-based layout's lock bit).
+pub const MAX_VALUE: u64 = (1 << 63) - 1;

@@ -1,0 +1,598 @@
+//! The per-shard transactional hash map.
+//!
+//! [`StmHashMap`] is the integer-set hash table of `spectm-ds` grown into a
+//! `u64 -> u64` map: a fixed array of bucket heads, each the start of a
+//! sorted singly-linked chain, with one additional transactional cell per
+//! node holding the value.  Bit 1 of a chain link is the logical-deletion
+//! mark; bit 0 stays clear for the value-based layout's lock bit, and values
+//! are stored with [`spectm::encode_int`] for the same reason.
+//!
+//! Operations exist in two shapes, selected by [`ApiMode`]:
+//!
+//! * **Short** (the SpecTM usage) — traversal uses single-location reads;
+//!   `get` validates liveness + value with a two-location read-only
+//!   transaction; `put` on an existing key is a two-location read-write
+//!   transaction, a fresh insert is a single-location CAS; `del` is a
+//!   three-location read-write transaction that unlinks the node, marks its
+//!   forward pointer and captures the value it held, all atomically.
+//! * **Full** (the BaseTM usage) — each operation is one traditional
+//!   transaction over the whole chain walk.  [`ApiMode::Fine`] is treated as
+//!   `Full` here; the fine-grained ablation only exists for the paper's
+//!   figure 6 sets.
+//!
+//! [`StmHashMap::read_in`] / [`StmHashMap::write_in`] run the same chain
+//! walks *inside a caller-provided full transaction*, which is what lets
+//! [`crate::ShardedKv::rmw`] compose an atomic multi-key update across
+//! shards.  Removed nodes are retired through the STM's epoch collector.
+
+use spectm::{
+    decode_int, encode_int, is_marked, mark, unmark, FullTx, Stm, StmThread, TxResult, Word,
+};
+use spectm_ds::ApiMode;
+
+use crate::MAX_VALUE;
+
+/// A chain node.  The key is immutable after publication; `next` and
+/// `value` are accessed transactionally.
+struct Node<S: Stm> {
+    key: u64,
+    value: S::Cell,
+    next: S::Cell,
+}
+
+/// A transactional hash map from `u64` keys to `u64` values (63 bits; see
+/// [`MAX_VALUE`]).
+///
+/// # Examples
+///
+/// ```
+/// use spectm::{Stm, variants::ValShort};
+/// use spectm_ds::ApiMode;
+/// use spectm_kv::StmHashMap;
+///
+/// let stm = ValShort::new();
+/// let map = StmHashMap::new(&stm, 64, ApiMode::Short);
+/// let mut thread = stm.register();
+/// assert_eq!(map.put(17, 170, &mut thread), None);
+/// assert_eq!(map.get(17, &mut thread), Some(170));
+/// assert_eq!(map.put(17, 171, &mut thread), Some(170));
+/// assert_eq!(map.del(17, &mut thread), Some(171));
+/// assert_eq!(map.get(17, &mut thread), None);
+/// ```
+pub struct StmHashMap<S: Stm> {
+    stm: S,
+    buckets: Vec<S::Cell>,
+    mask: u64,
+    mode: ApiMode,
+}
+
+// SAFETY: raw node pointers inside cells follow the same discipline as the
+// spectm-ds structures: published by CAS/commit, retired via epochs after
+// unlinking, dereferenced only under an epoch pin.
+unsafe impl<S: Stm> Send for StmHashMap<S> {}
+// SAFETY: as above.
+unsafe impl<S: Stm> Sync for StmHashMap<S> {}
+
+#[inline]
+fn hash_key(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17
+}
+
+#[inline]
+fn enc(value: u64) -> Word {
+    assert!(value <= MAX_VALUE, "value {value:#x} exceeds 63 bits");
+    encode_int(value as usize)
+}
+
+#[inline]
+fn dec(word: Word) -> u64 {
+    decode_int(word) as u64
+}
+
+impl<S: Stm> StmHashMap<S> {
+    /// Creates a map with `buckets` chains (rounded up to a power of two),
+    /// driven through the given [`ApiMode`].
+    pub fn new(stm: &S, buckets: usize, mode: ApiMode) -> Self
+    where
+        S: Clone,
+    {
+        let len = buckets.next_power_of_two().max(1);
+        Self {
+            stm: stm.clone(),
+            buckets: (0..len).map(|_| stm.new_cell(0)).collect(),
+            mask: len as u64 - 1,
+            mode,
+        }
+    }
+
+    /// The API mode this instance drives.
+    pub fn mode(&self) -> ApiMode {
+        self.mode
+    }
+
+    /// Number of bucket chains.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &S::Cell {
+        &self.buckets[(hash_key(key) & self.mask) as usize]
+    }
+
+    #[inline]
+    fn node(ptr: Word) -> *mut Node<S> {
+        unmark(ptr) as *mut Node<S>
+    }
+
+    fn alloc_node(&self, key: u64, value: u64, next: Word) -> *mut Node<S> {
+        Box::into_raw(Box::new(Node {
+            key,
+            value: self.stm.new_cell(enc(value)),
+            next: self.stm.new_cell(next),
+        }))
+    }
+
+    /// Returns the value stored under `key`.
+    pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        match self.mode {
+            ApiMode::Short => self.get_short(key, thread),
+            ApiMode::Full | ApiMode::Fine => self.get_full(key, thread),
+        }
+    }
+
+    /// Stores `value` under `key`, returning the previous value if present.
+    pub fn put(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+        match self.mode {
+            ApiMode::Short => self.put_short(key, value, thread),
+            ApiMode::Full | ApiMode::Fine => self.put_full(key, value, thread),
+        }
+    }
+
+    /// Removes `key`, returning the value it held.
+    pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        match self.mode {
+            ApiMode::Short => self.del_short(key, thread),
+            ApiMode::Full | ApiMode::Fine => self.del_full(key, thread),
+        }
+    }
+
+    /// Collects every `(key, value)` pair currently present
+    /// (non-transactional; only meaningful when no concurrent operations
+    /// run).
+    pub fn quiescent_snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for head in &self.buckets {
+            let mut curr = S::peek(head);
+            while unmark(curr) != 0 {
+                // SAFETY: quiescence is required by the contract; nodes
+                // cannot be retired concurrently.
+                let node = unsafe { &*Self::node(curr) };
+                let next = S::peek(&node.next);
+                if !is_marked(next) {
+                    out.push((node.key, dec(S::peek(&node.value))));
+                }
+                curr = next;
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Short-transaction implementation
+    // ------------------------------------------------------------------
+
+    /// Walks the chain with single-location reads, returning the cell
+    /// holding the link to the first node with `node.key >= key` plus that
+    /// node's address (unmarked).  The caller must hold an epoch pin.
+    fn search_short<'a>(&'a self, key: u64, thread: &mut S::Thread) -> (&'a S::Cell, Word) {
+        let mut prev: &S::Cell = self.bucket(key);
+        let mut curr = unmark(thread.single_read(prev));
+        loop {
+            if curr == 0 {
+                return (prev, 0);
+            }
+            // SAFETY: `curr` was read from a reachable link under the
+            // caller's epoch pin; retired nodes cannot be freed while pinned.
+            let node = unsafe { &*Self::node(curr) };
+            if node.key >= key {
+                return (prev, curr);
+            }
+            let next = thread.single_read(&node.next);
+            // Traversal passes through logically deleted nodes; their
+            // forward pointers still lead onward.
+            prev = &node.next;
+            curr = unmark(next);
+        }
+    }
+
+    fn get_short(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        let mut attempts = 0u32;
+        loop {
+            if attempts > 0 {
+                thread.backoff().wait();
+            }
+            attempts += 1;
+            let _pin = thread.epoch().pin();
+            let (_prev, curr) = self.search_short(key, thread);
+            if curr == 0 {
+                return None;
+            }
+            // SAFETY: protected by the epoch pin above.
+            let node = unsafe { &*Self::node(curr) };
+            if node.key != key {
+                return None;
+            }
+            // Liveness and value must be observed together: a two-location
+            // read-only short transaction.
+            let next = thread.ro_read(0, &node.next);
+            let value = thread.ro_read(1, &node.value);
+            if !thread.ro_is_valid(2) {
+                continue;
+            }
+            if is_marked(next) {
+                return None;
+            }
+            return Some(dec(value));
+        }
+    }
+
+    fn put_short(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+        let mut new_node: *mut Node<S> = std::ptr::null_mut();
+        let mut attempts = 0u32;
+        loop {
+            if attempts > 0 {
+                thread.backoff().wait();
+            }
+            attempts += 1;
+            let pin = thread.epoch().pin();
+            let (prev, curr) = self.search_short(key, thread);
+            if curr != 0 {
+                // SAFETY: protected by the epoch pin.
+                let node = unsafe { &*Self::node(curr) };
+                if node.key == key {
+                    // Update in place: a two-location short read-write
+                    // transaction over (next, value).  Reading `next` both
+                    // checks liveness and guards against a concurrent
+                    // remove committing between our check and our write.
+                    let next = thread.rw_read(0, &node.next);
+                    if !thread.rw_is_valid(1) {
+                        drop(pin);
+                        continue;
+                    }
+                    if is_marked(next) {
+                        // Logically deleted but still linked: wait for the
+                        // remover to unlink, then insert fresh.
+                        thread.rw_abort(1);
+                        drop(pin);
+                        continue;
+                    }
+                    let old = thread.rw_read(1, &node.value);
+                    if !thread.rw_is_valid(2) {
+                        drop(pin);
+                        continue;
+                    }
+                    if thread.rw_commit(2, &[next, enc(value)]) {
+                        if !new_node.is_null() {
+                            // SAFETY: never published.
+                            drop(unsafe { Box::from_raw(new_node) });
+                        }
+                        return Some(dec(old));
+                    }
+                    drop(pin);
+                    continue;
+                }
+            }
+            if new_node.is_null() {
+                new_node = self.alloc_node(key, value, curr);
+            } else {
+                // SAFETY: still private to this thread.
+                let node = unsafe { &*new_node };
+                S::poke(&node.next, curr);
+            }
+            // Publish with a single-location CAS.
+            if thread.single_cas(prev, curr, new_node as Word) == curr {
+                return None;
+            }
+        }
+    }
+
+    fn del_short(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        let mut attempts = 0u32;
+        loop {
+            if attempts > 0 {
+                thread.backoff().wait();
+            }
+            attempts += 1;
+            let pin = thread.epoch().pin();
+            let (prev, curr) = self.search_short(key, thread);
+            if curr == 0 {
+                return None;
+            }
+            // SAFETY: protected by the epoch pin.
+            let node = unsafe { &*Self::node(curr) };
+            if node.key != key {
+                return None;
+            }
+            // A three-location short transaction: unlink the node, mark its
+            // forward pointer and capture its value, atomically.
+            let prev_val = thread.rw_read(0, prev);
+            if !thread.rw_is_valid(1) {
+                drop(pin);
+                continue;
+            }
+            if prev_val != curr {
+                thread.rw_abort(1);
+                drop(pin);
+                continue;
+            }
+            let next_val = thread.rw_read(1, &node.next);
+            if !thread.rw_is_valid(2) {
+                drop(pin);
+                continue;
+            }
+            if is_marked(next_val) {
+                // Already logically deleted by someone else.
+                thread.rw_abort(2);
+                return None;
+            }
+            let value = thread.rw_read(2, &node.value);
+            if !thread.rw_is_valid(3) {
+                drop(pin);
+                continue;
+            }
+            if thread.rw_commit(3, &[unmark(next_val), mark(next_val), value]) {
+                // SAFETY: the node is now unlinked and marked; new
+                // traversals cannot reach it, pinned readers are protected.
+                unsafe { pin.defer_drop(Self::node(curr)) };
+                return Some(dec(value));
+            }
+            drop(pin);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traditional-transaction implementation
+    // ------------------------------------------------------------------
+
+    fn get_full(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        thread
+            .atomic(|tx| self.read_in(key, tx))
+            .expect("get_full is never cancelled")
+    }
+
+    fn put_full(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+        let mut new_node: *mut Node<S> = std::ptr::null_mut();
+        let previous = thread
+            .atomic(|tx| {
+                let mut prev_cell: &S::Cell = self.bucket(key);
+                let mut curr = unmark(tx.read(prev_cell)?);
+                loop {
+                    if curr != 0 {
+                        // SAFETY: the transaction holds an epoch pin for the
+                        // whole attempt; opacity guarantees reachability.
+                        let node = unsafe { &*Self::node(curr) };
+                        if node.key == key {
+                            if is_marked(tx.read(&node.next)?) {
+                                // Deleted but not yet unlinked: restart.
+                                return tx.restart();
+                            }
+                            let old = tx.read(&node.value)?;
+                            tx.write(&node.value, enc(value))?;
+                            return Ok(Some(dec(old)));
+                        }
+                        if node.key < key {
+                            prev_cell = &node.next;
+                            curr = unmark(tx.read(prev_cell)?);
+                            continue;
+                        }
+                    }
+                    // Allocate lazily, once, and reuse across retries.
+                    if new_node.is_null() {
+                        new_node = self.alloc_node(key, value, curr);
+                    }
+                    // SAFETY: still private until the commit publishes it.
+                    let node = unsafe { &*new_node };
+                    S::poke(&node.next, curr);
+                    S::poke(&node.value, enc(value));
+                    tx.write(prev_cell, new_node as Word)?;
+                    return Ok(None);
+                }
+            })
+            .expect("put_full is never cancelled");
+        if previous.is_some() && !new_node.is_null() {
+            // SAFETY: never published (the committed outcome was an update).
+            drop(unsafe { Box::from_raw(new_node) });
+        }
+        previous
+    }
+
+    fn del_full(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        let mut unlinked: *mut Node<S> = std::ptr::null_mut();
+        let removed = thread
+            .atomic(|tx| {
+                unlinked = std::ptr::null_mut();
+                let mut prev_cell: &S::Cell = self.bucket(key);
+                let mut curr = unmark(tx.read(prev_cell)?);
+                loop {
+                    if curr == 0 {
+                        return Ok(None);
+                    }
+                    // SAFETY: see `put_full`.
+                    let node = unsafe { &*Self::node(curr) };
+                    if node.key > key {
+                        return Ok(None);
+                    }
+                    if node.key == key {
+                        let next = tx.read(&node.next)?;
+                        if is_marked(next) {
+                            return Ok(None);
+                        }
+                        let value = tx.read(&node.value)?;
+                        tx.write(prev_cell, unmark(next))?;
+                        tx.write(&node.next, mark(next))?;
+                        unlinked = Self::node(curr);
+                        return Ok(Some(dec(value)));
+                    }
+                    prev_cell = &node.next;
+                    curr = unmark(tx.read(prev_cell)?);
+                }
+            })
+            .expect("del_full is never cancelled");
+        if removed.is_some() && !unlinked.is_null() {
+            let pin = thread.epoch().pin();
+            // SAFETY: the committed transaction unlinked and marked the
+            // node; it is unreachable for new transactions.
+            unsafe { pin.defer_drop(unlinked) };
+        }
+        removed
+    }
+
+    // ------------------------------------------------------------------
+    // Composition inside a caller-provided full transaction
+    // ------------------------------------------------------------------
+
+    /// Reads the value under `key` inside an already-running full
+    /// transaction (the building block of cross-shard read-modify-write).
+    pub fn read_in(&self, key: u64, tx: &mut FullTx<'_, S::Thread>) -> TxResult<Option<u64>> {
+        let mut curr = unmark(tx.read(self.bucket(key))?);
+        loop {
+            if curr == 0 {
+                return Ok(None);
+            }
+            // SAFETY: `StmThread::atomic` pins the epoch for the whole
+            // attempt; opacity guarantees `curr` was reachable.
+            let node = unsafe { &*Self::node(curr) };
+            if node.key == key {
+                if is_marked(tx.read(&node.next)?) {
+                    return Ok(None);
+                }
+                return Ok(Some(dec(tx.read(&node.value)?)));
+            }
+            if node.key > key {
+                return Ok(None);
+            }
+            curr = unmark(tx.read(&node.next)?);
+        }
+    }
+
+    /// Overwrites the value under an **existing** `key` inside an
+    /// already-running full transaction.  Returns `false` (writing nothing)
+    /// if the key is absent; insertion under a composed transaction is not
+    /// supported.
+    pub fn write_in(&self, key: u64, value: u64, tx: &mut FullTx<'_, S::Thread>) -> TxResult<bool> {
+        let mut curr = unmark(tx.read(self.bucket(key))?);
+        loop {
+            if curr == 0 {
+                return Ok(false);
+            }
+            // SAFETY: see `read_in`.
+            let node = unsafe { &*Self::node(curr) };
+            if node.key == key {
+                if is_marked(tx.read(&node.next)?) {
+                    return Ok(false);
+                }
+                tx.write(&node.value, enc(value))?;
+                return Ok(true);
+            }
+            if node.key > key {
+                return Ok(false);
+            }
+            curr = unmark(tx.read(&node.next)?);
+        }
+    }
+}
+
+impl<S: Stm> Drop for StmHashMap<S> {
+    fn drop(&mut self) {
+        // Exclusive access: free every remaining node directly.
+        for head in &self.buckets {
+            let mut curr = S::peek(head);
+            while unmark(curr) != 0 {
+                // SAFETY: nodes were allocated with `Box::into_raw`; during
+                // drop nothing else references them.
+                let node = unsafe { Box::from_raw(Self::node(curr)) };
+                curr = S::peek(&node.next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectm::variants::{OrecFullG, TvarShortG, ValShort};
+    use std::collections::BTreeMap;
+
+    fn oracle_test<S: Stm + Clone>(stm: S, mode: ApiMode) {
+        let map = StmHashMap::new(&stm, 32, mode);
+        let mut t = stm.register();
+        let mut oracle = BTreeMap::new();
+        let mut state = 88172645463325252u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2_000 {
+            let k = rng() % 200;
+            let v = rng() >> 2;
+            match rng() % 3 {
+                0 => assert_eq!(map.put(k, v, &mut t), oracle.insert(k, v)),
+                1 => assert_eq!(map.del(k, &mut t), oracle.remove(&k)),
+                _ => assert_eq!(map.get(k, &mut t), oracle.get(&k).copied()),
+            }
+        }
+        assert_eq!(
+            map.quiescent_snapshot(),
+            oracle.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn oracle_all_modes_and_layouts() {
+        oracle_test(ValShort::new(), ApiMode::Short);
+        oracle_test(ValShort::new(), ApiMode::Full);
+        oracle_test(TvarShortG::new(), ApiMode::Short);
+        oracle_test(OrecFullG::new(), ApiMode::Full);
+        oracle_test(OrecFullG::new(), ApiMode::Short);
+    }
+
+    #[test]
+    fn in_tx_helpers_compose_reads_and_writes() {
+        let stm = ValShort::new();
+        let map = StmHashMap::new(&stm, 32, ApiMode::Short);
+        let mut t = stm.register();
+        map.put(1, 100, &mut t);
+        map.put(2, 200, &mut t);
+        let moved = t
+            .atomic(|tx| {
+                let a = map.read_in(1, tx)?.expect("key 1 present");
+                let b = map.read_in(2, tx)?.expect("key 2 present");
+                map.write_in(1, a - 50, tx)?;
+                map.write_in(2, b + 50, tx)?;
+                Ok(a + b)
+            })
+            .unwrap();
+        assert_eq!(moved, 300);
+        assert_eq!(map.get(1, &mut t), Some(50));
+        assert_eq!(map.get(2, &mut t), Some(250));
+        // Absent keys read as None / refuse the write.
+        let (missing, wrote) = t
+            .atomic(|tx| Ok((map.read_in(9, tx)?, map.write_in(9, 1, tx)?)))
+            .unwrap();
+        assert_eq!(missing, None);
+        assert!(!wrote);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 63 bits")]
+    fn oversized_values_are_rejected() {
+        let stm = ValShort::new();
+        let map = StmHashMap::new(&stm, 8, ApiMode::Short);
+        let mut t = stm.register();
+        map.put(1, u64::MAX, &mut t);
+    }
+}

@@ -1,0 +1,106 @@
+//! The shard router: key -> shard assignment.
+//!
+//! The router owns nothing but a mask; it exists as its own type so the
+//! assignment function has a single definition shared by the store, the
+//! tests and any future placement-aware client (e.g. one that batches
+//! operations per shard before dispatching them).
+
+/// Routes keys to one of a power-of-two number of shards.
+///
+/// The mixing function is a multiply by an odd constant followed by taking
+/// the *top* bits — deliberately different from the Fibonacci hash the
+/// bucket chains use (multiply + low-ish bits), so a key's shard index and
+/// its bucket index within the shard are decorrelated and a pathological key
+/// set cannot alias both at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    mask: u64,
+}
+
+impl ShardRouter {
+    /// Creates a router over `shards` shards (rounded up to a power of two,
+    /// minimum one).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(1);
+        Self { mask: n as u64 - 1 }
+    }
+
+    /// Number of shards routed to.
+    pub fn shard_count(&self) -> usize {
+        (self.mask + 1) as usize
+    }
+
+    /// The shard owning `key`; always less than [`ShardRouter::shard_count`].
+    #[inline]
+    pub fn route(&self, key: u64) -> usize {
+        ((key.wrapping_mul(0xA24B_AED4_963E_E407) >> 32) & self.mask) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rounds_up_to_power_of_two() {
+        assert_eq!(ShardRouter::new(0).shard_count(), 1);
+        assert_eq!(ShardRouter::new(1).shard_count(), 1);
+        assert_eq!(ShardRouter::new(3).shard_count(), 4);
+        assert_eq!(ShardRouter::new(8).shard_count(), 8);
+        assert_eq!(ShardRouter::new(9).shard_count(), 16);
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let r = ShardRouter::new(1);
+        for key in [0u64, 1, 17, u64::MAX] {
+            assert_eq!(r.route(key), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn route_is_always_in_range(key in 0u64..u64::MAX, shards in 1usize..64) {
+            let r = ShardRouter::new(shards);
+            prop_assert!(r.route(key) < r.shard_count());
+        }
+
+        #[test]
+        fn route_is_deterministic(key in 0u64..u64::MAX, shards in 1usize..64) {
+            let r = ShardRouter::new(shards);
+            prop_assert_eq!(r.route(key), r.route(key));
+        }
+
+        #[test]
+        fn dense_key_ranges_cover_every_shard(base in 0u64..1_000_000) {
+            // A production store must not leave shards idle under the dense,
+            // mostly-sequential key spaces the YCSB-style loader produces.
+            let r = ShardRouter::new(8);
+            let mut hit = [false; 8];
+            for key in base..base + 4_096 {
+                hit[r.route(key)] = true;
+            }
+            prop_assert!(hit.iter().all(|&h| h), "unused shard for base {}", base);
+        }
+
+        #[test]
+        fn load_is_roughly_balanced(seed in 1u64..u64::MAX) {
+            // Xorshift-scattered keys should land near-uniformly: no shard
+            // more than 2x the fair share over 8k draws.
+            let r = ShardRouter::new(16);
+            let mut counts = [0u32; 16];
+            let mut s = seed | 1;
+            for _ in 0..8_192 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                counts[r.route(s)] += 1;
+            }
+            let fair = 8_192 / 16;
+            for (i, &c) in counts.iter().enumerate() {
+                prop_assert!(c < 2 * fair, "shard {} got {} of {}", i, c, 8_192);
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The sharded store: a router in front of per-shard transactional maps.
+//!
+//! Every shard's [`StmHashMap`] is built over the **same** STM instance.
+//! That one decision is what makes the store more than an array of
+//! independent maps: single-key operations stay short transactions confined
+//! to the owning shard (no cross-shard coordination on the hot path), while
+//! [`ShardedKv::rmw`] and [`ShardedKv::multi_get`] open one full transaction
+//! whose read and write sets span shards — and the STM serializes it against
+//! every concurrent short transaction, because they share the clock, the
+//! ownership metadata and the epoch collector.
+
+use spectm::{Stm, StmThread};
+use spectm_ds::ApiMode;
+
+use crate::map::StmHashMap;
+use crate::router::ShardRouter;
+
+/// Maximum number of keys one [`ShardedKv::rmw`] / [`ShardedKv::multi_get`]
+/// may touch (bounds the fixed-size value buffer; full transactions
+/// themselves have no such limit).
+pub const MAX_RMW_KEYS: usize = 8;
+
+/// A sharded, concurrent `u64 -> u64` store over one STM instance.
+///
+/// See the crate docs for an example.
+pub struct ShardedKv<S: Stm + Clone> {
+    stm: S,
+    router: ShardRouter,
+    shards: Vec<StmHashMap<S>>,
+}
+
+impl<S: Stm + Clone> ShardedKv<S> {
+    /// Creates a store with `shards` shards (rounded up to a power of two)
+    /// of `buckets_per_shard` chains each, all driven in `mode`.
+    pub fn new(stm: &S, shards: usize, buckets_per_shard: usize, mode: ApiMode) -> Self {
+        let router = ShardRouter::new(shards);
+        let shards = (0..router.shard_count())
+            .map(|_| StmHashMap::new(stm, buckets_per_shard, mode))
+            .collect();
+        Self {
+            stm: stm.clone(),
+            router,
+            shards,
+        }
+    }
+
+    /// Registers the calling thread with the underlying STM instance.
+    pub fn register(&self) -> S::Thread {
+        self.stm.register()
+    }
+
+    /// The underlying STM instance.
+    pub fn stm(&self) -> &S {
+        &self.stm
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router assigning keys to shards.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &StmHashMap<S> {
+        &self.shards[self.router.route(key)]
+    }
+
+    /// Returns the value stored under `key` (a short transaction on the
+    /// owning shard).
+    pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        self.shard(key).get(key, thread)
+    }
+
+    /// Stores `value` under `key`, returning the previous value if present
+    /// (a short transaction on the owning shard).
+    pub fn put(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+        self.shard(key).put(key, value, thread)
+    }
+
+    /// Removes `key`, returning the value it held (a short transaction on
+    /// the owning shard).
+    pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        self.shard(key).del(key, thread)
+    }
+
+    /// Atomically reads every key in `keys` inside one full transaction
+    /// spanning the owning shards.  Returns `None` if any key is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() > MAX_RMW_KEYS`.
+    pub fn multi_get(&self, keys: &[u64], thread: &mut S::Thread) -> Option<Vec<u64>> {
+        assert!(keys.len() <= MAX_RMW_KEYS, "at most {MAX_RMW_KEYS} keys");
+        thread
+            .atomic(|tx| {
+                let mut vals = Vec::with_capacity(keys.len());
+                for &key in keys {
+                    match self.shard(key).read_in(key, tx)? {
+                        Some(v) => vals.push(v),
+                        None => return Ok(None),
+                    }
+                }
+                Ok(Some(vals))
+            })
+            .expect("multi_get is never cancelled")
+    }
+
+    /// Atomically reads every key in `keys`, lets `update` rewrite the
+    /// values in place, and writes them back — one full transaction spanning
+    /// the owning shards, serializable with all concurrent operations.
+    ///
+    /// Returns `false` (writing nothing) if any key is absent.  `update` may
+    /// be invoked multiple times (once per conflict retry) and must be pure
+    /// with respect to everything but its argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() > MAX_RMW_KEYS`.
+    pub fn rmw<F>(&self, keys: &[u64], mut update: F, thread: &mut S::Thread) -> bool
+    where
+        F: FnMut(&mut [u64]),
+    {
+        assert!(keys.len() <= MAX_RMW_KEYS, "at most {MAX_RMW_KEYS} keys");
+        thread
+            .atomic(|tx| {
+                let mut vals = [0u64; MAX_RMW_KEYS];
+                let vals = &mut vals[..keys.len()];
+                for (slot, &key) in vals.iter_mut().zip(keys) {
+                    match self.shard(key).read_in(key, tx)? {
+                        Some(v) => *slot = v,
+                        None => return Ok(false),
+                    }
+                }
+                update(vals);
+                for (slot, &key) in vals.iter().zip(keys) {
+                    // The key was read above inside this same transaction,
+                    // so the write cannot miss (opacity keeps the chain
+                    // stable for the duration of the attempt).
+                    let wrote = self.shard(key).write_in(key, *slot, tx)?;
+                    debug_assert!(wrote, "key {key} vanished within the transaction");
+                }
+                Ok(true)
+            })
+            .expect("rmw is never cancelled")
+    }
+
+    /// Adds `delta` to every key in `keys`, atomically across shards.
+    /// Returns `false` (writing nothing) if any key is absent.
+    pub fn rmw_add(&self, keys: &[u64], delta: u64, thread: &mut S::Thread) -> bool {
+        self.rmw(
+            keys,
+            |vals| {
+                for v in vals {
+                    *v = v.wrapping_add(delta);
+                }
+            },
+            thread,
+        )
+    }
+
+    /// Collects every `(key, value)` pair across all shards
+    /// (non-transactional; only meaningful when no concurrent operations
+    /// run).
+    pub fn quiescent_snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.quiescent_snapshot())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectm::variants::{OrecFullG, ValShort};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn routes_and_roundtrips_across_shards() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 4, 16, ApiMode::Short);
+        let mut t = store.register();
+        let mut oracle = BTreeMap::new();
+        for k in 0..500u64 {
+            assert_eq!(store.put(k, k * 3, &mut t), None);
+            oracle.insert(k, k * 3);
+        }
+        for k in (0..500u64).step_by(3) {
+            assert_eq!(store.del(k, &mut t), oracle.remove(&k));
+        }
+        for k in 0..500u64 {
+            assert_eq!(store.get(k, &mut t), oracle.get(&k).copied());
+        }
+        assert_eq!(
+            store.quiescent_snapshot(),
+            oracle.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rmw_is_atomic_and_total_on_absence() {
+        let stm = OrecFullG::new();
+        let store = ShardedKv::new(&stm, 4, 16, ApiMode::Full);
+        let mut t = store.register();
+        store.put(10, 100, &mut t);
+        store.put(11, 200, &mut t);
+        // Absent key: nothing is written, even to the present keys.
+        assert!(!store.rmw_add(&[10, 11, 999], 1, &mut t));
+        assert_eq!(store.get(10, &mut t), Some(100));
+        assert_eq!(store.get(11, &mut t), Some(200));
+        // All present: everything is written.
+        assert!(store.rmw_add(&[10, 11], 1, &mut t));
+        assert_eq!(store.multi_get(&[10, 11], &mut t), Some(vec![101, 201]));
+        assert_eq!(store.multi_get(&[10, 999], &mut t), None);
+    }
+
+    #[test]
+    fn rmw_handles_duplicate_keys() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
+        let mut t = store.register();
+        store.put(5, 10, &mut t);
+        // Both slots read the same cell; the second write wins.
+        assert!(store.rmw(
+            &[5, 5],
+            |vals| {
+                vals[0] += 1;
+                vals[1] += 2;
+            },
+            &mut t
+        ));
+        assert_eq!(store.get(5, &mut t), Some(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn rmw_rejects_oversized_key_sets() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
+        let mut t = store.register();
+        let keys = [0u64; MAX_RMW_KEYS + 1];
+        store.rmw_add(&keys, 1, &mut t);
+    }
+}

@@ -1,0 +1,271 @@
+//! Multi-threaded invariant tests for the sharded KV store.
+//!
+//! Two complementary checks per STM variant:
+//!
+//! * **Deterministic replay** — threads run a mixed get/put/del workload
+//!   over disjoint key ranges; afterwards the store must equal a sequential
+//!   replay of every thread's operation stream into a `BTreeMap` (disjoint
+//!   ranges make the merged outcome order-independent).
+//! * **Cross-shard serializability** — all value mass is conserved under
+//!   concurrent multi-key transfers, and concurrent observers reading the
+//!   whole key set through one full transaction must *never* see a partial
+//!   transfer.  This is the property the lock-free baseline cannot provide
+//!   and the whole reason the shards share an STM instance.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spectm::variants::{OrecFullG, TvarShortG, ValShort};
+use spectm::Stm;
+use spectm_ds::ApiMode;
+use spectm_kv::ShardedKv;
+
+/// Cheap per-thread xorshift generator.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
+    const THREADS: u64 = 4;
+    const RANGE: u64 = 256;
+    const OPS: usize = 4_000;
+    let store = Arc::new(ShardedKv::new(&stm, 4, 64, mode));
+    let mut joins = Vec::new();
+    for tid in 0..THREADS {
+        let store = Arc::clone(&store);
+        joins.push(std::thread::spawn(move || {
+            let mut t = store.register();
+            let mut rng = Xorshift::new(0xC0FFEE ^ (tid.wrapping_mul(0x9E37_79B9)));
+            let base = tid * RANGE;
+            for _ in 0..OPS {
+                let k = base + rng.next() % RANGE;
+                let v = rng.next() >> 2;
+                match rng.next() % 4 {
+                    0 | 1 => {
+                        store.put(k, v, &mut t);
+                    }
+                    2 => {
+                        store.del(k, &mut t);
+                    }
+                    _ => {
+                        store.get(k, &mut t);
+                    }
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Sequential replay: same per-thread streams, same seeds, into an
+    // ordinary map.  Disjoint ranges mean thread interleaving cannot change
+    // the final contents.
+    let mut oracle = BTreeMap::new();
+    for tid in 0..THREADS {
+        let mut rng = Xorshift::new(0xC0FFEE ^ (tid.wrapping_mul(0x9E37_79B9)));
+        let base = tid * RANGE;
+        for _ in 0..OPS {
+            let k = base + rng.next() % RANGE;
+            let v = rng.next() >> 2;
+            match rng.next() % 4 {
+                0 | 1 => {
+                    oracle.insert(k, v);
+                }
+                2 => {
+                    oracle.remove(&k);
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(
+        store.quiescent_snapshot(),
+        oracle.into_iter().collect::<Vec<_>>()
+    );
+}
+
+fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
+    const KEYS: u64 = 16;
+    const INITIAL: u64 = 1_000;
+    const WRITERS: u64 = 4;
+    const OBSERVERS: u64 = 2;
+    const TRANSFERS: usize = 2_000;
+    let store = Arc::new(ShardedKv::new(&stm, 4, 32, mode));
+    {
+        let mut t = store.register();
+        for k in 0..KEYS {
+            store.put(k, INITIAL, &mut t);
+        }
+    }
+    let all_keys: Vec<u64> = (0..KEYS).collect();
+    let mut joins = Vec::new();
+    for tid in 0..WRITERS {
+        let store = Arc::clone(&store);
+        joins.push(std::thread::spawn(move || {
+            let mut t = store.register();
+            let mut rng = Xorshift::new(0xFEED ^ (tid + 1));
+            for _ in 0..TRANSFERS {
+                let from = rng.next() % KEYS;
+                let to = rng.next() % KEYS;
+                if from == to {
+                    continue;
+                }
+                let amount = rng.next() % 3;
+                assert!(store.rmw(
+                    &[from, to],
+                    |vals| {
+                        let moved = amount.min(vals[0]);
+                        vals[0] -= moved;
+                        vals[1] += moved;
+                    },
+                    &mut t,
+                ));
+            }
+        }));
+    }
+    for tid in 0..OBSERVERS {
+        let store = Arc::clone(&store);
+        let all_keys = all_keys.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut t = store.register();
+            for _ in 0..400 {
+                // Two chained multi_gets (8 keys each) are NOT atomic with
+                // respect to each other, so only per-call sums are checked
+                // against partial transfers *within* each half.
+                let lo: u64 = store
+                    .multi_get(&all_keys[..8], &mut t)
+                    .expect("keys present")
+                    .iter()
+                    .sum();
+                let hi: u64 = store
+                    .multi_get(&all_keys[8..], &mut t)
+                    .expect("keys present")
+                    .iter()
+                    .sum();
+                // Transfers move value between arbitrary keys, so each half
+                // can drift — but never beyond the total system mass, and
+                // never negative (u64 underflow would explode the sum).
+                assert!(lo + hi <= 2 * KEYS * INITIAL, "observed {lo} + {hi}");
+                let _ = tid;
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    // The real serializability check: after quiescence the mass is exact.
+    let snapshot = store.quiescent_snapshot();
+    assert_eq!(snapshot.len(), KEYS as usize);
+    let total: u64 = snapshot.iter().map(|&(_, v)| v).sum();
+    assert_eq!(total, KEYS * INITIAL, "transfer mass was not conserved");
+}
+
+/// Transfers restricted to within-eight-key groups so a *single* `multi_get`
+/// covers every key a transfer can touch — observers must see the invariant
+/// hold mid-flight, not just at quiescence.
+fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
+    const KEYS: u64 = 8;
+    const INITIAL: u64 = 1_000;
+    let store = Arc::new(ShardedKv::new(&stm, 4, 32, mode));
+    {
+        let mut t = store.register();
+        for k in 0..KEYS {
+            store.put(k, INITIAL, &mut t);
+        }
+    }
+    let all_keys: Vec<u64> = (0..KEYS).collect();
+    let mut joins = Vec::new();
+    for tid in 0..3u64 {
+        let store = Arc::clone(&store);
+        joins.push(std::thread::spawn(move || {
+            let mut t = store.register();
+            let mut rng = Xorshift::new(0xBEEF ^ (tid + 1));
+            for _ in 0..1_500 {
+                let from = rng.next() % KEYS;
+                let to = rng.next() % KEYS;
+                if from == to {
+                    continue;
+                }
+                assert!(store.rmw(
+                    &[from, to],
+                    |vals| {
+                        let moved = 1.min(vals[0]);
+                        vals[0] -= moved;
+                        vals[1] += moved;
+                    },
+                    &mut t,
+                ));
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let store = Arc::clone(&store);
+        let all_keys = all_keys.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut t = store.register();
+            for _ in 0..500 {
+                let total: u64 = store
+                    .multi_get(&all_keys, &mut t)
+                    .expect("keys present")
+                    .iter()
+                    .sum();
+                assert_eq!(total, KEYS * INITIAL, "observed a partial transfer");
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
+#[test]
+fn disjoint_replay_val_short() {
+    disjoint_replay(ValShort::new(), ApiMode::Short);
+}
+
+#[test]
+fn disjoint_replay_tvar_short() {
+    disjoint_replay(TvarShortG::new(), ApiMode::Short);
+}
+
+#[test]
+fn disjoint_replay_orec_full() {
+    disjoint_replay(OrecFullG::new(), ApiMode::Full);
+}
+
+#[test]
+fn transfers_conserve_total_val_short() {
+    transfers_conserve_total(ValShort::new(), ApiMode::Short);
+}
+
+#[test]
+fn transfers_conserve_total_orec_full() {
+    transfers_conserve_total(OrecFullG::new(), ApiMode::Full);
+}
+
+#[test]
+fn observers_never_see_partial_transfers_val_short() {
+    observers_never_see_partial_transfers(ValShort::new(), ApiMode::Short);
+}
+
+#[test]
+fn observers_never_see_partial_transfers_tvar_short() {
+    observers_never_see_partial_transfers(TvarShortG::new(), ApiMode::Short);
+}
+
+#[test]
+fn observers_never_see_partial_transfers_orec_full() {
+    observers_never_see_partial_transfers(OrecFullG::new(), ApiMode::Full);
+}

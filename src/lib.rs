@@ -5,4 +5,5 @@ pub use harness;
 pub use lockfree;
 pub use spectm;
 pub use spectm_ds;
+pub use spectm_kv;
 pub use txepoch;
