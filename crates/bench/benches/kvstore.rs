@@ -4,7 +4,10 @@
 //!
 //! One group per mix × distribution panel; within each group, one series
 //! per variant (the short-transaction layouts, the BaseTM full-transaction
-//! shape and the lock-free baseline).
+//! shape and the lock-free baseline).  The `scan_heavy` groups measure the
+//! YCSB-E shape: zipfian-length range scans (atomically consistent full
+//! transactions for the STM store, best-effort walks for the lock-free
+//! baseline) mixed with fresh-key inserts.
 
 use std::time::Duration;
 
@@ -67,5 +70,16 @@ fn read_modify_write(c: &mut Criterion) {
     bench_kv_panel(c, KvMix::ReadModifyWrite, KeyDist::Latest);
 }
 
-criterion_group!(kvstore, read_heavy, update_heavy, read_modify_write);
+fn scan_heavy(c: &mut Criterion) {
+    bench_kv_panel(c, KvMix::ScanHeavy, KeyDist::Uniform);
+    bench_kv_panel(c, KvMix::ScanHeavy, KeyDist::Zipfian);
+}
+
+criterion_group!(
+    kvstore,
+    read_heavy,
+    update_heavy,
+    read_modify_write,
+    scan_heavy
+);
 criterion_main!(kvstore);

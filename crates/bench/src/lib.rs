@@ -161,10 +161,12 @@ pub fn skip_runner(spec: VariantSpec, key_range: u64, lookup_pct: u64) -> OpRunn
 fn erase_kv<K: KvStore>(store: K, num_keys: u64, mix: KvMix, dist: KeyDist) -> OpRunner {
     harness::kv::load_keys(&store, num_keys);
     let mut ctx = store.thread_ctx();
-    // Extra RMW keys follow the panel's distribution, exactly as in the
-    // multi-threaded driver (`perform_op` is the single dispatch shared by
-    // both, so the bench and the `kv` binary measure the same workload).
+    // Extra RMW keys and scan lengths follow the panel's distribution,
+    // exactly as in the multi-threaded driver (`perform_op` is the single
+    // dispatch shared by both, so the bench and the `kv` binary measure the
+    // same workload).
     let sampler = KeySampler::new(dist, num_keys);
+    let scan = harness::kv::ScanParams::for_keys(num_keys);
     let mut rng = Xorshift::new(0x1D10_7BEE);
     let mut rmw_buf = [0u64; 2];
     Box::new(move |key, raw| {
@@ -177,6 +179,7 @@ fn erase_kv<K: KvStore>(store: K, num_keys: u64, mix: KvMix, dist: KeyDist) -> O
             &sampler,
             &mut rng,
             &mut rmw_buf,
+            &scan,
         );
     })
 }

@@ -1,15 +1,96 @@
 //! Throughput sweeps of the sharded transactional KV store (see
 //! EXPERIMENTS.md for the workload index).
 //!
-//! Sweeps threads × {read-heavy 95/5, update 50/50, rmw 50/50} ×
-//! {uniform, zipfian, latest} over the short-transaction STM variants, the
-//! BaseTM full-transaction shape and the lock-free baseline, printing the
-//! same TSV rows as the `fig*` binaries.  Accepts the common flags
-//! (`--quick`, `--paper`, `--threads a,b,c`, `--duration-ms`, `--runs`,
-//! `--key-range`).
+//! Sweeps threads × mixes × distributions over the short-transaction STM
+//! variants, the BaseTM full-transaction shape and the lock-free baseline,
+//! printing the same TSV rows as the `fig*` binaries.  Accepts the common
+//! flags (`--quick`, `--paper`, `--threads a,b,c`, `--duration-ms`,
+//! `--runs`, `--key-range`) plus two of its own:
+//!
+//! * `--workload a,b,c,e,f` — restrict the sweep to the named YCSB core
+//!   mixes (a = update 50/50, b = read-heavy 95/5, c = read-only,
+//!   e = scan-heavy 95/5, f = multi-key read-modify-write).  Default:
+//!   `b,a,f,e`.
+//! * `--dist uniform,zipfian,latest` — restrict the key-popularity
+//!   distributions.  Default: all three.
+
+use harness::kv::{kv_default_dists, kv_default_mixes, KeyDist, KvMix};
+
+/// Splits the kv-specific flags off the argument list, returning the mixes,
+/// distributions and the remaining arguments for the common parser.
+fn parse_kv_args(args: impl Iterator<Item = String>) -> (Vec<KvMix>, Vec<KeyDist>, Vec<String>) {
+    let args: Vec<String> = args.collect();
+    let mut mixes = kv_default_mixes();
+    let mut dists = kv_default_dists();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_default();
+                let parsed: Vec<KvMix> = raw
+                    .split(',')
+                    .filter_map(|s| {
+                        let s = s.trim();
+                        let mix = s
+                            .chars()
+                            .next()
+                            .filter(|_| s.len() == 1)
+                            .and_then(KvMix::from_ycsb_letter);
+                        if mix.is_none() {
+                            eprintln!(
+                                "warning: ignoring workload `{s}` (expected one of a, b, c, e, f)"
+                            );
+                        }
+                        mix
+                    })
+                    .collect();
+                if parsed.is_empty() {
+                    eprintln!(
+                        "error: `--workload {raw}` selected no valid mix \
+                         (expected a comma list of a, b, c, e, f)"
+                    );
+                    std::process::exit(2);
+                }
+                mixes = parsed;
+            }
+            "--dist" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_default();
+                let parsed: Vec<KeyDist> = raw
+                    .split(',')
+                    .filter_map(|s| {
+                        let dist = KeyDist::from_name(s.trim());
+                        if dist.is_none() {
+                            eprintln!(
+                                "warning: ignoring distribution `{}` (expected uniform, \
+                                 zipfian or latest)",
+                                s.trim()
+                            );
+                        }
+                        dist
+                    })
+                    .collect();
+                if parsed.is_empty() {
+                    eprintln!(
+                        "error: `--dist {raw}` selected no valid distribution \
+                         (expected a comma list of uniform, zipfian, latest)"
+                    );
+                    std::process::exit(2);
+                }
+                dists = parsed;
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    (mixes, dists, rest)
+}
 
 fn main() {
-    let opts = harness::figures::opts_from_args(std::env::args().skip(1));
-    let rows = harness::kv::kv_rows(&opts);
+    let (mixes, dists, rest) = parse_kv_args(std::env::args().skip(1));
+    let opts = harness::figures::opts_from_args(rest.into_iter());
+    let rows = harness::kv::kv_rows_for(&opts, &mixes, &dists);
     harness::figures::print_rows(&rows);
 }

@@ -3,9 +3,10 @@
 //! Where [`crate::intset`] reproduces the paper's microbenchmarks, this
 //! module stresses the same STM variants through a *service-level* shape:
 //! the sharded `u64 -> u64` store of the `spectm-kv` crate, driven by the
-//! standard key-value mixes (read-heavy 95/5, update 50/50, and a
-//! read-modify-write mix whose multi-key updates compose across shards) and
-//! by skewed key-popularity distributions (zipfian and latest) next to the
+//! standard key-value mixes (read-heavy 95/5, update 50/50, read-only, a
+//! read-modify-write mix whose multi-key updates compose across shards, and
+//! a scan-heavy YCSB-E mix of short range scans plus fresh inserts) and by
+//! skewed key-popularity distributions (zipfian and latest) next to the
 //! uniform draw of the microbenchmarks.  EXPERIMENTS.md maps the mixes to
 //! their YCSB counterparts.
 //!
@@ -48,6 +49,10 @@ pub trait KvStore: Send + Sync + 'static {
     /// Adds `delta` to every key in `keys`.  Atomic across keys for the STM
     /// store; per-key atomic only for the lock-free baseline.
     fn rmw_add(&self, keys: &[u64], delta: u64, ctx: &mut Self::ThreadCtx) -> bool;
+    /// Returns up to `limit` `(key, value)` pairs with `key >= start` in
+    /// ascending key order.  An atomically consistent snapshot for the STM
+    /// store; a best-effort (tearable) walk for the lock-free baseline.
+    fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, u64)>;
     /// Whether the implementation is safe to drive from multiple threads.
     fn supports_concurrency(&self) -> bool {
         true
@@ -96,6 +101,10 @@ impl<S: Stm + Clone> KvStore for StmKvBench<S> {
     fn rmw_add(&self, keys: &[u64], delta: u64, ctx: &mut Self::ThreadCtx) -> bool {
         self.store.rmw_add(keys, delta, ctx)
     }
+
+    fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, u64)> {
+        self.store.scan(start, limit, ctx)
+    }
 }
 
 /// [`KvStore`] adapter for the lock-free baseline.
@@ -134,6 +143,10 @@ impl KvStore for LockFreeKvBench {
     fn rmw_add(&self, keys: &[u64], delta: u64, ctx: &mut Self::ThreadCtx) -> bool {
         self.inner.rmw_add(keys, delta, ctx)
     }
+
+    fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, u64)> {
+        self.inner.scan(start, limit, ctx)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -147,6 +160,13 @@ pub enum KvMix {
     ReadHeavy,
     /// 50% reads / 50% writes (YCSB-A).
     UpdateHeavy,
+    /// 100% reads (YCSB-C).
+    ReadOnly,
+    /// 95% short range scans / 5% inserts of fresh keys (YCSB-E).  Scan
+    /// lengths are zipfian-drawn from `1..=`[`MAX_SCAN_LEN`]; inserts land
+    /// in the extension region above the loaded key space (see
+    /// [`ScanParams`]).
+    ScanHeavy,
     /// 50% reads / 50% multi-key read-modify-writes (YCSB-F, generalized to
     /// [`KvWorkloadConfig::rmw_keys`] keys so updates span shards).
     ReadModifyWrite,
@@ -158,15 +178,35 @@ impl KvMix {
         match self {
             KvMix::ReadHeavy => "read-heavy-95/5",
             KvMix::UpdateHeavy => "update-50/50",
+            KvMix::ReadOnly => "read-only-100",
+            KvMix::ScanHeavy => "scan-heavy-95/5",
             KvMix::ReadModifyWrite => "rmw-50/50",
         }
     }
 
-    /// Percentage of operations that are plain reads.
+    /// Percentage of operations that are plain point reads.  Zero for the
+    /// scan mix: its dispatch (scan vs insert) happens before this split,
+    /// in [`perform_op`].
     pub fn read_pct(self) -> u32 {
         match self {
             KvMix::ReadHeavy => 95,
             KvMix::UpdateHeavy | KvMix::ReadModifyWrite => 50,
+            KvMix::ReadOnly => 100,
+            KvMix::ScanHeavy => 0,
+        }
+    }
+
+    /// Parses a YCSB core-workload letter: `a` (update 50/50), `b`
+    /// (read-heavy 95/5), `c` (read-only), `e` (scan-heavy) or `f`
+    /// (read-modify-write).
+    pub fn from_ycsb_letter(letter: char) -> Option<KvMix> {
+        match letter.to_ascii_lowercase() {
+            'a' => Some(KvMix::UpdateHeavy),
+            'b' => Some(KvMix::ReadHeavy),
+            'c' => Some(KvMix::ReadOnly),
+            'e' => Some(KvMix::ScanHeavy),
+            'f' => Some(KvMix::ReadModifyWrite),
+            _ => None,
         }
     }
 }
@@ -191,6 +231,17 @@ impl KeyDist {
             KeyDist::Uniform => "uniform",
             KeyDist::Zipfian => "zipfian",
             KeyDist::Latest => "latest",
+        }
+    }
+
+    /// Parses a distribution name (the same strings [`KeyDist::label`]
+    /// prints).
+    pub fn from_name(name: &str) -> Option<KeyDist> {
+        match name.to_ascii_lowercase().as_str() {
+            "uniform" => Some(KeyDist::Uniform),
+            "zipfian" => Some(KeyDist::Zipfian),
+            "latest" => Some(KeyDist::Latest),
+            _ => None,
         }
     }
 }
@@ -284,6 +335,47 @@ impl KeySampler {
     }
 }
 
+/// Longest scan of the scan-heavy (YCSB-E) mix.
+pub const MAX_SCAN_LEN: usize = 100;
+
+/// Percentage of scan-heavy operations that are scans (the rest insert).
+pub const SCAN_PCT: u32 = 95;
+
+/// Parameters of the scan-heavy (YCSB-E) mix: scan lengths are drawn from a
+/// zipfian over `1..=`[`MAX_SCAN_LEN`] (short scans dominate, as in YCSB's
+/// default), and inserts of fresh keys land uniformly in the *extension
+/// region* `num_keys..2*num_keys` above the loaded key space, so scans
+/// starting near the top of the space observe them.
+pub struct ScanParams {
+    len_zipf: Zipfian,
+    insert_base: u64,
+    insert_span: u64,
+}
+
+impl ScanParams {
+    /// Builds the parameters for a key space of `0..num_keys` loaded keys.
+    pub fn for_keys(num_keys: u64) -> Self {
+        Self {
+            len_zipf: Zipfian::new(MAX_SCAN_LEN as u64, ZIPFIAN_THETA),
+            insert_base: num_keys,
+            insert_span: num_keys.max(1),
+        }
+    }
+
+    /// Draws a zipfian scan length in `1..=`[`MAX_SCAN_LEN`].
+    #[inline]
+    pub fn sample_len(&self, rng: &mut Xorshift) -> usize {
+        self.len_zipf.sample(rng.next_f64()) as usize + 1
+    }
+
+    /// Draws the key for a YCSB-E insert, uniformly from the extension
+    /// region.
+    #[inline]
+    pub fn insert_key(&self, rng: &mut Xorshift) -> u64 {
+        self.insert_base + rng.next() % self.insert_span
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The workload driver
 // ---------------------------------------------------------------------------
@@ -349,13 +441,14 @@ pub fn load_keys<K: KvStore>(store: &K, num_keys: u64) {
     }
 }
 
-/// Executes one workload operation: a read with probability
-/// `mix.read_pct()`, otherwise the mix's write shape.  `key` is the primary
-/// key and `raw` the dispatch draw; the extra read-modify-write keys (slots
-/// `1..` of `rmw_buf`) are drawn from `sampler`, so *every* key an operation
-/// touches follows the panel's distribution.  Shared by the multi-threaded
-/// driver and the Criterion runners in the `bench` crate so the two cannot
-/// drift apart.
+/// Executes one workload operation.  For the scan-heavy mix the dispatch is
+/// scan vs insert (`SCAN_PCT`); for every other mix it is a read with
+/// probability `mix.read_pct()`, otherwise the mix's write shape.  `key` is
+/// the primary key (a scan's start key) and `raw` the dispatch draw; the
+/// extra read-modify-write keys (slots `1..` of `rmw_buf`) are drawn from
+/// `sampler`, so *every* key an operation touches follows the panel's
+/// distribution.  Shared by the multi-threaded driver and the Criterion
+/// runners in the `bench` crate so the two cannot drift apart.
 #[inline]
 #[expect(clippy::too_many_arguments)]
 pub fn perform_op<K: KvStore>(
@@ -367,7 +460,17 @@ pub fn perform_op<K: KvStore>(
     sampler: &KeySampler,
     rng: &mut Xorshift,
     rmw_buf: &mut [u64],
+    scan: &ScanParams,
 ) {
+    if mix == KvMix::ScanHeavy {
+        if raw % 100 < SCAN_PCT as u64 {
+            let len = scan.sample_len(rng);
+            std::hint::black_box(store.scan(key, len, ctx));
+        } else {
+            std::hint::black_box(store.put(scan.insert_key(rng), raw >> 2, ctx));
+        }
+        return;
+    }
     if raw % 100 < mix.read_pct() as u64 {
         std::hint::black_box(store.get(key, ctx));
     } else {
@@ -382,6 +485,7 @@ pub fn perform_op<K: KvStore>(
                 }
                 std::hint::black_box(store.rmw_add(rmw_buf, 1, ctx));
             }
+            KvMix::ReadOnly | KvMix::ScanHeavy => unreachable!("fully dispatched above"),
         }
     }
 }
@@ -405,6 +509,7 @@ pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
         let mut ctx = store.thread_ctx();
         let mut rng = Xorshift::new(0x0BAD_5EED ^ (0x9E37_79B9 * (tid as u64 + 1)));
         let sampler = KeySampler::new(cfg.dist, cfg.num_keys);
+        let scan = ScanParams::for_keys(cfg.num_keys);
         let store = &store;
         let cfg = cfg.clone();
         let mut rmw_buf = vec![0u64; cfg.rmw_keys];
@@ -421,6 +526,7 @@ pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
                     &sampler,
                     &mut rng,
                     &mut rmw_buf,
+                    &scan,
                 );
             }
             BATCH_OPS
@@ -535,15 +641,35 @@ pub fn kv_variants() -> Vec<VariantSpec> {
     ]
 }
 
+/// The mixes the `kv` binary sweeps by default (YCSB B, A, F and E; the
+/// read-only C mix is available through `--workload c`).
+pub fn kv_default_mixes() -> Vec<KvMix> {
+    vec![
+        KvMix::ReadHeavy,
+        KvMix::UpdateHeavy,
+        KvMix::ReadModifyWrite,
+        KvMix::ScanHeavy,
+    ]
+}
+
+/// The distributions the `kv` binary sweeps by default.
+pub fn kv_default_dists() -> Vec<KeyDist> {
+    vec![KeyDist::Uniform, KeyDist::Zipfian, KeyDist::Latest]
+}
+
 /// Produces the `kv` binary's rows: threads × mix × distribution × variant,
 /// in the same TSV row shape as the figure drivers (`figure` is `"kv"`,
 /// `panel` is `"<mix> / <dist>"`, `x` is the thread count).
 pub fn kv_rows(opts: &FigureOpts) -> Vec<FigureRow> {
-    let mixes = [KvMix::ReadHeavy, KvMix::UpdateHeavy, KvMix::ReadModifyWrite];
-    let dists = [KeyDist::Uniform, KeyDist::Zipfian, KeyDist::Latest];
+    kv_rows_for(opts, &kv_default_mixes(), &kv_default_dists())
+}
+
+/// [`kv_rows`] restricted to explicit mixes and distributions (the
+/// `--workload` / `--dist` flags of the `kv` binary).
+pub fn kv_rows_for(opts: &FigureOpts, mixes: &[KvMix], dists: &[KeyDist]) -> Vec<FigureRow> {
     let mut rows = Vec::new();
-    for mix in mixes {
-        for dist in dists {
+    for &mix in mixes {
+        for &dist in dists {
             let panel = format!("{} / {}", mix.label(), dist.label());
             for variant in kv_variants() {
                 for &threads in &opts.threads {
@@ -634,9 +760,17 @@ mod tests {
         );
     }
 
+    const ALL_MIXES: [KvMix; 5] = [
+        KvMix::ReadHeavy,
+        KvMix::UpdateHeavy,
+        KvMix::ReadOnly,
+        KvMix::ScanHeavy,
+        KvMix::ReadModifyWrite,
+    ];
+
     #[test]
     fn stm_store_serves_every_mix() {
-        for mix in [KvMix::ReadHeavy, KvMix::UpdateHeavy, KvMix::ReadModifyWrite] {
+        for mix in ALL_MIXES {
             let store = Arc::new(StmKvBench::new(ValShort::new(), 4, 128, ApiMode::Short));
             let res = run_kv(store, &tiny_cfg(mix, KeyDist::Zipfian, 2));
             assert!(res.total_ops > 0, "{mix:?}");
@@ -646,13 +780,60 @@ mod tests {
 
     #[test]
     fn lock_free_store_serves_every_mix() {
-        for mix in [KvMix::ReadHeavy, KvMix::UpdateHeavy, KvMix::ReadModifyWrite] {
+        for mix in ALL_MIXES {
             let store = Arc::new(LockFreeKvBench::new(LockFreeKvMap::new(
                 512,
                 Collector::new(),
             )));
             let res = run_kv(store, &tiny_cfg(mix, KeyDist::Uniform, 2));
             assert!(res.total_ops > 0, "{mix:?}");
+        }
+    }
+
+    #[test]
+    fn scan_params_draw_sane_lengths_and_insert_keys() {
+        let scan = ScanParams::for_keys(1_000);
+        let mut rng = Xorshift::new(17);
+        let mut max_len = 0;
+        for _ in 0..5_000 {
+            let len = scan.sample_len(&mut rng);
+            assert!((1..=MAX_SCAN_LEN).contains(&len));
+            max_len = max_len.max(len);
+            let key = scan.insert_key(&mut rng);
+            assert!((1_000..2_000).contains(&key), "insert key {key}");
+        }
+        // The zipfian tail must actually be exercised now and then.
+        assert!(max_len > MAX_SCAN_LEN / 2, "longest draw was {max_len}");
+    }
+
+    #[test]
+    fn ycsb_letters_map_to_mixes() {
+        assert_eq!(KvMix::from_ycsb_letter('a'), Some(KvMix::UpdateHeavy));
+        assert_eq!(KvMix::from_ycsb_letter('B'), Some(KvMix::ReadHeavy));
+        assert_eq!(KvMix::from_ycsb_letter('c'), Some(KvMix::ReadOnly));
+        assert_eq!(KvMix::from_ycsb_letter('e'), Some(KvMix::ScanHeavy));
+        assert_eq!(KvMix::from_ycsb_letter('f'), Some(KvMix::ReadModifyWrite));
+        assert_eq!(KvMix::from_ycsb_letter('d'), None);
+        assert_eq!(KeyDist::from_name("Zipfian"), Some(KeyDist::Zipfian));
+        assert_eq!(KeyDist::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn scan_heavy_mix_produces_ordered_scans() {
+        // Drive the dispatch directly and check scans come back sorted and
+        // bounded from the STM store.
+        let bench = StmKvBench::new(ValShort::new(), 4, 64, ApiMode::Short);
+        load_keys(&bench, 256);
+        let mut ctx = bench.thread_ctx();
+        let scan = ScanParams::for_keys(256);
+        let mut rng = Xorshift::new(23);
+        for _ in 0..200 {
+            let start = rng.next() % 256;
+            let len = scan.sample_len(&mut rng);
+            let run = bench.scan(start, len, &mut ctx);
+            assert!(run.len() <= len);
+            assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "unsorted scan");
+            assert!(run.iter().all(|&(k, _)| k >= start), "key below start");
         }
     }
 

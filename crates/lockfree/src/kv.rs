@@ -9,7 +9,11 @@
 //! fastest update the hardware offers, which is exactly what an STM-based
 //! store must be compared against.
 //!
-//! Two caveats, both inherent to the CAS-based design and shared by the
+//! For range scans the map keeps a [`crate::LockFreeSkipList`] of keys next
+//! to the hash table; [`LockFreeKvMap::scan`] walks it in order and looks
+//! every key up in the table.
+//!
+//! Three caveats, all inherent to the CAS-based design and shared by the
 //! paper's lock-free baselines:
 //!
 //! * a `put` racing with a `remove` of the same key may update the value of
@@ -20,11 +24,21 @@
 //!   per-key `fetch_add`, so a concurrent reader can observe a partially
 //!   applied multi-key update.  The STM store (the `spectm-kv` crate)
 //!   provides the atomic variant; the contrast is the point of the
-//!   benchmark.
+//!   benchmark;
+//! * [`LockFreeKvMap::scan`] is **not a snapshot**: the key index and the
+//!   value table are updated by separate CASes (and each value is read by a
+//!   separate load), so a scan concurrent with writes can observe a torn
+//!   multi-key update, miss a freshly inserted key, or return a value newer
+//!   than a neighbour's.  `ShardedKv::scan` runs the same shape as one full
+//!   transaction and rules all of that out — the contrast is, again, the
+//!   point.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use txepoch::{Collector, LocalHandle};
+
+use crate::skiplist::LockFreeSkipList;
+use crate::ConcurrentIntSet;
 
 const MARK: usize = 1;
 
@@ -86,6 +100,9 @@ pub struct LockFreeKvMap {
     buckets: Box<[AtomicUsize]>,
     mask: u64,
     collector: Collector,
+    /// Ordered key index for [`LockFreeKvMap::scan`]; maintained *next to*
+    /// the hash table, not atomically with it (see the module docs).
+    index: LockFreeSkipList,
 }
 
 // SAFETY: all shared mutation goes through atomics; node reclamation is
@@ -104,10 +121,14 @@ impl LockFreeKvMap {
     /// reclaiming memory through `collector`.
     pub fn new(buckets: usize, collector: Collector) -> Self {
         let len = buckets.next_power_of_two().max(1);
+        // The index shares the collector (cloning yields a handle to the
+        // same domain), so one registered `LocalHandle` serves both.
+        let index = LockFreeSkipList::new(collector.clone());
         Self {
             buckets: (0..len).map(|_| AtomicUsize::new(0)).collect(),
             mask: len as u64 - 1,
             collector,
+            index,
         }
     }
 
@@ -221,6 +242,10 @@ impl LockFreeKvMap {
                 )
                 .is_ok()
             {
+                // Mirror the fresh key into the ordered index.  This is a
+                // second, independent CAS: scans between the two steps miss
+                // the key (see the module docs — no snapshot guarantee).
+                self.index.insert(key, handle);
                 return None;
             }
         }
@@ -266,6 +291,12 @@ impl LockFreeKvMap {
             } else {
                 let _ = self.search(key, handle);
             }
+            // Drop the key from the ordered index (again a separate step; a
+            // racing re-insert of the same key can leave the index and the
+            // table briefly — or, under unlucky interleavings, durably —
+            // disagreeing.  The STM store's combined transactions are how
+            // that is actually fixed).
+            self.index.remove(key, handle);
             return Some(value);
         }
     }
@@ -296,6 +327,28 @@ impl LockFreeKvMap {
             all_present &= found;
         }
         all_present
+    }
+
+    /// Returns up to `limit` `(key, value)` pairs with `key >= start`, in
+    /// ascending key order, by walking the ordered key index and looking
+    /// each key up in the hash table.
+    ///
+    /// **Not a snapshot**: every index link and every value is read by an
+    /// independent atomic operation, so concurrent writers can make the
+    /// result internally inconsistent (torn multi-key updates, missed
+    /// fresh inserts, value/neighbour skew).  Compare `ShardedKv::scan` in
+    /// `spectm-kv`, which runs the same shape as one full transaction.
+    pub fn scan(&self, start: u64, limit: usize, handle: &LocalHandle) -> Vec<(u64, u64)> {
+        let keys = self.index.collect_from(start, limit, handle);
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            // A key can vanish between the index walk and this lookup;
+            // skipping it is the honest behaviour for this baseline.
+            if let Some(value) = self.get(key, handle) {
+                out.push((key, value));
+            }
+        }
+        out
     }
 
     /// Collects the current `(key, value)` pairs (not linearizable; only
@@ -389,6 +442,23 @@ mod tests {
         assert_eq!(map.get(2, &h), Some(25));
         assert!(!map.rmw_add(&[1, 99], 5, &h));
         assert_eq!(map.get(1, &h), Some(20));
+    }
+
+    #[test]
+    fn scan_returns_sorted_live_pairs_sequentially() {
+        let map = new_map(16);
+        let h = map.collector().register();
+        for k in (0..50u64).step_by(2) {
+            map.put(k, k + 1, &h);
+        }
+        map.del(10, &h);
+        let run = map.scan(6, 4, &h);
+        assert_eq!(run, vec![(6, 7), (8, 9), (12, 13), (14, 15)]);
+        assert!(map.scan(100, 8, &h).is_empty());
+        assert!(map.scan(0, 0, &h).is_empty());
+        // Re-inserting a deleted key restores it to scans.
+        map.put(10, 99, &h);
+        assert_eq!(map.scan(9, 2, &h), vec![(10, 99), (12, 13)]);
     }
 
     #[test]

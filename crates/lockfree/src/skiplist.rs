@@ -186,6 +186,51 @@ impl LockFreeSkipList {
         false
     }
 
+    /// Collects up to `limit` unmarked keys with `key >= start`, in key
+    /// order.
+    ///
+    /// The walk is **not** a snapshot: each link is read independently, so
+    /// the result can mix states from different points in time (keys
+    /// inserted or removed mid-walk may or may not appear).  This is the
+    /// best an unsynchronized CAS-based structure can offer and exactly the
+    /// guarantee gap the STM store's transactional scans close.
+    pub fn collect_from(&self, start: u64, limit: usize, handle: &LocalHandle) -> Vec<u64> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        let _guard = handle.pin();
+        // Descend to the last tower strictly before `start`.
+        let mut pred: &Tower = &self.head;
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut curr = unmark(pred.next[lvl].load(Ordering::Acquire));
+            loop {
+                if curr == 0 {
+                    break;
+                }
+                // SAFETY: read from a reachable link while pinned.
+                let node = unsafe { &*(curr as *const Tower) };
+                if node.key >= start {
+                    break;
+                }
+                pred = node;
+                curr = unmark(node.next[lvl].load(Ordering::Acquire));
+            }
+        }
+        // Walk level 0, skipping logically deleted towers.
+        let mut curr = unmark(pred.next[0].load(Ordering::Acquire));
+        while curr != 0 && out.len() < limit {
+            // SAFETY: as above.
+            let node = unsafe { &*(curr as *const Tower) };
+            let next = node.next[0].load(Ordering::Acquire);
+            if node.key >= start && !marked(next) {
+                out.push(node.key);
+            }
+            curr = unmark(next);
+        }
+        out
+    }
+
     fn do_insert(&self, key: u64, handle: &LocalHandle) -> bool {
         let _guard = handle.pin();
         let level = random_level(MAX_LEVEL);

@@ -9,9 +9,11 @@
 //!   of Section 2, with both a traditional-transaction and a
 //!   short-transaction implementation of every operation;
 //! * [`StmHashTable`] — the integer-set hash table of the evaluation;
-//! * [`StmSkipList`] — the integer-set skip list of Section 3, which uses
-//!   specialized short transactions for towers of height 1–2 and ordinary
-//!   transactions for taller towers;
+//! * [`StmSkipList`] — the skip list of Section 3, which uses specialized
+//!   short transactions for towers of height 1–2 and ordinary transactions
+//!   for taller towers; besides the paper's integer-set API it doubles as an
+//!   ordered `u64 -> u64` map with transactional range scans (the ordered
+//!   index of the `spectm-kv` store);
 //! * [`dcss`](mod@dcss) — the double-compare-single-swap helper built from a combined
 //!   read-only/read-write short transaction (Section 2.2).
 //!
@@ -30,7 +32,7 @@ pub mod skiplist;
 pub use dcss::dcss;
 pub use deque::TxDeque;
 pub use hashtable::StmHashTable;
-pub use skiplist::StmSkipList;
+pub use skiplist::{RetiredTower, StmSkipList, TowerSlot, MAX_TOWER_VALUE};
 
 /// Which SpecTM interface a data structure instance drives.
 ///

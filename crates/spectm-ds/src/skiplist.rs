@@ -1,11 +1,28 @@
-//! STM-based integer-set skip list (the case study of Section 3).
+//! STM-based ordered skip list (the case study of Section 3), grown from an
+//! integer set into an ordered `u64 -> u64` map.
 //!
-//! Towers store a key and one transactional forward pointer per level; bit 1
-//! of every forward pointer is the "deleted" mark (bit 0 stays clear for the
-//! value-based layout's lock bit).  A removal marks the tower's own forward
-//! pointers *and* unlinks it from every level in one atomic step, so a tower
-//! is either fully linked or fully removed — this is precisely the
-//! simplification over the CAS-based skip list that the paper advertises.
+//! Towers store a key, a transactional value cell and one transactional
+//! forward pointer per level; bit 1 of every forward pointer is the
+//! "deleted" mark (bit 0 stays clear for the value-based layout's lock bit).
+//! A removal marks the tower's own forward pointers *and* unlinks it from
+//! every level in one atomic step, so a tower is either fully linked or
+//! fully removed — this is precisely the simplification over the CAS-based
+//! skip list that the paper advertises.
+//!
+//! Two API surfaces coexist on the same towers:
+//!
+//! * the original **set** API ([`StmSkipList::insert`] /
+//!   [`StmSkipList::remove`] / [`StmSkipList::contains`]), used by the
+//!   paper's microbenchmarks;
+//! * a **map** API ([`StmSkipList::get`] / [`StmSkipList::put`] /
+//!   [`StmSkipList::range`]) storing 63-bit values with the same
+//!   [`spectm::encode_int`] convention as the hash structures.
+//!
+//! The `*_in` methods ([`StmSkipList::insert_in`], [`StmSkipList::remove_in`],
+//! [`StmSkipList::collect_keys_in`], [`StmSkipList::collect_range_in`]) run
+//! the same walks inside a caller-provided full transaction, which is what
+//! lets the sharded KV store keep a per-shard ordered index transactionally
+//! consistent with its hash shard and serve atomic range scans.
 //!
 //! The [`ApiMode`] selects how those atomic steps are expressed:
 //!
@@ -17,9 +34,26 @@
 //! * **Fine** — the same fine-grained steps as **Short**, but each step is an
 //!   ordinary transaction (the `orec-full-g (fine)` line of Figure 6(a)).
 
-use spectm::{decode_int, encode_int, is_marked, mark, unmark, Stm, StmThread, Word};
+use spectm::{
+    decode_int, encode_int, is_marked, mark, unmark, FullTx, Stm, StmThread, TxResult, Word,
+};
 
 use crate::ApiMode;
+
+/// Largest value storable in a tower (one bit of the word is reserved for
+/// the value-based layout's lock bit).
+pub const MAX_TOWER_VALUE: u64 = (1 << 63) - 1;
+
+#[inline]
+fn enc(value: u64) -> Word {
+    assert!(value <= MAX_TOWER_VALUE, "value {value:#x} exceeds 63 bits");
+    encode_int(value as usize)
+}
+
+#[inline]
+fn dec(word: Word) -> u64 {
+    decode_int(word) as u64
+}
 
 /// Maximum tower height (the paper sets it to 32).
 pub const MAX_LEVEL: usize = 32;
@@ -28,10 +62,12 @@ pub const MAX_LEVEL: usize = 32;
 /// taller towers use ordinary transactions (Section 3 uses levels 1–2).
 pub const SHORT_LEVEL_CUTOFF: usize = 2;
 
-/// A skip-list tower.  The key and height are immutable after publication.
+/// A skip-list tower.  The key and height are immutable after publication;
+/// the value cell is accessed transactionally.
 struct Tower<S: Stm> {
     key: u64,
     level: usize,
+    value: S::Cell,
     next: Vec<S::Cell>,
 }
 
@@ -47,7 +83,88 @@ struct Window<'a, S: Stm> {
     top: usize,
 }
 
-/// An STM-based skip list storing a set of `u64` keys.
+/// Outcome of an insert-or-update attempt.
+enum Upsert {
+    /// The key was absent and has been inserted.
+    Inserted,
+    /// The key was present and `overwrite` was false; nothing changed.
+    Exists,
+    /// The key was present; the previous value was replaced.
+    Updated(u64),
+}
+
+/// Reusable allocation slot for [`StmSkipList::insert_in`].
+///
+/// A full transaction's body may run several times (once per conflict
+/// retry); the slot keeps the speculatively allocated tower alive across
+/// retries so each logical insert allocates at most once.  After the
+/// enclosing [`spectm::StmThread::atomic`] **commits an attempt in which
+/// `insert_in` returned `true`**, the caller must call
+/// [`TowerSlot::mark_published`]; otherwise dropping the slot frees the
+/// never-published tower.
+pub struct TowerSlot<S: Stm> {
+    ptr: *mut Tower<S>,
+    level: usize,
+}
+
+impl<S: Stm> TowerSlot<S> {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        Self {
+            ptr: std::ptr::null_mut(),
+            level: 0,
+        }
+    }
+
+    /// Declares the slot's tower published: a transaction in which
+    /// [`StmSkipList::insert_in`] returned `true` has committed, so the
+    /// tower is now owned by the list.
+    pub fn mark_published(&mut self) {
+        self.ptr = std::ptr::null_mut();
+    }
+}
+
+impl<S: Stm> Default for TowerSlot<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Stm> Drop for TowerSlot<S> {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: per the contract above, a non-null pointer at drop time
+            // means the tower was never published to the list.
+            drop(unsafe { Box::from_raw(self.ptr) });
+        }
+    }
+}
+
+/// A tower unlinked by [`StmSkipList::remove_in`], awaiting epoch retirement.
+///
+/// After the enclosing transaction **commits**, call
+/// [`RetiredTower::retire`] to hand the tower to the epoch collector.  If
+/// the transaction aborted or was retried, simply drop the value (the tower
+/// is still linked; dropping does nothing).
+#[must_use = "call retire() after the transaction commits"]
+pub struct RetiredTower<S: Stm> {
+    ptr: *mut Tower<S>,
+}
+
+impl<S: Stm> RetiredTower<S> {
+    /// Defers destruction of the unlinked tower through the thread's epoch
+    /// collector.  Only call after the removing transaction committed.
+    pub fn retire(self, thread: &mut S::Thread) {
+        let pin = thread.epoch().pin();
+        // SAFETY: the committed transaction unlinked and marked the tower,
+        // so it is unreachable for new operations; pinned readers are
+        // protected by the epoch.
+        unsafe { pin.defer_drop(self.ptr) };
+    }
+}
+
+/// An STM-based ordered skip list, usable as a set of `u64` keys or as an
+/// ordered `u64 -> u64` map (values are 63-bit, see [`MAX_TOWER_VALUE`]).
 ///
 /// # Examples
 ///
@@ -58,9 +175,16 @@ struct Window<'a, S: Stm> {
 /// let stm = ValShort::new();
 /// let list = StmSkipList::new(&stm, ApiMode::Short);
 /// let mut thread = stm.register();
+/// // Set API.
 /// assert!(list.insert(42, &mut thread));
 /// assert!(list.contains(42, &mut thread));
 /// assert!(list.remove(42, &mut thread));
+/// // Map API: ordered, with range scans.
+/// assert_eq!(list.put(3, 30, &mut thread), None);
+/// assert_eq!(list.put(1, 10, &mut thread), None);
+/// assert_eq!(list.put(3, 31, &mut thread), Some(30));
+/// assert_eq!(list.get(3, &mut thread), Some(31));
+/// assert_eq!(list.range(0, 10, &mut thread), vec![(1, 10), (3, 31)]);
 /// ```
 pub struct StmSkipList<S: Stm> {
     stm: S,
@@ -101,10 +225,11 @@ impl<S: Stm> StmSkipList<S> {
         unmark(ptr) as *mut Tower<S>
     }
 
-    fn alloc_tower(&self, key: u64, level: usize) -> *mut Tower<S> {
+    fn alloc_tower(&self, key: u64, value: u64, level: usize) -> *mut Tower<S> {
         Box::into_raw(Box::new(Tower {
             key,
             level,
+            value: self.stm.new_cell(enc(value)),
             next: (0..level).map(|_| self.stm.new_cell(0)).collect(),
         }))
     }
@@ -114,11 +239,26 @@ impl<S: Stm> StmSkipList<S> {
         lockfree_level()
     }
 
-    /// Inserts `key`; returns `false` if it was already present.
+    /// Inserts `key` (set API; the value is set to 0); returns `false` if it
+    /// was already present (whose value is then left untouched).
     pub fn insert(&self, key: u64, thread: &mut S::Thread) -> bool {
+        matches!(self.upsert(key, 0, false, thread), Upsert::Inserted)
+    }
+
+    /// Stores `value` under `key` (map API), returning the previous value if
+    /// the key was present.
+    pub fn put(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+        match self.upsert(key, value, true, thread) {
+            Upsert::Inserted => None,
+            Upsert::Updated(old) => Some(old),
+            Upsert::Exists => unreachable!("overwriting upserts never report Exists"),
+        }
+    }
+
+    fn upsert(&self, key: u64, value: u64, overwrite: bool, thread: &mut S::Thread) -> Upsert {
         match self.mode {
-            ApiMode::Full => self.insert_txn(key, Self::random_level(), thread),
-            ApiMode::Short | ApiMode::Fine => self.insert_split(key, thread),
+            ApiMode::Full => self.upsert_txn(key, value, overwrite, Self::random_level(), thread),
+            ApiMode::Short | ApiMode::Fine => self.upsert_split(key, value, overwrite, thread),
         }
     }
 
@@ -138,9 +278,35 @@ impl<S: Stm> StmSkipList<S> {
         }
     }
 
+    /// Returns the value stored under `key` (map API).
+    pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        match self.mode {
+            ApiMode::Full => thread
+                .atomic(|tx| self.read_value_in(key, tx))
+                .expect("get is never cancelled"),
+            ApiMode::Short | ApiMode::Fine => self.get_walk(key, thread),
+        }
+    }
+
+    /// Collects every `(key, value)` pair with `start <= key < end`, in key
+    /// order, inside **one** full transaction — an atomically consistent
+    /// range snapshot, serializable with all concurrent operations.
+    pub fn range(&self, start: u64, end: u64, thread: &mut S::Thread) -> Vec<(u64, u64)> {
+        thread
+            .atomic(|tx| self.collect_range_in(start, end, usize::MAX, tx))
+            .expect("range is never cancelled")
+    }
+
     /// Collects every key currently present (non-transactional; only
     /// meaningful when no concurrent operations run).
     pub fn quiescent_snapshot(&self) -> Vec<u64> {
+        self.quiescent_pairs().into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Collects every `(key, value)` pair currently present
+    /// (non-transactional; only meaningful when no concurrent operations
+    /// run).
+    pub fn quiescent_pairs(&self) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
         let mut curr = S::peek(&self.head[0]);
         while unmark(curr) != 0 {
@@ -148,7 +314,7 @@ impl<S: Stm> StmSkipList<S> {
             let tower = unsafe { &*Self::tower(curr) };
             let next = S::peek(&tower.next[0]);
             if !is_marked(next) {
-                out.push(tower.key);
+                out.push((tower.key, dec(S::peek(&tower.value))));
             }
             curr = unmark(next);
         }
@@ -247,11 +413,60 @@ impl<S: Stm> StmSkipList<S> {
         tower.key == key && !is_marked(self.read_link(&tower.next[0], thread))
     }
 
+    /// Walk-based map lookup: liveness and value are observed together with
+    /// a two-location read-only short transaction (Short mode) or one
+    /// ordinary transaction over the same locations (Fine mode).
+    fn get_walk(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        let mut attempts = 0u32;
+        loop {
+            if attempts > 0 {
+                thread.backoff().wait();
+            }
+            attempts += 1;
+            let _pin = thread.epoch().pin();
+            let w = self.search(key, thread);
+            if w.succs[0] == 0 {
+                return None;
+            }
+            // SAFETY: protected by the epoch pin above.
+            let tower = unsafe { &*Self::tower(w.succs[0]) };
+            if tower.key != key {
+                return None;
+            }
+            if self.mode == ApiMode::Short {
+                let next = thread.ro_read(0, &tower.next[0]);
+                let value = thread.ro_read(1, &tower.value);
+                if !thread.ro_is_valid(2) {
+                    continue;
+                }
+                if is_marked(next) {
+                    return None;
+                }
+                return Some(dec(value));
+            }
+            let read = thread
+                .atomic(|tx| {
+                    if is_marked(tx.read(&tower.next[0])?) {
+                        return Ok(None);
+                    }
+                    Ok(Some(dec(tx.read(&tower.value)?)))
+                })
+                .expect("get_walk is never cancelled");
+            return read;
+        }
+    }
+
     // ------------------------------------------------------------------
     // Insert
     // ------------------------------------------------------------------
 
-    fn insert_split(&self, key: u64, thread: &mut S::Thread) -> bool {
+    fn upsert_split(
+        &self,
+        key: u64,
+        value: u64,
+        overwrite: bool,
+        thread: &mut S::Thread,
+    ) -> Upsert {
         let level = Self::random_level();
         let mut new_tower: *mut Tower<S> = std::ptr::null_mut();
         let mut attempts = 0u32;
@@ -268,20 +483,38 @@ impl<S: Stm> StmSkipList<S> {
                 // SAFETY: protected by the epoch pin.
                 let tower = unsafe { &*Self::tower(w.succs[0]) };
                 if tower.key == key {
-                    if is_marked(self.read_link(&tower.next[0], thread)) {
-                        // Deleted but still linked: wait for the remover.
-                        drop(pin);
-                        continue;
+                    if !overwrite {
+                        if is_marked(self.read_link(&tower.next[0], thread)) {
+                            // Deleted but still linked: wait for the remover.
+                            drop(pin);
+                            continue;
+                        }
+                        if !new_tower.is_null() {
+                            // SAFETY: never published.
+                            drop(unsafe { Box::from_raw(new_tower) });
+                        }
+                        return Upsert::Exists;
                     }
-                    if !new_tower.is_null() {
-                        // SAFETY: never published.
-                        drop(unsafe { Box::from_raw(new_tower) });
+                    match self.update_value(tower, value, thread) {
+                        // Updated in place.
+                        Some(old) => {
+                            if !new_tower.is_null() {
+                                // SAFETY: never published.
+                                drop(unsafe { Box::from_raw(new_tower) });
+                            }
+                            return Upsert::Updated(old);
+                        }
+                        // Deleted-but-linked or validation failure: retry
+                        // (a fresh insert once the remover unlinks).
+                        None => {
+                            drop(pin);
+                            continue;
+                        }
                     }
-                    return false;
                 }
             }
             if new_tower.is_null() {
-                new_tower = self.alloc_tower(key, level);
+                new_tower = self.alloc_tower(key, value, level);
             }
             // SAFETY: still private to this thread.
             let tower = unsafe { &*new_tower };
@@ -302,9 +535,45 @@ impl<S: Stm> StmSkipList<S> {
                 self.insert_txn_linked(&w, level, new_tower as Word, key, thread)
             };
             if published {
-                return true;
+                return Upsert::Inserted;
             }
             drop(pin);
+        }
+    }
+
+    /// Overwrites a live tower's value: a two-location short read-write
+    /// transaction over (liveness mark, value) in Short mode, the same two
+    /// locations in one ordinary transaction in Fine mode.  Returns `None`
+    /// if the tower is logically deleted or validation failed (retry).
+    fn update_value(&self, tower: &Tower<S>, value: u64, thread: &mut S::Thread) -> Option<u64> {
+        if self.mode == ApiMode::Short {
+            let next = thread.rw_read(0, &tower.next[0]);
+            if !thread.rw_is_valid(1) {
+                return None;
+            }
+            if is_marked(next) {
+                thread.rw_abort(1);
+                return None;
+            }
+            let old = thread.rw_read(1, &tower.value);
+            if !thread.rw_is_valid(2) {
+                return None;
+            }
+            if thread.rw_commit(2, &[next, enc(value)]) {
+                return Some(dec(old));
+            }
+            None
+        } else {
+            thread
+                .atomic(|tx| {
+                    if is_marked(tx.read(&tower.next[0])?) {
+                        return Ok(None);
+                    }
+                    let old = tx.read(&tower.value)?;
+                    tx.write(&tower.value, enc(value))?;
+                    Ok(Some(dec(old)))
+                })
+                .expect("update_value is never cancelled")
         }
     }
 
@@ -383,79 +652,143 @@ impl<S: Stm> StmSkipList<S> {
             .is_some()
     }
 
-    /// Full-mode insert: search and link inside a single ordinary transaction.
-    fn insert_txn(&self, key: u64, level: usize, thread: &mut S::Thread) -> bool {
+    /// Body of a full-mode insert-or-update: search and link (or rewrite the
+    /// value in place) inside the caller's transaction.  `new_tower` is the
+    /// lazily filled allocation slot, reused across conflict retries.
+    fn upsert_body(
+        &self,
+        key: u64,
+        value: u64,
+        overwrite: bool,
+        level: usize,
+        new_tower: &mut *mut Tower<S>,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Upsert> {
+        let head_lvl = decode_int(tx.read(&self.level_hint)?).clamp(1, MAX_LEVEL);
+        let mut preds: Vec<*const S::Cell> = Vec::with_capacity(MAX_LEVEL);
+        let mut succs: Vec<Word> = vec![0; MAX_LEVEL];
+        for lvl in 0..MAX_LEVEL {
+            preds.push(&self.head[lvl]);
+        }
+        let mut pred_cell: *const S::Cell = &self.head[head_lvl - 1];
+        for lvl in (0..head_lvl).rev() {
+            // SAFETY: predecessor cells are either head cells or cells
+            // of towers read transactionally within this attempt; the
+            // transaction's epoch pin keeps them alive.
+            let mut curr = unmark(tx.read(unsafe { &*pred_cell })?);
+            loop {
+                if curr == 0 {
+                    break;
+                }
+                // SAFETY: as above.
+                let tower = unsafe { &*Self::tower(curr) };
+                if tower.key >= key {
+                    break;
+                }
+                let next = tx.read(&tower.next[lvl])?;
+                pred_cell = &tower.next[lvl];
+                curr = unmark(next);
+            }
+            preds[lvl] = pred_cell;
+            succs[lvl] = curr;
+            if lvl > 0 {
+                // SAFETY: as above.
+                pred_cell = self.step_down(unsafe { &*pred_cell }, lvl);
+            }
+        }
+        if succs[0] != 0 {
+            // SAFETY: as above.
+            let tower = unsafe { &*Self::tower(succs[0]) };
+            if tower.key == key && !is_marked(tx.read(&tower.next[0])?) {
+                if !overwrite {
+                    return Ok(Upsert::Exists);
+                }
+                let old = tx.read(&tower.value)?;
+                tx.write(&tower.value, enc(value))?;
+                return Ok(Upsert::Updated(dec(old)));
+            }
+            if tower.key == key {
+                // Deleted but still linked: wait for the remover to unlink.
+                return tx.restart();
+            }
+        }
+        if level > head_lvl {
+            tx.write(&self.level_hint, encode_int(level))?;
+        }
+        if new_tower.is_null() {
+            *new_tower = self.alloc_tower(key, value, level);
+        }
+        // SAFETY: still private to this thread.
+        let tower = unsafe { &**new_tower };
+        S::poke(&tower.value, enc(value));
+        for lvl in 0..level {
+            let (pred, succ) = if lvl < head_lvl {
+                (preds[lvl], succs[lvl])
+            } else {
+                (&self.head[lvl] as *const S::Cell, tx.read(&self.head[lvl])?)
+            };
+            S::poke(&tower.next[lvl], succ);
+            // SAFETY: as above.
+            tx.write(unsafe { &*pred }, *new_tower as Word)?;
+        }
+        Ok(Upsert::Inserted)
+    }
+
+    /// Full-mode insert-or-update: search and link inside a single ordinary
+    /// transaction.
+    fn upsert_txn(
+        &self,
+        key: u64,
+        value: u64,
+        overwrite: bool,
+        level: usize,
+        thread: &mut S::Thread,
+    ) -> Upsert {
         let mut new_tower: *mut Tower<S> = std::ptr::null_mut();
-        let inserted = thread
-            .atomic(|tx| {
-                let head_lvl = decode_int(tx.read(&self.level_hint)?).clamp(1, MAX_LEVEL);
-                let mut preds: Vec<*const S::Cell> = Vec::with_capacity(MAX_LEVEL);
-                let mut succs: Vec<Word> = vec![0; MAX_LEVEL];
-                for lvl in 0..MAX_LEVEL {
-                    preds.push(&self.head[lvl]);
-                }
-                let mut pred_cell: *const S::Cell = &self.head[head_lvl - 1];
-                for lvl in (0..head_lvl).rev() {
-                    // SAFETY: predecessor cells are either head cells or cells
-                    // of towers read transactionally within this attempt; the
-                    // transaction's epoch pin keeps them alive.
-                    let mut curr = unmark(tx.read(unsafe { &*pred_cell })?);
-                    loop {
-                        if curr == 0 {
-                            break;
-                        }
-                        // SAFETY: as above.
-                        let tower = unsafe { &*Self::tower(curr) };
-                        if tower.key >= key {
-                            break;
-                        }
-                        let next = tx.read(&tower.next[lvl])?;
-                        pred_cell = &tower.next[lvl];
-                        curr = unmark(next);
-                    }
-                    preds[lvl] = pred_cell;
-                    succs[lvl] = curr;
-                    if lvl > 0 {
-                        // SAFETY: as above.
-                        pred_cell = self.step_down(unsafe { &*pred_cell }, lvl);
-                    }
-                }
-                if succs[0] != 0 {
-                    // SAFETY: as above.
-                    let tower = unsafe { &*Self::tower(succs[0]) };
-                    if tower.key == key && !is_marked(tx.read(&tower.next[0])?) {
-                        return Ok(false);
-                    }
-                    if tower.key == key {
-                        return tx.restart();
-                    }
-                }
-                if level > head_lvl {
-                    tx.write(&self.level_hint, encode_int(level))?;
-                }
-                if new_tower.is_null() {
-                    new_tower = self.alloc_tower(key, level);
-                }
-                // SAFETY: still private to this thread.
-                let tower = unsafe { &*new_tower };
-                for lvl in 0..level {
-                    let (pred, succ) = if lvl < head_lvl {
-                        (preds[lvl], succs[lvl])
-                    } else {
-                        (&self.head[lvl] as *const S::Cell, tx.read(&self.head[lvl])?)
-                    };
-                    S::poke(&tower.next[lvl], succ);
-                    // SAFETY: as above.
-                    tx.write(unsafe { &*pred }, new_tower as Word)?;
-                }
-                Ok(true)
-            })
-            .expect("insert transaction is never cancelled");
-        if !inserted && !new_tower.is_null() {
+        let outcome = thread
+            .atomic(|tx| self.upsert_body(key, value, overwrite, level, &mut new_tower, tx))
+            .expect("upsert transaction is never cancelled");
+        if !matches!(outcome, Upsert::Inserted) && !new_tower.is_null() {
             // SAFETY: never published.
             drop(unsafe { Box::from_raw(new_tower) });
         }
-        inserted
+        outcome
+    }
+
+    /// Inserts `(key, value)` inside an already-running full transaction,
+    /// regardless of this instance's [`ApiMode`].  Returns `false` (writing
+    /// nothing) if the key is already present.
+    ///
+    /// `slot` carries the speculative tower allocation across conflict
+    /// retries of the enclosing transaction; see [`TowerSlot`] for the
+    /// publication contract.
+    pub fn insert_in(
+        &self,
+        key: u64,
+        value: u64,
+        slot: &mut TowerSlot<S>,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<bool> {
+        if slot.ptr.is_null() {
+            slot.level = Self::random_level();
+            slot.ptr = self.alloc_tower(key, value, slot.level);
+        }
+        // SAFETY: the slot's tower is still private to this thread.
+        debug_assert_eq!(unsafe { (*slot.ptr).key }, key, "one TowerSlot per key");
+        let mut ptr = slot.ptr;
+        let outcome = self.upsert_body(key, value, false, slot.level, &mut ptr, tx)?;
+        Ok(matches!(outcome, Upsert::Inserted))
+    }
+
+    /// Reads the value under `key` inside an already-running full
+    /// transaction, regardless of this instance's [`ApiMode`].
+    pub fn read_value_in(&self, key: u64, tx: &mut FullTx<'_, S::Thread>) -> TxResult<Option<u64>> {
+        let mut out = None;
+        self.walk_range_in(key, key, 1, tx, |_, value_cell, tx| {
+            out = Some(dec(tx.read(value_cell)?));
+            Ok(())
+        })?;
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -592,82 +925,102 @@ impl<S: Stm> StmSkipList<S> {
             .expect("remove transaction is never cancelled")
     }
 
-    /// Full-mode remove: search and unlink inside one ordinary transaction.
-    fn remove_txn(&self, key: u64, thread: &mut S::Thread) -> bool {
-        let mut unlinked: Word = 0;
-        let removed = thread
-            .atomic(|tx| {
-                unlinked = 0;
-                let head_lvl = decode_int(tx.read(&self.level_hint)?).clamp(1, MAX_LEVEL);
-                let mut preds: Vec<*const S::Cell> = Vec::with_capacity(MAX_LEVEL);
-                for lvl in 0..MAX_LEVEL {
-                    preds.push(&self.head[lvl]);
-                }
-                let mut succs: Vec<Word> = vec![0; MAX_LEVEL];
-                let mut pred_cell: *const S::Cell = &self.head[head_lvl - 1];
-                for lvl in (0..head_lvl).rev() {
-                    // SAFETY: see `insert_txn`.
-                    let mut curr = unmark(tx.read(unsafe { &*pred_cell })?);
-                    loop {
-                        if curr == 0 {
-                            break;
-                        }
-                        // SAFETY: as above.
-                        let tower = unsafe { &*Self::tower(curr) };
-                        if tower.key >= key {
-                            break;
-                        }
-                        let next = tx.read(&tower.next[lvl])?;
-                        pred_cell = &tower.next[lvl];
-                        curr = unmark(next);
-                    }
-                    preds[lvl] = pred_cell;
-                    succs[lvl] = curr;
-                    if lvl > 0 {
-                        // SAFETY: as above.
-                        pred_cell = self.step_down(unsafe { &*pred_cell }, lvl);
-                    }
-                }
-                if succs[0] == 0 {
-                    return Ok(false);
+    /// Body of a full-mode remove: search and unlink inside the caller's
+    /// transaction.  Returns the unlinked tower's word (0 if the key was
+    /// absent or already deleted).
+    fn remove_body(&self, key: u64, tx: &mut FullTx<'_, S::Thread>) -> TxResult<Word> {
+        let head_lvl = decode_int(tx.read(&self.level_hint)?).clamp(1, MAX_LEVEL);
+        let mut preds: Vec<*const S::Cell> = Vec::with_capacity(MAX_LEVEL);
+        for lvl in 0..MAX_LEVEL {
+            preds.push(&self.head[lvl]);
+        }
+        let mut succs: Vec<Word> = vec![0; MAX_LEVEL];
+        let mut pred_cell: *const S::Cell = &self.head[head_lvl - 1];
+        for lvl in (0..head_lvl).rev() {
+            // SAFETY: see `upsert_body`.
+            let mut curr = unmark(tx.read(unsafe { &*pred_cell })?);
+            loop {
+                if curr == 0 {
+                    break;
                 }
                 // SAFETY: as above.
-                let tower = unsafe { &*Self::tower(succs[0]) };
-                if tower.key != key {
-                    return Ok(false);
+                let tower = unsafe { &*Self::tower(curr) };
+                if tower.key >= key {
+                    break;
                 }
-                let mut nexts = [0 as Word; MAX_LEVEL];
-                for (lvl, next) in nexts.iter_mut().enumerate().take(tower.level) {
-                    let own = tx.read(&tower.next[lvl])?;
-                    if is_marked(own) {
-                        return Ok(false);
-                    }
-                    *next = own;
-                }
-                for lvl in 0..tower.level {
-                    let pred = if lvl < head_lvl {
-                        preds[lvl]
-                    } else {
-                        &self.head[lvl] as *const S::Cell
-                    };
-                    // SAFETY: as above.
-                    if tx.read(unsafe { &*pred })? == succs[0] {
-                        tx.write(unsafe { &*pred }, unmark(nexts[lvl]))?;
-                    } else {
-                        return tx.restart();
-                    }
-                    tx.write(&tower.next[lvl], mark(nexts[lvl]))?;
-                }
-                unlinked = succs[0];
-                Ok(true)
-            })
+                let next = tx.read(&tower.next[lvl])?;
+                pred_cell = &tower.next[lvl];
+                curr = unmark(next);
+            }
+            preds[lvl] = pred_cell;
+            succs[lvl] = curr;
+            if lvl > 0 {
+                // SAFETY: as above.
+                pred_cell = self.step_down(unsafe { &*pred_cell }, lvl);
+            }
+        }
+        if succs[0] == 0 {
+            return Ok(0);
+        }
+        // SAFETY: as above.
+        let tower = unsafe { &*Self::tower(succs[0]) };
+        if tower.key != key {
+            return Ok(0);
+        }
+        let mut nexts = [0 as Word; MAX_LEVEL];
+        for (lvl, next) in nexts.iter_mut().enumerate().take(tower.level) {
+            let own = tx.read(&tower.next[lvl])?;
+            if is_marked(own) {
+                return Ok(0);
+            }
+            *next = own;
+        }
+        for lvl in 0..tower.level {
+            let pred = if lvl < head_lvl {
+                preds[lvl]
+            } else {
+                &self.head[lvl] as *const S::Cell
+            };
+            // SAFETY: as above.
+            if tx.read(unsafe { &*pred })? == succs[0] {
+                tx.write(unsafe { &*pred }, unmark(nexts[lvl]))?;
+            } else {
+                return tx.restart();
+            }
+            tx.write(&tower.next[lvl], mark(nexts[lvl]))?;
+        }
+        Ok(succs[0])
+    }
+
+    /// Full-mode remove: search and unlink inside one ordinary transaction.
+    fn remove_txn(&self, key: u64, thread: &mut S::Thread) -> bool {
+        let unlinked = thread
+            .atomic(|tx| self.remove_body(key, tx))
             .expect("remove transaction is never cancelled");
-        if removed && unlinked != 0 {
+        if unlinked != 0 {
             let pin = thread.epoch().pin();
             // SAFETY: the committed transaction unlinked and marked the tower.
             unsafe { pin.defer_drop(Self::tower(unlinked)) };
         }
-        removed
+        unlinked != 0
+    }
+
+    /// Removes `key` inside an already-running full transaction, regardless
+    /// of this instance's [`ApiMode`].  Returns the unlinked tower (to be
+    /// retired **after** the transaction commits; see [`RetiredTower`]) or
+    /// `None` if the key was absent.
+    pub fn remove_in(
+        &self,
+        key: u64,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Option<RetiredTower<S>>> {
+        let unlinked = self.remove_body(key, tx)?;
+        if unlinked == 0 {
+            return Ok(None);
+        }
+        Ok(Some(RetiredTower {
+            ptr: Self::tower(unlinked),
+        }))
     }
 
     // ------------------------------------------------------------------
@@ -712,6 +1065,131 @@ impl<S: Stm> StmSkipList<S> {
                 Ok(!is_marked(tx.read(&tower.next[0])?))
             })
             .expect("contains transaction is never cancelled")
+    }
+
+    // ------------------------------------------------------------------
+    // Range scans (inside a caller-provided full transaction)
+    // ------------------------------------------------------------------
+
+    /// Walks the live towers with `start <= key <= last` in key order (at
+    /// most `limit` of them), invoking `visit(key, value_cell, tx)` for
+    /// each.  The descent to the start position and every level-0 link on
+    /// the way enter the transaction's read set, so the visited range is an
+    /// atomically consistent snapshot when the transaction commits.
+    fn walk_range_in<F>(
+        &self,
+        start: u64,
+        last: u64,
+        limit: usize,
+        tx: &mut FullTx<'_, S::Thread>,
+        mut visit: F,
+    ) -> TxResult<()>
+    where
+        F: FnMut(u64, &S::Cell, &mut FullTx<'_, S::Thread>) -> TxResult<()>,
+    {
+        if start > last || limit == 0 {
+            return Ok(());
+        }
+        let head_lvl = decode_int(tx.read(&self.level_hint)?).clamp(1, MAX_LEVEL);
+        let mut pred_cell: *const S::Cell = &self.head[head_lvl - 1];
+        for lvl in (0..head_lvl).rev() {
+            // SAFETY: see `upsert_body`.
+            let mut curr = unmark(tx.read(unsafe { &*pred_cell })?);
+            loop {
+                if curr == 0 {
+                    break;
+                }
+                // SAFETY: as above.
+                let tower = unsafe { &*Self::tower(curr) };
+                if tower.key >= start {
+                    break;
+                }
+                let next = tx.read(&tower.next[lvl])?;
+                pred_cell = &tower.next[lvl];
+                curr = unmark(next);
+            }
+            if lvl > 0 {
+                // SAFETY: as above.
+                pred_cell = self.step_down(unsafe { &*pred_cell }, lvl);
+            }
+        }
+        // `pred_cell` now points at the last level-0 link before `start`.
+        // SAFETY: as above.
+        let mut curr = unmark(tx.read(unsafe { &*pred_cell })?);
+        let mut visited = 0usize;
+        while curr != 0 && visited < limit {
+            // SAFETY: as above.
+            let tower = unsafe { &*Self::tower(curr) };
+            if tower.key > last {
+                break;
+            }
+            debug_assert!(tower.key >= start, "descent overshot the start key");
+            let next = tx.read(&tower.next[0])?;
+            if !is_marked(next) {
+                visit(tower.key, &tower.value, tx)?;
+                visited += 1;
+            }
+            curr = unmark(next);
+        }
+        Ok(())
+    }
+
+    /// Collects up to `limit` live keys with `start <= key < end`, in key
+    /// order, inside an already-running full transaction.
+    pub fn collect_keys_in(
+        &self,
+        start: u64,
+        end: u64,
+        limit: usize,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Vec<u64>> {
+        let Some(last) = end.checked_sub(1) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        self.walk_range_in(start, last, limit, tx, |key, _, _| {
+            out.push(key);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Collects up to `limit` live keys with `key >= start` (the whole tail
+    /// of the key space, including `u64::MAX`), in key order, inside an
+    /// already-running full transaction.
+    pub fn collect_tail_keys_in(
+        &self,
+        start: u64,
+        limit: usize,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Vec<u64>> {
+        let mut out = Vec::new();
+        self.walk_range_in(start, u64::MAX, limit, tx, |key, _, _| {
+            out.push(key);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Collects up to `limit` live `(key, value)` pairs with
+    /// `start <= key < end`, in key order, inside an already-running full
+    /// transaction.
+    pub fn collect_range_in(
+        &self,
+        start: u64,
+        end: u64,
+        limit: usize,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Vec<(u64, u64)>> {
+        let Some(last) = end.checked_sub(1) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        self.walk_range_in(start, last, limit, tx, |key, value_cell, tx| {
+            out.push((key, dec(tx.read(value_cell)?)));
+            Ok(())
+        })?;
+        Ok(out)
     }
 }
 
@@ -911,6 +1389,117 @@ mod tests {
     #[test]
     fn contended_churn_orec_full() {
         contended_churn(OrecFullG::new(), ApiMode::Full);
+    }
+
+    fn map_oracle_test<S: Stm + Clone>(stm: S, mode: ApiMode) {
+        use std::collections::BTreeMap;
+        let list = StmSkipList::new(&stm, mode);
+        let mut t = stm.register();
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut state = 0xDEAD_BEEF_1234_5678u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2_000 {
+            let k = rng() % 128 + 1;
+            let v = rng() >> 2;
+            match rng() % 5 {
+                0 | 1 => assert_eq!(list.put(k, v, &mut t), oracle.insert(k, v), "put {k}"),
+                2 => assert_eq!(list.remove(k, &mut t), oracle.remove(&k).is_some()),
+                3 => assert_eq!(list.get(k, &mut t), oracle.get(&k).copied(), "get {k}"),
+                _ => {
+                    let lo = rng() % 128;
+                    let hi = lo + rng() % 32;
+                    let expect: Vec<(u64, u64)> =
+                        oracle.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+                    assert_eq!(list.range(lo, hi, &mut t), expect, "range {lo}..{hi}");
+                }
+            }
+        }
+        assert_eq!(
+            list.quiescent_pairs(),
+            oracle.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn map_oracle_short_val() {
+        map_oracle_test(ValShort::new(), ApiMode::Short);
+    }
+
+    #[test]
+    fn map_oracle_short_tvar() {
+        map_oracle_test(TvarShortG::new(), ApiMode::Short);
+    }
+
+    #[test]
+    fn map_oracle_full_orec() {
+        map_oracle_test(OrecFullG::new(), ApiMode::Full);
+    }
+
+    #[test]
+    fn map_oracle_fine_orec() {
+        map_oracle_test(OrecFullG::new(), ApiMode::Fine);
+    }
+
+    #[test]
+    fn set_insert_does_not_clobber_values() {
+        let stm = ValShort::new();
+        let list = StmSkipList::new(&stm, ApiMode::Short);
+        let mut t = stm.register();
+        assert_eq!(list.put(7, 70, &mut t), None);
+        assert!(!list.insert(7, &mut t), "set insert sees the key");
+        assert_eq!(list.get(7, &mut t), Some(70), "value survives set insert");
+    }
+
+    #[test]
+    fn in_tx_helpers_compose_with_a_full_transaction() {
+        let stm = ValShort::new();
+        let list = StmSkipList::new(&stm, ApiMode::Short);
+        let mut t = stm.register();
+        list.put(2, 20, &mut t);
+        list.put(4, 40, &mut t);
+        // Insert 3 and remove 4 in one transaction, observing the range
+        // before and after.
+        let mut slot = TowerSlot::new();
+        let mut retired = None;
+        let (before, after) = t
+            .atomic(|tx| {
+                retired = None;
+                let before = list.collect_range_in(0, 10, usize::MAX, tx)?;
+                let inserted = list.insert_in(3, 30, &mut slot, tx)?;
+                assert!(inserted);
+                retired = list.remove_in(4, tx)?;
+                let after = list.collect_range_in(0, 10, usize::MAX, tx)?;
+                Ok((before, after))
+            })
+            .unwrap();
+        slot.mark_published();
+        retired.expect("key 4 was present").retire(&mut t);
+        assert_eq!(before, vec![(2, 20), (4, 40)]);
+        assert_eq!(after, vec![(2, 20), (3, 30)]);
+        assert_eq!(list.quiescent_pairs(), vec![(2, 20), (3, 30)]);
+        assert_eq!(t.atomic(|tx| list.read_value_in(3, tx)).unwrap(), Some(30));
+    }
+
+    #[test]
+    fn range_respects_limits_and_bounds() {
+        let stm = ValShort::new();
+        let list = StmSkipList::new(&stm, ApiMode::Short);
+        let mut t = stm.register();
+        for k in (0..100u64).step_by(2) {
+            list.put(k, k * 10, &mut t);
+        }
+        let keys = t.atomic(|tx| list.collect_keys_in(10, 30, 5, tx)).unwrap();
+        assert_eq!(keys, vec![10, 12, 14, 16, 18]);
+        let all = t
+            .atomic(|tx| list.collect_keys_in(90, u64::MAX, usize::MAX, tx))
+            .unwrap();
+        assert_eq!(all, vec![90, 92, 94, 96, 98]);
+        assert!(list.range(5, 5, &mut t).is_empty());
     }
 
     #[test]

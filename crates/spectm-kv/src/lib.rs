@@ -14,20 +14,24 @@
 //!   two/three-location short read-write transactions, and every operation
 //!   also exists as a traditional full transaction (the BaseTM shape);
 //! * [`ShardRouter`] — a power-of-two router assigning each key to a shard;
-//! * [`ShardedKv`] — the store itself.  All shards share **one** STM
-//!   instance, so while `get`/`put`/`del` touch only the owning shard, a
-//!   multi-key [`ShardedKv::rmw`] composes reads and writes *across* shards
-//!   inside a single full transaction and stays serializable with every
-//!   concurrent short transaction — the interoperability the paper's design
-//!   guarantees (Section 2).
+//! * [`ShardedKv`] — the store itself.  All shards (and their per-shard
+//!   [`spectm_ds::StmSkipList`] ordered indexes) share **one** STM
+//!   instance, so while `get` and value-overwriting `put` touch only the
+//!   owning shard, a multi-key [`ShardedKv::rmw`] composes reads and writes
+//!   *across* shards inside a single full transaction, and
+//!   [`ShardedKv::scan`] / [`ShardedKv::range`] return atomically
+//!   consistent ordered snapshots spanning every shard — the
+//!   interoperability the paper's design guarantees (Section 2).
 //!
 //! Values are stored with [`spectm::encode_int`], so they must fit in 63
 //! bits; keys are arbitrary `u64`s.  The workload drivers live in the
-//! `harness` crate (`kv` binary), the CAS-based baseline in
-//! `lockfree::LockFreeKvMap`; DESIGN.md documents the architecture and
-//! EXPERIMENTS.md the workloads.
+//! `harness` crate (`kv` binary, including the scan-heavy YCSB-E mix), the
+//! CAS-based baseline in `lockfree::LockFreeKvMap`; DESIGN.md documents the
+//! architecture and EXPERIMENTS.md the workloads.
 //!
 //! # Examples
+//!
+//! Point operations and cross-shard read-modify-write:
 //!
 //! ```
 //! use spectm::{Stm, variants::ValShort};
@@ -44,6 +48,29 @@
 //! assert_eq!(store.get(1, &mut thread), Some(5));
 //! assert_eq!(store.get(2, &mut thread), Some(25));
 //! ```
+//!
+//! Ordered range scans over all shards, atomically consistent with every
+//! concurrent operation:
+//!
+//! ```
+//! use spectm::{Stm, variants::ValShort};
+//! use spectm_ds::ApiMode;
+//! use spectm_kv::ShardedKv;
+//!
+//! let stm = ValShort::new();
+//! let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
+//! let mut thread = store.register();
+//! for key in 0..100u64 {
+//!     store.put(key, key + 1_000, &mut thread);
+//! }
+//! // YCSB-E shape: up to `limit` pairs starting at `start`, in key order.
+//! let run = store.scan(40, 5, &mut thread);
+//! assert_eq!(run.len(), 5);
+//! assert_eq!(run[0], (40, 1_040));
+//! assert!(run.windows(2).all(|w| w[0].0 < w[1].0));
+//! // Half-open key ranges work too.
+//! assert_eq!(store.range(97, 200, &mut thread).len(), 3);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -52,7 +79,7 @@ pub mod map;
 pub mod router;
 pub mod store;
 
-pub use map::StmHashMap;
+pub use map::{NodeSlot, RetiredNode, StmHashMap};
 pub use router::ShardRouter;
 pub use store::{ShardedKv, MAX_RMW_KEYS};
 

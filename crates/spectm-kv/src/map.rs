@@ -40,6 +40,84 @@ struct Node<S: Stm> {
     next: S::Cell,
 }
 
+/// Outcome of one attempt at the short update-in-place protocol.
+enum ShortUpdate {
+    /// The value was overwritten; holds the previous value.
+    Updated(u64),
+    /// The node is logically deleted (still linked); nothing was written.
+    Deleted,
+    /// Validation or commit failed; search again and retry.
+    Retry,
+}
+
+/// Reusable allocation slot for [`StmHashMap::put_in`].
+///
+/// A full transaction's body may run several times (once per conflict
+/// retry); the slot keeps the speculatively allocated node alive across
+/// retries so each logical insert allocates at most once.  After the
+/// enclosing [`spectm::StmThread::atomic`] **commits an attempt in which
+/// `put_in` returned `None`** (a fresh insert), the caller must call
+/// [`NodeSlot::mark_published`]; otherwise dropping the slot frees the
+/// never-published node.
+pub struct NodeSlot<S: Stm> {
+    ptr: *mut Node<S>,
+}
+
+impl<S: Stm> NodeSlot<S> {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        Self {
+            ptr: std::ptr::null_mut(),
+        }
+    }
+
+    /// Declares the slot's node published: a transaction in which
+    /// [`StmHashMap::put_in`] returned `None` has committed, so the node is
+    /// now owned by the map.
+    pub fn mark_published(&mut self) {
+        self.ptr = std::ptr::null_mut();
+    }
+}
+
+impl<S: Stm> Default for NodeSlot<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Stm> Drop for NodeSlot<S> {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: per the contract above, a non-null pointer at drop time
+            // means the node was never published to the map.
+            drop(unsafe { Box::from_raw(self.ptr) });
+        }
+    }
+}
+
+/// A node unlinked by [`StmHashMap::del_in`], awaiting epoch retirement.
+///
+/// After the enclosing transaction **commits**, call [`RetiredNode::retire`]
+/// to hand the node to the epoch collector.  If the transaction aborted or
+/// was retried, simply drop the value (the node is still linked; dropping
+/// does nothing).
+#[must_use = "call retire() after the transaction commits"]
+pub struct RetiredNode<S: Stm> {
+    ptr: *mut Node<S>,
+}
+
+impl<S: Stm> RetiredNode<S> {
+    /// Defers destruction of the unlinked node through the thread's epoch
+    /// collector.  Only call after the removing transaction committed.
+    pub fn retire(self, thread: &mut S::Thread) {
+        let pin = thread.epoch().pin();
+        // SAFETY: the committed transaction unlinked and marked the node, so
+        // it is unreachable for new operations; pinned readers are protected
+        // by the epoch.
+        unsafe { pin.defer_drop(self.ptr) };
+    }
+}
+
 /// A transactional hash map from `u64` keys to `u64` values (63 bits; see
 /// [`MAX_VALUE`]).
 ///
@@ -149,6 +227,27 @@ impl<S: Stm> StmHashMap<S> {
         }
     }
 
+    /// Overwrites the value under an **existing** `key`, returning the
+    /// previous value; returns `None` (inserting nothing) if the key is
+    /// absent.  The membership-preserving half of [`StmHashMap::put`]: in
+    /// Short mode it is the same two-location read-write transaction, never
+    /// the insert CAS.
+    pub fn update(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+        match self.mode {
+            ApiMode::Short => self.update_short(key, value, thread),
+            ApiMode::Full | ApiMode::Fine => thread
+                .atomic(|tx| {
+                    let Some(old) = self.read_in(key, tx)? else {
+                        return Ok(None);
+                    };
+                    let wrote = self.write_in(key, value, tx)?;
+                    debug_assert!(wrote, "key {key} vanished within the transaction");
+                    Ok(Some(old))
+                })
+                .expect("update is never cancelled"),
+        }
+    }
+
     /// Removes `key`, returning the value it held.
     pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
         match self.mode {
@@ -238,6 +337,31 @@ impl<S: Stm> StmHashMap<S> {
         }
     }
 
+    /// One attempt at the update-in-place protocol: a two-location short
+    /// read-write transaction over (next, value).  Reading `next` both
+    /// checks liveness and guards against a concurrent remove committing
+    /// between the check and the write.  The caller must hold an epoch pin.
+    fn try_update_short(&self, node: &Node<S>, value: u64, thread: &mut S::Thread) -> ShortUpdate {
+        let next = thread.rw_read(0, &node.next);
+        if !thread.rw_is_valid(1) {
+            return ShortUpdate::Retry;
+        }
+        if is_marked(next) {
+            // Logically deleted but still linked.
+            thread.rw_abort(1);
+            return ShortUpdate::Deleted;
+        }
+        let old = thread.rw_read(1, &node.value);
+        if !thread.rw_is_valid(2) {
+            return ShortUpdate::Retry;
+        }
+        if thread.rw_commit(2, &[next, enc(value)]) {
+            ShortUpdate::Updated(dec(old))
+        } else {
+            ShortUpdate::Retry
+        }
+    }
+
     fn put_short(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
         let mut new_node: *mut Node<S> = std::ptr::null_mut();
         let mut attempts = 0u32;
@@ -252,36 +376,21 @@ impl<S: Stm> StmHashMap<S> {
                 // SAFETY: protected by the epoch pin.
                 let node = unsafe { &*Self::node(curr) };
                 if node.key == key {
-                    // Update in place: a two-location short read-write
-                    // transaction over (next, value).  Reading `next` both
-                    // checks liveness and guards against a concurrent
-                    // remove committing between our check and our write.
-                    let next = thread.rw_read(0, &node.next);
-                    if !thread.rw_is_valid(1) {
-                        drop(pin);
-                        continue;
-                    }
-                    if is_marked(next) {
-                        // Logically deleted but still linked: wait for the
-                        // remover to unlink, then insert fresh.
-                        thread.rw_abort(1);
-                        drop(pin);
-                        continue;
-                    }
-                    let old = thread.rw_read(1, &node.value);
-                    if !thread.rw_is_valid(2) {
-                        drop(pin);
-                        continue;
-                    }
-                    if thread.rw_commit(2, &[next, enc(value)]) {
-                        if !new_node.is_null() {
-                            // SAFETY: never published.
-                            drop(unsafe { Box::from_raw(new_node) });
+                    match self.try_update_short(node, value, thread) {
+                        ShortUpdate::Updated(old) => {
+                            if !new_node.is_null() {
+                                // SAFETY: never published.
+                                drop(unsafe { Box::from_raw(new_node) });
+                            }
+                            return Some(old);
                         }
-                        return Some(dec(old));
+                        // Deleted: wait for the remover to unlink, then
+                        // insert fresh.  Either way, retry the search.
+                        ShortUpdate::Deleted | ShortUpdate::Retry => {
+                            drop(pin);
+                            continue;
+                        }
                     }
-                    drop(pin);
-                    continue;
                 }
             }
             if new_node.is_null() {
@@ -294,6 +403,37 @@ impl<S: Stm> StmHashMap<S> {
             // Publish with a single-location CAS.
             if thread.single_cas(prev, curr, new_node as Word) == curr {
                 return None;
+            }
+        }
+    }
+
+    /// Short-mode update-only path: the found-node branch of `put_short`
+    /// (the same [`StmHashMap::try_update_short`] protocol) without the
+    /// insert fallback.
+    fn update_short(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+        let mut attempts = 0u32;
+        loop {
+            if attempts > 0 {
+                thread.backoff().wait();
+            }
+            attempts += 1;
+            let pin = thread.epoch().pin();
+            let (_prev, curr) = self.search_short(key, thread);
+            if curr == 0 {
+                return None;
+            }
+            // SAFETY: protected by the epoch pin.
+            let node = unsafe { &*Self::node(curr) };
+            if node.key != key {
+                return None;
+            }
+            match self.try_update_short(node, value, thread) {
+                ShortUpdate::Updated(old) => return Some(old),
+                // Logically deleted: the key is absent for this operation.
+                ShortUpdate::Deleted => return None,
+                ShortUpdate::Retry => {
+                    drop(pin);
+                }
             }
         }
     }
@@ -362,44 +502,55 @@ impl<S: Stm> StmHashMap<S> {
             .expect("get_full is never cancelled")
     }
 
+    /// Body of a full-mode insert-or-update inside the caller's transaction.
+    /// `new_node` is the lazily filled allocation slot, reused across
+    /// conflict retries.
+    fn put_body(
+        &self,
+        key: u64,
+        value: u64,
+        new_node: &mut *mut Node<S>,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Option<u64>> {
+        let mut prev_cell: &S::Cell = self.bucket(key);
+        let mut curr = unmark(tx.read(prev_cell)?);
+        loop {
+            if curr != 0 {
+                // SAFETY: the transaction holds an epoch pin for the
+                // whole attempt; opacity guarantees reachability.
+                let node = unsafe { &*Self::node(curr) };
+                if node.key == key {
+                    if is_marked(tx.read(&node.next)?) {
+                        // Deleted but not yet unlinked: restart.
+                        return tx.restart();
+                    }
+                    let old = tx.read(&node.value)?;
+                    tx.write(&node.value, enc(value))?;
+                    return Ok(Some(dec(old)));
+                }
+                if node.key < key {
+                    prev_cell = &node.next;
+                    curr = unmark(tx.read(prev_cell)?);
+                    continue;
+                }
+            }
+            // Allocate lazily, once, and reuse across retries.
+            if new_node.is_null() {
+                *new_node = self.alloc_node(key, value, curr);
+            }
+            // SAFETY: still private until the commit publishes it.
+            let node = unsafe { &**new_node };
+            S::poke(&node.next, curr);
+            S::poke(&node.value, enc(value));
+            tx.write(prev_cell, *new_node as Word)?;
+            return Ok(None);
+        }
+    }
+
     fn put_full(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
         let mut new_node: *mut Node<S> = std::ptr::null_mut();
         let previous = thread
-            .atomic(|tx| {
-                let mut prev_cell: &S::Cell = self.bucket(key);
-                let mut curr = unmark(tx.read(prev_cell)?);
-                loop {
-                    if curr != 0 {
-                        // SAFETY: the transaction holds an epoch pin for the
-                        // whole attempt; opacity guarantees reachability.
-                        let node = unsafe { &*Self::node(curr) };
-                        if node.key == key {
-                            if is_marked(tx.read(&node.next)?) {
-                                // Deleted but not yet unlinked: restart.
-                                return tx.restart();
-                            }
-                            let old = tx.read(&node.value)?;
-                            tx.write(&node.value, enc(value))?;
-                            return Ok(Some(dec(old)));
-                        }
-                        if node.key < key {
-                            prev_cell = &node.next;
-                            curr = unmark(tx.read(prev_cell)?);
-                            continue;
-                        }
-                    }
-                    // Allocate lazily, once, and reuse across retries.
-                    if new_node.is_null() {
-                        new_node = self.alloc_node(key, value, curr);
-                    }
-                    // SAFETY: still private until the commit publishes it.
-                    let node = unsafe { &*new_node };
-                    S::poke(&node.next, curr);
-                    S::poke(&node.value, enc(value));
-                    tx.write(prev_cell, new_node as Word)?;
-                    return Ok(None);
-                }
-            })
+            .atomic(|tx| self.put_body(key, value, &mut new_node, tx))
             .expect("put_full is never cancelled");
         if previous.is_some() && !new_node.is_null() {
             // SAFETY: never published (the committed outcome was an update).
@@ -408,45 +559,85 @@ impl<S: Stm> StmHashMap<S> {
         previous
     }
 
-    fn del_full(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
-        let mut unlinked: *mut Node<S> = std::ptr::null_mut();
-        let removed = thread
-            .atomic(|tx| {
-                unlinked = std::ptr::null_mut();
-                let mut prev_cell: &S::Cell = self.bucket(key);
-                let mut curr = unmark(tx.read(prev_cell)?);
-                loop {
-                    if curr == 0 {
-                        return Ok(None);
-                    }
-                    // SAFETY: see `put_full`.
-                    let node = unsafe { &*Self::node(curr) };
-                    if node.key > key {
-                        return Ok(None);
-                    }
-                    if node.key == key {
-                        let next = tx.read(&node.next)?;
-                        if is_marked(next) {
-                            return Ok(None);
-                        }
-                        let value = tx.read(&node.value)?;
-                        tx.write(prev_cell, unmark(next))?;
-                        tx.write(&node.next, mark(next))?;
-                        unlinked = Self::node(curr);
-                        return Ok(Some(dec(value)));
-                    }
-                    prev_cell = &node.next;
-                    curr = unmark(tx.read(prev_cell)?);
+    /// Inserts or updates `key` inside an already-running full transaction,
+    /// regardless of this instance's [`ApiMode`].  Returns the previous
+    /// value (`None` means a fresh node was inserted).
+    ///
+    /// `slot` carries the speculative node allocation across conflict
+    /// retries of the enclosing transaction; see [`NodeSlot`] for the
+    /// publication contract.
+    pub fn put_in(
+        &self,
+        key: u64,
+        value: u64,
+        slot: &mut NodeSlot<S>,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Option<u64>> {
+        if !slot.ptr.is_null() {
+            // SAFETY: the slot's node is still private to this thread.
+            debug_assert_eq!(unsafe { (*slot.ptr).key }, key, "one NodeSlot per key");
+        }
+        self.put_body(key, value, &mut slot.ptr, tx)
+    }
+
+    /// Body of a full-mode delete inside the caller's transaction.  Returns
+    /// the captured value and the unlinked node pointer.
+    fn del_body(
+        &self,
+        key: u64,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Option<(u64, *mut Node<S>)>> {
+        let mut prev_cell: &S::Cell = self.bucket(key);
+        let mut curr = unmark(tx.read(prev_cell)?);
+        loop {
+            if curr == 0 {
+                return Ok(None);
+            }
+            // SAFETY: see `put_body`.
+            let node = unsafe { &*Self::node(curr) };
+            if node.key > key {
+                return Ok(None);
+            }
+            if node.key == key {
+                let next = tx.read(&node.next)?;
+                if is_marked(next) {
+                    return Ok(None);
                 }
-            })
+                let value = tx.read(&node.value)?;
+                tx.write(prev_cell, unmark(next))?;
+                tx.write(&node.next, mark(next))?;
+                return Ok(Some((dec(value), Self::node(curr))));
+            }
+            prev_cell = &node.next;
+            curr = unmark(tx.read(prev_cell)?);
+        }
+    }
+
+    fn del_full(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+        let removed = thread
+            .atomic(|tx| self.del_body(key, tx))
             .expect("del_full is never cancelled");
-        if removed.is_some() && !unlinked.is_null() {
+        removed.map(|(value, unlinked)| {
             let pin = thread.epoch().pin();
             // SAFETY: the committed transaction unlinked and marked the
             // node; it is unreachable for new transactions.
             unsafe { pin.defer_drop(unlinked) };
-        }
-        removed
+            value
+        })
+    }
+
+    /// Removes `key` inside an already-running full transaction, regardless
+    /// of this instance's [`ApiMode`].  Returns the captured value and the
+    /// unlinked node (to be retired **after** the transaction commits; see
+    /// [`RetiredNode`]), or `None` if the key was absent.
+    pub fn del_in(
+        &self,
+        key: u64,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Option<(u64, RetiredNode<S>)>> {
+        Ok(self
+            .del_body(key, tx)?
+            .map(|(value, ptr)| (value, RetiredNode { ptr })))
     }
 
     // ------------------------------------------------------------------

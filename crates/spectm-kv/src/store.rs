@@ -1,18 +1,31 @@
-//! The sharded store: a router in front of per-shard transactional maps.
+//! The sharded store: a router in front of per-shard transactional maps,
+//! each paired with an ordered skip-list index.
 //!
-//! Every shard's [`StmHashMap`] is built over the **same** STM instance.
-//! That one decision is what makes the store more than an array of
-//! independent maps: single-key operations stay short transactions confined
-//! to the owning shard (no cross-shard coordination on the hot path), while
-//! [`ShardedKv::rmw`] and [`ShardedKv::multi_get`] open one full transaction
+//! Every shard's [`StmHashMap`] and its index are built over the **same**
+//! STM instance.  That one decision is what makes the store more than an
+//! array of independent maps: single-key operations stay short transactions
+//! confined to the owning shard (no cross-shard coordination on the hot
+//! path), while [`ShardedKv::rmw`], [`ShardedKv::multi_get`],
+//! [`ShardedKv::scan`] and [`ShardedKv::range`] open one full transaction
 //! whose read and write sets span shards — and the STM serializes it against
 //! every concurrent short transaction, because they share the clock, the
 //! ownership metadata and the epoch collector.
+//!
+//! The **index invariant**: a key is linked and live in a shard's skip-list
+//! index if and only if it is present in that shard's hash map.  Membership
+//! changes (`put` of an absent key, `del`) run as one full transaction that
+//! updates both structures, so the invariant holds at every serialization
+//! point; value overwrites (`put` of a present key, `rmw`) never touch the
+//! index and keep their short/hot shapes.  Scans walk the indexes and read
+//! every value through the hash maps inside a single full transaction — an
+//! atomically consistent snapshot even against concurrent cross-shard
+//! `rmw`.  DESIGN.md § "The ordered index and range scans" has the full
+//! argument.
 
 use spectm::{Stm, StmThread};
-use spectm_ds::ApiMode;
+use spectm_ds::{ApiMode, StmSkipList, TowerSlot};
 
-use crate::map::StmHashMap;
+use crate::map::{NodeSlot, StmHashMap};
 use crate::router::ShardRouter;
 
 /// Maximum number of keys one [`ShardedKv::rmw`] / [`ShardedKv::multi_get`]
@@ -27,6 +40,9 @@ pub struct ShardedKv<S: Stm + Clone> {
     stm: S,
     router: ShardRouter,
     shards: Vec<StmHashMap<S>>,
+    /// Per-shard ordered key index, kept transactionally consistent with
+    /// the hash shard of the same position (see the module docs).
+    indexes: Vec<StmSkipList<S>>,
 }
 
 impl<S: Stm + Clone> ShardedKv<S> {
@@ -34,13 +50,17 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// of `buckets_per_shard` chains each, all driven in `mode`.
     pub fn new(stm: &S, shards: usize, buckets_per_shard: usize, mode: ApiMode) -> Self {
         let router = ShardRouter::new(shards);
-        let shards = (0..router.shard_count())
+        let shards: Vec<StmHashMap<S>> = (0..router.shard_count())
             .map(|_| StmHashMap::new(stm, buckets_per_shard, mode))
+            .collect();
+        let indexes = (0..router.shard_count())
+            .map(|_| StmSkipList::new(stm, mode))
             .collect();
         Self {
             stm: stm.clone(),
             router,
             shards,
+            indexes,
         }
     }
 
@@ -71,20 +91,107 @@ impl<S: Stm + Clone> ShardedKv<S> {
 
     /// Returns the value stored under `key` (a short transaction on the
     /// owning shard).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spectm::{Stm, variants::ValShort};
+    /// use spectm_ds::ApiMode;
+    /// use spectm_kv::ShardedKv;
+    ///
+    /// let stm = ValShort::new();
+    /// let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
+    /// let mut thread = store.register();
+    /// assert_eq!(store.get(7, &mut thread), None);
+    /// store.put(7, 70, &mut thread);
+    /// assert_eq!(store.get(7, &mut thread), Some(70));
+    /// ```
     pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
         self.shard(key).get(key, thread)
     }
 
-    /// Stores `value` under `key`, returning the previous value if present
-    /// (a short transaction on the owning shard).
+    /// Stores `value` under `key`, returning the previous value if present.
+    ///
+    /// Overwriting an existing key is a short transaction on the owning
+    /// shard (the hot path); inserting an absent key runs one full
+    /// transaction that links the key into the shard's hash map **and** its
+    /// ordered index together, preserving the index invariant.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spectm::{Stm, variants::ValShort};
+    /// use spectm_ds::ApiMode;
+    /// use spectm_kv::ShardedKv;
+    ///
+    /// let stm = ValShort::new();
+    /// let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
+    /// let mut thread = store.register();
+    /// assert_eq!(store.put(1, 10, &mut thread), None);       // insert
+    /// assert_eq!(store.put(1, 11, &mut thread), Some(10));   // overwrite
+    /// ```
     pub fn put(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
-        self.shard(key).put(key, value, thread)
+        let shard = self.router.route(key);
+        // Fast path: overwrite an existing key — membership (and thus the
+        // ordered index) is unchanged.
+        if let Some(old) = self.shards[shard].update(key, value, thread) {
+            return Some(old);
+        }
+        // Slow path: the key looked absent — insert it into the hash map
+        // and the index in one transaction.  A concurrent insert may win
+        // the race, in which case `put_in` degrades to an in-place update
+        // and the index is left alone.
+        let mut node_slot = NodeSlot::new();
+        let mut tower_slot = TowerSlot::new();
+        let previous = thread
+            .atomic(|tx| {
+                let previous = self.shards[shard].put_in(key, value, &mut node_slot, tx)?;
+                if previous.is_none() {
+                    let linked = self.indexes[shard].insert_in(key, 0, &mut tower_slot, tx)?;
+                    debug_assert!(linked, "key {key} was in the index but not the shard");
+                }
+                Ok(previous)
+            })
+            .expect("put is never cancelled");
+        if previous.is_none() {
+            node_slot.mark_published();
+            tower_slot.mark_published();
+        }
+        previous
     }
 
-    /// Removes `key`, returning the value it held (a short transaction on
-    /// the owning shard).
+    /// Removes `key`, returning the value it held.  One full transaction
+    /// unlinks the key from the owning shard's hash map **and** its ordered
+    /// index together, preserving the index invariant.
     pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
-        self.shard(key).del(key, thread)
+        let shard = self.router.route(key);
+        let mut retired_node = None;
+        let mut retired_tower = None;
+        let removed = thread
+            .atomic(|tx| {
+                retired_node = None;
+                retired_tower = None;
+                let Some((value, node)) = self.shards[shard].del_in(key, tx)? else {
+                    return Ok(None);
+                };
+                retired_node = Some(node);
+                retired_tower = self.indexes[shard].remove_in(key, tx)?;
+                debug_assert!(
+                    retired_tower.is_some(),
+                    "key {key} was in the shard but not the index"
+                );
+                Ok(Some(value))
+            })
+            .expect("del is never cancelled");
+        if removed.is_some() {
+            if let Some(node) = retired_node {
+                node.retire(thread);
+            }
+            if let Some(tower) = retired_tower {
+                tower.retire(thread);
+            }
+        }
+        removed
     }
 
     /// Atomically reads every key in `keys` inside one full transaction
@@ -162,6 +269,119 @@ impl<S: Stm + Clone> ShardedKv<S> {
         )
     }
 
+    /// Returns up to `limit` `(key, value)` pairs with `key >= start`, in
+    /// ascending key order — the YCSB-E scan shape.
+    ///
+    /// One full transaction fans out over every shard's ordered index,
+    /// reads each candidate value through the owning hash shard, and
+    /// merge-sorts the per-shard runs.  The result is an **atomically
+    /// consistent snapshot**: it is serializable with every concurrent
+    /// operation, including multi-key [`ShardedKv::rmw`] — a scan can never
+    /// observe a torn cross-shard update (the lock-free baseline's scan,
+    /// by contrast, offers no such guarantee).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spectm::{Stm, variants::ValShort};
+    /// use spectm_ds::ApiMode;
+    /// use spectm_kv::ShardedKv;
+    ///
+    /// let stm = ValShort::new();
+    /// let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
+    /// let mut thread = store.register();
+    /// for key in 0..10u64 {
+    ///     store.put(key, key * 100, &mut thread);
+    /// }
+    /// assert_eq!(
+    ///     store.scan(6, 3, &mut thread),
+    ///     vec![(6, 600), (7, 700), (8, 800)],
+    /// );
+    /// ```
+    pub fn scan(&self, start: u64, limit: usize, thread: &mut S::Thread) -> Vec<(u64, u64)> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        thread
+            .atomic(|tx| {
+                let mut runs = Vec::with_capacity(self.shards.len());
+                for (index, shard) in self.indexes.iter().zip(&self.shards) {
+                    // Each shard may contribute up to `limit` of the merged
+                    // result, so every run must be that deep.
+                    let keys = index.collect_tail_keys_in(start, limit, tx)?;
+                    runs.push(Self::read_run(shard, keys, tx)?);
+                }
+                Ok(Self::merge_runs(runs, limit))
+            })
+            .expect("scan is never cancelled")
+    }
+
+    /// Returns every `(key, value)` pair with `start <= key < end`, in
+    /// ascending key order, as one atomically consistent snapshot (see
+    /// [`ShardedKv::scan`] for the guarantees).
+    pub fn range(&self, start: u64, end: u64, thread: &mut S::Thread) -> Vec<(u64, u64)> {
+        if start >= end {
+            return Vec::new();
+        }
+        thread
+            .atomic(|tx| {
+                let mut runs = Vec::with_capacity(self.shards.len());
+                for (index, shard) in self.indexes.iter().zip(&self.shards) {
+                    let keys = index.collect_keys_in(start, end, usize::MAX, tx)?;
+                    runs.push(Self::read_run(shard, keys, tx)?);
+                }
+                Ok(Self::merge_runs(runs, usize::MAX))
+            })
+            .expect("range is never cancelled")
+    }
+
+    /// Reads the value for every key of one per-shard run inside the scan's
+    /// transaction.  The index invariant guarantees each key is present in
+    /// the hash shard at the transaction's serialization point.
+    fn read_run(
+        shard: &StmHashMap<S>,
+        keys: Vec<u64>,
+        tx: &mut spectm::FullTx<'_, S::Thread>,
+    ) -> spectm::TxResult<Vec<(u64, u64)>> {
+        let mut run = Vec::with_capacity(keys.len());
+        for key in keys {
+            let value = shard.read_in(key, tx)?;
+            debug_assert!(value.is_some(), "index key {key} missing from its shard");
+            if let Some(value) = value {
+                run.push((key, value));
+            }
+        }
+        Ok(run)
+    }
+
+    /// Merges sorted per-shard runs into one ascending result of at most
+    /// `limit` pairs.  Shards partition the key space, so keys are unique
+    /// across runs and a plain k-way smallest-head merge suffices.
+    fn merge_runs(runs: Vec<Vec<(u64, u64)>>, limit: usize) -> Vec<(u64, u64)> {
+        let total: usize = runs.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total.min(limit));
+        let mut cursors = vec![0usize; runs.len()];
+        while out.len() < limit {
+            let mut best: Option<usize> = None;
+            for (i, run) in runs.iter().enumerate() {
+                if cursors[i] < run.len() {
+                    let candidate = run[cursors[i]].0;
+                    let beats = match best {
+                        None => true,
+                        Some(b) => candidate < runs[b][cursors[b]].0,
+                    };
+                    if beats {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            out.push(runs[i][cursors[i]]);
+            cursors[i] += 1;
+        }
+        out
+    }
+
     /// Collects every `(key, value)` pair across all shards
     /// (non-transactional; only meaningful when no concurrent operations
     /// run).
@@ -173,6 +393,24 @@ impl<S: Stm + Clone> ShardedKv<S> {
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// Checks the index invariant at quiescence: every shard's index holds
+    /// exactly the keys of its hash map.  Panics on violation (test
+    /// support; non-transactional).
+    pub fn assert_index_consistent(&self) {
+        for (i, (index, shard)) in self.indexes.iter().zip(&self.shards).enumerate() {
+            let index_keys = index.quiescent_snapshot();
+            let shard_keys: Vec<u64> = shard
+                .quiescent_snapshot()
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(
+                index_keys, shard_keys,
+                "shard {i}: ordered index diverged from the hash map"
+            );
+        }
     }
 }
 
@@ -237,6 +475,67 @@ mod tests {
             &mut t
         ));
         assert_eq!(store.get(5, &mut t), Some(12));
+    }
+
+    #[test]
+    fn scan_merges_shard_runs_in_key_order() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 4, 16, ApiMode::Short);
+        let mut t = store.register();
+        // Keys land on different shards (the router mixes bits), so runs
+        // must interleave in the merge.
+        for k in 0..64u64 {
+            store.put(k, k * 2, &mut t);
+        }
+        let run = store.scan(10, 7, &mut t);
+        let expect: Vec<(u64, u64)> = (10..17).map(|k| (k, k * 2)).collect();
+        assert_eq!(run, expect);
+        assert_eq!(store.scan(60, 100, &mut t).len(), 4, "tail clamps");
+        assert!(store.scan(64, 5, &mut t).is_empty());
+        assert!(store.scan(0, 0, &mut t).is_empty());
+        assert_eq!(store.range(20, 25, &mut t).len(), 5);
+        assert!(store.range(25, 20, &mut t).is_empty());
+    }
+
+    #[test]
+    fn del_and_reinsert_keep_the_index_in_lockstep() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
+        let mut t = store.register();
+        for k in 0..32u64 {
+            store.put(k, k, &mut t);
+        }
+        for k in (0..32u64).step_by(2) {
+            assert_eq!(store.del(k, &mut t), Some(k));
+        }
+        assert_eq!(store.del(2, &mut t), None, "double delete");
+        let run = store.scan(0, usize::MAX, &mut t);
+        assert_eq!(run.len(), 16);
+        assert!(run.iter().all(|&(k, _)| k % 2 == 1), "deleted keys scanned");
+        // Re-insert through the put slow path and observe them again.
+        for k in (0..32u64).step_by(2) {
+            assert_eq!(store.put(k, k + 100, &mut t), None);
+        }
+        assert_eq!(store.scan(0, usize::MAX, &mut t).len(), 32);
+        store.assert_index_consistent();
+    }
+
+    #[test]
+    fn scan_observes_rmw_writes_atomically() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 4, 16, ApiMode::Short);
+        let mut t = store.register();
+        store.put(1, 100, &mut t);
+        store.put(2, 200, &mut t);
+        assert!(store.rmw(
+            &[1, 2],
+            |v| {
+                v[0] -= 40;
+                v[1] += 40;
+            },
+            &mut t
+        ));
+        assert_eq!(store.scan(0, 8, &mut t), vec![(1, 60), (2, 240)]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Multi-threaded invariant tests for the sharded KV store.
 //!
-//! Two complementary checks per STM variant:
+//! Complementary checks per STM variant:
 //!
 //! * **Deterministic replay** — threads run a mixed get/put/del workload
 //!   over disjoint key ranges; afterwards the store must equal a sequential
@@ -11,6 +11,15 @@
 //!   whole key set through one full transaction must *never* see a partial
 //!   transfer.  This is the property the lock-free baseline cannot provide
 //!   and the whole reason the shards share an STM instance.
+//! * **Atomic scans** — concurrent `scan`s over the whole key set must see
+//!   the conserved total at every instant (a scan that could observe a torn
+//!   cross-shard `rmw` would see a partial transfer), stay sorted, and —
+//!   via the index invariant — never miss or duplicate a key.  The
+//!   lock-free baseline's `scan` explicitly lacks this guarantee (its index
+//!   and table are updated by independent CASes); see `lockfree::kv`.
+//! * **Sequential scan oracle** — a single-threaded random workload of
+//!   put/del/get/scan/range must match a `BTreeMap` replay operation by
+//!   operation, including the ordered results.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -51,15 +60,23 @@ fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
             for _ in 0..OPS {
                 let k = base + rng.next() % RANGE;
                 let v = rng.next() >> 2;
-                match rng.next() % 4 {
+                match rng.next() % 5 {
                     0 | 1 => {
                         store.put(k, v, &mut t);
                     }
                     2 => {
                         store.del(k, &mut t);
                     }
-                    _ => {
+                    3 => {
                         store.get(k, &mut t);
+                    }
+                    _ => {
+                        // Scans cross thread ranges, so mid-flight results
+                        // are only sanity-checked (sorted, bounded); the
+                        // final state check below is what pins them down.
+                        let run = store.scan(k, 8, &mut t);
+                        assert!(run.len() <= 8);
+                        assert!(run.windows(2).all(|w| w[0].0 < w[1].0));
                     }
                 }
             }
@@ -79,7 +96,7 @@ fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
         for _ in 0..OPS {
             let k = base + rng.next() % RANGE;
             let v = rng.next() >> 2;
-            match rng.next() % 4 {
+            match rng.next() % 5 {
                 0 | 1 => {
                     oracle.insert(k, v);
                 }
@@ -90,10 +107,13 @@ fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
             }
         }
     }
-    assert_eq!(
-        store.quiescent_snapshot(),
-        oracle.into_iter().collect::<Vec<_>>()
-    );
+    let expect: Vec<(u64, u64)> = oracle.into_iter().collect();
+    assert_eq!(store.quiescent_snapshot(), expect);
+    // The ordered index agrees with the shards, and a quiescent full scan
+    // sees exactly the final contents.
+    store.assert_index_consistent();
+    let mut t = store.register();
+    assert_eq!(store.scan(0, usize::MAX, &mut t), expect);
 }
 
 fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
@@ -228,6 +248,144 @@ fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) 
     for j in joins {
         j.join().unwrap();
     }
+}
+
+/// Writers move value mass between random keys through cross-shard `rmw`
+/// while observers repeatedly `scan` the whole key set.  Every scan runs as
+/// one full transaction, so it must see the conserved total at *every*
+/// instant — a torn cross-shard `rmw` would surface as a partial transfer
+/// (the lock-free baseline's scan offers no such guarantee; its index and
+/// table are updated by independent CASes).
+fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
+    const KEYS: u64 = 24;
+    const INITIAL: u64 = 1_000;
+    const WRITERS: u64 = 3;
+    const OBSERVERS: u64 = 2;
+    let store = Arc::new(ShardedKv::new(&stm, 4, 32, mode));
+    {
+        let mut t = store.register();
+        for k in 0..KEYS {
+            store.put(k, INITIAL, &mut t);
+        }
+    }
+    let mut joins = Vec::new();
+    for tid in 0..WRITERS {
+        let store = Arc::clone(&store);
+        joins.push(std::thread::spawn(move || {
+            let mut t = store.register();
+            let mut rng = Xorshift::new(0x5CA4 ^ (tid + 1));
+            for _ in 0..1_500 {
+                let from = rng.next() % KEYS;
+                let to = rng.next() % KEYS;
+                if from == to {
+                    continue;
+                }
+                let amount = rng.next() % 3;
+                // `from` and `to` usually live on different shards; the
+                // transfer is one full transaction across both.
+                assert!(store.rmw(
+                    &[from, to],
+                    |vals| {
+                        let moved = amount.min(vals[0]);
+                        vals[0] -= moved;
+                        vals[1] += moved;
+                    },
+                    &mut t,
+                ));
+            }
+        }));
+    }
+    for tid in 0..OBSERVERS {
+        let store = Arc::clone(&store);
+        joins.push(std::thread::spawn(move || {
+            let mut t = store.register();
+            for i in 0..300 {
+                let run = store.scan(0, KEYS as usize, &mut t);
+                assert_eq!(run.len(), KEYS as usize, "scan missed keys");
+                assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
+                let total: u64 = run.iter().map(|&(_, v)| v).sum();
+                assert_eq!(
+                    total,
+                    KEYS * INITIAL,
+                    "observer {tid} saw a torn transfer on scan {i}"
+                );
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    store.assert_index_consistent();
+    let total: u64 = store.quiescent_snapshot().iter().map(|&(_, v)| v).sum();
+    assert_eq!(total, KEYS * INITIAL);
+}
+
+/// Single-threaded random workload including scans and ranges, replayed
+/// operation by operation against a `BTreeMap` oracle.
+fn sequential_scan_oracle<S: Stm + Clone>(stm: S, mode: ApiMode) {
+    const SPACE: u64 = 300;
+    let store = ShardedKv::new(&stm, 4, 32, mode);
+    let mut t = store.register();
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = Xorshift::new(0x0AC1_E5EE_D001_u64);
+    for _ in 0..4_000 {
+        let k = rng.next() % SPACE;
+        let v = rng.next() >> 2;
+        match rng.next() % 6 {
+            0 | 1 => assert_eq!(store.put(k, v, &mut t), oracle.insert(k, v), "put {k}"),
+            2 => assert_eq!(store.del(k, &mut t), oracle.remove(&k), "del {k}"),
+            3 => assert_eq!(store.get(k, &mut t), oracle.get(&k).copied(), "get {k}"),
+            4 => {
+                let limit = (rng.next() % 16) as usize;
+                let expect: Vec<(u64, u64)> = oracle
+                    .range(k..)
+                    .take(limit)
+                    .map(|(&k, &v)| (k, v))
+                    .collect();
+                assert_eq!(store.scan(k, limit, &mut t), expect, "scan {k} x{limit}");
+            }
+            _ => {
+                let hi = k + rng.next() % 64;
+                let expect: Vec<(u64, u64)> = oracle.range(k..hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(store.range(k, hi, &mut t), expect, "range {k}..{hi}");
+            }
+        }
+    }
+    assert_eq!(
+        store.quiescent_snapshot(),
+        oracle.into_iter().collect::<Vec<_>>()
+    );
+    store.assert_index_consistent();
+}
+
+#[test]
+fn scans_never_observe_torn_transfers_val_short() {
+    scans_never_observe_torn_transfers(ValShort::new(), ApiMode::Short);
+}
+
+#[test]
+fn scans_never_observe_torn_transfers_tvar_short() {
+    scans_never_observe_torn_transfers(TvarShortG::new(), ApiMode::Short);
+}
+
+#[test]
+fn scans_never_observe_torn_transfers_orec_full() {
+    scans_never_observe_torn_transfers(OrecFullG::new(), ApiMode::Full);
+}
+
+#[test]
+fn sequential_scan_oracle_val_short() {
+    sequential_scan_oracle(ValShort::new(), ApiMode::Short);
+}
+
+#[test]
+fn sequential_scan_oracle_tvar_short() {
+    sequential_scan_oracle(TvarShortG::new(), ApiMode::Short);
+}
+
+#[test]
+fn sequential_scan_oracle_orec_full() {
+    sequential_scan_oracle(OrecFullG::new(), ApiMode::Full);
 }
 
 #[test]
