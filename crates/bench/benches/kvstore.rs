@@ -1,6 +1,6 @@
 //! Per-operation latency of the sharded KV store under the YCSB-style
-//! mixes and key distributions — the Criterion companion of the `kv`
-//! binary's multi-threaded sweeps (see EXPERIMENTS.md).
+//! mixes, key distributions and value sizes — the Criterion companion of
+//! the `kv` binary's multi-threaded sweeps (see EXPERIMENTS.md).
 //!
 //! One group per mix × distribution panel; within each group, one series
 //! per variant (the short-transaction layouts, the BaseTM full-transaction
@@ -8,14 +8,20 @@
 //! YCSB-E shape: zipfian-length range scans (atomically consistent full
 //! transactions for the STM store, best-effort walks for the lock-free
 //! baseline) mixed with fresh-key inserts.
+//!
+//! The `kv_value_*` groups sweep the payload size — 8 B (the inline
+//! fast path: word-sized values never touch the allocator), 100 B and
+//! 1 KiB (out-of-line epoch-reclaimed cells) — under the read-heavy mix.
+//! Each is annotated with its bytes-per-operation throughput, so the
+//! harness reports MB/s next to ns/iter and ops/s.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use bench::kv_runner;
 use harness::intset::Xorshift;
-use harness::kv::{KeyDist, KeySampler, KvMix};
+use harness::kv::{KeyDist, KeySampler, KvMix, ValueSize};
 use harness::VariantSpec;
 
 const NUM_KEYS: u64 = 16_384;
@@ -36,12 +42,27 @@ fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::W
         .measurement_time(Duration::from_millis(400));
 }
 
-fn bench_kv_panel(c: &mut Criterion, mix: KvMix, dist: KeyDist) {
-    let group_name = format!("kv_{}_{}", mix.label().replace('/', "_"), dist.label());
-    let mut group = c.benchmark_group(&group_name);
+fn bench_kv_panel(c: &mut Criterion, name: &str, mix: KvMix, dist: KeyDist, value_size: ValueSize) {
+    let mut group = c.benchmark_group(name);
     configure(&mut group);
+    // Bytes-per-op annotation only for the point-operation mixes, where one
+    // operation moves exactly one value of the distribution.  A scan moves
+    // dozens of values per operation and an RMW moves `rmw_keys`, so a flat
+    // per-value figure would misreport their MB/s by a mix-dependent factor;
+    // those panels report ns/iter only.
+    if matches!(mix, KvMix::ReadHeavy | KvMix::UpdateHeavy | KvMix::ReadOnly) {
+        group.throughput(Throughput::Bytes(value_size.mean_len() as u64));
+    }
     for spec in VARIANTS {
-        let mut runner = kv_runner(spec, SHARDS, BUCKETS_PER_SHARD, NUM_KEYS, mix, dist);
+        let mut runner = kv_runner(
+            spec,
+            SHARDS,
+            BUCKETS_PER_SHARD,
+            NUM_KEYS,
+            mix,
+            dist,
+            value_size,
+        );
         let sampler = KeySampler::new(dist, NUM_KEYS);
         let mut rng = Xorshift::new(0xC0DE_5EED);
         group.bench_function(spec.label(), |b| {
@@ -55,24 +76,42 @@ fn bench_kv_panel(c: &mut Criterion, mix: KvMix, dist: KeyDist) {
     group.finish();
 }
 
+fn mix_panel(c: &mut Criterion, mix: KvMix, dist: KeyDist) {
+    let name = format!("kv_{}_{}", mix.label().replace('/', "_"), dist.label());
+    bench_kv_panel(c, &name, mix, dist, ValueSize::default());
+}
+
 fn read_heavy(c: &mut Criterion) {
-    bench_kv_panel(c, KvMix::ReadHeavy, KeyDist::Uniform);
-    bench_kv_panel(c, KvMix::ReadHeavy, KeyDist::Zipfian);
+    mix_panel(c, KvMix::ReadHeavy, KeyDist::Uniform);
+    mix_panel(c, KvMix::ReadHeavy, KeyDist::Zipfian);
 }
 
 fn update_heavy(c: &mut Criterion) {
-    bench_kv_panel(c, KvMix::UpdateHeavy, KeyDist::Uniform);
-    bench_kv_panel(c, KvMix::UpdateHeavy, KeyDist::Zipfian);
+    mix_panel(c, KvMix::UpdateHeavy, KeyDist::Uniform);
+    mix_panel(c, KvMix::UpdateHeavy, KeyDist::Zipfian);
 }
 
 fn read_modify_write(c: &mut Criterion) {
-    bench_kv_panel(c, KvMix::ReadModifyWrite, KeyDist::Uniform);
-    bench_kv_panel(c, KvMix::ReadModifyWrite, KeyDist::Latest);
+    mix_panel(c, KvMix::ReadModifyWrite, KeyDist::Uniform);
+    mix_panel(c, KvMix::ReadModifyWrite, KeyDist::Latest);
 }
 
 fn scan_heavy(c: &mut Criterion) {
-    bench_kv_panel(c, KvMix::ScanHeavy, KeyDist::Uniform);
-    bench_kv_panel(c, KvMix::ScanHeavy, KeyDist::Zipfian);
+    mix_panel(c, KvMix::ScanHeavy, KeyDist::Uniform);
+    mix_panel(c, KvMix::ScanHeavy, KeyDist::Zipfian);
+}
+
+/// The value-size sweep: 8 B inline, 100 B and 1 KiB out-of-line cells,
+/// read-heavy 95/5 over uniform keys (EXPERIMENTS.md § value-size sweep).
+fn value_sizes(c: &mut Criterion) {
+    for (label, size) in [
+        ("8B", ValueSize::Fixed(8)),
+        ("100B", ValueSize::Fixed(100)),
+        ("1KB", ValueSize::Fixed(1_024)),
+    ] {
+        let name = format!("kv_value_{label}_read_heavy_uniform");
+        bench_kv_panel(c, &name, KvMix::ReadHeavy, KeyDist::Uniform, size);
+    }
 }
 
 criterion_group!(
@@ -80,6 +119,7 @@ criterion_group!(
     read_heavy,
     update_heavy,
     read_modify_write,
-    scan_heavy
+    scan_heavy,
+    value_sizes
 );
 criterion_main!(kvstore);

@@ -14,9 +14,10 @@
 #![warn(missing_docs)]
 
 use harness::adapters::{BenchSet, LockFreeBench, SeqBench, StmHashBench, StmSkipBench};
-use harness::intset::Xorshift;
 use harness::intset::{choose_op, SetOp};
-use harness::kv::{KeyDist, KeySampler, KvMix, KvStore, LockFreeKvBench, StmKvBench};
+use harness::kv::{
+    KeyDist, KvMix, KvStore, KvWorkloadConfig, LockFreeKvBench, StmKvBench, ValueSize, WorkerState,
+};
 use harness::VariantSpec;
 use lockfree::{LockFreeHashTable, LockFreeKvMap, LockFreeSkipList, SeqHashTable, SeqSkipList};
 use spectm::variants::{OrecStm, TvarStm, ValShort};
@@ -158,36 +159,37 @@ pub fn skip_runner(spec: VariantSpec, key_range: u64, lookup_pct: u64) -> OpRunn
 // KV-store runners
 // ---------------------------------------------------------------------------
 
-fn erase_kv<K: KvStore>(store: K, num_keys: u64, mix: KvMix, dist: KeyDist) -> OpRunner {
-    harness::kv::load_keys(&store, num_keys);
+fn erase_kv<K: KvStore>(
+    store: K,
+    num_keys: u64,
+    mix: KvMix,
+    dist: KeyDist,
+    value_size: ValueSize,
+) -> OpRunner {
+    harness::kv::load_keys(&store, num_keys, value_size);
     let mut ctx = store.thread_ctx();
-    // Extra RMW keys and scan lengths follow the panel's distribution,
-    // exactly as in the multi-threaded driver (`perform_op` is the single
-    // dispatch shared by both, so the bench and the `kv` binary measure the
-    // same workload).
-    let sampler = KeySampler::new(dist, num_keys);
-    let scan = harness::kv::ScanParams::for_keys(num_keys);
-    let mut rng = Xorshift::new(0x1D10_7BEE);
-    let mut rmw_buf = [0u64; 2];
+    // Extra RMW keys, scan lengths and payload lengths follow the panel's
+    // distributions, exactly as in the multi-threaded driver (`perform_op`
+    // is the single dispatch shared by both, so the bench and the `kv`
+    // binary measure the same workload).
+    let cfg = KvWorkloadConfig {
+        num_keys,
+        mix,
+        dist,
+        value_size,
+        ..KvWorkloadConfig::default()
+    };
+    let mut state = WorkerState::new(&cfg, 0x1D10_7BEE);
     Box::new(move |key, raw| {
-        harness::kv::perform_op(
-            &store,
-            &mut ctx,
-            mix,
-            key,
-            raw,
-            &sampler,
-            &mut rng,
-            &mut rmw_buf,
-            &scan,
-        );
+        harness::kv::perform_op(&store, &mut ctx, key, raw, &mut state);
     })
 }
 
 /// Builds an operation runner over the sharded KV store for `spec` (any STM
 /// variant or the lock-free baseline; there is no sequential KV store).
-/// `dist` governs the keys of multi-key read-modify-writes; the primary key
-/// is whatever the caller feeds the runner.
+/// `dist` governs the keys of multi-key read-modify-writes, `value_size`
+/// the payload lengths; the primary key is whatever the caller feeds the
+/// runner.
 pub fn kv_runner(
     spec: VariantSpec,
     shards: usize,
@@ -195,6 +197,7 @@ pub fn kv_runner(
     num_keys: u64,
     mix: KvMix,
     dist: KeyDist,
+    value_size: ValueSize,
 ) -> OpRunner {
     match spec {
         VariantSpec::Sequential => panic!("the KV store has no sequential baseline"),
@@ -206,6 +209,7 @@ pub fn kv_runner(
             num_keys,
             mix,
             dist,
+            value_size,
         ),
         VariantSpec::OrecFullG
         | VariantSpec::OrecFullL
@@ -221,6 +225,7 @@ pub fn kv_runner(
             num_keys,
             mix,
             dist,
+            value_size,
         ),
         VariantSpec::TvarFullG
         | VariantSpec::TvarFullL
@@ -235,6 +240,7 @@ pub fn kv_runner(
             num_keys,
             mix,
             dist,
+            value_size,
         ),
         VariantSpec::ValFull | VariantSpec::ValShort => erase_kv(
             StmKvBench::new(
@@ -246,6 +252,7 @@ pub fn kv_runner(
             num_keys,
             mix,
             dist,
+            value_size,
         ),
     }
 }
@@ -314,7 +321,8 @@ mod tests {
                 if spec == VariantSpec::Sequential {
                     continue;
                 }
-                let mut runner = kv_runner(spec, 4, 64, 256, mix, KeyDist::Zipfian);
+                let mut runner =
+                    kv_runner(spec, 4, 64, 256, mix, KeyDist::Zipfian, ValueSize::Zipf);
                 let mut stream = KeyStream::new(21, 256);
                 for _ in 0..200 {
                     let (key, raw) = stream.next_pair();

@@ -5,7 +5,7 @@
 //! variants, the BaseTM full-transaction shape and the lock-free baseline,
 //! printing the same TSV rows as the `fig*` binaries.  Accepts the common
 //! flags (`--quick`, `--paper`, `--threads a,b,c`, `--duration-ms`,
-//! `--runs`, `--key-range`) plus two of its own:
+//! `--runs`, `--key-range`) plus four of its own:
 //!
 //! * `--workload a,b,c,e,f` — restrict the sweep to the named YCSB core
 //!   mixes (a = update 50/50, b = read-heavy 95/5, c = read-only,
@@ -13,15 +13,27 @@
 //!   `b,a,f,e`.
 //! * `--dist uniform,zipfian,latest` — restrict the key-popularity
 //!   distributions.  Default: all three.
+//! * `--value-size fixed:N|uniform:A..B|zipf` — the payload-length
+//!   distribution of every written value (default `fixed:8`, the word-sized
+//!   inline fast path).  Non-default sizes are appended to the panel label.
+//! * `--verify` — checksum-verify every payload read during the run and
+//!   replay an oracle sweep over the key space afterwards (costs cycles;
+//!   off by default so throughput rows stay honest.  Counter writes make
+//!   checksums meaningless for workload `f`, where the flag is ignored).
 
-use harness::kv::{kv_default_dists, kv_default_mixes, KeyDist, KvMix};
+use harness::kv::{kv_default_dists, kv_default_mixes, KeyDist, KvMix, ValueSize};
 
 /// Splits the kv-specific flags off the argument list, returning the mixes,
-/// distributions and the remaining arguments for the common parser.
-fn parse_kv_args(args: impl Iterator<Item = String>) -> (Vec<KvMix>, Vec<KeyDist>, Vec<String>) {
+/// distributions, value-size distribution, verify switch and the remaining
+/// arguments for the common parser.
+fn parse_kv_args(
+    args: impl Iterator<Item = String>,
+) -> (Vec<KvMix>, Vec<KeyDist>, ValueSize, bool, Vec<String>) {
     let args: Vec<String> = args.collect();
     let mut mixes = kv_default_mixes();
     let mut dists = kv_default_dists();
+    let mut value_size = ValueSize::default();
+    let mut verify = false;
     let mut rest = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -81,16 +93,32 @@ fn parse_kv_args(args: impl Iterator<Item = String>) -> (Vec<KvMix>, Vec<KeyDist
                 }
                 dists = parsed;
             }
+            "--value-size" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_default();
+                match ValueSize::from_flag(raw.trim()) {
+                    Some(vs) => value_size = vs,
+                    None => {
+                        eprintln!(
+                            "error: `--value-size {raw}` is not fixed:N, uniform:A..B or zipf \
+                             (sizes up to {} bytes)",
+                            spectm_kv::MAX_VALUE_LEN
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--verify" => verify = true,
             other => rest.push(other.to_string()),
         }
         i += 1;
     }
-    (mixes, dists, rest)
+    (mixes, dists, value_size, verify, rest)
 }
 
 fn main() {
-    let (mixes, dists, rest) = parse_kv_args(std::env::args().skip(1));
+    let (mixes, dists, value_size, verify, rest) = parse_kv_args(std::env::args().skip(1));
     let opts = harness::figures::opts_from_args(rest.into_iter());
-    let rows = harness::kv::kv_rows_for(&opts, &mixes, &dists);
+    let rows = harness::kv::kv_rows_for(&opts, &mixes, &dists, value_size, verify);
     harness::figures::print_rows(&rows);
 }

@@ -2,13 +2,21 @@
 //!
 //! Where [`crate::intset`] reproduces the paper's microbenchmarks, this
 //! module stresses the same STM variants through a *service-level* shape:
-//! the sharded `u64 -> u64` store of the `spectm-kv` crate, driven by the
+//! the sharded `u64 -> bytes` store of the `spectm-kv` crate, driven by the
 //! standard key-value mixes (read-heavy 95/5, update 50/50, read-only, a
 //! read-modify-write mix whose multi-key updates compose across shards, and
-//! a scan-heavy YCSB-E mix of short range scans plus fresh inserts) and by
+//! a scan-heavy YCSB-E mix of short range scans plus fresh inserts), by
 //! skewed key-popularity distributions (zipfian and latest) next to the
-//! uniform draw of the microbenchmarks.  EXPERIMENTS.md maps the mixes to
-//! their YCSB counterparts.
+//! uniform draw of the microbenchmarks, and by YCSB-style **value-size
+//! distributions** ([`ValueSize`]: fixed, uniform or zipfian payload
+//! lengths).  EXPERIMENTS.md maps the mixes to their YCSB counterparts.
+//!
+//! Every written payload is *self-certifying* — deterministic filler ending
+//! in a checksum over the bytes and the key ([`fill_payload`] /
+//! [`payload_is_valid`]) — so the driver's verify mode replays an oracle
+//! check over everything it reads: any torn, stale-beyond-serializability
+//! or corrupted payload fails loudly instead of skewing a throughput
+//! number.
 //!
 //! Everything is generic over [`KvStore`], so the STM-backed store and the
 //! CAS-based [`lockfree::LockFreeKvMap`] baseline run the identical driver,
@@ -23,7 +31,7 @@ use lockfree::LockFreeKvMap;
 use serde::Serialize;
 use spectm::variants::{OrecStm, TvarStm, ValShort};
 use spectm::Stm;
-use spectm_kv::ShardedKv;
+use spectm_kv::{ShardedKv, Value};
 use txepoch::Collector;
 
 use crate::intset::{RunResult, Xorshift, BATCH_OPS};
@@ -33,7 +41,9 @@ use crate::variants::{bench_config, Layout, VariantSpec};
 /// A key-value store as seen by the workload driver.
 ///
 /// `ThreadCtx` carries the per-thread state (an STM thread handle or an
-/// epoch handle) and is created on the worker thread itself.
+/// epoch handle) and is created on the worker thread itself.  Values are
+/// byte payloads; the driver never exceeds [`spectm_kv::MAX_VALUE_LEN`], so
+/// adapters unwrap the stores' size errors.
 pub trait KvStore: Send + Sync + 'static {
     /// Per-worker-thread context.
     type ThreadCtx;
@@ -41,18 +51,19 @@ pub trait KvStore: Send + Sync + 'static {
     /// Creates the calling thread's context.
     fn thread_ctx(&self) -> Self::ThreadCtx;
     /// Returns the value stored under `key`.
-    fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64>;
+    fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<Value>;
     /// Stores `value` under `key`, returning the previous value if present.
-    fn put(&self, key: u64, value: u64, ctx: &mut Self::ThreadCtx) -> Option<u64>;
+    fn put(&self, key: u64, value: &[u8], ctx: &mut Self::ThreadCtx) -> Option<Value>;
     /// Removes `key`, returning the value it held.
-    fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64>;
-    /// Adds `delta` to every key in `keys`.  Atomic across keys for the STM
-    /// store; per-key atomic only for the lock-free baseline.
+    fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<Value>;
+    /// Adds `delta` to every key in `keys` (values as 8-byte little-endian
+    /// counters).  Atomic across keys for the STM store; per-key atomic only
+    /// for the lock-free baseline.
     fn rmw_add(&self, keys: &[u64], delta: u64, ctx: &mut Self::ThreadCtx) -> bool;
     /// Returns up to `limit` `(key, value)` pairs with `key >= start` in
     /// ascending key order.  An atomically consistent snapshot for the STM
     /// store; a best-effort (tearable) walk for the lock-free baseline.
-    fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, u64)>;
+    fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, Value)>;
     /// Whether the implementation is safe to drive from multiple threads.
     fn supports_concurrency(&self) -> bool {
         true
@@ -86,23 +97,27 @@ impl<S: Stm + Clone> KvStore for StmKvBench<S> {
         self.store.register()
     }
 
-    fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+    fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<Value> {
         self.store.get(key, ctx)
     }
 
-    fn put(&self, key: u64, value: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
-        self.store.put(key, value, ctx)
+    fn put(&self, key: u64, value: &[u8], ctx: &mut Self::ThreadCtx) -> Option<Value> {
+        self.store
+            .put(key, value, ctx)
+            .expect("driver payloads are size-bounded")
     }
 
-    fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+    fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<Value> {
         self.store.del(key, ctx)
     }
 
     fn rmw_add(&self, keys: &[u64], delta: u64, ctx: &mut Self::ThreadCtx) -> bool {
-        self.store.rmw_add(keys, delta, ctx)
+        self.store
+            .rmw_add(keys, delta, ctx)
+            .expect("driver key counts are bounded")
     }
 
-    fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, u64)> {
+    fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, Value)> {
         self.store.scan(start, limit, ctx)
     }
 }
@@ -128,15 +143,17 @@ impl KvStore for LockFreeKvBench {
         self.inner.collector().register()
     }
 
-    fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+    fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<Value> {
         self.inner.get(key, ctx)
     }
 
-    fn put(&self, key: u64, value: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
-        self.inner.put(key, value, ctx)
+    fn put(&self, key: u64, value: &[u8], ctx: &mut Self::ThreadCtx) -> Option<Value> {
+        self.inner
+            .put(key, value, ctx)
+            .expect("driver payloads are size-bounded")
     }
 
-    fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<u64> {
+    fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<Value> {
         self.inner.del(key, ctx)
     }
 
@@ -144,7 +161,7 @@ impl KvStore for LockFreeKvBench {
         self.inner.rmw_add(keys, delta, ctx)
     }
 
-    fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, u64)> {
+    fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, Value)> {
         self.inner.scan(start, limit, ctx)
     }
 }
@@ -335,6 +352,177 @@ impl KeySampler {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Value-size distributions and self-certifying payloads
+// ---------------------------------------------------------------------------
+
+/// Longest payload the zipfian value-size distribution draws.
+pub const MAX_ZIPF_VALUE_LEN: usize = 1_024;
+
+/// Value-size distribution of a KV workload (the `--value-size` flag of the
+/// `kv` binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ValueSize {
+    /// Every value exactly `N` bytes (`fixed:N`).
+    Fixed(usize),
+    /// Lengths uniform in `A..=B` (`uniform:A..B`).
+    Uniform(usize, usize),
+    /// Zipfian-skewed lengths over `1..=`[`MAX_ZIPF_VALUE_LEN`] (`zipf`):
+    /// most values are a few bytes, with a long tail up to 1 KiB — the
+    /// item-size shape production caches report.
+    Zipf,
+}
+
+impl Default for ValueSize {
+    /// Eight-byte values: the word-sized payloads of the PR 3 store, kept
+    /// on the inline fast path.
+    fn default() -> Self {
+        ValueSize::Fixed(8)
+    }
+}
+
+impl ValueSize {
+    /// Label used in the TSV panel column and the flag syntax.
+    pub fn label(self) -> String {
+        match self {
+            ValueSize::Fixed(n) => format!("fixed:{n}"),
+            ValueSize::Uniform(a, b) => format!("uniform:{a}..{b}"),
+            ValueSize::Zipf => "zipf".to_string(),
+        }
+    }
+
+    /// Parses the flag syntax: `fixed:N`, `uniform:A..B` (inclusive ends,
+    /// `A <= B`) or `zipf`.  Sizes are capped at
+    /// [`spectm_kv::MAX_VALUE_LEN`].
+    pub fn from_flag(raw: &str) -> Option<ValueSize> {
+        let ok = |n: usize| n <= spectm_kv::MAX_VALUE_LEN;
+        if raw.eq_ignore_ascii_case("zipf") {
+            return Some(ValueSize::Zipf);
+        }
+        if let Some(n) = raw.strip_prefix("fixed:") {
+            let n = n.parse().ok().filter(|&n| ok(n))?;
+            return Some(ValueSize::Fixed(n));
+        }
+        if let Some(range) = raw.strip_prefix("uniform:") {
+            let (a, b) = range.split_once("..")?;
+            let a: usize = a.parse().ok()?;
+            let b: usize = b.parse().ok().filter(|&b| ok(b))?;
+            if a > b {
+                return None;
+            }
+            return Some(ValueSize::Uniform(a, b));
+        }
+        None
+    }
+
+    /// Largest length this distribution can draw.
+    pub fn max_len(self) -> usize {
+        match self {
+            ValueSize::Fixed(n) => n,
+            ValueSize::Uniform(_, b) => b,
+            ValueSize::Zipf => MAX_ZIPF_VALUE_LEN,
+        }
+    }
+
+    /// Mean length of this distribution (the bytes/op figure the benches
+    /// report throughput against).
+    pub fn mean_len(self) -> f64 {
+        match self {
+            ValueSize::Fixed(n) => n as f64,
+            ValueSize::Uniform(a, b) => (a + b) as f64 / 2.0,
+            // Empirical mean of the zipfian(1024, 0.99) length draw.
+            ValueSize::Zipf => {
+                let z = Zipfian::new(MAX_ZIPF_VALUE_LEN as u64, ZIPFIAN_THETA);
+                let mut rng = Xorshift::new(0xEE1);
+                let n = 4_096;
+                (0..n).map(|_| z.sample(rng.next_f64()) + 1).sum::<u64>() as f64 / n as f64
+            }
+        }
+    }
+}
+
+/// Per-thread length sampler for a [`ValueSize`] (precomputes the zipfian
+/// tables once).
+pub struct ValueLenSampler {
+    size: ValueSize,
+    zipf: Option<Zipfian>,
+}
+
+impl ValueLenSampler {
+    /// Builds a sampler for `size`.
+    pub fn new(size: ValueSize) -> Self {
+        let zipf = match size {
+            ValueSize::Zipf => Some(Zipfian::new(MAX_ZIPF_VALUE_LEN as u64, ZIPFIAN_THETA)),
+            _ => None,
+        };
+        Self { size, zipf }
+    }
+
+    /// Draws the next payload length.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xorshift) -> usize {
+        match self.size {
+            ValueSize::Fixed(n) => n,
+            ValueSize::Uniform(a, b) => a + (rng.next() as usize) % (b - a + 1),
+            ValueSize::Zipf => self.zipf.as_ref().unwrap().sample(rng.next_f64()) as usize + 1,
+        }
+    }
+}
+
+/// FNV-1a over `body`, seeded with the key, masked so that an 8-byte
+/// payload's top three bits stay clear — which keeps word-sized payloads on
+/// the store's inline-integer fast path (see `spectm::INLINE_INT_BITS`).
+#[inline]
+fn payload_checksum(key: u64, body: &[u8]) -> [u8; 4] {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ key;
+    for &b in body {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    let mut sum = ((h ^ (h >> 32)) as u32).to_le_bytes();
+    sum[3] &= 0x1F;
+    sum
+}
+
+/// Fills `buf` with a self-certifying payload of `len` bytes for `key`:
+/// xorshift filler seeded by `(key, nonce)` followed by a 4-byte checksum
+/// over the filler and the key.  Payloads shorter than the checksum are a
+/// deterministic function of `(key, len)` alone.  The buffer is reused
+/// (cleared and refilled), so steady-state writes do not allocate.
+#[inline]
+pub fn fill_payload(key: u64, nonce: u64, len: usize, buf: &mut Vec<u8>) {
+    buf.clear();
+    if len < 4 {
+        let sum = payload_checksum(key, &[len as u8]);
+        buf.extend_from_slice(&sum[..len]);
+        return;
+    }
+    buf.resize(len, 0);
+    let mut rng = Xorshift::new(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ nonce);
+    let (body, tail) = buf.split_at_mut(len - 4);
+    let mut chunks = body.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&rng.next().to_le_bytes());
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let word = rng.next().to_le_bytes();
+        let n = rem.len();
+        rem.copy_from_slice(&word[..n]);
+    }
+    let sum = payload_checksum(key, body);
+    tail.copy_from_slice(&sum);
+}
+
+/// Verifies a payload produced by [`fill_payload`] for `key` (any nonce).
+pub fn payload_is_valid(key: u64, bytes: &[u8]) -> bool {
+    if bytes.len() < 4 {
+        let sum = payload_checksum(key, &[bytes.len() as u8]);
+        return bytes == &sum[..bytes.len()];
+    }
+    let (body, sum) = bytes.split_at(bytes.len() - 4);
+    payload_checksum(key, body) == sum
+}
+
 /// Longest scan of the scan-heavy (YCSB-E) mix.
 pub const MAX_SCAN_LEN: usize = 100;
 
@@ -398,6 +586,14 @@ pub struct KvWorkloadConfig {
     pub mix: KvMix,
     /// Key-popularity distribution.
     pub dist: KeyDist,
+    /// Value-size distribution of every written payload.
+    pub value_size: ValueSize,
+    /// Verify payload checksums on every read, and replay an oracle sweep
+    /// over the whole key space after the measured phase.  Costs cycles in
+    /// the measured loop, so keep it off for throughput numbers.  Ignored
+    /// for the read-modify-write mix, whose writes are counters rather than
+    /// checksummed payloads.
+    pub verify: bool,
     /// Keys touched by one read-modify-write (drawn independently, so they
     /// usually land on different shards).
     pub rmw_keys: usize,
@@ -413,6 +609,8 @@ impl Default for KvWorkloadConfig {
             duration: Duration::from_millis(300),
             mix: KvMix::ReadHeavy,
             dist: KeyDist::Uniform,
+            value_size: ValueSize::default(),
+            verify: false,
             rmw_keys: 2,
         }
     }
@@ -433,11 +631,73 @@ impl KvWorkloadConfig {
     }
 }
 
-/// Loads every key of `0..num_keys` with `value = key`.
-pub fn load_keys<K: KvStore>(store: &K, num_keys: u64) {
+/// Loads every key of `0..num_keys` with a self-certifying payload whose
+/// length follows `value_size`.
+pub fn load_keys<K: KvStore>(store: &K, num_keys: u64, value_size: ValueSize) {
     let mut ctx = store.thread_ctx();
+    let lens = ValueLenSampler::new(value_size);
+    let mut rng = Xorshift::new(0x10AD_5EED);
+    let mut buf = Vec::with_capacity(value_size.max_len());
     for key in 0..num_keys {
-        store.put(key, key, &mut ctx);
+        fill_payload(key, 0, lens.sample(&mut rng), &mut buf);
+        store.put(key, &buf, &mut ctx);
+    }
+}
+
+/// Per-thread state of the workload loop: key and value-length samplers,
+/// the thread's RNG, the RMW key buffer, the scan parameters and the
+/// reusable payload buffer.  Bundling it keeps [`perform_op`] — shared by
+/// the multi-threaded driver and the Criterion runners in the `bench`
+/// crate — at a callable arity, and keeps steady-state writes
+/// allocation-free.
+pub struct WorkerState {
+    mix: KvMix,
+    sampler: KeySampler,
+    rng: Xorshift,
+    rmw_buf: Vec<u64>,
+    scan: ScanParams,
+    lens: ValueLenSampler,
+    verify: bool,
+    scratch: Vec<u8>,
+}
+
+impl WorkerState {
+    /// Builds the state for one worker of the given configuration.  `seed`
+    /// decorrelates the per-thread streams.
+    pub fn new(cfg: &KvWorkloadConfig, seed: u64) -> Self {
+        Self {
+            mix: cfg.mix,
+            sampler: KeySampler::new(cfg.dist, cfg.num_keys),
+            rng: Xorshift::new(seed),
+            rmw_buf: vec![0u64; cfg.rmw_keys],
+            scan: ScanParams::for_keys(cfg.num_keys),
+            lens: ValueLenSampler::new(cfg.value_size),
+            // Counter writes make checksums meaningless under the RMW mix.
+            verify: cfg.verify && cfg.mix != KvMix::ReadModifyWrite,
+            scratch: Vec::with_capacity(cfg.value_size.max_len()),
+        }
+    }
+
+    /// Draws the next primary key.
+    #[inline]
+    pub fn sample_key(&mut self) -> u64 {
+        self.sampler.sample(&mut self.rng)
+    }
+
+    /// Draws the next raw dispatch word.
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        self.rng.next()
+    }
+
+    #[inline]
+    fn check(&self, key: u64, value: &Value) {
+        if self.verify {
+            assert!(
+                payload_is_valid(key, value),
+                "checksum mismatch for key {key}: {value:?}"
+            );
+        }
     }
 }
 
@@ -445,45 +705,63 @@ pub fn load_keys<K: KvStore>(store: &K, num_keys: u64) {
 /// scan vs insert (`SCAN_PCT`); for every other mix it is a read with
 /// probability `mix.read_pct()`, otherwise the mix's write shape.  `key` is
 /// the primary key (a scan's start key) and `raw` the dispatch draw; the
-/// extra read-modify-write keys (slots `1..` of `rmw_buf`) are drawn from
-/// `sampler`, so *every* key an operation touches follows the panel's
-/// distribution.  Shared by the multi-threaded driver and the Criterion
-/// runners in the `bench` crate so the two cannot drift apart.
+/// extra read-modify-write keys and every payload length follow the panel's
+/// distributions in `state`.  When the state's verify flag is set, every
+/// value the operation reads back is checksum-verified against its key.
+/// Shared by the multi-threaded driver and the Criterion runners in the
+/// `bench` crate so the two cannot drift apart.
 #[inline]
-#[expect(clippy::too_many_arguments)]
 pub fn perform_op<K: KvStore>(
     store: &K,
     ctx: &mut K::ThreadCtx,
-    mix: KvMix,
     key: u64,
     raw: u64,
-    sampler: &KeySampler,
-    rng: &mut Xorshift,
-    rmw_buf: &mut [u64],
-    scan: &ScanParams,
+    state: &mut WorkerState,
 ) {
+    let mix = state.mix;
     if mix == KvMix::ScanHeavy {
         if raw % 100 < SCAN_PCT as u64 {
-            let len = scan.sample_len(rng);
-            std::hint::black_box(store.scan(key, len, ctx));
+            let len = state.scan.sample_len(&mut state.rng);
+            let run = std::hint::black_box(store.scan(key, len, ctx));
+            if state.verify {
+                for (k, v) in &run {
+                    state.check(*k, v);
+                }
+            }
         } else {
-            std::hint::black_box(store.put(scan.insert_key(rng), raw >> 2, ctx));
+            let insert_key = state.scan.insert_key(&mut state.rng);
+            let len = state.lens.sample(&mut state.rng);
+            fill_payload(insert_key, raw, len, &mut state.scratch);
+            std::hint::black_box(store.put(insert_key, &state.scratch, ctx));
         }
         return;
     }
     if raw % 100 < mix.read_pct() as u64 {
-        std::hint::black_box(store.get(key, ctx));
+        // black_box by reference, and only borrow the result: consuming it
+        // after the black_box would force the compiler to re-copy the
+        // 24-byte value it must now assume was observed.
+        let got = store.get(key, ctx);
+        if let Some(value) = &got {
+            state.check(key, value);
+        }
+        std::hint::black_box(&got);
     } else {
         match mix {
             KvMix::ReadHeavy | KvMix::UpdateHeavy => {
-                std::hint::black_box(store.put(key, raw >> 2, ctx));
+                let len = state.lens.sample(&mut state.rng);
+                fill_payload(key, raw, len, &mut state.scratch);
+                let old = store.put(key, &state.scratch, ctx);
+                if let Some(old) = &old {
+                    state.check(key, old);
+                }
+                std::hint::black_box(&old);
             }
             KvMix::ReadModifyWrite => {
-                rmw_buf[0] = key;
-                for slot in rmw_buf[1..].iter_mut() {
-                    *slot = sampler.sample(rng);
+                state.rmw_buf[0] = key;
+                for slot in state.rmw_buf[1..].iter_mut() {
+                    *slot = state.sampler.sample(&mut state.rng);
                 }
-                std::hint::black_box(store.rmw_add(rmw_buf, 1, ctx));
+                std::hint::black_box(store.rmw_add(&state.rmw_buf, 1, ctx));
             }
             KvMix::ReadOnly | KvMix::ScanHeavy => unreachable!("fully dispatched above"),
         }
@@ -491,7 +769,9 @@ pub fn perform_op<K: KvStore>(
 }
 
 /// Runs the workload once (load phase + measured phase) and reports
-/// throughput.  One read-modify-write counts as one operation.
+/// throughput.  One read-modify-write counts as one operation.  With
+/// `cfg.verify` set, reads are checksum-verified throughout and a final
+/// oracle sweep re-reads the whole key space after the workers stop.
 pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
     assert!(
         cfg.threads == 1 || store.supports_concurrency(),
@@ -503,36 +783,43 @@ pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
         "rmw_keys must be in 1..={}",
         spectm_kv::MAX_RMW_KEYS
     );
-    load_keys(&*store, cfg.num_keys);
+    load_keys(&*store, cfg.num_keys, cfg.value_size);
 
     let samples = run_timed(cfg.threads, cfg.duration, |tid| {
         let mut ctx = store.thread_ctx();
-        let mut rng = Xorshift::new(0x0BAD_5EED ^ (0x9E37_79B9 * (tid as u64 + 1)));
-        let sampler = KeySampler::new(cfg.dist, cfg.num_keys);
-        let scan = ScanParams::for_keys(cfg.num_keys);
+        let mut state = WorkerState::new(cfg, 0x0BAD_5EED ^ (0x9E37_79B9 * (tid as u64 + 1)));
         let store = &store;
-        let cfg = cfg.clone();
-        let mut rmw_buf = vec![0u64; cfg.rmw_keys];
         move || {
             for _ in 0..BATCH_OPS {
-                let key = sampler.sample(&mut rng);
-                let raw = rng.next();
-                perform_op(
-                    &**store,
-                    &mut ctx,
-                    cfg.mix,
-                    key,
-                    raw,
-                    &sampler,
-                    &mut rng,
-                    &mut rmw_buf,
-                    &scan,
-                );
+                let key = state.sample_key();
+                let raw = state.next_raw();
+                perform_op(&**store, &mut ctx, key, raw, &mut state);
             }
             BATCH_OPS
         }
     });
-    RunResult::from_samples(samples)
+    let result = RunResult::from_samples(samples);
+    if cfg.verify && cfg.mix != KvMix::ReadModifyWrite {
+        verify_sweep(&*store, cfg.num_keys);
+    }
+    result
+}
+
+/// Oracle replay after quiescence: every loaded key must still be present
+/// and carry a payload whose checksum certifies it was written whole for
+/// exactly that key.  (The mixes never delete loaded keys; scan-heavy
+/// inserts land above the loaded space and are verified too, when present.)
+fn verify_sweep<K: KvStore>(store: &K, num_keys: u64) {
+    let mut ctx = store.thread_ctx();
+    for key in 0..num_keys {
+        let value = store
+            .get(key, &mut ctx)
+            .unwrap_or_else(|| panic!("loaded key {key} vanished"));
+        assert!(
+            payload_is_valid(key, &value),
+            "post-run checksum mismatch for key {key}: {value:?}"
+        );
+    }
 }
 
 /// Runs the workload `runs` times on fresh stores produced by `make_store`
@@ -659,18 +946,41 @@ pub fn kv_default_dists() -> Vec<KeyDist> {
 
 /// Produces the `kv` binary's rows: threads × mix × distribution × variant,
 /// in the same TSV row shape as the figure drivers (`figure` is `"kv"`,
-/// `panel` is `"<mix> / <dist>"`, `x` is the thread count).
+/// `panel` is `"<mix> / <dist>"` — with the value-size label appended when
+/// it is not the default — and `x` is the thread count).
 pub fn kv_rows(opts: &FigureOpts) -> Vec<FigureRow> {
-    kv_rows_for(opts, &kv_default_mixes(), &kv_default_dists())
+    kv_rows_for(
+        opts,
+        &kv_default_mixes(),
+        &kv_default_dists(),
+        ValueSize::default(),
+        false,
+    )
 }
 
-/// [`kv_rows`] restricted to explicit mixes and distributions (the
-/// `--workload` / `--dist` flags of the `kv` binary).
-pub fn kv_rows_for(opts: &FigureOpts, mixes: &[KvMix], dists: &[KeyDist]) -> Vec<FigureRow> {
+/// [`kv_rows`] restricted to explicit mixes, distributions, a value-size
+/// distribution and a verification switch (the `--workload` / `--dist` /
+/// `--value-size` / `--verify` flags of the `kv` binary).
+pub fn kv_rows_for(
+    opts: &FigureOpts,
+    mixes: &[KvMix],
+    dists: &[KeyDist],
+    value_size: ValueSize,
+    verify: bool,
+) -> Vec<FigureRow> {
     let mut rows = Vec::new();
     for &mix in mixes {
         for &dist in dists {
-            let panel = format!("{} / {}", mix.label(), dist.label());
+            let panel = if value_size == ValueSize::default() {
+                format!("{} / {}", mix.label(), dist.label())
+            } else {
+                format!(
+                    "{} / {} / {}",
+                    mix.label(),
+                    dist.label(),
+                    value_size.label()
+                )
+            };
             for variant in kv_variants() {
                 for &threads in &opts.threads {
                     let cfg = KvWorkloadConfig {
@@ -678,6 +988,8 @@ pub fn kv_rows_for(opts: &FigureOpts, mixes: &[KvMix], dists: &[KeyDist]) -> Vec
                         duration: opts.duration,
                         mix,
                         dist,
+                        value_size,
+                        verify,
                         ..KvWorkloadConfig::sized_for(opts.key_range)
                     };
                     let y = run_kv_variant(variant, &cfg, opts.runs);
@@ -707,6 +1019,87 @@ mod tests {
             mix,
             dist,
             ..KvWorkloadConfig::sized_for(512)
+        }
+    }
+
+    #[test]
+    fn value_size_flags_roundtrip() {
+        assert_eq!(ValueSize::from_flag("fixed:8"), Some(ValueSize::Fixed(8)));
+        assert_eq!(
+            ValueSize::from_flag("uniform:64..1024"),
+            Some(ValueSize::Uniform(64, 1024))
+        );
+        assert_eq!(ValueSize::from_flag("zipf"), Some(ValueSize::Zipf));
+        assert_eq!(ValueSize::from_flag("uniform:9..3"), None, "A > B");
+        assert_eq!(ValueSize::from_flag("fixed:"), None);
+        assert_eq!(ValueSize::from_flag("bogus"), None);
+        assert_eq!(
+            ValueSize::from_flag(&format!("fixed:{}", spectm_kv::MAX_VALUE_LEN + 1)),
+            None,
+            "sizes beyond the store cap are rejected at parse time"
+        );
+        for vs in [
+            ValueSize::Fixed(100),
+            ValueSize::Uniform(64, 256),
+            ValueSize::Zipf,
+        ] {
+            assert_eq!(ValueSize::from_flag(&vs.label()), Some(vs));
+        }
+    }
+
+    #[test]
+    fn value_len_samplers_stay_in_range() {
+        for vs in [
+            ValueSize::Fixed(100),
+            ValueSize::Uniform(64, 256),
+            ValueSize::Uniform(0, 0),
+            ValueSize::Zipf,
+        ] {
+            let sampler = ValueLenSampler::new(vs);
+            let mut rng = Xorshift::new(31);
+            for _ in 0..5_000 {
+                let len = sampler.sample(&mut rng);
+                assert!(len <= vs.max_len(), "{vs:?} drew {len}");
+                match vs {
+                    ValueSize::Fixed(n) => assert_eq!(len, n),
+                    ValueSize::Uniform(a, _) => assert!(len >= a),
+                    ValueSize::Zipf => assert!(len >= 1),
+                }
+            }
+            assert!(vs.mean_len() <= vs.max_len() as f64);
+        }
+    }
+
+    #[test]
+    fn payloads_self_certify_and_reject_corruption() {
+        let mut buf = Vec::new();
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 100, 1024] {
+            for nonce in [0u64, 7, 0xDEAD] {
+                fill_payload(42, nonce, len, &mut buf);
+                assert_eq!(buf.len(), len);
+                assert!(payload_is_valid(42, &buf), "len {len} nonce {nonce}");
+                if len > 0 {
+                    // Any flipped byte must fail, as must the wrong key.
+                    let mut corrupt = buf.clone();
+                    corrupt[len / 2] ^= 0x40;
+                    assert!(!payload_is_valid(42, &corrupt), "len {len}");
+                    assert!(!payload_is_valid(43, &buf), "len {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eight_byte_payloads_stay_on_the_inline_int_path() {
+        // The checksum mask must keep word-sized payloads below
+        // 2^INLINE_INT_BITS so the default value size never allocates.
+        let mut buf = Vec::new();
+        for key in 0..500u64 {
+            fill_payload(key, key.wrapping_mul(977), 8, &mut buf);
+            assert!(
+                spectm::encode_inline(&buf).is_some(),
+                "key {key}: 8-byte payload fell off the inline path"
+            );
         }
     }
 
@@ -791,6 +1184,36 @@ mod tests {
     }
 
     #[test]
+    fn verified_runs_pass_for_every_value_size() {
+        // Concurrent checksum verification plus the post-run oracle sweep,
+        // across all three value-size distributions (and both stores for
+        // the acceptance shape, uniform:64..1024).
+        for vs in [
+            ValueSize::Fixed(8),
+            ValueSize::Uniform(64, 1024),
+            ValueSize::Zipf,
+        ] {
+            let cfg = KvWorkloadConfig {
+                value_size: vs,
+                verify: true,
+                ..tiny_cfg(KvMix::UpdateHeavy, KeyDist::Zipfian, 2)
+            };
+            let store = Arc::new(StmKvBench::new(ValShort::new(), 4, 128, ApiMode::Short));
+            assert!(run_kv(store, &cfg).total_ops > 0, "{vs:?}");
+        }
+        let cfg = KvWorkloadConfig {
+            value_size: ValueSize::Uniform(64, 1024),
+            verify: true,
+            ..tiny_cfg(KvMix::ScanHeavy, KeyDist::Uniform, 2)
+        };
+        let store = Arc::new(LockFreeKvBench::new(LockFreeKvMap::new(
+            512,
+            Collector::new(),
+        )));
+        assert!(run_kv(store, &cfg).total_ops > 0);
+    }
+
+    #[test]
     fn scan_params_draw_sane_lengths_and_insert_keys() {
         let scan = ScanParams::for_keys(1_000);
         let mut rng = Xorshift::new(17);
@@ -823,7 +1246,7 @@ mod tests {
         // Drive the dispatch directly and check scans come back sorted and
         // bounded from the STM store.
         let bench = StmKvBench::new(ValShort::new(), 4, 64, ApiMode::Short);
-        load_keys(&bench, 256);
+        load_keys(&bench, 256, ValueSize::Uniform(1, 64));
         let mut ctx = bench.thread_ctx();
         let scan = ScanParams::for_keys(256);
         let mut rng = Xorshift::new(23);
@@ -833,7 +1256,11 @@ mod tests {
             let run = bench.scan(start, len, &mut ctx);
             assert!(run.len() <= len);
             assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "unsorted scan");
-            assert!(run.iter().all(|&(k, _)| k >= start), "key below start");
+            assert!(run.iter().all(|(k, _)| *k >= start), "key below start");
+            assert!(
+                run.iter().all(|(k, v)| payload_is_valid(*k, v)),
+                "scan returned a corrupt payload"
+            );
         }
     }
 

@@ -116,6 +116,30 @@ fn fig10_smoke() {
     run_fig(env!("CARGO_BIN_EXE_fig10"), TINY);
 }
 
+/// A verified variable-size run: byte payloads drawn uniformly from
+/// 64..=256 bytes (out-of-line value cells), with per-read checksum
+/// verification and the post-run oracle sweep enabled — the driver panics
+/// (failing the smoke) on any corrupt payload.  The panel label carries the
+/// value-size distribution.
+#[test]
+fn kv_value_size_smoke() {
+    let mut args = vec![
+        "--workload",
+        "a",
+        "--dist",
+        "zipfian",
+        "--value-size",
+        "uniform:64..256",
+        "--verify",
+    ];
+    args.extend_from_slice(TINY);
+    let rows = run_fig(env!("CARGO_BIN_EXE_kv"), &args);
+    for (panel, series, _x, y) in &rows {
+        assert_eq!(panel, "update-50/50 / zipfian / uniform:64..256");
+        assert!(*y > 0.0, "zero throughput for {series}");
+    }
+}
+
 /// The KV-store sweep must cover every mix × distribution panel with the
 /// short-transaction, BaseTM and lock-free variants, and every data point
 /// must report positive throughput (the store really served the workload).

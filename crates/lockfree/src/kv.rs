@@ -4,10 +4,15 @@
 //! Structurally this is [`crate::LockFreeHashTable`] with a value word
 //! attached to each node: a fixed array of bucket heads, each bucket a
 //! Harris-style sorted chain with the deletion mark in bit 0 of the `next`
-//! pointer.  Values live in a plain `AtomicU64` per node and are updated in
-//! place, so a `put` on an existing key is a single atomic swap — the
-//! fastest update the hardware offers, which is exactly what an STM-based
-//! store must be compared against.
+//! pointer.  Values use the **same representation as the STM store** (the
+//! point of a baseline is an apples-to-apples comparison): each value is a
+//! single word — small payloads inline, larger ones behind an immutable
+//! epoch-reclaimed [`spectm_kv::ValueCell`] — held in a plain `AtomicUsize`
+//! per node.  A `put` on an existing key is a single atomic swap of the
+//! value word — the fastest update the hardware offers — after which the
+//! put-ter owns the displaced word and retires its cell through the epoch
+//! collector.  A node owns whatever word it holds when it dies, so its
+//! `Drop` frees that cell (by then the grace period has passed).
 //!
 //! For range scans the map keeps a [`crate::LockFreeSkipList`] of keys next
 //! to the hash table; [`LockFreeKvMap::scan`] walks it in order and looks
@@ -21,7 +26,7 @@
 //!   a fresh insert, but the previous-value it reports is advisory under such
 //!   races;
 //! * there is no multi-key atomicity: [`LockFreeKvMap::rmw_add`] applies a
-//!   per-key `fetch_add`, so a concurrent reader can observe a partially
+//!   per-key CAS loop, so a concurrent reader can observe a partially
 //!   applied multi-key update.  The STM store (the `spectm-kv` crate)
 //!   provides the atomic variant; the contrast is the point of the
 //!   benchmark;
@@ -33,8 +38,10 @@
 //!   transaction and rules all of that out — the contrast is, again, the
 //!   point.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+use spectm_kv::value::{decode_value, encode_value, free_value, retire_value};
+use spectm_kv::{KvError, Value, MAX_VALUE_LEN};
 use txepoch::{Collector, LocalHandle};
 
 use crate::skiplist::LockFreeSkipList;
@@ -58,20 +65,34 @@ fn with_mark(p: usize) -> usize {
 }
 
 /// A chain node.  `next` packs the successor pointer with the deletion mark;
-/// `value` is updated in place.
+/// `value` holds the current value word, swapped in place.  A value word of
+/// zero is the "no value" sentinel used only on speculative nodes whose word
+/// was published elsewhere (zero is never a legal encoded word).
 struct Node {
     key: u64,
-    value: AtomicU64,
+    value: AtomicUsize,
     next: AtomicUsize,
 }
 
 impl Node {
-    fn alloc(key: u64, value: u64, next: usize) -> *mut Node {
+    fn alloc(key: u64, word: usize, next: usize) -> *mut Node {
         Box::into_raw(Box::new(Node {
             key,
-            value: AtomicU64::new(value),
+            value: AtomicUsize::new(word),
             next: AtomicUsize::new(next),
         }))
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let word = *self.value.get_mut();
+        if word != 0 {
+            // SAFETY: a node is dropped either past its grace period (epoch
+            // deferral) or under exclusive access (map drop / unpublished
+            // speculative node); the word it still holds is owned by it.
+            unsafe { free_value(word) };
+        }
     }
 }
 
@@ -82,18 +103,26 @@ struct Window {
     curr: usize,
 }
 
-/// A lock-free hash map from `u64` keys to `u64` values.
+/// A lock-free hash map from `u64` keys to byte values.
 ///
 /// # Examples
 ///
 /// ```
 /// use lockfree::LockFreeKvMap;
+/// use spectm_kv::Value;
+///
 /// let map = LockFreeKvMap::new(64, txepoch::Collector::new());
 /// let handle = map.collector().register();
-/// assert_eq!(map.put(7, 70, &handle), None);
-/// assert_eq!(map.get(7, &handle), Some(70));
-/// assert_eq!(map.put(7, 71, &handle), Some(70));
-/// assert_eq!(map.del(7, &handle), Some(71));
+/// assert_eq!(map.put(7, b"seventy", &handle).unwrap(), None);
+/// assert_eq!(map.get(7, &handle), Some(Value::new(b"seventy")));
+/// assert_eq!(
+///     map.put(7, b"a value long enough to live out of line", &handle).unwrap(),
+///     Some(Value::new(b"seventy"))
+/// );
+/// assert_eq!(
+///     map.del(7, &handle),
+///     Some(Value::new(b"a value long enough to live out of line"))
+/// );
 /// assert_eq!(map.get(7, &handle), None);
 /// ```
 pub struct LockFreeKvMap {
@@ -105,8 +134,9 @@ pub struct LockFreeKvMap {
     index: LockFreeSkipList,
 }
 
-// SAFETY: all shared mutation goes through atomics; node reclamation is
-// deferred through epochs, exactly as in the other lock-free structures.
+// SAFETY: all shared mutation goes through atomics; node and value-cell
+// reclamation is deferred through epochs, exactly as in the other lock-free
+// structures.
 unsafe impl Send for LockFreeKvMap {}
 // SAFETY: as above.
 unsafe impl Sync for LockFreeKvMap {}
@@ -173,6 +203,7 @@ impl LockFreeKvMap {
                     }
                     let guard = handle.pin();
                     // SAFETY: just unlinked; unreachable for new traversals.
+                    // The node's drop frees whatever value word it holds.
                     unsafe { guard.defer_drop(unmark(curr) as *mut Node) };
                     curr = unmark(next);
                     continue;
@@ -187,7 +218,8 @@ impl LockFreeKvMap {
     }
 
     /// Returns the value stored under `key`, if present.
-    pub fn get(&self, key: u64, handle: &LocalHandle) -> Option<u64> {
+    #[inline]
+    pub fn get(&self, key: u64, handle: &LocalHandle) -> Option<Value> {
         let _guard = handle.pin();
         let w = self.search(key, handle);
         if unmark(w.curr) == 0 {
@@ -198,38 +230,81 @@ impl LockFreeKvMap {
         if node.key != key {
             return None;
         }
-        Some(node.value.load(Ordering::Acquire))
+        let word = node.value.load(Ordering::Acquire);
+        // SAFETY: `_guard` predates any retirement of the cell behind a
+        // word read from a reachable node, so the copy-out is protected.
+        Some(unsafe { decode_value(word) })
     }
 
     /// Stores `value` under `key`, returning the previous value if the key
-    /// was present (advisory under concurrent removal, see the module docs).
-    pub fn put(&self, key: u64, value: u64, handle: &LocalHandle) -> Option<u64> {
-        let _guard = handle.pin();
+    /// was present (advisory under concurrent removal, see the module docs),
+    /// or [`KvError::ValueTooLarge`] beyond [`MAX_VALUE_LEN`] bytes.
+    #[inline]
+    pub fn put(
+        &self,
+        key: u64,
+        value: &[u8],
+        handle: &LocalHandle,
+    ) -> Result<Option<Value>, KvError> {
+        if value.len() > MAX_VALUE_LEN {
+            return Err(KvError::ValueTooLarge { len: value.len() });
+        }
+        let guard = handle.pin();
         let mut new_node: *mut Node = std::ptr::null_mut();
+        // The speculative value word, owned by this operation until it is
+        // published (swapped into a live node, or inserted with the node).
+        let mut word: usize = 0;
         loop {
             let w = self.search(key, handle);
             if unmark(w.curr) != 0 {
                 // SAFETY: protected by the guard above.
                 let node = unsafe { &*(unmark(w.curr) as *const Node) };
                 if node.key == key {
-                    let old = node.value.swap(value, Ordering::AcqRel);
+                    if word == 0 {
+                        word = encode_value(value);
+                    }
+                    let old = node.value.swap(word, Ordering::AcqRel);
                     if marked(node.next.load(Ordering::Acquire)) {
                         // The node was logically deleted concurrently; the
-                        // swapped-in value died with it.  Retry as an insert.
+                        // swapped-in word now belongs to the dying node
+                        // (its drop frees it) and the displaced word to us.
+                        // Retry as a fresh insert with a new word.
+                        // SAFETY: the swap displaced `old` from its only
+                        // reachable location, making us its owner.
+                        unsafe { retire_value(old, &guard) };
+                        word = 0;
                         continue;
                     }
                     if !new_node.is_null() {
-                        // SAFETY: the speculative node was never published.
-                        drop(unsafe { Box::from_raw(new_node) });
+                        // SAFETY: the speculative node was never published;
+                        // zero its word first — the word was just published
+                        // into the existing node and must survive the drop.
+                        unsafe {
+                            (*new_node).value.store(0, Ordering::Relaxed);
+                            drop(Box::from_raw(new_node));
+                        }
                     }
-                    return Some(old);
+                    // SAFETY: the swap displaced `old`; we own it (see the
+                    // module docs for the advisory caveat under races).
+                    let out = unsafe { decode_value(old) };
+                    // SAFETY: as above; pinned readers are protected.
+                    unsafe { retire_value(old, &guard) };
+                    return Ok(Some(out));
                 }
             }
+            if word == 0 {
+                word = encode_value(value);
+            }
             if new_node.is_null() {
-                new_node = Node::alloc(key, value, w.curr);
+                new_node = Node::alloc(key, word, w.curr);
             } else {
-                // SAFETY: `new_node` is still private to this thread.
-                unsafe { (*new_node).next.store(w.curr, Ordering::Relaxed) };
+                // SAFETY: `new_node` is still private to this thread.  The
+                // value word is refreshed too: a dying-node race above may
+                // have consumed the word the node was allocated with.
+                unsafe {
+                    (*new_node).next.store(w.curr, Ordering::Relaxed);
+                    (*new_node).value.store(word, Ordering::Relaxed);
+                }
             }
             // SAFETY: `prev_link` is protected by the guard.
             let link = unsafe { &*w.prev_link };
@@ -246,14 +321,15 @@ impl LockFreeKvMap {
                 // second, independent CAS: scans between the two steps miss
                 // the key (see the module docs — no snapshot guarantee).
                 self.index.insert(key, handle);
-                return None;
+                return Ok(None);
             }
         }
     }
 
     /// Removes `key`, returning the value it held.
-    pub fn del(&self, key: u64, handle: &LocalHandle) -> Option<u64> {
-        let _guard = handle.pin();
+    #[inline]
+    pub fn del(&self, key: u64, handle: &LocalHandle) -> Option<Value> {
+        let _outer = handle.pin();
         loop {
             let w = self.search(key, handle);
             if unmark(w.curr) == 0 {
@@ -270,7 +346,7 @@ impl LockFreeKvMap {
                 // absent.
                 continue;
             }
-            let value = node.value.load(Ordering::Acquire);
+            let word = node.value.load(Ordering::Acquire);
             // Logical deletion first, then best-effort physical unlink.
             if node
                 .next
@@ -279,6 +355,11 @@ impl LockFreeKvMap {
             {
                 continue;
             }
+            // Copy the payload out before the node can complete its grace
+            // period.  The word stays owned by the node (a racing put may
+            // still swap it; whoever holds it last frees it via Node::drop).
+            // SAFETY: `_outer` predates any retirement of the cell.
+            let out = unsafe { decode_value(word) };
             // SAFETY: `prev_link` is protected by the guard.
             let link = unsafe { &*w.prev_link };
             if link
@@ -286,7 +367,8 @@ impl LockFreeKvMap {
                 .is_ok()
             {
                 let guard = handle.pin();
-                // SAFETY: unlinked by the CAS above.
+                // SAFETY: unlinked by the CAS above; its drop frees the
+                // value word it holds at drop time.
                 unsafe { guard.defer_drop(unmark(w.curr) as *mut Node) };
             } else {
                 let _ = self.search(key, handle);
@@ -297,33 +379,56 @@ impl LockFreeKvMap {
             // disagreeing.  The STM store's combined transactions are how
             // that is actually fixed).
             self.index.remove(key, handle);
-            return Some(value);
+            return Some(out);
         }
     }
 
-    /// Adds `delta` to the value of each key in `keys` that is present.
+    /// Adds `delta` to the value of each key in `keys` that is present,
+    /// interpreting values as 8-byte little-endian counters (the same
+    /// convention as `ShardedKv::rmw_add`).
     ///
-    /// Each key's update is individually atomic (`fetch_add`) but there is
-    /// **no atomicity across keys** — the lock-free design has no way to
-    /// compose updates.  Returns `false` if any key was absent (the updates
-    /// to the keys that were present still took effect).
+    /// Each key's update is individually atomic (a CAS loop on the value
+    /// word) but there is **no atomicity across keys** — the lock-free
+    /// design has no way to compose updates.  Returns `false` if any key was
+    /// absent (the updates to the keys that were present still took effect).
     pub fn rmw_add(&self, keys: &[u64], delta: u64, handle: &LocalHandle) -> bool {
         let mut all_present = true;
         for &key in keys {
-            let _guard = handle.pin();
-            let w = self.search(key, handle);
-            let found = if unmark(w.curr) != 0 {
+            let guard = handle.pin();
+            let mut found = false;
+            loop {
+                let w = self.search(key, handle);
+                if unmark(w.curr) == 0 {
+                    break;
+                }
                 // SAFETY: protected by the guard above.
                 let node = unsafe { &*(unmark(w.curr) as *const Node) };
-                if node.key == key && !marked(node.next.load(Ordering::Acquire)) {
-                    node.value.fetch_add(delta, Ordering::AcqRel);
-                    true
-                } else {
-                    false
+                if node.key != key || marked(node.next.load(Ordering::Acquire)) {
+                    break;
                 }
-            } else {
-                false
-            };
+                let old = node.value.load(Ordering::Acquire);
+                // SAFETY: `guard` predates any retirement of the cell.
+                let counter = unsafe { decode_value(old) }.as_u64();
+                let new_word = encode_value(&counter.wrapping_add(delta).to_le_bytes());
+                match node.value.compare_exchange(
+                    old,
+                    new_word,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS displaced `old`; we own it.
+                        unsafe { retire_value(old, &guard) };
+                        found = true;
+                        break;
+                    }
+                    Err(_) => {
+                        // SAFETY: `new_word` was never published.
+                        unsafe { free_value(new_word) };
+                        // Re-search: the node may have been deleted.
+                    }
+                }
+            }
             all_present &= found;
         }
         all_present
@@ -338,7 +443,7 @@ impl LockFreeKvMap {
     /// result internally inconsistent (torn multi-key updates, missed
     /// fresh inserts, value/neighbour skew).  Compare `ShardedKv::scan` in
     /// `spectm-kv`, which runs the same shape as one full transaction.
-    pub fn scan(&self, start: u64, limit: usize, handle: &LocalHandle) -> Vec<(u64, u64)> {
+    pub fn scan(&self, start: u64, limit: usize, handle: &LocalHandle) -> Vec<(u64, Value)> {
         let keys = self.index.collect_from(start, limit, handle);
         let mut out = Vec::with_capacity(keys.len());
         for key in keys {
@@ -353,7 +458,7 @@ impl LockFreeKvMap {
 
     /// Collects the current `(key, value)` pairs (not linearizable; only
     /// meaningful when no concurrent operations run).
-    pub fn snapshot(&self, handle: &LocalHandle) -> Vec<(u64, u64)> {
+    pub fn snapshot(&self, handle: &LocalHandle) -> Vec<(u64, Value)> {
         let _guard = handle.pin();
         let mut out = Vec::new();
         for b in self.buckets.iter() {
@@ -363,7 +468,9 @@ impl LockFreeKvMap {
                 let node = unsafe { &*(unmark(curr) as *const Node) };
                 let next = node.next.load(Ordering::Acquire);
                 if !marked(next) {
-                    out.push((node.key, node.value.load(Ordering::Acquire)));
+                    let word = node.value.load(Ordering::Acquire);
+                    // SAFETY: protected by the guard above.
+                    out.push((node.key, unsafe { decode_value(word) }));
                 }
                 curr = unmark(next);
             }
@@ -375,7 +482,8 @@ impl LockFreeKvMap {
 
 impl Drop for LockFreeKvMap {
     fn drop(&mut self) {
-        // Exclusive access: free the remaining nodes directly.
+        // Exclusive access: free the remaining nodes directly (each node's
+        // drop frees its value word).
         for b in self.buckets.iter_mut() {
             let mut curr = unmark(*b.get_mut());
             while curr != 0 {
@@ -398,18 +506,40 @@ mod tests {
         LockFreeKvMap::new(buckets, Collector::new())
     }
 
+    /// Deterministic payload crossing the inline and out-of-line regimes.
+    fn payload(k: u64, v: u64) -> Vec<u8> {
+        let len = (v % 33) as usize;
+        (0..len)
+            .map(|i| (k as u8) ^ (v as u8).wrapping_mul(43) ^ i as u8)
+            .collect()
+    }
+
     #[test]
     fn get_put_del_roundtrip() {
         let map = new_map(16);
         let h = map.collector().register();
         assert_eq!(map.get(3, &h), None);
-        assert_eq!(map.put(3, 30, &h), None);
-        assert_eq!(map.get(3, &h), Some(30));
-        assert_eq!(map.put(3, 31, &h), Some(30));
-        assert_eq!(map.get(3, &h), Some(31));
-        assert_eq!(map.del(3, &h), Some(31));
+        assert_eq!(map.put(3, b"thirty", &h).unwrap(), None);
+        assert_eq!(map.get(3, &h), Some(Value::new(b"thirty")));
+        let big = vec![9u8; 100];
+        assert_eq!(map.put(3, &big, &h).unwrap(), Some(Value::new(b"thirty")));
+        assert_eq!(map.get(3, &h), Some(Value::new(&big)));
+        assert_eq!(map.del(3, &h), Some(Value::new(&big)));
         assert_eq!(map.del(3, &h), None);
         assert_eq!(map.get(3, &h), None);
+    }
+
+    #[test]
+    fn oversized_values_are_rejected() {
+        let map = new_map(16);
+        let h = map.collector().register();
+        assert_eq!(
+            map.put(1, &vec![0u8; MAX_VALUE_LEN + 1], &h),
+            Err(KvError::ValueTooLarge {
+                len: MAX_VALUE_LEN + 1
+            })
+        );
+        assert_eq!(map.get(1, &h), None);
     }
 
     #[test]
@@ -421,13 +551,17 @@ mod tests {
         for _ in 0..4_000 {
             let k = crate::rng::next_u64() % 128;
             let v = crate::rng::next_u64();
+            let bytes = payload(k, v);
             match crate::rng::next_u64() % 3 {
-                0 => assert_eq!(map.put(k, v, &h), oracle.insert(k, v)),
+                0 => assert_eq!(
+                    map.put(k, &bytes, &h).unwrap(),
+                    oracle.insert(k, Value::from(bytes))
+                ),
                 1 => assert_eq!(map.del(k, &h), oracle.remove(&k)),
-                _ => assert_eq!(map.get(k, &h), oracle.get(&k).copied()),
+                _ => assert_eq!(map.get(k, &h), oracle.get(&k).cloned()),
             }
         }
-        let expect: Vec<(u64, u64)> = oracle.into_iter().collect();
+        let expect: Vec<(u64, Value)> = oracle.into_iter().collect();
         assert_eq!(map.snapshot(&h), expect);
     }
 
@@ -435,13 +569,13 @@ mod tests {
     fn rmw_add_updates_present_keys() {
         let map = new_map(16);
         let h = map.collector().register();
-        map.put(1, 10, &h);
-        map.put(2, 20, &h);
+        map.put(1, &10u64.to_le_bytes(), &h).unwrap();
+        map.put(2, &20u64.to_le_bytes(), &h).unwrap();
         assert!(map.rmw_add(&[1, 2], 5, &h));
-        assert_eq!(map.get(1, &h), Some(15));
-        assert_eq!(map.get(2, &h), Some(25));
+        assert_eq!(map.get(1, &h).unwrap().as_u64(), 15);
+        assert_eq!(map.get(2, &h).unwrap().as_u64(), 25);
         assert!(!map.rmw_add(&[1, 99], 5, &h));
-        assert_eq!(map.get(1, &h), Some(20));
+        assert_eq!(map.get(1, &h).unwrap().as_u64(), 20);
     }
 
     #[test]
@@ -449,16 +583,25 @@ mod tests {
         let map = new_map(16);
         let h = map.collector().register();
         for k in (0..50u64).step_by(2) {
-            map.put(k, k + 1, &h);
+            map.put(k, &(k + 1).to_le_bytes(), &h).unwrap();
         }
         map.del(10, &h);
-        let run = map.scan(6, 4, &h);
+        let run: Vec<(u64, u64)> = map
+            .scan(6, 4, &h)
+            .iter()
+            .map(|(k, v)| (*k, v.as_u64()))
+            .collect();
         assert_eq!(run, vec![(6, 7), (8, 9), (12, 13), (14, 15)]);
         assert!(map.scan(100, 8, &h).is_empty());
         assert!(map.scan(0, 0, &h).is_empty());
         // Re-inserting a deleted key restores it to scans.
-        map.put(10, 99, &h);
-        assert_eq!(map.scan(9, 2, &h), vec![(10, 99), (12, 13)]);
+        map.put(10, &99u64.to_le_bytes(), &h).unwrap();
+        let run: Vec<(u64, u64)> = map
+            .scan(9, 2, &h)
+            .iter()
+            .map(|(k, v)| (*k, v.as_u64()))
+            .collect();
+        assert_eq!(run, vec![(10, 99), (12, 13)]);
     }
 
     #[test]
@@ -473,13 +616,20 @@ mod tests {
                 let h = map.collector().register();
                 let base = tid * RANGE;
                 for k in 0..RANGE {
-                    assert_eq!(map.put(base + k, k, &h), None);
+                    assert_eq!(map.put(base + k, &payload(base + k, k), &h).unwrap(), None);
                 }
                 for k in (0..RANGE).step_by(2) {
-                    assert_eq!(map.del(base + k, &h), Some(k));
+                    assert_eq!(
+                        map.del(base + k, &h),
+                        Some(Value::from(payload(base + k, k)))
+                    );
                 }
                 for k in 0..RANGE {
-                    let expect = if k % 2 == 1 { Some(k) } else { None };
+                    let expect = if k % 2 == 1 {
+                        Some(Value::from(payload(base + k, k)))
+                    } else {
+                        None
+                    };
                     assert_eq!(map.get(base + k, &h), expect);
                 }
             }));
@@ -497,7 +647,7 @@ mod tests {
         {
             let h = map.collector().register();
             for k in 0..8u64 {
-                map.put(k, 0, &h);
+                map.put(k, &0u64.to_le_bytes(), &h).unwrap();
             }
         }
         const THREADS: usize = 4;
@@ -517,7 +667,7 @@ mod tests {
             j.join().unwrap();
         }
         let h = map.collector().register();
-        let total: u64 = (0..8u64).map(|k| map.get(k, &h).unwrap()).sum();
+        let total: u64 = (0..8u64).map(|k| map.get(k, &h).unwrap().as_u64()).sum();
         assert_eq!(total, THREADS as u64 * INCS);
     }
 }

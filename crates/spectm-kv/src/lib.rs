@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates specialized short transactions through integer-set
 //! microbenchmarks; this crate grows them into a service-level subsystem: a
-//! `u64 -> u64` store whose hot paths are exactly the short-transaction
+//! `u64 -> bytes` store whose hot paths are exactly the short-transaction
 //! shapes the paper optimizes, layered behind the sharding a production
 //! deployment would use.
 //!
@@ -23,11 +23,15 @@
 //!   consistent ordered snapshots spanning every shard — the
 //!   interoperability the paper's design guarantees (Section 2).
 //!
-//! Values are stored with [`spectm::encode_int`], so they must fit in 63
-//! bits; keys are arbitrary `u64`s.  The workload drivers live in the
-//! `harness` crate (`kv` binary, including the scan-heavy YCSB-E mix), the
-//! CAS-based baseline in `lockfree::LockFreeKvMap`; DESIGN.md documents the
-//! architecture and EXPERIMENTS.md the workloads.
+//! Values are arbitrary byte payloads up to [`MAX_VALUE_LEN`], yet every
+//! transaction still touches only machine words: each value is one *value
+//! word* — packed inline for small payloads, a pointer to an immutable
+//! epoch-reclaimed [`ValueCell`] otherwise (see the [`value`] module and
+//! DESIGN.md § "Variable-size values").  Keys are arbitrary `u64`s.  The
+//! workload drivers live in the `harness` crate (`kv` binary, including the
+//! scan-heavy YCSB-E mix and the `--value-size` distributions), the
+//! CAS-based baseline in `lockfree::LockFreeKvMap`; EXPERIMENTS.md indexes
+//! the workloads.
 //!
 //! # Examples
 //!
@@ -36,17 +40,28 @@
 //! ```
 //! use spectm::{Stm, variants::ValShort};
 //! use spectm_ds::ApiMode;
-//! use spectm_kv::ShardedKv;
+//! use spectm_kv::{ShardedKv, Value};
 //!
 //! let stm = ValShort::new();
 //! let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
 //! let mut thread = store.register();
-//! assert_eq!(store.put(1, 10, &mut thread), None);
-//! assert_eq!(store.put(2, 20, &mut thread), None);
+//! assert_eq!(store.put(1, b"ten", &mut thread).unwrap(), None);
+//! assert_eq!(store.put(2, &20u64.to_le_bytes(), &mut thread).unwrap(), None);
+//! assert_eq!(store.get(1, &mut thread).as_deref(), Some(&b"ten"[..]));
 //! // Cross-shard atomic transfer: one full transaction over both shards.
-//! assert!(store.rmw(&[1, 2], |vals| { vals[0] -= 5; vals[1] += 5; }, &mut thread));
-//! assert_eq!(store.get(1, &mut thread), Some(5));
-//! assert_eq!(store.get(2, &mut thread), Some(25));
+//! store.put(1, &10u64.to_le_bytes(), &mut thread).unwrap();
+//! assert!(store
+//!     .rmw(
+//!         &[1, 2],
+//!         |vals| {
+//!             vals[0] = Value::from_u64(vals[0].as_u64() - 5);
+//!             vals[1] = Value::from_u64(vals[1].as_u64() + 5);
+//!         },
+//!         &mut thread
+//!     )
+//!     .unwrap());
+//! assert_eq!(store.get(1, &mut thread).unwrap().as_u64(), 5);
+//! assert_eq!(store.get(2, &mut thread).unwrap().as_u64(), 25);
 //! ```
 //!
 //! Ordered range scans over all shards, atomically consistent with every
@@ -61,12 +76,13 @@
 //! let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
 //! let mut thread = store.register();
 //! for key in 0..100u64 {
-//!     store.put(key, key + 1_000, &mut thread);
+//!     store.put(key, &(key + 1_000).to_le_bytes(), &mut thread).unwrap();
 //! }
 //! // YCSB-E shape: up to `limit` pairs starting at `start`, in key order.
 //! let run = store.scan(40, 5, &mut thread);
 //! assert_eq!(run.len(), 5);
-//! assert_eq!(run[0], (40, 1_040));
+//! assert_eq!(run[0].0, 40);
+//! assert_eq!(run[0].1.as_u64(), 1_040);
 //! assert!(run.windows(2).all(|w| w[0].0 < w[1].0));
 //! // Half-open key ranges work too.
 //! assert_eq!(store.range(97, 200, &mut thread).len(), 3);
@@ -78,11 +94,39 @@
 pub mod map;
 pub mod router;
 pub mod store;
+pub mod value;
 
 pub use map::{NodeSlot, RetiredNode, StmHashMap};
 pub use router::ShardRouter;
 pub use store::{ShardedKv, MAX_RMW_KEYS};
+pub use value::{RetiredValue, Value, ValueCell, ValueSlot, MAX_VALUE_LEN};
 
-/// Largest value storable in the map (one bit of the word is reserved for
-/// the value-based layout's lock bit).
-pub const MAX_VALUE: u64 = (1 << 63) - 1;
+/// Errors the store's fallible operations report instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// A value exceeded [`MAX_VALUE_LEN`] bytes.
+    ValueTooLarge {
+        /// Length of the rejected value.
+        len: usize,
+    },
+    /// A multi-key operation named more than [`MAX_RMW_KEYS`] keys.
+    TooManyKeys {
+        /// Number of keys in the rejected operation.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::ValueTooLarge { len } => {
+                write!(f, "value of {len} bytes exceeds {MAX_VALUE_LEN} bytes")
+            }
+            KvError::TooManyKeys { len } => {
+                write!(f, "{len} keys exceed the {MAX_RMW_KEYS}-key limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}

@@ -1,11 +1,12 @@
 //! The per-shard transactional hash map.
 //!
 //! [`StmHashMap`] is the integer-set hash table of `spectm-ds` grown into a
-//! `u64 -> u64` map: a fixed array of bucket heads, each the start of a
+//! `u64 -> bytes` map: a fixed array of bucket heads, each the start of a
 //! sorted singly-linked chain, with one additional transactional cell per
-//! node holding the value.  Bit 1 of a chain link is the logical-deletion
-//! mark; bit 0 stays clear for the value-based layout's lock bit, and values
-//! are stored with [`spectm::encode_int`] for the same reason.
+//! node holding the **value word** (inline payload or [`crate::ValueCell`]
+//! pointer; see [`crate::value`]).  Bit 1 of a chain link is the
+//! logical-deletion mark; bit 0 of every stored word stays clear for the
+//! value-based layout's lock bit.
 //!
 //! Operations exist in two shapes, selected by [`ApiMode`]:
 //!
@@ -24,13 +25,21 @@
 //! walks *inside a caller-provided full transaction*, which is what lets
 //! [`crate::ShardedKv::rmw`] compose an atomic multi-key update across
 //! shards.  Removed nodes are retired through the STM's epoch collector.
+//!
+//! **Value-word ownership.**  A value word is owned by the map while it is
+//! stored in a live node, and by exactly one thread the moment a committed
+//! transaction displaces it — the overwriter that replaced it, or the
+//! deleter that unlinked its node.  That owner (and nobody else) reads the
+//! old payload and defers the cell's free through the epoch collector, so
+//! concurrent readers copying bytes out under an epoch pin are always safe.
+//! Nodes therefore never free value words themselves, except in
+//! [`StmHashMap`]'s own `Drop`, where access is exclusive.
 
-use spectm::{
-    decode_int, encode_int, is_marked, mark, unmark, FullTx, Stm, StmThread, TxResult, Word,
-};
+use spectm::{is_marked, mark, unmark, FullTx, Stm, StmThread, TxResult, Word};
 use spectm_ds::ApiMode;
 
-use crate::MAX_VALUE;
+use crate::value::{decode_value, free_value, retire_value};
+use crate::{KvError, RetiredValue, Value, ValueSlot, MAX_VALUE_LEN};
 
 /// A chain node.  The key is immutable after publication; `next` and
 /// `value` are accessed transactionally.
@@ -42,8 +51,9 @@ struct Node<S: Stm> {
 
 /// Outcome of one attempt at the short update-in-place protocol.
 enum ShortUpdate {
-    /// The value was overwritten; holds the previous value.
-    Updated(u64),
+    /// The value word was overwritten; holds the displaced word, now owned
+    /// by this thread.
+    Updated(Word),
     /// The node is logically deleted (still linked); nothing was written.
     Deleted,
     /// Validation or commit failed; search again and retry.
@@ -89,7 +99,9 @@ impl<S: Stm> Drop for NodeSlot<S> {
     fn drop(&mut self) {
         if !self.ptr.is_null() {
             // SAFETY: per the contract above, a non-null pointer at drop time
-            // means the node was never published to the map.
+            // means the node was never published.  Its value word is managed
+            // by the companion `ValueSlot` (nodes never own value words), so
+            // only the node box is freed here.
             drop(unsafe { Box::from_raw(self.ptr) });
         }
     }
@@ -113,28 +125,35 @@ impl<S: Stm> RetiredNode<S> {
         let pin = thread.epoch().pin();
         // SAFETY: the committed transaction unlinked and marked the node, so
         // it is unreachable for new operations; pinned readers are protected
-        // by the epoch.
+        // by the epoch.  The node's value word is retired separately by the
+        // companion `RetiredValue`.
         unsafe { pin.defer_drop(self.ptr) };
     }
 }
 
-/// A transactional hash map from `u64` keys to `u64` values (63 bits; see
-/// [`MAX_VALUE`]).
+/// A transactional hash map from `u64` keys to byte values (at most
+/// [`MAX_VALUE_LEN`] bytes each).
 ///
 /// # Examples
 ///
 /// ```
 /// use spectm::{Stm, variants::ValShort};
 /// use spectm_ds::ApiMode;
-/// use spectm_kv::StmHashMap;
+/// use spectm_kv::{StmHashMap, Value};
 ///
 /// let stm = ValShort::new();
 /// let map = StmHashMap::new(&stm, 64, ApiMode::Short);
 /// let mut thread = stm.register();
-/// assert_eq!(map.put(17, 170, &mut thread), None);
-/// assert_eq!(map.get(17, &mut thread), Some(170));
-/// assert_eq!(map.put(17, 171, &mut thread), Some(170));
-/// assert_eq!(map.del(17, &mut thread), Some(171));
+/// assert_eq!(map.put(17, b"alpha", &mut thread).unwrap(), None);
+/// assert_eq!(map.get(17, &mut thread), Some(Value::new(b"alpha")));
+/// assert_eq!(
+///     map.put(17, b"a longer, out-of-line value", &mut thread).unwrap(),
+///     Some(Value::new(b"alpha"))
+/// );
+/// assert_eq!(
+///     map.del(17, &mut thread),
+///     Some(Value::new(b"a longer, out-of-line value"))
+/// );
 /// assert_eq!(map.get(17, &mut thread), None);
 /// ```
 pub struct StmHashMap<S: Stm> {
@@ -146,7 +165,8 @@ pub struct StmHashMap<S: Stm> {
 
 // SAFETY: raw node pointers inside cells follow the same discipline as the
 // spectm-ds structures: published by CAS/commit, retired via epochs after
-// unlinking, dereferenced only under an epoch pin.
+// unlinking, dereferenced only under an epoch pin.  Value cells follow the
+// ownership rule in the module docs.
 unsafe impl<S: Stm> Send for StmHashMap<S> {}
 // SAFETY: as above.
 unsafe impl<S: Stm> Sync for StmHashMap<S> {}
@@ -157,14 +177,12 @@ fn hash_key(key: u64) -> u64 {
 }
 
 #[inline]
-fn enc(value: u64) -> Word {
-    assert!(value <= MAX_VALUE, "value {value:#x} exceeds 63 bits");
-    encode_int(value as usize)
-}
-
-#[inline]
-fn dec(word: Word) -> u64 {
-    decode_int(word) as u64
+fn check_len(value: &[u8]) -> Result<(), KvError> {
+    if value.len() > MAX_VALUE_LEN {
+        Err(KvError::ValueTooLarge { len: value.len() })
+    } else {
+        Ok(())
+    }
 }
 
 impl<S: Stm> StmHashMap<S> {
@@ -203,16 +221,16 @@ impl<S: Stm> StmHashMap<S> {
         unmark(ptr) as *mut Node<S>
     }
 
-    fn alloc_node(&self, key: u64, value: u64, next: Word) -> *mut Node<S> {
+    fn alloc_node(&self, key: u64, word: Word, next: Word) -> *mut Node<S> {
         Box::into_raw(Box::new(Node {
             key,
-            value: self.stm.new_cell(enc(value)),
+            value: self.stm.new_cell(word),
             next: self.stm.new_cell(next),
         }))
     }
 
     /// Returns the value stored under `key`.
-    pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+    pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
         match self.mode {
             ApiMode::Short => self.get_short(key, thread),
             ApiMode::Full | ApiMode::Fine => self.get_full(key, thread),
@@ -220,36 +238,55 @@ impl<S: Stm> StmHashMap<S> {
     }
 
     /// Stores `value` under `key`, returning the previous value if present.
-    pub fn put(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
-        match self.mode {
-            ApiMode::Short => self.put_short(key, value, thread),
-            ApiMode::Full | ApiMode::Fine => self.put_full(key, value, thread),
-        }
+    pub fn put(
+        &self,
+        key: u64,
+        value: &[u8],
+        thread: &mut S::Thread,
+    ) -> Result<Option<Value>, KvError> {
+        check_len(value)?;
+        let mut slot = ValueSlot::new();
+        Ok(match self.mode {
+            ApiMode::Short => self.put_short(key, value, &mut slot, thread),
+            ApiMode::Full | ApiMode::Fine => self.put_full(key, value, &mut slot, thread),
+        })
     }
 
     /// Overwrites the value under an **existing** `key`, returning the
-    /// previous value; returns `None` (inserting nothing) if the key is
+    /// previous value; returns `Ok(None)` (inserting nothing) if the key is
     /// absent.  The membership-preserving half of [`StmHashMap::put`]: in
     /// Short mode it is the same two-location read-write transaction, never
     /// the insert CAS.
-    pub fn update(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+    pub fn update(
+        &self,
+        key: u64,
+        value: &[u8],
+        thread: &mut S::Thread,
+    ) -> Result<Option<Value>, KvError> {
+        check_len(value)?;
+        let mut slot = ValueSlot::new();
+        Ok(self.update_with_slot(key, value, &mut slot, thread))
+    }
+
+    /// [`StmHashMap::update`] with a caller-provided [`ValueSlot`], so a
+    /// following [`StmHashMap::put_in`] of the same payload reuses the
+    /// encoding (the store's put fast path).  The length must already be
+    /// checked.
+    pub(crate) fn update_with_slot(
+        &self,
+        key: u64,
+        value: &[u8],
+        slot: &mut ValueSlot,
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
         match self.mode {
-            ApiMode::Short => self.update_short(key, value, thread),
-            ApiMode::Full | ApiMode::Fine => thread
-                .atomic(|tx| {
-                    let Some(old) = self.read_in(key, tx)? else {
-                        return Ok(None);
-                    };
-                    let wrote = self.write_in(key, value, tx)?;
-                    debug_assert!(wrote, "key {key} vanished within the transaction");
-                    Ok(Some(old))
-                })
-                .expect("update is never cancelled"),
+            ApiMode::Short => self.update_short(key, value, slot, thread),
+            ApiMode::Full | ApiMode::Fine => self.update_full(key, value, slot, thread),
         }
     }
 
     /// Removes `key`, returning the value it held.
-    pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+    pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
         match self.mode {
             ApiMode::Short => self.del_short(key, thread),
             ApiMode::Full | ApiMode::Fine => self.del_full(key, thread),
@@ -259,7 +296,7 @@ impl<S: Stm> StmHashMap<S> {
     /// Collects every `(key, value)` pair currently present
     /// (non-transactional; only meaningful when no concurrent operations
     /// run).
-    pub fn quiescent_snapshot(&self) -> Vec<(u64, u64)> {
+    pub fn quiescent_snapshot(&self) -> Vec<(u64, Value)> {
         let mut out = Vec::new();
         for head in &self.buckets {
             let mut curr = S::peek(head);
@@ -269,7 +306,9 @@ impl<S: Stm> StmHashMap<S> {
                 let node = unsafe { &*Self::node(curr) };
                 let next = S::peek(&node.next);
                 if !is_marked(next) {
-                    out.push((node.key, dec(S::peek(&node.value))));
+                    // SAFETY: quiescence — the cell cannot be freed
+                    // concurrently.
+                    out.push((node.key, unsafe { decode_value(S::peek(&node.value)) }));
                 }
                 curr = next;
             }
@@ -306,7 +345,7 @@ impl<S: Stm> StmHashMap<S> {
         }
     }
 
-    fn get_short(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+    fn get_short(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
         let mut attempts = 0u32;
         loop {
             if attempts > 0 {
@@ -333,7 +372,9 @@ impl<S: Stm> StmHashMap<S> {
             if is_marked(next) {
                 return None;
             }
-            return Some(dec(value));
+            // SAFETY: `_pin` predates any retirement of the cell behind the
+            // validated word, so it cannot have been freed yet.
+            return Some(unsafe { decode_value(value) });
         }
     }
 
@@ -341,7 +382,7 @@ impl<S: Stm> StmHashMap<S> {
     /// read-write transaction over (next, value).  Reading `next` both
     /// checks liveness and guards against a concurrent remove committing
     /// between the check and the write.  The caller must hold an epoch pin.
-    fn try_update_short(&self, node: &Node<S>, value: u64, thread: &mut S::Thread) -> ShortUpdate {
+    fn try_update_short(&self, node: &Node<S>, word: Word, thread: &mut S::Thread) -> ShortUpdate {
         let next = thread.rw_read(0, &node.next);
         if !thread.rw_is_valid(1) {
             return ShortUpdate::Retry;
@@ -355,14 +396,21 @@ impl<S: Stm> StmHashMap<S> {
         if !thread.rw_is_valid(2) {
             return ShortUpdate::Retry;
         }
-        if thread.rw_commit(2, &[next, enc(value)]) {
-            ShortUpdate::Updated(dec(old))
+        if thread.rw_commit(2, &[next, word]) {
+            ShortUpdate::Updated(old)
         } else {
             ShortUpdate::Retry
         }
     }
 
-    fn put_short(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+    fn put_short(
+        &self,
+        key: u64,
+        value: &[u8],
+        slot: &mut ValueSlot,
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        let word = slot.encode_once(value);
         let mut new_node: *mut Node<S> = std::ptr::null_mut();
         let mut attempts = 0u32;
         loop {
@@ -376,13 +424,20 @@ impl<S: Stm> StmHashMap<S> {
                 // SAFETY: protected by the epoch pin.
                 let node = unsafe { &*Self::node(curr) };
                 if node.key == key {
-                    match self.try_update_short(node, value, thread) {
+                    match self.try_update_short(node, word, thread) {
                         ShortUpdate::Updated(old) => {
+                            slot.mark_published();
                             if !new_node.is_null() {
-                                // SAFETY: never published.
+                                // SAFETY: never published; the value word it
+                                // references is now owned by the map.
                                 drop(unsafe { Box::from_raw(new_node) });
                             }
-                            return Some(old);
+                            // SAFETY: the committed overwrite displaced
+                            // `old`, making this thread its exclusive owner.
+                            let previous = unsafe { decode_value(old) };
+                            // SAFETY: as above; pinned readers are protected.
+                            unsafe { retire_value(old, &pin) };
+                            return Some(previous);
                         }
                         // Deleted: wait for the remover to unlink, then
                         // insert fresh.  Either way, retry the search.
@@ -394,7 +449,7 @@ impl<S: Stm> StmHashMap<S> {
                 }
             }
             if new_node.is_null() {
-                new_node = self.alloc_node(key, value, curr);
+                new_node = self.alloc_node(key, word, curr);
             } else {
                 // SAFETY: still private to this thread.
                 let node = unsafe { &*new_node };
@@ -402,6 +457,7 @@ impl<S: Stm> StmHashMap<S> {
             }
             // Publish with a single-location CAS.
             if thread.single_cas(prev, curr, new_node as Word) == curr {
+                slot.mark_published();
                 return None;
             }
         }
@@ -410,7 +466,14 @@ impl<S: Stm> StmHashMap<S> {
     /// Short-mode update-only path: the found-node branch of `put_short`
     /// (the same [`StmHashMap::try_update_short`] protocol) without the
     /// insert fallback.
-    fn update_short(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+    fn update_short(
+        &self,
+        key: u64,
+        value: &[u8],
+        slot: &mut ValueSlot,
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        let word = slot.encode_once(value);
         let mut attempts = 0u32;
         loop {
             if attempts > 0 {
@@ -427,8 +490,16 @@ impl<S: Stm> StmHashMap<S> {
             if node.key != key {
                 return None;
             }
-            match self.try_update_short(node, value, thread) {
-                ShortUpdate::Updated(old) => return Some(old),
+            match self.try_update_short(node, word, thread) {
+                ShortUpdate::Updated(old) => {
+                    slot.mark_published();
+                    // SAFETY: the committed overwrite displaced `old`,
+                    // making this thread its exclusive owner.
+                    let previous = unsafe { decode_value(old) };
+                    // SAFETY: as above; pinned readers are protected.
+                    unsafe { retire_value(old, &pin) };
+                    return Some(previous);
+                }
                 // Logically deleted: the key is absent for this operation.
                 ShortUpdate::Deleted => return None,
                 ShortUpdate::Retry => {
@@ -438,7 +509,7 @@ impl<S: Stm> StmHashMap<S> {
         }
     }
 
-    fn del_short(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+    fn del_short(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
         let mut attempts = 0u32;
         loop {
             if attempts > 0 {
@@ -486,7 +557,13 @@ impl<S: Stm> StmHashMap<S> {
                 // SAFETY: the node is now unlinked and marked; new
                 // traversals cannot reach it, pinned readers are protected.
                 unsafe { pin.defer_drop(Self::node(curr)) };
-                return Some(dec(value));
+                // SAFETY: the committed delete made this thread the value
+                // word's exclusive owner (no overwrite can touch a marked
+                // node).
+                let previous = unsafe { decode_value(value) };
+                // SAFETY: as above.
+                unsafe { retire_value(value, &pin) };
+                return Some(previous);
             }
             drop(pin);
         }
@@ -496,7 +573,7 @@ impl<S: Stm> StmHashMap<S> {
     // Traditional-transaction implementation
     // ------------------------------------------------------------------
 
-    fn get_full(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+    fn get_full(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
         thread
             .atomic(|tx| self.read_in(key, tx))
             .expect("get_full is never cancelled")
@@ -504,14 +581,16 @@ impl<S: Stm> StmHashMap<S> {
 
     /// Body of a full-mode insert-or-update inside the caller's transaction.
     /// `new_node` is the lazily filled allocation slot, reused across
-    /// conflict retries.
+    /// conflict retries; `word` is the pre-encoded value word.  Returns the
+    /// displaced word on overwrite (owned by the caller once the
+    /// transaction commits).
     fn put_body(
         &self,
         key: u64,
-        value: u64,
+        word: Word,
         new_node: &mut *mut Node<S>,
         tx: &mut FullTx<'_, S::Thread>,
-    ) -> TxResult<Option<u64>> {
+    ) -> TxResult<Option<Word>> {
         let mut prev_cell: &S::Cell = self.bucket(key);
         let mut curr = unmark(tx.read(prev_cell)?);
         loop {
@@ -525,8 +604,8 @@ impl<S: Stm> StmHashMap<S> {
                         return tx.restart();
                     }
                     let old = tx.read(&node.value)?;
-                    tx.write(&node.value, enc(value))?;
-                    return Ok(Some(dec(old)));
+                    tx.write(&node.value, word)?;
+                    return Ok(Some(old));
                 }
                 if node.key < key {
                     prev_cell = &node.next;
@@ -536,57 +615,112 @@ impl<S: Stm> StmHashMap<S> {
             }
             // Allocate lazily, once, and reuse across retries.
             if new_node.is_null() {
-                *new_node = self.alloc_node(key, value, curr);
+                *new_node = self.alloc_node(key, word, curr);
             }
             // SAFETY: still private until the commit publishes it.
             let node = unsafe { &**new_node };
             S::poke(&node.next, curr);
-            S::poke(&node.value, enc(value));
+            S::poke(&node.value, word);
             tx.write(prev_cell, *new_node as Word)?;
             return Ok(None);
         }
     }
 
-    fn put_full(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+    fn put_full(
+        &self,
+        key: u64,
+        value: &[u8],
+        slot: &mut ValueSlot,
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        let word = slot.encode_once(value);
         let mut new_node: *mut Node<S> = std::ptr::null_mut();
         let previous = thread
-            .atomic(|tx| self.put_body(key, value, &mut new_node, tx))
+            .atomic(|tx| self.put_body(key, word, &mut new_node, tx))
             .expect("put_full is never cancelled");
-        if previous.is_some() && !new_node.is_null() {
-            // SAFETY: never published (the committed outcome was an update).
-            drop(unsafe { Box::from_raw(new_node) });
+        // Whether by insert or by overwrite, the committed attempt stored
+        // the slot's word.
+        slot.mark_published();
+        previous.map(|old| {
+            if !new_node.is_null() {
+                // SAFETY: never published (the committed outcome was an
+                // update); its value word now lives in the existing node.
+                drop(unsafe { Box::from_raw(new_node) });
+            }
+            let pin = thread.epoch().pin();
+            // SAFETY: the committed overwrite displaced `old`, making this
+            // thread its exclusive owner; pinned readers are protected.
+            let out = unsafe { decode_value(old) };
+            // SAFETY: as above.
+            unsafe { retire_value(old, &pin) };
+            out
+        })
+    }
+
+    /// Full-mode update-only path: one transaction running the
+    /// [`StmHashMap::write_in`] walk.
+    fn update_full(
+        &self,
+        key: u64,
+        value: &[u8],
+        slot: &mut ValueSlot,
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        let mut displaced: Option<RetiredValue> = None;
+        let wrote = thread
+            .atomic(|tx| {
+                displaced = None;
+                displaced = self.write_in(key, value, slot, tx)?;
+                Ok(displaced.is_some())
+            })
+            .expect("update is never cancelled");
+        if !wrote {
+            return None;
         }
-        previous
+        slot.mark_published();
+        let displaced = displaced.take().expect("wrote implies a displaced word");
+        let out = displaced.value();
+        displaced.retire(thread.epoch());
+        Some(out)
     }
 
     /// Inserts or updates `key` inside an already-running full transaction,
-    /// regardless of this instance's [`ApiMode`].  Returns the previous
+    /// regardless of this instance's [`ApiMode`].  Returns the displaced old
     /// value (`None` means a fresh node was inserted).
     ///
     /// `slot` carries the speculative node allocation across conflict
-    /// retries of the enclosing transaction; see [`NodeSlot`] for the
-    /// publication contract.
+    /// retries of the enclosing transaction (see [`NodeSlot`] for the
+    /// publication contract) and `value_slot` the value word likewise (mark
+    /// it published after **any** committed outcome — insert and overwrite
+    /// both store the word).  A returned [`RetiredValue`] must be retired
+    /// after the commit, per its contract.  `value` must be at most
+    /// [`MAX_VALUE_LEN`] bytes (checked by the public entry points).
     pub fn put_in(
         &self,
         key: u64,
-        value: u64,
+        value: &[u8],
+        value_slot: &mut ValueSlot,
         slot: &mut NodeSlot<S>,
         tx: &mut FullTx<'_, S::Thread>,
-    ) -> TxResult<Option<u64>> {
+    ) -> TxResult<Option<RetiredValue>> {
+        debug_assert!(value.len() <= MAX_VALUE_LEN);
         if !slot.ptr.is_null() {
             // SAFETY: the slot's node is still private to this thread.
             debug_assert_eq!(unsafe { (*slot.ptr).key }, key, "one NodeSlot per key");
         }
-        self.put_body(key, value, &mut slot.ptr, tx)
+        let word = value_slot.encode_once(value);
+        Ok(self
+            .put_body(key, word, &mut slot.ptr, tx)?
+            .map(RetiredValue::new))
     }
 
     /// Body of a full-mode delete inside the caller's transaction.  Returns
-    /// the captured value and the unlinked node pointer.
+    /// the captured value word and the unlinked node pointer.
     fn del_body(
         &self,
         key: u64,
         tx: &mut FullTx<'_, S::Thread>,
-    ) -> TxResult<Option<(u64, *mut Node<S>)>> {
+    ) -> TxResult<Option<(Word, *mut Node<S>)>> {
         let mut prev_cell: &S::Cell = self.bucket(key);
         let mut curr = unmark(tx.read(prev_cell)?);
         loop {
@@ -606,14 +740,14 @@ impl<S: Stm> StmHashMap<S> {
                 let value = tx.read(&node.value)?;
                 tx.write(prev_cell, unmark(next))?;
                 tx.write(&node.next, mark(next))?;
-                return Ok(Some((dec(value), Self::node(curr))));
+                return Ok(Some((value, Self::node(curr))));
             }
             prev_cell = &node.next;
             curr = unmark(tx.read(prev_cell)?);
         }
     }
 
-    fn del_full(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+    fn del_full(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
         let removed = thread
             .atomic(|tx| self.del_body(key, tx))
             .expect("del_full is never cancelled");
@@ -622,22 +756,28 @@ impl<S: Stm> StmHashMap<S> {
             // SAFETY: the committed transaction unlinked and marked the
             // node; it is unreachable for new transactions.
             unsafe { pin.defer_drop(unlinked) };
-            value
+            // SAFETY: the committed delete made this thread the value
+            // word's exclusive owner.
+            let out = unsafe { decode_value(value) };
+            // SAFETY: as above.
+            unsafe { retire_value(value, &pin) };
+            out
         })
     }
 
     /// Removes `key` inside an already-running full transaction, regardless
     /// of this instance's [`ApiMode`].  Returns the captured value and the
-    /// unlinked node (to be retired **after** the transaction commits; see
-    /// [`RetiredNode`]), or `None` if the key was absent.
+    /// unlinked node (both to be retired **after** the transaction commits;
+    /// see [`RetiredValue`] and [`RetiredNode`]), or `None` if the key was
+    /// absent.
     pub fn del_in(
         &self,
         key: u64,
         tx: &mut FullTx<'_, S::Thread>,
-    ) -> TxResult<Option<(u64, RetiredNode<S>)>> {
+    ) -> TxResult<Option<(RetiredValue, RetiredNode<S>)>> {
         Ok(self
             .del_body(key, tx)?
-            .map(|(value, ptr)| (value, RetiredNode { ptr })))
+            .map(|(value, ptr)| (RetiredValue::new(value), RetiredNode { ptr })))
     }
 
     // ------------------------------------------------------------------
@@ -646,7 +786,7 @@ impl<S: Stm> StmHashMap<S> {
 
     /// Reads the value under `key` inside an already-running full
     /// transaction (the building block of cross-shard read-modify-write).
-    pub fn read_in(&self, key: u64, tx: &mut FullTx<'_, S::Thread>) -> TxResult<Option<u64>> {
+    pub fn read_in(&self, key: u64, tx: &mut FullTx<'_, S::Thread>) -> TxResult<Option<Value>> {
         let mut curr = unmark(tx.read(self.bucket(key))?);
         loop {
             if curr == 0 {
@@ -659,7 +799,10 @@ impl<S: Stm> StmHashMap<S> {
                 if is_marked(tx.read(&node.next)?) {
                     return Ok(None);
                 }
-                return Ok(Some(dec(tx.read(&node.value)?)));
+                let word = tx.read(&node.value)?;
+                // SAFETY: the attempt's epoch pin predates any retirement
+                // of the cell behind a word this read validated.
+                return Ok(Some(unsafe { decode_value(word) }));
             }
             if node.key > key {
                 return Ok(None);
@@ -669,26 +812,41 @@ impl<S: Stm> StmHashMap<S> {
     }
 
     /// Overwrites the value under an **existing** `key` inside an
-    /// already-running full transaction.  Returns `false` (writing nothing)
-    /// if the key is absent; insertion under a composed transaction is not
-    /// supported.
-    pub fn write_in(&self, key: u64, value: u64, tx: &mut FullTx<'_, S::Thread>) -> TxResult<bool> {
+    /// already-running full transaction.  Returns `Ok(None)` (writing
+    /// nothing) if the key is absent; insertion under a composed transaction
+    /// goes through [`StmHashMap::put_in`].
+    ///
+    /// `slot` is re-encoded on every call (freeing the previous attempt's
+    /// unpublished allocation), so retried bodies may pass different
+    /// payloads.  After the enclosing transaction commits, mark the slot
+    /// published and retire the returned [`RetiredValue`]; on abort, drop
+    /// both.  `value` must be at most [`MAX_VALUE_LEN`] bytes (checked by
+    /// the public entry points).
+    pub fn write_in(
+        &self,
+        key: u64,
+        value: &[u8],
+        slot: &mut ValueSlot,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Option<RetiredValue>> {
+        debug_assert!(value.len() <= MAX_VALUE_LEN);
         let mut curr = unmark(tx.read(self.bucket(key))?);
         loop {
             if curr == 0 {
-                return Ok(false);
+                return Ok(None);
             }
             // SAFETY: see `read_in`.
             let node = unsafe { &*Self::node(curr) };
             if node.key == key {
                 if is_marked(tx.read(&node.next)?) {
-                    return Ok(false);
+                    return Ok(None);
                 }
-                tx.write(&node.value, enc(value))?;
-                return Ok(true);
+                let old = tx.read(&node.value)?;
+                tx.write(&node.value, slot.encode(value))?;
+                return Ok(Some(RetiredValue::new(old)));
             }
             if node.key > key {
-                return Ok(false);
+                return Ok(None);
             }
             curr = unmark(tx.read(&node.next)?);
         }
@@ -697,13 +855,17 @@ impl<S: Stm> StmHashMap<S> {
 
 impl<S: Stm> Drop for StmHashMap<S> {
     fn drop(&mut self) {
-        // Exclusive access: free every remaining node directly.
+        // Exclusive access: free every remaining node, and its value cell,
+        // directly.
         for head in &self.buckets {
             let mut curr = S::peek(head);
             while unmark(curr) != 0 {
                 // SAFETY: nodes were allocated with `Box::into_raw`; during
                 // drop nothing else references them.
                 let node = unsafe { Box::from_raw(Self::node(curr)) };
+                // SAFETY: exclusive access; the word is still owned by the
+                // map, so nobody else will free it.
+                unsafe { free_value(S::peek(&node.value)) };
                 curr = S::peek(&node.next);
             }
         }
@@ -716,10 +878,19 @@ mod tests {
     use spectm::variants::{OrecFullG, TvarShortG, ValShort};
     use std::collections::BTreeMap;
 
+    /// Deterministic payload whose length scales with the draw, crossing
+    /// the inline-bytes (≤7), inline-int (8) and out-of-line regimes.
+    fn payload(k: u64, v: u64) -> Vec<u8> {
+        let len = (v % 40) as usize;
+        (0..len)
+            .map(|i| (k as u8).wrapping_mul(31) ^ (v as u8).wrapping_add(i as u8))
+            .collect()
+    }
+
     fn oracle_test<S: Stm + Clone>(stm: S, mode: ApiMode) {
         let map = StmHashMap::new(&stm, 32, mode);
         let mut t = stm.register();
-        let mut oracle = BTreeMap::new();
+        let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         let mut state = 88172645463325252u64;
         let mut rng = move || {
             state ^= state << 13;
@@ -730,15 +901,22 @@ mod tests {
         for _ in 0..2_000 {
             let k = rng() % 200;
             let v = rng() >> 2;
+            let bytes = payload(k, v);
             match rng() % 3 {
-                0 => assert_eq!(map.put(k, v, &mut t), oracle.insert(k, v)),
-                1 => assert_eq!(map.del(k, &mut t), oracle.remove(&k)),
-                _ => assert_eq!(map.get(k, &mut t), oracle.get(&k).copied()),
+                0 => assert_eq!(
+                    map.put(k, &bytes, &mut t).unwrap(),
+                    oracle.insert(k, bytes.clone()).map(Value::from)
+                ),
+                1 => assert_eq!(map.del(k, &mut t), oracle.remove(&k).map(Value::from)),
+                _ => assert_eq!(map.get(k, &mut t), oracle.get(&k).map(|b| Value::new(b))),
             }
         }
         assert_eq!(
             map.quiescent_snapshot(),
-            oracle.into_iter().collect::<Vec<_>>()
+            oracle
+                .into_iter()
+                .map(|(k, v)| (k, Value::from(v)))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -752,38 +930,90 @@ mod tests {
     }
 
     #[test]
+    fn update_overwrites_only_existing_keys() {
+        for mode in [ApiMode::Short, ApiMode::Full] {
+            let stm = ValShort::new();
+            let map = StmHashMap::new(&stm, 16, mode);
+            let mut t = stm.register();
+            assert_eq!(map.update(5, b"nope", &mut t).unwrap(), None, "{mode:?}");
+            assert_eq!(map.get(5, &mut t), None, "update must not insert");
+            map.put(5, b"first", &mut t).unwrap();
+            assert_eq!(
+                map.update(5, &[9u8; 100], &mut t).unwrap(),
+                Some(Value::new(b"first")),
+                "{mode:?}"
+            );
+            assert_eq!(map.get(5, &mut t), Some(Value::new(&[9u8; 100])));
+        }
+    }
+
+    #[test]
     fn in_tx_helpers_compose_reads_and_writes() {
         let stm = ValShort::new();
         let map = StmHashMap::new(&stm, 32, ApiMode::Short);
         let mut t = stm.register();
-        map.put(1, 100, &mut t);
-        map.put(2, 200, &mut t);
+        map.put(1, &100u64.to_le_bytes(), &mut t).unwrap();
+        map.put(2, &200u64.to_le_bytes(), &mut t).unwrap();
+        let mut slot_a = ValueSlot::new();
+        let mut slot_b = ValueSlot::new();
+        let mut displaced: Vec<RetiredValue> = Vec::new();
         let moved = t
             .atomic(|tx| {
-                let a = map.read_in(1, tx)?.expect("key 1 present");
-                let b = map.read_in(2, tx)?.expect("key 2 present");
-                map.write_in(1, a - 50, tx)?;
-                map.write_in(2, b + 50, tx)?;
+                displaced.clear();
+                let a = map.read_in(1, tx)?.expect("key 1 present").as_u64();
+                let b = map.read_in(2, tx)?.expect("key 2 present").as_u64();
+                let wrote_a = map.write_in(1, &(a - 50).to_le_bytes(), &mut slot_a, tx)?;
+                let wrote_b = map.write_in(2, &(b + 50).to_le_bytes(), &mut slot_b, tx)?;
+                displaced.extend(wrote_a);
+                displaced.extend(wrote_b);
                 Ok(a + b)
             })
             .unwrap();
+        slot_a.mark_published();
+        slot_b.mark_published();
+        assert_eq!(displaced.len(), 2);
+        for d in displaced.drain(..) {
+            d.retire(t.epoch());
+        }
         assert_eq!(moved, 300);
-        assert_eq!(map.get(1, &mut t), Some(50));
-        assert_eq!(map.get(2, &mut t), Some(250));
+        assert_eq!(map.get(1, &mut t).unwrap().as_u64(), 50);
+        assert_eq!(map.get(2, &mut t).unwrap().as_u64(), 250);
         // Absent keys read as None / refuse the write.
+        let mut slot = ValueSlot::new();
         let (missing, wrote) = t
-            .atomic(|tx| Ok((map.read_in(9, tx)?, map.write_in(9, 1, tx)?)))
+            .atomic(|tx| {
+                Ok((
+                    map.read_in(9, tx)?,
+                    map.write_in(9, b"x", &mut slot, tx)?.is_some(),
+                ))
+            })
             .unwrap();
         assert_eq!(missing, None);
         assert!(!wrote);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds 63 bits")]
     fn oversized_values_are_rejected() {
         let stm = ValShort::new();
         let map = StmHashMap::new(&stm, 8, ApiMode::Short);
         let mut t = stm.register();
-        map.put(1, u64::MAX, &mut t);
+        let huge = vec![0u8; MAX_VALUE_LEN + 1];
+        assert_eq!(
+            map.put(1, &huge, &mut t),
+            Err(KvError::ValueTooLarge {
+                len: MAX_VALUE_LEN + 1
+            })
+        );
+        assert_eq!(map.get(1, &mut t), None, "rejected put must write nothing");
+        assert_eq!(
+            map.update(1, &huge, &mut t),
+            Err(KvError::ValueTooLarge {
+                len: MAX_VALUE_LEN + 1
+            })
+        );
+        // The boundary itself is accepted.
+        let max = vec![7u8; MAX_VALUE_LEN];
+        assert_eq!(map.put(1, &max, &mut t).unwrap(), None);
+        assert_eq!(map.get(1, &mut t), Some(Value::new(&max)));
     }
 }

@@ -59,6 +59,93 @@ mod tests {
         }
     }
 
+    /// Gray-method zipfian rank sampler (the YCSB draw), self-contained so
+    /// the router crate needs no harness dependency.
+    struct Zipf {
+        n: u64,
+        theta: f64,
+        alpha: f64,
+        zetan: f64,
+        eta: f64,
+    }
+
+    impl Zipf {
+        fn new(n: u64, theta: f64) -> Self {
+            let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let zeta2 = 1.0 + 0.5f64.powf(theta);
+            Self {
+                n,
+                theta,
+                alpha: 1.0 / (1.0 - theta),
+                zetan,
+                eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            }
+        }
+
+        fn sample(&self, u: f64) -> u64 {
+            let uz = u * self.zetan;
+            if uz < 1.0 {
+                return 0;
+            }
+            if uz < 1.0 + 0.5f64.powf(self.theta) {
+                return 1;
+            }
+            let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+            rank.min(self.n - 1)
+        }
+    }
+
+    /// Guards the multiplicative-hash constant in [`ShardRouter::route`]:
+    /// one million sequential keys (the YCSB loader's key space) and one
+    /// million scrambled-zipfian draws (its runtime skew) must both spread
+    /// across 16 shards within a sane bound of the uniform fair share.
+    #[test]
+    fn million_key_loads_stay_near_uniform() {
+        const SHARDS: usize = 16;
+        const DRAWS: u64 = 1_000_000;
+        let router = ShardRouter::new(SHARDS);
+        let fair = (DRAWS as usize) / SHARDS;
+
+        // Sequential keys: the loader inserts 0..n densely, so any aliasing
+        // between the hash constant and small strides would starve shards.
+        let mut counts = [0usize; SHARDS];
+        for key in 0..DRAWS {
+            counts[router.route(key)] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                c > fair / 2 && c < fair * 2,
+                "sequential: shard {shard} got {c} of {DRAWS} (fair {fair})"
+            );
+        }
+
+        // Scrambled zipfian (theta 0.99, the YCSB default): the hottest
+        // single key carries ~6.5% of all draws by itself, so the shard it
+        // lands on legitimately exceeds the 6.25% fair share — but no shard
+        // may collect a pile-up of hot keys beyond a small multiple of it.
+        let zipf = Zipf::new(DRAWS, 0.99);
+        let mut counts = [0usize; SHARDS];
+        let mut state = 0x9E37_79B9_97F4_A7C1u64;
+        for _ in 0..DRAWS {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let key = zipf.sample(u).wrapping_mul(0x9E37_79B9_7F4A_7C15) % DRAWS;
+            counts[router.route(key)] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                c < fair * 4,
+                "zipfian: shard {shard} got {c} of {DRAWS} (fair {fair})"
+            );
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "zipfian draws left a shard idle"
+        );
+    }
+
     proptest! {
         #[test]
         fn route_is_always_in_range(key in 0u64..u64::MAX, shards in 1usize..64) {

@@ -21,19 +21,26 @@
 //! atomically consistent snapshot even against concurrent cross-shard
 //! `rmw`.  DESIGN.md § "The ordered index and range scans" has the full
 //! argument.
+//!
+//! Values are byte payloads behind value words (inline or epoch-reclaimed
+//! [`crate::ValueCell`]s); every operation that displaces a word retires it
+//! through the epoch collector after its transaction commits, per the
+//! [`crate::RetiredValue`] contract.
 
 use spectm::{Stm, StmThread};
 use spectm_ds::{ApiMode, StmSkipList, TowerSlot};
 
 use crate::map::{NodeSlot, StmHashMap};
 use crate::router::ShardRouter;
+use crate::value::{RetiredValue, Value, ValueSlot, MAX_VALUE_LEN};
+use crate::KvError;
 
 /// Maximum number of keys one [`ShardedKv::rmw`] / [`ShardedKv::multi_get`]
-/// may touch (bounds the fixed-size value buffer; full transactions
+/// may touch (bounds the per-transaction slot buffers; full transactions
 /// themselves have no such limit).
 pub const MAX_RMW_KEYS: usize = 8;
 
-/// A sharded, concurrent `u64 -> u64` store over one STM instance.
+/// A sharded, concurrent `u64 -> bytes` store over one STM instance.
 ///
 /// See the crate docs for an example.
 pub struct ShardedKv<S: Stm + Clone> {
@@ -97,20 +104,21 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// ```
     /// use spectm::{Stm, variants::ValShort};
     /// use spectm_ds::ApiMode;
-    /// use spectm_kv::ShardedKv;
+    /// use spectm_kv::{ShardedKv, Value};
     ///
     /// let stm = ValShort::new();
     /// let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
     /// let mut thread = store.register();
     /// assert_eq!(store.get(7, &mut thread), None);
-    /// store.put(7, 70, &mut thread);
-    /// assert_eq!(store.get(7, &mut thread), Some(70));
+    /// store.put(7, b"seventy", &mut thread).unwrap();
+    /// assert_eq!(store.get(7, &mut thread), Some(Value::new(b"seventy")));
     /// ```
-    pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+    pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
         self.shard(key).get(key, thread)
     }
 
-    /// Stores `value` under `key`, returning the previous value if present.
+    /// Stores `value` under `key`, returning the previous value if present,
+    /// or [`KvError::ValueTooLarge`] for payloads beyond [`MAX_VALUE_LEN`].
     ///
     /// Overwriting an existing key is a short transaction on the owning
     /// shard (the hot path); inserting an absent key runs one full
@@ -122,20 +130,33 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// ```
     /// use spectm::{Stm, variants::ValShort};
     /// use spectm_ds::ApiMode;
-    /// use spectm_kv::ShardedKv;
+    /// use spectm_kv::{ShardedKv, Value};
     ///
     /// let stm = ValShort::new();
     /// let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
     /// let mut thread = store.register();
-    /// assert_eq!(store.put(1, 10, &mut thread), None);       // insert
-    /// assert_eq!(store.put(1, 11, &mut thread), Some(10));   // overwrite
+    /// assert_eq!(store.put(1, b"ten", &mut thread).unwrap(), None); // insert
+    /// assert_eq!(
+    ///     store.put(1, b"eleven", &mut thread).unwrap(),            // overwrite
+    ///     Some(Value::new(b"ten"))
+    /// );
     /// ```
-    pub fn put(&self, key: u64, value: u64, thread: &mut S::Thread) -> Option<u64> {
+    pub fn put(
+        &self,
+        key: u64,
+        value: &[u8],
+        thread: &mut S::Thread,
+    ) -> Result<Option<Value>, KvError> {
+        if value.len() > MAX_VALUE_LEN {
+            return Err(KvError::ValueTooLarge { len: value.len() });
+        }
         let shard = self.router.route(key);
+        let mut value_slot = ValueSlot::new();
         // Fast path: overwrite an existing key — membership (and thus the
         // ordered index) is unchanged.
-        if let Some(old) = self.shards[shard].update(key, value, thread) {
-            return Some(old);
+        if let Some(old) = self.shards[shard].update_with_slot(key, value, &mut value_slot, thread)
+        {
+            return Ok(Some(old));
         }
         // Slow path: the key looked absent — insert it into the hash map
         // and the index in one transaction.  A concurrent insert may win
@@ -143,66 +164,83 @@ impl<S: Stm + Clone> ShardedKv<S> {
         // and the index is left alone.
         let mut node_slot = NodeSlot::new();
         let mut tower_slot = TowerSlot::new();
-        let previous = thread
+        let mut displaced: Option<RetiredValue> = None;
+        let inserted = thread
             .atomic(|tx| {
-                let previous = self.shards[shard].put_in(key, value, &mut node_slot, tx)?;
-                if previous.is_none() {
+                displaced = None;
+                displaced =
+                    self.shards[shard].put_in(key, value, &mut value_slot, &mut node_slot, tx)?;
+                if displaced.is_none() {
                     let linked = self.indexes[shard].insert_in(key, 0, &mut tower_slot, tx)?;
                     debug_assert!(linked, "key {key} was in the index but not the shard");
                 }
-                Ok(previous)
+                Ok(displaced.is_none())
             })
             .expect("put is never cancelled");
-        if previous.is_none() {
+        // Insert or degraded overwrite, the committed attempt stored the
+        // value word.
+        value_slot.mark_published();
+        if inserted {
             node_slot.mark_published();
             tower_slot.mark_published();
+            Ok(None)
+        } else {
+            let displaced = displaced.take().expect("overwrite displaced a word");
+            let old = displaced.value();
+            displaced.retire(thread.epoch());
+            Ok(Some(old))
         }
-        previous
     }
 
     /// Removes `key`, returning the value it held.  One full transaction
     /// unlinks the key from the owning shard's hash map **and** its ordered
-    /// index together, preserving the index invariant.
-    pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<u64> {
+    /// index together, preserving the index invariant; the node and its
+    /// value cell are then retired through the epoch collector.
+    pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
         let shard = self.router.route(key);
-        let mut retired_node = None;
+        let mut removed = None;
         let mut retired_tower = None;
-        let removed = thread
+        let found = thread
             .atomic(|tx| {
-                retired_node = None;
+                removed = None;
                 retired_tower = None;
                 let Some((value, node)) = self.shards[shard].del_in(key, tx)? else {
-                    return Ok(None);
+                    return Ok(false);
                 };
-                retired_node = Some(node);
+                removed = Some((value, node));
                 retired_tower = self.indexes[shard].remove_in(key, tx)?;
                 debug_assert!(
                     retired_tower.is_some(),
                     "key {key} was in the shard but not the index"
                 );
-                Ok(Some(value))
+                Ok(true)
             })
             .expect("del is never cancelled");
-        if removed.is_some() {
-            if let Some(node) = retired_node {
-                node.retire(thread);
-            }
-            if let Some(tower) = retired_tower {
-                tower.retire(thread);
-            }
+        if !found {
+            return None;
         }
-        removed
+        let (value, node) = removed.take().expect("committed delete captured a node");
+        let out = value.value();
+        value.retire(thread.epoch());
+        node.retire(thread);
+        if let Some(tower) = retired_tower {
+            tower.retire(thread);
+        }
+        Some(out)
     }
 
     /// Atomically reads every key in `keys` inside one full transaction
-    /// spanning the owning shards.  Returns `None` if any key is absent.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `keys.len() > MAX_RMW_KEYS`.
-    pub fn multi_get(&self, keys: &[u64], thread: &mut S::Thread) -> Option<Vec<u64>> {
-        assert!(keys.len() <= MAX_RMW_KEYS, "at most {MAX_RMW_KEYS} keys");
-        thread
+    /// spanning the owning shards.  Returns `Ok(None)` if any key is
+    /// absent, or [`KvError::TooManyKeys`] beyond [`MAX_RMW_KEYS`] keys.
+    pub fn multi_get(
+        &self,
+        keys: &[u64],
+        thread: &mut S::Thread,
+    ) -> Result<Option<Vec<Value>>, KvError> {
+        if keys.len() > MAX_RMW_KEYS {
+            return Err(KvError::TooManyKeys { len: keys.len() });
+        }
+        Ok(thread
             .atomic(|tx| {
                 let mut vals = Vec::with_capacity(keys.len());
                 for &key in keys {
@@ -213,56 +251,90 @@ impl<S: Stm + Clone> ShardedKv<S> {
                 }
                 Ok(Some(vals))
             })
-            .expect("multi_get is never cancelled")
+            .expect("multi_get is never cancelled"))
     }
 
     /// Atomically reads every key in `keys`, lets `update` rewrite the
     /// values in place, and writes them back — one full transaction spanning
     /// the owning shards, serializable with all concurrent operations.
     ///
-    /// Returns `false` (writing nothing) if any key is absent.  `update` may
-    /// be invoked multiple times (once per conflict retry) and must be pure
-    /// with respect to everything but its argument.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `keys.len() > MAX_RMW_KEYS`.
-    pub fn rmw<F>(&self, keys: &[u64], mut update: F, thread: &mut S::Thread) -> bool
+    /// Returns `Ok(false)` (writing nothing) if any key is absent,
+    /// [`KvError::TooManyKeys`] beyond [`MAX_RMW_KEYS`] keys, and
+    /// [`KvError::ValueTooLarge`] (writing nothing) if `update` produces a
+    /// value beyond [`MAX_VALUE_LEN`].  `update` may be invoked multiple
+    /// times (once per conflict retry) and must be pure with respect to
+    /// everything but its argument.
+    pub fn rmw<F>(
+        &self,
+        keys: &[u64],
+        mut update: F,
+        thread: &mut S::Thread,
+    ) -> Result<bool, KvError>
     where
-        F: FnMut(&mut [u64]),
+        F: FnMut(&mut [Value]),
     {
-        assert!(keys.len() <= MAX_RMW_KEYS, "at most {MAX_RMW_KEYS} keys");
-        thread
-            .atomic(|tx| {
-                let mut vals = [0u64; MAX_RMW_KEYS];
-                let vals = &mut vals[..keys.len()];
-                for (slot, &key) in vals.iter_mut().zip(keys) {
-                    match self.shard(key).read_in(key, tx)? {
-                        Some(v) => *slot = v,
-                        None => return Ok(false),
-                    }
+        if keys.len() > MAX_RMW_KEYS {
+            return Err(KvError::TooManyKeys { len: keys.len() });
+        }
+        let mut slots: Vec<ValueSlot> = (0..keys.len()).map(|_| ValueSlot::new()).collect();
+        let mut displaced: Vec<RetiredValue> = Vec::with_capacity(keys.len());
+        let mut oversize: Option<usize> = None;
+        let outcome = thread.atomic(|tx| {
+            displaced.clear();
+            let mut vals = Vec::with_capacity(keys.len());
+            for &key in keys {
+                match self.shard(key).read_in(key, tx)? {
+                    Some(v) => vals.push(v),
+                    None => return Ok(false),
                 }
-                update(vals);
-                for (slot, &key) in vals.iter().zip(keys) {
-                    // The key was read above inside this same transaction,
-                    // so the write cannot miss (opacity keeps the chain
-                    // stable for the duration of the attempt).
-                    let wrote = self.shard(key).write_in(key, *slot, tx)?;
-                    debug_assert!(wrote, "key {key} vanished within the transaction");
+            }
+            update(&mut vals);
+            if let Some(v) = vals.iter().find(|v| v.len() > MAX_VALUE_LEN) {
+                oversize = Some(v.len());
+                return tx.cancel();
+            }
+            for ((slot, &key), val) in slots.iter_mut().zip(keys).zip(&vals) {
+                // The key was read above inside this same transaction, so
+                // the write cannot miss (opacity keeps the chain stable for
+                // the duration of the attempt).
+                let old = self.shard(key).write_in(key, val, slot, tx)?;
+                debug_assert!(old.is_some(), "key {key} vanished within the transaction");
+                displaced.extend(old);
+            }
+            Ok(true)
+        });
+        match outcome {
+            None => Err(KvError::ValueTooLarge {
+                len: oversize.expect("cancel implies an oversized value"),
+            }),
+            Some(false) => Ok(false),
+            Some(true) => {
+                for slot in &mut slots {
+                    slot.mark_published();
+                }
+                for old in displaced.drain(..) {
+                    old.retire(thread.epoch());
                 }
                 Ok(true)
-            })
-            .expect("rmw is never cancelled")
+            }
+        }
     }
 
-    /// Adds `delta` to every key in `keys`, atomically across shards.
-    /// Returns `false` (writing nothing) if any key is absent.
-    pub fn rmw_add(&self, keys: &[u64], delta: u64, thread: &mut S::Thread) -> bool {
+    /// Adds `delta` to every key in `keys`, atomically across shards,
+    /// interpreting each value as a [`Value::as_u64`] little-endian counter
+    /// (and writing back the 8-byte encoding).  Returns `Ok(false)` (writing
+    /// nothing) if any key is absent.
+    pub fn rmw_add(
+        &self,
+        keys: &[u64],
+        delta: u64,
+        thread: &mut S::Thread,
+    ) -> Result<bool, KvError> {
         self.rmw(
             keys,
             |vals| {
                 for v in vals {
-                    *v = v.wrapping_add(delta);
+                    *v = Value::from_u64(v.as_u64().wrapping_add(delta));
                 }
             },
             thread,
@@ -278,27 +350,30 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// consistent snapshot**: it is serializable with every concurrent
     /// operation, including multi-key [`ShardedKv::rmw`] — a scan can never
     /// observe a torn cross-shard update (the lock-free baseline's scan,
-    /// by contrast, offers no such guarantee).
+    /// by contrast, offers no such guarantee).  Value payloads are copied
+    /// out inside the transaction, so the bytes are exactly the committed
+    /// bytes at the scan's serialization point.
     ///
     /// # Examples
     ///
     /// ```
     /// use spectm::{Stm, variants::ValShort};
     /// use spectm_ds::ApiMode;
-    /// use spectm_kv::ShardedKv;
+    /// use spectm_kv::{ShardedKv, Value};
     ///
     /// let stm = ValShort::new();
     /// let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
     /// let mut thread = store.register();
     /// for key in 0..10u64 {
-    ///     store.put(key, key * 100, &mut thread);
+    ///     store.put(key, &(key * 100).to_le_bytes(), &mut thread).unwrap();
     /// }
+    /// let run = store.scan(6, 3, &mut thread);
     /// assert_eq!(
-    ///     store.scan(6, 3, &mut thread),
+    ///     run.iter().map(|(k, v)| (*k, v.as_u64())).collect::<Vec<_>>(),
     ///     vec![(6, 600), (7, 700), (8, 800)],
     /// );
     /// ```
-    pub fn scan(&self, start: u64, limit: usize, thread: &mut S::Thread) -> Vec<(u64, u64)> {
+    pub fn scan(&self, start: u64, limit: usize, thread: &mut S::Thread) -> Vec<(u64, Value)> {
         if limit == 0 {
             return Vec::new();
         }
@@ -319,7 +394,7 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// Returns every `(key, value)` pair with `start <= key < end`, in
     /// ascending key order, as one atomically consistent snapshot (see
     /// [`ShardedKv::scan`] for the guarantees).
-    pub fn range(&self, start: u64, end: u64, thread: &mut S::Thread) -> Vec<(u64, u64)> {
+    pub fn range(&self, start: u64, end: u64, thread: &mut S::Thread) -> Vec<(u64, Value)> {
         if start >= end {
             return Vec::new();
         }
@@ -342,7 +417,7 @@ impl<S: Stm + Clone> ShardedKv<S> {
         shard: &StmHashMap<S>,
         keys: Vec<u64>,
         tx: &mut spectm::FullTx<'_, S::Thread>,
-    ) -> spectm::TxResult<Vec<(u64, u64)>> {
+    ) -> spectm::TxResult<Vec<(u64, Value)>> {
         let mut run = Vec::with_capacity(keys.len());
         for key in keys {
             let value = shard.read_in(key, tx)?;
@@ -357,7 +432,7 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// Merges sorted per-shard runs into one ascending result of at most
     /// `limit` pairs.  Shards partition the key space, so keys are unique
     /// across runs and a plain k-way smallest-head merge suffices.
-    fn merge_runs(runs: Vec<Vec<(u64, u64)>>, limit: usize) -> Vec<(u64, u64)> {
+    fn merge_runs(mut runs: Vec<Vec<(u64, Value)>>, limit: usize) -> Vec<(u64, Value)> {
         let total: usize = runs.iter().map(Vec::len).sum();
         let mut out = Vec::with_capacity(total.min(limit));
         let mut cursors = vec![0usize; runs.len()];
@@ -376,7 +451,8 @@ impl<S: Stm + Clone> ShardedKv<S> {
                 }
             }
             let Some(i) = best else { break };
-            out.push(runs[i][cursors[i]]);
+            let (key, value) = std::mem::replace(&mut runs[i][cursors[i]], (0, Value::new(&[])));
+            out.push((key, value));
             cursors[i] += 1;
         }
         out
@@ -385,8 +461,8 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// Collects every `(key, value)` pair across all shards
     /// (non-transactional; only meaningful when no concurrent operations
     /// run).
-    pub fn quiescent_snapshot(&self) -> Vec<(u64, u64)> {
-        let mut out: Vec<(u64, u64)> = self
+    pub fn quiescent_snapshot(&self) -> Vec<(u64, Value)> {
+        let mut out: Vec<(u64, Value)> = self
             .shards
             .iter()
             .flat_map(|s| s.quiescent_snapshot())
@@ -427,14 +503,16 @@ mod tests {
         let mut t = store.register();
         let mut oracle = BTreeMap::new();
         for k in 0..500u64 {
-            assert_eq!(store.put(k, k * 3, &mut t), None);
-            oracle.insert(k, k * 3);
+            // Lengths sweep the inline and out-of-line regimes.
+            let bytes: Vec<u8> = (0..(k % 23) as u8).map(|i| i ^ k as u8).collect();
+            assert_eq!(store.put(k, &bytes, &mut t).unwrap(), None);
+            oracle.insert(k, Value::from(bytes));
         }
         for k in (0..500u64).step_by(3) {
             assert_eq!(store.del(k, &mut t), oracle.remove(&k));
         }
         for k in 0..500u64 {
-            assert_eq!(store.get(k, &mut t), oracle.get(&k).copied());
+            assert_eq!(store.get(k, &mut t), oracle.get(&k).cloned());
         }
         assert_eq!(
             store.quiescent_snapshot(),
@@ -447,34 +525,49 @@ mod tests {
         let stm = OrecFullG::new();
         let store = ShardedKv::new(&stm, 4, 16, ApiMode::Full);
         let mut t = store.register();
-        store.put(10, 100, &mut t);
-        store.put(11, 200, &mut t);
+        store.put(10, &100u64.to_le_bytes(), &mut t).unwrap();
+        store.put(11, &200u64.to_le_bytes(), &mut t).unwrap();
         // Absent key: nothing is written, even to the present keys.
-        assert!(!store.rmw_add(&[10, 11, 999], 1, &mut t));
-        assert_eq!(store.get(10, &mut t), Some(100));
-        assert_eq!(store.get(11, &mut t), Some(200));
+        assert!(!store.rmw_add(&[10, 11, 999], 1, &mut t).unwrap());
+        assert_eq!(store.get(10, &mut t).unwrap().as_u64(), 100);
+        assert_eq!(store.get(11, &mut t).unwrap().as_u64(), 200);
         // All present: everything is written.
-        assert!(store.rmw_add(&[10, 11], 1, &mut t));
-        assert_eq!(store.multi_get(&[10, 11], &mut t), Some(vec![101, 201]));
-        assert_eq!(store.multi_get(&[10, 999], &mut t), None);
+        assert!(store.rmw_add(&[10, 11], 1, &mut t).unwrap());
+        assert_eq!(
+            store.multi_get(&[10, 11], &mut t).unwrap(),
+            Some(vec![Value::from_u64(101), Value::from_u64(201)])
+        );
+        assert_eq!(store.multi_get(&[10, 999], &mut t).unwrap(), None);
     }
 
     #[test]
-    fn rmw_handles_duplicate_keys() {
+    fn rmw_handles_duplicate_keys_and_resizing_values() {
         let stm = ValShort::new();
         let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
         let mut t = store.register();
-        store.put(5, 10, &mut t);
+        store.put(5, &10u64.to_le_bytes(), &mut t).unwrap();
         // Both slots read the same cell; the second write wins.
-        assert!(store.rmw(
-            &[5, 5],
-            |vals| {
-                vals[0] += 1;
-                vals[1] += 2;
-            },
-            &mut t
-        ));
-        assert_eq!(store.get(5, &mut t), Some(12));
+        assert!(store
+            .rmw(
+                &[5, 5],
+                |vals| {
+                    vals[0] = Value::from_u64(vals[0].as_u64() + 1);
+                    vals[1] = Value::from_u64(vals[1].as_u64() + 2);
+                },
+                &mut t
+            )
+            .unwrap());
+        assert_eq!(store.get(5, &mut t).unwrap().as_u64(), 12);
+        // An rmw may change a value's length (here: to an out-of-line
+        // payload and back).
+        assert!(store
+            .rmw(&[5], |vals| vals[0] = Value::new(&[7u8; 100]), &mut t)
+            .unwrap());
+        assert_eq!(store.get(5, &mut t), Some(Value::new(&[7u8; 100])));
+        assert!(store
+            .rmw(&[5], |vals| vals[0] = Value::new(b"x"), &mut t)
+            .unwrap());
+        assert_eq!(store.get(5, &mut t), Some(Value::new(b"x")));
     }
 
     #[test]
@@ -485,11 +578,12 @@ mod tests {
         // Keys land on different shards (the router mixes bits), so runs
         // must interleave in the merge.
         for k in 0..64u64 {
-            store.put(k, k * 2, &mut t);
+            store.put(k, &(k * 2).to_le_bytes(), &mut t).unwrap();
         }
         let run = store.scan(10, 7, &mut t);
+        let got: Vec<(u64, u64)> = run.iter().map(|(k, v)| (*k, v.as_u64())).collect();
         let expect: Vec<(u64, u64)> = (10..17).map(|k| (k, k * 2)).collect();
-        assert_eq!(run, expect);
+        assert_eq!(got, expect);
         assert_eq!(store.scan(60, 100, &mut t).len(), 4, "tail clamps");
         assert!(store.scan(64, 5, &mut t).is_empty());
         assert!(store.scan(0, 0, &mut t).is_empty());
@@ -503,18 +597,21 @@ mod tests {
         let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
         let mut t = store.register();
         for k in 0..32u64 {
-            store.put(k, k, &mut t);
+            store.put(k, &k.to_le_bytes(), &mut t).unwrap();
         }
         for k in (0..32u64).step_by(2) {
-            assert_eq!(store.del(k, &mut t), Some(k));
+            assert_eq!(store.del(k, &mut t), Some(Value::from_u64(k)));
         }
         assert_eq!(store.del(2, &mut t), None, "double delete");
         let run = store.scan(0, usize::MAX, &mut t);
         assert_eq!(run.len(), 16);
-        assert!(run.iter().all(|&(k, _)| k % 2 == 1), "deleted keys scanned");
+        assert!(run.iter().all(|(k, _)| k % 2 == 1), "deleted keys scanned");
         // Re-insert through the put slow path and observe them again.
         for k in (0..32u64).step_by(2) {
-            assert_eq!(store.put(k, k + 100, &mut t), None);
+            assert_eq!(
+                store.put(k, &(k + 100).to_le_bytes(), &mut t).unwrap(),
+                None
+            );
         }
         assert_eq!(store.scan(0, usize::MAX, &mut t).len(), 32);
         store.assert_index_consistent();
@@ -525,26 +622,64 @@ mod tests {
         let stm = ValShort::new();
         let store = ShardedKv::new(&stm, 4, 16, ApiMode::Short);
         let mut t = store.register();
-        store.put(1, 100, &mut t);
-        store.put(2, 200, &mut t);
-        assert!(store.rmw(
-            &[1, 2],
-            |v| {
-                v[0] -= 40;
-                v[1] += 40;
-            },
-            &mut t
-        ));
-        assert_eq!(store.scan(0, 8, &mut t), vec![(1, 60), (2, 240)]);
+        store.put(1, &100u64.to_le_bytes(), &mut t).unwrap();
+        store.put(2, &200u64.to_le_bytes(), &mut t).unwrap();
+        assert!(store
+            .rmw(
+                &[1, 2],
+                |v| {
+                    v[0] = Value::from_u64(v[0].as_u64() - 40);
+                    v[1] = Value::from_u64(v[1].as_u64() + 40);
+                },
+                &mut t
+            )
+            .unwrap());
+        let got: Vec<(u64, u64)> = store
+            .scan(0, 8, &mut t)
+            .iter()
+            .map(|(k, v)| (*k, v.as_u64()))
+            .collect();
+        assert_eq!(got, vec![(1, 60), (2, 240)]);
     }
 
     #[test]
-    #[should_panic(expected = "at most")]
-    fn rmw_rejects_oversized_key_sets() {
+    fn rmw_rejects_oversized_key_sets_and_values() {
         let stm = ValShort::new();
         let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
         let mut t = store.register();
         let keys = [0u64; MAX_RMW_KEYS + 1];
-        store.rmw_add(&keys, 1, &mut t);
+        assert_eq!(
+            store.rmw_add(&keys, 1, &mut t),
+            Err(KvError::TooManyKeys {
+                len: MAX_RMW_KEYS + 1
+            })
+        );
+        assert_eq!(
+            store.multi_get(&keys, &mut t),
+            Err(KvError::TooManyKeys {
+                len: MAX_RMW_KEYS + 1
+            })
+        );
+        // An rmw whose closure inflates a value beyond the cap writes
+        // nothing.
+        store.put(3, b"ok", &mut t).unwrap();
+        assert_eq!(
+            store.rmw(
+                &[3],
+                |vals| vals[0] = Value::from(vec![0u8; MAX_VALUE_LEN + 1]),
+                &mut t
+            ),
+            Err(KvError::ValueTooLarge {
+                len: MAX_VALUE_LEN + 1
+            })
+        );
+        assert_eq!(store.get(3, &mut t), Some(Value::new(b"ok")));
+        // Oversized puts are rejected at the store surface too.
+        assert_eq!(
+            store.put(3, &vec![0u8; MAX_VALUE_LEN + 1], &mut t),
+            Err(KvError::ValueTooLarge {
+                len: MAX_VALUE_LEN + 1
+            })
+        );
     }
 }

@@ -1,16 +1,20 @@
 //! Multi-threaded invariant tests for the sharded KV store.
 //!
-//! Complementary checks per STM variant:
+//! Complementary checks per STM variant, now over **byte values** (the
+//! payload generator sweeps the inline-bytes, inline-int and out-of-line
+//! cell regimes, so every representation is exercised under contention):
 //!
 //! * **Deterministic replay** — threads run a mixed get/put/del workload
 //!   over disjoint key ranges; afterwards the store must equal a sequential
-//!   replay of every thread's operation stream into a `BTreeMap` (disjoint
-//!   ranges make the merged outcome order-independent).
+//!   replay of every thread's operation stream into a `BTreeMap`, payload
+//!   bytes included (disjoint ranges make the merged outcome
+//!   order-independent).
 //! * **Cross-shard serializability** — all value mass is conserved under
-//!   concurrent multi-key transfers, and concurrent observers reading the
-//!   whole key set through one full transaction must *never* see a partial
-//!   transfer.  This is the property the lock-free baseline cannot provide
-//!   and the whole reason the shards share an STM instance.
+//!   concurrent multi-key transfers (values as 8-byte little-endian
+//!   counters), and concurrent observers reading the whole key set through
+//!   one full transaction must *never* see a partial transfer.  This is the
+//!   property the lock-free baseline cannot provide and the whole reason
+//!   the shards share an STM instance.
 //! * **Atomic scans** — concurrent `scan`s over the whole key set must see
 //!   the conserved total at every instant (a scan that could observe a torn
 //!   cross-shard `rmw` would see a partial transfer), stay sorted, and —
@@ -18,8 +22,9 @@
 //!   lock-free baseline's `scan` explicitly lacks this guarantee (its index
 //!   and table are updated by independent CASes); see `lockfree::kv`.
 //! * **Sequential scan oracle** — a single-threaded random workload of
-//!   put/del/get/scan/range must match a `BTreeMap` replay operation by
-//!   operation, including the ordered results.
+//!   put/del/get/scan/range over variable-size payloads must match a
+//!   `BTreeMap` replay operation by operation, including the ordered
+//!   results and the exact bytes.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -27,7 +32,7 @@ use std::sync::Arc;
 use spectm::variants::{OrecFullG, TvarShortG, ValShort};
 use spectm::Stm;
 use spectm_ds::ApiMode;
-use spectm_kv::ShardedKv;
+use spectm_kv::{ShardedKv, Value};
 
 /// Cheap per-thread xorshift generator.
 struct Xorshift(u64);
@@ -43,6 +48,17 @@ impl Xorshift {
         self.0 ^= self.0 << 17;
         self.0
     }
+}
+
+/// Deterministic payload for `(key, draw)`: the length cycles through the
+/// inline-bytes (0..=7), inline-int (8) and out-of-line (up to ~48 bytes)
+/// regimes, and the content depends on both inputs so stale reads surface
+/// as byte mismatches, not just length mismatches.
+fn payload(key: u64, draw: u64) -> Vec<u8> {
+    let len = (draw % 49) as usize;
+    (0..len)
+        .map(|i| (key as u8).wrapping_mul(167) ^ (draw as u8) ^ (i as u8).wrapping_mul(59))
+        .collect()
 }
 
 fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
@@ -62,7 +78,7 @@ fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
                 let v = rng.next() >> 2;
                 match rng.next() % 5 {
                     0 | 1 => {
-                        store.put(k, v, &mut t);
+                        store.put(k, &payload(k, v), &mut t).unwrap();
                     }
                     2 => {
                         store.del(k, &mut t);
@@ -88,7 +104,7 @@ fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
 
     // Sequential replay: same per-thread streams, same seeds, into an
     // ordinary map.  Disjoint ranges mean thread interleaving cannot change
-    // the final contents.
+    // the final contents — the exact payload bytes included.
     let mut oracle = BTreeMap::new();
     for tid in 0..THREADS {
         let mut rng = Xorshift::new(0xC0FFEE ^ (tid.wrapping_mul(0x9E37_79B9)));
@@ -98,7 +114,7 @@ fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
             let v = rng.next() >> 2;
             match rng.next() % 5 {
                 0 | 1 => {
-                    oracle.insert(k, v);
+                    oracle.insert(k, Value::from(payload(k, v)));
                 }
                 2 => {
                     oracle.remove(&k);
@@ -107,7 +123,7 @@ fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
             }
         }
     }
-    let expect: Vec<(u64, u64)> = oracle.into_iter().collect();
+    let expect: Vec<(u64, Value)> = oracle.into_iter().collect();
     assert_eq!(store.quiescent_snapshot(), expect);
     // The ordered index agrees with the shards, and a quiescent full scan
     // sees exactly the final contents.
@@ -126,7 +142,7 @@ fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
     {
         let mut t = store.register();
         for k in 0..KEYS {
-            store.put(k, INITIAL, &mut t);
+            store.put(k, &INITIAL.to_le_bytes(), &mut t).unwrap();
         }
     }
     let all_keys: Vec<u64> = (0..KEYS).collect();
@@ -143,15 +159,17 @@ fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
                     continue;
                 }
                 let amount = rng.next() % 3;
-                assert!(store.rmw(
-                    &[from, to],
-                    |vals| {
-                        let moved = amount.min(vals[0]);
-                        vals[0] -= moved;
-                        vals[1] += moved;
-                    },
-                    &mut t,
-                ));
+                assert!(store
+                    .rmw(
+                        &[from, to],
+                        |vals| {
+                            let moved = amount.min(vals[0].as_u64());
+                            vals[0] = Value::from_u64(vals[0].as_u64() - moved);
+                            vals[1] = Value::from_u64(vals[1].as_u64() + moved);
+                        },
+                        &mut t,
+                    )
+                    .unwrap());
             }
         }));
     }
@@ -166,13 +184,17 @@ fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
                 // against partial transfers *within* each half.
                 let lo: u64 = store
                     .multi_get(&all_keys[..8], &mut t)
+                    .unwrap()
                     .expect("keys present")
                     .iter()
+                    .map(Value::as_u64)
                     .sum();
                 let hi: u64 = store
                     .multi_get(&all_keys[8..], &mut t)
+                    .unwrap()
                     .expect("keys present")
                     .iter()
+                    .map(Value::as_u64)
                     .sum();
                 // Transfers move value between arbitrary keys, so each half
                 // can drift — but never beyond the total system mass, and
@@ -188,7 +210,7 @@ fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
     // The real serializability check: after quiescence the mass is exact.
     let snapshot = store.quiescent_snapshot();
     assert_eq!(snapshot.len(), KEYS as usize);
-    let total: u64 = snapshot.iter().map(|&(_, v)| v).sum();
+    let total: u64 = snapshot.iter().map(|(_, v)| v.as_u64()).sum();
     assert_eq!(total, KEYS * INITIAL, "transfer mass was not conserved");
 }
 
@@ -202,7 +224,7 @@ fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) 
     {
         let mut t = store.register();
         for k in 0..KEYS {
-            store.put(k, INITIAL, &mut t);
+            store.put(k, &INITIAL.to_le_bytes(), &mut t).unwrap();
         }
     }
     let all_keys: Vec<u64> = (0..KEYS).collect();
@@ -218,15 +240,17 @@ fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) 
                 if from == to {
                     continue;
                 }
-                assert!(store.rmw(
-                    &[from, to],
-                    |vals| {
-                        let moved = 1.min(vals[0]);
-                        vals[0] -= moved;
-                        vals[1] += moved;
-                    },
-                    &mut t,
-                ));
+                assert!(store
+                    .rmw(
+                        &[from, to],
+                        |vals| {
+                            let moved = 1.min(vals[0].as_u64());
+                            vals[0] = Value::from_u64(vals[0].as_u64() - moved);
+                            vals[1] = Value::from_u64(vals[1].as_u64() + moved);
+                        },
+                        &mut t,
+                    )
+                    .unwrap());
             }
         }));
     }
@@ -238,8 +262,10 @@ fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) 
             for _ in 0..500 {
                 let total: u64 = store
                     .multi_get(&all_keys, &mut t)
+                    .unwrap()
                     .expect("keys present")
                     .iter()
+                    .map(Value::as_u64)
                     .sum();
                 assert_eq!(total, KEYS * INITIAL, "observed a partial transfer");
             }
@@ -265,7 +291,7 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
     {
         let mut t = store.register();
         for k in 0..KEYS {
-            store.put(k, INITIAL, &mut t);
+            store.put(k, &INITIAL.to_le_bytes(), &mut t).unwrap();
         }
     }
     let mut joins = Vec::new();
@@ -283,15 +309,17 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
                 let amount = rng.next() % 3;
                 // `from` and `to` usually live on different shards; the
                 // transfer is one full transaction across both.
-                assert!(store.rmw(
-                    &[from, to],
-                    |vals| {
-                        let moved = amount.min(vals[0]);
-                        vals[0] -= moved;
-                        vals[1] += moved;
-                    },
-                    &mut t,
-                ));
+                assert!(store
+                    .rmw(
+                        &[from, to],
+                        |vals| {
+                            let moved = amount.min(vals[0].as_u64());
+                            vals[0] = Value::from_u64(vals[0].as_u64() - moved);
+                            vals[1] = Value::from_u64(vals[1].as_u64() + moved);
+                        },
+                        &mut t,
+                    )
+                    .unwrap());
             }
         }));
     }
@@ -303,7 +331,7 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
                 let run = store.scan(0, KEYS as usize, &mut t);
                 assert_eq!(run.len(), KEYS as usize, "scan missed keys");
                 assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
-                let total: u64 = run.iter().map(|&(_, v)| v).sum();
+                let total: u64 = run.iter().map(|(_, v)| v.as_u64()).sum();
                 assert_eq!(
                     total,
                     KEYS * INITIAL,
@@ -316,37 +344,50 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
         j.join().unwrap();
     }
     store.assert_index_consistent();
-    let total: u64 = store.quiescent_snapshot().iter().map(|&(_, v)| v).sum();
+    let total: u64 = store
+        .quiescent_snapshot()
+        .iter()
+        .map(|(_, v)| v.as_u64())
+        .sum();
     assert_eq!(total, KEYS * INITIAL);
 }
 
-/// Single-threaded random workload including scans and ranges, replayed
-/// operation by operation against a `BTreeMap` oracle.
+/// Single-threaded random workload including scans and ranges over
+/// variable-size payloads, replayed operation by operation against a
+/// `BTreeMap` oracle.
 fn sequential_scan_oracle<S: Stm + Clone>(stm: S, mode: ApiMode) {
     const SPACE: u64 = 300;
     let store = ShardedKv::new(&stm, 4, 32, mode);
     let mut t = store.register();
-    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut oracle: BTreeMap<u64, Value> = BTreeMap::new();
     let mut rng = Xorshift::new(0x0AC1_E5EE_D001_u64);
     for _ in 0..4_000 {
         let k = rng.next() % SPACE;
         let v = rng.next() >> 2;
         match rng.next() % 6 {
-            0 | 1 => assert_eq!(store.put(k, v, &mut t), oracle.insert(k, v), "put {k}"),
+            0 | 1 => {
+                let bytes = payload(k, v);
+                assert_eq!(
+                    store.put(k, &bytes, &mut t).unwrap(),
+                    oracle.insert(k, Value::from(bytes)),
+                    "put {k}"
+                );
+            }
             2 => assert_eq!(store.del(k, &mut t), oracle.remove(&k), "del {k}"),
-            3 => assert_eq!(store.get(k, &mut t), oracle.get(&k).copied(), "get {k}"),
+            3 => assert_eq!(store.get(k, &mut t), oracle.get(&k).cloned(), "get {k}"),
             4 => {
                 let limit = (rng.next() % 16) as usize;
-                let expect: Vec<(u64, u64)> = oracle
+                let expect: Vec<(u64, Value)> = oracle
                     .range(k..)
                     .take(limit)
-                    .map(|(&k, &v)| (k, v))
+                    .map(|(&k, v)| (k, v.clone()))
                     .collect();
                 assert_eq!(store.scan(k, limit, &mut t), expect, "scan {k} x{limit}");
             }
             _ => {
                 let hi = k + rng.next() % 64;
-                let expect: Vec<(u64, u64)> = oracle.range(k..hi).map(|(&k, &v)| (k, v)).collect();
+                let expect: Vec<(u64, Value)> =
+                    oracle.range(k..hi).map(|(&k, v)| (k, v.clone())).collect();
                 assert_eq!(store.range(k, hi, &mut t), expect, "range {k}..{hi}");
             }
         }

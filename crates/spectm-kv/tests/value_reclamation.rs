@@ -1,0 +1,163 @@
+//! Reclamation regression tests for out-of-line value cells.
+//!
+//! [`ValueCell::live_count`] is a process-wide drop-counter, so every test
+//! in this binary takes `COUNTER_LOCK` to serialize itself against the
+//! others — no other test binary asserts on the counter.
+//!
+//! The churn test is the guard the epoch plumbing needs: overwrites and
+//! deletes *defer* cell frees through `txepoch`, so a bug that retires
+//! nothing (or retires into a bag that never drains) would not corrupt
+//! memory — it would leak quietly.  Here it fails loudly: cells in flight
+//! must stay bounded while threads churn, and the counter must return
+//! exactly to its baseline once the store and its STM (which owns the epoch
+//! collector) are dropped.
+
+use std::sync::{Mutex, MutexGuard};
+
+use spectm::variants::{OrecFullG, ValShort};
+use spectm::Stm;
+use spectm_ds::ApiMode;
+use spectm_kv::{ShardedKv, Value, ValueCell};
+
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    // A poisoned lock only means another counter test failed; the counter
+    // itself is still coherent.
+    COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Payload long enough to always live out of line.
+fn big_payload(key: u64, round: u64) -> Vec<u8> {
+    (0..64)
+        .map(|i| (key as u8) ^ (round as u8).wrapping_mul(31) ^ i)
+        .collect()
+}
+
+fn churn<S: Stm + Clone>(stm: S, mode: ApiMode) {
+    const THREADS: u64 = 4;
+    const RANGE: u64 = 128;
+    const ROUNDS: u64 = 400;
+    // Upper bound on cells awaiting an epoch advance.  In-flight inventory
+    // is throughput times grace-period latency: release-mode runs of this
+    // churn oscillate between roughly 30k and 75k deferred cells (a few MB)
+    // with no monotone growth, so a tight constant would only measure the
+    // scheduler.  What the bound must catch is a *leak*: a retire path that
+    // never frees accumulates every displaced word — ~600k by the end of
+    // the run (THREADS * RANGE * ROUNDS * 3) — and crosses this limit less
+    // than halfway through.  The exact-baseline assert below is the precise
+    // zero-leak check.
+    const DEFERRED_SLACK: usize = 262_144;
+
+    let baseline = ValueCell::live_count();
+    let store = std::sync::Arc::new(ShardedKv::new(&stm, 4, 64, mode));
+    let mut joins = Vec::new();
+    for tid in 0..THREADS {
+        let store = std::sync::Arc::clone(&store);
+        joins.push(std::thread::spawn(move || {
+            let mut t = store.register();
+            let base = tid * RANGE;
+            for round in 0..ROUNDS {
+                for k in base..base + RANGE {
+                    // insert -> overwrite -> overwrite -> delete: every op
+                    // but the insert displaces (and must retire) a cell.
+                    store.put(k, &big_payload(k, round), &mut t).unwrap();
+                    store.put(k, &big_payload(k, round + 1), &mut t).unwrap();
+                    store.put(k, &big_payload(k, round + 2), &mut t).unwrap();
+                    assert_eq!(
+                        store.del(k, &mut t),
+                        Some(Value::from(big_payload(k, round + 2)))
+                    );
+                }
+                let in_flight = ValueCell::live_count().saturating_sub(baseline);
+                assert!(
+                    in_flight < (THREADS * RANGE) as usize + DEFERRED_SLACK,
+                    "unbounded growth: {in_flight} live cells mid-churn (round {round})"
+                );
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    // Everything was deleted; only cells still parked in epoch bags remain.
+    assert_eq!(store.quiescent_snapshot(), Vec::new());
+    drop(store);
+    // Dropping the STM instance drops its epoch collector, which drains
+    // every remaining deferred free.
+    drop(stm);
+    assert_eq!(
+        ValueCell::live_count(),
+        baseline,
+        "retired value cells were never reclaimed"
+    );
+}
+
+#[test]
+fn churn_reclaims_every_cell_val_short() {
+    let _guard = lock();
+    churn(ValShort::new(), ApiMode::Short);
+}
+
+#[test]
+fn churn_reclaims_every_cell_orec_full() {
+    let _guard = lock();
+    churn(OrecFullG::new(), ApiMode::Full);
+}
+
+/// Overwrites alone (no deletes) must also reclaim: the store ends with one
+/// live cell per key, and everything displaced drains with the collector.
+#[test]
+fn overwrite_churn_leaves_one_cell_per_key() {
+    let _guard = lock();
+    const KEYS: u64 = 64;
+    const ROUNDS: u64 = 200;
+    let baseline = ValueCell::live_count();
+    let stm = ValShort::new();
+    {
+        let store = ShardedKv::new(&stm, 2, 32, ApiMode::Short);
+        let mut t = store.register();
+        for round in 0..ROUNDS {
+            for k in 0..KEYS {
+                store.put(k, &big_payload(k, round), &mut t).unwrap();
+            }
+        }
+        for k in 0..KEYS {
+            assert_eq!(
+                store.get(k, &mut t),
+                Some(Value::from(big_payload(k, ROUNDS - 1)))
+            );
+        }
+    }
+    drop(stm);
+    assert_eq!(
+        ValueCell::live_count(),
+        baseline,
+        "store drop must free the final cells, the collector the displaced ones"
+    );
+}
+
+/// Mixed-size churn: values oscillate between inline and out-of-line, so
+/// displaced words of *both* forms flow through the retire path (inline
+/// retires must be no-ops, not leaks or double frees).
+#[test]
+fn inline_out_of_line_transitions_balance() {
+    let _guard = lock();
+    let baseline = ValueCell::live_count();
+    let stm = ValShort::new();
+    {
+        let store = ShardedKv::new(&stm, 2, 32, ApiMode::Short);
+        let mut t = store.register();
+        for round in 0..500u64 {
+            for k in 0..32u64 {
+                if (round + k) % 2 == 0 {
+                    store.put(k, b"tiny", &mut t).unwrap();
+                } else {
+                    store.put(k, &big_payload(k, round), &mut t).unwrap();
+                }
+            }
+        }
+    }
+    drop(stm);
+    assert_eq!(ValueCell::live_count(), baseline);
+}

@@ -76,4 +76,8 @@ pub use stats::{Stats, StatsSnapshot};
 pub use val::{ValCell, ValStm, ValThread};
 pub use variants::*;
 pub use versioned::{VersionedStm, VersionedThread};
-pub use word::{decode_int, encode_int, is_marked, mark, unmark, Word, MARK_BIT, VAL_SPARE_BITS};
+pub use word::{
+    decode_inline, decode_int, encode_inline, encode_int, is_inline_value, is_marked, mark, unmark,
+    Word, INLINE_BYTES_BIT, INLINE_INT_BIT, INLINE_INT_BITS, MARK_BIT, MAX_INLINE_BYTES,
+    VAL_SPARE_BITS,
+};

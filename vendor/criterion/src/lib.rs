@@ -43,6 +43,7 @@ impl Criterion {
             sample_size: 10,
             warm_up_time: Duration::from_millis(100),
             measurement_time: Duration::from_millis(400),
+            throughput: None,
             _criterion: self,
             _measurement: measurement::WallTime,
         }
@@ -68,6 +69,7 @@ pub struct BenchmarkGroup<'a, M> {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
     _measurement: M,
 }
@@ -91,8 +93,11 @@ impl<M> BenchmarkGroup<'_, M> {
         self
     }
 
-    /// Accepted for compatibility; the shim ignores throughput annotations.
-    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+    /// Sets the per-iteration throughput annotation: each benchmark in the
+    /// group additionally reports elements/s or bytes/s (as MB/s) derived
+    /// from its mean iteration time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -123,8 +128,20 @@ impl<M> BenchmarkGroup<'_, M> {
         } else {
             bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
         };
+        let rates = match (self.throughput, mean_ns > 0.0) {
+            (Some(Throughput::Bytes(bytes)), true) => {
+                let ops_per_s = 1.0e9 / mean_ns;
+                let mb_per_s = bytes as f64 * ops_per_s / 1.0e6;
+                format!(", {:.2} Mops/s, {mb_per_s:.1} MB/s", ops_per_s / 1.0e6)
+            }
+            (Some(Throughput::Elements(elems)), true) => {
+                let elems_per_s = elems as f64 * 1.0e9 / mean_ns;
+                format!(", {:.2} Melem/s", elems_per_s / 1.0e6)
+            }
+            _ => String::new(),
+        };
         println!(
-            "{}/{id}: {mean_ns:.1} ns/iter ({} iters)",
+            "{}/{id}: {mean_ns:.1} ns/iter ({} iters{rates})",
             self.name, bencher.iters
         );
         self
