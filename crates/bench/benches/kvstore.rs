@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use bench::kv_runner;
+use bench::{kv_batch_runner, kv_runner};
 use harness::intset::Xorshift;
 use harness::kv::{KeyDist, KeySampler, KvMix, ValueSize};
 use harness::VariantSpec;
@@ -114,12 +114,42 @@ fn value_sizes(c: &mut Criterion) {
     }
 }
 
+/// The batch-size sweep: one iteration executes one whole batch, and the
+/// `Throughput::Elements` annotation divides it back out, so every panel
+/// reports **operations per second** — directly comparable across batch
+/// sizes and against the unbatched read-heavy panel.  Batch 1 measures the
+/// batch API's fixed cost; 16 and 128 show routing + epoch entry
+/// amortizing away (EXPERIMENTS.md § "The batch sweep").
+fn batch_sizes(c: &mut Criterion) {
+    for batch in [1usize, 16, 128] {
+        let name = format!("kv_batch_{batch}_read_heavy_uniform");
+        let mut group = c.benchmark_group(&name);
+        configure(&mut group);
+        group.throughput(Throughput::Elements(batch as u64));
+        for spec in VARIANTS {
+            let mut runner = kv_batch_runner(
+                spec,
+                SHARDS,
+                BUCKETS_PER_SHARD,
+                NUM_KEYS,
+                KvMix::ReadHeavy,
+                KeyDist::Uniform,
+                ValueSize::default(),
+                batch,
+            );
+            group.bench_function(spec.label(), |b| b.iter(&mut runner));
+        }
+        group.finish();
+    }
+}
+
 criterion_group!(
     kvstore,
     read_heavy,
     update_heavy,
     read_modify_write,
     scan_heavy,
-    value_sizes
+    value_sizes,
+    batch_sizes
 );
 criterion_main!(kvstore);

@@ -20,24 +20,48 @@
 //!   replay an oracle sweep over the key space afterwards (costs cycles;
 //!   off by default so throughput rows stay honest.  Counter writes make
 //!   checksums meaningless for workload `f`, where the flag is ignored).
+//! * `--batch N` — drive the stores through `execute_batch` with batches of
+//!   N operations instead of the single-key API, amortizing routing and
+//!   epoch entry (default 1, the unbatched path).  Point-operation mixes
+//!   only; scan and RMW workloads are skipped with a warning when N > 1.
 
 use harness::kv::{kv_default_dists, kv_default_mixes, KeyDist, KvMix, ValueSize};
 
 /// Splits the kv-specific flags off the argument list, returning the mixes,
-/// distributions, value-size distribution, verify switch and the remaining
-/// arguments for the common parser.
+/// distributions, value-size distribution, verify switch, batch size and
+/// the remaining arguments for the common parser.
+#[allow(clippy::type_complexity)]
 fn parse_kv_args(
     args: impl Iterator<Item = String>,
-) -> (Vec<KvMix>, Vec<KeyDist>, ValueSize, bool, Vec<String>) {
+) -> (
+    Vec<KvMix>,
+    Vec<KeyDist>,
+    ValueSize,
+    bool,
+    usize,
+    Vec<String>,
+) {
     let args: Vec<String> = args.collect();
     let mut mixes = kv_default_mixes();
     let mut dists = kv_default_dists();
     let mut value_size = ValueSize::default();
     let mut verify = false;
+    let mut batch = 1usize;
     let mut rest = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--batch" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_default();
+                match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => batch = n,
+                    _ => {
+                        eprintln!("error: `--batch {raw}` is not a positive operation count");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--workload" => {
                 i += 1;
                 let raw = args.get(i).cloned().unwrap_or_default();
@@ -113,12 +137,12 @@ fn parse_kv_args(
         }
         i += 1;
     }
-    (mixes, dists, value_size, verify, rest)
+    (mixes, dists, value_size, verify, batch, rest)
 }
 
 fn main() {
-    let (mixes, dists, value_size, verify, rest) = parse_kv_args(std::env::args().skip(1));
+    let (mixes, dists, value_size, verify, batch, rest) = parse_kv_args(std::env::args().skip(1));
     let opts = harness::figures::opts_from_args(rest.into_iter());
-    let rows = harness::kv::kv_rows_for(&opts, &mixes, &dists, value_size, verify);
+    let rows = harness::kv::kv_rows_for(&opts, &mixes, &dists, value_size, verify, batch);
     harness::figures::print_rows(&rows);
 }

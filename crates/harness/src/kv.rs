@@ -31,7 +31,7 @@ use lockfree::LockFreeKvMap;
 use serde::Serialize;
 use spectm::variants::{OrecStm, TvarStm, ValShort};
 use spectm::Stm;
-use spectm_kv::{ShardedKv, Value};
+use spectm_kv::{BatchOp, BatchRequest, BatchResponse, ShardedKv, Value};
 use txepoch::Collector;
 
 use crate::intset::{RunResult, Xorshift, BATCH_OPS};
@@ -64,6 +64,31 @@ pub trait KvStore: Send + Sync + 'static {
     /// ascending key order.  An atomically consistent snapshot for the STM
     /// store; a best-effort (tearable) walk for the lock-free baseline.
     fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, Value)>;
+    /// Executes the request as one batch, writing each operation's result
+    /// (the stored value for a get, the displaced previous value for a put
+    /// or delete) to its request position in `out` (cleared first).  The
+    /// request is `&mut` so stores can use its internal scratch buffers;
+    /// its operation list is left untouched.
+    ///
+    /// Both stores provide a native batch path (per-shard pipelining under
+    /// one epoch entry for the STM store, a single pin for the lock-free
+    /// baseline); the default implementation is the unamortized per-op
+    /// loop, so any other adapter still serves `--batch` runs.
+    fn execute_batch(
+        &self,
+        req: &mut BatchRequest,
+        out: &mut BatchResponse,
+        ctx: &mut Self::ThreadCtx,
+    ) {
+        out.clear();
+        for op in req.ops() {
+            out.push(match op {
+                BatchOp::Get(key) => self.get(*key, ctx),
+                BatchOp::Put(key, value) => self.put(*key, value, ctx),
+                BatchOp::Del(key) => self.del(*key, ctx),
+            });
+        }
+    }
     /// Whether the implementation is safe to drive from multiple threads.
     fn supports_concurrency(&self) -> bool {
         true
@@ -120,6 +145,17 @@ impl<S: Stm + Clone> KvStore for StmKvBench<S> {
     fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, Value)> {
         self.store.scan(start, limit, ctx)
     }
+
+    fn execute_batch(
+        &self,
+        req: &mut BatchRequest,
+        out: &mut BatchResponse,
+        ctx: &mut Self::ThreadCtx,
+    ) {
+        self.store
+            .execute_batch_into(req, out, ctx)
+            .expect("driver payloads are size-bounded")
+    }
 }
 
 /// [`KvStore`] adapter for the lock-free baseline.
@@ -163,6 +199,17 @@ impl KvStore for LockFreeKvBench {
 
     fn scan(&self, start: u64, limit: usize, ctx: &mut Self::ThreadCtx) -> Vec<(u64, Value)> {
         self.inner.scan(start, limit, ctx)
+    }
+
+    fn execute_batch(
+        &self,
+        req: &mut BatchRequest,
+        out: &mut BatchResponse,
+        ctx: &mut Self::ThreadCtx,
+    ) {
+        self.inner
+            .execute_batch_into(req.ops(), out, ctx)
+            .expect("driver payloads are size-bounded")
     }
 }
 
@@ -211,6 +258,16 @@ impl KvMix {
             KvMix::ReadOnly => 100,
             KvMix::ScanHeavy => 0,
         }
+    }
+
+    /// Whether the mix consists purely of point gets and puts — the shape
+    /// the batched pipeline serves.  Scans and multi-key RMWs are whole
+    /// multi-key operations of their own and do not batch.
+    pub fn supports_batching(self) -> bool {
+        matches!(
+            self,
+            KvMix::ReadHeavy | KvMix::UpdateHeavy | KvMix::ReadOnly
+        )
     }
 
     /// Parses a YCSB core-workload letter: `a` (update 50/50), `b`
@@ -597,6 +654,11 @@ pub struct KvWorkloadConfig {
     /// Keys touched by one read-modify-write (drawn independently, so they
     /// usually land on different shards).
     pub rmw_keys: usize,
+    /// Operations per batch.  `1` (the default) drives the single-key API;
+    /// larger values drive `execute_batch` with batches of this many
+    /// operations, amortizing routing and epoch entry (point-operation
+    /// mixes only — see [`KvMix::supports_batching`]).
+    pub batch: usize,
 }
 
 impl Default for KvWorkloadConfig {
@@ -612,6 +674,7 @@ impl Default for KvWorkloadConfig {
             value_size: ValueSize::default(),
             verify: false,
             rmw_keys: 2,
+            batch: 1,
         }
     }
 }
@@ -659,6 +722,11 @@ pub struct WorkerState {
     lens: ValueLenSampler,
     verify: bool,
     scratch: Vec<u8>,
+    /// Reusable request of the batched path ([`perform_batch`]): carries
+    /// the operations and the store's grouping scratch across batches.
+    batch_req: BatchRequest,
+    /// Reusable response buffer of the batched path.
+    batch_results: BatchResponse,
 }
 
 impl WorkerState {
@@ -675,6 +743,34 @@ impl WorkerState {
             // Counter writes make checksums meaningless under the RMW mix.
             verify: cfg.verify && cfg.mix != KvMix::ReadModifyWrite,
             scratch: Vec::with_capacity(cfg.value_size.max_len()),
+            batch_req: BatchRequest::new(),
+            batch_results: BatchResponse::with_capacity(cfg.batch),
+        }
+    }
+
+    /// Fills the reusable request buffer with `n` operations drawn from the
+    /// mix's read/write split and the panel's key and value-length
+    /// distributions — the batched counterpart of the per-op draws in
+    /// [`perform_op`].  Word-sized payloads stay inline in their
+    /// [`BatchOp::Put`], so building the batch does not allocate in the
+    /// steady state.
+    pub fn build_batch(&mut self, n: usize) {
+        debug_assert!(
+            self.mix.supports_batching(),
+            "{:?} has no batched shape",
+            self.mix
+        );
+        self.batch_req.clear();
+        for _ in 0..n {
+            let key = self.sampler.sample(&mut self.rng);
+            let raw = self.rng.next();
+            if raw % 100 < self.mix.read_pct() as u64 {
+                self.batch_req.get(key);
+            } else {
+                let len = self.lens.sample(&mut self.rng);
+                fill_payload(key, raw, len, &mut self.scratch);
+                self.batch_req.put(key, &self.scratch);
+            }
         }
     }
 
@@ -768,8 +864,34 @@ pub fn perform_op<K: KvStore>(
     }
 }
 
+/// Executes one batch of `n` operations through [`KvStore::execute_batch`],
+/// drawing the operations from the state's distributions
+/// ([`WorkerState::build_batch`]).  When the state's verify flag is set,
+/// every value the batch returns — read values of gets, displaced values of
+/// puts — is checksum-verified against its key.  Shared by the
+/// multi-threaded driver and the Criterion runners in the `bench` crate.
+#[inline]
+pub fn perform_batch<K: KvStore>(
+    store: &K,
+    ctx: &mut K::ThreadCtx,
+    n: usize,
+    state: &mut WorkerState,
+) {
+    state.build_batch(n);
+    store.execute_batch(&mut state.batch_req, &mut state.batch_results, ctx);
+    if state.verify {
+        for (op, result) in state.batch_req.ops().iter().zip(&state.batch_results) {
+            if let Some(value) = result {
+                state.check(op.key(), value);
+            }
+        }
+    }
+    std::hint::black_box(&state.batch_results);
+}
+
 /// Runs the workload once (load phase + measured phase) and reports
-/// throughput.  One read-modify-write counts as one operation.  With
+/// throughput.  One read-modify-write counts as one operation; a batch of
+/// `cfg.batch` operations counts as `cfg.batch` operations.  With
 /// `cfg.verify` set, reads are checksum-verified throughout and a final
 /// oracle sweep re-reads the whole key space after the workers stop.
 pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
@@ -783,19 +905,35 @@ pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
         "rmw_keys must be in 1..={}",
         spectm_kv::MAX_RMW_KEYS
     );
+    assert!(cfg.batch >= 1, "a batch holds at least one operation");
+    assert!(
+        cfg.batch == 1 || cfg.mix.supports_batching(),
+        "{:?} does not batch (point-operation mixes only)",
+        cfg.mix
+    );
     load_keys(&*store, cfg.num_keys, cfg.value_size);
 
     let samples = run_timed(cfg.threads, cfg.duration, |tid| {
         let mut ctx = store.thread_ctx();
         let mut state = WorkerState::new(cfg, 0x0BAD_5EED ^ (0x9E37_79B9 * (tid as u64 + 1)));
         let store = &store;
+        let batch = cfg.batch;
         move || {
-            for _ in 0..BATCH_OPS {
-                let key = state.sample_key();
-                let raw = state.next_raw();
-                perform_op(&**store, &mut ctx, key, raw, &mut state);
+            if batch > 1 {
+                let mut done = 0u64;
+                while done < BATCH_OPS {
+                    perform_batch(&**store, &mut ctx, batch, &mut state);
+                    done += batch as u64;
+                }
+                done
+            } else {
+                for _ in 0..BATCH_OPS {
+                    let key = state.sample_key();
+                    let raw = state.next_raw();
+                    perform_op(&**store, &mut ctx, key, raw, &mut state);
+                }
+                BATCH_OPS
             }
-            BATCH_OPS
         }
     });
     let result = RunResult::from_samples(samples);
@@ -955,23 +1093,36 @@ pub fn kv_rows(opts: &FigureOpts) -> Vec<FigureRow> {
         &kv_default_dists(),
         ValueSize::default(),
         false,
+        1,
     )
 }
 
 /// [`kv_rows`] restricted to explicit mixes, distributions, a value-size
-/// distribution and a verification switch (the `--workload` / `--dist` /
-/// `--value-size` / `--verify` flags of the `kv` binary).
+/// distribution, a verification switch and a batch size (the `--workload` /
+/// `--dist` / `--value-size` / `--verify` / `--batch` flags of the `kv`
+/// binary).  With `batch > 1`, mixes that have no batched shape (scans,
+/// multi-key RMW) are skipped with a warning rather than aborting the
+/// sweep.
 pub fn kv_rows_for(
     opts: &FigureOpts,
     mixes: &[KvMix],
     dists: &[KeyDist],
     value_size: ValueSize,
     verify: bool,
+    batch: usize,
 ) -> Vec<FigureRow> {
+    assert!(batch >= 1, "a batch holds at least one operation");
     let mut rows = Vec::new();
     for &mix in mixes {
+        if batch > 1 && !mix.supports_batching() {
+            eprintln!(
+                "warning: skipping workload {} (batching covers point-operation mixes only)",
+                mix.label()
+            );
+            continue;
+        }
         for &dist in dists {
-            let panel = if value_size == ValueSize::default() {
+            let mut panel = if value_size == ValueSize::default() {
                 format!("{} / {}", mix.label(), dist.label())
             } else {
                 format!(
@@ -981,6 +1132,9 @@ pub fn kv_rows_for(
                     value_size.label()
                 )
             };
+            if batch > 1 {
+                panel.push_str(&format!(" / batch:{batch}"));
+            }
             for variant in kv_variants() {
                 for &threads in &opts.threads {
                     let cfg = KvWorkloadConfig {
@@ -990,6 +1144,7 @@ pub fn kv_rows_for(
                         dist,
                         value_size,
                         verify,
+                        batch,
                         ..KvWorkloadConfig::sized_for(opts.key_range)
                     };
                     let y = run_kv_variant(variant, &cfg, opts.runs);
@@ -1211,6 +1366,83 @@ mod tests {
             Collector::new(),
         )));
         assert!(run_kv(store, &cfg).total_ops > 0);
+    }
+
+    #[test]
+    fn batched_runs_serve_point_mixes_on_both_stores() {
+        for batch in [2usize, 16, 128] {
+            for mix in [KvMix::ReadHeavy, KvMix::UpdateHeavy, KvMix::ReadOnly] {
+                let cfg = KvWorkloadConfig {
+                    batch,
+                    verify: true,
+                    ..tiny_cfg(mix, KeyDist::Zipfian, 2)
+                };
+                let store = Arc::new(StmKvBench::new(ValShort::new(), 4, 128, ApiMode::Short));
+                let res = run_kv(store, &cfg);
+                assert!(res.total_ops > 0, "{mix:?} batch {batch}");
+                assert_eq!(
+                    res.total_ops % batch as u64,
+                    0,
+                    "ops are counted in whole batches"
+                );
+            }
+            let cfg = KvWorkloadConfig {
+                batch,
+                verify: true,
+                ..tiny_cfg(KvMix::UpdateHeavy, KeyDist::Uniform, 2)
+            };
+            let store = Arc::new(LockFreeKvBench::new(LockFreeKvMap::new(
+                512,
+                Collector::new(),
+            )));
+            assert!(run_kv(store, &cfg).total_ops > 0, "lock-free batch {batch}");
+        }
+    }
+
+    #[test]
+    fn build_batch_follows_the_mix_split() {
+        let cfg = KvWorkloadConfig {
+            mix: KvMix::ReadHeavy,
+            batch: 64,
+            ..KvWorkloadConfig::sized_for(512)
+        };
+        let mut state = WorkerState::new(&cfg, 0xABCD);
+        state.build_batch(1_000);
+        assert_eq!(state.batch_req.len(), 1_000);
+        let reads = state
+            .batch_req
+            .ops()
+            .iter()
+            .filter(|op| !op.is_write())
+            .count();
+        // 95/5 split, give or take sampling noise.
+        assert!((900..=990).contains(&reads), "{reads} reads of 1000");
+        for op in state.batch_req.ops() {
+            assert!(op.key() < 512, "key outside the space");
+            if let BatchOp::Put(key, value) = op {
+                assert!(payload_is_valid(*key, value), "unverifiable payload");
+            }
+        }
+        // Read-only mixes build pure get batches.
+        let cfg = KvWorkloadConfig {
+            mix: KvMix::ReadOnly,
+            batch: 16,
+            ..KvWorkloadConfig::sized_for(512)
+        };
+        let mut state = WorkerState::new(&cfg, 0xABCD);
+        state.build_batch(100);
+        assert!(state.batch_req.ops().iter().all(|op| !op.is_write()));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not batch")]
+    fn batched_scan_mixes_are_rejected() {
+        let cfg = KvWorkloadConfig {
+            batch: 8,
+            ..tiny_cfg(KvMix::ScanHeavy, KeyDist::Uniform, 1)
+        };
+        let store = Arc::new(StmKvBench::new(ValShort::new(), 4, 128, ApiMode::Short));
+        let _ = run_kv(store, &cfg);
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! Batched operations: amortize routing and epoch entry over many keys.
+//!
+//! The single-key hot paths of [`ShardedKv`] pay a fixed toll per
+//! operation — route the key, announce an epoch (a `SeqCst` store on the
+//! outermost pin), set up a transaction — that the paper's specialization
+//! drives toward the hardware floor but can never remove entirely.  A
+//! batch removes it by division: [`ShardedKv::execute_batch`] takes a
+//! request-ordered list of [`BatchOp`]s, groups it by shard with one
+//! counting sort ([`crate::ShardRouter::group_runs_into`], reusing the
+//! [`BatchRequest`]'s scratch so steady-state grouping never allocates),
+//! **enters the epoch once for the whole batch** (the per-operation paths
+//! underneath run their short transactions against the already-pinned
+//! epoch — gets and overwrites skip pin entry/exit entirely, everything
+//! else nests as a counter bump), drains each shard's group through a
+//! prefetch-pipelined dispatch loop (the chain walk of operation *i*
+//! overlaps the bucket fetch of operation *i + 4*), and writes each result
+//! back to the request position it came from.  A one-operation batch
+//! bypasses all of it and costs what the single-key API costs.
+//!
+//! # Semantics: what is and is not atomic
+//!
+//! A batch is **not** one transaction.  The guarantees, documented here and
+//! enforced by `tests/batch_semantics.rs`, are:
+//!
+//! * **Request-order results.**  `results[i]` is the result of `ops[i]`:
+//!   the stored value for a get, the displaced previous value for a put or
+//!   delete.
+//! * **Per-key program order (batch read-your-writes).**  Operations on
+//!   the same key execute in request order — a get that follows a put of
+//!   the same key in one batch observes that put.  (All operations on one
+//!   key land in one shard group, and groups preserve request order.)
+//! * **Per-operation atomicity.**  Every operation is individually
+//!   serializable, exactly as if issued through the single-key API.
+//! * **Per-shard group atomicity under read/write mixing.**  If a shard's
+//!   group both reads (get) and writes (put/del) *the same key*, the whole
+//!   group runs as **one full transaction** on that shard, so the
+//!   read-your-writes chain commits atomically and concurrent scans see
+//!   either all of the group's writes or none of them.
+//! * **No atomicity across shards.**  A concurrent observer (including an
+//!   atomic [`ShardedKv::scan`]) may see one shard's group applied and
+//!   another's not.  Callers that need a cross-shard atomic multi-key
+//!   update keep using [`ShardedKv::rmw`] /
+//!   [`ShardedKv::multi_get_atomic`].
+//! * **All-or-nothing validation.**  An oversized put value fails the
+//!   whole batch with [`KvError::ValueTooLarge`] *before* any operation
+//!   executes.
+//!
+//! DESIGN.md § "Batched operations" discusses why these are the right
+//! semantics for a request-pipeline front-end.
+
+use spectm::{Stm, StmThread};
+use spectm_ds::TowerSlot;
+
+use crate::map::{NodeSlot, RetiredNode};
+use crate::store::ShardedKv;
+use crate::value::{RetiredValue, Value, ValueSlot};
+use crate::KvError;
+
+/// One operation of a batch, in the request's order.
+///
+/// Put payloads are carried as [`Value`]s (16-byte small-buffer inline), so
+/// building a batch of word-sized writes does not allocate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOp {
+    /// Read the key's value.
+    Get(u64),
+    /// Store the value under the key.
+    Put(u64, Value),
+    /// Remove the key.
+    Del(u64),
+}
+
+impl BatchOp {
+    /// Convenience constructor copying `bytes` into a put operation.
+    pub fn put(key: u64, bytes: &[u8]) -> Self {
+        BatchOp::Put(key, Value::new(bytes))
+    }
+
+    /// The key this operation touches.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        match *self {
+            BatchOp::Get(key) | BatchOp::Del(key) => key,
+            BatchOp::Put(key, _) => key,
+        }
+    }
+
+    /// Whether this operation writes (put or del).
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        !matches!(self, BatchOp::Get(_))
+    }
+}
+
+/// A reusable batch of operations: the request half of the batched API.
+///
+/// Owns the operation list **and** the grouping scratch buffers, so a
+/// request loop that clears and refills one `BatchRequest` per batch (the
+/// intended steady state — what the harness's `WorkerState` does) executes
+/// with zero allocations: grouping small batches is otherwise dominated by
+/// allocator traffic, not by routing.
+///
+/// # Examples
+///
+/// ```
+/// use spectm::{Stm, variants::ValShort};
+/// use spectm_ds::ApiMode;
+/// use spectm_kv::{BatchRequest, BatchResponse, ShardedKv, Value};
+///
+/// let stm = ValShort::new();
+/// let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
+/// let mut thread = store.register();
+/// let mut req = BatchRequest::new();
+/// let mut resp = BatchResponse::new();
+/// req.put(7, b"seven").get(7).del(7);
+/// store.execute_batch_into(&mut req, &mut resp, &mut thread).unwrap();
+/// assert_eq!(
+///     resp,
+///     vec![None, Some(Value::new(b"seven")), Some(Value::new(b"seven"))],
+/// );
+/// req.clear(); // reuse the buffers for the next batch
+/// ```
+#[derive(Default)]
+pub struct BatchRequest {
+    ops: Vec<BatchOp>,
+    /// Grouping scratch (see [`crate::ShardRouter::group_runs_into`]),
+    /// kept across batches so steady-state grouping never allocates.
+    order: Vec<usize>,
+    bounds: Vec<usize>,
+}
+
+impl BatchRequest {
+    /// Creates an empty request.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a read of `key`; returns `self` for chaining.
+    pub fn get(&mut self, key: u64) -> &mut Self {
+        self.ops.push(BatchOp::Get(key));
+        self
+    }
+
+    /// Appends a write of `bytes` under `key`; returns `self` for chaining.
+    pub fn put(&mut self, key: u64, bytes: &[u8]) -> &mut Self {
+        self.ops.push(BatchOp::put(key, bytes));
+        self
+    }
+
+    /// Appends a removal of `key`; returns `self` for chaining.
+    pub fn del(&mut self, key: u64) -> &mut Self {
+        self.ops.push(BatchOp::Del(key));
+        self
+    }
+
+    /// Appends an already-built operation; returns `self` for chaining.
+    pub fn push(&mut self, op: BatchOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The operations queued so far, in request order.
+    pub fn ops(&self) -> &[BatchOp] {
+        &self.ops
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the request is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Removes every operation, keeping the buffers for reuse.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+impl FromIterator<BatchOp> for BatchRequest {
+    fn from_iter<I: IntoIterator<Item = BatchOp>>(iter: I) -> Self {
+        Self {
+            ops: iter.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+}
+
+/// The response half of the batched API: one result per request position —
+/// the stored value for a get, the displaced previous value for a put or
+/// delete.  A plain vector, reused across batches by clearing.
+pub type BatchResponse = Vec<Option<Value>>;
+
+/// How many operations ahead the pipelined dispatch loop prefetches bucket
+/// heads.  The walk of operation *i* overlaps the memory latency of
+/// operation *i + PREFETCH_AHEAD*'s first cache line — the classic batched
+/// lookup pipeline; a small constant keeps the prefetched lines resident.
+const PREFETCH_AHEAD: usize = 4;
+
+/// The all-or-nothing size validation every batch entry point runs before
+/// executing anything: a batch with a put payload beyond
+/// [`crate::MAX_VALUE_LEN`] is rejected whole, as a no-op.  Shared by both
+/// stores
+/// (`ShardedKv` here and `lockfree::LockFreeKvMap`), so the rule cannot
+/// drift between them.
+pub fn validate_ops(ops: &[BatchOp]) -> Result<(), KvError> {
+    for op in ops {
+        if let BatchOp::Put(_, value) = op {
+            crate::map::check_len(value)?;
+        }
+    }
+    Ok(())
+}
+
+/// Post-commit bookkeeping for one write of an atomically executed shard
+/// group: which request slot it answers and what it must publish or retire
+/// once the group's transaction has committed.
+enum GroupEffect<S: Stm> {
+    /// A put that inserted a fresh key: publish its slots.
+    PutInsert { op: usize, put: usize },
+    /// A put that displaced an existing value word.
+    PutUpdate {
+        op: usize,
+        put: usize,
+        displaced: RetiredValue,
+    },
+    /// A delete that unlinked a node, its value and its index tower.
+    Del {
+        op: usize,
+        value: RetiredValue,
+        node: RetiredNode<S>,
+        tower: spectm_ds::RetiredTower<S>,
+    },
+}
+
+impl<S: Stm + Clone> ShardedKv<S> {
+    /// Executes `ops` as one batch (see the [module docs](crate::batch) for
+    /// the exact semantics) and returns the per-operation results in
+    /// request order: the stored value for a get, the displaced previous
+    /// value for a put or delete.
+    ///
+    /// If any put value exceeds [`crate::MAX_VALUE_LEN`], the whole batch is
+    /// rejected **before anything executes**.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spectm::{Stm, variants::ValShort};
+    /// use spectm_ds::ApiMode;
+    /// use spectm_kv::{BatchOp, ShardedKv, Value};
+    ///
+    /// let stm = ValShort::new();
+    /// let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
+    /// let mut thread = store.register();
+    /// let results = store
+    ///     .execute_batch(
+    ///         &[
+    ///             BatchOp::put(1, b"one"),
+    ///             BatchOp::Get(1), // reads its own batch's put
+    ///             BatchOp::put(1, b"uno"),
+    ///             BatchOp::Del(1),
+    ///             BatchOp::Get(1),
+    ///         ],
+    ///         &mut thread,
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(
+    ///     results,
+    ///     vec![
+    ///         None,
+    ///         Some(Value::new(b"one")),
+    ///         Some(Value::new(b"one")),
+    ///         Some(Value::new(b"uno")),
+    ///         None,
+    ///     ],
+    /// );
+    /// ```
+    pub fn execute_batch(
+        &self,
+        ops: &[BatchOp],
+        thread: &mut S::Thread,
+    ) -> Result<Vec<Option<Value>>, KvError> {
+        let mut out = Vec::new();
+        let mut order = Vec::new();
+        let mut bounds = Vec::new();
+        self.execute_grouped(ops, &mut order, &mut bounds, &mut out, thread)?;
+        Ok(out)
+    }
+
+    /// [`ShardedKv::execute_batch`] over a reusable [`BatchRequest`],
+    /// writing the results into a caller-provided [`BatchResponse`]
+    /// (cleared first).  With both buffers reused across batches — the
+    /// request keeps its grouping scratch alive — a steady-state request
+    /// loop performs **no allocations at all** (word-sized put payloads
+    /// stay inline in their [`BatchOp`]).
+    pub fn execute_batch_into(
+        &self,
+        req: &mut BatchRequest,
+        out: &mut BatchResponse,
+        thread: &mut S::Thread,
+    ) -> Result<(), KvError> {
+        let BatchRequest { ops, order, bounds } = req;
+        self.execute_grouped(ops, order, bounds, out, thread)
+    }
+
+    /// The batch engine behind both entry points.
+    fn execute_grouped(
+        &self,
+        ops: &[BatchOp],
+        order: &mut Vec<usize>,
+        bounds: &mut Vec<usize>,
+        out: &mut Vec<Option<Value>>,
+        thread: &mut S::Thread,
+    ) -> Result<(), KvError> {
+        validate_ops(ops)?;
+        out.clear();
+        // A one-operation batch has nothing to amortize: dispatch straight
+        // to the single-key path, with no grouping and no extra pin, so
+        // degenerate batches cost what the plain API costs.
+        if let [op] = ops {
+            let shard = self.router().route(op.key());
+            out.push(match op {
+                BatchOp::Get(key) => self.shard_map(shard).get(*key, thread),
+                BatchOp::Put(key, value) => self.put_routed(shard, *key, value, thread),
+                BatchOp::Del(key) => self.del_routed(shard, *key, thread),
+            });
+            return Ok(());
+        }
+        out.resize(ops.len(), None);
+        self.router()
+            .group_runs_into(ops.iter().map(BatchOp::key), order, bounds);
+        // One epoch entry for the whole batch: the pins taken by the
+        // per-operation paths below all nest inside this one, reducing
+        // their announce to a counter bump.
+        let _batch_pin = thread.epoch().pin();
+        let mut start = 0usize;
+        for (shard, &end) in bounds.iter().enumerate() {
+            let group = &order[start..end];
+            start = end;
+            if group.is_empty() {
+                continue;
+            }
+            if Self::mixes_read_write_on_same_key(ops, group) {
+                self.run_group_atomic(shard, ops, group, out, thread);
+            } else {
+                // Pipelined dispatch: overlap operation `j`'s chain walk
+                // with the bucket-head fetch of the operation
+                // `PREFETCH_AHEAD` positions later.  `order` is contiguous
+                // across groups, so the lookahead crosses group borders
+                // and stays warm for every shard.
+                for (j, &i) in group.iter().enumerate() {
+                    if let Some(&ahead) = order.get(start - group.len() + j + PREFETCH_AHEAD) {
+                        let key = ops[ahead].key();
+                        self.shard_map(self.router().route(key))
+                            .prefetch_bucket(key);
+                    }
+                    out[i] = self.run_op(shard, &ops[i], thread);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches one operation on a resolved shard through the
+    /// pinned-epoch short-transaction paths — the caller (the batch
+    /// dispatch loop) holds the batch's epoch pin, so gets and overwrites
+    /// skip per-attempt pin entry/exit entirely.
+    #[inline]
+    fn run_op(&self, shard: usize, op: &BatchOp, thread: &mut S::Thread) -> Option<Value> {
+        match op {
+            BatchOp::Get(key) => self.shard_map(shard).get_pinned(*key, thread),
+            BatchOp::Put(key, value) => self.put_routed_pinned(shard, *key, value, thread),
+            BatchOp::Del(key) => self.del_routed(shard, *key, thread),
+        }
+    }
+
+    /// Reads every key of `keys`, pipelined per shard under one epoch
+    /// entry.  Each read is individually atomic; unlike
+    /// [`ShardedKv::multi_get_atomic`] the values may belong to different
+    /// serialization points — and there is no key-count limit.
+    pub fn multi_get(&self, keys: &[u64], thread: &mut S::Thread) -> Vec<Option<Value>> {
+        let mut out = vec![None; keys.len()];
+        let (order, ends) = self.router().group_runs(keys.iter().copied());
+        let _batch_pin = thread.epoch().pin();
+        let mut start = 0usize;
+        for (shard, &end) in ends.iter().enumerate() {
+            for &i in &order[start..end] {
+                out[i] = self.shard_map(shard).get_pinned(keys[i], thread);
+            }
+            start = end;
+        }
+        out
+    }
+
+    /// Stores every `(key, value)` pair, pipelined per shard under one
+    /// epoch entry, returning the displaced previous values in request
+    /// order.  Each put is individually atomic; same-key pairs apply in
+    /// request order.  An oversized value rejects the whole batch before
+    /// anything executes.
+    pub fn multi_put(
+        &self,
+        pairs: &[(u64, &[u8])],
+        thread: &mut S::Thread,
+    ) -> Result<Vec<Option<Value>>, KvError> {
+        for (_, value) in pairs {
+            crate::map::check_len(value)?;
+        }
+        let mut out = vec![None; pairs.len()];
+        let (order, ends) = self.router().group_runs(pairs.iter().map(|(k, _)| *k));
+        let _batch_pin = thread.epoch().pin();
+        let mut start = 0usize;
+        for (shard, &end) in ends.iter().enumerate() {
+            for &i in &order[start..end] {
+                let (key, value) = pairs[i];
+                out[i] = self.put_routed_pinned(shard, key, value, thread);
+            }
+            start = end;
+        }
+        Ok(out)
+    }
+
+    /// Removes every key of `keys`, pipelined per shard under one epoch
+    /// entry, returning the removed values in request order.  Each delete
+    /// is individually atomic.
+    pub fn multi_del(&self, keys: &[u64], thread: &mut S::Thread) -> Vec<Option<Value>> {
+        let mut out = vec![None; keys.len()];
+        let (order, ends) = self.router().group_runs(keys.iter().copied());
+        let _batch_pin = thread.epoch().pin();
+        let mut start = 0usize;
+        for (shard, &end) in ends.iter().enumerate() {
+            for &i in &order[start..end] {
+                out[i] = self.del_routed(shard, keys[i], thread);
+            }
+            start = end;
+        }
+        out
+    }
+
+    /// Whether a shard group both reads and writes the same key — the
+    /// condition under which pipelining individual operations would let a
+    /// concurrent writer slip between a get and the put it feeds, and the
+    /// group falls back to one full transaction.
+    ///
+    /// Shard groups are small (a batch spreads over every shard), so the
+    /// allocation-free nested scan beats sorting.
+    fn mixes_read_write_on_same_key(ops: &[BatchOp], group: &[usize]) -> bool {
+        for &w in group {
+            if !ops[w].is_write() {
+                continue;
+            }
+            let wkey = ops[w].key();
+            for &r in group {
+                if !ops[r].is_write() && ops[r].key() == wkey {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Runs one shard's group as a single full transaction, in request
+    /// order, with the same slot-reuse and epoch-retirement contracts as
+    /// the single-key paths (`NodeSlot` / `ValueSlot` / `TowerSlot` carry
+    /// speculative allocations across conflict retries; displaced words,
+    /// unlinked nodes and towers are retired only after the commit).
+    fn run_group_atomic(
+        &self,
+        shard: usize,
+        ops: &[BatchOp],
+        group: &[usize],
+        out: &mut [Option<Value>],
+        thread: &mut S::Thread,
+    ) {
+        let map = self.shard_map(shard);
+        let index = self.shard_index(shard);
+        // One slot triple per put operation of the group, allocated lazily
+        // by the map/index helpers and reused across conflict retries.
+        let puts = group
+            .iter()
+            .filter(|&&i| matches!(ops[i], BatchOp::Put(..)))
+            .count();
+        let mut value_slots: Vec<ValueSlot> = (0..puts).map(|_| ValueSlot::new()).collect();
+        let mut node_slots: Vec<NodeSlot<S>> = (0..puts).map(|_| NodeSlot::new()).collect();
+        let mut tower_slots: Vec<TowerSlot<S>> = (0..puts).map(|_| TowerSlot::new()).collect();
+        let mut effects: Vec<GroupEffect<S>> = Vec::new();
+        thread
+            .atomic(|tx| {
+                // A retried body starts from scratch; dropping the previous
+                // attempt's effects is the documented abort behaviour of
+                // the Retired* types.
+                effects.clear();
+                let mut put_no = 0;
+                for &i in group {
+                    match &ops[i] {
+                        BatchOp::Get(key) => {
+                            out[i] = map.read_in(*key, tx)?;
+                        }
+                        BatchOp::Put(key, value) => {
+                            let put = put_no;
+                            put_no += 1;
+                            let displaced = map.put_in(
+                                *key,
+                                value,
+                                &mut value_slots[put],
+                                &mut node_slots[put],
+                                tx,
+                            )?;
+                            match displaced {
+                                Some(displaced) => {
+                                    effects.push(GroupEffect::PutUpdate {
+                                        op: i,
+                                        put,
+                                        displaced,
+                                    });
+                                }
+                                None => {
+                                    let linked =
+                                        index.insert_in(*key, 0, &mut tower_slots[put], tx)?;
+                                    debug_assert!(
+                                        linked,
+                                        "key {key} was in the index but not the shard"
+                                    );
+                                    effects.push(GroupEffect::PutInsert { op: i, put });
+                                }
+                            }
+                        }
+                        BatchOp::Del(key) => {
+                            if let Some((value, node)) = map.del_in(*key, tx)? {
+                                let tower = index.remove_in(*key, tx)?;
+                                let tower = tower
+                                    .unwrap_or_else(|| panic!("key {key} missing from the index"));
+                                effects.push(GroupEffect::Del {
+                                    op: i,
+                                    value,
+                                    node,
+                                    tower,
+                                });
+                            } else {
+                                out[i] = None;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            })
+            .expect("batch groups are never cancelled");
+        // The group committed: resolve the write results, publish the slots
+        // of inserted nodes and retire everything the transaction displaced.
+        for effect in effects {
+            match effect {
+                GroupEffect::PutInsert { op, put } => {
+                    out[op] = None;
+                    value_slots[put].mark_published();
+                    node_slots[put].mark_published();
+                    tower_slots[put].mark_published();
+                }
+                GroupEffect::PutUpdate { op, put, displaced } => {
+                    out[op] = Some(displaced.value());
+                    value_slots[put].mark_published();
+                    displaced.retire(thread.epoch());
+                }
+                GroupEffect::Del {
+                    op,
+                    value,
+                    node,
+                    tower,
+                } => {
+                    out[op] = Some(value.value());
+                    value.retire(thread.epoch());
+                    node.retire(thread);
+                    tower.retire(thread);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::MAX_VALUE_LEN;
+    use spectm::variants::{OrecFullG, ValShort};
+    use spectm_ds::ApiMode;
+    use std::collections::BTreeMap;
+
+    fn results_of(batch: &[BatchOp], oracle: &mut BTreeMap<u64, Value>) -> Vec<Option<Value>> {
+        batch
+            .iter()
+            .map(|op| match op {
+                BatchOp::Get(k) => oracle.get(k).cloned(),
+                BatchOp::Put(k, v) => oracle.insert(*k, v.clone()),
+                BatchOp::Del(k) => oracle.remove(k),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mixed_batches_match_a_sequential_oracle() {
+        for mode in [ApiMode::Short, ApiMode::Full] {
+            let stm = ValShort::new();
+            let store = ShardedKv::new(&stm, 4, 32, mode);
+            let mut t = store.register();
+            let mut oracle = BTreeMap::new();
+            let mut state = 0x5EED_0001u64;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for round in 0..60 {
+                let len = (rng() % 24) as usize;
+                let batch: Vec<BatchOp> = (0..len)
+                    .map(|_| {
+                        let key = rng() % 48;
+                        match rng() % 4 {
+                            0 => BatchOp::Get(key),
+                            1 => BatchOp::Del(key),
+                            // Lengths sweep inline and out-of-line values.
+                            _ => BatchOp::put(key, &vec![rng() as u8; (rng() % 40) as usize]),
+                        }
+                    })
+                    .collect();
+                assert_eq!(
+                    store.execute_batch(&batch, &mut t).unwrap(),
+                    results_of(&batch, &mut oracle),
+                    "{mode:?} diverged on batch {round}"
+                );
+            }
+            assert_eq!(
+                store.quiescent_snapshot(),
+                oracle.into_iter().collect::<Vec<_>>()
+            );
+            store.assert_index_consistent();
+        }
+    }
+
+    #[test]
+    fn read_your_writes_within_one_batch() {
+        let stm = OrecFullG::new();
+        let store = ShardedKv::new(&stm, 2, 16, ApiMode::Full);
+        let mut t = store.register();
+        // put/get/del chains on one key land in one shard group and mix
+        // reads with writes, forcing the atomic fallback.
+        let results = store
+            .execute_batch(
+                &[
+                    BatchOp::Get(9),
+                    BatchOp::put(9, b"a"),
+                    BatchOp::Get(9),
+                    BatchOp::Del(9),
+                    BatchOp::Get(9),
+                    BatchOp::put(9, b"a second, longer, out-of-line value"),
+                    BatchOp::Get(9),
+                ],
+                &mut t,
+            )
+            .unwrap();
+        assert_eq!(
+            results,
+            vec![
+                None,
+                None,
+                Some(Value::new(b"a")),
+                Some(Value::new(b"a")),
+                None,
+                None,
+                Some(Value::new(b"a second, longer, out-of-line value")),
+            ]
+        );
+        store.assert_index_consistent();
+    }
+
+    #[test]
+    fn oversized_puts_reject_the_whole_batch_untouched() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
+        let mut t = store.register();
+        store.put(1, b"keep", &mut t).unwrap();
+        let huge = vec![0u8; MAX_VALUE_LEN + 1];
+        let batch = [
+            BatchOp::put(1, b"clobbered?"),
+            BatchOp::Put(2, Value::from(huge.clone())),
+        ];
+        assert_eq!(
+            store.execute_batch(&batch, &mut t),
+            Err(KvError::ValueTooLarge {
+                len: MAX_VALUE_LEN + 1
+            })
+        );
+        assert_eq!(store.get(1, &mut t), Some(Value::new(b"keep")));
+        assert_eq!(store.get(2, &mut t), None);
+        assert_eq!(
+            store.multi_put(&[(1, b"x"), (2, &huge)], &mut t),
+            Err(KvError::ValueTooLarge {
+                len: MAX_VALUE_LEN + 1
+            })
+        );
+        assert_eq!(store.get(1, &mut t), Some(Value::new(b"keep")));
+    }
+
+    #[test]
+    fn multi_ops_roundtrip_in_request_order() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 4, 32, ApiMode::Short);
+        let mut t = store.register();
+        let pairs: Vec<(u64, Vec<u8>)> =
+            (0..40u64).map(|k| (k, k.to_le_bytes().to_vec())).collect();
+        let borrowed: Vec<(u64, &[u8])> = pairs.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        assert_eq!(
+            store.multi_put(&borrowed, &mut t).unwrap(),
+            vec![None; 40],
+            "fresh inserts displace nothing"
+        );
+        let keys: Vec<u64> = (0..44).collect();
+        let got = store.multi_get(&keys, &mut t);
+        for (k, v) in keys.iter().zip(&got) {
+            if *k < 40 {
+                assert_eq!(v.as_ref().unwrap().as_u64(), *k);
+            } else {
+                assert!(v.is_none());
+            }
+        }
+        // Duplicate keys apply in request order.
+        let dup = store
+            .multi_put(&[(7, b"first"), (7, b"second")], &mut t)
+            .unwrap();
+        assert_eq!(dup[0].as_ref().unwrap().as_u64(), 7);
+        assert_eq!(dup[1], Some(Value::new(b"first")));
+        let removed = store.multi_del(&[7, 7, 41], &mut t);
+        assert_eq!(removed, vec![Some(Value::new(b"second")), None, None]);
+        store.assert_index_consistent();
+    }
+
+    #[test]
+    fn empty_and_single_op_batches_work() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 1, 16, ApiMode::Short);
+        let mut t = store.register();
+        assert!(store.execute_batch(&[], &mut t).unwrap().is_empty());
+        assert_eq!(
+            store
+                .execute_batch(&[BatchOp::put(3, b"x")], &mut t)
+                .unwrap(),
+            vec![None]
+        );
+        assert_eq!(
+            store.execute_batch(&[BatchOp::Get(3)], &mut t).unwrap(),
+            vec![Some(Value::new(b"x"))]
+        );
+    }
+
+    #[test]
+    fn op_accessors_expose_key_and_kind() {
+        assert_eq!(BatchOp::Get(5).key(), 5);
+        assert_eq!(BatchOp::put(6, b"v").key(), 6);
+        assert_eq!(BatchOp::Del(7).key(), 7);
+        assert!(!BatchOp::Get(5).is_write());
+        assert!(BatchOp::put(6, b"v").is_write());
+        assert!(BatchOp::Del(7).is_write());
+    }
+}

@@ -23,6 +23,14 @@
 //!   consistent ordered snapshots spanning every shard — the
 //!   interoperability the paper's design guarantees (Section 2).
 //!
+//! On top of the single-key paths sits the **batched pipeline** (the
+//! [`batch`] module): [`BatchRequest`] / [`BatchResponse`] carry
+//! request-ordered operations that [`ShardedKv::execute_batch`] groups by
+//! shard, runs under one epoch entry per batch, and drains through
+//! prefetch-pipelined short transactions — amortizing the fixed
+//! per-operation toll a request-serving front-end would otherwise pay per
+//! key.  The module docs state the exact atomicity contract.
+//!
 //! Values are arbitrary byte payloads up to [`MAX_VALUE_LEN`], yet every
 //! transaction still touches only machine words: each value is one *value
 //! word* — packed inline for small payloads, a pointer to an immutable
@@ -91,11 +99,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod batch;
 pub mod map;
 pub mod router;
 pub mod store;
 pub mod value;
 
+pub use batch::{BatchOp, BatchRequest, BatchResponse};
 pub use map::{NodeSlot, RetiredNode, StmHashMap};
 pub use router::ShardRouter;
 pub use store::{ShardedKv, MAX_RMW_KEYS};

@@ -177,7 +177,7 @@ fn hash_key(key: u64) -> u64 {
 }
 
 #[inline]
-fn check_len(value: &[u8]) -> Result<(), KvError> {
+pub(crate) fn check_len(value: &[u8]) -> Result<(), KvError> {
     if value.len() > MAX_VALUE_LEN {
         Err(KvError::ValueTooLarge { len: value.len() })
     } else {
@@ -214,6 +214,23 @@ impl<S: Stm> StmHashMap<S> {
     #[inline]
     fn bucket(&self, key: u64) -> &S::Cell {
         &self.buckets[(hash_key(key) & self.mask) as usize]
+    }
+
+    /// Hints the CPU to pull `key`'s bucket head into cache — the batched
+    /// pipeline issues this a few operations ahead of the dispatch so the
+    /// chain walk's first dependent load overlaps earlier operations
+    /// (`crate::batch`).  Purely advisory; a no-op on architectures
+    /// without a prefetch primitive.
+    #[inline]
+    pub fn prefetch_bucket(&self, key: u64) {
+        let cell: *const S::Cell = self.bucket(key);
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a hint and never faults, for any address.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(cell.cast::<i8>(), core::arch::x86_64::_MM_HINT_T0)
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = cell;
     }
 
     #[inline]
@@ -281,6 +298,45 @@ impl<S: Stm> StmHashMap<S> {
     ) -> Option<Value> {
         match self.mode {
             ApiMode::Short => self.update_short(key, value, slot, thread),
+            ApiMode::Full | ApiMode::Fine => self.update_full(key, value, slot, thread),
+        }
+    }
+
+    /// [`StmHashMap::update_with_slot`] for callers that already hold an
+    /// epoch pin for the whole call (the batched pipeline): per-attempt pin
+    /// entry/exit is skipped; only a committed overwrite takes a nested
+    /// (counter-bump) pin to retire the displaced word.
+    pub(crate) fn update_with_slot_pinned(
+        &self,
+        key: u64,
+        value: &[u8],
+        slot: &mut ValueSlot,
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        debug_assert!(thread.epoch().is_pinned(), "update_pinned without a pin");
+        match self.mode {
+            ApiMode::Short => {
+                let word = slot.encode_once(value);
+                let mut attempts = 0u32;
+                loop {
+                    if attempts > 0 {
+                        thread.backoff().wait();
+                    }
+                    attempts += 1;
+                    if let Ok(displaced) = self.try_update_attempt(key, word, thread) {
+                        return displaced.map(|old| {
+                            slot.mark_published();
+                            // SAFETY: the committed overwrite displaced
+                            // `old`, making this thread its exclusive owner.
+                            let previous = unsafe { decode_value(old) };
+                            let pin = thread.epoch().pin();
+                            // SAFETY: as above; pinned readers are protected.
+                            unsafe { retire_value(old, &pin) };
+                            previous
+                        });
+                    }
+                }
+            }
             ApiMode::Full | ApiMode::Fine => self.update_full(key, value, slot, thread),
         }
     }
@@ -353,28 +409,61 @@ impl<S: Stm> StmHashMap<S> {
             }
             attempts += 1;
             let _pin = thread.epoch().pin();
-            let (_prev, curr) = self.search_short(key, thread);
-            if curr == 0 {
-                return None;
+            if let Ok(result) = self.try_get_short(key, thread) {
+                return result;
             }
-            // SAFETY: protected by the epoch pin above.
-            let node = unsafe { &*Self::node(curr) };
-            if node.key != key {
-                return None;
+        }
+    }
+
+    /// One attempt of the short get protocol; `Err` means validation
+    /// failed and the caller should retry.  The caller must hold an epoch
+    /// pin for the duration of the attempt.
+    #[inline]
+    fn try_get_short(&self, key: u64, thread: &mut S::Thread) -> Result<Option<Value>, ()> {
+        let (_prev, curr) = self.search_short(key, thread);
+        if curr == 0 {
+            return Ok(None);
+        }
+        // SAFETY: protected by the caller's epoch pin.
+        let node = unsafe { &*Self::node(curr) };
+        if node.key != key {
+            return Ok(None);
+        }
+        // Liveness and value must be observed together: a two-location
+        // read-only short transaction.
+        let next = thread.ro_read(0, &node.next);
+        let value = thread.ro_read(1, &node.value);
+        if !thread.ro_is_valid(2) {
+            return Err(());
+        }
+        if is_marked(next) {
+            return Ok(None);
+        }
+        // SAFETY: the caller's pin predates any retirement of the cell
+        // behind the validated word, so it cannot have been freed yet.
+        Ok(Some(unsafe { decode_value(value) }))
+    }
+
+    /// [`StmHashMap::get`] for callers that already hold an epoch pin for
+    /// the whole call (the batched pipeline, which enters the epoch once
+    /// per batch): per-attempt pin entry/exit is skipped entirely.  In
+    /// Full mode this simply forwards — `atomic` nests its pins cheaply.
+    pub(crate) fn get_pinned(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
+        debug_assert!(thread.epoch().is_pinned(), "get_pinned without a pin");
+        match self.mode {
+            ApiMode::Short => {
+                let mut attempts = 0u32;
+                loop {
+                    if attempts > 0 {
+                        thread.backoff().wait();
+                    }
+                    attempts += 1;
+                    if let Ok(result) = self.try_get_short(key, thread) {
+                        return result;
+                    }
+                }
             }
-            // Liveness and value must be observed together: a two-location
-            // read-only short transaction.
-            let next = thread.ro_read(0, &node.next);
-            let value = thread.ro_read(1, &node.value);
-            if !thread.ro_is_valid(2) {
-                continue;
-            }
-            if is_marked(next) {
-                return None;
-            }
-            // SAFETY: `_pin` predates any retirement of the cell behind the
-            // validated word, so it cannot have been freed yet.
-            return Some(unsafe { decode_value(value) });
+            ApiMode::Full | ApiMode::Fine => self.get_full(key, thread),
         }
     }
 
@@ -463,6 +552,36 @@ impl<S: Stm> StmHashMap<S> {
         }
     }
 
+    /// One attempt of the update-only protocol (search + the
+    /// [`StmHashMap::try_update_short`] dispatch): `Ok(None)` means the key
+    /// is absent or logically deleted, `Ok(Some(old))` a committed
+    /// overwrite that displaced `old` — now owned by this thread, which
+    /// must decode and retire it — and `Err(())` a validation or commit
+    /// failure to retry.  The caller must hold an epoch pin for the whole
+    /// attempt.
+    fn try_update_attempt(
+        &self,
+        key: u64,
+        word: Word,
+        thread: &mut S::Thread,
+    ) -> Result<Option<Word>, ()> {
+        let (_prev, curr) = self.search_short(key, thread);
+        if curr == 0 {
+            return Ok(None);
+        }
+        // SAFETY: protected by the caller's epoch pin.
+        let node = unsafe { &*Self::node(curr) };
+        if node.key != key {
+            return Ok(None);
+        }
+        match self.try_update_short(node, word, thread) {
+            ShortUpdate::Updated(old) => Ok(Some(old)),
+            // Logically deleted: the key is absent for this operation.
+            ShortUpdate::Deleted => Ok(None),
+            ShortUpdate::Retry => Err(()),
+        }
+    }
+
     /// Short-mode update-only path: the found-node branch of `put_short`
     /// (the same [`StmHashMap::try_update_short`] protocol) without the
     /// insert fallback.
@@ -481,30 +600,16 @@ impl<S: Stm> StmHashMap<S> {
             }
             attempts += 1;
             let pin = thread.epoch().pin();
-            let (_prev, curr) = self.search_short(key, thread);
-            if curr == 0 {
-                return None;
-            }
-            // SAFETY: protected by the epoch pin.
-            let node = unsafe { &*Self::node(curr) };
-            if node.key != key {
-                return None;
-            }
-            match self.try_update_short(node, word, thread) {
-                ShortUpdate::Updated(old) => {
+            if let Ok(displaced) = self.try_update_attempt(key, word, thread) {
+                return displaced.map(|old| {
                     slot.mark_published();
                     // SAFETY: the committed overwrite displaced `old`,
                     // making this thread its exclusive owner.
                     let previous = unsafe { decode_value(old) };
                     // SAFETY: as above; pinned readers are protected.
                     unsafe { retire_value(old, &pin) };
-                    return Some(previous);
-                }
-                // Logically deleted: the key is absent for this operation.
-                ShortUpdate::Deleted => return None,
-                ShortUpdate::Retry => {
-                    drop(pin);
-                }
+                    previous
+                });
             }
         }
     }

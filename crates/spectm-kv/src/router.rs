@@ -35,6 +35,90 @@ impl ShardRouter {
     pub fn route(&self, key: u64) -> usize {
         ((key.wrapping_mul(0xA24B_AED4_963E_E407) >> 32) & self.mask) as usize
     }
+
+    /// Partitions the positions of `keys` into per-shard groups: the result
+    /// has exactly [`ShardRouter::shard_count`] groups, and group `s` holds
+    /// the indexes `i` (in ascending order) whose `keys[i]` routes to shard
+    /// `s`.  Every input position appears in exactly one group — duplicates
+    /// included, since positions rather than keys are grouped — so the
+    /// concatenation of the groups is a permutation of `0..keys.len()`.
+    ///
+    /// This is the dispatch step of the batched operation path
+    /// (`ShardedKv::execute_batch`): group once, then drain each shard's
+    /// operations together.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spectm_kv::ShardRouter;
+    ///
+    /// let router = ShardRouter::new(4);
+    /// let keys = [7u64, 8, 7, 9];
+    /// let groups = router.group_indices(keys.iter().copied());
+    /// assert_eq!(groups.len(), 4);
+    /// // Duplicate keys land in the same group, in input order.
+    /// let dup = &groups[router.route(7)];
+    /// assert!(dup.windows(2).all(|w| w[0] < w[1]));
+    /// assert_eq!(groups.iter().flatten().count(), keys.len());
+    /// ```
+    pub fn group_indices(&self, keys: impl IntoIterator<Item = u64>) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = (0..self.shard_count()).map(|_| Vec::new()).collect();
+        for (i, key) in keys.into_iter().enumerate() {
+            groups[self.route(key)].push(i);
+        }
+        groups
+    }
+
+    /// Flat, allocation-lean form of [`ShardRouter::group_indices`]: a
+    /// counting sort producing `(order, ends)` where shard `s`'s group is
+    /// `order[start..ends[s]]` with `start = if s == 0 { 0 } else
+    /// { ends[s - 1] }` — the same ascending positions `group_indices`
+    /// would put in group `s`, in two buffer allocations total instead of
+    /// one `Vec` per shard (the batched hot path runs this once per
+    /// batch).  `keys` is consumed twice, so it must be cheaply cloneable.
+    pub fn group_runs(&self, keys: impl Iterator<Item = u64> + Clone) -> (Vec<usize>, Vec<usize>) {
+        let mut order = Vec::new();
+        let mut bounds = Vec::new();
+        self.group_runs_into(keys, &mut order, &mut bounds);
+        (order, bounds)
+    }
+
+    /// [`ShardRouter::group_runs`] into caller-provided buffers (cleared
+    /// first), so a batch loop reusing its buffers performs **zero**
+    /// allocations per grouping — allocation is the dominant cost of
+    /// grouping small batches.
+    pub fn group_runs_into(
+        &self,
+        keys: impl Iterator<Item = u64> + Clone,
+        order: &mut Vec<usize>,
+        bounds: &mut Vec<usize>,
+    ) {
+        // Pass 1: count positions per shard.
+        bounds.clear();
+        bounds.resize(self.shard_count(), 0);
+        let mut n = 0usize;
+        for key in keys.clone() {
+            bounds[self.route(key)] += 1;
+            n += 1;
+        }
+        // Exclusive prefix sum: `bounds[s]` is now the start of run `s`.
+        let mut start = 0usize;
+        for b in bounds.iter_mut() {
+            let count = *b;
+            *b = start;
+            start += count;
+        }
+        // Pass 2: place each position at its run's cursor.  Each placement
+        // advances the cursor, so when the loop finishes `bounds[s]` has
+        // become the exclusive *end* of run `s`.
+        order.clear();
+        order.resize(n, 0);
+        for (i, key) in keys.enumerate() {
+            let s = self.route(key);
+            order[bounds[s]] = i;
+            bounds[s] += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +253,50 @@ mod tests {
                 hit[r.route(key)] = true;
             }
             prop_assert!(hit.iter().all(|&h| h), "unused shard for base {}", base);
+        }
+
+        /// The batched dispatch contract: grouping by shard must partition
+        /// the input *positions* — no drops, no duplicates — for every
+        /// power-of-two shard count, even when the key list repeats keys.
+        #[test]
+        fn grouping_is_a_permutation_of_the_batch(
+            keys in proptest::collection::vec(0u64..64, 0..200),
+            shards_log2 in 0u32..7,
+        ) {
+            let r = ShardRouter::new(1usize << shards_log2);
+            let groups = r.group_indices(keys.iter().copied());
+            prop_assert_eq!(groups.len(), r.shard_count());
+            // Each group holds ascending positions that route to it.
+            for (shard, group) in groups.iter().enumerate() {
+                prop_assert!(group.windows(2).all(|w| w[0] < w[1]));
+                for &i in group {
+                    prop_assert_eq!(r.route(keys[i]), shard);
+                }
+            }
+            // Concatenated, the groups are a permutation of 0..len.
+            let mut flat: Vec<usize> = groups.into_iter().flatten().collect();
+            flat.sort_unstable();
+            prop_assert_eq!(flat, (0..keys.len()).collect::<Vec<_>>());
+        }
+
+        /// The flat counting-sort grouping must agree with the reference
+        /// `group_indices` shape exactly: same runs, same order.
+        #[test]
+        fn flat_runs_agree_with_grouped_indices(
+            keys in proptest::collection::vec(0u64..64, 0..200),
+            shards_log2 in 0u32..7,
+        ) {
+            let r = ShardRouter::new(1usize << shards_log2);
+            let groups = r.group_indices(keys.iter().copied());
+            let (order, ends) = r.group_runs(keys.iter().copied());
+            prop_assert_eq!(ends.len(), r.shard_count());
+            prop_assert_eq!(order.len(), keys.len());
+            let mut start = 0usize;
+            for (s, &end) in ends.iter().enumerate() {
+                prop_assert_eq!(&order[start..end], groups[s].as_slice());
+                start = end;
+            }
+            prop_assert_eq!(start, keys.len());
         }
 
         #[test]

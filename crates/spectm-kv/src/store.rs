@@ -5,7 +5,7 @@
 //! STM instance.  That one decision is what makes the store more than an
 //! array of independent maps: single-key operations stay short transactions
 //! confined to the owning shard (no cross-shard coordination on the hot
-//! path), while [`ShardedKv::rmw`], [`ShardedKv::multi_get`],
+//! path), while [`ShardedKv::rmw`], [`ShardedKv::multi_get_atomic`],
 //! [`ShardedKv::scan`] and [`ShardedKv::range`] open one full transaction
 //! whose read and write sets span shards — and the STM serializes it against
 //! every concurrent short transaction, because they share the clock, the
@@ -35,9 +35,11 @@ use crate::router::ShardRouter;
 use crate::value::{RetiredValue, Value, ValueSlot, MAX_VALUE_LEN};
 use crate::KvError;
 
-/// Maximum number of keys one [`ShardedKv::rmw`] / [`ShardedKv::multi_get`]
-/// may touch (bounds the per-transaction slot buffers; full transactions
-/// themselves have no such limit).
+/// Maximum number of keys one [`ShardedKv::rmw`] /
+/// [`ShardedKv::multi_get_atomic`] may touch (bounds the per-transaction
+/// slot buffers; full transactions themselves have no such limit).  The
+/// batched operations of [`crate::batch`] have no key limit — they pipeline
+/// per-shard instead of opening one transaction over everything.
 pub const MAX_RMW_KEYS: usize = 8;
 
 /// A sharded, concurrent `u64 -> bytes` store over one STM instance.
@@ -96,6 +98,19 @@ impl<S: Stm + Clone> ShardedKv<S> {
         &self.shards[self.router.route(key)]
     }
 
+    /// The hash map of shard `shard` (the batched pipeline resolves shards
+    /// once per batch and then addresses them directly).
+    #[inline]
+    pub(crate) fn shard_map(&self, shard: usize) -> &StmHashMap<S> {
+        &self.shards[shard]
+    }
+
+    /// The ordered index of shard `shard`.
+    #[inline]
+    pub(crate) fn shard_index(&self, shard: usize) -> &StmSkipList<S> {
+        &self.indexes[shard]
+    }
+
     /// Returns the value stored under `key` (a short transaction on the
     /// owning shard).
     ///
@@ -150,13 +165,56 @@ impl<S: Stm + Clone> ShardedKv<S> {
         if value.len() > MAX_VALUE_LEN {
             return Err(KvError::ValueTooLarge { len: value.len() });
         }
-        let shard = self.router.route(key);
+        Ok(self.put_routed(self.router.route(key), key, value, thread))
+    }
+
+    /// [`ShardedKv::put`] with the shard already resolved and the length
+    /// already checked — the body shared by the single-key path and the
+    /// batched pipeline (`crate::batch`), which routes once per batch.
+    pub(crate) fn put_routed(
+        &self,
+        shard: usize,
+        key: u64,
+        value: &[u8],
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        self.put_routed_impl(shard, key, value, thread, false)
+    }
+
+    /// [`ShardedKv::put_routed`] for callers that already hold an epoch pin
+    /// for the whole call (the batched pipeline): the overwrite fast path
+    /// skips per-attempt pin entry/exit, and the insert slow path's
+    /// transaction nests its pins as counter bumps.
+    pub(crate) fn put_routed_pinned(
+        &self,
+        shard: usize,
+        key: u64,
+        value: &[u8],
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        self.put_routed_impl(shard, key, value, thread, true)
+    }
+
+    fn put_routed_impl(
+        &self,
+        shard: usize,
+        key: u64,
+        value: &[u8],
+        thread: &mut S::Thread,
+        pinned: bool,
+    ) -> Option<Value> {
+        debug_assert!(value.len() <= MAX_VALUE_LEN);
+        debug_assert_eq!(shard, self.router.route(key));
         let mut value_slot = ValueSlot::new();
         // Fast path: overwrite an existing key — membership (and thus the
         // ordered index) is unchanged.
-        if let Some(old) = self.shards[shard].update_with_slot(key, value, &mut value_slot, thread)
-        {
-            return Ok(Some(old));
+        let updated = if pinned {
+            self.shards[shard].update_with_slot_pinned(key, value, &mut value_slot, thread)
+        } else {
+            self.shards[shard].update_with_slot(key, value, &mut value_slot, thread)
+        };
+        if let Some(old) = updated {
+            return Some(old);
         }
         // Slow path: the key looked absent — insert it into the hash map
         // and the index in one transaction.  A concurrent insert may win
@@ -183,12 +241,12 @@ impl<S: Stm + Clone> ShardedKv<S> {
         if inserted {
             node_slot.mark_published();
             tower_slot.mark_published();
-            Ok(None)
+            None
         } else {
             let displaced = displaced.take().expect("overwrite displaced a word");
             let old = displaced.value();
             displaced.retire(thread.epoch());
-            Ok(Some(old))
+            Some(old)
         }
     }
 
@@ -197,7 +255,18 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// index together, preserving the index invariant; the node and its
     /// value cell are then retired through the epoch collector.
     pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
-        let shard = self.router.route(key);
+        self.del_routed(self.router.route(key), key, thread)
+    }
+
+    /// [`ShardedKv::del`] with the shard already resolved (see
+    /// [`ShardedKv::put_routed`]).
+    pub(crate) fn del_routed(
+        &self,
+        shard: usize,
+        key: u64,
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        debug_assert_eq!(shard, self.router.route(key));
         let mut removed = None;
         let mut retired_tower = None;
         let found = thread
@@ -229,10 +298,15 @@ impl<S: Stm + Clone> ShardedKv<S> {
         Some(out)
     }
 
-    /// Atomically reads every key in `keys` inside one full transaction
-    /// spanning the owning shards.  Returns `Ok(None)` if any key is
-    /// absent, or [`KvError::TooManyKeys`] beyond [`MAX_RMW_KEYS`] keys.
-    pub fn multi_get(
+    /// Atomically reads every key in `keys` inside **one full transaction**
+    /// spanning the owning shards — all values belong to a single
+    /// serialization point.  Returns `Ok(None)` if any key is absent, or
+    /// [`KvError::TooManyKeys`] beyond [`MAX_RMW_KEYS`] keys.
+    ///
+    /// For large read sets where per-key (rather than cross-key) atomicity
+    /// suffices, use the batched [`ShardedKv::multi_get`], which has no key
+    /// limit.
+    pub fn multi_get_atomic(
         &self,
         keys: &[u64],
         thread: &mut S::Thread,
@@ -251,7 +325,7 @@ impl<S: Stm + Clone> ShardedKv<S> {
                 }
                 Ok(Some(vals))
             })
-            .expect("multi_get is never cancelled"))
+            .expect("multi_get_atomic is never cancelled"))
     }
 
     /// Atomically reads every key in `keys`, lets `update` rewrite the
@@ -534,10 +608,10 @@ mod tests {
         // All present: everything is written.
         assert!(store.rmw_add(&[10, 11], 1, &mut t).unwrap());
         assert_eq!(
-            store.multi_get(&[10, 11], &mut t).unwrap(),
+            store.multi_get_atomic(&[10, 11], &mut t).unwrap(),
             Some(vec![Value::from_u64(101), Value::from_u64(201)])
         );
-        assert_eq!(store.multi_get(&[10, 999], &mut t).unwrap(), None);
+        assert_eq!(store.multi_get_atomic(&[10, 999], &mut t).unwrap(), None);
     }
 
     #[test]
@@ -655,7 +729,7 @@ mod tests {
             })
         );
         assert_eq!(
-            store.multi_get(&keys, &mut t),
+            store.multi_get_atomic(&keys, &mut t),
             Err(KvError::TooManyKeys {
                 len: MAX_RMW_KEYS + 1
             })

@@ -25,30 +25,21 @@
 //!   put/del/get/scan/range over variable-size payloads must match a
 //!   `BTreeMap` replay operation by operation, including the ordered
 //!   results and the exact bytes.
+//!
+//! All concurrency runs through the deterministic scaffolding of
+//! [`common`]: barrier-started scoped workers with canonically seeded
+//! per-thread streams, so the replay oracles reconstruct exactly what the
+//! workers did.
+
+mod common;
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
+use common::{run_workers, thread_rng, Xorshift};
 use spectm::variants::{OrecFullG, TvarShortG, ValShort};
 use spectm::Stm;
 use spectm_ds::ApiMode;
 use spectm_kv::{ShardedKv, Value};
-
-/// Cheap per-thread xorshift generator.
-struct Xorshift(u64);
-
-impl Xorshift {
-    fn new(seed: u64) -> Self {
-        Self(seed | 1)
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        self.0
-    }
-}
 
 /// Deterministic payload for `(key, draw)`: the length cycles through the
 /// inline-bytes (0..=7), inline-int (8) and out-of-line (up to ~48 bytes)
@@ -65,49 +56,42 @@ fn disjoint_replay<S: Stm + Clone>(stm: S, mode: ApiMode) {
     const THREADS: u64 = 4;
     const RANGE: u64 = 256;
     const OPS: usize = 4_000;
-    let store = Arc::new(ShardedKv::new(&stm, 4, 64, mode));
-    let mut joins = Vec::new();
-    for tid in 0..THREADS {
-        let store = Arc::clone(&store);
-        joins.push(std::thread::spawn(move || {
-            let mut t = store.register();
-            let mut rng = Xorshift::new(0xC0FFEE ^ (tid.wrapping_mul(0x9E37_79B9)));
-            let base = tid * RANGE;
-            for _ in 0..OPS {
-                let k = base + rng.next() % RANGE;
-                let v = rng.next() >> 2;
-                match rng.next() % 5 {
-                    0 | 1 => {
-                        store.put(k, &payload(k, v), &mut t).unwrap();
-                    }
-                    2 => {
-                        store.del(k, &mut t);
-                    }
-                    3 => {
-                        store.get(k, &mut t);
-                    }
-                    _ => {
-                        // Scans cross thread ranges, so mid-flight results
-                        // are only sanity-checked (sorted, bounded); the
-                        // final state check below is what pins them down.
-                        let run = store.scan(k, 8, &mut t);
-                        assert!(run.len() <= 8);
-                        assert!(run.windows(2).all(|w| w[0].0 < w[1].0));
-                    }
+    const SEED: u64 = 0xC0FFEE;
+    let store = ShardedKv::new(&stm, 4, 64, mode);
+    run_workers(THREADS, SEED, |tid, rng| {
+        let mut t = store.register();
+        let base = tid * RANGE;
+        for _ in 0..OPS {
+            let k = base + rng.next() % RANGE;
+            let v = rng.next() >> 2;
+            match rng.next() % 5 {
+                0 | 1 => {
+                    store.put(k, &payload(k, v), &mut t).unwrap();
+                }
+                2 => {
+                    store.del(k, &mut t);
+                }
+                3 => {
+                    store.get(k, &mut t);
+                }
+                _ => {
+                    // Scans cross thread ranges, so mid-flight results
+                    // are only sanity-checked (sorted, bounded); the
+                    // final state check below is what pins them down.
+                    let run = store.scan(k, 8, &mut t);
+                    assert!(run.len() <= 8);
+                    assert!(run.windows(2).all(|w| w[0].0 < w[1].0));
                 }
             }
-        }));
-    }
-    for j in joins {
-        j.join().unwrap();
-    }
+        }
+    });
 
-    // Sequential replay: same per-thread streams, same seeds, into an
-    // ordinary map.  Disjoint ranges mean thread interleaving cannot change
-    // the final contents — the exact payload bytes included.
+    // Sequential replay: same per-thread streams, same canonical seeds,
+    // into an ordinary map.  Disjoint ranges mean thread interleaving
+    // cannot change the final contents — the exact payload bytes included.
     let mut oracle = BTreeMap::new();
     for tid in 0..THREADS {
-        let mut rng = Xorshift::new(0xC0FFEE ^ (tid.wrapping_mul(0x9E37_79B9)));
+        let mut rng = thread_rng(SEED, tid);
         let base = tid * RANGE;
         for _ in 0..OPS {
             let k = base + rng.next() % RANGE;
@@ -138,7 +122,7 @@ fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
     const WRITERS: u64 = 4;
     const OBSERVERS: u64 = 2;
     const TRANSFERS: usize = 2_000;
-    let store = Arc::new(ShardedKv::new(&stm, 4, 32, mode));
+    let store = ShardedKv::new(&stm, 4, 32, mode);
     {
         let mut t = store.register();
         for k in 0..KEYS {
@@ -146,12 +130,9 @@ fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
         }
     }
     let all_keys: Vec<u64> = (0..KEYS).collect();
-    let mut joins = Vec::new();
-    for tid in 0..WRITERS {
-        let store = Arc::clone(&store);
-        joins.push(std::thread::spawn(move || {
-            let mut t = store.register();
-            let mut rng = Xorshift::new(0xFEED ^ (tid + 1));
+    run_workers(WRITERS + OBSERVERS, 0xFEED, |tid, rng| {
+        let mut t = store.register();
+        if tid < WRITERS {
             for _ in 0..TRANSFERS {
                 let from = rng.next() % KEYS;
                 let to = rng.next() % KEYS;
@@ -171,26 +152,20 @@ fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
                     )
                     .unwrap());
             }
-        }));
-    }
-    for tid in 0..OBSERVERS {
-        let store = Arc::clone(&store);
-        let all_keys = all_keys.clone();
-        joins.push(std::thread::spawn(move || {
-            let mut t = store.register();
+        } else {
             for _ in 0..400 {
-                // Two chained multi_gets (8 keys each) are NOT atomic with
-                // respect to each other, so only per-call sums are checked
-                // against partial transfers *within* each half.
+                // Two chained atomic reads (8 keys each) are NOT atomic
+                // with respect to each other, so only per-call sums are
+                // checked against partial transfers *within* each half.
                 let lo: u64 = store
-                    .multi_get(&all_keys[..8], &mut t)
+                    .multi_get_atomic(&all_keys[..8], &mut t)
                     .unwrap()
                     .expect("keys present")
                     .iter()
                     .map(Value::as_u64)
                     .sum();
                 let hi: u64 = store
-                    .multi_get(&all_keys[8..], &mut t)
+                    .multi_get_atomic(&all_keys[8..], &mut t)
                     .unwrap()
                     .expect("keys present")
                     .iter()
@@ -200,13 +175,9 @@ fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
                 // can drift — but never beyond the total system mass, and
                 // never negative (u64 underflow would explode the sum).
                 assert!(lo + hi <= 2 * KEYS * INITIAL, "observed {lo} + {hi}");
-                let _ = tid;
             }
-        }));
-    }
-    for j in joins {
-        j.join().unwrap();
-    }
+        }
+    });
     // The real serializability check: after quiescence the mass is exact.
     let snapshot = store.quiescent_snapshot();
     assert_eq!(snapshot.len(), KEYS as usize);
@@ -214,13 +185,15 @@ fn transfers_conserve_total<S: Stm + Clone>(stm: S, mode: ApiMode) {
     assert_eq!(total, KEYS * INITIAL, "transfer mass was not conserved");
 }
 
-/// Transfers restricted to within-eight-key groups so a *single* `multi_get`
-/// covers every key a transfer can touch — observers must see the invariant
-/// hold mid-flight, not just at quiescence.
+/// Transfers restricted to within-eight-key groups so a *single* atomic
+/// read covers every key a transfer can touch — observers must see the
+/// invariant hold mid-flight, not just at quiescence.
 fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
     const KEYS: u64 = 8;
     const INITIAL: u64 = 1_000;
-    let store = Arc::new(ShardedKv::new(&stm, 4, 32, mode));
+    const WRITERS: u64 = 3;
+    const OBSERVERS: u64 = 2;
+    let store = ShardedKv::new(&stm, 4, 32, mode);
     {
         let mut t = store.register();
         for k in 0..KEYS {
@@ -228,12 +201,9 @@ fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) 
         }
     }
     let all_keys: Vec<u64> = (0..KEYS).collect();
-    let mut joins = Vec::new();
-    for tid in 0..3u64 {
-        let store = Arc::clone(&store);
-        joins.push(std::thread::spawn(move || {
-            let mut t = store.register();
-            let mut rng = Xorshift::new(0xBEEF ^ (tid + 1));
+    run_workers(WRITERS + OBSERVERS, 0xBEEF, |tid, rng| {
+        let mut t = store.register();
+        if tid < WRITERS {
             for _ in 0..1_500 {
                 let from = rng.next() % KEYS;
                 let to = rng.next() % KEYS;
@@ -252,16 +222,10 @@ fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) 
                     )
                     .unwrap());
             }
-        }));
-    }
-    for _ in 0..2 {
-        let store = Arc::clone(&store);
-        let all_keys = all_keys.clone();
-        joins.push(std::thread::spawn(move || {
-            let mut t = store.register();
+        } else {
             for _ in 0..500 {
                 let total: u64 = store
-                    .multi_get(&all_keys, &mut t)
+                    .multi_get_atomic(&all_keys, &mut t)
                     .unwrap()
                     .expect("keys present")
                     .iter()
@@ -269,11 +233,8 @@ fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) 
                     .sum();
                 assert_eq!(total, KEYS * INITIAL, "observed a partial transfer");
             }
-        }));
-    }
-    for j in joins {
-        j.join().unwrap();
-    }
+        }
+    });
 }
 
 /// Writers move value mass between random keys through cross-shard `rmw`
@@ -287,19 +248,16 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
     const INITIAL: u64 = 1_000;
     const WRITERS: u64 = 3;
     const OBSERVERS: u64 = 2;
-    let store = Arc::new(ShardedKv::new(&stm, 4, 32, mode));
+    let store = ShardedKv::new(&stm, 4, 32, mode);
     {
         let mut t = store.register();
         for k in 0..KEYS {
             store.put(k, &INITIAL.to_le_bytes(), &mut t).unwrap();
         }
     }
-    let mut joins = Vec::new();
-    for tid in 0..WRITERS {
-        let store = Arc::clone(&store);
-        joins.push(std::thread::spawn(move || {
-            let mut t = store.register();
-            let mut rng = Xorshift::new(0x5CA4 ^ (tid + 1));
+    run_workers(WRITERS + OBSERVERS, 0x5CA4, |tid, rng| {
+        let mut t = store.register();
+        if tid < WRITERS {
             for _ in 0..1_500 {
                 let from = rng.next() % KEYS;
                 let to = rng.next() % KEYS;
@@ -321,12 +279,7 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
                     )
                     .unwrap());
             }
-        }));
-    }
-    for tid in 0..OBSERVERS {
-        let store = Arc::clone(&store);
-        joins.push(std::thread::spawn(move || {
-            let mut t = store.register();
+        } else {
             for i in 0..300 {
                 let run = store.scan(0, KEYS as usize, &mut t);
                 assert_eq!(run.len(), KEYS as usize, "scan missed keys");
@@ -338,11 +291,8 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
                     "observer {tid} saw a torn transfer on scan {i}"
                 );
             }
-        }));
-    }
-    for j in joins {
-        j.join().unwrap();
-    }
+        }
+    });
     store.assert_index_consistent();
     let total: u64 = store
         .quiescent_snapshot()

@@ -12,8 +12,11 @@
 //! exactly to its baseline once the store and its STM (which owns the epoch
 //! collector) are dropped.
 
+mod common;
+
 use std::sync::{Mutex, MutexGuard};
 
+use common::run_workers;
 use spectm::variants::{OrecFullG, ValShort};
 use spectm::Stm;
 use spectm_ds::ApiMode;
@@ -50,36 +53,33 @@ fn churn<S: Stm + Clone>(stm: S, mode: ApiMode) {
     const DEFERRED_SLACK: usize = 262_144;
 
     let baseline = ValueCell::live_count();
-    let store = std::sync::Arc::new(ShardedKv::new(&stm, 4, 64, mode));
-    let mut joins = Vec::new();
-    for tid in 0..THREADS {
-        let store = std::sync::Arc::clone(&store);
-        joins.push(std::thread::spawn(move || {
-            let mut t = store.register();
-            let base = tid * RANGE;
-            for round in 0..ROUNDS {
-                for k in base..base + RANGE {
-                    // insert -> overwrite -> overwrite -> delete: every op
-                    // but the insert displaces (and must retire) a cell.
-                    store.put(k, &big_payload(k, round), &mut t).unwrap();
-                    store.put(k, &big_payload(k, round + 1), &mut t).unwrap();
-                    store.put(k, &big_payload(k, round + 2), &mut t).unwrap();
-                    assert_eq!(
-                        store.del(k, &mut t),
-                        Some(Value::from(big_payload(k, round + 2)))
-                    );
-                }
-                let in_flight = ValueCell::live_count().saturating_sub(baseline);
-                assert!(
-                    in_flight < (THREADS * RANGE) as usize + DEFERRED_SLACK,
-                    "unbounded growth: {in_flight} live cells mid-churn (round {round})"
+    let store = ShardedKv::new(&stm, 4, 64, mode);
+    // Barrier-started workers (the shared scaffolding in `common`): the
+    // churn phases genuinely overlap, which is what stresses the epoch
+    // bags.  The workload is deterministic per thread, so the per-thread
+    // RNG stream goes unused here.
+    run_workers(THREADS, 0xCE11, |tid, _rng| {
+        let mut t = store.register();
+        let base = tid * RANGE;
+        for round in 0..ROUNDS {
+            for k in base..base + RANGE {
+                // insert -> overwrite -> overwrite -> delete: every op
+                // but the insert displaces (and must retire) a cell.
+                store.put(k, &big_payload(k, round), &mut t).unwrap();
+                store.put(k, &big_payload(k, round + 1), &mut t).unwrap();
+                store.put(k, &big_payload(k, round + 2), &mut t).unwrap();
+                assert_eq!(
+                    store.del(k, &mut t),
+                    Some(Value::from(big_payload(k, round + 2)))
                 );
             }
-        }));
-    }
-    for j in joins {
-        j.join().unwrap();
-    }
+            let in_flight = ValueCell::live_count().saturating_sub(baseline);
+            assert!(
+                in_flight < (THREADS * RANGE) as usize + DEFERRED_SLACK,
+                "unbounded growth: {in_flight} live cells mid-churn (round {round})"
+            );
+        }
+    });
     // Everything was deleted; only cells still parked in epoch bags remain.
     assert_eq!(store.quiescent_snapshot(), Vec::new());
     drop(store);
