@@ -14,6 +14,11 @@
 //! 1 KiB (out-of-line epoch-reclaimed cells) — under the read-heavy mix.
 //! Each is annotated with its bytes-per-operation throughput, so the
 //! harness reports MB/s next to ns/iter and ops/s.
+//!
+//! The `kv_load_*` groups pin the tables' bucket arrays and sweep the key
+//! count so occupancy lands at 0.25, 0.50 and 0.90 of the slot budget —
+//! the probe-length panel that shows lookups staying flat as the flat
+//! 7-slot buckets fill and overflow chains appear.
 
 use std::time::Duration;
 
@@ -26,7 +31,9 @@ use harness::VariantSpec;
 
 const NUM_KEYS: u64 = 16_384;
 const SHARDS: usize = 16;
-const BUCKETS_PER_SHARD: usize = 2_048;
+/// Capacity hint per shard (keys, not buckets): the key space split evenly,
+/// landing each shard's table near the ~0.75 target load factor.
+const CAPACITY_PER_SHARD: usize = (NUM_KEYS as usize) / SHARDS;
 
 const VARIANTS: [VariantSpec; 4] = [
     VariantSpec::ValShort,
@@ -57,7 +64,7 @@ fn bench_kv_panel(c: &mut Criterion, name: &str, mix: KvMix, dist: KeyDist, valu
         let mut runner = kv_runner(
             spec,
             SHARDS,
-            BUCKETS_PER_SHARD,
+            CAPACITY_PER_SHARD,
             NUM_KEYS,
             mix,
             dist,
@@ -114,6 +121,50 @@ fn value_sizes(c: &mut Criterion) {
     }
 }
 
+/// The probe-length panel: read-heavy point lookups with the tables pinned
+/// at low, target and stressed occupancy (EXPERIMENTS.md § load-factor
+/// sweep).  Every table is built with the same capacity hint — 1 280 keys
+/// per shard, which sizes each shard at 256 home buckets (1 792 slots) —
+/// and the *key count* sweeps the load factor: 0.25 (half-empty lines),
+/// 0.50, and 0.90 (past the ~0.75 design target, where overflow chains
+/// appear).  Bounded probe lengths mean the ns/op spread across these three
+/// groups stays small; `kv --stats --key-range N --capacity 20480` prints
+/// the matching probe-length histograms.
+fn load_factors(c: &mut Criterion) {
+    const SWEEP_CAPACITY_PER_SHARD: usize = 1_280;
+    const SLOTS: u64 = 16 * 256 * 7; // shards x home buckets x slots/bucket
+    for (label, num_keys) in [
+        ("0.25", SLOTS / 4),
+        ("0.50", SLOTS / 2),
+        ("0.90", SLOTS * 9 / 10),
+    ] {
+        let name = format!("kv_load_{label}_read_heavy_uniform");
+        let mut group = c.benchmark_group(&name);
+        configure(&mut group);
+        for spec in VARIANTS {
+            let mut runner = kv_runner(
+                spec,
+                SHARDS,
+                SWEEP_CAPACITY_PER_SHARD,
+                num_keys,
+                KvMix::ReadHeavy,
+                KeyDist::Uniform,
+                ValueSize::default(),
+            );
+            let sampler = KeySampler::new(KeyDist::Uniform, num_keys);
+            let mut rng = Xorshift::new(0xC0DE_5EED);
+            group.bench_function(spec.label(), |b| {
+                b.iter(|| {
+                    let key = sampler.sample(&mut rng);
+                    let raw = rng.next();
+                    runner(key, raw);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 /// The batch-size sweep: one iteration executes one whole batch, and the
 /// `Throughput::Elements` annotation divides it back out, so every panel
 /// reports **operations per second** — directly comparable across batch
@@ -130,7 +181,7 @@ fn batch_sizes(c: &mut Criterion) {
             let mut runner = kv_batch_runner(
                 spec,
                 SHARDS,
-                BUCKETS_PER_SHARD,
+                CAPACITY_PER_SHARD,
                 NUM_KEYS,
                 KvMix::ReadHeavy,
                 KeyDist::Uniform,
@@ -150,6 +201,7 @@ criterion_group!(
     read_modify_write,
     scan_heavy,
     value_sizes,
+    load_factors,
     batch_sizes
 );
 criterion_main!(kvstore);

@@ -187,13 +187,14 @@ fn erase_kv<K: KvStore>(
 
 /// Builds an operation runner over the sharded KV store for `spec` (any STM
 /// variant or the lock-free baseline; there is no sequential KV store).
-/// `dist` governs the keys of multi-key read-modify-writes, `value_size`
-/// the payload lengths; the primary key is whatever the caller feeds the
-/// runner.
+/// `capacity_per_shard` is the per-shard key-capacity hint the tables size
+/// their bucket arrays from (~0.75 target load factor); `dist` governs the
+/// keys of multi-key read-modify-writes, `value_size` the payload lengths;
+/// the primary key is whatever the caller feeds the runner.
 pub fn kv_runner(
     spec: VariantSpec,
     shards: usize,
-    buckets_per_shard: usize,
+    capacity_per_shard: usize,
     num_keys: u64,
     mix: KvMix,
     dist: KeyDist,
@@ -203,7 +204,7 @@ pub fn kv_runner(
         VariantSpec::Sequential => panic!("the KV store has no sequential baseline"),
         VariantSpec::LockFree => erase_kv(
             LockFreeKvBench::new(LockFreeKvMap::new(
-                shards * buckets_per_shard,
+                shards * capacity_per_shard,
                 Collector::new(),
             )),
             num_keys,
@@ -219,7 +220,7 @@ pub fn kv_runner(
             StmKvBench::new(
                 OrecStm::with_config(stm_config(spec)),
                 shards,
-                buckets_per_shard,
+                capacity_per_shard,
                 api_mode(spec),
             ),
             num_keys,
@@ -234,7 +235,7 @@ pub fn kv_runner(
             StmKvBench::new(
                 TvarStm::with_config(stm_config(spec)),
                 shards,
-                buckets_per_shard,
+                capacity_per_shard,
                 api_mode(spec),
             ),
             num_keys,
@@ -246,7 +247,7 @@ pub fn kv_runner(
             StmKvBench::new(
                 ValShort::with_config(stm_config(spec)),
                 shards,
-                buckets_per_shard,
+                capacity_per_shard,
                 api_mode(spec),
             ),
             num_keys,
@@ -297,7 +298,7 @@ fn erase_kv_batch<K: KvStore>(
 pub fn kv_batch_runner(
     spec: VariantSpec,
     shards: usize,
-    buckets_per_shard: usize,
+    capacity_per_shard: usize,
     num_keys: u64,
     mix: KvMix,
     dist: KeyDist,
@@ -308,7 +309,7 @@ pub fn kv_batch_runner(
         VariantSpec::Sequential => panic!("the KV store has no sequential baseline"),
         VariantSpec::LockFree => erase_kv_batch(
             LockFreeKvBench::new(LockFreeKvMap::new(
-                shards * buckets_per_shard,
+                shards * capacity_per_shard,
                 Collector::new(),
             )),
             num_keys,
@@ -325,7 +326,7 @@ pub fn kv_batch_runner(
             StmKvBench::new(
                 OrecStm::with_config(stm_config(spec)),
                 shards,
-                buckets_per_shard,
+                capacity_per_shard,
                 api_mode(spec),
             ),
             num_keys,
@@ -341,7 +342,7 @@ pub fn kv_batch_runner(
             StmKvBench::new(
                 TvarStm::with_config(stm_config(spec)),
                 shards,
-                buckets_per_shard,
+                capacity_per_shard,
                 api_mode(spec),
             ),
             num_keys,
@@ -354,7 +355,7 @@ pub fn kv_batch_runner(
             StmKvBench::new(
                 ValShort::with_config(stm_config(spec)),
                 shards,
-                buckets_per_shard,
+                capacity_per_shard,
                 api_mode(spec),
             ),
             num_keys,

@@ -24,33 +24,59 @@
 //!   N operations instead of the single-key API, amortizing routing and
 //!   epoch entry (default 1, the unbatched path).  Point-operation mixes
 //!   only; scan and RMW workloads are skipped with a warning when N > 1.
+//! * `--capacity N` — override the total capacity hint the store tables are
+//!   sized from (default: the key range, which lands near the ~0.75 bucket
+//!   load-factor target).  An `N` below the key range undersizes the tables
+//!   and drives them to high occupancy — the load-factor stress shape.
+//! * `--stats` — instead of a throughput sweep, load the key space into
+//!   each variant's store and print one TSV row per variant with its
+//!   occupancy and probe-length statistics (keys, load factor, overflow
+//!   buckets, fraction of probes within 1 and 2 buckets).
+//!
+//! `--keys`/`--key-range` plus optionally `--capacity` are the only sizing
+//! inputs: bucket counts are derived from the capacity hint, never passed
+//! by hand.
 
 use harness::kv::{kv_default_dists, kv_default_mixes, KeyDist, KvMix, ValueSize};
 
-/// Splits the kv-specific flags off the argument list, returning the mixes,
-/// distributions, value-size distribution, verify switch, batch size and
-/// the remaining arguments for the common parser.
-#[allow(clippy::type_complexity)]
-fn parse_kv_args(
-    args: impl Iterator<Item = String>,
-) -> (
-    Vec<KvMix>,
-    Vec<KeyDist>,
-    ValueSize,
-    bool,
-    usize,
-    Vec<String>,
-) {
+/// The kv-specific flags split off the argument list; `rest` goes to the
+/// common parser.
+struct KvArgs {
+    mixes: Vec<KvMix>,
+    dists: Vec<KeyDist>,
+    value_size: ValueSize,
+    verify: bool,
+    batch: usize,
+    capacity: Option<usize>,
+    stats: bool,
+    rest: Vec<String>,
+}
+
+fn parse_kv_args(args: impl Iterator<Item = String>) -> KvArgs {
     let args: Vec<String> = args.collect();
     let mut mixes = kv_default_mixes();
     let mut dists = kv_default_dists();
     let mut value_size = ValueSize::default();
     let mut verify = false;
     let mut batch = 1usize;
+    let mut capacity = None;
+    let mut stats = false;
     let mut rest = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--capacity" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_default();
+                match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => capacity = Some(n),
+                    _ => {
+                        eprintln!("error: `--capacity {raw}` is not a positive key count");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--stats" => stats = true,
             "--batch" => {
                 i += 1;
                 let raw = args.get(i).cloned().unwrap_or_default();
@@ -137,12 +163,47 @@ fn parse_kv_args(
         }
         i += 1;
     }
-    (mixes, dists, value_size, verify, batch, rest)
+    KvArgs {
+        mixes,
+        dists,
+        value_size,
+        verify,
+        batch,
+        capacity,
+        stats,
+        rest,
+    }
 }
 
 fn main() {
-    let (mixes, dists, value_size, verify, batch, rest) = parse_kv_args(std::env::args().skip(1));
-    let opts = harness::figures::opts_from_args(rest.into_iter());
-    let rows = harness::kv::kv_rows_for(&opts, &mixes, &dists, value_size, verify, batch);
+    let args = parse_kv_args(std::env::args().skip(1));
+    let opts = harness::figures::opts_from_args(args.rest.into_iter());
+    if args.stats {
+        println!(
+            "variant\tkeys\tload\thome_buckets\toverflow_buckets\tprobes<=1\tprobes<=2\tmax_probe"
+        );
+        for (variant, stats) in harness::kv::kv_stats_rows(&opts, args.value_size, args.capacity) {
+            println!(
+                "{variant}\t{}\t{:.3}\t{}\t{}\t{:.4}\t{:.4}\t{}",
+                stats.keys,
+                stats.load_factor(),
+                stats.home_buckets,
+                stats.overflow_buckets,
+                stats.fraction_within(1),
+                stats.fraction_within(2),
+                stats.max_probe(),
+            );
+        }
+        return;
+    }
+    let rows = harness::kv::kv_rows_for(
+        &opts,
+        &args.mixes,
+        &args.dists,
+        args.value_size,
+        args.verify,
+        args.batch,
+        args.capacity,
+    );
     harness::figures::print_rows(&rows);
 }

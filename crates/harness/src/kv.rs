@@ -31,7 +31,7 @@ use lockfree::LockFreeKvMap;
 use serde::Serialize;
 use spectm::variants::{OrecStm, TvarStm, ValShort};
 use spectm::Stm;
-use spectm_kv::{BatchOp, BatchRequest, BatchResponse, ShardedKv, Value};
+use spectm_kv::{BatchOp, BatchRequest, BatchResponse, MapStats, ShardedKv, Value};
 use txepoch::Collector;
 
 use crate::intset::{RunResult, Xorshift, BATCH_OPS};
@@ -93,6 +93,12 @@ pub trait KvStore: Send + Sync + 'static {
     fn supports_concurrency(&self) -> bool {
         true
     }
+    /// Occupancy and probe-length statistics of the store's hash table(s),
+    /// when the implementation exposes them (both bundled stores do).
+    /// Non-transactional — call only when no concurrent operations run.
+    fn stats(&self) -> Option<MapStats> {
+        None
+    }
 }
 
 /// [`KvStore`] adapter for the sharded STM store.
@@ -101,11 +107,12 @@ pub struct StmKvBench<S: Stm + Clone> {
 }
 
 impl<S: Stm + Clone> StmKvBench<S> {
-    /// Builds a store with `shards` shards of `buckets_per_shard` chains
-    /// over `stm`, driven in `mode`.
-    pub fn new(stm: S, shards: usize, buckets_per_shard: usize, mode: spectm_ds::ApiMode) -> Self {
+    /// Builds a store with `shards` shards, each sized for about
+    /// `capacity_per_shard` keys (the hint `StmHashMap::new` sizes its
+    /// bucket array from), over `stm`, driven in `mode`.
+    pub fn new(stm: S, shards: usize, capacity_per_shard: usize, mode: spectm_ds::ApiMode) -> Self {
         Self {
-            store: ShardedKv::new(&stm, shards, buckets_per_shard, mode),
+            store: ShardedKv::new(&stm, shards, capacity_per_shard, mode),
         }
     }
 
@@ -155,6 +162,10 @@ impl<S: Stm + Clone> KvStore for StmKvBench<S> {
         self.store
             .execute_batch_into(req, out, ctx)
             .expect("driver payloads are size-bounded")
+    }
+
+    fn stats(&self) -> Option<MapStats> {
+        Some(self.store.stats())
     }
 }
 
@@ -210,6 +221,11 @@ impl KvStore for LockFreeKvBench {
         self.inner
             .execute_batch_into(req.ops(), out, ctx)
             .expect("driver payloads are size-bounded")
+    }
+
+    fn stats(&self) -> Option<MapStats> {
+        let handle = self.inner.collector().register();
+        Some(self.inner.stats(&handle))
     }
 }
 
@@ -633,8 +649,10 @@ pub struct KvWorkloadConfig {
     pub num_keys: u64,
     /// Shard count of the store (power of two).
     pub shards: usize,
-    /// Bucket chains per shard.
-    pub buckets_per_shard: usize,
+    /// Keys budgeted per shard — the capacity hint the maps size their
+    /// bucket arrays from (targeting the ~0.75 bucket load factor; not a
+    /// limit, overflow buckets absorb any excess).
+    pub capacity_per_shard: usize,
     /// Number of worker threads.
     pub threads: usize,
     /// Wall-clock duration of the measured phase.
@@ -666,7 +684,7 @@ impl Default for KvWorkloadConfig {
         Self {
             num_keys: 65_536,
             shards: 16,
-            buckets_per_shard: 8_192,
+            capacity_per_shard: 4_096,
             threads: 1,
             duration: Duration::from_millis(300),
             mix: KvMix::ReadHeavy,
@@ -681,16 +699,26 @@ impl Default for KvWorkloadConfig {
 
 impl KvWorkloadConfig {
     /// Derives the store-sizing fields from a key-space size: 16 shards (or
-    /// fewer for tiny spaces) and about two buckets per key overall.
+    /// fewer for tiny spaces) and a per-shard capacity hint of the shard's
+    /// fair share of the keys, so the tables land near their target load
+    /// factor without hand-picked bucket counts.
     pub fn sized_for(num_keys: u64) -> Self {
         let shards = 16usize.min((num_keys / 64).max(1) as usize);
-        let buckets_per_shard = ((num_keys * 2) as usize / shards).max(16);
+        let capacity_per_shard = (num_keys as usize).div_ceil(shards).max(1);
         Self {
             num_keys,
             shards,
-            buckets_per_shard,
+            capacity_per_shard,
             ..Self::default()
         }
+    }
+
+    /// Overrides the per-shard capacity hint from a *total* capacity (the
+    /// `--capacity` flag): undersizing the hint relative to `num_keys`
+    /// drives the tables to high load factors for occupancy stress runs.
+    pub fn with_total_capacity(mut self, total_capacity: usize) -> Self {
+        self.capacity_per_shard = total_capacity.div_ceil(self.shards).max(1);
+        self
     }
 }
 
@@ -996,7 +1024,7 @@ pub fn run_kv_variant(spec: VariantSpec, cfg: &KvWorkloadConfig, runs: usize) ->
         VariantSpec::LockFree => run_kv_repeated(
             || {
                 LockFreeKvBench::new(LockFreeKvMap::new(
-                    cfg.shards * cfg.buckets_per_shard,
+                    cfg.shards * cfg.capacity_per_shard,
                     Collector::new(),
                 ))
             },
@@ -1012,7 +1040,7 @@ pub fn run_kv_variant(spec: VariantSpec, cfg: &KvWorkloadConfig, runs: usize) ->
                         StmKvBench::new(
                             OrecStm::with_config(config),
                             cfg.shards,
-                            cfg.buckets_per_shard,
+                            cfg.capacity_per_shard,
                             api,
                         )
                     },
@@ -1024,7 +1052,7 @@ pub fn run_kv_variant(spec: VariantSpec, cfg: &KvWorkloadConfig, runs: usize) ->
                         StmKvBench::new(
                             TvarStm::with_config(config),
                             cfg.shards,
-                            cfg.buckets_per_shard,
+                            cfg.capacity_per_shard,
                             api,
                         )
                     },
@@ -1036,7 +1064,7 @@ pub fn run_kv_variant(spec: VariantSpec, cfg: &KvWorkloadConfig, runs: usize) ->
                         StmKvBench::new(
                             ValShort::with_config(config),
                             cfg.shards,
-                            cfg.buckets_per_shard,
+                            cfg.capacity_per_shard,
                             api,
                         )
                     },
@@ -1094,15 +1122,19 @@ pub fn kv_rows(opts: &FigureOpts) -> Vec<FigureRow> {
         ValueSize::default(),
         false,
         1,
+        None,
     )
 }
 
 /// [`kv_rows`] restricted to explicit mixes, distributions, a value-size
-/// distribution, a verification switch and a batch size (the `--workload` /
-/// `--dist` / `--value-size` / `--verify` / `--batch` flags of the `kv`
-/// binary).  With `batch > 1`, mixes that have no batched shape (scans,
-/// multi-key RMW) are skipped with a warning rather than aborting the
-/// sweep.
+/// distribution, a verification switch, a batch size and an optional total
+/// capacity-hint override (the `--workload` / `--dist` / `--value-size` /
+/// `--verify` / `--batch` / `--capacity` flags of the `kv` binary).  With
+/// `batch > 1`, mixes that have no batched shape (scans, multi-key RMW) are
+/// skipped with a warning rather than aborting the sweep.  A `capacity`
+/// below the key-space size undersizes the tables, driving them to high
+/// load factors (the occupancy stress shape CI exercises).
+#[allow(clippy::too_many_arguments)]
 pub fn kv_rows_for(
     opts: &FigureOpts,
     mixes: &[KvMix],
@@ -1110,6 +1142,7 @@ pub fn kv_rows_for(
     value_size: ValueSize,
     verify: bool,
     batch: usize,
+    capacity: Option<usize>,
 ) -> Vec<FigureRow> {
     assert!(batch >= 1, "a batch holds at least one operation");
     let mut rows = Vec::new();
@@ -1137,6 +1170,10 @@ pub fn kv_rows_for(
             }
             for variant in kv_variants() {
                 for &threads in &opts.threads {
+                    let mut sized = KvWorkloadConfig::sized_for(opts.key_range);
+                    if let Some(total) = capacity {
+                        sized = sized.with_total_capacity(total);
+                    }
                     let cfg = KvWorkloadConfig {
                         threads,
                         duration: opts.duration,
@@ -1145,7 +1182,7 @@ pub fn kv_rows_for(
                         value_size,
                         verify,
                         batch,
-                        ..KvWorkloadConfig::sized_for(opts.key_range)
+                        ..sized
                     };
                     let y = run_kv_variant(variant, &cfg, opts.runs);
                     rows.push(FigureRow {
@@ -1160,6 +1197,83 @@ pub fn kv_rows_for(
         }
     }
     rows
+}
+
+/// The `kv --stats` mode: loads the key space of `0..opts.key_range` into a
+/// fresh store per acceptance variant (sized by [`KvWorkloadConfig::sized_for`],
+/// optionally capacity-overridden) and returns each variant's occupancy and
+/// probe-length statistics, quiescently.  This is the probe-length
+/// acceptance surface: at the default sizing the histogram must show the
+/// overwhelming majority of probes touching one bucket.
+pub fn kv_stats_rows(
+    opts: &FigureOpts,
+    value_size: ValueSize,
+    capacity: Option<usize>,
+) -> Vec<(String, MapStats)> {
+    let mut cfg = KvWorkloadConfig::sized_for(opts.key_range);
+    if let Some(total) = capacity {
+        cfg = cfg.with_total_capacity(total);
+    }
+    fn loaded_stats<K: KvStore>(
+        store: K,
+        cfg: &KvWorkloadConfig,
+        value_size: ValueSize,
+    ) -> MapStats {
+        load_keys(&store, cfg.num_keys, value_size);
+        store.stats().expect("bundled stores report stats")
+    }
+    kv_variants()
+        .into_iter()
+        .map(|spec| {
+            let stats = match spec {
+                VariantSpec::LockFree => loaded_stats(
+                    LockFreeKvBench::new(LockFreeKvMap::new(
+                        cfg.shards * cfg.capacity_per_shard,
+                        Collector::new(),
+                    )),
+                    &cfg,
+                    value_size,
+                ),
+                _ => {
+                    let (layout, api, config) = spec.stm_parts().expect("STM variant");
+                    let config = bench_config(config);
+                    match layout {
+                        Layout::Orec => loaded_stats(
+                            StmKvBench::new(
+                                OrecStm::with_config(config),
+                                cfg.shards,
+                                cfg.capacity_per_shard,
+                                api,
+                            ),
+                            &cfg,
+                            value_size,
+                        ),
+                        Layout::Tvar => loaded_stats(
+                            StmKvBench::new(
+                                TvarStm::with_config(config),
+                                cfg.shards,
+                                cfg.capacity_per_shard,
+                                api,
+                            ),
+                            &cfg,
+                            value_size,
+                        ),
+                        Layout::Val => loaded_stats(
+                            StmKvBench::new(
+                                ValShort::with_config(config),
+                                cfg.shards,
+                                cfg.capacity_per_shard,
+                                api,
+                            ),
+                            &cfg,
+                            value_size,
+                        ),
+                    }
+                }
+            };
+            (spec.label().to_string(), stats)
+        })
+        .collect()
 }
 
 #[cfg(test)]

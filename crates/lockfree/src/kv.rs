@@ -1,85 +1,102 @@
-//! Lock-free (CAS-based) key-value hash map, the non-STM baseline for the
-//! sharded KV-store benchmarks.
+//! Lock-free-read key-value hash map, the non-STM baseline for the sharded
+//! KV-store benchmarks.
 //!
-//! Structurally this is [`crate::LockFreeHashTable`] with a value word
-//! attached to each node: a fixed array of bucket heads, each bucket a
-//! Harris-style sorted chain with the deletion mark in bit 0 of the `next`
-//! pointer.  Values use the **same representation as the STM store** (the
-//! point of a baseline is an apples-to-apples comparison): each value is a
+//! The layout is the **same cache-line bulk-chaining bucket scheme as
+//! `spectm_kv::StmHashMap`** (the point of a baseline is an apples-to-apples
+//! comparison): a flat array of 64-byte home buckets, each holding
+//! [`BUCKET_SLOTS`] tagged item words plus one stat word, with rare
+//! 512-byte-aligned overflow buckets chained off the stat word.  An item
+//! word packs 5 hash-tag bits (bits 1..=5) beside a 64-byte-aligned node
+//! pointer so mismatched probes never dereference; a stat word packs the
+//! overflow-chain pointer, a reserved frequency byte (bits 1..=8), and —
+//! this is where the baseline differs from the STM map — a **per-chain
+//! writer spinlock in bit 0** of the *home* bucket's stat word, the
+//! Segcache discipline: readers are lock-free, writers to the same chain
+//! serialize briefly.
+//!
+//! Values use the same representation as the STM store too: each value is a
 //! single word — small payloads inline, larger ones behind an immutable
 //! epoch-reclaimed [`spectm_kv::ValueCell`] — held in a plain `AtomicUsize`
-//! per node.  A `put` on an existing key is a single atomic swap of the
-//! value word — the fastest update the hardware offers — after which the
-//! put-ter owns the displaced word and retires its cell through the epoch
-//! collector.  A node owns whatever word it holds when it dies, so its
-//! `Drop` frees that cell (by then the grace period has passed).
+//! per node.  A `put` on an existing key swaps the value word in place;
+//! the put-ter owns the displaced word and retires its cell through the
+//! epoch collector.  A node owns whatever word it holds when it dies, so
+//! its `Drop` frees that cell (by then the grace period has passed).
+//! Overflow buckets are write-once (freed only when the map drops), so a
+//! lock-free reader can never race bucket reclamation; deleted *nodes* are
+//! retired through the epoch collector after their slot is zeroed.
 //!
 //! For range scans the map keeps a [`crate::LockFreeSkipList`] of keys next
 //! to the hash table; [`LockFreeKvMap::scan`] walks it in order and looks
 //! every key up in the table.
 //!
-//! Three caveats, all inherent to the CAS-based design and shared by the
-//! paper's lock-free baselines:
+//! Two caveats, both inherent to the CAS-composed design and shared by the
+//! paper's non-transactional baselines:
 //!
-//! * a `put` racing with a `remove` of the same key may update the value of
-//!   a node that is concurrently being logically deleted; the put retries as
-//!   a fresh insert, but the previous-value it reports is advisory under such
-//!   races;
 //! * there is no multi-key atomicity: [`LockFreeKvMap::rmw_add`] applies a
-//!   per-key CAS loop, so a concurrent reader can observe a partially
+//!   per-key update loop, so a concurrent reader can observe a partially
 //!   applied multi-key update.  The STM store (the `spectm-kv` crate)
 //!   provides the atomic variant; the contrast is the point of the
 //!   benchmark;
 //! * [`LockFreeKvMap::scan`] is **not a snapshot**: the key index and the
-//!   value table are updated by separate CASes (and each value is read by a
+//!   value table are updated by separate steps (and each value is read by a
 //!   separate load), so a scan concurrent with writes can observe a torn
 //!   multi-key update, miss a freshly inserted key, or return a value newer
 //!   than a neighbour's.  `ShardedKv::scan` runs the same shape as one full
 //!   transaction and rules all of that out — the contrast is, again, the
 //!   point.
+//!
+//! (The old per-node-chain version had a third caveat — a `put` racing a
+//! `del` of the same key reported an advisory previous value.  Per-chain
+//! writer serialization removes that race: the previous value a `put` or
+//! `del` reports is now exact.)
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use spectm_kv::value::{decode_value, encode_value, free_value, retire_value};
-use spectm_kv::{BatchOp, KvError, Value, MAX_VALUE_LEN};
+use spectm_kv::{BatchOp, KvError, MapStats, Value, BUCKET_SLOTS, MAX_VALUE_LEN};
 use txepoch::{Collector, LocalHandle};
 
 use crate::skiplist::LockFreeSkipList;
 use crate::ConcurrentIntSet;
 
-const MARK: usize = 1;
+/// Bit 0 of a *home* bucket's stat word: the per-chain writer spinlock.
+/// (The STM map leaves this bit to the `val` layout's orec lock; here it is
+/// ours to use.)
+const LOCK: usize = 1;
 
-#[inline]
-fn marked(p: usize) -> bool {
-    p & MARK != 0
-}
+/// Bits 1..=5 of an item word: the hash tag stored beside the node pointer
+/// (same packing as `spectm_kv`'s map).
+const TAG_MASK: usize = 0x3E;
 
-#[inline]
-fn unmark(p: usize) -> usize {
-    p & !MARK
-}
+/// Mask recovering the node pointer from an item word.
+const ITEM_PTR_MASK: usize = !(TAG_MASK | LOCK);
 
-#[inline]
-fn with_mark(p: usize) -> usize {
-    p | MARK
-}
+/// Bits 1..=8 of a stat word: the reserved frequency-counter byte (always
+/// zero until the TTL/eviction work lands; preserved by chain updates).
+const FREQ_MASK: usize = 0x1FE;
 
-/// A chain node.  `next` packs the successor pointer with the deletion mark;
-/// `value` holds the current value word, swapped in place.  A value word of
-/// zero is the "no value" sentinel used only on speculative nodes whose word
-/// was published elsewhere (zero is never a legal encoded word).
+/// Mask recovering the overflow-bucket pointer from a stat word.
+const CHAIN_PTR_MASK: usize = !(FREQ_MASK | LOCK);
+
+/// Keys budgeted per bucket when sizing from a capacity hint: 7 slots at
+/// the ~0.75 target load factor (same rule as `StmHashMap::new`).
+const CAPACITY_PER_BUCKET: usize = 5;
+
+/// A node: the immutable key plus the value word, swapped in place.  A
+/// value word of zero is the "no value" sentinel (zero is never a legal
+/// encoded word).  The 64-byte alignment keeps bits 0..=5 of the address
+/// clear for the tag bits packed into the item word.
+#[repr(align(64))]
 struct Node {
     key: u64,
     value: AtomicUsize,
-    next: AtomicUsize,
 }
 
 impl Node {
-    fn alloc(key: u64, word: usize, next: usize) -> *mut Node {
+    fn alloc(key: u64, word: usize) -> *mut Node {
         Box::into_raw(Box::new(Node {
             key,
             value: AtomicUsize::new(word),
-            next: AtomicUsize::new(next),
         }))
     }
 }
@@ -89,21 +106,40 @@ impl Drop for Node {
         let word = *self.value.get_mut();
         if word != 0 {
             // SAFETY: a node is dropped either past its grace period (epoch
-            // deferral) or under exclusive access (map drop / unpublished
-            // speculative node); the word it still holds is owned by it.
+            // deferral) or under exclusive access (map drop); the word it
+            // still holds is owned by it.
             unsafe { free_value(word) };
         }
     }
 }
 
-/// Result of a chain search: the predecessor's `next` field and the
-/// (possibly null) pointer to the first node with `node.key >= key`.
-struct Window {
-    prev_link: *const AtomicUsize,
-    curr: usize,
+/// One 64-byte bucket: 7 tagged item words and a stat word, contiguous so
+/// a probe touches a single cache line.
+#[repr(align(64))]
+struct Bucket {
+    item: [AtomicUsize; BUCKET_SLOTS],
+    stat: AtomicUsize,
 }
 
-/// A lock-free hash map from `u64` keys to byte values.
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            item: std::array::from_fn(|_| AtomicUsize::new(0)),
+            stat: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A heap-allocated overflow bucket.  The 512-byte alignment frees the low
+/// 9 bits of the chain pointer for the lock bit and the reserved frequency
+/// byte.
+#[repr(align(512))]
+struct OverflowBucket {
+    bucket: Bucket,
+}
+
+/// A hash map from `u64` keys to byte values with lock-free reads and
+/// per-chain-serialized writes.
 ///
 /// # Examples
 ///
@@ -126,7 +162,7 @@ struct Window {
 /// assert_eq!(map.get(7, &handle), None);
 /// ```
 pub struct LockFreeKvMap {
-    buckets: Box<[AtomicUsize]>,
+    buckets: Box<[Bucket]>,
     mask: u64,
     collector: Collector,
     /// Ordered key index for [`LockFreeKvMap::scan`]; maintained *next to*
@@ -134,28 +170,42 @@ pub struct LockFreeKvMap {
     index: LockFreeSkipList,
 }
 
-// SAFETY: all shared mutation goes through atomics; node and value-cell
-// reclamation is deferred through epochs, exactly as in the other lock-free
-// structures.
+// SAFETY: slots and stat words are only mutated through atomics (writers
+// additionally serialize per chain via the stat-word spinlock); node and
+// value-cell reclamation is deferred through epochs; overflow buckets are
+// write-once until the map drops.
 unsafe impl Send for LockFreeKvMap {}
 // SAFETY: as above.
 unsafe impl Sync for LockFreeKvMap {}
 
 #[inline]
 fn hash_key(key: u64) -> u64 {
-    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Tag bits for a hash: the top 5 bits of `h`, shifted into the item-word
+/// tag position (bits 1..=5) — identical to `spectm_kv`'s map.
+#[inline]
+fn tag_of(h: u64) -> usize {
+    (((h >> 59) as usize) << 1) & TAG_MASK
 }
 
 impl LockFreeKvMap {
-    /// Creates a map with `buckets` chains (rounded up to a power of two),
-    /// reclaiming memory through `collector`.
-    pub fn new(buckets: usize, collector: Collector) -> Self {
-        let len = buckets.next_power_of_two().max(1);
+    /// Creates a map sized for about `capacity` keys (a hint targeting the
+    /// ~0.75 bucket load factor, not a limit — overflow buckets absorb any
+    /// excess), reclaiming memory through `collector`.  The sizing rule is
+    /// the same as `StmHashMap::new`'s, so the two sides of a benchmark
+    /// probe identically shaped tables.
+    pub fn new(capacity: usize, collector: Collector) -> Self {
+        let len = capacity
+            .div_ceil(CAPACITY_PER_BUCKET)
+            .next_power_of_two()
+            .max(1);
         // The index shares the collector (cloning yields a handle to the
         // same domain), so one registered `LocalHandle` serves both.
         let index = LockFreeSkipList::new(collector.clone());
         Self {
-            buckets: (0..len).map(|_| AtomicUsize::new(0)).collect(),
+            buckets: (0..len).map(|_| Bucket::new()).collect(),
             mask: len as u64 - 1,
             collector,
             index,
@@ -167,78 +217,132 @@ impl LockFreeKvMap {
         &self.collector
     }
 
-    /// Number of bucket chains.
+    /// Number of home buckets.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
     }
 
     #[inline]
-    fn bucket(&self, key: u64) -> &AtomicUsize {
-        &self.buckets[(hash_key(key) & self.mask) as usize]
+    fn home_bucket(&self, h: u64) -> &Bucket {
+        &self.buckets[((h >> 17) & self.mask) as usize]
     }
 
-    /// Finds the window for `key` in its bucket, physically unlinking marked
-    /// nodes on the way.  The caller must hold an epoch guard.
-    fn search(&self, key: u64, handle: &LocalHandle) -> Window {
-        'retry: loop {
-            let mut prev_link: *const AtomicUsize = self.bucket(key);
-            // SAFETY: `prev_link` starts at a bucket head of `self` and only
-            // advances to `next` fields of epoch-protected nodes.
-            let mut curr = unsafe { (*prev_link).load(Ordering::Acquire) };
-            loop {
-                if unmark(curr) == 0 {
-                    return Window { prev_link, curr: 0 };
-                }
-                // SAFETY: read from a reachable link while pinned.
-                let curr_node = unsafe { &*(unmark(curr) as *const Node) };
-                let next = curr_node.next.load(Ordering::Acquire);
-                if marked(next) {
-                    // SAFETY: `prev_link` is valid (see above).
-                    let link = unsafe { &*prev_link };
-                    if link
-                        .compare_exchange(curr, unmark(next), Ordering::AcqRel, Ordering::Acquire)
-                        .is_err()
-                    {
-                        continue 'retry;
-                    }
-                    let guard = handle.pin();
-                    // SAFETY: just unlinked; unreachable for new traversals.
-                    // The node's drop frees whatever value word it holds.
-                    unsafe { guard.defer_drop(unmark(curr) as *mut Node) };
-                    curr = unmark(next);
-                    continue;
-                }
-                if curr_node.key >= key {
-                    return Window { prev_link, curr };
-                }
-                prev_link = &curr_node.next;
-                curr = next;
+    /// Follows a stat word's chain pointer, if any.
+    #[inline]
+    fn chain(stat: usize) -> Option<&'static Bucket> {
+        let ptr = stat & CHAIN_PTR_MASK;
+        if ptr == 0 {
+            None
+        } else {
+            // SAFETY: chain pointers are write-once and point at overflow
+            // buckets freed only when the map drops, so any pointer read
+            // from a reachable stat word stays valid for the map's life
+            // (the 'static is bounded by the caller's borrow of the map).
+            Some(unsafe { &(*(ptr as *const OverflowBucket)).bucket })
+        }
+    }
+
+    /// Spins until this thread holds the chain lock of `home`, returning
+    /// the stat word as it was at acquisition (lock bit clear).
+    #[inline]
+    fn lock_chain(home: &Bucket) -> usize {
+        loop {
+            let prev = home.stat.fetch_or(LOCK, Ordering::Acquire);
+            if prev & LOCK == 0 {
+                return prev;
+            }
+            while home.stat.load(Ordering::Relaxed) & LOCK != 0 {
+                std::hint::spin_loop();
             }
         }
     }
 
-    /// Returns the value stored under `key`, if present.
+    #[inline]
+    fn unlock_chain(home: &Bucket) {
+        home.stat.fetch_and(!LOCK, Ordering::Release);
+    }
+
+    /// Walks the chain for `key` **with the chain lock held**, returning
+    /// the matching `(slot, node)` and, separately, the first empty slot
+    /// and the last bucket of the chain (for inserts).
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    fn locked_find<'a>(
+        &'a self,
+        home: &'a Bucket,
+        key: u64,
+        tag: usize,
+    ) -> (
+        Option<(&'a AtomicUsize, &'a Node)>,
+        Option<&'a AtomicUsize>,
+        &'a Bucket,
+    ) {
+        let mut bucket = home;
+        let mut empty = None;
+        loop {
+            for slot in &bucket.item {
+                let w = slot.load(Ordering::Acquire);
+                if w == 0 {
+                    if empty.is_none() {
+                        empty = Some(slot);
+                    }
+                    continue;
+                }
+                if w & TAG_MASK != tag {
+                    continue;
+                }
+                // SAFETY: the chain lock excludes every writer, so the
+                // slot's node cannot be retired under us.
+                let node = unsafe { &*((w & ITEM_PTR_MASK) as *const Node) };
+                if node.key == key {
+                    return (Some((slot, node)), empty, bucket);
+                }
+            }
+            match Self::chain(bucket.stat.load(Ordering::Acquire)) {
+                Some(next) => bucket = next,
+                None => return (None, empty, bucket),
+            }
+        }
+    }
+
+    /// Returns the value stored under `key`, if present.  Lock-free: a
+    /// probe is a tag-filtered scan of the home cache line (plus overflow
+    /// lines for the rare chained key) and never observes the writer lock.
     #[inline]
     pub fn get(&self, key: u64, handle: &LocalHandle) -> Option<Value> {
         let _guard = handle.pin();
-        let w = self.search(key, handle);
-        if unmark(w.curr) == 0 {
-            return None;
+        let h = hash_key(key);
+        let tag = tag_of(h);
+        let mut bucket = self.home_bucket(h);
+        loop {
+            for slot in &bucket.item {
+                let w = slot.load(Ordering::Acquire);
+                if w == 0 || w & TAG_MASK != tag {
+                    continue;
+                }
+                // SAFETY: the pin above predates the load, so a node whose
+                // pointer we read from a slot cannot complete its grace
+                // period before we are done with it.
+                let node = unsafe { &*((w & ITEM_PTR_MASK) as *const Node) };
+                if node.key != key {
+                    continue;
+                }
+                let word = node.value.load(Ordering::Acquire);
+                // SAFETY: `_guard` predates any retirement of the cell
+                // behind a word read from a reachable node.
+                return Some(unsafe { decode_value(word) });
+            }
+            // A continuously present key occupies one fixed slot (writers
+            // serialize; a key moves only via delete, an instant of
+            // absence), so a full scan that missed it witnessed a moment of
+            // absence — the miss linearizes there.
+            bucket = Self::chain(bucket.stat.load(Ordering::Acquire))?;
         }
-        // SAFETY: protected by the guard above.
-        let node = unsafe { &*(unmark(w.curr) as *const Node) };
-        if node.key != key {
-            return None;
-        }
-        let word = node.value.load(Ordering::Acquire);
-        // SAFETY: `_guard` predates any retirement of the cell behind a
-        // word read from a reachable node, so the copy-out is protected.
-        Some(unsafe { decode_value(word) })
     }
 
     /// Stores `value` under `key`, returning the previous value if the key
-    /// was present (advisory under concurrent removal, see the module docs),
-    /// or [`KvError::ValueTooLarge`] beyond [`MAX_VALUE_LEN`] bytes.
+    /// was present, or [`KvError::ValueTooLarge`] beyond [`MAX_VALUE_LEN`]
+    /// bytes.
     #[inline]
     pub fn put(
         &self,
@@ -250,186 +354,119 @@ impl LockFreeKvMap {
             return Err(KvError::ValueTooLarge { len: value.len() });
         }
         let guard = handle.pin();
-        let mut new_node: *mut Node = std::ptr::null_mut();
-        // The speculative value word, owned by this operation until it is
-        // published (swapped into a live node, or inserted with the node).
-        let mut word: usize = 0;
-        loop {
-            let w = self.search(key, handle);
-            if unmark(w.curr) != 0 {
-                // SAFETY: protected by the guard above.
-                let node = unsafe { &*(unmark(w.curr) as *const Node) };
-                if node.key == key {
-                    if word == 0 {
-                        word = encode_value(value);
-                    }
-                    let old = node.value.swap(word, Ordering::AcqRel);
-                    if marked(node.next.load(Ordering::Acquire)) {
-                        // The node was logically deleted concurrently; the
-                        // swapped-in word now belongs to the dying node
-                        // (its drop frees it) and the displaced word to us.
-                        // Retry as a fresh insert with a new word.
-                        // SAFETY: the swap displaced `old` from its only
-                        // reachable location, making us its owner.
-                        unsafe { retire_value(old, &guard) };
-                        word = 0;
-                        continue;
-                    }
-                    if !new_node.is_null() {
-                        // SAFETY: the speculative node was never published;
-                        // zero its word first — the word was just published
-                        // into the existing node and must survive the drop.
-                        unsafe {
-                            (*new_node).value.store(0, Ordering::Relaxed);
-                            drop(Box::from_raw(new_node));
-                        }
-                    }
-                    // SAFETY: the swap displaced `old`; we own it (see the
-                    // module docs for the advisory caveat under races).
-                    let out = unsafe { decode_value(old) };
-                    // SAFETY: as above; pinned readers are protected.
-                    unsafe { retire_value(old, &guard) };
-                    return Ok(Some(out));
-                }
-            }
-            if word == 0 {
-                word = encode_value(value);
-            }
-            if new_node.is_null() {
-                new_node = Node::alloc(key, word, w.curr);
-            } else {
-                // SAFETY: `new_node` is still private to this thread.  The
-                // value word is refreshed too: a dying-node race above may
-                // have consumed the word the node was allocated with.
+        let h = hash_key(key);
+        let tag = tag_of(h);
+        let home = self.home_bucket(h);
+        let word = encode_value(value);
+        Self::lock_chain(home);
+        let (found, empty, last) = self.locked_find(home, key, tag);
+        if let Some((_slot, node)) = found {
+            // Overwrite in place: swap the value word, retire the displaced
+            // one.  Readers racing the swap see either word — both are
+            // committed states.
+            let old = node.value.swap(word, Ordering::AcqRel);
+            Self::unlock_chain(home);
+            // SAFETY: the swap displaced `old` from its only reachable
+            // location under the chain lock, making us its sole owner;
+            // `guard` protects the copy-out and pinned readers.
+            let out = unsafe { decode_value(old) };
+            unsafe { retire_value(old, &guard) };
+            return Ok(Some(out));
+        }
+        let node = Node::alloc(key, word);
+        let tagged = node as usize | tag;
+        match empty {
+            Some(slot) => slot.store(tagged, Ordering::Release),
+            None => {
+                // Chain full: link a fresh overflow bucket off the last
+                // one, then publish the node in its first slot.  The link
+                // `fetch_or` preserves the reserved frequency byte and (on
+                // the home bucket) the held lock bit.
+                let overflow = Box::into_raw(Box::new(OverflowBucket {
+                    bucket: Bucket::new(),
+                }));
+                // SAFETY: `overflow` is still private to this thread.
                 unsafe {
-                    (*new_node).next.store(w.curr, Ordering::Relaxed);
-                    (*new_node).value.store(word, Ordering::Relaxed);
+                    (*overflow).bucket.item[0].store(tagged, Ordering::Relaxed);
                 }
-            }
-            // SAFETY: `prev_link` is protected by the guard.
-            let link = unsafe { &*w.prev_link };
-            if link
-                .compare_exchange(
-                    w.curr,
-                    new_node as usize,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_ok()
-            {
-                // Mirror the fresh key into the ordered index.  This is a
-                // second, independent CAS: scans between the two steps miss
-                // the key (see the module docs — no snapshot guarantee).
-                self.index.insert(key, handle);
-                return Ok(None);
+                last.stat.fetch_or(overflow as usize, Ordering::Release);
             }
         }
+        Self::unlock_chain(home);
+        // Mirror the fresh key into the ordered index.  This is a separate
+        // step: scans between the two miss the key (see the module docs —
+        // no snapshot guarantee).
+        self.index.insert(key, handle);
+        Ok(None)
     }
 
     /// Removes `key`, returning the value it held.
     #[inline]
     pub fn del(&self, key: u64, handle: &LocalHandle) -> Option<Value> {
-        let _outer = handle.pin();
-        loop {
-            let w = self.search(key, handle);
-            if unmark(w.curr) == 0 {
-                return None;
-            }
-            // SAFETY: protected by the guard above.
-            let node = unsafe { &*(unmark(w.curr) as *const Node) };
-            if node.key != key {
-                return None;
-            }
-            let next = node.next.load(Ordering::Acquire);
-            if marked(next) {
-                // Another remover is already deleting it; help and report
-                // absent.
-                continue;
-            }
-            let word = node.value.load(Ordering::Acquire);
-            // Logical deletion first, then best-effort physical unlink.
-            if node
-                .next
-                .compare_exchange(next, with_mark(next), Ordering::AcqRel, Ordering::Acquire)
-                .is_err()
-            {
-                continue;
-            }
-            // Copy the payload out before the node can complete its grace
-            // period.  The word stays owned by the node (a racing put may
-            // still swap it; whoever holds it last frees it via Node::drop).
-            // SAFETY: `_outer` predates any retirement of the cell.
-            let out = unsafe { decode_value(word) };
-            // SAFETY: `prev_link` is protected by the guard.
-            let link = unsafe { &*w.prev_link };
-            if link
-                .compare_exchange(w.curr, unmark(next), Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                let guard = handle.pin();
-                // SAFETY: unlinked by the CAS above; its drop frees the
-                // value word it holds at drop time.
-                unsafe { guard.defer_drop(unmark(w.curr) as *mut Node) };
-            } else {
-                let _ = self.search(key, handle);
-            }
-            // Drop the key from the ordered index (again a separate step; a
-            // racing re-insert of the same key can leave the index and the
-            // table briefly — or, under unlucky interleavings, durably —
-            // disagreeing.  The STM store's combined transactions are how
-            // that is actually fixed).
-            self.index.remove(key, handle);
-            return Some(out);
-        }
+        let guard = handle.pin();
+        let h = hash_key(key);
+        let tag = tag_of(h);
+        let home = self.home_bucket(h);
+        Self::lock_chain(home);
+        let (found, _, _) = self.locked_find(home, key, tag);
+        let Some((slot, node)) = found else {
+            Self::unlock_chain(home);
+            return None;
+        };
+        let word = node.value.load(Ordering::Acquire);
+        // Zero the slot (the freed slot is reused by later inserts), then
+        // retire the node; its drop frees the value word it still holds.
+        slot.store(0, Ordering::Release);
+        Self::unlock_chain(home);
+        // SAFETY: `guard` predates the retirement below, protecting the
+        // copy-out.
+        let out = unsafe { decode_value(word) };
+        // SAFETY: the node is unreachable (its slot is zero) and its key
+        // cannot be reinserted into *it* — inserts allocate fresh nodes.
+        unsafe { guard.defer_drop(node as *const Node as *mut Node) };
+        // Drop the key from the ordered index (again a separate step; a
+        // racing re-insert of the same key can leave the index and the
+        // table briefly disagreeing.  The STM store's combined transactions
+        // are how that is actually fixed).
+        self.index.remove(key, handle);
+        Some(out)
     }
 
     /// Adds `delta` to the value of each key in `keys` that is present,
     /// interpreting values as 8-byte little-endian counters (the same
     /// convention as `ShardedKv::rmw_add`).
     ///
-    /// Each key's update is individually atomic (a CAS loop on the value
-    /// word) but there is **no atomicity across keys** — the lock-free
-    /// design has no way to compose updates.  Returns `false` if any key was
-    /// absent (the updates to the keys that were present still took effect).
+    /// Each key's update is individually atomic (performed under that
+    /// chain's writer lock) but there is **no atomicity across keys** — the
+    /// CAS-composed design has no way to compose updates.  Returns `false`
+    /// if any key was absent (the updates to the keys that were present
+    /// still took effect).
     pub fn rmw_add(&self, keys: &[u64], delta: u64, handle: &LocalHandle) -> bool {
         let mut all_present = true;
         for &key in keys {
             let guard = handle.pin();
-            let mut found = false;
-            loop {
-                let w = self.search(key, handle);
-                if unmark(w.curr) == 0 {
-                    break;
+            let h = hash_key(key);
+            let tag = tag_of(h);
+            let home = self.home_bucket(h);
+            Self::lock_chain(home);
+            let (found, _, _) = self.locked_find(home, key, tag);
+            match found {
+                Some((_slot, node)) => {
+                    let old = node.value.load(Ordering::Acquire);
+                    // SAFETY: `guard` predates any retirement of the cell.
+                    let counter = unsafe { decode_value(old) }.as_u64();
+                    let new_word = encode_value(&counter.wrapping_add(delta).to_le_bytes());
+                    node.value.store(new_word, Ordering::Release);
+                    Self::unlock_chain(home);
+                    // SAFETY: the store displaced `old` under the chain
+                    // lock; we own it, and pinned readers are protected.
+                    unsafe { retire_value(old, &guard) };
                 }
-                // SAFETY: protected by the guard above.
-                let node = unsafe { &*(unmark(w.curr) as *const Node) };
-                if node.key != key || marked(node.next.load(Ordering::Acquire)) {
-                    break;
-                }
-                let old = node.value.load(Ordering::Acquire);
-                // SAFETY: `guard` predates any retirement of the cell.
-                let counter = unsafe { decode_value(old) }.as_u64();
-                let new_word = encode_value(&counter.wrapping_add(delta).to_le_bytes());
-                match node.value.compare_exchange(
-                    old,
-                    new_word,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
-                    Ok(_) => {
-                        // SAFETY: the CAS displaced `old`; we own it.
-                        unsafe { retire_value(old, &guard) };
-                        found = true;
-                        break;
-                    }
-                    Err(_) => {
-                        // SAFETY: `new_word` was never published.
-                        unsafe { free_value(new_word) };
-                        // Re-search: the node may have been deleted.
-                    }
+                None => {
+                    Self::unlock_chain(home);
+                    all_present = false;
                 }
             }
-            all_present &= found;
         }
         all_present
     }
@@ -437,7 +474,7 @@ impl LockFreeKvMap {
     /// Executes `ops` in request order under **one epoch pin**, returning
     /// each operation's result at its request position (the stored value
     /// for a get, the displaced previous value for a put or delete) — the
-    /// CAS-based twin of `ShardedKv::execute_batch`, kept API-compatible so
+    /// non-STM twin of `ShardedKv::execute_batch`, kept API-compatible so
     /// the workload drivers compare the two apples-to-apples.
     ///
     /// The only amortization available here is the pin itself (there is no
@@ -515,36 +552,88 @@ impl LockFreeKvMap {
     pub fn snapshot(&self, handle: &LocalHandle) -> Vec<(u64, Value)> {
         let _guard = handle.pin();
         let mut out = Vec::new();
-        for b in self.buckets.iter() {
-            let mut curr = b.load(Ordering::Acquire);
-            while unmark(curr) != 0 {
-                // SAFETY: protected by the guard above.
-                let node = unsafe { &*(unmark(curr) as *const Node) };
-                let next = node.next.load(Ordering::Acquire);
-                if !marked(next) {
+        for home in self.buckets.iter() {
+            let mut bucket = Some(home);
+            while let Some(b) = bucket {
+                for slot in &b.item {
+                    let w = slot.load(Ordering::Acquire);
+                    if w == 0 {
+                        continue;
+                    }
+                    // SAFETY: protected by the guard above.
+                    let node = unsafe { &*((w & ITEM_PTR_MASK) as *const Node) };
                     let word = node.value.load(Ordering::Acquire);
                     // SAFETY: protected by the guard above.
                     out.push((node.key, unsafe { decode_value(word) }));
                 }
-                curr = unmark(next);
+                bucket = Self::chain(b.stat.load(Ordering::Acquire));
             }
         }
         out.sort_unstable();
         out
+    }
+
+    /// Occupancy and probe-length statistics, in the same [`MapStats`]
+    /// shape the STM store reports (non-transactional; only meaningful when
+    /// no concurrent operations run).
+    pub fn stats(&self, handle: &LocalHandle) -> MapStats {
+        let _guard = handle.pin();
+        let mut stats = MapStats {
+            home_buckets: self.buckets.len(),
+            ..MapStats::default()
+        };
+        for home in self.buckets.iter() {
+            let mut depth = 0usize;
+            let mut bucket = Some(home);
+            while let Some(b) = bucket {
+                let occupied = b
+                    .item
+                    .iter()
+                    .filter(|slot| slot.load(Ordering::Acquire) != 0)
+                    .count();
+                stats.keys += occupied;
+                if depth == 0 {
+                    stats.occupied_home_slots += occupied;
+                } else {
+                    stats.overflow_buckets += 1;
+                }
+                if occupied > 0 {
+                    if stats.probe_histogram.len() <= depth {
+                        stats.probe_histogram.resize(depth + 1, 0);
+                    }
+                    stats.probe_histogram[depth] += occupied;
+                }
+                depth += 1;
+                bucket = Self::chain(b.stat.load(Ordering::Acquire));
+            }
+        }
+        stats
     }
 }
 
 impl Drop for LockFreeKvMap {
     fn drop(&mut self) {
         // Exclusive access: free the remaining nodes directly (each node's
-        // drop frees its value word).
-        for b in self.buckets.iter_mut() {
-            let mut curr = unmark(*b.get_mut());
-            while curr != 0 {
-                // SAFETY: nodes were allocated with `Box::into_raw` and
-                // nothing else references them during drop.
-                let node = unsafe { Box::from_raw(curr as *mut Node) };
-                curr = unmark(node.next.load(Ordering::Relaxed));
+        // drop frees its value word), then the overflow boxes.
+        fn free_bucket_nodes(bucket: &Bucket) {
+            for slot in &bucket.item {
+                let w = slot.load(Ordering::Relaxed);
+                if w != 0 {
+                    // SAFETY: nodes were allocated with `Box::into_raw` and
+                    // nothing else references them during drop.
+                    unsafe { drop(Box::from_raw((w & ITEM_PTR_MASK) as *mut Node)) };
+                }
+            }
+        }
+        for home in self.buckets.iter() {
+            free_bucket_nodes(home);
+            let mut chain = home.stat.load(Ordering::Relaxed) & CHAIN_PTR_MASK;
+            while chain != 0 {
+                // SAFETY: overflow buckets were allocated with
+                // `Box::into_raw` and are reachable exactly once.
+                let overflow = unsafe { Box::from_raw(chain as *mut OverflowBucket) };
+                free_bucket_nodes(&overflow.bucket);
+                chain = overflow.bucket.stat.load(Ordering::Relaxed) & CHAIN_PTR_MASK;
             }
         }
     }
@@ -556,8 +645,8 @@ mod tests {
     use std::collections::BTreeMap;
     use std::sync::Arc;
 
-    fn new_map(buckets: usize) -> LockFreeKvMap {
-        LockFreeKvMap::new(buckets, Collector::new())
+    fn new_map(capacity: usize) -> LockFreeKvMap {
+        LockFreeKvMap::new(capacity, Collector::new())
     }
 
     /// Deterministic payload crossing the inline and out-of-line regimes.
@@ -570,7 +659,7 @@ mod tests {
 
     #[test]
     fn get_put_del_roundtrip() {
-        let map = new_map(16);
+        let map = new_map(64);
         let h = map.collector().register();
         assert_eq!(map.get(3, &h), None);
         assert_eq!(map.put(3, b"thirty", &h).unwrap(), None);
@@ -585,7 +674,7 @@ mod tests {
 
     #[test]
     fn oversized_values_are_rejected() {
-        let map = new_map(16);
+        let map = new_map(64);
         let h = map.collector().register();
         assert_eq!(
             map.put(1, &vec![0u8; MAX_VALUE_LEN + 1], &h),
@@ -598,7 +687,7 @@ mod tests {
 
     #[test]
     fn matches_btreemap_oracle_sequentially() {
-        let map = new_map(8); // few buckets => long chains
+        let map = new_map(1); // single home bucket => deep overflow chains
         let h = map.collector().register();
         let mut oracle = BTreeMap::new();
         crate::rng::seed(2024);
@@ -615,13 +704,49 @@ mod tests {
                 _ => assert_eq!(map.get(k, &h), oracle.get(&k).cloned()),
             }
         }
+        let stats = map.stats(&h);
+        assert_eq!(stats.keys, oracle.len());
+        assert_eq!(stats.probe_histogram.iter().sum::<usize>(), oracle.len());
         let expect: Vec<(u64, Value)> = oracle.into_iter().collect();
         assert_eq!(map.snapshot(&h), expect);
     }
 
     #[test]
+    fn bucket_boundary_overflow_and_slot_reuse() {
+        let map = new_map(1); // single home bucket
+        assert_eq!(map.bucket_count(), 1);
+        let h = map.collector().register();
+        for k in 0..BUCKET_SLOTS as u64 {
+            map.put(k, &payload(k, k), &h).unwrap();
+        }
+        let stats = map.stats(&h);
+        assert_eq!(
+            (
+                stats.keys,
+                stats.overflow_buckets,
+                stats.occupied_home_slots
+            ),
+            (BUCKET_SLOTS, 0, BUCKET_SLOTS)
+        );
+        // The 8th key forces an overflow bucket.
+        map.put(100, b"overflow", &h).unwrap();
+        let stats = map.stats(&h);
+        assert_eq!(stats.overflow_buckets, 1);
+        assert_eq!(stats.probe_histogram, vec![BUCKET_SLOTS, 1]);
+        // Deleting a home-slot key frees its slot; the next insert reuses
+        // it instead of growing the chain.
+        map.del(3, &h).unwrap();
+        map.put(200, b"reuse", &h).unwrap();
+        let stats = map.stats(&h);
+        assert_eq!(stats.occupied_home_slots, BUCKET_SLOTS);
+        assert_eq!(stats.overflow_buckets, 1);
+        assert_eq!(map.get(200, &h), Some(Value::new(b"reuse")));
+        assert_eq!(map.get(3, &h), None);
+    }
+
+    #[test]
     fn batches_match_the_single_op_api() {
-        let map = new_map(16);
+        let map = new_map(64);
         let h = map.collector().register();
         let mut oracle = BTreeMap::new();
         crate::rng::seed(77);
@@ -654,7 +779,7 @@ mod tests {
 
     #[test]
     fn oversized_batch_puts_reject_everything() {
-        let map = new_map(16);
+        let map = new_map(64);
         let h = map.collector().register();
         map.put(1, b"keep", &h).unwrap();
         let huge = vec![0u8; MAX_VALUE_LEN + 1];
@@ -676,7 +801,7 @@ mod tests {
 
     #[test]
     fn rmw_add_updates_present_keys() {
-        let map = new_map(16);
+        let map = new_map(64);
         let h = map.collector().register();
         map.put(1, &10u64.to_le_bytes(), &h).unwrap();
         map.put(2, &20u64.to_le_bytes(), &h).unwrap();
@@ -689,7 +814,7 @@ mod tests {
 
     #[test]
     fn scan_returns_sorted_live_pairs_sequentially() {
-        let map = new_map(16);
+        let map = new_map(64);
         let h = map.collector().register();
         for k in (0..50u64).step_by(2) {
             map.put(k, &(k + 1).to_le_bytes(), &h).unwrap();
@@ -715,7 +840,9 @@ mod tests {
 
     #[test]
     fn concurrent_disjoint_ranges_are_exact() {
-        let map = Arc::new(new_map(64));
+        // Undersized on purpose: ~0.9+ occupancy forces overflow chains
+        // under concurrency.
+        let map = Arc::new(new_map(512));
         const THREADS: u64 = 4;
         const RANGE: u64 = 400;
         let mut joins = Vec::new();
@@ -748,11 +875,12 @@ mod tests {
         }
         let h = map.collector().register();
         assert_eq!(map.snapshot(&h).len(), (THREADS * RANGE / 2) as usize);
+        assert_eq!(map.stats(&h).keys, (THREADS * RANGE / 2) as usize);
     }
 
     #[test]
     fn concurrent_counters_conserve_increments() {
-        let map = Arc::new(new_map(16));
+        let map = Arc::new(new_map(8));
         {
             let h = map.collector().register();
             for k in 0..8u64 {

@@ -8,9 +8,11 @@
 //!   (Harris / Fraser) used as the bucket chain of the hash table;
 //! * [`LockFreeHashTable`] — a fixed-bucket-count lock-free integer set;
 //! * [`LockFreeSkipList`] — Fraser's lock-free skip list;
-//! * [`LockFreeKvMap`] — a CAS-based `u64 -> u64` hash map, the non-STM
-//!   baseline for the sharded KV-store workloads (values updated in place,
-//!   no multi-key atomicity);
+//! * [`LockFreeKvMap`] — a `u64 -> bytes` hash map over the same
+//!   cache-line bulk-chaining buckets as `spectm_kv::StmHashMap` (lock-free
+//!   tag-filtered reads, per-chain-serialized writes), the non-STM baseline
+//!   for the sharded KV-store workloads (values swapped in place, no
+//!   multi-key atomicity);
 //! * [`SeqHashTable`] and [`SeqSkipList`] — single-threaded reference
 //!   implementations used to normalize throughput ("sequential" in the
 //!   paper's figures) and as oracles in tests.

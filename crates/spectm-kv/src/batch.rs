@@ -12,8 +12,9 @@
 //! underneath run their short transactions against the already-pinned
 //! epoch — gets and overwrites skip pin entry/exit entirely, everything
 //! else nests as a counter bump), drains each shard's group through a
-//! prefetch-pipelined dispatch loop (the chain walk of operation *i*
-//! overlaps the bucket fetch of operation *i + 4*), and writes each result
+//! prefetch-pipelined dispatch loop (the bucket probe of operation *i*
+//! overlaps the bucket-line fetch of operation *i + 4*), and writes each
+//! result
 //! back to the request position it came from.  A one-operation batch
 //! bypasses all of it and costs what the single-key API costs.
 //!
@@ -194,10 +195,12 @@ impl FromIterator<BatchOp> for BatchRequest {
 /// delete.  A plain vector, reused across batches by clearing.
 pub type BatchResponse = Vec<Option<Value>>;
 
-/// How many operations ahead the pipelined dispatch loop prefetches bucket
-/// heads.  The walk of operation *i* overlaps the memory latency of
-/// operation *i + PREFETCH_AHEAD*'s first cache line — the classic batched
-/// lookup pipeline; a small constant keeps the prefetched lines resident.
+/// How many operations ahead the pipelined dispatch loop prefetches home
+/// buckets.  The probe of operation *i* overlaps the memory latency of
+/// operation *i + PREFETCH_AHEAD*'s home bucket — and because a bucket is
+/// one flat 64-byte line holding all 7 slots plus the overflow link, that
+/// single prefetch covers the whole common-case probe, not just a list
+/// head.  A small constant keeps the prefetched lines resident.
 const PREFETCH_AHEAD: usize = 4;
 
 /// The all-or-nothing size validation every batch entry point runs before
@@ -346,11 +349,12 @@ impl<S: Stm + Clone> ShardedKv<S> {
             if Self::mixes_read_write_on_same_key(ops, group) {
                 self.run_group_atomic(shard, ops, group, out, thread);
             } else {
-                // Pipelined dispatch: overlap operation `j`'s chain walk
-                // with the bucket-head fetch of the operation
-                // `PREFETCH_AHEAD` positions later.  `order` is contiguous
-                // across groups, so the lookahead crosses group borders
-                // and stays warm for every shard.
+                // Pipelined dispatch: overlap operation `j`'s bucket probe
+                // with the home-bucket fetch of the operation
+                // `PREFETCH_AHEAD` positions later — one line covers the
+                // whole 7-slot bucket.  `order` is contiguous across
+                // groups, so the lookahead crosses group borders and stays
+                // warm for every shard.
                 for (j, &i) in group.iter().enumerate() {
                     if let Some(&ahead) = order.get(start - group.len() + j + PREFETCH_AHEAD) {
                         let key = ops[ahead].key();

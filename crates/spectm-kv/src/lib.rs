@@ -8,11 +8,17 @@
 //!
 //! Three layers:
 //!
-//! * [`StmHashMap`] — a chained transactional hash map (the integer-set
-//!   table of `spectm-ds` with a value word per node).  Single-key reads are
-//!   short read-only transactions, updates are single-location CASes or
-//!   two/three-location short read-write transactions, and every operation
-//!   also exists as a traditional full transaction (the BaseTM shape);
+//! * [`StmHashMap`] — a transactional hash map over **cache-line
+//!   bulk-chaining buckets**: flat 64-byte home buckets of 7 tagged item
+//!   words plus a stat word linking rare overflow buckets (the
+//!   Pelikan/Segcache hashtable layout, every slot one STM word).
+//!   Single-key reads are short read-only transactions over one or two
+//!   cache lines, updates and deletes are two-location short read-write
+//!   transactions, inserts are combined RO/RW short transactions over the
+//!   home bucket (falling back to a full transaction on overflowing
+//!   chains), and every operation also exists as a traditional full
+//!   transaction (the BaseTM shape).  [`StmHashMap::stats`] reports the
+//!   probe-length histogram and bucket occupancy;
 //! * [`ShardRouter`] — a power-of-two router assigning each key to a shard;
 //! * [`ShardedKv`] — the store itself.  All shards (and their per-shard
 //!   [`spectm_ds::StmSkipList`] ordered indexes) share **one** STM
@@ -106,7 +112,7 @@ pub mod store;
 pub mod value;
 
 pub use batch::{BatchOp, BatchRequest, BatchResponse};
-pub use map::{NodeSlot, RetiredNode, StmHashMap};
+pub use map::{MapStats, NodeSlot, RetiredNode, StmHashMap, BUCKET_SLOTS};
 pub use router::ShardRouter;
 pub use store::{ShardedKv, MAX_RMW_KEYS};
 pub use value::{RetiredValue, Value, ValueCell, ValueSlot, MAX_VALUE_LEN};

@@ -1,52 +1,138 @@
 //! The per-shard transactional hash map.
 //!
-//! [`StmHashMap`] is the integer-set hash table of `spectm-ds` grown into a
-//! `u64 -> bytes` map: a fixed array of bucket heads, each the start of a
-//! sorted singly-linked chain, with one additional transactional cell per
-//! node holding the **value word** (inline payload or [`crate::ValueCell`]
-//! pointer; see [`crate::value`]).  Bit 1 of a chain link is the
-//! logical-deletion mark; bit 0 of every stored word stays clear for the
-//! value-based layout's lock bit.
+//! [`StmHashMap`] stores `u64 -> bytes` pairs in **cache-line bulk-chaining
+//! buckets** (the Pelikan/Segcache hashtable layout adapted to STM words).
+//! The table is a flat array of *home buckets*, each 8 contiguous
+//! transactional words: [`BUCKET_SLOTS`] (7) *item words* plus one *stat
+//! word*.  An item word packs a node pointer with a 5-bit **hash tag**
+//! (bits 1..=5, free because nodes are 64-byte aligned), so a probe
+//! compares tags before dereferencing and mismatched slots cost no cache
+//! miss.  The stat word links to a heap-allocated *overflow bucket* once a
+//! bucket's 8th key arrives (512-byte aligned, freeing bits 1..=8 of the
+//! link as a reserved frequency-counter byte for the future TTL/eviction
+//! work; bit 0 stays clear for the `val` layout's lock bit in both word
+//! kinds).  A zero item word is an empty slot; a stat word with no pointer
+//! bits ends the chain.  Each `Node` holds only the immutable key and one
+//! transactional cell with the **value word** (inline payload or
+//! [`crate::ValueCell`] pointer; see [`crate::value`]).
+//!
+//! Every slot is still a single STM word, so the short-transaction
+//! protocols, orec mapping, and the value-word ownership contract carry
+//! over unchanged from the chained layout; only the *shape* of a probe
+//! changed — from a pointer chase per key to a linear scan of one (rarely
+//! two) cache lines.
 //!
 //! Operations exist in two shapes, selected by [`ApiMode`]:
 //!
-//! * **Short** (the SpecTM usage) — traversal uses single-location reads;
-//!   `get` validates liveness + value with a two-location read-only
-//!   transaction; `put` on an existing key is a two-location read-write
-//!   transaction, a fresh insert is a single-location CAS; `del` is a
-//!   three-location read-write transaction that unlinks the node, marks its
-//!   forward pointer and captures the value it held, all atomically.
+//! * **Short** (the SpecTM usage) — the slot scan uses single-location
+//!   reads with tag filtering; `get` validates (slot, value) with a
+//!   two-location read-only transaction; `put` on an existing key is a
+//!   two-location read-write transaction; `del` clears the slot and
+//!   captures the value in a two-location read-write transaction; a fresh
+//!   insert is a **combined RO/RW transaction** over all 8 words of the
+//!   home bucket — 7 item words and the stat word validated read-only
+//!   (proving the key absent from the whole single-bucket chain at the
+//!   linearization point), the claimed slot upgraded to read-write.  When
+//!   the chain has already spilled into an overflow bucket, exclusion
+//!   would need more than [`spectm::MAX_SHORT`] locations, so the insert
+//!   falls back to a full transaction — the paper's own escape hatch for
+//!   transactions that outgrow the short API.
 //! * **Full** (the BaseTM usage) — each operation is one traditional
-//!   transaction over the whole chain walk.  [`ApiMode::Fine`] is treated as
+//!   transaction over the bucket walk.  [`ApiMode::Fine`] is treated as
 //!   `Full` here; the fine-grained ablation only exists for the paper's
 //!   figure 6 sets.
 //!
-//! [`StmHashMap::read_in`] / [`StmHashMap::write_in`] run the same chain
+//! [`StmHashMap::read_in`] / [`StmHashMap::write_in`] run the same bucket
 //! walks *inside a caller-provided full transaction*, which is what lets
 //! [`crate::ShardedKv::rmw`] compose an atomic multi-key update across
-//! shards.  Removed nodes are retired through the STM's epoch collector.
+//! shards.  Deleted nodes are retired through the STM's epoch collector;
+//! overflow buckets are **write-once** (linked, never unlinked, freed only
+//! in the map's own `Drop`), so traversals never race bucket reclamation.
 //!
 //! **Value-word ownership.**  A value word is owned by the map while it is
 //! stored in a live node, and by exactly one thread the moment a committed
 //! transaction displaces it — the overwriter that replaced it, or the
-//! deleter that unlinked its node.  That owner (and nobody else) reads the
+//! deleter that cleared its slot.  That owner (and nobody else) reads the
 //! old payload and defers the cell's free through the epoch collector, so
 //! concurrent readers copying bytes out under an epoch pin are always safe.
 //! Nodes therefore never free value words themselves, except in
 //! [`StmHashMap`]'s own `Drop`, where access is exclusive.
+//!
+//! **Linearizability of misses.**  A slot scan that finds no matching tag
+//! uses only per-location linearizable reads.  A key that is continuously
+//! present occupies one fixed slot (no operation moves a key between slots
+//! without an intervening delete, i.e. an instant of absence), so a scan
+//! that read every slot of the chain without finding the key witnessed a
+//! moment at which the key was absent — the miss linearizes there.
 
-use spectm::{is_marked, mark, unmark, FullTx, Stm, StmThread, TxResult, Word};
+use spectm::{FullTx, Stm, StmThread, TxResult, Word};
 use spectm_ds::ApiMode;
 
 use crate::value::{decode_value, free_value, retire_value};
 use crate::{KvError, RetiredValue, Value, ValueSlot, MAX_VALUE_LEN};
 
-/// A chain node.  The key is immutable after publication; `next` and
-/// `value` are accessed transactionally.
+/// Item words per bucket (the 8th word of the cache line is the stat word).
+pub const BUCKET_SLOTS: usize = 7;
+
+/// Bits 1..=5 of an item word: the hash tag stored beside the node pointer
+/// (bit 0 stays clear for the `val` layout's lock bit).
+const TAG_MASK: Word = 0x3E;
+
+/// Mask recovering the node pointer from an item word.
+const ITEM_PTR_MASK: Word = !(TAG_MASK | 1);
+
+/// Bits 1..=8 of a stat word: the reserved frequency-counter byte (always
+/// zero until the TTL/eviction work lands; preserved by chain updates).
+const FREQ_MASK: Word = 0x1FE;
+
+/// Mask recovering the overflow-bucket pointer from a stat word.
+const CHAIN_PTR_MASK: Word = !(FREQ_MASK | 1);
+
+/// Keys budgeted per bucket when sizing from a capacity hint: 7 slots at
+/// the ~0.75 target load factor.
+const CAPACITY_PER_BUCKET: usize = 5;
+
+/// A chain node: the immutable key plus the transactional value word.
+/// 64-byte alignment keeps bits 0..=5 of its address clear, making room
+/// for the tag bits packed into the item word.
+#[repr(align(64))]
 struct Node<S: Stm> {
     key: u64,
     value: S::Cell,
-    next: S::Cell,
+}
+
+/// One 64-byte bucket: 7 item words and a stat word, contiguous so a probe
+/// touches a single cache line (for word-sized cells; layouts with fatter
+/// cells keep the same shape over more lines).
+#[repr(align(64))]
+struct Bucket<S: Stm> {
+    item: [S::Cell; BUCKET_SLOTS],
+    stat: S::Cell,
+}
+
+/// A heap-allocated overflow bucket.  The 512-byte alignment is what frees
+/// the low 9 bits of the chain pointer for the lock bit and the reserved
+/// frequency byte.
+#[repr(align(512))]
+struct OverflowBucket<S: Stm> {
+    bucket: Bucket<S>,
+}
+
+fn new_bucket<S: Stm>(stm: &S) -> Bucket<S> {
+    Bucket {
+        item: std::array::from_fn(|_| stm.new_cell(0)),
+        stat: stm.new_cell(0),
+    }
+}
+
+/// A candidate found by a slot scan: the cell it was read from, the exact
+/// word that cell held, and the node behind the pointer.  The word ties the
+/// node to its slot — every mutation protocol re-reads the cell and bails
+/// if it no longer holds `word`.
+struct Candidate<'a, S: Stm> {
+    cell: &'a S::Cell,
+    word: Word,
+    node: &'a Node<S>,
 }
 
 /// Outcome of one attempt at the short update-in-place protocol.
@@ -54,8 +140,9 @@ enum ShortUpdate {
     /// The value word was overwritten; holds the displaced word, now owned
     /// by this thread.
     Updated(Word),
-    /// The node is logically deleted (still linked); nothing was written.
-    Deleted,
+    /// The slot no longer holds the candidate (the key was deleted, and
+    /// possibly reinserted elsewhere); search again.
+    Gone,
     /// Validation or commit failed; search again and retry.
     Retry,
 }
@@ -63,14 +150,20 @@ enum ShortUpdate {
 /// Reusable allocation slot for [`StmHashMap::put_in`].
 ///
 /// A full transaction's body may run several times (once per conflict
-/// retry); the slot keeps the speculatively allocated node alive across
+/// retry); the slot keeps the speculatively allocated node — and, when the
+/// home bucket is full, the speculative overflow bucket — alive across
 /// retries so each logical insert allocates at most once.  After the
 /// enclosing [`spectm::StmThread::atomic`] **commits an attempt in which
 /// `put_in` returned `None`** (a fresh insert), the caller must call
 /// [`NodeSlot::mark_published`]; otherwise dropping the slot frees the
-/// never-published node.
+/// never-published allocations.
 pub struct NodeSlot<S: Stm> {
     ptr: *mut Node<S>,
+    chain: *mut OverflowBucket<S>,
+    /// Whether the most recent attempt linked `chain` into the map.  The
+    /// committed attempt is always the last one to run, so this flag is
+    /// accurate at `mark_published` time.
+    chain_used: bool,
 }
 
 impl<S: Stm> NodeSlot<S> {
@@ -78,14 +171,20 @@ impl<S: Stm> NodeSlot<S> {
     pub fn new() -> Self {
         Self {
             ptr: std::ptr::null_mut(),
+            chain: std::ptr::null_mut(),
+            chain_used: false,
         }
     }
 
-    /// Declares the slot's node published: a transaction in which
-    /// [`StmHashMap::put_in`] returned `None` has committed, so the node is
-    /// now owned by the map.
+    /// Declares the slot's allocations published: a transaction in which
+    /// [`StmHashMap::put_in`] returned `None` has committed, so the node
+    /// (and the overflow bucket, if that attempt linked one) is now owned
+    /// by the map.
     pub fn mark_published(&mut self) {
         self.ptr = std::ptr::null_mut();
+        if self.chain_used {
+            self.chain = std::ptr::null_mut();
+        }
     }
 }
 
@@ -103,6 +202,10 @@ impl<S: Stm> Drop for NodeSlot<S> {
             // by the companion `ValueSlot` (nodes never own value words), so
             // only the node box is freed here.
             drop(unsafe { Box::from_raw(self.ptr) });
+        }
+        if !self.chain.is_null() {
+            // SAFETY: as above — never linked into any chain.
+            drop(unsafe { Box::from_raw(self.chain) });
         }
     }
 }
@@ -123,11 +226,83 @@ impl<S: Stm> RetiredNode<S> {
     /// collector.  Only call after the removing transaction committed.
     pub fn retire(self, thread: &mut S::Thread) {
         let pin = thread.epoch().pin();
-        // SAFETY: the committed transaction unlinked and marked the node, so
-        // it is unreachable for new operations; pinned readers are protected
+        // SAFETY: the committed transaction cleared the node's slot, so it
+        // is unreachable for new operations; pinned readers are protected
         // by the epoch.  The node's value word is retired separately by the
         // companion `RetiredValue`.
         unsafe { pin.defer_drop(self.ptr) };
+    }
+}
+
+/// Occupancy and probe-length statistics for one [`StmHashMap`], collected
+/// quiescently by [`StmHashMap::stats`] (merge shards with
+/// [`MapStats::merge`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapStats {
+    /// Number of keys present.
+    pub keys: usize,
+    /// Number of home buckets (the flat array).
+    pub home_buckets: usize,
+    /// Number of linked overflow buckets.
+    pub overflow_buckets: usize,
+    /// Occupied item slots in home buckets (excludes overflow slots).
+    pub occupied_home_slots: usize,
+    /// `probe_histogram[d]` counts the keys whose lookup touches `d + 1`
+    /// buckets (home bucket = depth 1).
+    pub probe_histogram: Vec<usize>,
+}
+
+impl MapStats {
+    /// Keys per home-bucket slot: `keys / (home_buckets * BUCKET_SLOTS)`.
+    pub fn load_factor(&self) -> f64 {
+        if self.home_buckets == 0 {
+            return 0.0;
+        }
+        self.keys as f64 / (self.home_buckets * BUCKET_SLOTS) as f64
+    }
+
+    /// Fraction of keys whose lookup touches at most `buckets` buckets
+    /// (`1.0` for an empty map).
+    pub fn fraction_within(&self, buckets: usize) -> f64 {
+        if self.keys == 0 {
+            return 1.0;
+        }
+        let within: usize = self.probe_histogram.iter().take(buckets).sum();
+        within as f64 / self.keys as f64
+    }
+
+    /// Longest probe, in buckets (0 for an empty map).
+    pub fn max_probe(&self) -> usize {
+        self.probe_histogram.len()
+    }
+
+    /// Accumulates `other` into `self` (used to merge per-shard stats).
+    pub fn merge(&mut self, other: &MapStats) {
+        self.keys += other.keys;
+        self.home_buckets += other.home_buckets;
+        self.overflow_buckets += other.overflow_buckets;
+        self.occupied_home_slots += other.occupied_home_slots;
+        if self.probe_histogram.len() < other.probe_histogram.len() {
+            self.probe_histogram.resize(other.probe_histogram.len(), 0);
+        }
+        for (d, n) in other.probe_histogram.iter().enumerate() {
+            self.probe_histogram[d] += n;
+        }
+    }
+}
+
+impl std::fmt::Display for MapStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "keys={} load={:.3} home_buckets={} overflow_buckets={} probes<=1 {:.1}% probes<=2 {:.1}%",
+            self.keys,
+            self.load_factor(),
+            self.home_buckets,
+            self.overflow_buckets,
+            100.0 * self.fraction_within(1),
+            100.0 * self.fraction_within(2),
+        )
     }
 }
 
@@ -158,14 +333,15 @@ impl<S: Stm> RetiredNode<S> {
 /// ```
 pub struct StmHashMap<S: Stm> {
     stm: S,
-    buckets: Vec<S::Cell>,
+    buckets: Vec<Bucket<S>>,
     mask: u64,
     mode: ApiMode,
 }
 
 // SAFETY: raw node pointers inside cells follow the same discipline as the
-// spectm-ds structures: published by CAS/commit, retired via epochs after
-// unlinking, dereferenced only under an epoch pin.  Value cells follow the
+// spectm-ds structures: published by commit, retired via epochs after the
+// slot is cleared, dereferenced only under an epoch pin.  Overflow buckets
+// are write-once and freed only in `Drop`.  Value cells follow the
 // ownership rule in the module docs.
 unsafe impl<S: Stm> Send for StmHashMap<S> {}
 // SAFETY: as above.
@@ -173,7 +349,15 @@ unsafe impl<S: Stm> Sync for StmHashMap<S> {}
 
 #[inline]
 fn hash_key(key: u64) -> u64 {
-    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The 5-bit hash tag, drawn from the top bits of the hash so it stays
+/// independent of the bucket-index bits (17..), already shifted into tag
+/// position (bits 1..=5).
+#[inline]
+fn tag_of(h: u64) -> Word {
+    (((h >> 59) as Word) << 1) & TAG_MASK
 }
 
 #[inline]
@@ -186,16 +370,22 @@ pub(crate) fn check_len(value: &[u8]) -> Result<(), KvError> {
 }
 
 impl<S: Stm> StmHashMap<S> {
-    /// Creates a map with `buckets` chains (rounded up to a power of two),
-    /// driven through the given [`ApiMode`].
-    pub fn new(stm: &S, buckets: usize, mode: ApiMode) -> Self
+    /// Creates a map sized for about `capacity` keys (a hint, not a limit:
+    /// the bucket array is fixed at `capacity / 5` buckets, rounded up to a
+    /// power of two, targeting the ~0.75 load factor at which overflow
+    /// chains stay rare; past the hint the map keeps growing through
+    /// overflow buckets), driven through the given [`ApiMode`].
+    pub fn new(stm: &S, capacity: usize, mode: ApiMode) -> Self
     where
         S: Clone,
     {
-        let len = buckets.next_power_of_two().max(1);
+        let len = capacity
+            .div_ceil(CAPACITY_PER_BUCKET)
+            .next_power_of_two()
+            .max(1);
         Self {
             stm: stm.clone(),
-            buckets: (0..len).map(|_| stm.new_cell(0)).collect(),
+            buckets: (0..len).map(|_| new_bucket(stm)).collect(),
             mask: len as u64 - 1,
             mode,
         }
@@ -206,43 +396,54 @@ impl<S: Stm> StmHashMap<S> {
         self.mode
     }
 
-    /// Number of bucket chains.
+    /// Number of home buckets.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
     }
 
     #[inline]
-    fn bucket(&self, key: u64) -> &S::Cell {
-        &self.buckets[(hash_key(key) & self.mask) as usize]
+    fn home_bucket(&self, h: u64) -> &Bucket<S> {
+        &self.buckets[((h >> 17) & self.mask) as usize]
     }
 
-    /// Hints the CPU to pull `key`'s bucket head into cache — the batched
+    /// Hints the CPU to pull `key`'s home bucket into cache — the batched
     /// pipeline issues this a few operations ahead of the dispatch so the
-    /// chain walk's first dependent load overlaps earlier operations
-    /// (`crate::batch`).  Purely advisory; a no-op on architectures
-    /// without a prefetch primitive.
+    /// probe's slot scan overlaps earlier operations (`crate::batch`).
+    /// With the flat bucket layout the one prefetched line covers the
+    /// entire probe for ~95% of keys at the target load factor.  Purely
+    /// advisory; a no-op on architectures without a prefetch primitive.
     #[inline]
     pub fn prefetch_bucket(&self, key: u64) {
-        let cell: *const S::Cell = self.bucket(key);
+        let bucket: *const Bucket<S> = self.home_bucket(hash_key(key));
         #[cfg(target_arch = "x86_64")]
         // SAFETY: prefetch is a hint and never faults, for any address.
         unsafe {
-            core::arch::x86_64::_mm_prefetch(cell.cast::<i8>(), core::arch::x86_64::_MM_HINT_T0)
+            core::arch::x86_64::_mm_prefetch(bucket.cast::<i8>(), core::arch::x86_64::_MM_HINT_T0)
         };
         #[cfg(not(target_arch = "x86_64"))]
-        let _ = cell;
+        let _ = bucket;
     }
 
     #[inline]
-    fn node(ptr: Word) -> *mut Node<S> {
-        unmark(ptr) as *mut Node<S>
+    fn node(w: Word) -> *mut Node<S> {
+        (w & ITEM_PTR_MASK) as *mut Node<S>
     }
 
-    fn alloc_node(&self, key: u64, word: Word, next: Word) -> *mut Node<S> {
+    #[inline]
+    fn chain(w: Word) -> *mut OverflowBucket<S> {
+        (w & CHAIN_PTR_MASK) as *mut OverflowBucket<S>
+    }
+
+    fn alloc_node(&self, key: u64, word: Word) -> *mut Node<S> {
         Box::into_raw(Box::new(Node {
             key,
             value: self.stm.new_cell(word),
-            next: self.stm.new_cell(next),
+        }))
+    }
+
+    fn alloc_overflow(&self) -> *mut OverflowBucket<S> {
+        Box::into_raw(Box::new(OverflowBucket {
+            bucket: new_bucket(&self.stm),
         }))
     }
 
@@ -273,7 +474,7 @@ impl<S: Stm> StmHashMap<S> {
     /// previous value; returns `Ok(None)` (inserting nothing) if the key is
     /// absent.  The membership-preserving half of [`StmHashMap::put`]: in
     /// Short mode it is the same two-location read-write transaction, never
-    /// the insert CAS.
+    /// the insert path.
     pub fn update(
         &self,
         key: u64,
@@ -354,51 +555,130 @@ impl<S: Stm> StmHashMap<S> {
     /// run).
     pub fn quiescent_snapshot(&self) -> Vec<(u64, Value)> {
         let mut out = Vec::new();
-        for head in &self.buckets {
-            let mut curr = S::peek(head);
-            while unmark(curr) != 0 {
-                // SAFETY: quiescence is required by the contract; nodes
-                // cannot be retired concurrently.
-                let node = unsafe { &*Self::node(curr) };
-                let next = S::peek(&node.next);
-                if !is_marked(next) {
-                    // SAFETY: quiescence — the cell cannot be freed
-                    // concurrently.
-                    out.push((node.key, unsafe { decode_value(S::peek(&node.value)) }));
+        for home in &self.buckets {
+            let mut bucket = home;
+            loop {
+                for cell in &bucket.item {
+                    let w = S::peek(cell);
+                    if w != 0 {
+                        // SAFETY: quiescence is required by the contract;
+                        // nodes cannot be retired concurrently.
+                        let node = unsafe { &*Self::node(w) };
+                        // SAFETY: quiescence — the cell cannot be freed
+                        // concurrently.
+                        out.push((node.key, unsafe { decode_value(S::peek(&node.value)) }));
+                    }
                 }
-                curr = next;
+                let p = Self::chain(S::peek(&bucket.stat));
+                if p.is_null() {
+                    break;
+                }
+                // SAFETY: overflow buckets live until the map is dropped.
+                bucket = unsafe { &(*p).bucket };
             }
         }
         out.sort_unstable();
         out
     }
 
+    /// Collects occupancy and probe-length statistics (non-transactional;
+    /// only meaningful when no concurrent operations run).
+    pub fn stats(&self) -> MapStats {
+        let mut stats = MapStats {
+            home_buckets: self.buckets.len(),
+            ..MapStats::default()
+        };
+        for home in &self.buckets {
+            let mut bucket = home;
+            let mut depth = 0usize;
+            loop {
+                let occupied = bucket.item.iter().filter(|c| S::peek(c) != 0).count();
+                if depth == 0 {
+                    stats.occupied_home_slots += occupied;
+                }
+                stats.keys += occupied;
+                if occupied > 0 {
+                    if stats.probe_histogram.len() <= depth {
+                        stats.probe_histogram.resize(depth + 1, 0);
+                    }
+                    stats.probe_histogram[depth] += occupied;
+                }
+                let p = Self::chain(S::peek(&bucket.stat));
+                if p.is_null() {
+                    break;
+                }
+                stats.overflow_buckets += 1;
+                depth += 1;
+                // SAFETY: overflow buckets live until the map is dropped.
+                bucket = unsafe { &(*p).bucket };
+            }
+        }
+        stats
+    }
+
     // ------------------------------------------------------------------
     // Short-transaction implementation
     // ------------------------------------------------------------------
 
-    /// Walks the chain with single-location reads, returning the cell
-    /// holding the link to the first node with `node.key >= key` plus that
-    /// node's address (unmarked).  The caller must hold an epoch pin.
-    fn search_short<'a>(&'a self, key: u64, thread: &mut S::Thread) -> (&'a S::Cell, Word) {
-        let mut prev: &S::Cell = self.bucket(key);
-        let mut curr = unmark(thread.single_read(prev));
-        loop {
-            if curr == 0 {
-                return (prev, 0);
+    /// Scans one bucket's item words with single-location reads, returning
+    /// the first tag-and-key match.  The caller must hold an epoch pin.
+    fn scan_bucket_short<'a>(
+        &'a self,
+        bucket: &'a Bucket<S>,
+        key: u64,
+        tag: Word,
+        thread: &mut S::Thread,
+    ) -> Option<Candidate<'a, S>> {
+        for cell in &bucket.item {
+            let w = thread.single_read(cell);
+            if w != 0 && w & TAG_MASK == tag {
+                // SAFETY: `w` was read from a reachable slot under the
+                // caller's epoch pin; retired nodes cannot be freed while
+                // pinned.
+                let node = unsafe { &*Self::node(w) };
+                if node.key == key {
+                    return Some(Candidate {
+                        cell,
+                        word: w,
+                        node,
+                    });
+                }
             }
-            // SAFETY: `curr` was read from a reachable link under the
-            // caller's epoch pin; retired nodes cannot be freed while pinned.
-            let node = unsafe { &*Self::node(curr) };
-            if node.key >= key {
-                return (prev, curr);
-            }
-            let next = thread.single_read(&node.next);
-            // Traversal passes through logically deleted nodes; their
-            // forward pointers still lead onward.
-            prev = &node.next;
-            curr = unmark(next);
         }
+        None
+    }
+
+    /// Continues a short scan down an overflow chain.  The caller must hold
+    /// an epoch pin.
+    fn scan_overflow_short<'a>(
+        &'a self,
+        mut p: *const OverflowBucket<S>,
+        key: u64,
+        tag: Word,
+        thread: &mut S::Thread,
+    ) -> Option<Candidate<'a, S>> {
+        while !p.is_null() {
+            // SAFETY: overflow buckets live until the map is dropped.
+            let bucket = unsafe { &(*p).bucket };
+            if let Some(c) = self.scan_bucket_short(bucket, key, tag, thread) {
+                return Some(c);
+            }
+            p = Self::chain(thread.single_read(&bucket.stat));
+        }
+        None
+    }
+
+    /// Scans the whole chain for `key` with single-location reads.  The
+    /// caller must hold an epoch pin.
+    fn find_short<'a>(&'a self, key: u64, thread: &mut S::Thread) -> Option<Candidate<'a, S>> {
+        let h = hash_key(key);
+        let tag = tag_of(h);
+        let home = self.home_bucket(h);
+        if let Some(c) = self.scan_bucket_short(home, key, tag, thread) {
+            return Some(c);
+        }
+        let stat = thread.single_read(&home.stat);
+        self.scan_overflow_short(Self::chain(stat), key, tag, thread)
     }
 
     fn get_short(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
@@ -420,24 +700,18 @@ impl<S: Stm> StmHashMap<S> {
     /// pin for the duration of the attempt.
     #[inline]
     fn try_get_short(&self, key: u64, thread: &mut S::Thread) -> Result<Option<Value>, ()> {
-        let (_prev, curr) = self.search_short(key, thread);
-        if curr == 0 {
+        let Some(c) = self.find_short(key, thread) else {
             return Ok(None);
-        }
-        // SAFETY: protected by the caller's epoch pin.
-        let node = unsafe { &*Self::node(curr) };
-        if node.key != key {
-            return Ok(None);
-        }
-        // Liveness and value must be observed together: a two-location
-        // read-only short transaction.
-        let next = thread.ro_read(0, &node.next);
-        let value = thread.ro_read(1, &node.value);
-        if !thread.ro_is_valid(2) {
+        };
+        // Membership and value must be observed together: a two-location
+        // read-only short transaction over (slot, value).
+        let w = thread.ro_read(0, c.cell);
+        if w != c.word {
             return Err(());
         }
-        if is_marked(next) {
-            return Ok(None);
+        let value = thread.ro_read(1, &c.node.value);
+        if !thread.ro_is_valid(2) {
+            return Err(());
         }
         // SAFETY: the caller's pin predates any retirement of the cell
         // behind the validated word, so it cannot have been freed yet.
@@ -468,24 +742,29 @@ impl<S: Stm> StmHashMap<S> {
     }
 
     /// One attempt at the update-in-place protocol: a two-location short
-    /// read-write transaction over (next, value).  Reading `next` both
-    /// checks liveness and guards against a concurrent remove committing
-    /// between the check and the write.  The caller must hold an epoch pin.
-    fn try_update_short(&self, node: &Node<S>, word: Word, thread: &mut S::Thread) -> ShortUpdate {
-        let next = thread.rw_read(0, &node.next);
+    /// read-write transaction over (slot, value).  Re-reading the slot both
+    /// checks membership and guards against a concurrent delete committing
+    /// between the scan and the write.  The caller must hold an epoch pin.
+    fn try_update_short(
+        &self,
+        c: &Candidate<'_, S>,
+        word: Word,
+        thread: &mut S::Thread,
+    ) -> ShortUpdate {
+        let w = thread.rw_read(0, c.cell);
         if !thread.rw_is_valid(1) {
             return ShortUpdate::Retry;
         }
-        if is_marked(next) {
-            // Logically deleted but still linked.
+        if w != c.word {
+            // The candidate was deleted (and the slot possibly reused).
             thread.rw_abort(1);
-            return ShortUpdate::Deleted;
+            return ShortUpdate::Gone;
         }
-        let old = thread.rw_read(1, &node.value);
+        let old = thread.rw_read(1, &c.node.value);
         if !thread.rw_is_valid(2) {
             return ShortUpdate::Retry;
         }
-        if thread.rw_commit(2, &[next, word]) {
+        if thread.rw_commit(2, &[c.word, word]) {
             ShortUpdate::Updated(old)
         } else {
             ShortUpdate::Retry
@@ -500,7 +779,11 @@ impl<S: Stm> StmHashMap<S> {
         thread: &mut S::Thread,
     ) -> Option<Value> {
         let word = slot.encode_once(value);
-        let mut new_node: *mut Node<S> = std::ptr::null_mut();
+        let h = hash_key(key);
+        let tag = tag_of(h);
+        // Speculative allocations, reused across attempts and freed by the
+        // slot's drop if this operation ends up not publishing them.
+        let mut scratch = NodeSlot::<S>::new();
         let mut attempts = 0u32;
         loop {
             if attempts > 0 {
@@ -508,83 +791,124 @@ impl<S: Stm> StmHashMap<S> {
             }
             attempts += 1;
             let pin = thread.epoch().pin();
-            let (prev, curr) = self.search_short(key, thread);
-            if curr != 0 {
-                // SAFETY: protected by the epoch pin.
-                let node = unsafe { &*Self::node(curr) };
-                if node.key == key {
-                    match self.try_update_short(node, word, thread) {
-                        ShortUpdate::Updated(old) => {
-                            slot.mark_published();
-                            if !new_node.is_null() {
-                                // SAFETY: never published; the value word it
-                                // references is now owned by the map.
-                                drop(unsafe { Box::from_raw(new_node) });
-                            }
-                            // SAFETY: the committed overwrite displaced
-                            // `old`, making this thread its exclusive owner.
-                            let previous = unsafe { decode_value(old) };
-                            // SAFETY: as above; pinned readers are protected.
-                            unsafe { retire_value(old, &pin) };
-                            return Some(previous);
-                        }
-                        // Deleted: wait for the remover to unlink, then
-                        // insert fresh.  Either way, retry the search.
-                        ShortUpdate::Deleted | ShortUpdate::Retry => {
-                            drop(pin);
-                            continue;
-                        }
+            let home = self.home_bucket(h);
+            // One pass doubling as the read-only half of the insert
+            // transaction: all 7 item words and the stat word of the home
+            // bucket enter the RO set, so a committed insert has validated
+            // the key's absence from the entire single-bucket chain at its
+            // linearization point.
+            let mut candidate: Option<Candidate<'_, S>> = None;
+            let mut empty: Option<usize> = None;
+            for (i, cell) in home.item.iter().enumerate() {
+                let w = thread.ro_read(i, cell);
+                if w == 0 {
+                    if empty.is_none() {
+                        empty = Some(i);
+                    }
+                } else if w & TAG_MASK == tag && candidate.is_none() {
+                    // SAFETY: read from a reachable slot under the pin.
+                    let node = unsafe { &*Self::node(w) };
+                    if node.key == key {
+                        candidate = Some(Candidate {
+                            cell,
+                            word: w,
+                            node,
+                        });
                     }
                 }
             }
-            if new_node.is_null() {
-                new_node = self.alloc_node(key, word, curr);
-            } else {
-                // SAFETY: still private to this thread.
-                let node = unsafe { &*new_node };
-                S::poke(&node.next, curr);
+            let stat = thread.ro_read(BUCKET_SLOTS, &home.stat);
+            let chain = Self::chain(stat);
+            if candidate.is_none() && !chain.is_null() {
+                candidate = self.scan_overflow_short(chain, key, tag, thread);
             }
-            // Publish with a single-location CAS.
-            if thread.single_cas(prev, curr, new_node as Word) == curr {
+            if let Some(c) = candidate {
+                match self.try_update_short(&c, word, thread) {
+                    ShortUpdate::Updated(old) => {
+                        slot.mark_published();
+                        // SAFETY: the committed overwrite displaced `old`,
+                        // making this thread its exclusive owner.
+                        let previous = unsafe { decode_value(old) };
+                        // SAFETY: as above; pinned readers are protected.
+                        unsafe { retire_value(old, &pin) };
+                        return Some(previous);
+                    }
+                    ShortUpdate::Gone | ShortUpdate::Retry => {
+                        drop(pin);
+                        continue;
+                    }
+                }
+            }
+            if !chain.is_null() {
+                // The chain already spans 2+ buckets: proving the key
+                // absent would need more than MAX_SHORT validated
+                // locations, so insert through a full transaction — the
+                // paper's fallback for transactions that outgrow the
+                // short API.
+                drop(pin);
+                drop(scratch);
+                return self.put_full(key, value, slot, thread);
+            }
+            if scratch.ptr.is_null() {
+                scratch.ptr = self.alloc_node(key, word);
+            }
+            let tagged = scratch.ptr as Word | tag;
+            let committed = if let Some(e) = empty {
+                // Claim the free slot: upgrade it into the RW set and
+                // commit, validating the other 7 words read-only.
+                thread.upgrade_ro_to_rw(e, 0) && thread.ro_rw_commit(BUCKET_SLOTS + 1, 1, &[tagged])
+            } else {
+                // Bucket full with no chain yet: publish the node inside a
+                // fresh overflow bucket by linking it through the stat
+                // word (preserving the reserved frequency byte).
+                if scratch.chain.is_null() {
+                    scratch.chain = self.alloc_overflow();
+                }
+                // SAFETY: the overflow bucket is still private to this
+                // thread until the commit below publishes it.
+                let cb = unsafe { &(*scratch.chain).bucket };
+                S::poke(&cb.item[0], tagged);
+                scratch.chain_used = true;
+                let chain_word = scratch.chain as Word | (stat & FREQ_MASK);
+                thread.upgrade_ro_to_rw(BUCKET_SLOTS, 0)
+                    && thread.ro_rw_commit(BUCKET_SLOTS + 1, 1, &[chain_word])
+            };
+            if committed {
                 slot.mark_published();
+                scratch.mark_published();
                 return None;
             }
+            scratch.chain_used = false;
+            drop(pin);
         }
     }
 
-    /// One attempt of the update-only protocol (search + the
+    /// One attempt of the update-only protocol (scan + the
     /// [`StmHashMap::try_update_short`] dispatch): `Ok(None)` means the key
-    /// is absent or logically deleted, `Ok(Some(old))` a committed
-    /// overwrite that displaced `old` — now owned by this thread, which
-    /// must decode and retire it — and `Err(())` a validation or commit
-    /// failure to retry.  The caller must hold an epoch pin for the whole
-    /// attempt.
+    /// is absent, `Ok(Some(old))` a committed overwrite that displaced
+    /// `old` — now owned by this thread, which must decode and retire it —
+    /// and `Err(())` a validation or commit failure to retry.  The caller
+    /// must hold an epoch pin for the whole attempt.
     fn try_update_attempt(
         &self,
         key: u64,
         word: Word,
         thread: &mut S::Thread,
     ) -> Result<Option<Word>, ()> {
-        let (_prev, curr) = self.search_short(key, thread);
-        if curr == 0 {
+        let Some(c) = self.find_short(key, thread) else {
             return Ok(None);
-        }
-        // SAFETY: protected by the caller's epoch pin.
-        let node = unsafe { &*Self::node(curr) };
-        if node.key != key {
-            return Ok(None);
-        }
-        match self.try_update_short(node, word, thread) {
+        };
+        match self.try_update_short(&c, word, thread) {
             ShortUpdate::Updated(old) => Ok(Some(old)),
-            // Logically deleted: the key is absent for this operation.
-            ShortUpdate::Deleted => Ok(None),
-            ShortUpdate::Retry => Err(()),
+            // The slot changed under us: the key may be gone or freshly
+            // reinserted elsewhere — re-search either way.
+            ShortUpdate::Gone | ShortUpdate::Retry => Err(()),
         }
     }
 
-    /// Short-mode update-only path: the found-node branch of `put_short`
-    /// (the same [`StmHashMap::try_update_short`] protocol) without the
-    /// insert fallback.
+    /// Short-mode update-only path: the found-candidate branch of
+    /// `put_short` (the same [`StmHashMap::try_update_short`] protocol)
+    /// without the insert fallback.
     fn update_short(
         &self,
         key: u64,
@@ -622,49 +946,33 @@ impl<S: Stm> StmHashMap<S> {
             }
             attempts += 1;
             let pin = thread.epoch().pin();
-            let (prev, curr) = self.search_short(key, thread);
-            if curr == 0 {
-                return None;
-            }
-            // SAFETY: protected by the epoch pin.
-            let node = unsafe { &*Self::node(curr) };
-            if node.key != key {
-                return None;
-            }
-            // A three-location short transaction: unlink the node, mark its
-            // forward pointer and capture its value, atomically.
-            let prev_val = thread.rw_read(0, prev);
+            let c = self.find_short(key, thread)?;
+            // A two-location short transaction: clear the slot and capture
+            // the value, atomically.  Works at any chain depth — no
+            // predecessor pointer exists in the bucket layout.
+            let w = thread.rw_read(0, c.cell);
             if !thread.rw_is_valid(1) {
                 drop(pin);
                 continue;
             }
-            if prev_val != curr {
+            if w != c.word {
+                // Deleted (and possibly reused) concurrently; re-search.
                 thread.rw_abort(1);
                 drop(pin);
                 continue;
             }
-            let next_val = thread.rw_read(1, &node.next);
+            let value = thread.rw_read(1, &c.node.value);
             if !thread.rw_is_valid(2) {
                 drop(pin);
                 continue;
             }
-            if is_marked(next_val) {
-                // Already logically deleted by someone else.
-                thread.rw_abort(2);
-                return None;
-            }
-            let value = thread.rw_read(2, &node.value);
-            if !thread.rw_is_valid(3) {
-                drop(pin);
-                continue;
-            }
-            if thread.rw_commit(3, &[unmark(next_val), mark(next_val), value]) {
-                // SAFETY: the node is now unlinked and marked; new
-                // traversals cannot reach it, pinned readers are protected.
-                unsafe { pin.defer_drop(Self::node(curr)) };
+            if thread.rw_commit(2, &[0, value]) {
+                // SAFETY: the committed delete cleared the slot, so the
+                // node is unreachable for new scans; pinned readers are
+                // protected.
+                unsafe { pin.defer_drop(Self::node(c.word)) };
                 // SAFETY: the committed delete made this thread the value
-                // word's exclusive owner (no overwrite can touch a marked
-                // node).
+                // word's exclusive owner (the slot no longer leads to it).
                 let previous = unsafe { decode_value(value) };
                 // SAFETY: as above.
                 unsafe { retire_value(value, &pin) };
@@ -684,50 +992,71 @@ impl<S: Stm> StmHashMap<S> {
             .expect("get_full is never cancelled")
     }
 
-    /// Body of a full-mode insert-or-update inside the caller's transaction.
-    /// `new_node` is the lazily filled allocation slot, reused across
-    /// conflict retries; `word` is the pre-encoded value word.  Returns the
-    /// displaced word on overwrite (owned by the caller once the
-    /// transaction commits).
+    /// Body of a full-mode insert-or-update inside the caller's
+    /// transaction.  `slot` carries the speculative node (and overflow
+    /// bucket) across conflict retries; `word` is the pre-encoded value
+    /// word.  Returns the displaced word on overwrite (owned by the caller
+    /// once the transaction commits).
     fn put_body(
         &self,
         key: u64,
         word: Word,
-        new_node: &mut *mut Node<S>,
+        slot: &mut NodeSlot<S>,
         tx: &mut FullTx<'_, S::Thread>,
     ) -> TxResult<Option<Word>> {
-        let mut prev_cell: &S::Cell = self.bucket(key);
-        let mut curr = unmark(tx.read(prev_cell)?);
+        slot.chain_used = false;
+        let h = hash_key(key);
+        let tag = tag_of(h);
+        let mut bucket: &Bucket<S> = self.home_bucket(h);
+        let mut empty_cell: Option<&S::Cell> = None;
         loop {
-            if curr != 0 {
-                // SAFETY: the transaction holds an epoch pin for the
-                // whole attempt; opacity guarantees reachability.
-                let node = unsafe { &*Self::node(curr) };
-                if node.key == key {
-                    if is_marked(tx.read(&node.next)?) {
-                        // Deleted but not yet unlinked: restart.
-                        return tx.restart();
+            for cell in &bucket.item {
+                let w = tx.read(cell)?;
+                if w == 0 {
+                    if empty_cell.is_none() {
+                        empty_cell = Some(cell);
                     }
-                    let old = tx.read(&node.value)?;
-                    tx.write(&node.value, word)?;
-                    return Ok(Some(old));
-                }
-                if node.key < key {
-                    prev_cell = &node.next;
-                    curr = unmark(tx.read(prev_cell)?);
-                    continue;
+                } else if w & TAG_MASK == tag {
+                    // SAFETY: the transaction holds an epoch pin for the
+                    // whole attempt; opacity guarantees reachability.
+                    let node = unsafe { &*Self::node(w) };
+                    if node.key == key {
+                        let old = tx.read(&node.value)?;
+                        tx.write(&node.value, word)?;
+                        return Ok(Some(old));
+                    }
                 }
             }
-            // Allocate lazily, once, and reuse across retries.
-            if new_node.is_null() {
-                *new_node = self.alloc_node(key, word, curr);
+            let stat = tx.read(&bucket.stat)?;
+            let p = Self::chain(stat);
+            if p.is_null() {
+                // End of chain and the key is absent: insert.  Every slot
+                // and stat word of the chain is in the read set, so the
+                // commit validates exclusion.
+                if slot.ptr.is_null() {
+                    slot.ptr = self.alloc_node(key, word);
+                }
+                // SAFETY: still private until the commit publishes it.
+                let node = unsafe { &*slot.ptr };
+                S::poke(&node.value, word);
+                let tagged = slot.ptr as Word | tag;
+                if let Some(cell) = empty_cell {
+                    tx.write(cell, tagged)?;
+                } else {
+                    // Chain a fresh overflow bucket carrying the node.
+                    if slot.chain.is_null() {
+                        slot.chain = self.alloc_overflow();
+                    }
+                    // SAFETY: private until the commit publishes it.
+                    let cb = unsafe { &(*slot.chain).bucket };
+                    S::poke(&cb.item[0], tagged);
+                    tx.write(&bucket.stat, slot.chain as Word | (stat & FREQ_MASK))?;
+                    slot.chain_used = true;
+                }
+                return Ok(None);
             }
-            // SAFETY: still private until the commit publishes it.
-            let node = unsafe { &**new_node };
-            S::poke(&node.next, curr);
-            S::poke(&node.value, word);
-            tx.write(prev_cell, *new_node as Word)?;
-            return Ok(None);
+            // SAFETY: overflow buckets live until the map is dropped.
+            bucket = unsafe { &(*p).bucket };
         }
     }
 
@@ -739,27 +1068,32 @@ impl<S: Stm> StmHashMap<S> {
         thread: &mut S::Thread,
     ) -> Option<Value> {
         let word = slot.encode_once(value);
-        let mut new_node: *mut Node<S> = std::ptr::null_mut();
+        let mut node_slot = NodeSlot::<S>::new();
         let previous = thread
-            .atomic(|tx| self.put_body(key, word, &mut new_node, tx))
+            .atomic(|tx| self.put_body(key, word, &mut node_slot, tx))
             .expect("put_full is never cancelled");
         // Whether by insert or by overwrite, the committed attempt stored
         // the slot's word.
         slot.mark_published();
-        previous.map(|old| {
-            if !new_node.is_null() {
-                // SAFETY: never published (the committed outcome was an
-                // update); its value word now lives in the existing node.
-                drop(unsafe { Box::from_raw(new_node) });
+        match previous {
+            Some(old) => {
+                // The speculative allocations were not published (the
+                // committed outcome was an overwrite); `node_slot`'s drop
+                // frees them.
+                let pin = thread.epoch().pin();
+                // SAFETY: the committed overwrite displaced `old`, making
+                // this thread its exclusive owner; pinned readers are
+                // protected.
+                let out = unsafe { decode_value(old) };
+                // SAFETY: as above.
+                unsafe { retire_value(old, &pin) };
+                Some(out)
             }
-            let pin = thread.epoch().pin();
-            // SAFETY: the committed overwrite displaced `old`, making this
-            // thread its exclusive owner; pinned readers are protected.
-            let out = unsafe { decode_value(old) };
-            // SAFETY: as above.
-            unsafe { retire_value(old, &pin) };
-            out
-        })
+            None => {
+                node_slot.mark_published();
+                None
+            }
+        }
     }
 
     /// Full-mode update-only path: one transaction running the
@@ -793,10 +1127,10 @@ impl<S: Stm> StmHashMap<S> {
     /// regardless of this instance's [`ApiMode`].  Returns the displaced old
     /// value (`None` means a fresh node was inserted).
     ///
-    /// `slot` carries the speculative node allocation across conflict
-    /// retries of the enclosing transaction (see [`NodeSlot`] for the
-    /// publication contract) and `value_slot` the value word likewise (mark
-    /// it published after **any** committed outcome — insert and overwrite
+    /// `slot` carries the speculative allocations across conflict retries
+    /// of the enclosing transaction (see [`NodeSlot`] for the publication
+    /// contract) and `value_slot` the value word likewise (mark it
+    /// published after **any** committed outcome — insert and overwrite
     /// both store the word).  A returned [`RetiredValue`] must be retired
     /// after the commit, per its contract.  `value` must be at most
     /// [`MAX_VALUE_LEN`] bytes (checked by the public entry points).
@@ -814,41 +1148,38 @@ impl<S: Stm> StmHashMap<S> {
             debug_assert_eq!(unsafe { (*slot.ptr).key }, key, "one NodeSlot per key");
         }
         let word = value_slot.encode_once(value);
-        Ok(self
-            .put_body(key, word, &mut slot.ptr, tx)?
-            .map(RetiredValue::new))
+        Ok(self.put_body(key, word, slot, tx)?.map(RetiredValue::new))
     }
 
     /// Body of a full-mode delete inside the caller's transaction.  Returns
-    /// the captured value word and the unlinked node pointer.
+    /// the captured value word and the detached node pointer.
     fn del_body(
         &self,
         key: u64,
         tx: &mut FullTx<'_, S::Thread>,
     ) -> TxResult<Option<(Word, *mut Node<S>)>> {
-        let mut prev_cell: &S::Cell = self.bucket(key);
-        let mut curr = unmark(tx.read(prev_cell)?);
+        let h = hash_key(key);
+        let tag = tag_of(h);
+        let mut bucket: &Bucket<S> = self.home_bucket(h);
         loop {
-            if curr == 0 {
-                return Ok(None);
-            }
-            // SAFETY: see `put_body`.
-            let node = unsafe { &*Self::node(curr) };
-            if node.key > key {
-                return Ok(None);
-            }
-            if node.key == key {
-                let next = tx.read(&node.next)?;
-                if is_marked(next) {
-                    return Ok(None);
+            for cell in &bucket.item {
+                let w = tx.read(cell)?;
+                if w != 0 && w & TAG_MASK == tag {
+                    // SAFETY: see `put_body`.
+                    let node = unsafe { &*Self::node(w) };
+                    if node.key == key {
+                        let value = tx.read(&node.value)?;
+                        tx.write(cell, 0)?;
+                        return Ok(Some((value, Self::node(w))));
+                    }
                 }
-                let value = tx.read(&node.value)?;
-                tx.write(prev_cell, unmark(next))?;
-                tx.write(&node.next, mark(next))?;
-                return Ok(Some((value, Self::node(curr))));
             }
-            prev_cell = &node.next;
-            curr = unmark(tx.read(prev_cell)?);
+            let p = Self::chain(tx.read(&bucket.stat)?);
+            if p.is_null() {
+                return Ok(None);
+            }
+            // SAFETY: overflow buckets live until the map is dropped.
+            bucket = unsafe { &(*p).bucket };
         }
     }
 
@@ -856,11 +1187,11 @@ impl<S: Stm> StmHashMap<S> {
         let removed = thread
             .atomic(|tx| self.del_body(key, tx))
             .expect("del_full is never cancelled");
-        removed.map(|(value, unlinked)| {
+        removed.map(|(value, detached)| {
             let pin = thread.epoch().pin();
-            // SAFETY: the committed transaction unlinked and marked the
-            // node; it is unreachable for new transactions.
-            unsafe { pin.defer_drop(unlinked) };
+            // SAFETY: the committed transaction cleared the node's slot; it
+            // is unreachable for new transactions.
+            unsafe { pin.defer_drop(detached) };
             // SAFETY: the committed delete made this thread the value
             // word's exclusive owner.
             let out = unsafe { decode_value(value) };
@@ -872,7 +1203,7 @@ impl<S: Stm> StmHashMap<S> {
 
     /// Removes `key` inside an already-running full transaction, regardless
     /// of this instance's [`ApiMode`].  Returns the captured value and the
-    /// unlinked node (both to be retired **after** the transaction commits;
+    /// detached node (both to be retired **after** the transaction commits;
     /// see [`RetiredValue`] and [`RetiredNode`]), or `None` if the key was
     /// absent.
     pub fn del_in(
@@ -892,27 +1223,31 @@ impl<S: Stm> StmHashMap<S> {
     /// Reads the value under `key` inside an already-running full
     /// transaction (the building block of cross-shard read-modify-write).
     pub fn read_in(&self, key: u64, tx: &mut FullTx<'_, S::Thread>) -> TxResult<Option<Value>> {
-        let mut curr = unmark(tx.read(self.bucket(key))?);
+        let h = hash_key(key);
+        let tag = tag_of(h);
+        let mut bucket: &Bucket<S> = self.home_bucket(h);
         loop {
-            if curr == 0 {
-                return Ok(None);
-            }
-            // SAFETY: `StmThread::atomic` pins the epoch for the whole
-            // attempt; opacity guarantees `curr` was reachable.
-            let node = unsafe { &*Self::node(curr) };
-            if node.key == key {
-                if is_marked(tx.read(&node.next)?) {
-                    return Ok(None);
+            for cell in &bucket.item {
+                let w = tx.read(cell)?;
+                if w != 0 && w & TAG_MASK == tag {
+                    // SAFETY: `StmThread::atomic` pins the epoch for the
+                    // whole attempt; opacity guarantees reachability.
+                    let node = unsafe { &*Self::node(w) };
+                    if node.key == key {
+                        let word = tx.read(&node.value)?;
+                        // SAFETY: the attempt's epoch pin predates any
+                        // retirement of the cell behind a word this read
+                        // validated.
+                        return Ok(Some(unsafe { decode_value(word) }));
+                    }
                 }
-                let word = tx.read(&node.value)?;
-                // SAFETY: the attempt's epoch pin predates any retirement
-                // of the cell behind a word this read validated.
-                return Ok(Some(unsafe { decode_value(word) }));
             }
-            if node.key > key {
+            let p = Self::chain(tx.read(&bucket.stat)?);
+            if p.is_null() {
                 return Ok(None);
             }
-            curr = unmark(tx.read(&node.next)?);
+            // SAFETY: overflow buckets live until the map is dropped.
+            bucket = unsafe { &(*p).bucket };
         }
     }
 
@@ -935,43 +1270,58 @@ impl<S: Stm> StmHashMap<S> {
         tx: &mut FullTx<'_, S::Thread>,
     ) -> TxResult<Option<RetiredValue>> {
         debug_assert!(value.len() <= MAX_VALUE_LEN);
-        let mut curr = unmark(tx.read(self.bucket(key))?);
+        let h = hash_key(key);
+        let tag = tag_of(h);
+        let mut bucket: &Bucket<S> = self.home_bucket(h);
         loop {
-            if curr == 0 {
-                return Ok(None);
-            }
-            // SAFETY: see `read_in`.
-            let node = unsafe { &*Self::node(curr) };
-            if node.key == key {
-                if is_marked(tx.read(&node.next)?) {
-                    return Ok(None);
+            for cell in &bucket.item {
+                let w = tx.read(cell)?;
+                if w != 0 && w & TAG_MASK == tag {
+                    // SAFETY: see `read_in`.
+                    let node = unsafe { &*Self::node(w) };
+                    if node.key == key {
+                        let old = tx.read(&node.value)?;
+                        tx.write(&node.value, slot.encode(value))?;
+                        return Ok(Some(RetiredValue::new(old)));
+                    }
                 }
-                let old = tx.read(&node.value)?;
-                tx.write(&node.value, slot.encode(value))?;
-                return Ok(Some(RetiredValue::new(old)));
             }
-            if node.key > key {
+            let p = Self::chain(tx.read(&bucket.stat)?);
+            if p.is_null() {
                 return Ok(None);
             }
-            curr = unmark(tx.read(&node.next)?);
+            // SAFETY: overflow buckets live until the map is dropped.
+            bucket = unsafe { &(*p).bucket };
         }
     }
 }
 
 impl<S: Stm> Drop for StmHashMap<S> {
     fn drop(&mut self) {
-        // Exclusive access: free every remaining node, and its value cell,
-        // directly.
-        for head in &self.buckets {
-            let mut curr = S::peek(head);
-            while unmark(curr) != 0 {
-                // SAFETY: nodes were allocated with `Box::into_raw`; during
-                // drop nothing else references them.
-                let node = unsafe { Box::from_raw(Self::node(curr)) };
-                // SAFETY: exclusive access; the word is still owned by the
-                // map, so nobody else will free it.
-                unsafe { free_value(S::peek(&node.value)) };
-                curr = S::peek(&node.next);
+        // Exclusive access: free every remaining node (and its value cell)
+        // and every overflow bucket directly.
+        fn free_bucket_nodes<S: Stm>(bucket: &Bucket<S>) {
+            for cell in &bucket.item {
+                let w = S::peek(cell);
+                if w != 0 {
+                    // SAFETY: nodes were allocated with `Box::into_raw`;
+                    // during drop nothing else references them.
+                    let node = unsafe { Box::from_raw(StmHashMap::<S>::node(w)) };
+                    // SAFETY: exclusive access; the word is still owned by
+                    // the map, so nobody else will free it.
+                    unsafe { free_value(S::peek(&node.value)) };
+                }
+            }
+        }
+        for home in &self.buckets {
+            free_bucket_nodes(home);
+            let mut p = Self::chain(S::peek(&home.stat));
+            while !p.is_null() {
+                // SAFETY: overflow buckets were allocated with
+                // `Box::into_raw` and are only freed here.
+                let boxed = unsafe { Box::from_raw(p) };
+                free_bucket_nodes(&boxed.bucket);
+                p = Self::chain(S::peek(&boxed.bucket.stat));
             }
         }
     }
@@ -992,8 +1342,8 @@ mod tests {
             .collect()
     }
 
-    fn oracle_test<S: Stm + Clone>(stm: S, mode: ApiMode) {
-        let map = StmHashMap::new(&stm, 32, mode);
+    fn oracle_test<S: Stm + Clone>(stm: S, mode: ApiMode, capacity: usize) {
+        let map = StmHashMap::new(&stm, capacity, mode);
         let mut t = stm.register();
         let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         let mut state = 88172645463325252u64;
@@ -1019,19 +1369,111 @@ mod tests {
         assert_eq!(
             map.quiescent_snapshot(),
             oracle
-                .into_iter()
-                .map(|(k, v)| (k, Value::from(v)))
+                .iter()
+                .map(|(k, v)| (*k, Value::new(v)))
                 .collect::<Vec<_>>()
+        );
+        let stats = map.stats();
+        assert_eq!(stats.keys, oracle.len());
+        assert_eq!(
+            stats.probe_histogram.iter().sum::<usize>(),
+            oracle.len(),
+            "histogram must account for every key"
         );
     }
 
     #[test]
     fn oracle_all_modes_and_layouts() {
-        oracle_test(ValShort::new(), ApiMode::Short);
-        oracle_test(ValShort::new(), ApiMode::Full);
-        oracle_test(TvarShortG::new(), ApiMode::Short);
-        oracle_test(OrecFullG::new(), ApiMode::Full);
-        oracle_test(OrecFullG::new(), ApiMode::Short);
+        oracle_test(ValShort::new(), ApiMode::Short, 160);
+        oracle_test(ValShort::new(), ApiMode::Full, 160);
+        oracle_test(TvarShortG::new(), ApiMode::Short, 160);
+        oracle_test(OrecFullG::new(), ApiMode::Full, 160);
+        oracle_test(OrecFullG::new(), ApiMode::Short, 160);
+    }
+
+    #[test]
+    fn oracle_sweeps_load_factor_across_bucket_boundaries() {
+        // 200-key working set over capacities from "everything overflows"
+        // to "everything fits in home buckets": exercises slot reuse,
+        // chain growth and the short-insert full-tx fallback.
+        for capacity in [1, 8, 40, 200, 1_000] {
+            oracle_test(ValShort::new(), ApiMode::Short, capacity);
+            oracle_test(ValShort::new(), ApiMode::Full, capacity);
+        }
+        // The non-headline layouts at an overflow-heavy capacity.
+        oracle_test(TvarShortG::new(), ApiMode::Short, 8);
+        oracle_test(OrecFullG::new(), ApiMode::Full, 8);
+    }
+
+    #[test]
+    fn bucket_boundary_overflow_and_slot_reuse() {
+        // Capacity 1 => a single home bucket: every key chains there.
+        let stm = ValShort::new();
+        let map = StmHashMap::new(&stm, 1, ApiMode::Short);
+        assert_eq!(map.bucket_count(), 1);
+        let mut t = stm.register();
+        // Exactly 7 items fit the home bucket with no overflow.
+        for k in 0..7u64 {
+            assert_eq!(map.put(k, &k.to_le_bytes(), &mut t).unwrap(), None);
+        }
+        let stats = map.stats();
+        assert_eq!(
+            (
+                stats.keys,
+                stats.overflow_buckets,
+                stats.occupied_home_slots
+            ),
+            (7, 0, 7)
+        );
+        assert_eq!(stats.fraction_within(1), 1.0);
+        // The 8th key forces an overflow bucket.
+        assert_eq!(map.put(7, b"eighth", &mut t).unwrap(), None);
+        let stats = map.stats();
+        assert_eq!((stats.keys, stats.overflow_buckets), (8, 1));
+        assert_eq!(stats.probe_histogram, vec![7, 1]);
+        // Deleting a home-bucket key frees its slot; the next insert
+        // reuses it instead of growing the chain.
+        assert_eq!(map.del(3, &mut t), Some(Value::new(&3u64.to_le_bytes())));
+        assert_eq!(map.stats().occupied_home_slots, 6);
+        assert_eq!(map.put(100, b"reused", &mut t).unwrap(), None);
+        let stats = map.stats();
+        assert_eq!((stats.keys, stats.overflow_buckets), (8, 1));
+        assert_eq!(stats.occupied_home_slots, 7, "freed slot must be reused");
+        // Every key still reads back.
+        for (k, expect) in [(0u64, true), (3, false), (7, true), (100, true)] {
+            assert_eq!(map.get(k, &mut t).is_some(), expect, "key {k}");
+        }
+        assert_eq!(map.quiescent_snapshot().len(), 8);
+    }
+
+    #[test]
+    fn deep_chains_roundtrip_in_both_modes() {
+        // A single bucket forced through several overflow buckets.
+        for mode in [ApiMode::Short, ApiMode::Full] {
+            let stm = ValShort::new();
+            let map = StmHashMap::new(&stm, 1, mode);
+            let mut t = stm.register();
+            for k in 0..40u64 {
+                assert_eq!(map.put(k, &payload(k, k), &mut t).unwrap(), None);
+            }
+            let stats = map.stats();
+            assert_eq!(stats.keys, 40);
+            assert!(stats.overflow_buckets >= 5, "{mode:?}: {stats}");
+            for k in 0..40u64 {
+                assert_eq!(
+                    map.get(k, &mut t),
+                    Some(Value::from(payload(k, k))),
+                    "{mode:?} key {k}"
+                );
+            }
+            for k in (0..40u64).step_by(2) {
+                assert_eq!(map.del(k, &mut t), Some(Value::from(payload(k, k))));
+            }
+            assert_eq!(map.stats().keys, 20);
+            for k in 0..40u64 {
+                assert_eq!(map.get(k, &mut t).is_some(), k % 2 == 1, "{mode:?} key {k}");
+            }
+        }
     }
 
     #[test]
@@ -1120,5 +1562,20 @@ mod tests {
         let max = vec![7u8; MAX_VALUE_LEN];
         assert_eq!(map.put(1, &max, &mut t).unwrap(), None);
         assert_eq!(map.get(1, &mut t), Some(Value::new(&max)));
+    }
+
+    #[test]
+    fn capacity_hint_targets_the_load_factor() {
+        let stm = ValShort::new();
+        for capacity in [1usize, 5, 64, 1_000] {
+            let map = StmHashMap::new(&stm, capacity, ApiMode::Short);
+            let buckets = map.bucket_count();
+            assert!(buckets.is_power_of_two());
+            // Enough slots that `capacity` keys fit below ~0.75 load.
+            assert!(
+                capacity <= buckets * CAPACITY_PER_BUCKET + (CAPACITY_PER_BUCKET - 1),
+                "capacity {capacity} got only {buckets} buckets"
+            );
+        }
     }
 }

@@ -36,32 +36,16 @@ impl ShardRouter {
         ((key.wrapping_mul(0xA24B_AED4_963E_E407) >> 32) & self.mask) as usize
     }
 
-    /// Partitions the positions of `keys` into per-shard groups: the result
-    /// has exactly [`ShardRouter::shard_count`] groups, and group `s` holds
-    /// the indexes `i` (in ascending order) whose `keys[i]` routes to shard
-    /// `s`.  Every input position appears in exactly one group — duplicates
-    /// included, since positions rather than keys are grouped — so the
-    /// concatenation of the groups is a permutation of `0..keys.len()`.
-    ///
-    /// This is the dispatch step of the batched operation path
-    /// (`ShardedKv::execute_batch`): group once, then drain each shard's
-    /// operations together.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use spectm_kv::ShardRouter;
-    ///
-    /// let router = ShardRouter::new(4);
-    /// let keys = [7u64, 8, 7, 9];
-    /// let groups = router.group_indices(keys.iter().copied());
-    /// assert_eq!(groups.len(), 4);
-    /// // Duplicate keys land in the same group, in input order.
-    /// let dup = &groups[router.route(7)];
-    /// assert!(dup.windows(2).all(|w| w[0] < w[1]));
-    /// assert_eq!(groups.iter().flatten().count(), keys.len());
-    /// ```
-    pub fn group_indices(&self, keys: impl IntoIterator<Item = u64>) -> Vec<Vec<usize>> {
+    /// Reference grouping shape, kept only as a test oracle for
+    /// [`ShardRouter::group_runs`]: partitions the positions of `keys`
+    /// into per-shard groups, where group `s` holds the indexes `i` (in
+    /// ascending order) whose `keys[i]` routes to shard `s`.  Every input
+    /// position appears in exactly one group — duplicates included, since
+    /// positions rather than keys are grouped — so the concatenation of
+    /// the groups is a permutation of `0..keys.len()`.  Production
+    /// grouping (the batched dispatch path) uses `group_runs` exclusively.
+    #[cfg(test)]
+    fn group_indices(&self, keys: impl IntoIterator<Item = u64>) -> Vec<Vec<usize>> {
         let mut groups: Vec<Vec<usize>> = (0..self.shard_count()).map(|_| Vec::new()).collect();
         for (i, key) in keys.into_iter().enumerate() {
             groups[self.route(key)].push(i);
@@ -69,13 +53,15 @@ impl ShardRouter {
         groups
     }
 
-    /// Flat, allocation-lean form of [`ShardRouter::group_indices`]: a
-    /// counting sort producing `(order, ends)` where shard `s`'s group is
+    /// Partitions the positions of `keys` into per-shard runs: a counting
+    /// sort producing `(order, ends)` where shard `s`'s group is
     /// `order[start..ends[s]]` with `start = if s == 0 { 0 } else
-    /// { ends[s - 1] }` — the same ascending positions `group_indices`
-    /// would put in group `s`, in two buffer allocations total instead of
-    /// one `Vec` per shard (the batched hot path runs this once per
-    /// batch).  `keys` is consumed twice, so it must be cheaply cloneable.
+    /// { ends[s - 1] }` — the positions `i` (ascending) whose `keys[i]`
+    /// route to shard `s`; every position appears exactly once, duplicates
+    /// included, so `order` is a permutation of `0..len`.  Two buffer
+    /// allocations total instead of one `Vec` per shard (the batched hot
+    /// path — `ShardedKv::execute_batch` — runs this once per batch).
+    /// `keys` is consumed twice, so it must be cheaply cloneable.
     pub fn group_runs(&self, keys: impl Iterator<Item = u64> + Clone) -> (Vec<usize>, Vec<usize>) {
         let mut order = Vec::new();
         let mut bounds = Vec::new();
@@ -255,9 +241,10 @@ mod tests {
             prop_assert!(hit.iter().all(|&h| h), "unused shard for base {}", base);
         }
 
-        /// The batched dispatch contract: grouping by shard must partition
-        /// the input *positions* — no drops, no duplicates — for every
-        /// power-of-two shard count, even when the key list repeats keys.
+        /// The test-only `group_indices` reference must itself be a valid
+        /// partition of the input *positions* — no drops, no duplicates —
+        /// for every power-of-two shard count, even when the key list
+        /// repeats keys; it is the oracle `group_runs` is held to below.
         #[test]
         fn grouping_is_a_permutation_of_the_batch(
             keys in proptest::collection::vec(0u64..64, 0..200),
@@ -279,7 +266,8 @@ mod tests {
             prop_assert_eq!(flat, (0..keys.len()).collect::<Vec<_>>());
         }
 
-        /// The flat counting-sort grouping must agree with the reference
+        /// The batched dispatch contract: `group_runs` — the only
+        /// production grouping path — must agree with the reference
         /// `group_indices` shape exactly: same runs, same order.
         #[test]
         fn flat_runs_agree_with_grouped_indices(

@@ -30,7 +30,7 @@
 use spectm::{Stm, StmThread};
 use spectm_ds::{ApiMode, StmSkipList, TowerSlot};
 
-use crate::map::{NodeSlot, StmHashMap};
+use crate::map::{MapStats, NodeSlot, StmHashMap};
 use crate::router::ShardRouter;
 use crate::value::{RetiredValue, Value, ValueSlot, MAX_VALUE_LEN};
 use crate::KvError;
@@ -55,12 +55,14 @@ pub struct ShardedKv<S: Stm + Clone> {
 }
 
 impl<S: Stm + Clone> ShardedKv<S> {
-    /// Creates a store with `shards` shards (rounded up to a power of two)
-    /// of `buckets_per_shard` chains each, all driven in `mode`.
-    pub fn new(stm: &S, shards: usize, buckets_per_shard: usize, mode: ApiMode) -> Self {
+    /// Creates a store with `shards` shards (rounded up to a power of two),
+    /// each sized for about `capacity_per_shard` keys (see
+    /// [`StmHashMap::new`] — a hint targeting the ~0.75 bucket load factor,
+    /// not a limit), all driven in `mode`.
+    pub fn new(stm: &S, shards: usize, capacity_per_shard: usize, mode: ApiMode) -> Self {
         let router = ShardRouter::new(shards);
         let shards: Vec<StmHashMap<S>> = (0..router.shard_count())
-            .map(|_| StmHashMap::new(stm, buckets_per_shard, mode))
+            .map(|_| StmHashMap::new(stm, capacity_per_shard, mode))
             .collect();
         let indexes = (0..router.shard_count())
             .map(|_| StmSkipList::new(stm, mode))
@@ -543,6 +545,17 @@ impl<S: Stm + Clone> ShardedKv<S> {
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// Merges the per-shard occupancy and probe-length statistics into one
+    /// [`MapStats`] (non-transactional; only meaningful when no concurrent
+    /// operations run).
+    pub fn stats(&self) -> MapStats {
+        let mut stats = MapStats::default();
+        for shard in &self.shards {
+            stats.merge(&shard.stats());
+        }
+        stats
     }
 
     /// Checks the index invariant at quiescence: every shard's index holds

@@ -188,13 +188,22 @@ fn keys_per_shard<S: Stm + Clone>(store: &ShardedKv<S>, count: usize) -> Vec<Vec
 /// well-formed for its key and tag (no torn individual writes).  Nothing
 /// is asserted *across* shards: the batch as a whole is documented not to
 /// be atomic, and observers legitimately see shards at different rounds.
-fn scans_never_see_torn_groups<S: Stm + Clone>(stm: S, mode: ApiMode) {
-    const KEYS_PER_SHARD: usize = 4;
+///
+/// `per_shard_keys` and `capacity_per_shard` set the bucket-table
+/// occupancy; the `_high_load` variants undersize the tables to one home
+/// bucket per shard with more keys than its seven slots, so the atomic
+/// fallback and the scans run over overflow chains.
+fn scans_never_see_torn_groups<S: Stm + Clone>(
+    stm: S,
+    mode: ApiMode,
+    per_shard_keys: usize,
+    capacity_per_shard: usize,
+) {
     const WRITERS: u64 = 2;
     const OBSERVERS: u64 = 2;
     const ROUNDS: u64 = 250;
-    let store = ShardedKv::new(&stm, 4, 32, mode);
-    let shard_keys = keys_per_shard(&store, KEYS_PER_SHARD);
+    let store = ShardedKv::new(&stm, 4, capacity_per_shard, mode);
+    let shard_keys = keys_per_shard(&store, per_shard_keys);
     {
         let mut t = store.register();
         for keys in &shard_keys {
@@ -274,12 +283,22 @@ fn scans_never_see_torn_groups<S: Stm + Clone>(stm: S, mode: ApiMode) {
 
 #[test]
 fn scans_never_see_torn_groups_val_short() {
-    scans_never_see_torn_groups(ValShort::new(), ApiMode::Short);
+    scans_never_see_torn_groups(ValShort::new(), ApiMode::Short, 4, 32);
 }
 
 #[test]
 fn scans_never_see_torn_groups_orec_full() {
-    scans_never_see_torn_groups(OrecFullG::new(), ApiMode::Full);
+    scans_never_see_torn_groups(OrecFullG::new(), ApiMode::Full, 4, 32);
+}
+
+#[test]
+fn scans_never_see_torn_groups_val_short_high_load() {
+    scans_never_see_torn_groups(ValShort::new(), ApiMode::Short, 10, 1);
+}
+
+#[test]
+fn scans_never_see_torn_groups_orec_full_high_load() {
+    scans_never_see_torn_groups(OrecFullG::new(), ApiMode::Full, 10, 1);
 }
 
 /// Batches raced from many threads against disjoint key ranges must land

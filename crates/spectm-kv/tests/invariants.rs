@@ -243,15 +243,26 @@ fn observers_never_see_partial_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) 
 /// instant — a torn cross-shard `rmw` would surface as a partial transfer
 /// (the lock-free baseline's scan offers no such guarantee; its index and
 /// table are updated by independent CASes).
-fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
-    const KEYS: u64 = 24;
+///
+/// `keys` and `capacity_per_shard` set the bucket-table occupancy: the
+/// comfortable variants run well under the ~0.75 design load, the
+/// `_high_load` variants undersize the tables far past it (one home
+/// bucket per shard, several keys deep in overflow chains), so torn
+/// transfers are hunted where probes span multiple buckets and fresh
+/// inserts take the full-transaction fallback.
+fn scans_never_observe_torn_transfers<S: Stm + Clone>(
+    stm: S,
+    mode: ApiMode,
+    keys: u64,
+    capacity_per_shard: usize,
+) {
     const INITIAL: u64 = 1_000;
     const WRITERS: u64 = 3;
     const OBSERVERS: u64 = 2;
-    let store = ShardedKv::new(&stm, 4, 32, mode);
+    let store = ShardedKv::new(&stm, 4, capacity_per_shard, mode);
     {
         let mut t = store.register();
-        for k in 0..KEYS {
+        for k in 0..keys {
             store.put(k, &INITIAL.to_le_bytes(), &mut t).unwrap();
         }
     }
@@ -259,8 +270,8 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
         let mut t = store.register();
         if tid < WRITERS {
             for _ in 0..1_500 {
-                let from = rng.next() % KEYS;
-                let to = rng.next() % KEYS;
+                let from = rng.next() % keys;
+                let to = rng.next() % keys;
                 if from == to {
                     continue;
                 }
@@ -281,13 +292,13 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
             }
         } else {
             for i in 0..300 {
-                let run = store.scan(0, KEYS as usize, &mut t);
-                assert_eq!(run.len(), KEYS as usize, "scan missed keys");
+                let run = store.scan(0, keys as usize, &mut t);
+                assert_eq!(run.len(), keys as usize, "scan missed keys");
                 assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
                 let total: u64 = run.iter().map(|(_, v)| v.as_u64()).sum();
                 assert_eq!(
                     total,
-                    KEYS * INITIAL,
+                    keys * INITIAL,
                     "observer {tid} saw a torn transfer on scan {i}"
                 );
             }
@@ -299,7 +310,7 @@ fn scans_never_observe_torn_transfers<S: Stm + Clone>(stm: S, mode: ApiMode) {
         .iter()
         .map(|(_, v)| v.as_u64())
         .sum();
-    assert_eq!(total, KEYS * INITIAL);
+    assert_eq!(total, keys * INITIAL);
 }
 
 /// Single-threaded random workload including scans and ranges over
@@ -351,17 +362,32 @@ fn sequential_scan_oracle<S: Stm + Clone>(stm: S, mode: ApiMode) {
 
 #[test]
 fn scans_never_observe_torn_transfers_val_short() {
-    scans_never_observe_torn_transfers(ValShort::new(), ApiMode::Short);
+    scans_never_observe_torn_transfers(ValShort::new(), ApiMode::Short, 24, 32);
 }
 
 #[test]
 fn scans_never_observe_torn_transfers_tvar_short() {
-    scans_never_observe_torn_transfers(TvarShortG::new(), ApiMode::Short);
+    scans_never_observe_torn_transfers(TvarShortG::new(), ApiMode::Short, 24, 32);
 }
 
 #[test]
 fn scans_never_observe_torn_transfers_orec_full() {
-    scans_never_observe_torn_transfers(OrecFullG::new(), ApiMode::Full);
+    scans_never_observe_torn_transfers(OrecFullG::new(), ApiMode::Full, 24, 32);
+}
+
+// High-load-factor ports: 96 keys over one home bucket per shard (28 slots
+// total, ~3.4x occupancy) drive every chain several overflow buckets deep,
+// so the same torn-transfer hunt runs where probes cross bucket lines and
+// inserts use the full-transaction fallback.
+
+#[test]
+fn scans_never_observe_torn_transfers_val_short_high_load() {
+    scans_never_observe_torn_transfers(ValShort::new(), ApiMode::Short, 96, 1);
+}
+
+#[test]
+fn scans_never_observe_torn_transfers_orec_full_high_load() {
+    scans_never_observe_torn_transfers(OrecFullG::new(), ApiMode::Full, 96, 1);
 }
 
 #[test]
