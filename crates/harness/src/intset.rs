@@ -292,6 +292,8 @@ mod tests {
         type ThreadCtx = bool; // "am I the straggler?"
 
         fn thread_ctx(&self) -> bool {
+            // ORDERING: registration counter only elects one straggler;
+            // no data is published through it.
             self.registrations.fetch_add(1, Ordering::Relaxed) == 1
         }
 

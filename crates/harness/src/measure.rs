@@ -97,6 +97,8 @@ where
                     start_barrier.wait();
                     let start = clock();
                     let mut ops = 0u64;
+                    // ORDERING: the stop flag carries no data — workers
+                    // publish their samples via join, which synchronizes.
                     while !stop.load(Ordering::Relaxed) {
                         ops += batch();
                     }
@@ -109,7 +111,7 @@ where
             .collect();
         start_barrier.wait();
         std::thread::sleep(duration);
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // ORDERING: see the load above
         handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
@@ -156,10 +158,13 @@ mod tests {
                     1
                 }
             },
+            // ORDERING: the tick counter is a test clock; only its final
+            // value is checked, after every worker has joined.
             || Duration::from_millis(ticks.fetch_add(1, Ordering::Relaxed)),
         );
         assert_eq!(samples.len(), THREADS);
         assert_eq!(
+            // ORDERING: read after all workers joined; join synchronizes.
             ticks.load(Ordering::Relaxed),
             2 * THREADS as u64,
             "each worker reads the clock exactly twice"

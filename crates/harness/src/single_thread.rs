@@ -106,16 +106,20 @@ pub fn sequential_ns_per_op(kind: TxKind, array_size: usize, iters: usize) -> f6
         if kind.is_write() {
             for j in 0..width {
                 let cell = &cells[base + j].0;
+                // ORDERING: single-threaded cost model — the orderings
+                // mirror the fences the real STM write path would issue
+                // (AcqRel CAS per acquired location), not synchronization.
                 let cur = cell.load(Ordering::Relaxed);
                 let _ = cell.compare_exchange(
                     cur,
                     cur.wrapping_add(2),
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
+                    Ordering::AcqRel,  // ORDERING: as above
+                    Ordering::Relaxed, // ORDERING: as above
                 );
             }
         } else {
             for j in 0..width {
+                // ORDERING: mirrors the real read path's Acquire load.
                 sink = sink.wrapping_add(cells[base + j].0.load(Ordering::Acquire));
             }
         }

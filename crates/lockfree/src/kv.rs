@@ -370,6 +370,7 @@ impl LockFreeKvMap {
             // location under the chain lock, making us its sole owner;
             // `guard` protects the copy-out and pinned readers.
             let out = unsafe { decode_value(old) };
+            // SAFETY: same ownership — the displaced word is ours to retire.
             unsafe { retire_value(old, &guard) };
             return Ok(Some(out));
         }

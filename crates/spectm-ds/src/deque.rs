@@ -351,6 +351,7 @@ mod tests {
                 let target = PRODUCERS as u64 * PER_PRODUCER / CONSUMERS as u64;
                 while got < target {
                     if let Some(v) = q.pop_left(&mut t) {
+                        // ORDERING: test oracle counter, read after join.
                         consumed.fetch_add(v + 1, std::sync::atomic::Ordering::Relaxed);
                         got += 1;
                     } else {
@@ -365,6 +366,7 @@ mod tests {
         let total: u64 =
             (0..(PRODUCERS as u64 * PER_PRODUCER)).sum::<u64>() + PRODUCERS as u64 * PER_PRODUCER;
         assert_eq!(
+            // ORDERING: read after all consumers joined; join synchronizes.
             consumed.load(std::sync::atomic::Ordering::Relaxed),
             total,
             "every produced element must be consumed exactly once"

@@ -645,9 +645,11 @@ mod tests {
                     let k = rng() % 64;
                     if rng() % 2 == 0 {
                         if table.insert(k, &mut t) {
+                            // ORDERING: test oracle counter, read after join.
                             balance[k as usize].fetch_add(1, Ordering::Relaxed);
                         }
                     } else if table.remove(k, &mut t) {
+                        // ORDERING: test oracle counter, read after join.
                         balance[k as usize].fetch_sub(1, Ordering::Relaxed);
                     }
                 }
@@ -658,6 +660,7 @@ mod tests {
         }
         let mut t = stm.register();
         for k in 0..64u64 {
+            // ORDERING: read after all workers joined; join synchronizes.
             let bal = balance[k as usize].load(std::sync::atomic::Ordering::Relaxed);
             assert!(bal == 0 || bal == 1, "key {k} balance {bal}");
             assert_eq!(table.contains(k, &mut t), bal == 1, "key {k}");

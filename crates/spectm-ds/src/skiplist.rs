@@ -983,6 +983,7 @@ impl<S: Stm> StmSkipList<S> {
             };
             // SAFETY: as above.
             if tx.read(unsafe { &*pred })? == succs[0] {
+                // SAFETY: as above — the same pred cell just read.
                 tx.write(unsafe { &*pred }, unmark(nexts[lvl]))?;
             } else {
                 return tx.restart();
@@ -1357,9 +1358,11 @@ mod tests {
                     let k = rng() % 48 + 1;
                     if rng() % 2 == 0 {
                         if list.insert(k, &mut t) {
+                            // ORDERING: test oracle counter, read after join.
                             balance[(k - 1) as usize].fetch_add(1, Ordering::Relaxed);
                         }
                     } else if list.remove(k, &mut t) {
+                        // ORDERING: test oracle counter, read after join.
                         balance[(k - 1) as usize].fetch_sub(1, Ordering::Relaxed);
                     }
                 }
@@ -1370,6 +1373,7 @@ mod tests {
         }
         let mut t = stm.register();
         for k in 1..=48u64 {
+            // ORDERING: read after all workers joined; join synchronizes.
             let bal = balance[(k - 1) as usize].load(std::sync::atomic::Ordering::Relaxed);
             assert!(bal == 0 || bal == 1, "key {k} balance {bal}");
             assert_eq!(list.contains(k, &mut t), bal == 1, "key {k}");

@@ -92,6 +92,29 @@ const CHAIN_PTR_MASK: Word = !(FREQ_MASK | 1);
 /// the ~0.75 target load factor.
 const CAPACITY_PER_BUCKET: usize = 5;
 
+// Compile-time mirror of the `bit-layout` stmlint rule: the tag and
+// frequency fields leave the lock bit clear and are disjoint from the
+// pointer bits they share a word with.  Alignment sufficiency (which
+// depends on the instantiated `S::Cell`) is checked per-instantiation by
+// `StmHashMap::LAYOUT_OK` below.
+const _: () = {
+    assert!(TAG_MASK & 1 == 0, "tag bits overlap the lock bit");
+    assert!(FREQ_MASK & 1 == 0, "frequency bits overlap the lock bit");
+    assert!(TAG_MASK & ITEM_PTR_MASK == 0, "tag overlaps node pointer");
+    assert!(
+        FREQ_MASK & CHAIN_PTR_MASK == 0,
+        "freq overlaps chain pointer"
+    );
+    assert!(
+        ITEM_PTR_MASK & 1 == 0,
+        "item pointer mask exposes the lock bit"
+    );
+    assert!(
+        CHAIN_PTR_MASK & 1 == 0,
+        "chain pointer mask exposes the lock bit"
+    );
+};
+
 /// A chain node: the immutable key plus the transactional value word.
 /// 64-byte alignment keeps bits 0..=5 of its address clear, making room
 /// for the tag bits packed into the item word.
@@ -370,6 +393,19 @@ pub(crate) fn check_len(value: &[u8]) -> Result<(), KvError> {
 }
 
 impl<S: Stm> StmHashMap<S> {
+    /// Per-instantiation layout checks, forced from [`Self::new`]: the node
+    /// and overflow-bucket alignments must clear at least the address bits
+    /// the tag and frequency fields are packed into, and for word-sized
+    /// cells a home bucket must be exactly one cache line.
+    const LAYOUT_OK: () = {
+        assert!(std::mem::align_of::<Node<S>>() as Word > TAG_MASK);
+        assert!(std::mem::align_of::<OverflowBucket<S>>() as Word > FREQ_MASK);
+        assert!(std::mem::align_of::<Bucket<S>>() >= 64);
+        if std::mem::size_of::<S::Cell>() == std::mem::size_of::<Word>() {
+            assert!(std::mem::size_of::<Bucket<S>>() == 64);
+        }
+    };
+
     /// Creates a map sized for about `capacity` keys (a hint, not a limit:
     /// the bucket array is fixed at `capacity / 5` buckets, rounded up to a
     /// power of two, targeting the ~0.75 load factor at which overflow
@@ -379,6 +415,7 @@ impl<S: Stm> StmHashMap<S> {
     where
         S: Clone,
     {
+        let () = Self::LAYOUT_OK;
         let len = capacity
             .div_ceil(CAPACITY_PER_BUCKET)
             .next_power_of_two()

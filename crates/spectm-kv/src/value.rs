@@ -54,6 +54,16 @@ pub struct ValueCell {
     // `len` payload bytes follow the header in the same allocation.
 }
 
+// A cell pointer is stored directly in a transactional value word, so its
+// alignment must clear the lock bit and both inline tags (bits 0..3).
+const _: () = {
+    assert!(
+        std::mem::align_of::<ValueCell>() as spectm::Word
+            > (spectm::INLINE_BYTES_BIT | spectm::INLINE_INT_BIT | 1),
+        "ValueCell pointers would collide with the value-word tag bits"
+    );
+};
+
 impl ValueCell {
     fn layout(len: usize) -> Layout {
         Layout::from_size_align(
@@ -83,6 +93,8 @@ impl ValueCell {
                 bytes.len(),
             );
         }
+        // ORDERING: diagnostic drop-counter; the reclamation tests read it
+        // only at quiescent points (stores dropped, collectors drained).
         LIVE_CELLS.fetch_add(1, Ordering::Relaxed);
         ptr
     }
@@ -98,6 +110,7 @@ impl ValueCell {
         // SAFETY: per the contract, `ptr` is a live cell we own exclusively;
         // the header still holds the allocation's length.
         let layout = Self::layout(unsafe { (*ptr).len });
+        // ORDERING: diagnostic drop-counter (see `alloc`).
         LIVE_CELLS.fetch_sub(1, Ordering::Relaxed);
         // SAFETY: same allocation, same layout.
         unsafe { dealloc(ptr as *mut u8, layout) };
@@ -125,6 +138,8 @@ impl ValueCell {
     /// return this to its baseline once stores are dropped and epochs have
     /// drained.
     pub fn live_count() -> usize {
+        // ORDERING: SeqCst so the count observed at a test's quiescent
+        // point includes every preceding alloc/free on any thread.
         LIVE_CELLS.load(Ordering::SeqCst)
     }
 }
@@ -532,8 +547,8 @@ mod tests {
         let w1 = slot.encode_once(&payload);
         assert_eq!(slot.encode_once(&other), w1, "encode_once caches");
         let w2 = slot.encode(&other);
-        // SAFETY: the slot's word is unpublished and exclusively owned.
         assert_eq!(
+            // SAFETY: the slot's word is unpublished and exclusively owned.
             &*unsafe { decode_value(w2) },
             &other[..],
             "encode re-encodes the new payload"

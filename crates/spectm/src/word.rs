@@ -105,6 +105,30 @@ pub const INLINE_BYTES_BIT: Word = 0b010;
 /// Tag bit marking a value word as an *inline integer*.
 pub const INLINE_INT_BIT: Word = 0b100;
 
+// Compile-time mirror of the `bit-layout` stmlint rule: every tag leaves
+// bit 0 (the `val` layout's lock bit) clear, the two inline tags are
+// distinguishable, and all tag bits fit in the low byte that out-of-line
+// `ValueCell` pointers keep clear through their alignment.
+const _: () = {
+    assert!(MARK_BIT & 1 == 0, "MARK_BIT must leave the lock bit clear");
+    assert!(
+        INLINE_BYTES_BIT & 1 == 0,
+        "inline-bytes tag overlaps lock bit"
+    );
+    assert!(INLINE_INT_BIT & 1 == 0, "inline-int tag overlaps lock bit");
+    assert!(
+        INLINE_BYTES_BIT & INLINE_INT_BIT == 0,
+        "inline tags must be distinguishable"
+    );
+    // Each tag (and the lock bit) sits below the out-of-line cell's
+    // 8-byte alignment, so a cell pointer's low bits never carry payload.
+    assert!(
+        INLINE_BYTES_BIT < 8 && INLINE_INT_BIT < 8,
+        "tags must fit below the alignment of out-of-line cells"
+    );
+    assert!(INLINE_INT_BITS == Word::BITS - 3);
+};
+
 /// Longest payload storable as inline bytes: one byte of the word carries
 /// the tag and length, the rest carry the payload.
 pub const MAX_INLINE_BYTES: usize = std::mem::size_of::<Word>() - 1;

@@ -1,0 +1,405 @@
+//! The token-level lint rules.
+//!
+//! Every rule works on the flat token stream from [`crate::lexer`] plus a
+//! per-line index built once per file.  The comment-adjacency convention
+//! shared by `safety-comment` and `ordering-comment` is deliberately strict
+//! (and matches what `clippy::undocumented_unsafe_blocks` accepts): the
+//! justification comment must sit in the contiguous comment run directly
+//! above the construct's line — only blank lines and attribute lines may
+//! intervene — or start on the construct's own line (a trailing
+//! `// ORDERING: ...` after the use, or `unsafe { // SAFETY: ...`).
+//! Anything further away stops reading as a justification the moment the
+//! code around it is edited, so distance is treated as absence.
+
+use crate::lexer::{Token, TokenKind};
+use crate::Finding;
+
+/// Per-line classification used by the adjacency walk.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineInfo {
+    /// Line holds at least one non-comment token.
+    has_code: bool,
+    /// Line's first token is `#` (an attribute line, possibly the start of
+    /// a multi-line attribute).
+    starts_attribute: bool,
+    /// Line is covered by a comment token (including interior lines of a
+    /// multi-line block comment).
+    has_comment: bool,
+}
+
+/// A file prepared for scanning: tokens plus the per-line index.
+pub struct FileScan<'a> {
+    pub path: &'a str,
+    pub tokens: Vec<Token<'a>>,
+    lines: Vec<LineInfo>, // indexed by line number (entry 0 unused)
+    /// For each line, the comments *starting* on it.
+    comments_on: Vec<Vec<usize>>, // token indices
+}
+
+impl<'a> FileScan<'a> {
+    pub fn new(path: &'a str, src: &'a str) -> Self {
+        let tokens = crate::lexer::tokenize(src);
+        let last_line = src.lines().count().max(1);
+        let mut lines = vec![LineInfo::default(); last_line + 2];
+        let mut comments_on = vec![Vec::new(); last_line + 2];
+        for (i, t) in tokens.iter().enumerate() {
+            let l = t.line as usize;
+            if t.is_comment() {
+                comments_on[l].push(i);
+                // A block comment covers every line it spans.
+                for (off, _) in t.text.lines().enumerate() {
+                    if let Some(info) = lines.get_mut(l + off) {
+                        info.has_comment = true;
+                    }
+                }
+            } else {
+                if !lines[l].has_code && !lines[l].has_comment {
+                    lines[l].starts_attribute = t.text == "#";
+                }
+                lines[l].has_code = true;
+            }
+        }
+        FileScan {
+            path,
+            tokens,
+            lines,
+            comments_on,
+        }
+    }
+
+    /// Whether a comment justifying line `line` carries `marker` (or any of
+    /// `extra_markers`): either a comment starting on `line` itself, or the
+    /// contiguous comment run directly above, skipping blank and
+    /// attribute-only lines.
+    fn justified(&self, line: u32, markers: &[&str]) -> bool {
+        let line = line as usize;
+        let has_marker = |idx: &usize| -> bool {
+            let text = self.tokens[*idx].text;
+            markers.iter().any(|m| text.contains(m))
+        };
+        if self.comments_on[line].iter().any(has_marker) {
+            return true;
+        }
+        // Walk upward to the nearest comment run.
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let info = self.lines[l];
+            if info.has_comment && !info.has_code {
+                // Found the run; check all of its comments (a run may span
+                // several lines, with the marker on its first line).
+                let mut top = l;
+                while top >= 1 && self.lines[top].has_comment && !self.lines[top].has_code {
+                    top -= 1;
+                }
+                return (top + 1..=l).any(|rl| self.comments_on[rl].iter().any(has_marker));
+            }
+            if info.has_code && !info.starts_attribute {
+                return false; // plain code directly above: no justification
+            }
+            // Blank or attribute line: keep walking.
+            l -= 1;
+        }
+        false
+    }
+}
+
+/// `safety-comment`: every `unsafe` keyword (block, fn, impl, trait) must
+/// be justified by an adjacent `// SAFETY:` comment; `unsafe fn`s may
+/// alternatively carry a `/// # Safety` doc section.
+pub fn check_safety_comments(scan: &FileScan, out: &mut Vec<Finding>) {
+    for (i, t) in scan.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let mut after = scan.tokens[i + 1..]
+            .iter()
+            .filter(|n| !n.is_comment())
+            .map(|n| n.text);
+        let next = after.next().unwrap_or("");
+        // `unsafe fn(` with no name is a function-*pointer type*
+        // (`destroy: unsafe fn(*mut u8)`), not a declaration: the contract
+        // belongs to the fns stored in it, which carry their own comments.
+        if next == "fn" && after.next() == Some("(") {
+            continue;
+        }
+        let markers: &[&str] = if next == "fn" {
+            &["SAFETY:", "# Safety"]
+        } else {
+            &["SAFETY:"]
+        };
+        if !scan.justified(t.line, markers) {
+            let what = match next {
+                "fn" => "unsafe fn (needs `// SAFETY:` or a `# Safety` doc section)",
+                "impl" => "unsafe impl",
+                "trait" => "unsafe trait",
+                _ => "unsafe block",
+            };
+            out.push(Finding::new(
+                "safety-comment",
+                scan.path,
+                t.line,
+                format!("{what} without an adjacent `// SAFETY:` comment"),
+            ));
+        }
+    }
+}
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// `ordering-comment`: outside the allowlisted core modules, every
+/// `Ordering::<variant>` use needs an adjacent `// ORDERING:` comment.
+pub fn check_ordering_comments(scan: &FileScan, out: &mut Vec<Finding>) {
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    for (i, t) in scan.tokens.iter().enumerate() {
+        // Match the token run `Ordering :: <variant>`.
+        if t.kind != TokenKind::Ident || t.text != "Ordering" {
+            continue;
+        }
+        let rest: Vec<&Token> = scan.tokens[i + 1..]
+            .iter()
+            .filter(|n| !n.is_comment())
+            .take(3)
+            .collect();
+        let [a, b, c] = rest[..] else { continue };
+        if !(a.text == ":" && b.text == ":" && ORDERINGS.contains(&c.text)) {
+            continue;
+        }
+        // One justification covers every use on its line (compare_exchange
+        // takes two orderings in one call).
+        if flagged_lines.contains(&t.line) || scan.justified(t.line, &["ORDERING:"]) {
+            continue;
+        }
+        flagged_lines.push(t.line);
+        out.push(Finding::new(
+            "ordering-comment",
+            scan.path,
+            t.line,
+            format!(
+                "Ordering::{} outside the core-module allowlist without an adjacent \
+                 `// ORDERING:` comment",
+                c.text
+            ),
+        ));
+    }
+}
+
+/// `reclamation`: `Box::leak`, `mem::forget`, `transmute`, and raw
+/// `dealloc` calls are forbidden outside the allowlisted modules — leaked
+/// or manually freed memory must flow through the epoch collector's
+/// audited internals.
+pub fn check_reclamation(scan: &FileScan, out: &mut Vec<Finding>) {
+    let toks = &scan.tokens;
+    let non_comment_before = |i: usize| -> [&str; 3] {
+        let mut found = ["", "", ""]; // nearest first
+        let mut n = 0;
+        for t in toks[..i].iter().rev() {
+            if t.is_comment() {
+                continue;
+            }
+            found[n] = t.text;
+            n += 1;
+            if n == 3 {
+                break;
+            }
+        }
+        found
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // Only call-position uses are flagged: the next token is `(` or a
+        // turbofish; `use std::mem::forget;` imports are inert until called.
+        let next = toks[i + 1..]
+            .iter()
+            .find(|n| !n.is_comment())
+            .map(|n| n.text)
+            .unwrap_or("");
+        let called = next == "(" || next == ":" || next == "<";
+        if !called {
+            continue;
+        }
+        let before = non_comment_before(i);
+        // Declarations (`fn forget(self)`) are not uses of the primitives.
+        if before[0] == "fn" {
+            continue;
+        }
+        let path_is = |name: &str| before[0] == ":" && before[1] == ":" && before[2] == name;
+        let forbidden = match t.text {
+            "transmute" | "transmute_copy" => true,
+            "dealloc" => true,
+            "forget" => path_is("mem") || before[0] != ".",
+            "leak" => path_is("Box"),
+            _ => false,
+        };
+        if forbidden {
+            out.push(Finding::new(
+                "reclamation",
+                scan.path,
+                t.line,
+                format!(
+                    "`{}` outside the reclamation allowlist (memory must be retired \
+                     through the epoch collector)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Counts `unsafe` keyword tokens (the `unsafe-ratchet` currency).
+pub fn count_unsafe(scan: &FileScan) -> usize {
+    scan.tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text == "unsafe")
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileScan<'_> {
+        FileScan::new("test.rs", src)
+    }
+
+    fn safety_findings(src: &str) -> Vec<u32> {
+        let s = scan(src);
+        let mut out = Vec::new();
+        check_safety_comments(&s, &mut out);
+        out.into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn documented_block_is_clean() {
+        let src = "fn f() {\n    // SAFETY: ptr is valid.\n    unsafe { g() }\n}\n";
+        assert_eq!(safety_findings(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn multiline_comment_run_counts() {
+        let src = "// SAFETY: the pin is held\n// across this call.\nunsafe { g() }\n";
+        assert_eq!(safety_findings(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn undocumented_block_fires() {
+        let src = "fn f() {\n    unsafe { g() }\n}\n";
+        assert_eq!(safety_findings(src), vec![2]);
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_count() {
+        let src = "// grab the value\nunsafe { g() }\n";
+        assert_eq!(safety_findings(src), vec![2]);
+    }
+
+    #[test]
+    fn code_between_comment_and_unsafe_breaks_adjacency() {
+        let src = "// SAFETY: only for the first one\nunsafe { a() };\nunsafe { b() };\n";
+        assert_eq!(safety_findings(src), vec![3]);
+    }
+
+    #[test]
+    fn attributes_and_blanks_may_intervene() {
+        let src = "/// # Safety\n/// caller checks i < len\n#[inline]\n\npub unsafe fn g() {}\n";
+        assert_eq!(safety_findings(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn trailing_same_line_comment_counts() {
+        let src = "let x = unsafe { // SAFETY: z\n    g()\n};\n";
+        assert_eq!(safety_findings(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn unsafe_fn_pointer_type_is_not_a_declaration() {
+        let src = "struct D {\n    destroy: unsafe fn(*mut u8),\n}\n";
+        assert_eq!(safety_findings(src), Vec::<u32>::new());
+        // A named unsafe fn still needs its comment.
+        assert_eq!(safety_findings("unsafe fn g(p: *mut u8) {}\n"), vec![1]);
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_ignored() {
+        let src = "// this mentions unsafe code\nlet s = \"unsafe\";\n";
+        assert_eq!(safety_findings(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn safety_doc_section_covers_unsafe_fn_only() {
+        let ok = "/// # Safety\n/// caller ensures init\npub unsafe fn f() {}\n";
+        assert_eq!(safety_findings(ok), Vec::<u32>::new());
+        // ...but a doc section does not justify an unsafe *block*.
+        let bad = "/// # Safety\nfn f() {\n    unsafe { g() }\n}\n";
+        assert_eq!(safety_findings(bad), vec![3]);
+    }
+
+    fn ordering_findings(src: &str) -> Vec<u32> {
+        let s = scan(src);
+        let mut out = Vec::new();
+        check_ordering_comments(&s, &mut out);
+        out.into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn trailing_ordering_comment_is_accepted() {
+        let src = "x.store(1, Ordering::Release); // ORDERING: publishes the node\n";
+        assert_eq!(ordering_findings(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn comment_above_is_accepted_and_covers_whole_line() {
+        let src = "// ORDERING: AcqRel pairs with the load in pop\n\
+                   x.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire);\n";
+        assert_eq!(ordering_findings(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn bare_ordering_fires_once_per_line() {
+        let src = "x.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire);\n";
+        assert_eq!(ordering_findings(src), vec![1]);
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_flagged() {
+        let src = "match a.cmp(&b) { Ordering::Less => {} _ => {} }\n";
+        assert_eq!(ordering_findings(src), Vec::<u32>::new());
+    }
+
+    fn reclamation_findings(src: &str) -> Vec<u32> {
+        let s = scan(src);
+        let mut out = Vec::new();
+        check_reclamation(&s, &mut out);
+        out.into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn transmute_and_friends_fire() {
+        assert_eq!(reclamation_findings("let y = transmute::<A, B>(x);\n"), [1]);
+        assert_eq!(reclamation_findings("std::mem::forget(guard);\n"), [1]);
+        assert_eq!(reclamation_findings("let r = Box::leak(b);\n"), [1]);
+        assert_eq!(reclamation_findings("unsafe { dealloc(p, layout) }\n"), [1]);
+    }
+
+    #[test]
+    fn imports_and_methods_do_not_fire() {
+        assert_eq!(
+            reclamation_findings("use std::mem::{forget, transmute};\n"),
+            Vec::<u32>::new()
+        );
+        // A method named .leak() on some unrelated type is not Box::leak.
+        assert_eq!(
+            reclamation_findings("let s = my_string.leak();\n"),
+            Vec::<u32>::new()
+        );
+        // .forget() as a method (e.g. on a guard type) is not mem::forget.
+        assert_eq!(reclamation_findings("guard.forget();\n"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn unsafe_count_ignores_comments() {
+        let s = scan("// unsafe unsafe\nunsafe fn f() { unsafe { g() } }\n");
+        assert_eq!(count_unsafe(&s), 2);
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: TAG_MASK includes bit 0, colliding with the val layout's lock
+// bit.  Never compiled.
+
+pub const BUCKET_SLOTS: usize = 7;
+const TAG_MASK: Word = 0x3F;
+const ITEM_PTR_MASK: Word = !(TAG_MASK | 1);
+const FREQ_MASK: Word = 0x1FE;
+const CHAIN_PTR_MASK: Word = !(FREQ_MASK | 1);
+
+#[repr(align(64))]
+struct Node<S: Stm> {
+    key: u64,
+}
+
+#[repr(align(64))]
+struct Bucket<S: Stm> {
+    item: [S::Cell; BUCKET_SLOTS],
+}
+
+#[repr(align(512))]
+struct OverflowBucket<S: Stm> {
+    bucket: Bucket<S>,
+}

@@ -1,0 +1,9 @@
+// Fixture: atomic orderings with no justification, outside the core
+// allowlist.  Never compiled; scanned by tests/corpus.rs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn unjustified(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::SeqCst);
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,21 @@
+// Fixture: reclamation primitives used outside the audited modules.  The
+// unsafe blocks are SAFETY-annotated so only the reclamation rule fires.
+// Never compiled; scanned by tests/corpus.rs.
+
+fn leaks(v: Vec<u8>) {
+    std::mem::forget(v);
+}
+
+fn leaks_boxed(b: Box<u8>) -> &'static mut u8 {
+    Box::leak(b)
+}
+
+fn punned(x: u64) -> f64 {
+    // SAFETY: fixture only; u64 and f64 have the same size.
+    unsafe { std::mem::transmute(x) }
+}
+
+fn frees(p: *mut u8, layout: std::alloc::Layout) {
+    // SAFETY: fixture only; `p` came from `alloc` with the same layout.
+    unsafe { std::alloc::dealloc(p, layout) };
+}

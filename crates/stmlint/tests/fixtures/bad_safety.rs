@@ -1,0 +1,15 @@
+// Fixture: every form of undocumented unsafe the safety-comment rule
+// must flag.  Never compiled; scanned by tests/corpus.rs.
+
+fn undocumented_block() {
+    let p = &mut 0u8 as *mut u8;
+    unsafe { *p = 1 };
+}
+
+unsafe fn undocumented_fn(p: *mut u8) {
+    unsafe { *p = 2 };
+}
+
+unsafe impl Send for Wrapper {}
+
+struct Wrapper(*mut u8);

@@ -1,0 +1,8 @@
+// Fixture: the inline-int tag collides with the inline-bytes tag, so the
+// two value-word layouts are indistinguishable.  Never compiled.
+
+pub const MARK_BIT: Word = 0b10;
+pub const INLINE_BYTES_BIT: Word = 0b010;
+pub const INLINE_INT_BIT: Word = 0b010;
+pub const MAX_INLINE_BYTES: usize = std::mem::size_of::<Word>() - 1;
+pub const INLINE_INT_BITS: u32 = Word::BITS - 3;

@@ -1,0 +1,23 @@
+// Fixture: a minimal clean mirror of spectm-kv::map's bucket constants,
+// used as the [layout] map file in corpus end-to-end runs.  Never compiled.
+
+pub const BUCKET_SLOTS: usize = 7;
+const TAG_MASK: Word = 0x3E;
+const ITEM_PTR_MASK: Word = !(TAG_MASK | 1);
+const FREQ_MASK: Word = 0x1FE;
+const CHAIN_PTR_MASK: Word = !(FREQ_MASK | 1);
+
+#[repr(align(64))]
+struct Node<S: Stm> {
+    key: u64,
+}
+
+#[repr(align(64))]
+struct Bucket<S: Stm> {
+    item: [S::Cell; BUCKET_SLOTS],
+}
+
+#[repr(align(512))]
+struct OverflowBucket<S: Stm> {
+    bucket: Bucket<S>,
+}

@@ -1,0 +1,19 @@
+// Fixture: justified and exempt ordering uses.  Never compiled; scanned
+// by tests/corpus.rs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn justified(counter: &AtomicUsize, flag: &AtomicUsize) -> usize {
+    // ORDERING: test oracle counter, read after join.
+    counter.fetch_add(1, Ordering::Relaxed);
+    flag.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire) // ORDERING: publish pairing.
+        .ok();
+    // ORDERING: read after all workers joined; join synchronizes.
+    counter.load(Ordering::Relaxed)
+}
+
+fn cmp_ordering_is_not_atomic(a: u32, b: u32) -> std::cmp::Ordering {
+    // `std::cmp::Ordering` variants (Less/Equal/Greater) never trigger
+    // the rule; only the atomic variants do.
+    a.cmp(&b)
+}

@@ -1,0 +1,16 @@
+// Fixture: shapes the reclamation rule must NOT confuse with the raw
+// primitives.  Never compiled; scanned by tests/corpus.rs.
+
+use std::mem::forget;
+
+fn method_syntax_on_other_types(s: String, guard: Guard) -> &'static str {
+    guard.forget();
+    // `String::leak` is not `Box::leak`; method syntax is exempt.
+    s.leak()
+}
+
+struct Guard;
+
+impl Guard {
+    fn forget(self) {}
+}

@@ -1,0 +1,41 @@
+// Fixture: every justified-unsafe shape the safety-comment rule must
+// accept.  Never compiled; scanned by tests/corpus.rs.
+
+fn comment_above() {
+    let p = &mut 0u8 as *mut u8;
+    // SAFETY: `p` points at a live local for the whole statement.
+    unsafe { *p = 1 };
+}
+
+fn comment_above_with_attribute() {
+    // SAFETY: the attribute between the comment and the block is fine.
+    #[allow(clippy::all)]
+    unsafe {
+        std::hint::unreachable_unchecked()
+    };
+}
+
+fn same_line() {
+    let p = &mut 0u8 as *mut u8;
+    unsafe { *p = 1 }; // SAFETY: same-line justification also counts.
+}
+
+/// Does nothing interesting.
+///
+/// # Safety
+///
+/// `p` must be valid for writes.
+unsafe fn doc_safety_section(p: *mut u8) {
+    // SAFETY: guaranteed by this fn's own contract.
+    unsafe { *p = 2 };
+}
+
+// SAFETY: the raw pointer is never dereferenced off-thread.
+unsafe impl Send for Wrapper {}
+
+struct Wrapper(*mut u8);
+
+struct Table {
+    // An `unsafe fn(..)` *type* declares no unsafe code; exempt.
+    destroy: unsafe fn(*mut u8),
+}

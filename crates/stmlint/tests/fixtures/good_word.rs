@@ -1,0 +1,8 @@
+// Fixture: a minimal clean mirror of spectm::word's tag constants, used
+// as the [layout] word file in corpus end-to-end runs.  Never compiled.
+
+pub const MARK_BIT: Word = 0b10;
+pub const INLINE_BYTES_BIT: Word = 0b010;
+pub const INLINE_INT_BIT: Word = 0b100;
+pub const MAX_INLINE_BYTES: usize = std::mem::size_of::<Word>() - 1;
+pub const INLINE_INT_BITS: u32 = Word::BITS - 3;

@@ -1,0 +1,29 @@
+//! The self-check: the real tree must pass its own lint.  This is the
+//! tier-1 integration point — `cargo test` runs the whole stmlint pass
+//! over the workspace, so a contract violation fails the build even when
+//! nobody runs the binary or CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/stmlint sits two levels below the repo root");
+    assert!(
+        root.join("stmlint.toml").is_file(),
+        "no stmlint.toml at {}",
+        root.display()
+    );
+    let findings = stmlint::run_repo(root).expect("stmlint.toml must parse");
+    assert!(
+        findings.is_empty(),
+        "the tree violates its own contracts:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

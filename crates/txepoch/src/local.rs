@@ -90,6 +90,7 @@ impl Local {
         // SAFETY: `bags`/`bag_epochs` are only touched from the owning thread
         // (`Local` is `!Sync`), so the unique access rule is upheld.
         let bags = unsafe { &mut *self.bags.get() };
+        // SAFETY: as above — same owning-thread unique access.
         let bag_epochs = unsafe { &mut *self.bag_epochs.get() };
 
         // If the slot still holds garbage from an older epoch (== epoch - 3),
@@ -126,6 +127,7 @@ impl Local {
         let global = self.inner.try_advance();
         // SAFETY: unique access from the owning thread (see `defer`).
         let bags = unsafe { &mut *self.bags.get() };
+        // SAFETY: as above — same owning-thread unique access.
         let bag_epochs = unsafe { &*self.bag_epochs.get() };
         for i in 0..EPOCH_CLASSES {
             if !bags[i].is_empty() && global >= bag_epochs[i] + 2 {
@@ -199,6 +201,7 @@ impl Local {
         {
             // SAFETY: no other reference to this `Local` exists any more.
             let bags = unsafe { &mut *local.bags.get() };
+            // SAFETY: as above — no other reference to this `Local`.
             let bag_epochs = unsafe { &*local.bag_epochs.get() };
             let mut orphans = local.inner.orphans.lock().expect("poisoned orphan list");
             for (i, bag) in bags.iter_mut().enumerate() {

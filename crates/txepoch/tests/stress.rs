@@ -32,12 +32,15 @@ impl Stack {
             value,
             next: std::ptr::null_mut(),
         }));
+        // ORDERING: Acquire pairs with the AcqRel CAS publishing nodes.
         let mut head = self.head.load(Ordering::Acquire);
         loop {
             // SAFETY: `node` is not yet shared.
             unsafe { (*node).next = head };
             match self
                 .head
+                // ORDERING: AcqRel publishes `node` (its fields were
+                // written above); failure reloads with Acquire.
                 .compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire)
             {
                 Ok(_) => return,
@@ -49,6 +52,8 @@ impl Stack {
     fn pop(&self, handle: &txepoch::LocalHandle) -> Option<usize> {
         let guard = handle.pin();
         loop {
+            // ORDERING: Acquire pairs with push's publishing CAS, so
+            // `head`'s fields are visible before we dereference it.
             let head = self.head.load(Ordering::Acquire);
             if head.is_null() {
                 return None;
@@ -59,11 +64,15 @@ impl Stack {
             let next = unsafe { (*head).next };
             if self
                 .head
+                // ORDERING: AcqRel makes the unlink visible before the
+                // node is retired; failure reloads with Acquire.
                 .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
                 // SAFETY: we won the CAS, so we are the unique retirer.
                 let value = unsafe { (*head).value };
+                // SAFETY: unique retirer (won the CAS); freed after a grace
+                // period, so pinned readers never see a dangling node.
                 unsafe { guard.defer_drop(head) };
                 return Some(value);
             }
@@ -99,8 +108,10 @@ fn treiber_stack_torture() {
             for i in 0..OPS {
                 if (i + t) % 2 == 0 {
                     stack.push(i);
+                    // ORDERING: test oracle counter, read after join.
                     pushed.fetch_add(i, Ordering::Relaxed);
                 } else if let Some(v) = stack.pop(&handle) {
+                    // ORDERING: test oracle counter, read after join.
                     popped.fetch_add(v, Ordering::Relaxed);
                 }
             }
@@ -113,11 +124,13 @@ fn treiber_stack_torture() {
     // Drain what is left and check value conservation.
     let handle = collector.register();
     while let Some(v) = stack.pop(&handle) {
+        // ORDERING: single-threaded drain; counters compared below.
         popped.fetch_add(v, Ordering::Relaxed);
     }
     assert_eq!(
+        // ORDERING: read after all workers joined; join synchronizes.
         pushed.load(Ordering::Relaxed),
-        popped.load(Ordering::Relaxed)
+        popped.load(Ordering::Relaxed) // ORDERING: as above
     );
 
     drop(stack);
@@ -171,6 +184,8 @@ fn guards_keep_memory_alive_across_threads() {
         let handle = reader_collector.register();
         for _ in 0..5_000 {
             let guard = handle.pin();
+            // ORDERING: Acquire pairs with the writer's AcqRel swap, so
+            // the pointee's value is visible before the read below.
             let p = reader_slot.load(Ordering::Acquire);
             // SAFETY: protected by the guard; the writer retires but cannot
             // free `p` while we are pinned.
@@ -188,6 +203,8 @@ fn guards_keep_memory_alive_across_threads() {
             let guard = handle.pin();
             let newv = if i % 2 == 0 { 456 } else { 123 };
             let new = Box::into_raw(Box::new(newv));
+            // ORDERING: AcqRel publishes `*new` and orders the unlink
+            // before the deferred free.
             let old = writer_slot.swap(new, Ordering::AcqRel);
             // SAFETY: `old` has been unlinked by the swap above.
             unsafe { guard.defer_drop(old) };
@@ -197,6 +214,8 @@ fn guards_keep_memory_alive_across_threads() {
     reader.join().unwrap();
     writer.join().unwrap();
 
+    // ORDERING: Acquire pairs with the writer's final swap; both threads
+    // have joined, so this is the quiescent value.
     let last = slot.load(Ordering::Acquire);
     // SAFETY: all threads are done; we own the final object.
     unsafe { drop(Box::from_raw(last)) };

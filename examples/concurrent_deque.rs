@@ -49,13 +49,16 @@ fn main() {
         handles.push(std::thread::spawn(move || {
             let mut thread = stm.register();
             loop {
+                // ORDERING: approximate progress check; exactness is
+                // enforced by the checksum after join.
                 if processed_count.load(Ordering::Relaxed) >= total_jobs {
                     break;
                 }
                 match queue.pop_left(&mut thread) {
                     Some(job) => {
+                        // ORDERING: test oracle counters, read after join.
                         processed_sum.fetch_add(job, Ordering::Relaxed);
-                        processed_count.fetch_add(1, Ordering::Relaxed);
+                        processed_count.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
                     }
                     None => std::thread::yield_now(),
                 }
@@ -68,6 +71,7 @@ fn main() {
     }
 
     let expected: u64 = (0..total_jobs).sum();
+    // ORDERING: read after all workers joined; join synchronizes.
     let got = processed_sum.load(Ordering::Relaxed);
     println!("processed {total_jobs} jobs, checksum {got} (expected {expected})");
     assert_eq!(got, expected, "each job must be processed exactly once");

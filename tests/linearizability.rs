@@ -119,6 +119,7 @@ fn opacity_under_writers<S: Stm + Clone>(stm: S, encode: bool) {
         std::thread::spawn(move || {
             let mut t = stm.register();
             let mut i = 0usize;
+            // ORDERING: best-effort stop flag; no data is transferred.
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 i += 1;
                 t.atomic(|tx| {
@@ -144,6 +145,7 @@ fn opacity_under_writers<S: Stm + Clone>(stm: S, encode: bool) {
             .unwrap();
         assert_eq!(sum, 1024, "read-only transaction observed a torn state");
     }
+    // ORDERING: best-effort stop flag; the join below synchronizes.
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     writer.join().unwrap();
 }
@@ -174,6 +176,7 @@ fn short_ro_snapshot_is_consistent_val() {
         std::thread::spawn(move || {
             let mut t = stm.register();
             let mut i = 0usize;
+            // ORDERING: best-effort stop flag; no data is transferred.
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 i = i.wrapping_add(1);
                 loop {
@@ -209,6 +212,7 @@ fn short_ro_snapshot_is_consistent_val() {
             );
         }
     }
+    // ORDERING: best-effort stop flag; the join below synchronizes.
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     writer.join().unwrap();
 }
