@@ -1,0 +1,235 @@
+//! Network load generator for a running `spectm-serve` server (see
+//! EXPERIMENTS.md § "Latency over the wire" for the recipe).
+//!
+//! Preloads the key space over the wire, then sweeps the selected YCSB
+//! mixes under the selected loop disciplines and prints one TSV row per
+//! (mix, mode) with batch-latency percentiles from the log-bucketed
+//! histogram — p999 under the open loop is the coordinated-omission-honest
+//! tail.  With `--verify`, every returned value is checksum-verified
+//! during the run and a full oracle sweep of the key space runs at the
+//! end; any failure exits non-zero.
+
+use std::time::Duration;
+
+use harness::kv::{KeyDist, KvMix, KvWorkloadConfig, ValueSize};
+use harness::loadgen::{preload, run_loadgen, verify_sweep, LoadMode, LoadgenConfig, WireConn};
+use spectm_kv::wire::MAX_WIRE_OPS;
+
+const USAGE: &str = "\
+Usage: kv-loadgen --addr HOST:PORT [OPTIONS]
+
+Drive a spectm-serve server over the batch wire protocol and report
+p50/p99/p999 batch latency.
+
+Options:
+  --addr HOST:PORT    server address (required; spectm-serve prints it and
+                      can write it to a file via --port-file)
+  --workload a,b,c    YCSB mixes to sweep: a=update-heavy, b=read-heavy,
+                      c=read-only (batchable point mixes only; default a,b,c)
+  --mode closed,open  loop disciplines to sweep (default both)
+  --connections N     client connections, one thread each (default 4)
+  --duration-ms N     measured duration per run (default 500)
+  --batch N           operations per request frame (default 16, max 128)
+  --rate N            open-loop batches/sec per connection (default 2000)
+  --keys N            key-space size, preloaded before the runs (default 65536)
+  --dist NAME         key distribution: uniform, zipfian or latest
+                      (default uniform)
+  --value-size SPEC   payload lengths: fixed:N, uniform:A..B or zipf
+                      (default fixed:8)
+  --verify            checksum-verify every returned value and replay an
+                      oracle sweep over the key space afterwards
+  --help              print this help
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("kv-loadgen: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        die(&format!("{flag} needs a value"));
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => die(&format!("bad value {value:?} for {flag}")),
+    }
+}
+
+fn mode_label(mode: LoadMode) -> &'static str {
+    match mode {
+        LoadMode::Closed => "closed",
+        LoadMode::Open { .. } => "open",
+    }
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut mixes = vec![KvMix::UpdateHeavy, KvMix::ReadHeavy, KvMix::ReadOnly];
+    let mut modes: Vec<&'static str> = vec!["closed", "open"];
+    let mut connections = 4usize;
+    let mut duration_ms = 500u64;
+    let mut batch = 16usize;
+    let mut rate = 2_000u64;
+    let mut keys = 65_536u64;
+    let mut dist = KeyDist::Uniform;
+    let mut value_size = ValueSize::default();
+    let mut verify = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse(&arg, args.next())),
+            "--workload" => {
+                let raw: String = parse(&arg, args.next());
+                let parsed: Vec<KvMix> = raw
+                    .split(',')
+                    .filter_map(|s| {
+                        let s = s.trim();
+                        s.chars()
+                            .next()
+                            .filter(|_| s.len() == 1)
+                            .and_then(KvMix::from_ycsb_letter)
+                            .filter(|m| m.supports_batching())
+                    })
+                    .collect();
+                if parsed.is_empty() || parsed.len() != raw.split(',').count() {
+                    die(&format!(
+                        "`--workload {raw}` must be a comma list of the batchable mixes a, b, c"
+                    ));
+                }
+                mixes = parsed;
+            }
+            "--mode" => {
+                let raw: String = parse(&arg, args.next());
+                let parsed: Vec<&'static str> = raw
+                    .split(',')
+                    .filter_map(|s| match s.trim() {
+                        "closed" => Some("closed"),
+                        "open" => Some("open"),
+                        _ => None,
+                    })
+                    .collect();
+                if parsed.is_empty() || parsed.len() != raw.split(',').count() {
+                    die(&format!(
+                        "`--mode {raw}` must be a comma list of closed, open"
+                    ));
+                }
+                modes = parsed;
+            }
+            "--connections" => connections = parse(&arg, args.next()),
+            "--duration-ms" => duration_ms = parse(&arg, args.next()),
+            "--batch" => batch = parse(&arg, args.next()),
+            "--rate" => rate = parse(&arg, args.next()),
+            "--keys" => keys = parse(&arg, args.next()),
+            "--dist" => {
+                let raw: String = parse(&arg, args.next());
+                match KeyDist::from_name(raw.trim()) {
+                    Some(d) => dist = d,
+                    None => die(&format!("`--dist {raw}` is not uniform, zipfian or latest")),
+                }
+            }
+            "--value-size" => {
+                let raw: String = parse(&arg, args.next());
+                match ValueSize::from_flag(raw.trim()) {
+                    Some(vs) => value_size = vs,
+                    None => die(&format!(
+                        "`--value-size {raw}` is not fixed:N, uniform:A..B or zipf"
+                    )),
+                }
+            }
+            "--verify" => verify = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(addr) = addr else {
+        die("--addr is required");
+    };
+    if batch == 0 || batch > MAX_WIRE_OPS {
+        die(&format!("--batch must be in 1..={MAX_WIRE_OPS}"));
+    }
+    if connections == 0 {
+        die("--connections must be at least 1");
+    }
+    if rate == 0 {
+        die("--rate must be at least 1");
+    }
+
+    let mut control = match WireConn::connect(addr.as_str()) {
+        Ok(conn) => conn,
+        Err(e) => {
+            eprintln!("kv-loadgen: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let base = KvWorkloadConfig {
+        num_keys: keys,
+        dist,
+        value_size,
+        verify,
+        batch,
+        ..KvWorkloadConfig::sized_for(keys)
+    };
+    if let Err(e) = preload(&mut control, &base) {
+        eprintln!("kv-loadgen: preload failed: {e}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "mix\tmode\tconnections\tbatch\tbatches\tops\tops_per_sec\tp50_us\tp99_us\tp999_us\tmax_us"
+    );
+    for &mix in &mixes {
+        for &mode_name in &modes {
+            let mode = match mode_name {
+                "closed" => LoadMode::Closed,
+                _ => LoadMode::Open {
+                    interval: Duration::from_nanos(1_000_000_000 / rate),
+                },
+            };
+            let cfg = LoadgenConfig {
+                connections,
+                duration: Duration::from_millis(duration_ms),
+                mode,
+                workload: KvWorkloadConfig {
+                    mix,
+                    ..base.clone()
+                },
+            };
+            let result = match run_loadgen(addr.as_str(), &cfg) {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("kv-loadgen: {mix:?}/{mode_name} run failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let us = |ns: u64| ns as f64 / 1_000.0;
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{:.0}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+                mix.ycsb_letter(),
+                mode_label(mode),
+                connections,
+                batch,
+                result.batches,
+                result.ops,
+                result.ops_per_sec(),
+                us(result.hist.percentile(50.0)),
+                us(result.hist.percentile(99.0)),
+                us(result.hist.percentile(99.9)),
+                us(result.hist.max_ns()),
+            );
+        }
+    }
+
+    if verify {
+        if let Err(e) = verify_sweep(&mut control, keys) {
+            eprintln!("kv-loadgen: final oracle sweep failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("kv-loadgen: verify clean over {keys} keys");
+    }
+}

@@ -286,6 +286,19 @@ impl KvMix {
         )
     }
 
+    /// The YCSB core-workload letter of the mix — the inverse of
+    /// [`KvMix::from_ycsb_letter`], used in compact reports like the
+    /// `kv-loadgen` TSV.
+    pub fn ycsb_letter(self) -> char {
+        match self {
+            KvMix::UpdateHeavy => 'a',
+            KvMix::ReadHeavy => 'b',
+            KvMix::ReadOnly => 'c',
+            KvMix::ScanHeavy => 'e',
+            KvMix::ReadModifyWrite => 'f',
+        }
+    }
+
     /// Parses a YCSB core-workload letter: `a` (update 50/50), `b`
     /// (read-heavy 95/5), `c` (read-only), `e` (scan-heavy) or `f`
     /// (read-modify-write).
@@ -800,6 +813,14 @@ impl WorkerState {
                 self.batch_req.put(key, &self.scratch);
             }
         }
+    }
+
+    /// The operations of the last [`WorkerState::build_batch`], in request
+    /// order — what a network client ships as one request frame (the
+    /// in-process driver hands the whole request to the store instead).
+    #[inline]
+    pub fn batch_ops(&self) -> &[BatchOp] {
+        self.batch_req.ops()
     }
 
     /// Draws the next primary key.

@@ -18,15 +18,19 @@
 //! * [`figures`] — one driver per figure, used by the `fig*` binaries and by
 //!   the Criterion benches;
 //! * [`measure`] — the shared timed-run scaffolding (per-thread measurement
-//!   windows);
+//!   windows), the log-bucketed [`LatencyHistogram`] and the closed-/
+//!   open-loop latency drivers;
 //! * [`kv`] — the YCSB-style workload driver for the sharded transactional
 //!   KV store of the `spectm-kv` crate (operation mixes, zipfian/latest key
-//!   distributions, and the `kv` binary's sweep).
+//!   distributions, and the `kv` binary's sweep);
+//! * [`loadgen`] — the network load generator for the `spectm-serve` cache
+//!   server: closed- and open-loop clients over the batch wire protocol
+//!   with p50/p99/p999 reporting (the `kv-loadgen` binary).
 //!
 //! Binaries: `cargo run --release -p harness --bin fig1` (likewise `fig5`
-//! through `fig10`, and `kv` for the KV-store sweeps).  Each accepts
-//! `--quick` for a fast smoke run and `--threads a,b,c` to override the
-//! sweep.
+//! through `fig10`, `kv` for the KV-store sweeps, and `kv-loadgen` against
+//! a running `spectm-serve`).  The figure binaries accept `--quick` for a
+//! fast smoke run and `--threads a,b,c` to override the sweep.
 
 #![warn(missing_docs)]
 
@@ -34,6 +38,7 @@ pub mod adapters;
 pub mod figures;
 pub mod intset;
 pub mod kv;
+pub mod loadgen;
 pub mod measure;
 pub mod single_thread;
 pub mod variants;
@@ -41,4 +46,6 @@ pub mod variants;
 pub use adapters::BenchSet;
 pub use intset::{choose_op, run_intset, run_intset_repeated, RunResult, SetOp, WorkloadConfig};
 pub use kv::{run_kv, run_kv_repeated, run_kv_variant, KvMix, KvStore, KvWorkloadConfig};
+pub use loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenResult, WireConn};
+pub use measure::LatencyHistogram;
 pub use variants::VariantSpec;

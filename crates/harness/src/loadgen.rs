@@ -1,0 +1,345 @@
+//! The network load generator: drives a `spectm-serve` server over the
+//! batch wire protocol and reports latency percentiles.
+//!
+//! This is the client half of ROADMAP item 1.  It reuses the in-process
+//! workload machinery — [`KvWorkloadConfig`] for the mix, key
+//! distribution, value sizes and batch length, [`WorkerState`] for the
+//! per-connection operation stream, and the self-certifying checksummed
+//! payloads of [`crate::kv::fill_payload`] for `--verify` — so a network
+//! run measures the same workload as an in-process `kv` run, plus the
+//! wire.
+//!
+//! Each connection is one client thread running one of two disciplines
+//! (see [`crate::measure`]):
+//!
+//! * **closed loop** ([`LoadMode::Closed`]) — the next batch is issued
+//!   the moment the previous response arrives; latency is response time
+//!   under maximal client pressure, with the coordinated-omission caveat;
+//! * **open loop** ([`LoadMode::Open`]) — batches are issued on a fixed
+//!   schedule and each sample is measured from its *scheduled* time, so
+//!   server stalls are charged to every batch that was due during them.
+//!
+//! Per-connection histograms merge losslessly into one
+//! [`LatencyHistogram`] for the run's p50/p99/p999.  The `kv-loadgen`
+//! binary sweeps mixes and modes and prints one TSV row per run.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use spectm_kv::wire::{self, FrameError, FrameReader, WireError, MAX_WIRE_OPS};
+use spectm_kv::{BatchOp, BatchResponse};
+
+use crate::intset::Xorshift;
+use crate::kv::{fill_payload, payload_is_valid, KvWorkloadConfig, ValueLenSampler, WorkerState};
+use crate::measure::{drive_closed_loop, drive_open_loop, LatencyHistogram};
+
+/// Everything that can end a load-generation run early.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, send or receive).
+    Io(std::io::Error),
+    /// The server answered with bytes that violate the protocol.
+    Wire(WireError),
+    /// The server closed the connection where a response was due.
+    ServerClosed,
+    /// A response carried the wrong number of results.
+    ResultCount {
+        /// Operations in the request.
+        sent: usize,
+        /// Results in the response.
+        got: usize,
+    },
+    /// Under `--verify`, a returned value failed its checksum or a key
+    /// that must be present was absent.
+    Verify {
+        /// The offending key.
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::ServerClosed => write!(f, "server closed with a response due"),
+            ClientError::ResultCount { sent, got } => {
+                write!(f, "sent {sent} operations, got {got} results")
+            }
+            ClientError::Verify { key } => {
+                write!(f, "verification failed for key {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Wire(e) => ClientError::Wire(e),
+            FrameError::Io(e) => ClientError::Io(e),
+        }
+    }
+}
+
+/// One client connection speaking the batch wire protocol, with every
+/// buffer reused across requests (zero steady-state allocations for
+/// inline-sized values).
+pub struct WireConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    out: Vec<u8>,
+    resp: BatchResponse,
+}
+
+impl WireConn {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            reader: FrameReader::new(),
+            out: Vec::new(),
+            resp: BatchResponse::new(),
+        })
+    }
+
+    /// Sends `ops` as one request frame and blocks for the response;
+    /// returns the results in request order.
+    pub fn execute(&mut self, ops: &[BatchOp]) -> Result<&BatchResponse, ClientError> {
+        wire::encode_request(ops, &mut self.out)?;
+        self.stream.write_all(&self.out)?;
+        match wire::read_frame(&mut self.reader, &mut self.stream)? {
+            Some((start, end)) => {
+                wire::decode_response(&self.reader.buffered()[start..end], &mut self.resp)?;
+                if self.resp.len() != ops.len() {
+                    return Err(ClientError::ResultCount {
+                        sent: ops.len(),
+                        got: self.resp.len(),
+                    });
+                }
+                Ok(&self.resp)
+            }
+            None => Err(ClientError::ServerClosed),
+        }
+    }
+}
+
+/// Checks a batch's results against its operations: every returned value
+/// must carry a valid checksum for its key, and — once the key space is
+/// preloaded and the mix never deletes — every get must hit.
+fn verify_results(ops: &[BatchOp], results: &BatchResponse) -> Result<(), ClientError> {
+    for (op, result) in ops.iter().zip(results) {
+        let key = op.key();
+        match result {
+            Some(value) => {
+                if !payload_is_valid(key, value) {
+                    return Err(ClientError::Verify { key });
+                }
+            }
+            // A put's result is the displaced value; a get's is the stored
+            // one.  Both must exist over a preloaded, delete-free space.
+            None => return Err(ClientError::Verify { key }),
+        }
+    }
+    Ok(())
+}
+
+/// Loads every key of `0..num_keys` with a checksummed payload over the
+/// wire, [`MAX_WIRE_OPS`] puts per batch — the network counterpart of
+/// [`crate::kv::load_keys`], same payloads and length stream.
+pub fn preload(conn: &mut WireConn, cfg: &KvWorkloadConfig) -> Result<(), ClientError> {
+    let lens = ValueLenSampler::new(cfg.value_size);
+    let mut rng = Xorshift::new(0x10AD_5EED);
+    let mut buf = Vec::with_capacity(cfg.value_size.max_len());
+    let mut ops = Vec::with_capacity(MAX_WIRE_OPS);
+    for key in 0..cfg.num_keys {
+        fill_payload(key, 0, lens.sample(&mut rng), &mut buf);
+        ops.push(BatchOp::put(key, &buf));
+        if ops.len() == MAX_WIRE_OPS {
+            conn.execute(&ops)?;
+            ops.clear();
+        }
+    }
+    if !ops.is_empty() {
+        conn.execute(&ops)?;
+    }
+    Ok(())
+}
+
+/// Reads the whole key space back in batched gets and checks presence and
+/// checksums — the final oracle sweep of a `--verify` run.
+pub fn verify_sweep(conn: &mut WireConn, num_keys: u64) -> Result<(), ClientError> {
+    let mut ops = Vec::with_capacity(MAX_WIRE_OPS);
+    let mut start = 0u64;
+    while start < num_keys {
+        let end = (start + MAX_WIRE_OPS as u64).min(num_keys);
+        ops.clear();
+        ops.extend((start..end).map(BatchOp::Get));
+        let results = conn.execute(&ops)?;
+        for (key, result) in (start..end).zip(results) {
+            match result {
+                Some(value) if payload_is_valid(key, value) => {}
+                _ => return Err(ClientError::Verify { key }),
+            }
+        }
+        start = end;
+    }
+    Ok(())
+}
+
+/// The load-generation discipline of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Issue the next batch as soon as the previous response arrives.
+    Closed,
+    /// Issue batches on a fixed schedule, one per `interval` per
+    /// connection, measuring from the scheduled time (coordinated
+    /// omission measured, not hidden).
+    Open {
+        /// The per-connection inter-batch interval.
+        interval: Duration,
+    },
+}
+
+/// Parameters of one load-generation run.
+pub struct LoadgenConfig {
+    /// Concurrent connections, one client thread each.
+    pub connections: usize,
+    /// The measured duration (open-loop backlogs drain past it).
+    pub duration: Duration,
+    /// The discipline.
+    pub mode: LoadMode,
+    /// The workload: mix, key distribution, value sizes, batch length,
+    /// key-space size and the per-batch verify flag.  (The store-shape
+    /// fields — shards, capacity, threads — belong to the server.)
+    pub workload: KvWorkloadConfig,
+}
+
+/// The merged outcome of one run.
+pub struct LoadgenResult {
+    /// Batches completed across all connections.
+    pub batches: u64,
+    /// Operations inside those batches.
+    pub ops: u64,
+    /// Wall-clock time of the run (first connect to last drain).
+    pub elapsed: Duration,
+    /// Per-batch latency over all connections.
+    pub hist: LatencyHistogram,
+}
+
+impl LoadgenResult {
+    /// Aggregate operation throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Runs one load-generation pass against `addr`: `connections` client
+/// threads, each with its own [`WireConn`], seeded [`WorkerState`] stream
+/// and latency histogram, merged on completion.  The key space must
+/// already be [`preload`]ed when the workload verifies.
+pub fn run_loadgen(
+    addr: impl ToSocketAddrs,
+    cfg: &LoadgenConfig,
+) -> Result<LoadgenResult, ClientError> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or(ClientError::ServerClosed)?;
+    let batch = cfg.workload.batch.max(1);
+    let started = Instant::now();
+    let per_conn: Vec<Result<(LatencyHistogram, u64), ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|tid| {
+                scope.spawn(move || {
+                    let mut conn = WireConn::connect(addr)?;
+                    let mut state = WorkerState::new(
+                        &cfg.workload,
+                        0xC0FF_EE00_0000_0000 ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9),
+                    );
+                    let mut hist = LatencyHistogram::new();
+                    let verify = cfg.workload.verify;
+                    let mut failed: Option<ClientError> = None;
+                    let mut op = || {
+                        if failed.is_some() {
+                            return; // latch: finish the schedule as no-ops
+                        }
+                        state.build_batch(batch);
+                        match conn.execute(state.batch_ops()) {
+                            Ok(results) => {
+                                if verify {
+                                    if let Err(e) = verify_results(state.batch_ops(), results) {
+                                        failed = Some(e);
+                                    }
+                                }
+                            }
+                            Err(e) => failed = Some(e),
+                        }
+                    };
+                    let t0 = Instant::now();
+                    let clock = move || t0.elapsed();
+                    let batches = match cfg.mode {
+                        LoadMode::Closed => {
+                            drive_closed_loop(&clock, cfg.duration, &mut op, &mut hist)
+                        }
+                        LoadMode::Open { interval } => drive_open_loop(
+                            &clock,
+                            &|target: Duration| {
+                                let now = clock();
+                                if target > now {
+                                    std::thread::sleep(target - now);
+                                }
+                            },
+                            cfg.duration,
+                            interval,
+                            &mut op,
+                            &mut hist,
+                        ),
+                    };
+                    match failed {
+                        Some(e) => Err(e),
+                        None => Ok((hist, batches)),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection thread panicked"))
+            .collect()
+    });
+    let mut hist = LatencyHistogram::new();
+    let mut batches = 0u64;
+    for outcome in per_conn {
+        let (conn_hist, conn_batches) = outcome?;
+        hist.merge(&conn_hist);
+        batches += conn_batches;
+    }
+    Ok(LoadgenResult {
+        batches,
+        ops: batches * batch as u64,
+        elapsed: started.elapsed(),
+        hist,
+    })
+}

@@ -119,6 +119,213 @@ where
     })
 }
 
+// ---------------------------------------------------------------------------
+// Latency: HDR-style log-bucketed histogram and the loop drivers
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution of [`LatencyHistogram`]: each power-of-two range
+/// is split into `2^SUB_BUCKET_BITS` linear sub-buckets, bounding the
+/// relative quantization error at `2^-SUB_BUCKET_BITS` (~3.1%).
+const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Values below this are recorded exactly (one bucket per nanosecond).
+const EXACT_LIMIT: u64 = 2 * SUB_BUCKETS as u64;
+/// Total buckets: the exact range plus 32 sub-buckets for every power of
+/// two from `2^6` through `2^63`.
+const BUCKETS: usize = EXACT_LIMIT as usize + (64 - 6) * SUB_BUCKETS;
+
+/// An HDR-style log-bucketed latency histogram over nanosecond samples.
+///
+/// Fixed memory (~15 KiB), constant-time recording, full `u64` range,
+/// ≤ ~3.1% relative error per sample: small values land in exact buckets,
+/// larger ones in log-linear buckets (the top 5 bits after the leading
+/// one select the sub-bucket).  Percentiles report a
+/// bucket's **upper** edge (capped at the observed maximum), so a reported
+/// p99 is never below the true p99 — the conservative direction for a
+/// latency SLO.
+///
+/// Per-thread histograms [`LatencyHistogram::merge`] losslessly, so worker
+/// threads record without synchronization and the aggregate percentiles
+/// are exact over the union of samples.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        if ns < EXACT_LIMIT {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros(); // >= 6 here
+        let shift = msb - SUB_BUCKET_BITS;
+        let sub = (ns >> shift) as usize - SUB_BUCKETS;
+        EXACT_LIMIT as usize + (msb - 6) as usize * SUB_BUCKETS + sub
+    }
+
+    /// The largest value mapping to `index` — what percentiles report.
+    fn bucket_upper(index: usize) -> u64 {
+        if (index as u64) < EXACT_LIMIT {
+            return index as u64;
+        }
+        let log = index - EXACT_LIMIT as usize;
+        let shift = (log / SUB_BUCKETS) as u32 + 1;
+        let sub = (log % SUB_BUCKETS) as u64;
+        // The topmost buckets' upper edge exceeds u64 (their range ends at
+        // u64::MAX); the percentile cap at the observed max applies anyway.
+        match (1u64 << shift).checked_mul(SUB_BUCKETS as u64 + sub + 1) {
+            Some(edge) => edge - 1,
+            None => u64::MAX,
+        }
+    }
+
+    /// Records one latency sample in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[Self::bucket_index(ns)] += 1;
+        self.total += 1;
+        self.max = self.max.max(ns);
+    }
+
+    /// Records one latency sample (saturating to `u64::MAX` nanoseconds).
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Folds another histogram into this one (lossless: buckets align).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest recorded sample, exact (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-th percentile in nanoseconds (`p` in `0.0..=100.0`): the
+    /// upper edge of the bucket holding the sample of rank
+    /// `ceil(p/100 · count)` (at least 1), capped at the exact observed
+    /// maximum — so `percentile(100.0)` *is* [`LatencyHistogram::max_ns`].
+    /// Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Runs `op` back-to-back until `clock()` passes `duration` (checked after
+/// each operation), recording each operation's latency.  Returns how many
+/// operations completed.
+///
+/// This is the **closed loop**: the next request is only issued once the
+/// previous response arrived, so a server stall pauses the *schedule* too
+/// and shows up in at most one sample — the coordinated-omission blind
+/// spot [`drive_open_loop`] exists to avoid.
+pub fn drive_closed_loop<C, W>(
+    clock: &C,
+    duration: Duration,
+    op: &mut W,
+    hist: &mut LatencyHistogram,
+) -> u64
+where
+    C: Fn() -> Duration,
+    W: FnMut(),
+{
+    let start = clock();
+    let deadline = start.saturating_add(duration);
+    let mut ops = 0u64;
+    loop {
+        let issued = clock();
+        op();
+        let done = clock();
+        hist.record(done.saturating_sub(issued));
+        ops += 1;
+        if done >= deadline {
+            return ops;
+        }
+    }
+}
+
+/// Runs `op` on a **fixed schedule** — operation `i` is due at
+/// `start + i·interval` — for all operations scheduled inside `duration`,
+/// recording each operation's latency **from its scheduled time** to its
+/// completion.  Returns how many operations completed.
+///
+/// This is the open loop: when the server stalls, due operations queue up
+/// and every one of them records the stall it sat through, even though the
+/// client could not issue it yet.  A closed loop would silently re-plan
+/// around the stall (coordinated omission); here the backlog is driven to
+/// completion past the nominal deadline and the tail percentiles inflate
+/// accordingly.
+///
+/// `wait_until(t)` must return no earlier than `clock() == t`; production
+/// sleeps, tests advance a synthetic clock.  When an operation is already
+/// overdue, `wait_until` is not called.
+pub fn drive_open_loop<C, U, W>(
+    clock: &C,
+    wait_until: &U,
+    duration: Duration,
+    interval: Duration,
+    op: &mut W,
+    hist: &mut LatencyHistogram,
+) -> u64
+where
+    C: Fn() -> Duration,
+    U: Fn(Duration),
+    W: FnMut(),
+{
+    let interval_ns = interval.as_nanos().max(1) as u64;
+    let start = clock();
+    let mut ops = 0u64;
+    loop {
+        let scheduled = start.saturating_add(Duration::from_nanos(ops * interval_ns));
+        if scheduled >= start.saturating_add(duration) {
+            return ops;
+        }
+        if clock() < scheduled {
+            wait_until(scheduled);
+        }
+        op();
+        hist.record(clock().saturating_sub(scheduled));
+        ops += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +427,199 @@ mod tests {
             }
         });
         assert!(samples.iter().all(|s| s.ops > 0));
+    }
+
+    /// 100 samples of 1..=100 ns pin the percentiles arithmetically: rank
+    /// `ceil(p)` out of 100 distinct values.  50 and 99 sit on exact bucket
+    /// edges; 100 exercises the observed-maximum cap.
+    #[test]
+    fn percentiles_are_exact_for_synthetic_ticks() {
+        let mut h = LatencyHistogram::new();
+        for ns in 1..=100u64 {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max_ns(), 100);
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(99.0), 99);
+        assert_eq!(h.percentile(99.9), 100, "rank 100 capped at the max");
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.percentile(0.0), 1, "rank clamps to the first sample");
+    }
+
+    /// Bucketed values stay within the histogram's advertised ~3.1%
+    /// relative error, in the conservative (upper) direction, across the
+    /// full magnitude range.
+    #[test]
+    fn quantization_error_is_bounded_and_upward() {
+        for &ns in &[
+            1u64,
+            63,
+            64,
+            1_000,
+            12_345,
+            1_000_000,
+            999_999_937,
+            u64::MAX / 3,
+        ] {
+            let mut h = LatencyHistogram::new();
+            h.record_ns(ns);
+            // A lone sample is both p50 and max, so the cap makes it exact;
+            // add a larger sample to expose the raw bucket edge.
+            h.record_ns(u64::MAX);
+            let p50 = h.percentile(50.0);
+            assert!(p50 >= ns, "upper edge must not undershoot {ns}");
+            assert!(
+                (p50 - ns) as f64 <= ns as f64 / 32.0 + 1.0,
+                "bucket edge {p50} too far above {ns}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_lossless() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for ns in 1..=100u64 {
+            if ns % 2 == 0 { &mut a } else { &mut b }.record_ns(ns);
+            whole.record_ns(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max_ns(), whole.max_ns());
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p));
+        }
+    }
+
+    #[test]
+    fn empty_histograms_report_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    /// A deterministic single-threaded "server": every operation takes
+    /// `service` on the synthetic clock, except one that stalls for
+    /// `stall`.  Drives both loop disciplines over it.
+    struct StallClock {
+        now_ns: std::cell::Cell<u64>,
+    }
+
+    impl StallClock {
+        fn clock(&self) -> impl Fn() -> Duration + '_ {
+            || Duration::from_nanos(self.now_ns.get())
+        }
+
+        fn wait_until(&self) -> impl Fn(Duration) + '_ {
+            |target| {
+                let target = target.as_nanos() as u64;
+                if target > self.now_ns.get() {
+                    self.now_ns.set(target);
+                }
+            }
+        }
+
+        fn op<'a>(&'a self, service_ns: u64, stall_at: u64, stall_ns: u64) -> impl FnMut() + 'a {
+            let mut calls = 0u64;
+            move || {
+                let cost = if calls == stall_at {
+                    stall_ns
+                } else {
+                    service_ns
+                };
+                calls += 1;
+                self.now_ns.set(self.now_ns.get() + cost);
+            }
+        }
+    }
+
+    const MS: u64 = 1_000_000;
+
+    /// Asserts `actual` is `nominal` up to the histogram's upward-only
+    /// quantization (one bucket, ≤ `nominal/32 + 1`).
+    fn assert_close(actual: u64, nominal: u64, what: &str) {
+        assert!(
+            actual >= nominal && actual <= nominal + nominal / 32 + 1,
+            "{what}: {actual}ns not within one bucket above {nominal}ns"
+        );
+    }
+
+    /// The coordinated-omission regression guard.  Same server behaviour —
+    /// 0.5 ms service, one 100 ms stall — under both disciplines: the
+    /// closed loop sees the stall in exactly one sample and its p999 stays
+    /// at the service time, while the open loop charges the stall to every
+    /// operation that was due during it and its p999 inflates by two
+    /// orders of magnitude.
+    #[test]
+    fn open_loop_exposes_the_stall_that_closed_loop_hides() {
+        let duration = Duration::from_nanos(1_000 * MS);
+        let interval = Duration::from_nanos(MS);
+
+        let sim = StallClock {
+            now_ns: std::cell::Cell::new(0),
+        };
+        let mut closed = LatencyHistogram::new();
+        let ops = drive_closed_loop(
+            &sim.clock(),
+            duration,
+            &mut sim.op(MS / 2, 100, 100 * MS),
+            &mut closed,
+        );
+        // 0.5 ms per op for 1000 ms, one op costing 100 ms instead: the
+        // stall consumed 199 op-slots of schedule time.
+        assert_eq!(ops, 2000 - 199);
+        assert_close(closed.percentile(50.0), MS / 2, "closed p50");
+        // One stalled sample in 1801 sits beyond rank 1800: closed-loop
+        // p999 hides the stall entirely.
+        assert_close(closed.percentile(99.9), MS / 2, "closed p999");
+        assert_eq!(closed.max_ns(), 100 * MS, "the stall itself was recorded");
+
+        let sim = StallClock {
+            now_ns: std::cell::Cell::new(0),
+        };
+        let mut open = LatencyHistogram::new();
+        let ops = drive_open_loop(
+            &sim.clock(),
+            &sim.wait_until(),
+            duration,
+            interval,
+            &mut sim.op(MS / 2, 100, 100 * MS),
+            &mut open,
+        );
+        assert_eq!(ops, 1000, "every scheduled operation ran, late or not");
+        assert_close(open.percentile(50.0), MS / 2, "open p50 (service time)");
+        let p999 = open.percentile(99.9);
+        assert!(
+            p999 >= 90 * MS,
+            "p999 {p999}ns must charge the 100 ms stall to the queued operations"
+        );
+        assert!(
+            open.percentile(99.0) >= 80 * MS,
+            "a fifth of the schedule sat in the stall's backlog"
+        );
+    }
+
+    /// The open-loop driver keeps to its schedule when the server keeps
+    /// up: every sample is exactly the service time.
+    #[test]
+    fn open_loop_on_schedule_records_pure_service_time() {
+        let sim = StallClock {
+            now_ns: std::cell::Cell::new(0),
+        };
+        let mut hist = LatencyHistogram::new();
+        let ops = drive_open_loop(
+            &sim.clock(),
+            &sim.wait_until(),
+            Duration::from_nanos(100 * MS),
+            Duration::from_nanos(MS),
+            &mut sim.op(MS / 4, u64::MAX, 0),
+            &mut hist,
+        );
+        assert_eq!(ops, 100);
+        assert_eq!(hist.percentile(50.0), MS / 4);
+        assert_eq!(hist.max_ns(), MS / 4);
     }
 }

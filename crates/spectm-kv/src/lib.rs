@@ -110,6 +110,7 @@ pub mod map;
 pub mod router;
 pub mod store;
 pub mod value;
+pub mod wire;
 
 pub use batch::{BatchOp, BatchRequest, BatchResponse};
 pub use map::{MapStats, NodeSlot, RetiredNode, StmHashMap, BUCKET_SLOTS};

@@ -1,0 +1,131 @@
+//! Property tests for the wire codec (`spectm_kv::wire`): arbitrary
+//! requests and responses survive encode→decode unchanged, and the decoded
+//! form re-encodes **byte-identically** — so the codec has exactly one
+//! representation per batch and the server and client cannot drift apart.
+//!
+//! Generated batches sweep the op mixes (get/put/del, duplicate keys
+//! included), value sizes across the inline-SSO and out-of-line regimes,
+//! and op counts from the empty frame through `MAX_RMW_KEYS`-sized
+//! multi-key shapes up to the `MAX_WIRE_OPS` frame cap.
+
+use proptest::prelude::*;
+use spectm_kv::wire::{
+    decode_request, decode_response, encode_request, encode_response, MAX_WIRE_OPS,
+};
+use spectm_kv::{BatchOp, BatchRequest, BatchResponse, Value, MAX_RMW_KEYS};
+
+/// Deterministic payload of `len` bytes for `(key, draw)`.  Lengths are
+/// drawn across 0, inline (≤ 16 bytes) and out-of-line sizes.
+fn payload(key: u64, draw: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (key as u8).wrapping_mul(151) ^ (draw as u8) ^ (i as u8).wrapping_mul(41))
+        .collect()
+}
+
+/// Maps one generated `(kind, key, draw, len)` quad to an operation.
+fn op_from(kind: u8, key: u64, draw: u64, len: usize) -> BatchOp {
+    match kind % 4 {
+        0 => BatchOp::Get(key),
+        1 => BatchOp::Del(key),
+        _ => BatchOp::put(key, &payload(key, draw, len)),
+    }
+}
+
+/// One frame's worth of generated operations: mixes, duplicate keys, value
+/// sizes from empty through well past the 16-byte inline buffer, op counts
+/// 0 (empty frame) through the `MAX_WIRE_OPS` cap — covering the
+/// `0..=MAX_RMW_KEYS` multi-key shapes on the way.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u64, u64, usize)>> {
+    proptest::collection::vec(
+        (0u8..4, 0u64..48, 0u64..1 << 60, 0usize..600),
+        0..MAX_WIRE_OPS + 1,
+    )
+}
+
+proptest! {
+    /// encode→decode is the identity on requests, and re-encoding the
+    /// decoded request reproduces the original frame byte for byte.
+    #[test]
+    fn requests_roundtrip_and_reencode_identically(raw in ops_strategy()) {
+        let ops: Vec<BatchOp> = raw
+            .iter()
+            .map(|&(kind, key, draw, len)| op_from(kind, key, draw, len))
+            .collect();
+        let mut frame = Vec::new();
+        encode_request(&ops, &mut frame).unwrap();
+        prop_assert!(frame.len() >= 8, "prefix and count are always present");
+
+        let mut decoded = BatchRequest::new();
+        decode_request(&frame[4..], &mut decoded).unwrap();
+        prop_assert_eq!(decoded.ops(), ops.as_slice());
+
+        let mut reencoded = Vec::new();
+        encode_request(decoded.ops(), &mut reencoded).unwrap();
+        prop_assert_eq!(&reencoded, &frame, "one representation per batch");
+    }
+
+    /// The same two properties for responses, across absent results and
+    /// empty/inline/out-of-line values.
+    #[test]
+    fn responses_roundtrip_and_reencode_identically(
+        raw in proptest::collection::vec(
+            (0u8..2, 0u64..48, 0u64..1 << 60, 0usize..600),
+            0..MAX_WIRE_OPS + 1,
+        )
+    ) {
+        let results: BatchResponse = raw
+            .iter()
+            .map(|&(tag, key, draw, len)| {
+                (tag == 1).then(|| Value::new(&payload(key, draw, len)))
+            })
+            .collect();
+        let mut frame = Vec::new();
+        encode_response(&results, &mut frame).unwrap();
+
+        let mut decoded = BatchResponse::new();
+        decode_response(&frame[4..], &mut decoded).unwrap();
+        prop_assert_eq!(&decoded, &results);
+
+        let mut reencoded = Vec::new();
+        encode_response(&decoded, &mut reencoded).unwrap();
+        prop_assert_eq!(&reencoded, &frame, "one representation per response");
+    }
+
+    /// Decoding reuses the caller's request across frames (the server's
+    /// steady-state loop): a dirty request from one frame never leaks into
+    /// the decode of the next.
+    #[test]
+    fn decoding_into_a_reused_request_leaves_no_residue(
+        first in ops_strategy(),
+        second in ops_strategy(),
+    ) {
+        let to_ops = |raw: &[(u8, u64, u64, usize)]| -> Vec<BatchOp> {
+            raw.iter().map(|&(k, key, d, l)| op_from(k, key, d, l)).collect()
+        };
+        let (a, b) = (to_ops(&first), to_ops(&second));
+        let mut frame = Vec::new();
+        let mut req = BatchRequest::new();
+        encode_request(&a, &mut frame).unwrap();
+        decode_request(&frame[4..], &mut req).unwrap();
+        encode_request(&b, &mut frame).unwrap();
+        decode_request(&frame[4..], &mut req).unwrap();
+        prop_assert_eq!(req.ops(), b.as_slice());
+    }
+}
+
+/// The multi-key shapes the store's own `rmw` path bounds: every op count
+/// in `0..=MAX_RMW_KEYS` round-trips (the proptests cover these sizes too,
+/// but this pins the boundary deterministically).
+#[test]
+fn every_rmw_sized_batch_roundtrips() {
+    for n in 0..=MAX_RMW_KEYS {
+        let ops: Vec<BatchOp> = (0..n as u64)
+            .map(|i| op_from(i as u8, i, i * 7, 17 + i as usize))
+            .collect();
+        let mut frame = Vec::new();
+        encode_request(&ops, &mut frame).unwrap();
+        let mut decoded = BatchRequest::new();
+        decode_request(&frame[4..], &mut decoded).unwrap();
+        assert_eq!(decoded.ops(), ops.as_slice());
+    }
+}

@@ -1,0 +1,38 @@
+//! A threaded cache server fronting the SpecTM sharded key-value store.
+//!
+//! This crate is the network front-end ROADMAP item 1 calls for: it turns
+//! [`spectm_kv::ShardedKv`] into a service in the Pelikan cache-server mold
+//! — one acceptor thread plus N worker threads, each worker owning its own
+//! STM thread handle into the one shared store, speaking the
+//! length-prefixed binary protocol of [`spectm_kv::wire`].  One connection
+//! read becomes one [`spectm_kv::BatchRequest`], executed under a single
+//! epoch entry by [`spectm_kv::ShardedKv::execute_batch_into`], and one
+//! connection write returns the [`spectm_kv::BatchResponse`] — so the wire
+//! hot path is exactly the batched short-transaction pipeline the store
+//! already optimizes.
+//!
+//! Design points (DESIGN.md § "Wire protocol and the cache server"):
+//!
+//! * **Per-connection buffer reuse.** Each worker keeps one
+//!   [`spectm_kv::wire::FrameReader`], one request, one response and one
+//!   write buffer, reused across every frame and every connection it
+//!   serves; the steady-state request loop allocates nothing for
+//!   inline-sized values.
+//! * **Typed error teardown.** Any [`spectm_kv::wire::WireError`] — bad
+//!   opcode, oversized length prefix, truncated frame — tears the
+//!   connection down without a response and without executing any part of
+//!   the offending frame.  The server never panics on peer input.
+//! * **Graceful shutdown.** [`Server::shutdown`] (or dropping the
+//!   [`Server`]) raises a flag; the acceptor and every worker observe it
+//!   within their poll interval, drain, and join.
+//!
+//! The matching load-generator client (`kv-loadgen`) lives in the harness
+//! crate; the `spectm-serve` binary in this crate wires a
+//! [`spectm::variants::ValShort`] store behind [`Server::start`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod server;
+
+pub use server::{Server, StatsSnapshot};

@@ -1,0 +1,99 @@
+//! The `spectm-serve` binary: a [`spectm::variants::ValShort`]-backed
+//! sharded KV store behind the threaded cache server, for the `kv-loadgen`
+//! client and the CI smoke.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spectm::variants::ValShort;
+use spectm::Stm;
+use spectm_ds::ApiMode;
+use spectm_kv::ShardedKv;
+use spectm_serve::Server;
+
+const USAGE: &str = "\
+Usage: spectm-serve [OPTIONS]
+
+Serve a SpecTM sharded KV store over the batch wire protocol.
+
+Options:
+  --addr HOST:PORT    bind address (default 127.0.0.1:0 = ephemeral port)
+  --workers N         worker threads, one connection each (default 4)
+  --shards N          store shards (default 16)
+  --capacity N        per-shard capacity hint in keys (default 65536)
+  --port-file PATH    write the bound address to PATH once listening
+  --run-for-ms N      serve for N ms, then shut down cleanly (default: forever)
+  --help              print this help
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("spectm-serve: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        die(&format!("{flag} needs a value"));
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => die(&format!("bad value {value:?} for {flag}")),
+    }
+}
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:0");
+    let mut workers = 4usize;
+    let mut shards = 16usize;
+    let mut capacity = 1usize << 16;
+    let mut port_file: Option<String> = None;
+    let mut run_for_ms: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(&arg, args.next()),
+            "--workers" => workers = parse(&arg, args.next()),
+            "--shards" => shards = parse(&arg, args.next()),
+            "--capacity" => capacity = parse(&arg, args.next()),
+            "--port-file" => port_file = Some(parse(&arg, args.next())),
+            "--run-for-ms" => run_for_ms = Some(parse(&arg, args.next())),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    if workers == 0 {
+        die("--workers must be at least 1");
+    }
+
+    let stm = ValShort::new();
+    let store = Arc::new(ShardedKv::new(&stm, shards, capacity, ApiMode::Short));
+    let server = match Server::start(store, addr.as_str(), workers) {
+        Ok(server) => server,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    println!("listening on {}", server.local_addr());
+    if let Some(path) = &port_file {
+        // Written after the listener is live, so a script waiting on this
+        // file can connect the moment it appears.
+        if let Err(e) = std::fs::write(path, server.local_addr().to_string()) {
+            die(&format!("cannot write port file {path}: {e}"));
+        }
+    }
+
+    match run_for_ms {
+        Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    let stats = server.shutdown();
+    println!(
+        "served connections={} batches={} ops={} wire_errors={}",
+        stats.connections, stats.batches, stats.ops, stats.wire_errors
+    );
+}

@@ -1,0 +1,325 @@
+//! The server proper: acceptor + worker threads over `std::net`.
+//!
+//! The threading model trades connection capacity for simplicity and
+//! per-worker STM affinity: the acceptor hands each accepted connection to
+//! a worker over an mpsc queue, and a worker serves **one connection to
+//! completion at a time** (further connections wait in the queue).  That
+//! matches the load-generator deployment this repo measures — a fixed set
+//! of long-lived connections, one per client thread — and keeps every STM
+//! thread handle (`S::Thread` is deliberately not `Send`) pinned to the
+//! worker that created it.
+//!
+//! All blocking points are bounded so shutdown is prompt: the listener is
+//! non-blocking (the acceptor sleeps `POLL` between empty accepts),
+//! workers wait on the connection queue with a `POLL` timeout, and
+//! connection reads carry a `READ_TIMEOUT` so an idle peer cannot pin a
+//! worker past shutdown.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use spectm::Stm;
+use spectm_kv::wire::{self, FrameReader};
+use spectm_kv::{BatchRequest, BatchResponse, ShardedKv};
+
+/// How long the acceptor sleeps between empty accepts and how long workers
+/// wait on the connection queue before re-checking the shutdown flag.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Read timeout on served connections: the longest a quiet peer can delay a
+/// worker's shutdown check.
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Monotonic service counters, updated by workers and read by reporters.
+#[derive(Default)]
+struct ServerStats {
+    connections: AtomicU64,
+    batches: AtomicU64,
+    ops: AtomicU64,
+    wire_errors: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted and handed to a worker.
+    pub connections: u64,
+    /// Batches executed and answered.
+    pub batches: u64,
+    /// Operations inside those batches.
+    pub ops: u64,
+    /// Connections torn down for malformed input (including closes
+    /// mid-frame).  Nothing from such a frame reaches the store.
+    pub wire_errors: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        // ORDERING: monotonic counters read for reporting; no counter
+        // guards any other memory.
+        let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        StatsSnapshot {
+            connections: load(&self.connections),
+            batches: load(&self.batches),
+            ops: load(&self.ops),
+            wire_errors: load(&self.wire_errors),
+        }
+    }
+}
+
+/// Why [`serve_connection`] returned; only protocol violations are counted.
+enum ConnEnd {
+    /// Peer closed cleanly at a frame boundary, or the transport failed.
+    Done,
+    /// Peer broke the protocol (malformed frame or close mid-frame).
+    WireError,
+}
+
+/// Per-worker reusable buffers: one set serves every connection the worker
+/// ever handles, so the steady-state frame loop performs no allocations for
+/// inline-sized values (buffers grow to their working size once and stay).
+#[derive(Default)]
+struct ConnScratch {
+    reader: FrameReader,
+    req: BatchRequest,
+    resp: BatchResponse,
+    out: Vec<u8>,
+}
+
+/// A running cache server.  Dropping it shuts it down and joins every
+/// thread; [`Server::shutdown`] does the same while returning the final
+/// counters.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use spectm::{variants::ValShort, Stm};
+/// use spectm_ds::ApiMode;
+/// use spectm_kv::ShardedKv;
+/// use spectm_serve::Server;
+///
+/// let stm = ValShort::new();
+/// let store = Arc::new(ShardedKv::new(&stm, 4, 64, ApiMode::Short));
+/// let server = Server::start(store, "127.0.0.1:0", 2).unwrap();
+/// let addr = server.local_addr(); // ephemeral port, ready for clients
+/// let stats = server.shutdown();
+/// assert_eq!(stats.wire_errors, 0);
+/// # let _ = addr;
+/// ```
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor plus `workers` worker threads (at least one) over the
+    /// shared `store`.  Returns once the listener is live; clients may
+    /// connect immediately.
+    pub fn start<S: Stm + Clone>(
+        store: Arc<ShardedKv<S>>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles = (0..workers.max(1))
+            .map(|i| {
+                let store = Arc::clone(&store);
+                let rx = Arc::clone(&rx);
+                let shutdown = Arc::clone(&shutdown);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&store, &rx, &shutdown, &stats))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &tx, &shutdown))?
+        };
+        Ok(Self {
+            local_addr,
+            shutdown,
+            stats,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The address the server is listening on (with the real port when
+    /// bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The current service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Raises the shutdown flag, joins the acceptor and every worker, and
+    /// returns the final counters.  In-flight frames finish; connections
+    /// still queued for a worker are dropped unserved.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop();
+        self.stats.snapshot()
+    }
+
+    fn stop(&mut self) {
+        // ORDERING: the flag carries no data; the joins below synchronize
+        // with everything the threads wrote.
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &AtomicBool) {
+    // ORDERING: shutdown flag only; see Server::stop.
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if tx.send(stream).is_err() {
+                    return; // every worker is gone
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            // Transient accept failures (e.g. the peer resetting before the
+            // accept completes) must not kill the acceptor.
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn worker_loop<S: Stm + Clone>(
+    store: &ShardedKv<S>,
+    conns: &Mutex<Receiver<TcpStream>>,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+) {
+    // The STM thread handle must be created on the thread that uses it.
+    let mut thread = store.register();
+    let mut scratch = ConnScratch::default();
+    loop {
+        let conn = {
+            let queue = conns.lock().expect("connection queue poisoned");
+            queue.recv_timeout(POLL)
+        };
+        match conn {
+            Ok(stream) => {
+                // ORDERING: monotonic counter; see ServerStats::snapshot.
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let end =
+                    serve_connection(store, &mut thread, &mut scratch, stream, shutdown, stats);
+                if matches!(end, ConnEnd::WireError) {
+                    // ORDERING: monotonic counter; see ServerStats::snapshot.
+                    stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // ORDERING: shutdown flag only; see Server::stop.
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one connection until the peer closes, the transport fails, the
+/// peer breaks the protocol, or shutdown is raised.  Never panics on peer
+/// input; on a [`wire::WireError`] the connection is torn down with no
+/// response and nothing from the offending frame reaches the store.
+fn serve_connection<S: Stm + Clone>(
+    store: &ShardedKv<S>,
+    thread: &mut S::Thread,
+    scratch: &mut ConnScratch,
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+) -> ConnEnd {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return ConnEnd::Done;
+    }
+    scratch.reader.reset();
+    loop {
+        match scratch.reader.try_frame() {
+            Err(_) => return ConnEnd::WireError,
+            Ok(Some((start, end))) => {
+                let body = &scratch.reader.buffered()[start..end];
+                if wire::decode_request(body, &mut scratch.req).is_err() {
+                    return ConnEnd::WireError;
+                }
+                let op_count = scratch.req.len() as u64;
+                // Unreachable for frames the decoder accepted (its caps
+                // equal the store's), but a store refusal must still tear
+                // down rather than answer out of position or panic.
+                if store
+                    .execute_batch_into(&mut scratch.req, &mut scratch.resp, thread)
+                    .is_err()
+                {
+                    return ConnEnd::WireError;
+                }
+                if wire::encode_response(&scratch.resp, &mut scratch.out).is_err() {
+                    return ConnEnd::WireError;
+                }
+                if stream.write_all(&scratch.out).is_err() {
+                    return ConnEnd::Done;
+                }
+                // ORDERING: monotonic counters; see ServerStats::snapshot.
+                stats.batches.fetch_add(1, Ordering::Relaxed);
+                // ORDERING: monotonic counter; see ServerStats::snapshot.
+                stats.ops.fetch_add(op_count, Ordering::Relaxed);
+            }
+            Ok(None) => match scratch.reader.fill_from(&mut stream) {
+                Ok(0) => {
+                    return if scratch.reader.mid_frame() {
+                        ConnEnd::WireError
+                    } else {
+                        ConnEnd::Done
+                    };
+                }
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // ORDERING: shutdown flag only; see Server::stop.
+                    if shutdown.load(Ordering::Relaxed) {
+                        return ConnEnd::Done;
+                    }
+                }
+                Err(_) => return ConnEnd::Done,
+            },
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Malformed-frame robustness: every way a peer can break the protocol —
+//! truncated frames, oversized length prefixes, bad opcodes, value lengths
+//! past `MAX_VALUE_LEN`, declared op counts past `MAX_WIRE_OPS`, trailing
+//! bytes — must surface as a typed `WireError`, never a panic, and never a
+//! partially-applied batch.
+//!
+//! The same corpus runs twice: against the **pure decoder** (frame
+//! assembly plus `decode_request`, no sockets) and against a **live
+//! loopback server**, where each case must tear its connection down
+//! without a response while the server keeps serving well-formed
+//! connections and counts one wire error per offender.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use harness::loadgen::WireConn;
+use spectm::variants::ValShort;
+use spectm::Stm;
+use spectm_ds::ApiMode;
+use spectm_kv::wire::{
+    decode_request, decode_response, encode_request, read_frame, FrameError, FrameReader,
+    WireError, MAX_FRAME_LEN, MAX_WIRE_OPS,
+};
+use spectm_kv::{BatchOp, BatchRequest, BatchResponse, ShardedKv, MAX_VALUE_LEN};
+use spectm_serve::Server;
+
+/// The key the leaking-put corpus cases write; the live test asserts it
+/// never reaches the store.
+const LEAK_KEY: u64 = 0xDEAD_0001;
+
+/// One complete, valid frame to derive corruptions from.
+fn good_frame() -> Vec<u8> {
+    let mut frame = Vec::new();
+    encode_request(
+        &[
+            BatchOp::Get(1),
+            BatchOp::put(2, b"a payload longer than the inline buffer"),
+            BatchOp::Del(3),
+        ],
+        &mut frame,
+    )
+    .unwrap();
+    frame
+}
+
+/// The corpus: named byte streams, each of which must produce a
+/// `WireError` (after however many well-formed frames precede the flaw).
+fn corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let good = good_frame();
+    let mut cases: Vec<(&'static str, Vec<u8>)> = Vec::new();
+
+    // Truncations at every kind of boundary: inside the prefix, at the
+    // body start, inside an op header, one byte short of complete.
+    for (name, keep) in [
+        ("truncated-inside-prefix", 2),
+        ("truncated-at-body-start", 4),
+        ("truncated-inside-ops", 4 + 4 + 5),
+        ("truncated-one-byte-short", good.len() - 1),
+    ] {
+        cases.push((name, good[..keep].to_vec()));
+    }
+
+    // A length prefix beyond the largest legal frame.
+    cases.push((
+        "oversized-length-prefix",
+        ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec(),
+    ));
+
+    // An unknown opcode — after a put the server must NOT apply.
+    {
+        let mut body = 2u32.to_le_bytes().to_vec();
+        body.push(1); // OP_PUT
+        body.extend_from_slice(&LEAK_KEY.to_le_bytes());
+        body.extend_from_slice(&4u32.to_le_bytes());
+        body.extend_from_slice(b"leak");
+        body.push(9); // no such opcode
+        body.extend_from_slice(&7u64.to_le_bytes());
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        cases.push(("bad-opcode-after-put", frame));
+    }
+
+    // A value length past MAX_VALUE_LEN (the frame itself stays small:
+    // the decoder must reject the declared length, not wait for bytes).
+    {
+        let mut body = 1u32.to_le_bytes().to_vec();
+        body.push(1); // OP_PUT
+        body.extend_from_slice(&LEAK_KEY.to_le_bytes());
+        body.extend_from_slice(&((MAX_VALUE_LEN + 1) as u32).to_le_bytes());
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        cases.push(("value-length-past-cap", frame));
+    }
+
+    // More ops declared than MAX_WIRE_OPS allows.
+    {
+        let body = ((MAX_WIRE_OPS + 1) as u32).to_le_bytes().to_vec();
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        cases.push(("too-many-ops", frame));
+    }
+
+    // A well-formed body with bytes after the last declared op.
+    {
+        let mut frame = good.clone();
+        frame.push(0xFF);
+        let body_len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&body_len.to_le_bytes());
+        cases.push(("trailing-bytes", frame));
+    }
+
+    // A valid frame followed by garbage: the flaw surfaces only after one
+    // good frame was served.
+    {
+        let mut frame = good.clone();
+        frame.extend_from_slice(&((MAX_FRAME_LEN + 1) as u32).to_le_bytes());
+        cases.push(("good-frame-then-oversized-prefix", frame));
+    }
+
+    cases
+}
+
+/// Runs one corpus stream through the pure decode path: reassemble frames
+/// (one-byte reads, so split-across-read partial frames are the norm) and
+/// decode each body.  Returns the error the stream must produce.
+fn pure_decode(stream: &[u8]) -> Result<(), WireError> {
+    // Dribble the bytes in to exercise reassembly, like the live socket.
+    struct OneByte<'a>(&'a [u8]);
+    impl Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = 1.min(self.0.len()).min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+    let mut reader = FrameReader::new();
+    let mut source = OneByte(stream);
+    let mut req = BatchRequest::new();
+    loop {
+        match read_frame(&mut reader, &mut source) {
+            Ok(None) => return Ok(()),
+            Ok(Some((start, end))) => {
+                let body: Vec<u8> = reader.buffered()[start..end].to_vec();
+                decode_request(&body, &mut req)?;
+            }
+            Err(FrameError::Wire(e)) => return Err(e),
+            Err(FrameError::Io(e)) => panic!("in-memory stream cannot fail: {e}"),
+        }
+    }
+}
+
+#[test]
+fn corpus_fails_the_pure_decoder_with_typed_errors() {
+    for (name, stream) in corpus() {
+        let err = pure_decode(&stream).expect_err(name);
+        match name {
+            "truncated-inside-prefix"
+            | "truncated-at-body-start"
+            | "truncated-inside-ops"
+            | "truncated-one-byte-short" => assert_eq!(err, WireError::Truncated, "{name}"),
+            "oversized-length-prefix" | "good-frame-then-oversized-prefix" => assert!(
+                matches!(err, WireError::FrameTooLarge { .. }),
+                "{name}: {err:?}"
+            ),
+            "bad-opcode-after-put" => {
+                assert_eq!(err, WireError::BadOpcode { opcode: 9 }, "{name}")
+            }
+            "value-length-past-cap" => assert!(
+                matches!(err, WireError::ValueTooLarge { .. }),
+                "{name}: {err:?}"
+            ),
+            "too-many-ops" => assert!(
+                matches!(err, WireError::TooManyOps { .. }),
+                "{name}: {err:?}"
+            ),
+            "trailing-bytes" => assert!(
+                matches!(err, WireError::TrailingBytes { .. }),
+                "{name}: {err:?}"
+            ),
+            other => panic!("corpus case {other} has no expectation"),
+        }
+    }
+}
+
+/// The response decoder has one flaw of its own: an unknown result tag.
+#[test]
+fn bad_result_tags_fail_response_decoding() {
+    let mut body = 1u32.to_le_bytes().to_vec();
+    body.push(7); // neither absent (0) nor present (1)
+    let mut out = BatchResponse::new();
+    assert_eq!(
+        decode_response(&body, &mut out),
+        Err(WireError::BadResultTag { tag: 7 })
+    );
+}
+
+/// Sends raw bytes to a live server and expects the connection to be torn
+/// down (EOF on read) without a response frame beyond `expect_frames`
+/// well-formed ones.
+fn send_expect_teardown(addr: std::net::SocketAddr, stream_bytes: &[u8], expect_frames: usize) {
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    sock.set_nodelay(true).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    sock.write_all(stream_bytes).expect("send corpus bytes");
+    // Close the write half so truncation cases read as EOF mid-frame on
+    // the server instead of a stalled stream.
+    sock.shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    // Read whatever the server sends back until it closes: exactly the
+    // responses to the well-formed prefix of the stream, then EOF.
+    let mut reader = FrameReader::new();
+    let mut frames = 0usize;
+    loop {
+        match read_frame(&mut reader, &mut sock) {
+            Ok(Some(_)) => frames += 1,
+            Ok(None) => break, // server closed at a frame boundary
+            Err(e) => panic!("server answered garbage: {e}"),
+        }
+    }
+    assert_eq!(frames, expect_frames, "responses before teardown");
+}
+
+/// Closes the write half mid-frame: the server sees EOF inside a frame and
+/// must count it as a wire error, not hang or panic.
+#[test]
+fn live_server_survives_the_whole_corpus_without_leaking_a_batch() {
+    let stm = ValShort::new();
+    let store = Arc::new(ShardedKv::new(&stm, 4, 128, ApiMode::Short));
+    let server = Server::start(store, "127.0.0.1:0", 2).expect("start server");
+    let addr = server.local_addr();
+
+    let cases = corpus();
+    let mut expected_errors = 0u64;
+    for (name, stream) in &cases {
+        let expect_frames = usize::from(*name == "good-frame-then-oversized-prefix");
+        send_expect_teardown(addr, stream, expect_frames);
+        expected_errors += 1;
+
+        // After every offender the server still serves a fresh,
+        // well-formed connection.
+        let mut conn = WireConn::connect(addr).expect("reconnect after corpus case");
+        let results = conn
+            .execute(&[BatchOp::put(10, b"alive"), BatchOp::Get(10)])
+            .unwrap_or_else(|e| panic!("server dead after {name}: {e}"));
+        assert_eq!(results[1].as_deref(), Some(&b"alive"[..]), "after {name}");
+    }
+
+    // Split-across-read partial frames are NOT malformed: a frame sent in
+    // two halves with a pause longer than the server's read timeout must
+    // still be answered.
+    {
+        let frame = good_frame();
+        let mut sock = TcpStream::connect(addr).expect("connect");
+        sock.set_nodelay(true).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let (a, b) = frame.split_at(7);
+        sock.write_all(a).unwrap();
+        std::thread::sleep(Duration::from_millis(120)); // > READ_TIMEOUT
+        sock.write_all(b).unwrap();
+        let mut reader = FrameReader::new();
+        let got = read_frame(&mut reader, &mut sock).expect("split frame answered");
+        assert!(got.is_some(), "split frame must produce a response");
+    }
+
+    // A clean shutdown of the write half mid-frame is a truncation.
+    {
+        let frame = good_frame();
+        let mut sock = TcpStream::connect(addr).expect("connect");
+        sock.write_all(&frame[..frame.len() - 3]).unwrap();
+        sock.shutdown(std::net::Shutdown::Write).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(
+            sock.read(&mut buf).unwrap(),
+            0,
+            "no response to a truncated frame"
+        );
+        expected_errors += 1;
+    }
+
+    // The put in `bad-opcode-after-put` (and the capped-value put) must
+    // never have reached the store: its frame failed validation whole.
+    let mut conn = WireConn::connect(addr).expect("final connection");
+    let results = conn.execute(&[BatchOp::Get(LEAK_KEY)]).expect("final get");
+    assert_eq!(results[0], None, "a rejected frame leaked a partial batch");
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.wire_errors, expected_errors,
+        "each offender counted exactly once"
+    );
+    assert!(stats.batches > 0, "the good connections were served");
+}
