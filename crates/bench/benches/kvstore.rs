@@ -194,6 +194,70 @@ fn batch_sizes(c: &mut Criterion) {
     }
 }
 
+/// The coalescing panel: F frames of 16 gets each, executed either as F
+/// separate `execute_batch_into` dispatches — one epoch entry and one
+/// grouping pass per frame, what a per-connection server pays — or as one
+/// `MultiBatch` dispatch covering all F frames, what the multiplexing
+/// server's sweep pays.  Both series run the identical pre-drawn key
+/// stream and report ops/s via `Throughput::Elements`, so the gap *is* the
+/// amortized per-frame fixed cost (EXPERIMENTS.md § "The connection
+/// sweep").
+fn coalesced_dispatch(c: &mut Criterion) {
+    use spectm::variants::ValShort;
+    use spectm::Stm;
+    use spectm_ds::ApiMode;
+    use spectm_kv::{BatchRequest, BatchResponse, MultiBatch, ShardedKv};
+
+    const OPS_PER_FRAME: usize = 16;
+    let stm = ValShort::new();
+    let store = ShardedKv::new(&stm, SHARDS, CAPACITY_PER_SHARD, ApiMode::Short);
+    let mut thread = store.register();
+    for key in 0..NUM_KEYS {
+        store.put(key, &key.to_le_bytes(), &mut thread).unwrap();
+    }
+    let mut rng = Xorshift::new(0xC0DE_5EED);
+    for frames in [4usize, 16] {
+        let name = format!("kv_coalesce_{frames}x{OPS_PER_FRAME}_get_uniform");
+        let mut group = c.benchmark_group(&name);
+        configure(&mut group);
+        group.throughput(Throughput::Elements((frames * OPS_PER_FRAME) as u64));
+        let keys: Vec<Vec<u64>> = (0..frames)
+            .map(|_| (0..OPS_PER_FRAME).map(|_| rng.next() % NUM_KEYS).collect())
+            .collect();
+        let mut reqs: Vec<BatchRequest> = keys
+            .iter()
+            .map(|frame| {
+                let mut req = BatchRequest::new();
+                for &key in frame {
+                    req.get(key);
+                }
+                req
+            })
+            .collect();
+        let mut resp = BatchResponse::new();
+        group.bench_function("separate_dispatches", |b| {
+            b.iter(|| {
+                for req in &mut reqs {
+                    store
+                        .execute_batch_into(req, &mut resp, &mut thread)
+                        .unwrap();
+                }
+            })
+        });
+        let mut multi = MultiBatch::new();
+        for (source, frame) in keys.iter().enumerate() {
+            for &key in frame {
+                multi.request_mut().get(key);
+            }
+            multi.commit_frame(source);
+        }
+        group.bench_function("one_multibatch", |b| {
+            b.iter(|| store.execute_multi(&mut multi, &mut thread).unwrap())
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     kvstore,
     read_heavy,
@@ -202,6 +266,7 @@ criterion_group!(
     scan_heavy,
     value_sizes,
     load_factors,
-    batch_sizes
+    batch_sizes,
+    coalesced_dispatch
 );
 criterion_main!(kvstore);

@@ -27,7 +27,15 @@ Options:
   --workload a,b,c    YCSB mixes to sweep: a=update-heavy, b=read-heavy,
                       c=read-only (batchable point mixes only; default a,b,c)
   --mode closed,open  loop disciplines to sweep (default both)
-  --connections N     client connections, one thread each (default 4)
+  --connections N     client connections, dealt round-robin across the
+                      client threads (default 4)
+  --threads N         client threads driving those connections (default:
+                      min(connections, available cores); capped at
+                      --connections)
+  --sweep-connections A,B,C
+                      sweep connection counts instead of a single
+                      --connections value: one TSV row per (mix, mode,
+                      connection count) — the scaling-curve one-liner
   --duration-ms N     measured duration per run (default 500)
   --batch N           operations per request frame (default 16, max 128)
   --rate N            open-loop batches/sec per connection (default 2000)
@@ -69,6 +77,8 @@ fn main() {
     let mut mixes = vec![KvMix::UpdateHeavy, KvMix::ReadHeavy, KvMix::ReadOnly];
     let mut modes: Vec<&'static str> = vec!["closed", "open"];
     let mut connections = 4usize;
+    let mut threads: Option<usize> = None;
+    let mut sweep_connections: Option<Vec<usize>> = None;
     let mut duration_ms = 500u64;
     let mut batch = 16usize;
     let mut rate = 2_000u64;
@@ -119,6 +129,21 @@ fn main() {
                 modes = parsed;
             }
             "--connections" => connections = parse(&arg, args.next()),
+            "--threads" => threads = Some(parse(&arg, args.next())),
+            "--sweep-connections" => {
+                let raw: String = parse(&arg, args.next());
+                let parsed: Vec<usize> = raw
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .filter(|&n| n > 0)
+                    .collect();
+                if parsed.is_empty() || parsed.len() != raw.split(',').count() {
+                    die(&format!(
+                        "`--sweep-connections {raw}` must be a comma list of positive counts"
+                    ));
+                }
+                sweep_connections = Some(parsed);
+            }
             "--duration-ms" => duration_ms = parse(&arg, args.next()),
             "--batch" => batch = parse(&arg, args.next()),
             "--rate" => rate = parse(&arg, args.next()),
@@ -156,9 +181,18 @@ fn main() {
     if connections == 0 {
         die("--connections must be at least 1");
     }
+    if threads == Some(0) {
+        die("--threads must be at least 1");
+    }
     if rate == 0 {
         die("--rate must be at least 1");
     }
+    // One row per (mix, mode, connection count); a plain run is a
+    // single-point sweep.
+    let conn_points = sweep_connections.unwrap_or_else(|| vec![connections]);
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
 
     let mut control = match WireConn::connect(addr.as_str()) {
         Ok(conn) => conn,
@@ -181,47 +215,56 @@ fn main() {
     }
 
     println!(
-        "mix\tmode\tconnections\tbatch\tbatches\tops\tops_per_sec\tp50_us\tp99_us\tp999_us\tmax_us"
+        "mix\tmode\tconnections\tthreads\tbatch\tbatches\tops\tops_per_sec\t\
+         p50_us\tp99_us\tp999_us\tmax_us"
     );
     for &mix in &mixes {
         for &mode_name in &modes {
-            let mode = match mode_name {
-                "closed" => LoadMode::Closed,
-                _ => LoadMode::Open {
-                    interval: Duration::from_nanos(1_000_000_000 / rate),
-                },
-            };
-            let cfg = LoadgenConfig {
-                connections,
-                duration: Duration::from_millis(duration_ms),
-                mode,
-                workload: KvWorkloadConfig {
-                    mix,
-                    ..base.clone()
-                },
-            };
-            let result = match run_loadgen(addr.as_str(), &cfg) {
-                Ok(result) => result,
-                Err(e) => {
-                    eprintln!("kv-loadgen: {mix:?}/{mode_name} run failed: {e}");
-                    std::process::exit(1);
-                }
-            };
-            let us = |ns: u64| ns as f64 / 1_000.0;
-            println!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{:.0}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
-                mix.ycsb_letter(),
-                mode_label(mode),
-                connections,
-                batch,
-                result.batches,
-                result.ops,
-                result.ops_per_sec(),
-                us(result.hist.percentile(50.0)),
-                us(result.hist.percentile(99.0)),
-                us(result.hist.percentile(99.9)),
-                us(result.hist.max_ns()),
-            );
+            for &conns in &conn_points {
+                let mode = match mode_name {
+                    "closed" => LoadMode::Closed,
+                    _ => LoadMode::Open {
+                        interval: Duration::from_nanos(1_000_000_000 / rate),
+                    },
+                };
+                let run_threads = threads.unwrap_or(default_threads).min(conns);
+                let cfg = LoadgenConfig {
+                    connections: conns,
+                    threads: run_threads,
+                    duration: Duration::from_millis(duration_ms),
+                    mode,
+                    workload: KvWorkloadConfig {
+                        mix,
+                        ..base.clone()
+                    },
+                };
+                let result = match run_loadgen(addr.as_str(), &cfg) {
+                    Ok(result) => result,
+                    Err(e) => {
+                        eprintln!(
+                            "kv-loadgen: {mix:?}/{mode_name} run at {conns} connections \
+                             failed: {e}"
+                        );
+                        std::process::exit(1);
+                    }
+                };
+                let us = |ns: u64| ns as f64 / 1_000.0;
+                println!(
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.0}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+                    mix.ycsb_letter(),
+                    mode_label(mode),
+                    conns,
+                    run_threads,
+                    batch,
+                    result.batches,
+                    result.ops,
+                    result.ops_per_sec(),
+                    us(result.hist.percentile(50.0)),
+                    us(result.hist.percentile(99.0)),
+                    us(result.hist.percentile(99.9)),
+                    us(result.hist.max_ns()),
+                );
+            }
         }
     }
 

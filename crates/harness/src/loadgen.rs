@@ -9,15 +9,23 @@
 //! run measures the same workload as an in-process `kv` run, plus the
 //! wire.
 //!
-//! Each connection is one client thread running one of two disciplines
+//! Connections are decoupled from client threads (the multiplexing server
+//! serves many connections per worker, so the interesting operating points
+//! have far more connections than a client machine has cores): each thread
+//! drives several [`WireConn`]s round-robin under one of two disciplines
 //! (see [`crate::measure`]):
 //!
-//! * **closed loop** ([`LoadMode::Closed`]) — the next batch is issued
-//!   the moment the previous response arrives; latency is response time
-//!   under maximal client pressure, with the coordinated-omission caveat;
+//! * **closed loop** ([`LoadMode::Closed`]) — each connection's next batch
+//!   is issued the moment its previous response arrives; a thread
+//!   scatter/gathers across its connections (send on every connection,
+//!   then collect every response), so all its connections stay in flight
+//!   concurrently; latency is response time under maximal client pressure,
+//!   with the coordinated-omission caveat;
 //! * **open loop** ([`LoadMode::Open`]) — batches are issued on a fixed
-//!   schedule and each sample is measured from its *scheduled* time, so
-//!   server stalls are charged to every batch that was due during them.
+//!   per-connection schedule (the thread's rotation runs at `connections ×`
+//!   the per-connection rate) and each sample is measured from its
+//!   *scheduled* time, so server stalls are charged to every batch that
+//!   was due during them.
 //!
 //! Per-connection histograms merge losslessly into one
 //! [`LatencyHistogram`] for the run's p50/p99/p999.  The `kv-loadgen`
@@ -32,7 +40,7 @@ use spectm_kv::{BatchOp, BatchResponse};
 
 use crate::intset::Xorshift;
 use crate::kv::{fill_payload, payload_is_valid, KvWorkloadConfig, ValueLenSampler, WorkerState};
-use crate::measure::{drive_closed_loop, drive_open_loop, LatencyHistogram};
+use crate::measure::{drive_open_loop, LatencyHistogram};
 
 /// Everything that can end a load-generation run early.
 #[derive(Debug)]
@@ -123,14 +131,28 @@ impl WireConn {
     /// Sends `ops` as one request frame and blocks for the response;
     /// returns the results in request order.
     pub fn execute(&mut self, ops: &[BatchOp]) -> Result<&BatchResponse, ClientError> {
+        self.send(ops)?;
+        self.recv(ops.len())
+    }
+
+    /// Sends `ops` as one request frame **without waiting** for the
+    /// response — the scatter half of a pipelined client; pair each call
+    /// with a [`WireConn::recv`] (responses arrive in request order).
+    pub fn send(&mut self, ops: &[BatchOp]) -> Result<(), ClientError> {
         wire::encode_request(ops, &mut self.out)?;
         self.stream.write_all(&self.out)?;
+        Ok(())
+    }
+
+    /// Blocks for the next response frame, checking it carries `expected`
+    /// results — the gather half of a pipelined client.
+    pub fn recv(&mut self, expected: usize) -> Result<&BatchResponse, ClientError> {
         match wire::read_frame(&mut self.reader, &mut self.stream)? {
             Some((start, end)) => {
                 wire::decode_response(&self.reader.buffered()[start..end], &mut self.resp)?;
-                if self.resp.len() != ops.len() {
+                if self.resp.len() != expected {
                     return Err(ClientError::ResultCount {
-                        sent: ops.len(),
+                        sent: expected,
                         got: self.resp.len(),
                     });
                 }
@@ -138,6 +160,13 @@ impl WireConn {
             }
             None => Err(ClientError::ServerClosed),
         }
+    }
+
+    /// Applies (or clears) a read timeout on the underlying socket, so a
+    /// test can bound how long a [`WireConn::recv`] may wait.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
     }
 }
 
@@ -220,8 +249,12 @@ pub enum LoadMode {
 
 /// Parameters of one load-generation run.
 pub struct LoadgenConfig {
-    /// Concurrent connections, one client thread each.
+    /// Concurrent connections, dealt round-robin across the client
+    /// threads.
     pub connections: usize,
+    /// Client threads driving those connections (`0` means one thread per
+    /// connection; more threads than connections is clamped down).
+    pub threads: usize,
     /// The measured duration (open-loop backlogs drain past it).
     pub duration: Duration,
     /// The discipline.
@@ -255,10 +288,129 @@ impl LoadgenResult {
     }
 }
 
-/// Runs one load-generation pass against `addr`: `connections` client
-/// threads, each with its own [`WireConn`], seeded [`WorkerState`] stream
-/// and latency histogram, merged on completion.  The key space must
-/// already be [`preload`]ed when the workload verifies.
+/// One of a client thread's connections: its socket plus its own seeded
+/// operation stream, so a connection's workload is a deterministic
+/// function of its **global connection index** — independent of how
+/// connections are dealt across threads.
+struct ClientConn {
+    conn: WireConn,
+    state: WorkerState,
+}
+
+/// The canonical per-connection seed (connection `cid` of a run issues
+/// the same operation stream whether it is one thread's only connection
+/// or one of thirty-two).
+fn conn_seed(cid: usize) -> u64 {
+    0xC0FF_EE00_0000_0000 ^ (cid as u64 + 1).wrapping_mul(0x9E37_79B9)
+}
+
+/// Runs one client thread over its share of the run's connections
+/// (`tid`, `tid + threads`, `tid + 2·threads`, … — a strided deal), per
+/// the configured discipline, returning its histogram and batch count.
+fn run_client_thread(
+    addr: std::net::SocketAddr,
+    cfg: &LoadgenConfig,
+    tid: usize,
+    threads: usize,
+    batch: usize,
+) -> Result<(LatencyHistogram, u64), ClientError> {
+    let mut clients = (tid..cfg.connections.max(1))
+        .step_by(threads)
+        .map(|cid| {
+            Ok(ClientConn {
+                conn: WireConn::connect(addr)?,
+                state: WorkerState::new(&cfg.workload, conn_seed(cid)),
+            })
+        })
+        .collect::<Result<Vec<ClientConn>, ClientError>>()?;
+    let mut hist = LatencyHistogram::new();
+    let verify = cfg.workload.verify;
+    let t0 = Instant::now();
+    match cfg.mode {
+        // Pipelined closed loop: scatter one batch onto every connection,
+        // then gather every response, so all of this thread's connections
+        // are in flight at once — the whole point of measuring connection
+        // counts beyond the client's core count.  Latency is per
+        // connection, send to response.
+        LoadMode::Closed => {
+            let mut batches = 0u64;
+            let mut sent_at = vec![Duration::ZERO; clients.len()];
+            loop {
+                for (i, client) in clients.iter_mut().enumerate() {
+                    client.state.build_batch(batch);
+                    sent_at[i] = t0.elapsed();
+                    client.conn.send(client.state.batch_ops())?;
+                }
+                let mut now = Duration::ZERO;
+                for (i, client) in clients.iter_mut().enumerate() {
+                    let results = client.conn.recv(client.state.batch_ops().len())?;
+                    if verify {
+                        verify_results(client.state.batch_ops(), results)?;
+                    }
+                    now = t0.elapsed();
+                    hist.record(now.saturating_sub(sent_at[i]));
+                    batches += 1;
+                }
+                if now >= cfg.duration {
+                    return Ok((hist, batches));
+                }
+            }
+        }
+        // Open loop: one shared schedule rotating round-robin across this
+        // thread's connections, `connections ×` the per-connection rate, so
+        // every connection still sees its own `interval`.  Failures latch:
+        // the schedule finishes as no-ops so coordinated-omission
+        // accounting stays honest, then the error surfaces.
+        LoadMode::Open { interval } => {
+            let clock = move || t0.elapsed();
+            let mut failed: Option<ClientError> = None;
+            let mut next = 0usize;
+            let rotated = interval / clients.len().max(1) as u32;
+            let mut op = || {
+                if failed.is_some() {
+                    return; // latch: finish the schedule as no-ops
+                }
+                let rotation = clients.len().max(1);
+                let client = &mut clients[next];
+                next = (next + 1) % rotation;
+                client.state.build_batch(batch);
+                match client.conn.execute(client.state.batch_ops()) {
+                    Ok(results) => {
+                        if verify {
+                            if let Err(e) = verify_results(client.state.batch_ops(), results) {
+                                failed = Some(e);
+                            }
+                        }
+                    }
+                    Err(e) => failed = Some(e),
+                }
+            };
+            let batches = drive_open_loop(
+                &clock,
+                &|target: Duration| {
+                    let now = clock();
+                    if target > now {
+                        std::thread::sleep(target - now);
+                    }
+                },
+                cfg.duration,
+                rotated,
+                &mut op,
+                &mut hist,
+            );
+            match failed {
+                Some(e) => Err(e),
+                None => Ok((hist, batches)),
+            }
+        }
+    }
+}
+
+/// Runs one load-generation pass against `addr`: `threads` client threads
+/// drive `connections` [`WireConn`]s round-robin, each connection with its
+/// own seeded [`WorkerState`] stream; per-thread latency histograms merge
+/// on completion.  The key space must already be [`preload`]ed when the
+/// workload verifies.
 pub fn run_loadgen(
     addr: impl ToSocketAddrs,
     cfg: &LoadgenConfig,
@@ -268,73 +420,29 @@ pub fn run_loadgen(
         .next()
         .ok_or(ClientError::ServerClosed)?;
     let batch = cfg.workload.batch.max(1);
+    let connections = cfg.connections.max(1);
+    let threads = if cfg.threads == 0 {
+        connections
+    } else {
+        cfg.threads.min(connections)
+    };
     let started = Instant::now();
-    let per_conn: Vec<Result<(LatencyHistogram, u64), ClientError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.connections.max(1))
-            .map(|tid| {
-                scope.spawn(move || {
-                    let mut conn = WireConn::connect(addr)?;
-                    let mut state = WorkerState::new(
-                        &cfg.workload,
-                        0xC0FF_EE00_0000_0000 ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9),
-                    );
-                    let mut hist = LatencyHistogram::new();
-                    let verify = cfg.workload.verify;
-                    let mut failed: Option<ClientError> = None;
-                    let mut op = || {
-                        if failed.is_some() {
-                            return; // latch: finish the schedule as no-ops
-                        }
-                        state.build_batch(batch);
-                        match conn.execute(state.batch_ops()) {
-                            Ok(results) => {
-                                if verify {
-                                    if let Err(e) = verify_results(state.batch_ops(), results) {
-                                        failed = Some(e);
-                                    }
-                                }
-                            }
-                            Err(e) => failed = Some(e),
-                        }
-                    };
-                    let t0 = Instant::now();
-                    let clock = move || t0.elapsed();
-                    let batches = match cfg.mode {
-                        LoadMode::Closed => {
-                            drive_closed_loop(&clock, cfg.duration, &mut op, &mut hist)
-                        }
-                        LoadMode::Open { interval } => drive_open_loop(
-                            &clock,
-                            &|target: Duration| {
-                                let now = clock();
-                                if target > now {
-                                    std::thread::sleep(target - now);
-                                }
-                            },
-                            cfg.duration,
-                            interval,
-                            &mut op,
-                            &mut hist,
-                        ),
-                    };
-                    match failed {
-                        Some(e) => Err(e),
-                        None => Ok((hist, batches)),
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loadgen connection thread panicked"))
-            .collect()
-    });
+    let per_thread: Vec<Result<(LatencyHistogram, u64), ClientError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| scope.spawn(move || run_client_thread(addr, cfg, tid, threads, batch)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen client thread panicked"))
+                .collect()
+        });
     let mut hist = LatencyHistogram::new();
     let mut batches = 0u64;
-    for outcome in per_conn {
-        let (conn_hist, conn_batches) = outcome?;
-        hist.merge(&conn_hist);
-        batches += conn_batches;
+    for outcome in per_thread {
+        let (thread_hist, thread_batches) = outcome?;
+        hist.merge(&thread_hist);
+        batches += thread_batches;
     }
     Ok(LoadgenResult {
         batches,

@@ -195,6 +195,158 @@ impl FromIterator<BatchOp> for BatchRequest {
 /// delete.  A plain vector, reused across batches by clearing.
 pub type BatchResponse = Vec<Option<Value>>;
 
+/// A coalesced multi-source batch: operations gathered from **several
+/// independent request streams** — in practice the ready frames of many
+/// client connections in one server sweep — executed as *one* shard-grouped
+/// dispatch under a single epoch entry, with results scattered back per
+/// source frame in request order.
+///
+/// This is the cross-connection generalization of [`BatchRequest`]: where a
+/// per-connection server pays one epoch entry and one grouping pass per
+/// frame, a multiplexing server appends every decodable frame into one
+/// `MultiBatch` ([`wire::decode_request_append`](crate::wire::decode_request_append)
+/// straight into [`MultiBatch::request_mut`], then [`MultiBatch::commit_frame`])
+/// and dispatches once.
+///
+/// # Semantics: coalescing is performance-transparent
+///
+/// Each source frame keeps exactly the batch contract of the
+/// [module docs](crate::batch), judged over *its own* operations:
+///
+/// * **Per-frame request-order results.**  A frame's result slice (from
+///   [`MultiBatch::frames`]) has `slice[i]` answering the frame's `ops[i]`.
+/// * **Per-source program order.**  Frames are appended in the order their
+///   source produced them and each frame's operations keep their request
+///   order, so all of one source's operations on one key execute in that
+///   source's order (same-key operations land in one shard group, which
+///   preserves combined append order — a refinement of per-source order).
+/// * **Cross-source interleaving is some serialization.**  Operations from
+///   different sources in one dispatch serialize in append order on shared
+///   keys.  Concurrent connections never had an ordering contract between
+///   them, so any serialization is indistinguishable from frames having
+///   arrived in that order — which is why coalescing is transparent.
+/// * **Atomicity can only grow.**  The per-shard read/write-mixing fallback
+///   (see [module docs](crate::batch)) now considers the *combined* group,
+///   so a frame may execute under a wider transaction than it would alone.
+///   Observers can only see *more* atomicity, never less.
+///
+/// # Examples
+///
+/// ```
+/// use spectm::{Stm, variants::ValShort};
+/// use spectm_ds::ApiMode;
+/// use spectm_kv::{MultiBatch, ShardedKv, Value};
+///
+/// let stm = ValShort::new();
+/// let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
+/// let mut thread = store.register();
+/// let mut multi = MultiBatch::new();
+/// // Two sources' frames, coalesced into one dispatch.
+/// multi.request_mut().put(1, b"one").get(1);
+/// multi.commit_frame(0);
+/// multi.request_mut().get(1).put(2, b"two");
+/// multi.commit_frame(1);
+/// store.execute_multi(&mut multi, &mut thread).unwrap();
+/// let frames: Vec<_> = multi.frames().collect();
+/// assert_eq!(frames[0].0, 0);
+/// assert_eq!(frames[0].1, &[None, Some(Value::new(b"one"))]);
+/// assert_eq!(frames[1].0, 1);
+/// assert_eq!(frames[1].1, &[Some(Value::new(b"one")), None]);
+/// multi.clear(); // reuse every buffer for the next sweep
+/// ```
+#[derive(Default)]
+pub struct MultiBatch {
+    /// The combined operation list plus grouping scratch, appended to
+    /// frame by frame.
+    req: BatchRequest,
+    /// `(source, op_count)` per committed frame, in append order.
+    frames: Vec<(usize, usize)>,
+    /// Operations covered by committed frames; anything beyond this in
+    /// `req` is a partially appended frame awaiting commit or rollback.
+    committed: usize,
+    /// One result per committed operation, filled by
+    /// [`ShardedKv::execute_multi`].
+    results: BatchResponse,
+}
+
+impl MultiBatch {
+    /// Creates an empty coalescer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every frame and result, keeping all buffers for reuse — a
+    /// steady-state sweep loop allocates nothing.
+    pub fn clear(&mut self) {
+        self.req.clear();
+        self.frames.clear();
+        self.committed = 0;
+        self.results.clear();
+    }
+
+    /// Whether no frame has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Committed frames so far.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Operations across all committed frames.
+    pub fn op_count(&self) -> usize {
+        self.committed
+    }
+
+    /// The request under construction: append one frame's operations here
+    /// (builder methods or
+    /// [`wire::decode_request_append`](crate::wire::decode_request_append)),
+    /// then call [`MultiBatch::commit_frame`] — or
+    /// [`MultiBatch::rollback_frame`] if decoding failed partway.
+    pub fn request_mut(&mut self) -> &mut BatchRequest {
+        &mut self.req
+    }
+
+    /// Seals the operations appended since the last commit as one frame
+    /// belonging to `source` (a caller-chosen id — e.g. the connection's
+    /// slot — handed back by [`MultiBatch::frames`]).  Zero-operation
+    /// frames are legal and produce an empty result slice.
+    pub fn commit_frame(&mut self, source: usize) {
+        let len = self.req.len() - self.committed;
+        self.frames.push((source, len));
+        self.committed = self.req.len();
+    }
+
+    /// Discards any operations appended since the last commit — the
+    /// rollback half of the
+    /// [`wire::decode_request_append`](crate::wire::decode_request_append)
+    /// contract, so nothing from a malformed frame can execute.
+    pub fn rollback_frame(&mut self) {
+        self.req.ops.truncate(self.committed);
+    }
+
+    /// The committed frames' sources, in append order (usable before
+    /// execution — unlike [`MultiBatch::frames`], which slices results).
+    pub fn sources(&self) -> impl Iterator<Item = usize> + '_ {
+        self.frames.iter().map(|&(source, _)| source)
+    }
+
+    /// Scatters the results of an executed dispatch back per frame: yields
+    /// `(source, results)` in append order, each slice in its frame's
+    /// request order.  Call only after a successful
+    /// [`ShardedKv::execute_multi`].
+    pub fn frames(&self) -> impl Iterator<Item = (usize, &[Option<Value>])> + '_ {
+        debug_assert_eq!(self.results.len(), self.committed, "execute first");
+        let mut start = 0usize;
+        self.frames.iter().map(move |&(source, len)| {
+            let slice = &self.results[start..start + len];
+            start += len;
+            (source, slice)
+        })
+    }
+}
+
 /// How many operations ahead the pipelined dispatch loop prefetches home
 /// buckets.  The probe of operation *i* overlaps the memory latency of
 /// operation *i + PREFETCH_AHEAD*'s home bucket — and because a bucket is
@@ -307,6 +459,25 @@ impl<S: Stm + Clone> ShardedKv<S> {
     ) -> Result<(), KvError> {
         let BatchRequest { ops, order, bounds } = req;
         self.execute_grouped(ops, order, bounds, out, thread)
+    }
+
+    /// Executes every committed frame of a [`MultiBatch`] as **one**
+    /// shard-grouped dispatch under a single epoch entry, filling the
+    /// result buffer that [`MultiBatch::frames`] scatters back per source.
+    /// See the [`MultiBatch`] docs for why coalescing frames from
+    /// independent sources is performance-transparent.
+    ///
+    /// On error nothing executes and the results stay empty (same
+    /// all-or-nothing validation as [`ShardedKv::execute_batch_into`],
+    /// judged over the combined operation list).
+    pub fn execute_multi(
+        &self,
+        multi: &mut MultiBatch,
+        thread: &mut S::Thread,
+    ) -> Result<(), KvError> {
+        debug_assert_eq!(multi.req.len(), multi.committed, "uncommitted frame");
+        let BatchRequest { ops, order, bounds } = &mut multi.req;
+        self.execute_grouped(ops, order, bounds, &mut multi.results, thread)
     }
 
     /// The batch engine behind both entry points.
@@ -765,5 +936,128 @@ mod tests {
         assert!(!BatchOp::Get(5).is_write());
         assert!(BatchOp::put(6, b"v").is_write());
         assert!(BatchOp::Del(7).is_write());
+    }
+
+    #[test]
+    fn multi_batch_scatters_each_source_like_serial_execution() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 4, 64, ApiMode::Short);
+        let mut t = store.register();
+        let mut oracle = BTreeMap::new();
+        let mut multi = MultiBatch::new();
+        let mut state = 0xC0A1_E5CEu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Several sweeps of coalesced frames from 3 sources with disjoint
+        // key ranges: each source's scattered slice must equal a serial
+        // replay of that source's own operations (disjoint ranges make the
+        // per-source oracle exact regardless of cross-source interleaving).
+        for _ in 0..20 {
+            multi.clear();
+            let mut expect: Vec<(usize, Vec<Option<Value>>)> = Vec::new();
+            for source in 0..3usize {
+                let base = source as u64 * 100;
+                let frames = 1 + rng() % 3;
+                for _ in 0..frames {
+                    let ops: Vec<BatchOp> = (0..rng() % 6)
+                        .map(|_| {
+                            let key = base + rng() % 16;
+                            match rng() % 4 {
+                                0 => BatchOp::Get(key),
+                                1 => BatchOp::Del(key),
+                                _ => BatchOp::put(key, &vec![rng() as u8; (rng() % 30) as usize]),
+                            }
+                        })
+                        .collect();
+                    expect.push((source, results_of(&ops, &mut oracle)));
+                    for op in ops {
+                        multi.request_mut().push(op);
+                    }
+                    multi.commit_frame(source);
+                }
+            }
+            assert_eq!(multi.frame_count(), expect.len());
+            assert_eq!(
+                multi.op_count(),
+                expect.iter().map(|(_, r)| r.len()).sum::<usize>()
+            );
+            store.execute_multi(&mut multi, &mut t).unwrap();
+            let got: Vec<(usize, Vec<Option<Value>>)> = multi
+                .frames()
+                .map(|(source, results)| (source, results.to_vec()))
+                .collect();
+            assert_eq!(got, expect);
+        }
+        store.assert_index_consistent();
+    }
+
+    #[test]
+    fn multi_batch_rollback_drops_only_the_partial_frame() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
+        let mut t = store.register();
+        let mut multi = MultiBatch::new();
+        multi.request_mut().put(1, b"kept");
+        multi.commit_frame(7);
+        // A frame that fails to decode partway: its appended ops must
+        // vanish without disturbing the committed frame before it.
+        multi.request_mut().put(1, b"poison").del(1);
+        multi.rollback_frame();
+        assert_eq!(multi.frame_count(), 1);
+        assert_eq!(multi.op_count(), 1);
+        assert_eq!(multi.sources().collect::<Vec<_>>(), vec![7]);
+        store.execute_multi(&mut multi, &mut t).unwrap();
+        let frames: Vec<_> = multi.frames().collect();
+        assert_eq!(frames, vec![(7, &[None][..])]);
+        assert_eq!(store.get(1, &mut t), Some(Value::new(b"kept")));
+    }
+
+    #[test]
+    fn multi_batch_zero_op_frames_yield_empty_slices() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
+        let mut t = store.register();
+        let mut multi = MultiBatch::new();
+        assert!(multi.is_empty());
+        multi.commit_frame(0); // an empty frame is a legal (if silly) request
+        multi.request_mut().put(5, b"v").get(5);
+        multi.commit_frame(1);
+        multi.commit_frame(2);
+        assert!(!multi.is_empty());
+        store.execute_multi(&mut multi, &mut t).unwrap();
+        let frames: Vec<_> = multi.frames().collect();
+        assert_eq!(
+            frames,
+            vec![
+                (0, &[][..]),
+                (1, &[None, Some(Value::new(b"v"))][..]),
+                (2, &[][..]),
+            ]
+        );
+        // clear() resets for the next sweep without shrinking buffers.
+        multi.clear();
+        assert!(multi.is_empty());
+        assert_eq!(multi.op_count(), 0);
+    }
+
+    #[test]
+    fn multi_batch_oversized_put_rejects_the_whole_dispatch() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 2, 16, ApiMode::Short);
+        let mut t = store.register();
+        store.put(3, b"keep", &mut t).unwrap();
+        let mut multi = MultiBatch::new();
+        multi.request_mut().put(3, b"clobbered?");
+        multi.commit_frame(0);
+        multi
+            .request_mut()
+            .push(BatchOp::Put(4, Value::from(vec![0u8; MAX_VALUE_LEN + 1])));
+        multi.commit_frame(1);
+        assert!(store.execute_multi(&mut multi, &mut t).is_err());
+        assert_eq!(store.get(3, &mut t), Some(Value::new(b"keep")));
     }
 }

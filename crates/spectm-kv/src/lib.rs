@@ -112,7 +112,7 @@ pub mod store;
 pub mod value;
 pub mod wire;
 
-pub use batch::{BatchOp, BatchRequest, BatchResponse};
+pub use batch::{BatchOp, BatchRequest, BatchResponse, MultiBatch};
 pub use map::{MapStats, NodeSlot, RetiredNode, StmHashMap, BUCKET_SLOTS};
 pub use router::ShardRouter;
 pub use store::{ShardedKv, MAX_RMW_KEYS};

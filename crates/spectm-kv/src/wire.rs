@@ -159,21 +159,25 @@ impl std::error::Error for WireError {}
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn begin_frame(out: &mut Vec<u8>, count: usize) -> Result<(), WireError> {
+/// Starts a frame at the current end of `out`, returning the offset of its
+/// length prefix for [`finish_frame`].  Appending (rather than clearing)
+/// lets a multiplexing server queue several response frames into one
+/// per-connection write buffer.
+fn begin_frame(out: &mut Vec<u8>, count: usize) -> Result<usize, WireError> {
     if count > MAX_WIRE_OPS {
         return Err(WireError::TooManyOps {
             count: count as u64,
         });
     }
-    out.clear();
+    let start = out.len();
     out.extend_from_slice(&[0u8; PREFIX_LEN]); // patched by finish_frame
     out.extend_from_slice(&(count as u32).to_le_bytes());
-    Ok(())
+    Ok(start)
 }
 
-fn finish_frame(out: &mut [u8]) {
-    let body_len = (out.len() - PREFIX_LEN) as u32;
-    out[..PREFIX_LEN].copy_from_slice(&body_len.to_le_bytes());
+fn finish_frame(out: &mut [u8], start: usize) {
+    let body_len = (out.len() - start - PREFIX_LEN) as u32;
+    out[start..start + PREFIX_LEN].copy_from_slice(&body_len.to_le_bytes());
 }
 
 fn check_value_len(len: usize) -> Result<(), WireError> {
@@ -191,7 +195,8 @@ fn check_value_len(len: usize) -> Result<(), WireError> {
 /// [`MAX_WIRE_OPS`] operations or any put exceeds [`MAX_VALUE_LEN`], so an
 /// encoder can never produce a frame its own decoder rejects.
 pub fn encode_request(ops: &[BatchOp], out: &mut Vec<u8>) -> Result<(), WireError> {
-    begin_frame(out, ops.len())?;
+    out.clear();
+    let start = begin_frame(out, ops.len())?;
     for op in ops {
         match op {
             BatchOp::Get(key) => {
@@ -199,7 +204,7 @@ pub fn encode_request(ops: &[BatchOp], out: &mut Vec<u8>) -> Result<(), WireErro
                 out.extend_from_slice(&key.to_le_bytes());
             }
             BatchOp::Put(key, value) => {
-                check_value_len(value.len())?;
+                check_value_len(value.len()).inspect_err(|_| out.truncate(start))?;
                 out.push(OP_PUT);
                 out.extend_from_slice(&key.to_le_bytes());
                 out.extend_from_slice(&(value.len() as u32).to_le_bytes());
@@ -211,26 +216,38 @@ pub fn encode_request(ops: &[BatchOp], out: &mut Vec<u8>) -> Result<(), WireErro
             }
         }
     }
-    finish_frame(out);
+    finish_frame(out, start);
     Ok(())
 }
 
 /// Encodes `results` as one complete response frame (prefix + body) into
 /// `out` (cleared first), under the same caps as [`encode_request`].
 pub fn encode_response(results: &[Option<Value>], out: &mut Vec<u8>) -> Result<(), WireError> {
-    begin_frame(out, results.len())?;
+    out.clear();
+    encode_response_append(results, out)
+}
+
+/// [`encode_response`] without the clear: appends one complete response
+/// frame after whatever `out` already holds.  This is how a multiplexing
+/// server queues responses for several coalesced frames into one
+/// per-connection write buffer.  On error nothing is appended.
+pub fn encode_response_append(
+    results: &[Option<Value>],
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    let start = begin_frame(out, results.len())?;
     for result in results {
         match result {
             None => out.push(TAG_ABSENT),
             Some(value) => {
-                check_value_len(value.len())?;
+                check_value_len(value.len()).inspect_err(|_| out.truncate(start))?;
                 out.push(TAG_PRESENT);
                 out.extend_from_slice(&(value.len() as u32).to_le_bytes());
                 out.extend_from_slice(value);
             }
         }
     }
-    finish_frame(out);
+    finish_frame(out, start);
     Ok(())
 }
 
@@ -303,6 +320,20 @@ impl<'a> Cursor<'a> {
 /// without executing it, so nothing partially applied can ever leak.
 pub fn decode_request(body: &[u8], req: &mut BatchRequest) -> Result<(), WireError> {
     req.clear();
+    decode_request_append(body, req).map(|_| ())
+}
+
+/// [`decode_request`] without the clear: appends one frame's operations
+/// after whatever `req` already holds and returns how many were appended.
+/// This is the decode half of cross-connection coalescing (see
+/// [`crate::batch::MultiBatch`]): a server appends each ready frame into
+/// one shared request and records the frame boundary.
+///
+/// On a [`WireError`] the request may hold a *partial* appended frame; the
+/// caller must roll the length back to the pre-call mark (what
+/// [`crate::batch::MultiBatch::rollback_frame`] does) so nothing from the
+/// offending frame can execute.
+pub fn decode_request_append(body: &[u8], req: &mut BatchRequest) -> Result<usize, WireError> {
     let mut cur = Cursor::new(body);
     let count = cur.count()?;
     for _ in 0..count {
@@ -318,7 +349,8 @@ pub fn decode_request(body: &[u8], req: &mut BatchRequest) -> Result<(), WireErr
             opcode => return Err(WireError::BadOpcode { opcode }),
         };
     }
-    cur.finish()
+    cur.finish()?;
+    Ok(count)
 }
 
 /// Decodes one response body into `out` (cleared first).
@@ -452,11 +484,47 @@ impl FrameReader {
         }
     }
 
+    /// [`FrameReader::fill_from`] for nonblocking streams: folds the three
+    /// outcomes a readiness sweep must distinguish — bytes arrived, nothing
+    /// available right now (`WouldBlock`, which a blocking caller never
+    /// sees but an event loop treats as "move on to the next connection"),
+    /// and end-of-stream — into a [`Fill`], retrying `Interrupted`
+    /// internally.  Any other I/O error is a transport failure and stays an
+    /// `Err`.
+    pub fn fill_nonblocking<R: Read>(&mut self, r: &mut R) -> std::io::Result<Fill> {
+        loop {
+            match self.fill_from(r) {
+                Ok(0) => return Ok(Fill::Eof),
+                Ok(n) => return Ok(Fill::Bytes(n)),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(Fill::WouldBlock)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Drops everything buffered (for connection reuse in tests).
     pub fn reset(&mut self) {
         self.buf.clear();
         self.pos = 0;
     }
+}
+
+/// Outcome of one [`FrameReader::fill_nonblocking`] call on a nonblocking
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// That many bytes (always `> 0`) arrived and were buffered.
+    Bytes(usize),
+    /// No bytes are available right now; the stream is still open.  An
+    /// event loop moves on to its next connection and retries this one on
+    /// a later sweep.
+    WouldBlock,
+    /// The peer closed the stream.  Whether that is clean depends on
+    /// [`FrameReader::mid_frame`].
+    Eof,
 }
 
 /// A frame-level failure on a live stream: either the peer broke the
@@ -650,6 +718,102 @@ mod tests {
                 len: MAX_FRAME_LEN as u64 + 1
             })
         );
+    }
+
+    #[test]
+    fn fill_nonblocking_distinguishes_data_wouldblock_and_eof() {
+        /// Yields one chunk per read, then `WouldBlock`s forever (open) or
+        /// EOFs (closed) — the shapes a nonblocking socket produces.
+        struct Script {
+            chunks: Vec<Vec<u8>>,
+            closed: bool,
+        }
+        impl Read for Script {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.chunks.pop() {
+                    Some(chunk) => {
+                        buf[..chunk.len()].copy_from_slice(&chunk);
+                        Ok(chunk.len())
+                    }
+                    None if self.closed => Ok(0),
+                    None => Err(std::io::ErrorKind::WouldBlock.into()),
+                }
+            }
+        }
+
+        let mut frame = Vec::new();
+        encode_request(&[BatchOp::Get(9)], &mut frame).unwrap();
+        let (head, tail) = frame.split_at(5);
+
+        // Data dribbles in across WouldBlocks; the frame appears only once
+        // every byte has arrived, and an idle open stream reports
+        // WouldBlock, never Eof.
+        let mut reader = FrameReader::new();
+        let mut stream = Script {
+            chunks: vec![head.to_vec()], // popped last-to-first
+            closed: false,
+        };
+        assert_eq!(
+            reader.fill_nonblocking(&mut stream).unwrap(),
+            Fill::Bytes(head.len())
+        );
+        assert_eq!(reader.try_frame().unwrap(), None);
+        assert_eq!(
+            reader.fill_nonblocking(&mut stream).unwrap(),
+            Fill::WouldBlock
+        );
+        assert!(reader.mid_frame(), "partial frame survives a WouldBlock");
+        stream.chunks.push(tail.to_vec());
+        assert_eq!(
+            reader.fill_nonblocking(&mut stream).unwrap(),
+            Fill::Bytes(tail.len())
+        );
+        assert!(reader.try_frame().unwrap().is_some());
+
+        // A closed stream is Eof, cleanly distinguishable from WouldBlock.
+        stream.closed = true;
+        assert_eq!(reader.fill_nonblocking(&mut stream).unwrap(), Fill::Eof);
+        assert!(!reader.mid_frame());
+    }
+
+    #[test]
+    fn decode_request_append_accumulates_across_frames() {
+        let first = vec![BatchOp::Get(1), BatchOp::put(2, b"two")];
+        let second = vec![BatchOp::Del(3)];
+        let mut frame = Vec::new();
+        let mut req = BatchRequest::new();
+        encode_request(&first, &mut frame).unwrap();
+        assert_eq!(decode_request_append(&frame[4..], &mut req).unwrap(), 2);
+        encode_request(&second, &mut frame).unwrap();
+        assert_eq!(decode_request_append(&frame[4..], &mut req).unwrap(), 1);
+        let all: Vec<BatchOp> = first.into_iter().chain(second).collect();
+        assert_eq!(req.ops(), &all[..]);
+        // The clearing entry point still clears.
+        encode_request(&[BatchOp::Get(9)], &mut frame).unwrap();
+        decode_request(&frame[4..], &mut req).unwrap();
+        assert_eq!(req.ops(), &[BatchOp::Get(9)]);
+    }
+
+    #[test]
+    fn encode_response_append_queues_decodable_back_to_back_frames() {
+        let first = vec![None, Some(Value::new(b"hit"))];
+        let second = vec![Some(Value::new(&vec![7u8; 300]))];
+        let mut out = Vec::new();
+        encode_response_append(&first, &mut out).unwrap();
+        let split = out.len();
+        encode_response_append(&second, &mut out).unwrap();
+
+        // An oversized append leaves the queue untouched.
+        let huge = vec![Some(Value::from(vec![0u8; MAX_VALUE_LEN + 1]))];
+        let before = out.clone();
+        assert!(encode_response_append(&huge, &mut out).is_err());
+        assert_eq!(out, before, "failed append must not leave partial bytes");
+
+        let mut resp = BatchResponse::new();
+        decode_response(&out[4..split], &mut resp).unwrap();
+        assert_eq!(resp, first);
+        decode_response(&out[split + 4..], &mut resp).unwrap();
+        assert_eq!(resp, second);
     }
 
     #[test]

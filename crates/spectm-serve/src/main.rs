@@ -18,7 +18,11 @@ Serve a SpecTM sharded KV store over the batch wire protocol.
 
 Options:
   --addr HOST:PORT    bind address (default 127.0.0.1:0 = ephemeral port)
-  --workers N         worker threads, one connection each (default 4)
+  --workers N         worker threads, each multiplexing many connections
+                      (default 4)
+  --max-conns-per-worker N
+                      connections one worker multiplexes before further
+                      accepts are rejected (default 1024)
   --shards N          store shards (default 16)
   --capacity N        per-shard capacity hint in keys (default 65536)
   --port-file PATH    write the bound address to PATH once listening
@@ -45,6 +49,7 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() {
     let mut addr = String::from("127.0.0.1:0");
     let mut workers = 4usize;
+    let mut max_conns_per_worker = spectm_serve::server::DEFAULT_MAX_CONNS_PER_WORKER;
     let mut shards = 16usize;
     let mut capacity = 1usize << 16;
     let mut port_file: Option<String> = None;
@@ -55,6 +60,7 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = parse(&arg, args.next()),
             "--workers" => workers = parse(&arg, args.next()),
+            "--max-conns-per-worker" => max_conns_per_worker = parse(&arg, args.next()),
             "--shards" => shards = parse(&arg, args.next()),
             "--capacity" => capacity = parse(&arg, args.next()),
             "--port-file" => port_file = Some(parse(&arg, args.next())),
@@ -69,10 +75,13 @@ fn main() {
     if workers == 0 {
         die("--workers must be at least 1");
     }
+    if max_conns_per_worker == 0 {
+        die("--max-conns-per-worker must be at least 1");
+    }
 
     let stm = ValShort::new();
     let store = Arc::new(ShardedKv::new(&stm, shards, capacity, ApiMode::Short));
-    let server = match Server::start(store, addr.as_str(), workers) {
+    let server = match Server::start_with(store, addr.as_str(), workers, max_conns_per_worker) {
         Ok(server) => server,
         Err(e) => die(&format!("cannot bind {addr}: {e}")),
     };
@@ -92,8 +101,17 @@ fn main() {
         },
     }
     let stats = server.shutdown();
+    // key=value tokens so shell smokes can awk out any field by name.
     println!(
-        "served connections={} batches={} ops={} wire_errors={}",
-        stats.connections, stats.batches, stats.ops, stats.wire_errors
+        "served connections={} batches={} ops={} dispatches={} mean_frames={:.2} \
+         wire_errors={} io_errors={} rejected={}",
+        stats.connections,
+        stats.batches,
+        stats.ops,
+        stats.dispatches,
+        stats.mean_coalesced_frames(),
+        stats.wire_errors,
+        stats.io_errors,
+        stats.conns_rejected,
     );
 }

@@ -1,39 +1,85 @@
-//! The server proper: acceptor + worker threads over `std::net`.
+//! The server proper: acceptor + multiplexing worker threads over
+//! `std::net`.
 //!
-//! The threading model trades connection capacity for simplicity and
-//! per-worker STM affinity: the acceptor hands each accepted connection to
-//! a worker over an mpsc queue, and a worker serves **one connection to
-//! completion at a time** (further connections wait in the queue).  That
-//! matches the load-generator deployment this repo measures — a fixed set
-//! of long-lived connections, one per client thread — and keeps every STM
-//! thread handle (`S::Thread` is deliberately not `Send`) pinned to the
-//! worker that created it.
+//! The threading model is the Pelikan/memcached deployment shape: a small,
+//! fixed set of workers, each **multiplexing many connections** over
+//! nonblocking sockets.  The acceptor round-robins accepted connections to
+//! workers; each worker owns a std-only poll loop — `set_nonblocking(true)`
+//! plus a readiness sweep with a short park when fully idle — over
+//! per-connection state machines (an incremental [`FrameReader`], a write
+//! buffer with partial-write continuation, and explicit
+//! Reading/Executing/Writing states so a slow-reading peer can never block
+//! the worker).  Every STM thread handle (`S::Thread` is deliberately not
+//! `Send`) stays pinned to the worker that created it.
+//!
+//! The payoff is **cross-connection batch coalescing**: on each sweep a
+//! worker drains every decodable frame from every ready connection into
+//! one [`MultiBatch`] and dispatches it as a single shard-grouped
+//! [`ShardedKv`] call under **one epoch entry**, demultiplexing responses
+//! back per connection in request order.  Per-connection ordering and the
+//! batch-atomicity contract are untouched — see the [`MultiBatch`] docs
+//! for why coalescing is performance-transparent — so the wire hot path
+//! amortizes epoch entry and grouping over every ready peer, not just one.
 //!
 //! All blocking points are bounded so shutdown is prompt: the listener is
-//! non-blocking (the acceptor sleeps `POLL` between empty accepts),
-//! workers wait on the connection queue with a `POLL` timeout, and
-//! connection reads carry a `READ_TIMEOUT` so an idle peer cannot pin a
-//! worker past shutdown.
+//! non-blocking (the acceptor sleeps `POLL` between empty accepts), a
+//! worker with no connections waits on its queue with a `POLL` timeout,
+//! and a worker with connections re-checks the shutdown flag every sweep —
+//! including while a response is still queued for a peer that stopped
+//! reading (the old one-connection design could pin a worker in
+//! `write_all` there).
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use spectm::Stm;
-use spectm_kv::wire::{self, FrameReader};
-use spectm_kv::{BatchRequest, BatchResponse, ShardedKv};
+use spectm_kv::wire::{self, Fill, FrameReader};
+use spectm_kv::{MultiBatch, ShardedKv};
 
-/// How long the acceptor sleeps between empty accepts and how long workers
-/// wait on the connection queue before re-checking the shutdown flag.
+/// How long the acceptor sleeps between empty accepts and how long an
+/// empty worker waits on its connection queue before re-checking the
+/// shutdown flag.
 const POLL: Duration = Duration::from_millis(5);
 
-/// Read timeout on served connections: the longest a quiet peer can delay a
-/// worker's shutdown check.
-const READ_TIMEOUT: Duration = Duration::from_millis(25);
+/// Sweeps a worker spends yield-spinning after its last progress before it
+/// starts parking: keeps latency at sub-microsecond cost while traffic is
+/// flowing, without burning a core when every peer goes quiet.
+const IDLE_SPINS: u32 = 64;
+
+/// How long an idle worker parks between sweeps once past [`IDLE_SPINS`]:
+/// the longest a newly ready connection waits for service on a quiet
+/// worker, and the longest quiet-worker shutdown can lag the flag.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// Queued-response bytes above which a worker stops *reading* from a
+/// connection (backpressure): a peer that pipelines requests faster than
+/// it drains responses bounds the worker's memory instead of growing it.
+const WRITE_BACKLOG_CAP: usize = 1 << 20;
+
+/// Socket reads per connection per sweep: bounds how long one firehose
+/// peer can monopolize a sweep before the worker services its neighbours.
+const MAX_FILLS_PER_SWEEP: usize = 4;
+
+/// Default per-worker connection cap (see `--max-conns-per-worker`);
+/// connections above it are dropped at admission and counted in
+/// [`StatsSnapshot::conns_rejected`].
+pub const DEFAULT_MAX_CONNS_PER_WORKER: usize = 1024;
+
+/// Buckets in the coalesced-dispatch histogram: frame counts 1, 2, 3–4,
+/// 5–8, 9–16, 17–32, 33–64, 65+.
+pub const COALESCE_BUCKETS: usize = 8;
+
+/// The [`COALESCE_BUCKETS`] histogram bucket for a dispatch coalescing
+/// `frames` frames (power-of-two buckets, saturating at the last).
+fn coalesce_bucket(frames: usize) -> usize {
+    debug_assert!(frames >= 1);
+    ((usize::BITS - (frames - 1).leading_zeros()) as usize).min(COALESCE_BUCKETS - 1)
+}
 
 /// Monotonic service counters, updated by workers and read by reporters.
 #[derive(Default)]
@@ -41,21 +87,54 @@ struct ServerStats {
     connections: AtomicU64,
     batches: AtomicU64,
     ops: AtomicU64,
+    dispatches: AtomicU64,
     wire_errors: AtomicU64,
+    io_errors: AtomicU64,
+    conns_rejected: AtomicU64,
+    coalesce_hist: [AtomicU64; COALESCE_BUCKETS],
 }
 
 /// A point-in-time copy of the server's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Connections accepted and handed to a worker.
+    /// Connections accepted and admitted to a worker's table.
     pub connections: u64,
-    /// Batches executed and answered.
+    /// Request frames decoded, executed and answered (the response is
+    /// queued for the peer in the same sweep that executes the frame).
     pub batches: u64,
-    /// Operations inside those batches.
+    /// Operations inside those frames.
     pub ops: u64,
+    /// Coalesced store dispatches: each executed one epoch entry covering
+    /// the frames of every connection ready in that sweep, so
+    /// `batches / dispatches` is the mean coalesced batch size.
+    pub dispatches: u64,
     /// Connections torn down for malformed input (including closes
     /// mid-frame).  Nothing from such a frame reaches the store.
     pub wire_errors: u64,
+    /// Local socket-configuration failures (`set_nonblocking`,
+    /// `set_nodelay`) — connections dropped or degraded for reasons that
+    /// are the server's, not the peer's.
+    pub io_errors: u64,
+    /// Connections dropped at admission because the worker was at its
+    /// `--max-conns-per-worker` cap.
+    pub conns_rejected: u64,
+    /// Histogram of frames-per-dispatch: buckets for 1, 2, 3–4, 5–8,
+    /// 9–16, 17–32, 33–64 and 65+ frames.  Sums to `dispatches`.
+    pub coalesce_hist: [u64; COALESCE_BUCKETS],
+}
+
+impl StatsSnapshot {
+    /// Mean frames coalesced per store dispatch (0.0 before the first
+    /// dispatch).  Above 1.0 means cross-connection coalescing is
+    /// amortizing epoch entries; equal to 1.0 means every sweep found one
+    /// ready frame — the per-connection behaviour this design subsumes.
+    pub fn mean_coalesced_frames(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.batches as f64 / self.dispatches as f64
+        }
+    }
 }
 
 impl ServerStats {
@@ -63,16 +142,38 @@ impl ServerStats {
         // ORDERING: monotonic counters read for reporting; no counter
         // guards any other memory.
         let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        let mut coalesce_hist = [0u64; COALESCE_BUCKETS];
+        for (out, counter) in coalesce_hist.iter_mut().zip(&self.coalesce_hist) {
+            *out = load(counter);
+        }
         StatsSnapshot {
             connections: load(&self.connections),
             batches: load(&self.batches),
             ops: load(&self.ops),
+            dispatches: load(&self.dispatches),
             wire_errors: load(&self.wire_errors),
+            io_errors: load(&self.io_errors),
+            conns_rejected: load(&self.conns_rejected),
+            coalesce_hist,
         }
+    }
+
+    /// Accounts one coalesced dispatch of `frames` frames / `ops`
+    /// operations.
+    fn record_dispatch(&self, frames: usize, ops: u64) {
+        // ORDERING: monotonic counters read only for reporting; no counter
+        // guards any other memory (see ServerStats::snapshot).
+        let bump = |counter: &AtomicU64, n: u64| counter.fetch_add(n, Ordering::Relaxed);
+        bump(&self.dispatches, 1);
+        bump(&self.batches, frames as u64);
+        bump(&self.ops, ops);
+        bump(&self.coalesce_hist[coalesce_bucket(frames)], 1);
     }
 }
 
-/// Why [`serve_connection`] returned; only protocol violations are counted.
+/// Why a connection is being torn down; only protocol violations are
+/// counted in [`StatsSnapshot::wire_errors`].
+#[derive(Clone, Copy)]
 enum ConnEnd {
     /// Peer closed cleanly at a frame boundary, or the transport failed.
     Done,
@@ -80,15 +181,106 @@ enum ConnEnd {
     WireError,
 }
 
-/// Per-worker reusable buffers: one set serves every connection the worker
-/// ever handles, so the steady-state frame loop performs no allocations for
-/// inline-sized values (buffers grow to their working size once and stay).
-#[derive(Default)]
-struct ConnScratch {
+/// Where a connection's state machine stands between sweeps.
+#[derive(Clone, Copy)]
+enum ConnState {
+    /// No queued output; waiting for request bytes.
+    Reading,
+    /// Frames read this sweep are committed into the worker's
+    /// [`MultiBatch`], awaiting the coalesced dispatch (transient: the
+    /// same sweep's execute phase moves the connection on).
+    Executing,
+    /// Queued response bytes awaiting socket capacity.  The connection
+    /// keeps reading new requests while the backlog stays under
+    /// [`WRITE_BACKLOG_CAP`]; a slow reader only ever stalls itself.
+    Writing,
+    /// No more reads; flush whatever is queued, then drop.  Frames decoded
+    /// *before* the failure still execute and their responses still flush —
+    /// a peer that pipelines a good frame and then garbage gets the good
+    /// frame's answer before teardown.
+    Closing(ConnEnd),
+}
+
+/// One multiplexed connection: socket, incremental frame reader, and a
+/// write buffer with partial-write continuation (`wbuf[wpos..]` is not yet
+/// accepted by the socket).
+struct Conn {
+    stream: TcpStream,
     reader: FrameReader,
-    req: BatchRequest,
-    resp: BatchResponse,
-    out: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    state: ConnState,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            reader: FrameReader::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            state: ConnState::Reading,
+        }
+    }
+
+    /// Queued response bytes the socket has not accepted yet.
+    fn pending(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Whether the read phase should pull from this connection: reading
+    /// states only, and only under the write-backlog cap.
+    fn wants_read(&self) -> bool {
+        matches!(self.state, ConnState::Reading | ConnState::Writing)
+            && self.pending() < WRITE_BACKLOG_CAP
+    }
+
+    /// Pushes queued bytes into the nonblocking socket until it would
+    /// block or the buffer drains, returning bytes written this call.
+    /// On a fatal transport error the connection is marked for reaping
+    /// (queued bytes are unsendable and dropped).
+    fn flush(&mut self) -> usize {
+        let mut written = 0usize;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                // A zero-length write cannot make progress; treat it as a
+                // dead transport rather than spin.
+                Ok(0) => {
+                    self.fail_transport();
+                    return written;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    written += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.fail_transport();
+                    return written;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            if matches!(self.state, ConnState::Writing) {
+                self.state = ConnState::Reading;
+            }
+        }
+        written
+    }
+
+    /// Transport death during a write: drop the unsendable backlog so the
+    /// reaper collects the connection, preserving a pre-existing
+    /// `WireError` verdict (the peer broke the protocol *and* vanished).
+    fn fail_transport(&mut self) {
+        self.wbuf.clear();
+        self.wpos = 0;
+        if !matches!(self.state, ConnState::Closing(_)) {
+            self.state = ConnState::Closing(ConnEnd::Done);
+        }
+    }
 }
 
 /// A running cache server.  Dropping it shuts it down and joins every
@@ -122,37 +314,52 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor plus `workers` worker threads (at least one) over the
-    /// shared `store`.  Returns once the listener is live; clients may
-    /// connect immediately.
+    /// acceptor plus `workers` multiplexing worker threads (at least one)
+    /// over the shared `store`, with the default
+    /// [`DEFAULT_MAX_CONNS_PER_WORKER`] connection cap per worker.
+    /// Returns once the listener is live; clients may connect immediately.
     pub fn start<S: Stm + Clone>(
         store: Arc<ShardedKv<S>>,
         addr: impl ToSocketAddrs,
         workers: usize,
+    ) -> io::Result<Self> {
+        Self::start_with(store, addr, workers, DEFAULT_MAX_CONNS_PER_WORKER)
+    }
+
+    /// [`Server::start`] with an explicit per-worker connection cap:
+    /// connections admitted while a worker already multiplexes
+    /// `max_conns_per_worker` are dropped and counted in
+    /// [`StatsSnapshot::conns_rejected`].
+    pub fn start_with<S: Stm + Clone>(
+        store: Arc<ShardedKv<S>>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        max_conns_per_worker: usize,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        let max_conns = max_conns_per_worker.max(1);
+        let mut txs = Vec::new();
         let worker_handles = (0..workers.max(1))
             .map(|i| {
+                let (tx, rx) = mpsc::channel::<TcpStream>();
+                txs.push(tx);
                 let store = Arc::clone(&store);
-                let rx = Arc::clone(&rx);
                 let shutdown = Arc::clone(&shutdown);
                 let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&store, &rx, &shutdown, &stats))
+                    .spawn(move || worker_loop(&store, &rx, max_conns, &shutdown, &stats))
             })
             .collect::<io::Result<Vec<_>>>()?;
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name("serve-acceptor".to_string())
-                .spawn(move || acceptor_loop(&listener, &tx, &shutdown))?
+                .spawn(move || acceptor_loop(&listener, &txs, &shutdown))?
         };
         Ok(Self {
             local_addr,
@@ -175,8 +382,10 @@ impl Server {
     }
 
     /// Raises the shutdown flag, joins the acceptor and every worker, and
-    /// returns the final counters.  In-flight frames finish; connections
-    /// still queued for a worker are dropped unserved.
+    /// returns the final counters.  Multiplexed connections are dropped at
+    /// the next sweep — even those with responses still queued for a peer
+    /// that stopped reading; connections still queued for a worker are
+    /// dropped unserved.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.stop();
         self.stats.snapshot()
@@ -201,12 +410,24 @@ impl Drop for Server {
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &AtomicBool) {
+fn acceptor_loop(listener: &TcpListener, txs: &[Sender<TcpStream>], shutdown: &AtomicBool) {
+    let mut next = 0usize;
     // ORDERING: shutdown flag only; see Server::stop.
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                if tx.send(stream).is_err() {
+                // Round-robin across workers; a worker whose queue is gone
+                // hands the stream back, so try each once before giving up.
+                let mut stream = Some(stream);
+                for _ in 0..txs.len() {
+                    let tx = &txs[next];
+                    next = (next + 1) % txs.len();
+                    match tx.send(stream.take().expect("stream handed back on error")) {
+                        Ok(()) => break,
+                        Err(mpsc::SendError(back)) => stream = Some(back),
+                    }
+                }
+                if stream.is_some() {
                     return; // every worker is gone
                 }
             }
@@ -218,108 +439,231 @@ fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &Atom
     }
 }
 
+/// One worker: a poll loop multiplexing up to `max_conns` connections.
+///
+/// Each sweep runs admit → flush → read/decode → coalesced execute →
+/// flush → reap, then parks briefly if nothing moved.  The read phase
+/// appends every decodable frame from every ready connection into one
+/// [`MultiBatch`]; the execute phase dispatches it under a single epoch
+/// entry and scatters responses into each source connection's write
+/// buffer in request order.
 fn worker_loop<S: Stm + Clone>(
     store: &ShardedKv<S>,
-    conns: &Mutex<Receiver<TcpStream>>,
+    queue: &Receiver<TcpStream>,
+    max_conns: usize,
     shutdown: &AtomicBool,
     stats: &ServerStats,
 ) {
     // The STM thread handle must be created on the thread that uses it.
     let mut thread = store.register();
-    let mut scratch = ConnScratch::default();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut multi = MultiBatch::new();
+    let mut idle_sweeps = 0u32;
     loop {
-        let conn = {
-            let queue = conns.lock().expect("connection queue poisoned");
-            queue.recv_timeout(POLL)
-        };
-        match conn {
-            Ok(stream) => {
-                // ORDERING: monotonic counter; see ServerStats::snapshot.
-                stats.connections.fetch_add(1, Ordering::Relaxed);
-                let end =
-                    serve_connection(store, &mut thread, &mut scratch, stream, shutdown, stats);
-                if matches!(end, ConnEnd::WireError) {
-                    // ORDERING: monotonic counter; see ServerStats::snapshot.
-                    stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: shutdown flag only; see Server::stop.  Checked every
+        // sweep, so neither a quiet peer nor one that stopped reading its
+        // responses can delay shutdown.
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut progressed = false;
+
+        // Admit: with an empty table, block (briefly) on the queue; with
+        // live connections, only drain what is already there.
+        if conns.is_empty() {
+            match queue.recv_timeout(POLL) {
+                Ok(stream) => progressed |= admit(stream, &mut conns, max_conns, stats),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+        loop {
+            match queue.try_recv() {
+                Ok(stream) => progressed |= admit(stream, &mut conns, max_conns, stats),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if conns.is_empty() {
+                        return;
+                    }
+                    break;
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {
-                // ORDERING: shutdown flag only; see Server::stop.
-                if shutdown.load(Ordering::Relaxed) {
-                    return;
+        }
+
+        // Flush before reading: freeing socket buffers early lets peers
+        // that pipeline make progress within a single sweep.
+        for conn in &mut conns {
+            if conn.pending() > 0 {
+                progressed |= conn.flush() > 0;
+            }
+        }
+
+        // Read/decode: drain every decodable frame from every readable
+        // connection into the shared MultiBatch, tagged by table slot.
+        debug_assert!(multi.is_empty());
+        for (slot, conn) in conns.iter_mut().enumerate() {
+            if conn.wants_read() {
+                progressed |= read_frames(conn, slot, &mut multi);
+            }
+        }
+
+        // Execute: one shard-grouped dispatch, one epoch entry, covering
+        // every frame the sweep found; then scatter responses per source.
+        if !multi.is_empty() {
+            let (frames, ops) = (multi.frame_count(), multi.op_count() as u64);
+            if store.execute_multi(&mut multi, &mut thread).is_ok() {
+                stats.record_dispatch(frames, ops);
+                for (slot, results) in multi.frames() {
+                    let conn = &mut conns[slot];
+                    // Encoding can only refuse values larger than the store
+                    // can hold — unreachable for store output, but a refusal
+                    // must tear down rather than answer out of position.
+                    if wire::encode_response_append(results, &mut conn.wbuf).is_err() {
+                        conn.fail_transport();
+                    } else if matches!(conn.state, ConnState::Executing) {
+                        conn.state = ConnState::Writing;
+                    }
+                }
+            } else {
+                // Unreachable for frames the decoder accepted (its caps
+                // equal the store's), but a store refusal must still tear
+                // down every contributing connection rather than answer
+                // out of position or panic.
+                for slot in multi.sources().collect::<Vec<_>>() {
+                    conns[slot].state = ConnState::Closing(ConnEnd::WireError);
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            multi.clear();
+            progressed = true;
+        }
+
+        // Second flush: answers computed this sweep usually fit the socket
+        // buffer, so most request/response cycles complete in one sweep.
+        for conn in &mut conns {
+            if conn.pending() > 0 {
+                progressed |= conn.flush() > 0;
+            }
+        }
+
+        // Reap: closing connections leave once their queued responses are
+        // flushed (or proved unsendable).  Backwards so swap_remove keeps
+        // unvisited slots stable.
+        for slot in (0..conns.len()).rev() {
+            if let ConnState::Closing(end) = conns[slot].state {
+                if conns[slot].pending() == 0 {
+                    if matches!(end, ConnEnd::WireError) {
+                        // ORDERING: monotonic counter; see
+                        // ServerStats::snapshot.
+                        stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    drop(conns.swap_remove(slot));
+                }
+            }
+        }
+
+        // Idle policy: spin politely right after traffic, park once quiet.
+        if progressed {
+            idle_sweeps = 0;
+        } else {
+            idle_sweeps = idle_sweeps.saturating_add(1);
+            if idle_sweeps <= IDLE_SPINS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_PARK);
+            }
         }
     }
 }
 
-/// Serves one connection until the peer closes, the transport fails, the
-/// peer breaks the protocol, or shutdown is raised.  Never panics on peer
-/// input; on a [`wire::WireError`] the connection is torn down with no
-/// response and nothing from the offending frame reaches the store.
-fn serve_connection<S: Stm + Clone>(
-    store: &ShardedKv<S>,
-    thread: &mut S::Thread,
-    scratch: &mut ConnScratch,
-    mut stream: TcpStream,
-    shutdown: &AtomicBool,
-    stats: &ServerStats,
-) -> ConnEnd {
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
-        return ConnEnd::Done;
+/// Configures and admits one accepted connection into the worker's table,
+/// enforcing the per-worker cap.  Returns whether the sweep made progress
+/// (it did unless the queue handed us nothing — any outcome here, even a
+/// rejection, is observable work).
+fn admit(stream: TcpStream, conns: &mut Vec<Conn>, max_conns: usize, stats: &ServerStats) -> bool {
+    if conns.len() >= max_conns {
+        // ORDERING: monotonic counter; see ServerStats::snapshot.
+        stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+        return true; // dropping `stream` closes it
     }
-    scratch.reader.reset();
-    loop {
-        match scratch.reader.try_frame() {
-            Err(_) => return ConnEnd::WireError,
-            Ok(Some((start, end))) => {
-                let body = &scratch.reader.buffered()[start..end];
-                if wire::decode_request(body, &mut scratch.req).is_err() {
-                    return ConnEnd::WireError;
-                }
-                let op_count = scratch.req.len() as u64;
-                // Unreachable for frames the decoder accepted (its caps
-                // equal the store's), but a store refusal must still tear
-                // down rather than answer out of position or panic.
-                if store
-                    .execute_batch_into(&mut scratch.req, &mut scratch.resp, thread)
-                    .is_err()
-                {
-                    return ConnEnd::WireError;
-                }
-                if wire::encode_response(&scratch.resp, &mut scratch.out).is_err() {
-                    return ConnEnd::WireError;
-                }
-                if stream.write_all(&scratch.out).is_err() {
-                    return ConnEnd::Done;
-                }
-                // ORDERING: monotonic counters; see ServerStats::snapshot.
-                stats.batches.fetch_add(1, Ordering::Relaxed);
-                // ORDERING: monotonic counter; see ServerStats::snapshot.
-                stats.ops.fetch_add(op_count, Ordering::Relaxed);
-            }
-            Ok(None) => match scratch.reader.fill_from(&mut stream) {
-                Ok(0) => {
-                    return if scratch.reader.mid_frame() {
-                        ConnEnd::WireError
-                    } else {
-                        ConnEnd::Done
-                    };
-                }
-                Ok(_) => {}
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    // ORDERING: shutdown flag only; see Server::stop.
-                    if shutdown.load(Ordering::Relaxed) {
-                        return ConnEnd::Done;
+    if stream.set_nonblocking(true).is_err() {
+        // A blocking socket would stall the whole sweep: unusable here.
+        // ORDERING: monotonic counter; see ServerStats::snapshot.
+        stats.io_errors.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    if stream.set_nodelay(true).is_err() {
+        // Latency nicety only — count it, keep the connection.
+        // ORDERING: monotonic counter; see ServerStats::snapshot.
+        stats.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    // ORDERING: monotonic counter; see ServerStats::snapshot.
+    stats.connections.fetch_add(1, Ordering::Relaxed);
+    conns.push(Conn::new(stream));
+    true
+}
+
+/// Reads and decodes everything currently available on one connection:
+/// alternates buffered-frame draining with nonblocking fills (at most
+/// [`MAX_FILLS_PER_SWEEP`] so one firehose peer cannot monopolize the
+/// sweep), committing each decoded frame into `multi` tagged with `slot`.
+/// Returns whether any byte arrived or frame decoded.
+///
+/// Failure handling preserves the wire contract: a malformed frame rolls
+/// its partial ops back out of `multi` and marks the connection
+/// `Closing(WireError)` — frames committed before it still execute, and
+/// their responses still flush before the reaper closes the socket.
+fn read_frames(conn: &mut Conn, slot: usize, multi: &mut MultiBatch) -> bool {
+    let committed_from = multi.frame_count();
+    let mut progressed = false;
+    let mut fills = 0usize;
+    'sweep: loop {
+        // Drain every complete frame already buffered.
+        loop {
+            match conn.reader.try_frame() {
+                Ok(None) => break,
+                Ok(Some((start, end))) => {
+                    let body = &conn.reader.buffered()[start..end];
+                    match wire::decode_request_append(body, multi.request_mut()) {
+                        Ok(_) => {
+                            multi.commit_frame(slot);
+                            progressed = true;
+                        }
+                        Err(_) => {
+                            multi.rollback_frame();
+                            conn.state = ConnState::Closing(ConnEnd::WireError);
+                            break 'sweep;
+                        }
                     }
                 }
-                Err(_) => return ConnEnd::Done,
-            },
+                Err(_) => {
+                    conn.state = ConnState::Closing(ConnEnd::WireError);
+                    break 'sweep;
+                }
+            }
+        }
+        if fills == MAX_FILLS_PER_SWEEP {
+            break;
+        }
+        fills += 1;
+        match conn.reader.fill_nonblocking(&mut conn.stream) {
+            Ok(Fill::Bytes(_)) => progressed = true,
+            Ok(Fill::WouldBlock) => break,
+            Ok(Fill::Eof) => {
+                conn.state = ConnState::Closing(if conn.reader.mid_frame() {
+                    ConnEnd::WireError
+                } else {
+                    ConnEnd::Done
+                });
+                break;
+            }
+            Err(_) => {
+                conn.state = ConnState::Closing(ConnEnd::Done);
+                break;
+            }
         }
     }
+    if multi.frame_count() > committed_from && !matches!(conn.state, ConnState::Closing(_)) {
+        conn.state = ConnState::Executing;
+    }
+    progressed
 }

@@ -250,8 +250,9 @@ fn live_server_survives_the_whole_corpus_without_leaking_a_batch() {
     }
 
     // Split-across-read partial frames are NOT malformed: a frame sent in
-    // two halves with a pause longer than the server's read timeout must
-    // still be answered.
+    // two halves with a pause spanning many server sweeps must still be
+    // answered (the event loop parks the connection mid-frame and resumes
+    // when the rest arrives).
     {
         let frame = good_frame();
         let mut sock = TcpStream::connect(addr).expect("connect");
@@ -260,7 +261,7 @@ fn live_server_survives_the_whole_corpus_without_leaking_a_batch() {
             .unwrap();
         let (a, b) = frame.split_at(7);
         sock.write_all(a).unwrap();
-        std::thread::sleep(Duration::from_millis(120)); // > READ_TIMEOUT
+        std::thread::sleep(Duration::from_millis(120)); // many sweeps
         sock.write_all(b).unwrap();
         let mut reader = FrameReader::new();
         let got = read_frame(&mut reader, &mut sock).expect("split frame answered");
