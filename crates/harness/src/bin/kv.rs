@@ -7,10 +7,10 @@
 //! flags (`--quick`, `--paper`, `--threads a,b,c`, `--duration-ms`,
 //! `--runs`, `--key-range`) plus four of its own:
 //!
-//! * `--workload a,b,c,e,f` — restrict the sweep to the named YCSB core
+//! * `--workload a,b,c,e,f,x` — restrict the sweep to the named YCSB core
 //!   mixes (a = update 50/50, b = read-heavy 95/5, c = read-only,
-//!   e = scan-heavy 95/5, f = multi-key read-modify-write).  Default:
-//!   `b,a,f,e`.
+//!   e = scan-heavy 95/5, f = multi-key read-modify-write, x = read-through
+//!   cache churn: get, then fill on miss).  Default: `b,a,f,e`.
 //! * `--dist uniform,zipfian,latest` — restrict the key-popularity
 //!   distributions.  Default: all three.
 //! * `--value-size fixed:N|uniform:A..B|zipf` — the payload-length
@@ -32,12 +32,23 @@
 //!   each variant's store and print one TSV row per variant with its
 //!   occupancy and probe-length statistics (keys, load factor, overflow
 //!   buckets, fraction of probes within 1 and 2 buckets).
+//! * `--max-bytes N` — run the STM stores in cache mode with an N-byte
+//!   live-byte budget; the background reclaimer evicts down to it during
+//!   the run and each row's `hit_rate` column reports the measured-phase
+//!   hit rate.  Size the budget below the working set (keys × (value size
+//!   + 128-byte item overhead)) to see eviction.
+//! * `--ttl-ms N` — stamp every put with an N-millisecond TTL (cache mode;
+//!   0 = immortal, the default).
+//! * `--policy freq|fifo` — eviction victim selection in cache mode:
+//!   frequency-byte CLOCK (default) or cursor-order FIFO, the baseline the
+//!   frequency policy is measured against.
 //!
 //! `--keys`/`--key-range` plus optionally `--capacity` are the only sizing
 //! inputs: bucket counts are derived from the capacity hint, never passed
 //! by hand.
 
-use harness::kv::{kv_default_dists, kv_default_mixes, KeyDist, KvMix, ValueSize};
+use harness::kv::{kv_default_dists, kv_default_mixes, KeyDist, KvCacheArgs, KvMix, ValueSize};
+use spectm_kv::EvictionPolicy;
 
 /// The kv-specific flags split off the argument list; `rest` goes to the
 /// common parser.
@@ -48,6 +59,7 @@ struct KvArgs {
     verify: bool,
     batch: usize,
     capacity: Option<usize>,
+    cache: KvCacheArgs,
     stats: bool,
     rest: Vec<String>,
 }
@@ -60,6 +72,7 @@ fn parse_kv_args(args: impl Iterator<Item = String>) -> KvArgs {
     let mut verify = false;
     let mut batch = 1usize;
     let mut capacity = None;
+    let mut cache = KvCacheArgs::default();
     let mut stats = false;
     let mut rest = Vec::new();
     let mut i = 0;
@@ -77,6 +90,40 @@ fn parse_kv_args(args: impl Iterator<Item = String>) -> KvArgs {
                 }
             }
             "--stats" => stats = true,
+            "--max-bytes" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_default();
+                match raw.parse::<u64>() {
+                    Ok(n) if n >= 1 => cache.max_bytes = Some(n),
+                    _ => {
+                        eprintln!("error: `--max-bytes {raw}` is not a positive byte count");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--ttl-ms" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_default();
+                match raw.parse::<u64>() {
+                    Ok(n) => cache.default_ttl_ms = n,
+                    _ => {
+                        eprintln!("error: `--ttl-ms {raw}` is not a millisecond count");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--policy" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_default();
+                cache.policy = match raw.trim() {
+                    "freq" => EvictionPolicy::Freq,
+                    "fifo" => EvictionPolicy::Fifo,
+                    _ => {
+                        eprintln!("error: `--policy {raw}` is not freq or fifo");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--batch" => {
                 i += 1;
                 let raw = args.get(i).cloned().unwrap_or_default();
@@ -102,7 +149,8 @@ fn parse_kv_args(args: impl Iterator<Item = String>) -> KvArgs {
                             .and_then(KvMix::from_ycsb_letter);
                         if mix.is_none() {
                             eprintln!(
-                                "warning: ignoring workload `{s}` (expected one of a, b, c, e, f)"
+                                "warning: ignoring workload `{s}` \
+                                 (expected one of a, b, c, e, f, x)"
                             );
                         }
                         mix
@@ -111,7 +159,7 @@ fn parse_kv_args(args: impl Iterator<Item = String>) -> KvArgs {
                 if parsed.is_empty() {
                     eprintln!(
                         "error: `--workload {raw}` selected no valid mix \
-                         (expected a comma list of a, b, c, e, f)"
+                         (expected a comma list of a, b, c, e, f, x)"
                     );
                     std::process::exit(2);
                 }
@@ -170,6 +218,7 @@ fn parse_kv_args(args: impl Iterator<Item = String>) -> KvArgs {
         verify,
         batch,
         capacity,
+        cache,
         stats,
         rest,
     }
@@ -204,6 +253,7 @@ fn main() {
         args.verify,
         args.batch,
         args.capacity,
+        args.cache,
     );
     harness::figures::print_rows(&rows);
 }

@@ -94,21 +94,28 @@ pub struct FigureRow {
     pub x: f64,
     /// Y value (throughput in ops/s, or normalized value).
     pub y: f64,
+    /// Cache hit rate over the measured phase, for cache-mode KV sweeps
+    /// (`None` — rendered as `-` — everywhere else).
+    pub hit_rate: Option<f64>,
 }
 
 impl FigureRow {
     /// Renders the row as a tab-separated line.
     pub fn tsv(&self) -> String {
+        let hit_rate = match self.hit_rate {
+            Some(rate) => format!("{rate:.4}"),
+            None => "-".to_string(),
+        };
         format!(
-            "{}\t{}\t{}\t{}\t{:.1}",
-            self.figure, self.panel, self.series, self.x, self.y
+            "{}\t{}\t{}\t{}\t{:.1}\t{}",
+            self.figure, self.panel, self.series, self.x, self.y, hit_rate
         )
     }
 }
 
 /// Prints rows with a header, as the `fig*` binaries do.
 pub fn print_rows(rows: &[FigureRow]) {
-    println!("figure\tpanel\tseries\tx\ty");
+    println!("figure\tpanel\tseries\tx\ty\thit_rate");
     for row in rows {
         println!("{}", row.tsv());
     }
@@ -178,6 +185,7 @@ fn sweep(
                 series: variant.label().to_string(),
                 x: threads as f64,
                 y,
+                hit_rate: None,
             });
         }
     }
@@ -218,6 +226,7 @@ pub fn fig5(iters: usize) -> Vec<FigureRow> {
             series: r.variant,
             x: r.array_size as f64,
             y: r.normalized_time,
+            hit_rate: None,
         })
         .collect()
 }
@@ -506,7 +515,9 @@ mod tests {
             series: "s".into(),
             x: 1.0,
             y: 2.0,
+            hit_rate: None,
         };
         assert!(row.tsv().starts_with("fig1\tp\ts\t1"));
+        assert!(row.tsv().ends_with("\t-"));
     }
 }

@@ -31,7 +31,10 @@ use lockfree::LockFreeKvMap;
 use serde::Serialize;
 use spectm::variants::{OrecStm, TvarStm, ValShort};
 use spectm::Stm;
-use spectm_kv::{BatchOp, BatchRequest, BatchResponse, MapStats, ShardedKv, Value};
+use spectm_kv::{
+    BatchOp, BatchRequest, BatchResponse, CacheConfig, CacheStats, EvictionPolicy, MapStats,
+    Reclaimer, ShardedKv, Value,
+};
 use txepoch::Collector;
 
 use crate::intset::{RunResult, Xorshift, BATCH_OPS};
@@ -54,6 +57,18 @@ pub trait KvStore: Send + Sync + 'static {
     fn get(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<Value>;
     /// Stores `value` under `key`, returning the previous value if present.
     fn put(&self, key: u64, value: &[u8], ctx: &mut Self::ThreadCtx) -> Option<Value>;
+    /// Stores `value` under `key` with an explicit TTL in milliseconds
+    /// (`0` = never expires).  Stores without TTL machinery fall back to a
+    /// plain put — the honest baseline, since expiry costs them nothing.
+    fn put_ttl(
+        &self,
+        key: u64,
+        value: &[u8],
+        _ttl_ms: u64,
+        ctx: &mut Self::ThreadCtx,
+    ) -> Option<Value> {
+        self.put(key, value, ctx)
+    }
     /// Removes `key`, returning the value it held.
     fn del(&self, key: u64, ctx: &mut Self::ThreadCtx) -> Option<Value>;
     /// Adds `delta` to every key in `keys` (values as 8-byte little-endian
@@ -85,6 +100,7 @@ pub trait KvStore: Send + Sync + 'static {
             out.push(match op {
                 BatchOp::Get(key) => self.get(*key, ctx),
                 BatchOp::Put(key, value) => self.put(*key, value, ctx),
+                BatchOp::PutTtl(key, value, ttl_ms) => self.put_ttl(*key, value, *ttl_ms, ctx),
                 BatchOp::Del(key) => self.del(*key, ctx),
             });
         }
@@ -92,6 +108,18 @@ pub trait KvStore: Send + Sync + 'static {
     /// Whether the implementation is safe to drive from multiple threads.
     fn supports_concurrency(&self) -> bool {
         true
+    }
+    /// Snapshot of the store's cache counters, when it maintains them
+    /// (`None` for stores without TTL machinery, and for stores whose
+    /// configuration keeps cache behaviour off).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+    /// Starts the store's background reclaimer when its configuration
+    /// enables cache behaviour; the handle stops the thread on drop.
+    /// `None` when there is nothing to sweep.
+    fn spawn_reclaimer(&self) -> Option<Reclaimer> {
+        None
     }
     /// Occupancy and probe-length statistics of the store's hash table(s),
     /// when the implementation exposes them (both bundled stores do).
@@ -103,7 +131,7 @@ pub trait KvStore: Send + Sync + 'static {
 
 /// [`KvStore`] adapter for the sharded STM store.
 pub struct StmKvBench<S: Stm + Clone> {
-    store: ShardedKv<S>,
+    store: Arc<ShardedKv<S>>,
 }
 
 impl<S: Stm + Clone> StmKvBench<S> {
@@ -111,14 +139,43 @@ impl<S: Stm + Clone> StmKvBench<S> {
     /// `capacity_per_shard` keys (the hint `StmHashMap::new` sizes its
     /// bucket array from), over `stm`, driven in `mode`.
     pub fn new(stm: S, shards: usize, capacity_per_shard: usize, mode: spectm_ds::ApiMode) -> Self {
+        Self::with_cache(
+            stm,
+            shards,
+            capacity_per_shard,
+            mode,
+            CacheConfig::default(),
+        )
+    }
+
+    /// [`StmKvBench::new`] with an explicit cache configuration (byte
+    /// budget, default TTL, eviction policy) — the cache-mode panels.
+    pub fn with_cache(
+        stm: S,
+        shards: usize,
+        capacity_per_shard: usize,
+        mode: spectm_ds::ApiMode,
+        config: CacheConfig,
+    ) -> Self {
         Self {
-            store: ShardedKv::new(&stm, shards, capacity_per_shard, mode),
+            store: Arc::new(ShardedKv::with_config(
+                &stm,
+                shards,
+                capacity_per_shard,
+                mode,
+                config,
+            )),
         }
     }
 
     /// The wrapped store.
     pub fn store(&self) -> &ShardedKv<S> {
         &self.store
+    }
+
+    /// Whether the wrapped store maintains cache counters.
+    fn cache_enabled(&self) -> bool {
+        self.store.config().max_bytes.is_some() || self.store.config().default_ttl_ms > 0
     }
 }
 
@@ -136,6 +193,18 @@ impl<S: Stm + Clone> KvStore for StmKvBench<S> {
     fn put(&self, key: u64, value: &[u8], ctx: &mut Self::ThreadCtx) -> Option<Value> {
         self.store
             .put(key, value, ctx)
+            .expect("driver payloads are size-bounded")
+    }
+
+    fn put_ttl(
+        &self,
+        key: u64,
+        value: &[u8],
+        ttl_ms: u64,
+        ctx: &mut Self::ThreadCtx,
+    ) -> Option<Value> {
+        self.store
+            .put_with_ttl(key, value, Some(ttl_ms), ctx)
             .expect("driver payloads are size-bounded")
     }
 
@@ -166,6 +235,20 @@ impl<S: Stm + Clone> KvStore for StmKvBench<S> {
 
     fn stats(&self) -> Option<MapStats> {
         Some(self.store.stats())
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache_enabled().then(|| self.store.cache_stats())
+    }
+
+    fn spawn_reclaimer(&self) -> Option<Reclaimer> {
+        self.cache_enabled().then(|| {
+            Reclaimer::spawn(
+                Arc::clone(&self.store),
+                Duration::from_millis(2),
+                (self.store.bucket_count() / 8).max(64),
+            )
+        })
     }
 }
 
@@ -250,6 +333,14 @@ pub enum KvMix {
     /// 50% reads / 50% multi-key read-modify-writes (YCSB-F, generalized to
     /// [`KvWorkloadConfig::rmw_keys`] keys so updates span shards).
     ReadModifyWrite,
+    /// Read-through cache churn (no YCSB counterpart): every operation is a
+    /// get, and a miss refills the key with a fresh payload — the
+    /// look-aside-cache pattern.  Pointful when the store runs under a byte
+    /// budget smaller than the working set
+    /// ([`KvWorkloadConfig::max_bytes`]): eviction makes misses, refills
+    /// make eviction pressure, and the steady-state hit rate measures how
+    /// well victim selection protects the popular keys.
+    Churn,
 }
 
 impl KvMix {
@@ -261,6 +352,7 @@ impl KvMix {
             KvMix::ReadOnly => "read-only-100",
             KvMix::ScanHeavy => "scan-heavy-95/5",
             KvMix::ReadModifyWrite => "rmw-50/50",
+            KvMix::Churn => "churn-read-through",
         }
     }
 
@@ -272,7 +364,8 @@ impl KvMix {
             KvMix::ReadHeavy => 95,
             KvMix::UpdateHeavy | KvMix::ReadModifyWrite => 50,
             KvMix::ReadOnly => 100,
-            KvMix::ScanHeavy => 0,
+            // Churn and scans dispatch before this split, in `perform_op`.
+            KvMix::ScanHeavy | KvMix::Churn => 0,
         }
     }
 
@@ -286,7 +379,8 @@ impl KvMix {
         )
     }
 
-    /// The YCSB core-workload letter of the mix — the inverse of
+    /// The workload letter of the mix — the YCSB core-workload letter
+    /// where one exists, `x` for the churn extension; the inverse of
     /// [`KvMix::from_ycsb_letter`], used in compact reports like the
     /// `kv-loadgen` TSV.
     pub fn ycsb_letter(self) -> char {
@@ -296,12 +390,13 @@ impl KvMix {
             KvMix::ReadOnly => 'c',
             KvMix::ScanHeavy => 'e',
             KvMix::ReadModifyWrite => 'f',
+            KvMix::Churn => 'x',
         }
     }
 
-    /// Parses a YCSB core-workload letter: `a` (update 50/50), `b`
-    /// (read-heavy 95/5), `c` (read-only), `e` (scan-heavy) or `f`
-    /// (read-modify-write).
+    /// Parses a workload letter: `a` (update 50/50), `b` (read-heavy
+    /// 95/5), `c` (read-only), `e` (scan-heavy), `f` (read-modify-write)
+    /// or `x` (read-through churn, the non-YCSB cache extension).
     pub fn from_ycsb_letter(letter: char) -> Option<KvMix> {
         match letter.to_ascii_lowercase() {
             'a' => Some(KvMix::UpdateHeavy),
@@ -309,6 +404,7 @@ impl KvMix {
             'c' => Some(KvMix::ReadOnly),
             'e' => Some(KvMix::ScanHeavy),
             'f' => Some(KvMix::ReadModifyWrite),
+            'x' => Some(KvMix::Churn),
             _ => None,
         }
     }
@@ -690,6 +786,15 @@ pub struct KvWorkloadConfig {
     /// operations, amortizing routing and epoch entry (point-operation
     /// mixes only — see [`KvMix::supports_batching`]).
     pub batch: usize,
+    /// Live-byte budget for cache-mode runs (`None`, the default, keeps
+    /// the store unbounded).  Set it below the loaded working set and the
+    /// background reclaimer evicts during the run.
+    pub max_bytes: Option<u64>,
+    /// Default TTL the store stamps on every put (`0` = immortal).
+    pub default_ttl_ms: u64,
+    /// Victim selection once `max_bytes` is exceeded (the frequency-byte
+    /// CLOCK by default; FIFO is the baseline it is measured against).
+    pub policy: EvictionPolicy,
 }
 
 impl Default for KvWorkloadConfig {
@@ -706,6 +811,9 @@ impl Default for KvWorkloadConfig {
             verify: false,
             rmw_keys: 2,
             batch: 1,
+            max_bytes: None,
+            default_ttl_ms: 0,
+            policy: EvictionPolicy::Freq,
         }
     }
 }
@@ -732,6 +840,17 @@ impl KvWorkloadConfig {
     pub fn with_total_capacity(mut self, total_capacity: usize) -> Self {
         self.capacity_per_shard = total_capacity.div_ceil(self.shards).max(1);
         self
+    }
+
+    /// The store cache configuration the workload's cache fields describe
+    /// (what [`StmKvBench::with_cache`] is handed).
+    pub fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            max_bytes: self.max_bytes,
+            default_ttl_ms: self.default_ttl_ms,
+            policy: self.policy,
+            ..CacheConfig::default()
+        }
     }
 }
 
@@ -815,6 +934,30 @@ impl WorkerState {
         }
     }
 
+    /// Fills the reusable request buffer with the churn mix's batched
+    /// shape: fill puts for the keys in `fills` (the previous batch's
+    /// get misses, read-through style), then point gets drawn from the
+    /// key distribution for the remainder.  With `ttl_ms > 0` the fills
+    /// ride [`BatchOp::PutTtl`] instead of plain puts, exercising the TTL
+    /// opcode over the wire.
+    pub fn build_churn_batch(&mut self, n: usize, fills: &mut Vec<u64>, ttl_ms: u64) {
+        self.batch_req.clear();
+        for _ in 0..n {
+            if let Some(key) = fills.pop() {
+                let raw = self.rng.next();
+                let len = self.lens.sample(&mut self.rng);
+                fill_payload(key, raw, len, &mut self.scratch);
+                if ttl_ms > 0 {
+                    self.batch_req.put_ttl(key, &self.scratch, ttl_ms);
+                } else {
+                    self.batch_req.put(key, &self.scratch);
+                }
+            } else {
+                self.batch_req.get(self.sampler.sample(&mut self.rng));
+            }
+        }
+    }
+
     /// The operations of the last [`WorkerState::build_batch`], in request
     /// order — what a network client ships as one request frame (the
     /// in-process driver hands the whole request to the store instead).
@@ -864,6 +1007,23 @@ pub fn perform_op<K: KvStore>(
     state: &mut WorkerState,
 ) {
     let mix = state.mix;
+    if mix == KvMix::Churn {
+        // Read-through: serve hits, refill misses.  Under a byte budget the
+        // refill re-raises eviction pressure, so the run settles into the
+        // steady state whose hit rate the panel reports.
+        match store.get(key, ctx) {
+            Some(value) => {
+                state.check(key, &value);
+                std::hint::black_box(&value);
+            }
+            None => {
+                let len = state.lens.sample(&mut state.rng);
+                fill_payload(key, raw, len, &mut state.scratch);
+                std::hint::black_box(store.put(key, &state.scratch, ctx));
+            }
+        }
+        return;
+    }
     if mix == KvMix::ScanHeavy {
         if raw % 100 < SCAN_PCT as u64 {
             let len = state.scan.sample_len(&mut state.rng);
@@ -908,7 +1068,9 @@ pub fn perform_op<K: KvStore>(
                 }
                 std::hint::black_box(store.rmw_add(&state.rmw_buf, 1, ctx));
             }
-            KvMix::ReadOnly | KvMix::ScanHeavy => unreachable!("fully dispatched above"),
+            KvMix::ReadOnly | KvMix::ScanHeavy | KvMix::Churn => {
+                unreachable!("fully dispatched above")
+            }
         }
     }
 }
@@ -944,6 +1106,19 @@ pub fn perform_batch<K: KvStore>(
 /// `cfg.verify` set, reads are checksum-verified throughout and a final
 /// oracle sweep re-reads the whole key space after the workers stop.
 pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
+    run_kv_with_stats(store, cfg).0
+}
+
+/// [`run_kv`] that also reports the hit rate observed over the measured
+/// phase (`None` when the store is not running in cache mode).  In cache
+/// mode the store's background reclaimer runs for the whole load + measure
+/// window, so budget eviction and expiry happen concurrently with the
+/// workload — the shape the churn mix exists to measure.  Hits and misses
+/// accumulated during the load phase are subtracted out.
+pub fn run_kv_with_stats<K: KvStore>(
+    store: Arc<K>,
+    cfg: &KvWorkloadConfig,
+) -> (RunResult, Option<f64>) {
     assert!(
         cfg.threads == 1 || store.supports_concurrency(),
         "store cannot run with {} threads",
@@ -960,7 +1135,9 @@ pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
         "{:?} does not batch (point-operation mixes only)",
         cfg.mix
     );
+    let reclaimer = store.spawn_reclaimer();
     load_keys(&*store, cfg.num_keys, cfg.value_size);
+    let loaded = store.cache_stats();
 
     let samples = run_timed(cfg.threads, cfg.duration, |tid| {
         let mut ctx = store.thread_ctx();
@@ -986,10 +1163,26 @@ pub fn run_kv<K: KvStore>(store: Arc<K>, cfg: &KvWorkloadConfig) -> RunResult {
         }
     });
     let result = RunResult::from_samples(samples);
-    if cfg.verify && cfg.mix != KvMix::ReadModifyWrite {
+    let hit_rate = store.cache_stats().map(|after| {
+        let before = loaded.unwrap_or_default();
+        let hits = after.hits.saturating_sub(before.hits);
+        let misses = after.misses.saturating_sub(before.misses);
+        if hits + misses == 0 {
+            1.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    });
+    if let Some(reclaimer) = reclaimer {
+        reclaimer.stop();
+    }
+    // The oracle sweep asserts every loaded key survived, which only holds
+    // when nothing expires or evicts them: cache-mode runs skip it.
+    let cache_mode = cfg.max_bytes.is_some() || cfg.default_ttl_ms > 0;
+    if cfg.verify && cfg.mix != KvMix::ReadModifyWrite && cfg.mix != KvMix::Churn && !cache_mode {
         verify_sweep(&*store, cfg.num_keys);
     }
-    result
+    (result, hit_rate)
 }
 
 /// Oracle replay after quiescence: every loaded key must still be present
@@ -1017,17 +1210,40 @@ where
     K: KvStore,
     F: Fn() -> K,
 {
+    run_kv_repeated_with_stats(make_store, cfg, runs).0
+}
+
+/// [`run_kv_repeated`] that also reports the mean measured-phase hit rate
+/// across all runs (`None` when the store has no cache counters).
+pub fn run_kv_repeated_with_stats<K, F>(
+    make_store: F,
+    cfg: &KvWorkloadConfig,
+    runs: usize,
+) -> (f64, Option<f64>)
+where
+    K: KvStore,
+    F: Fn() -> K,
+{
     assert!(runs >= 1);
-    let mut throughputs: Vec<f64> = (0..runs)
-        .map(|_| run_kv(Arc::new(make_store()), cfg).throughput)
+    let results: Vec<(f64, Option<f64>)> = (0..runs)
+        .map(|_| {
+            let (result, hit_rate) = run_kv_with_stats(Arc::new(make_store()), cfg);
+            (result.throughput, hit_rate)
+        })
         .collect();
+    let mut throughputs: Vec<f64> = results.iter().map(|(t, _)| *t).collect();
     throughputs.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
     let trimmed: &[f64] = if throughputs.len() > 2 {
         &throughputs[1..throughputs.len() - 1]
     } else {
         &throughputs
     };
-    trimmed.iter().sum::<f64>() / trimmed.len() as f64
+    let mean = trimmed.iter().sum::<f64>() / trimmed.len() as f64;
+    // Hit rates are far more stable than throughput, so a plain mean over
+    // every run suffices (no min/max trimming).
+    let rates: Vec<f64> = results.iter().filter_map(|(_, r)| *r).collect();
+    let hit_rate = (!rates.is_empty()).then(|| rates.iter().sum::<f64>() / rates.len() as f64);
+    (mean, hit_rate)
 }
 
 /// Runs the KV workload for a [`VariantSpec`] label, returning mean
@@ -1038,11 +1254,23 @@ where
 /// Panics for [`VariantSpec::Sequential`]: the store is a concurrent
 /// subsystem and has no single-threaded reference implementation.
 pub fn run_kv_variant(spec: VariantSpec, cfg: &KvWorkloadConfig, runs: usize) -> f64 {
+    run_kv_variant_stats(spec, cfg, runs).0
+}
+
+/// [`run_kv_variant`] that also reports the mean measured-phase hit rate.
+/// STM variants honour the workload's cache fields ([`KvWorkloadConfig::cache_config`]);
+/// the lock-free baseline has no TTL machinery, so its hit rate is `None`
+/// (and its cache fields are ignored).
+pub fn run_kv_variant_stats(
+    spec: VariantSpec,
+    cfg: &KvWorkloadConfig,
+    runs: usize,
+) -> (f64, Option<f64>) {
     match spec {
         VariantSpec::Sequential => {
             panic!("the KV store has no sequential baseline; use lock-free or an STM variant")
         }
-        VariantSpec::LockFree => run_kv_repeated(
+        VariantSpec::LockFree => run_kv_repeated_with_stats(
             || {
                 LockFreeKvBench::new(LockFreeKvMap::new(
                     cfg.shards * cfg.capacity_per_shard,
@@ -1056,37 +1284,40 @@ pub fn run_kv_variant(spec: VariantSpec, cfg: &KvWorkloadConfig, runs: usize) ->
             let (layout, api, config) = spec.stm_parts().expect("STM variant");
             let config = bench_config(config);
             match layout {
-                Layout::Orec => run_kv_repeated(
+                Layout::Orec => run_kv_repeated_with_stats(
                     || {
-                        StmKvBench::new(
+                        StmKvBench::with_cache(
                             OrecStm::with_config(config),
                             cfg.shards,
                             cfg.capacity_per_shard,
                             api,
+                            cfg.cache_config(),
                         )
                     },
                     cfg,
                     runs,
                 ),
-                Layout::Tvar => run_kv_repeated(
+                Layout::Tvar => run_kv_repeated_with_stats(
                     || {
-                        StmKvBench::new(
+                        StmKvBench::with_cache(
                             TvarStm::with_config(config),
                             cfg.shards,
                             cfg.capacity_per_shard,
                             api,
+                            cfg.cache_config(),
                         )
                     },
                     cfg,
                     runs,
                 ),
-                Layout::Val => run_kv_repeated(
+                Layout::Val => run_kv_repeated_with_stats(
                     || {
-                        StmKvBench::new(
+                        StmKvBench::with_cache(
                             ValShort::with_config(config),
                             cfg.shards,
                             cfg.capacity_per_shard,
                             api,
+                            cfg.cache_config(),
                         )
                     },
                     cfg,
@@ -1144,7 +1375,45 @@ pub fn kv_rows(opts: &FigureOpts) -> Vec<FigureRow> {
         false,
         1,
         None,
+        KvCacheArgs::default(),
     )
+}
+
+/// Cache-mode knobs of the `kv` binary (`--max-bytes` / `--ttl-ms` /
+/// `--policy`), bundled so the sweep signature stays manageable.  The
+/// default is cache mode off: no budget, no TTL.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KvCacheArgs {
+    /// Live-byte budget (`--max-bytes`); `None` disables eviction.
+    pub max_bytes: Option<u64>,
+    /// Default TTL in milliseconds (`--ttl-ms`); `0` = immortal.
+    pub default_ttl_ms: u64,
+    /// Victim selection (`--policy freq|fifo`).
+    pub policy: EvictionPolicy,
+}
+
+impl KvCacheArgs {
+    /// Whether any cache knob is set (the sweep labels panels and emits
+    /// hit rates only in cache mode).
+    pub fn enabled(&self) -> bool {
+        self.max_bytes.is_some() || self.default_ttl_ms > 0
+    }
+
+    /// The panel-label suffix describing these knobs, e.g.
+    /// `" / budget:1048576 / fifo"` (empty when cache mode is off).
+    fn panel_suffix(&self) -> String {
+        let mut suffix = String::new();
+        if let Some(budget) = self.max_bytes {
+            suffix.push_str(&format!(" / budget:{budget}"));
+        }
+        if self.default_ttl_ms > 0 {
+            suffix.push_str(&format!(" / ttl:{}ms", self.default_ttl_ms));
+        }
+        if self.enabled() && self.policy == EvictionPolicy::Fifo {
+            suffix.push_str(" / fifo");
+        }
+        suffix
+    }
 }
 
 /// [`kv_rows`] restricted to explicit mixes, distributions, a value-size
@@ -1164,6 +1433,7 @@ pub fn kv_rows_for(
     verify: bool,
     batch: usize,
     capacity: Option<usize>,
+    cache: KvCacheArgs,
 ) -> Vec<FigureRow> {
     assert!(batch >= 1, "a batch holds at least one operation");
     let mut rows = Vec::new();
@@ -1189,6 +1459,7 @@ pub fn kv_rows_for(
             if batch > 1 {
                 panel.push_str(&format!(" / batch:{batch}"));
             }
+            panel.push_str(&cache.panel_suffix());
             for variant in kv_variants() {
                 for &threads in &opts.threads {
                     let mut sized = KvWorkloadConfig::sized_for(opts.key_range);
@@ -1203,15 +1474,19 @@ pub fn kv_rows_for(
                         value_size,
                         verify,
                         batch,
+                        max_bytes: cache.max_bytes,
+                        default_ttl_ms: cache.default_ttl_ms,
+                        policy: cache.policy,
                         ..sized
                     };
-                    let y = run_kv_variant(variant, &cfg, opts.runs);
+                    let (y, hit_rate) = run_kv_variant_stats(variant, &cfg, opts.runs);
                     rows.push(FigureRow {
                         figure: "kv",
                         panel: panel.clone(),
                         series: variant.label().to_string(),
                         x: threads as f64,
                         y,
+                        hit_rate,
                     });
                 }
             }

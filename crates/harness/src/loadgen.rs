@@ -39,7 +39,9 @@ use spectm_kv::wire::{self, FrameError, FrameReader, WireError, MAX_WIRE_OPS};
 use spectm_kv::{BatchOp, BatchResponse};
 
 use crate::intset::Xorshift;
-use crate::kv::{fill_payload, payload_is_valid, KvWorkloadConfig, ValueLenSampler, WorkerState};
+use crate::kv::{
+    fill_payload, payload_is_valid, KvMix, KvWorkloadConfig, ValueLenSampler, WorkerState,
+};
 use crate::measure::{drive_open_loop, LatencyHistogram};
 
 /// Everything that can end a load-generation run early.
@@ -170,26 +172,6 @@ impl WireConn {
     }
 }
 
-/// Checks a batch's results against its operations: every returned value
-/// must carry a valid checksum for its key, and — once the key space is
-/// preloaded and the mix never deletes — every get must hit.
-fn verify_results(ops: &[BatchOp], results: &BatchResponse) -> Result<(), ClientError> {
-    for (op, result) in ops.iter().zip(results) {
-        let key = op.key();
-        match result {
-            Some(value) => {
-                if !payload_is_valid(key, value) {
-                    return Err(ClientError::Verify { key });
-                }
-            }
-            // A put's result is the displaced value; a get's is the stored
-            // one.  Both must exist over a preloaded, delete-free space.
-            None => return Err(ClientError::Verify { key }),
-        }
-    }
-    Ok(())
-}
-
 /// Loads every key of `0..num_keys` with a checksummed payload over the
 /// wire, [`MAX_WIRE_OPS`] puts per batch — the network counterpart of
 /// [`crate::kv::load_keys`], same payloads and length stream.
@@ -271,6 +253,11 @@ pub struct LoadgenResult {
     pub batches: u64,
     /// Operations inside those batches.
     pub ops: u64,
+    /// Get operations that returned a value.
+    pub hits: u64,
+    /// Get operations that returned nothing (absent, expired or evicted
+    /// server-side).
+    pub misses: u64,
     /// Wall-clock time of the run (first connect to last drain).
     pub elapsed: Duration,
     /// Per-batch latency over all connections.
@@ -286,6 +273,13 @@ impl LoadgenResult {
             self.ops as f64 / self.elapsed.as_secs_f64()
         }
     }
+
+    /// `hits / (hits + misses)` over the run's gets, or `None` when the
+    /// mix issued none.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
 }
 
 /// One of a client thread's connections: its socket plus its own seeded
@@ -295,6 +289,60 @@ impl LoadgenResult {
 struct ClientConn {
     conn: WireConn,
     state: WorkerState,
+    /// Keys whose gets missed, awaiting a read-through fill in this
+    /// connection's next batch (churn mix only).
+    fills: Vec<u64>,
+}
+
+/// Per-thread hit/miss tally over get results.
+#[derive(Default)]
+struct HitCounts {
+    hits: u64,
+    misses: u64,
+}
+
+/// Post-processes one batch response: tallies get hits and misses,
+/// queues missed keys for read-through fills (churn), and — under
+/// `--verify` — checks checksums.  A churn get may legitimately miss
+/// (that is the point of the mix), so only present values are verified
+/// there; every other mix keeps the strict all-hits oracle.
+fn account_batch(
+    ops: &[BatchOp],
+    results: &BatchResponse,
+    verify: bool,
+    churn: bool,
+    counts: &mut HitCounts,
+    fills: &mut Vec<u64>,
+) -> Result<(), ClientError> {
+    for (op, result) in ops.iter().zip(results) {
+        let key = op.key();
+        let is_get = matches!(op, BatchOp::Get(_));
+        match result {
+            Some(value) => {
+                if is_get {
+                    counts.hits += 1;
+                }
+                if verify && !payload_is_valid(key, value) {
+                    return Err(ClientError::Verify { key });
+                }
+            }
+            None => {
+                if is_get {
+                    counts.misses += 1;
+                    if churn {
+                        fills.push(key);
+                    } else if verify {
+                        // Over a preloaded, delete-free space every get
+                        // must hit; a put's displaced value must exist too.
+                        return Err(ClientError::Verify { key });
+                    }
+                } else if verify && !churn {
+                    return Err(ClientError::Verify { key });
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The canonical per-connection seed (connection `cid` of a run issues
@@ -313,18 +361,29 @@ fn run_client_thread(
     tid: usize,
     threads: usize,
     batch: usize,
-) -> Result<(LatencyHistogram, u64), ClientError> {
+) -> Result<(LatencyHistogram, u64, HitCounts), ClientError> {
     let mut clients = (tid..cfg.connections.max(1))
         .step_by(threads)
         .map(|cid| {
             Ok(ClientConn {
                 conn: WireConn::connect(addr)?,
                 state: WorkerState::new(&cfg.workload, conn_seed(cid)),
+                fills: Vec::new(),
             })
         })
         .collect::<Result<Vec<ClientConn>, ClientError>>()?;
     let mut hist = LatencyHistogram::new();
+    let mut counts = HitCounts::default();
     let verify = cfg.workload.verify;
+    let churn = cfg.workload.mix == KvMix::Churn;
+    let ttl_ms = cfg.workload.default_ttl_ms;
+    let build = |client: &mut ClientConn, n: usize| {
+        if churn {
+            client.state.build_churn_batch(n, &mut client.fills, ttl_ms);
+        } else {
+            client.state.build_batch(n);
+        }
+    };
     let t0 = Instant::now();
     match cfg.mode {
         // Pipelined closed loop: scatter one batch onto every connection,
@@ -337,22 +396,27 @@ fn run_client_thread(
             let mut sent_at = vec![Duration::ZERO; clients.len()];
             loop {
                 for (i, client) in clients.iter_mut().enumerate() {
-                    client.state.build_batch(batch);
+                    build(client, batch);
                     sent_at[i] = t0.elapsed();
                     client.conn.send(client.state.batch_ops())?;
                 }
                 let mut now = Duration::ZERO;
                 for (i, client) in clients.iter_mut().enumerate() {
                     let results = client.conn.recv(client.state.batch_ops().len())?;
-                    if verify {
-                        verify_results(client.state.batch_ops(), results)?;
-                    }
+                    account_batch(
+                        client.state.batch_ops(),
+                        results,
+                        verify,
+                        churn,
+                        &mut counts,
+                        &mut client.fills,
+                    )?;
                     now = t0.elapsed();
                     hist.record(now.saturating_sub(sent_at[i]));
                     batches += 1;
                 }
                 if now >= cfg.duration {
-                    return Ok((hist, batches));
+                    return Ok((hist, batches, counts));
                 }
             }
         }
@@ -373,13 +437,18 @@ fn run_client_thread(
                 let rotation = clients.len().max(1);
                 let client = &mut clients[next];
                 next = (next + 1) % rotation;
-                client.state.build_batch(batch);
+                build(client, batch);
                 match client.conn.execute(client.state.batch_ops()) {
                     Ok(results) => {
-                        if verify {
-                            if let Err(e) = verify_results(client.state.batch_ops(), results) {
-                                failed = Some(e);
-                            }
+                        if let Err(e) = account_batch(
+                            client.state.batch_ops(),
+                            results,
+                            verify,
+                            churn,
+                            &mut counts,
+                            &mut client.fills,
+                        ) {
+                            failed = Some(e);
                         }
                     }
                     Err(e) => failed = Some(e),
@@ -400,7 +469,7 @@ fn run_client_thread(
             );
             match failed {
                 Some(e) => Err(e),
-                None => Ok((hist, batches)),
+                None => Ok((hist, batches, counts)),
             }
         }
     }
@@ -427,7 +496,7 @@ pub fn run_loadgen(
         cfg.threads.min(connections)
     };
     let started = Instant::now();
-    let per_thread: Vec<Result<(LatencyHistogram, u64), ClientError>> =
+    let per_thread: Vec<Result<(LatencyHistogram, u64, HitCounts), ClientError>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|tid| scope.spawn(move || run_client_thread(addr, cfg, tid, threads, batch)))
@@ -439,14 +508,20 @@ pub fn run_loadgen(
         });
     let mut hist = LatencyHistogram::new();
     let mut batches = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
     for outcome in per_thread {
-        let (thread_hist, thread_batches) = outcome?;
+        let (thread_hist, thread_batches, counts) = outcome?;
         hist.merge(&thread_hist);
         batches += thread_batches;
+        hits += counts.hits;
+        misses += counts.misses;
     }
     Ok(LoadgenResult {
         batches,
         ops: batches * batch as u64,
+        hits,
+        misses,
         elapsed: started.elapsed(),
         hist,
     })

@@ -56,15 +56,19 @@ fn run_fig(exe: &str, args: &[&str]) -> Vec<(String, String, f64, f64)> {
     let mut lines = stdout.lines();
     assert_eq!(
         lines.next(),
-        Some("figure\tpanel\tseries\tx\ty"),
+        Some("figure\tpanel\tseries\tx\ty\thit_rate"),
         "missing TSV header in {exe} output"
     );
     let mut rows = Vec::new();
     for line in lines {
         let fields: Vec<&str> = line.split('\t').collect();
-        assert_eq!(fields.len(), 5, "malformed row from {exe}: {line:?}");
+        assert_eq!(fields.len(), 6, "malformed row from {exe}: {line:?}");
         let x = fields[3].parse::<f64>().expect("x must be numeric");
         let y = fields[4].parse::<f64>().expect("y must be numeric");
+        if fields[5] != "-" {
+            let rate = fields[5].parse::<f64>().expect("hit_rate must be numeric");
+            assert!((0.0..=1.0).contains(&rate), "hit_rate out of range: {rate}");
+        }
         rows.push((fields[1].to_string(), fields[2].to_string(), x, y));
     }
     assert!(!rows.is_empty(), "{exe} produced a header but no data rows");

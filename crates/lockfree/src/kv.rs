@@ -520,6 +520,12 @@ impl LockFreeKvMap {
                 BatchOp::Put(key, value) => self
                     .put(*key, value, handle)
                     .expect("batch values were validated above"),
+                // The baseline has no TTL machinery; a TTL-carrying put
+                // stores the value and drops the deadline, which is the
+                // honest comparison (expiry costs it nothing).
+                BatchOp::PutTtl(key, value, _ttl_ms) => self
+                    .put(*key, value, handle)
+                    .expect("batch values were validated above"),
                 BatchOp::Del(key) => self.del(*key, handle),
             });
         }
@@ -768,7 +774,7 @@ mod tests {
                 .iter()
                 .map(|op| match op {
                     BatchOp::Get(k) => oracle.get(k).cloned(),
-                    BatchOp::Put(k, v) => oracle.insert(*k, v.clone()),
+                    BatchOp::Put(k, v) | BatchOp::PutTtl(k, v, _) => oracle.insert(*k, v.clone()),
                     BatchOp::Del(k) => oracle.remove(k),
                 })
                 .collect();

@@ -46,13 +46,18 @@
 //!   whole batch with [`KvError::ValueTooLarge`] *before* any operation
 //!   executes.
 //!
+//! * **Expired entries are absent.**  A get of a key whose TTL deadline
+//!   has passed reports `None`, and a put over such a corpse reports
+//!   `None` (it behaved as an insert); batch reads leave the physical
+//!   removal to lazy single-key reads and the background sweep.
+//!
 //! DESIGN.md § "Batched operations" discusses why these are the right
 //! semantics for a request-pipeline front-end.
 
-use spectm::{Stm, StmThread};
+use spectm::{Stm, StmThread, Word};
 use spectm_ds::TowerSlot;
 
-use crate::map::{NodeSlot, RetiredNode};
+use crate::map::{deadline_expired, NodeSlot, RetiredNode};
 use crate::store::ShardedKv;
 use crate::value::{RetiredValue, Value, ValueSlot};
 use crate::KvError;
@@ -65,8 +70,12 @@ use crate::KvError;
 pub enum BatchOp {
     /// Read the key's value.
     Get(u64),
-    /// Store the value under the key.
+    /// Store the value under the key (with the store's default TTL).
     Put(u64, Value),
+    /// Store the value under the key with an explicit TTL in milliseconds
+    /// (`0` = immortal, the memcached convention) — the
+    /// `wire::OP_PUT_TTL` shape.
+    PutTtl(u64, Value, u64),
     /// Remove the key.
     Del(u64),
 }
@@ -77,12 +86,18 @@ impl BatchOp {
         BatchOp::Put(key, Value::new(bytes))
     }
 
+    /// Convenience constructor copying `bytes` into a put with an explicit
+    /// TTL.
+    pub fn put_ttl(key: u64, bytes: &[u8], ttl_ms: u64) -> Self {
+        BatchOp::PutTtl(key, Value::new(bytes), ttl_ms)
+    }
+
     /// The key this operation touches.
     #[inline]
     pub fn key(&self) -> u64 {
         match *self {
             BatchOp::Get(key) | BatchOp::Del(key) => key,
-            BatchOp::Put(key, _) => key,
+            BatchOp::Put(key, _) | BatchOp::PutTtl(key, _, _) => key,
         }
     }
 
@@ -90,6 +105,17 @@ impl BatchOp {
     #[inline]
     pub fn is_write(&self) -> bool {
         !matches!(self, BatchOp::Get(_))
+    }
+
+    /// The payload and TTL of a put of either shape (`None` TTL = the
+    /// store's default).
+    #[inline]
+    fn as_put(&self) -> Option<(u64, &Value, Option<u64>)> {
+        match self {
+            BatchOp::Put(key, value) => Some((*key, value, None)),
+            BatchOp::PutTtl(key, value, ttl_ms) => Some((*key, value, Some(*ttl_ms))),
+            BatchOp::Get(_) | BatchOp::Del(_) => None,
+        }
     }
 }
 
@@ -145,6 +171,13 @@ impl BatchRequest {
     /// Appends a write of `bytes` under `key`; returns `self` for chaining.
     pub fn put(&mut self, key: u64, bytes: &[u8]) -> &mut Self {
         self.ops.push(BatchOp::put(key, bytes));
+        self
+    }
+
+    /// Appends a write of `bytes` under `key` with an explicit TTL; returns
+    /// `self` for chaining.
+    pub fn put_ttl(&mut self, key: u64, bytes: &[u8], ttl_ms: u64) -> &mut Self {
+        self.ops.push(BatchOp::put_ttl(key, bytes, ttl_ms));
         self
     }
 
@@ -363,7 +396,7 @@ const PREFETCH_AHEAD: usize = 4;
 /// drift between them.
 pub fn validate_ops(ops: &[BatchOp]) -> Result<(), KvError> {
     for op in ops {
-        if let BatchOp::Put(_, value) = op {
+        if let Some((_, value, _)) = op.as_put() {
             crate::map::check_len(value)?;
         }
     }
@@ -376,18 +409,23 @@ pub fn validate_ops(ops: &[BatchOp]) -> Result<(), KvError> {
 enum GroupEffect<S: Stm> {
     /// A put that inserted a fresh key: publish its slots.
     PutInsert { op: usize, put: usize },
-    /// A put that displaced an existing value word.
+    /// A put that displaced an existing value word (stored under
+    /// `old_deadline` — if that had passed, the result is reported as an
+    /// insert).
     PutUpdate {
         op: usize,
         put: usize,
         displaced: RetiredValue,
+        old_deadline: Word,
     },
-    /// A delete that unlinked a node, its value and its index tower.
+    /// A delete that unlinked a node, its value and its index tower (the
+    /// entry's deadline decides whether the removed value is reported).
     Del {
         op: usize,
         value: RetiredValue,
         node: RetiredNode<S>,
         tower: spectm_ds::RetiredTower<S>,
+        deadline: Word,
     },
 }
 
@@ -497,8 +535,11 @@ impl<S: Stm + Clone> ShardedKv<S> {
         if let [op] = ops {
             let shard = self.router().route(op.key());
             out.push(match op {
-                BatchOp::Get(key) => self.shard_map(shard).get(*key, thread),
-                BatchOp::Put(key, value) => self.put_routed(shard, *key, value, thread),
+                BatchOp::Get(key) => self.get_routed(shard, *key, thread),
+                BatchOp::Put(key, value) => self.put_routed(shard, *key, value, None, thread),
+                BatchOp::PutTtl(key, value, ttl_ms) => {
+                    self.put_routed(shard, *key, value, Some(*ttl_ms), thread)
+                }
                 BatchOp::Del(key) => self.del_routed(shard, *key, thread),
             });
             return Ok(());
@@ -546,8 +587,11 @@ impl<S: Stm + Clone> ShardedKv<S> {
     #[inline]
     fn run_op(&self, shard: usize, op: &BatchOp, thread: &mut S::Thread) -> Option<Value> {
         match op {
-            BatchOp::Get(key) => self.shard_map(shard).get_pinned(*key, thread),
-            BatchOp::Put(key, value) => self.put_routed_pinned(shard, *key, value, thread),
+            BatchOp::Get(key) => self.get_routed_pinned(shard, *key, thread),
+            BatchOp::Put(key, value) => self.put_routed_pinned(shard, *key, value, None, thread),
+            BatchOp::PutTtl(key, value, ttl_ms) => {
+                self.put_routed_pinned(shard, *key, value, Some(*ttl_ms), thread)
+            }
             BatchOp::Del(key) => self.del_routed(shard, *key, thread),
         }
     }
@@ -563,7 +607,7 @@ impl<S: Stm + Clone> ShardedKv<S> {
         let mut start = 0usize;
         for (shard, &end) in ends.iter().enumerate() {
             for &i in &order[start..end] {
-                out[i] = self.shard_map(shard).get_pinned(keys[i], thread);
+                out[i] = self.get_routed_pinned(shard, keys[i], thread);
             }
             start = end;
         }
@@ -590,7 +634,7 @@ impl<S: Stm + Clone> ShardedKv<S> {
         for (shard, &end) in ends.iter().enumerate() {
             for &i in &order[start..end] {
                 let (key, value) = pairs[i];
-                out[i] = self.put_routed_pinned(shard, key, value, thread);
+                out[i] = self.put_routed_pinned(shard, key, value, None, thread);
             }
             start = end;
         }
@@ -651,12 +695,10 @@ impl<S: Stm + Clone> ShardedKv<S> {
     ) {
         let map = self.shard_map(shard);
         let index = self.shard_index(shard);
+        let now = self.now_ms();
         // One slot triple per put operation of the group, allocated lazily
         // by the map/index helpers and reused across conflict retries.
-        let puts = group
-            .iter()
-            .filter(|&&i| matches!(ops[i], BatchOp::Put(..)))
-            .count();
+        let puts = group.iter().filter(|&&i| ops[i].as_put().is_some()).count();
         let mut value_slots: Vec<ValueSlot> = (0..puts).map(|_| ValueSlot::new()).collect();
         let mut node_slots: Vec<NodeSlot<S>> = (0..puts).map(|_| NodeSlot::new()).collect();
         let mut tower_slots: Vec<TowerSlot<S>> = (0..puts).map(|_| TowerSlot::new()).collect();
@@ -669,41 +711,50 @@ impl<S: Stm + Clone> ShardedKv<S> {
                 effects.clear();
                 let mut put_no = 0;
                 for &i in group {
-                    match &ops[i] {
-                        BatchOp::Get(key) => {
-                            out[i] = map.read_in(*key, tx)?;
-                        }
-                        BatchOp::Put(key, value) => {
-                            let put = put_no;
-                            put_no += 1;
-                            let displaced = map.put_in(
-                                *key,
-                                value,
-                                &mut value_slots[put],
-                                &mut node_slots[put],
-                                tx,
-                            )?;
-                            match displaced {
-                                Some(displaced) => {
-                                    effects.push(GroupEffect::PutUpdate {
-                                        op: i,
-                                        put,
-                                        displaced,
-                                    });
-                                }
-                                None => {
-                                    let linked =
-                                        index.insert_in(*key, 0, &mut tower_slots[put], tx)?;
-                                    debug_assert!(
-                                        linked,
-                                        "key {key} was in the index but not the shard"
-                                    );
-                                    effects.push(GroupEffect::PutInsert { op: i, put });
-                                }
+                    if let Some((key, value, ttl_ms)) = ops[i].as_put() {
+                        let put = put_no;
+                        put_no += 1;
+                        let deadline = self.deadline_for(ttl_ms);
+                        let displaced = map.put_in(
+                            key,
+                            value,
+                            deadline,
+                            &mut value_slots[put],
+                            &mut node_slots[put],
+                            tx,
+                        )?;
+                        match displaced {
+                            Some((displaced, old_deadline)) => {
+                                effects.push(GroupEffect::PutUpdate {
+                                    op: i,
+                                    put,
+                                    displaced,
+                                    old_deadline,
+                                });
+                            }
+                            None => {
+                                let linked = index.insert_in(key, 0, &mut tower_slots[put], tx)?;
+                                debug_assert!(
+                                    linked,
+                                    "key {key} was in the index but not the shard"
+                                );
+                                effects.push(GroupEffect::PutInsert { op: i, put });
                             }
                         }
+                        continue;
+                    }
+                    match &ops[i] {
+                        BatchOp::Get(key) => {
+                            // An expired entry is absent; physical removal
+                            // is left to lazy reads and the sweep.
+                            out[i] = match map.read_entry_in(*key, tx)? {
+                                Some((_, deadline)) if deadline_expired(deadline, now) => None,
+                                Some((value, _)) => Some(value),
+                                None => None,
+                            };
+                        }
                         BatchOp::Del(key) => {
-                            if let Some((value, node)) = map.del_in(*key, tx)? {
+                            if let Some((value, node, deadline)) = map.del_in(*key, tx)? {
                                 let tower = index.remove_in(*key, tx)?;
                                 let tower = tower
                                     .unwrap_or_else(|| panic!("key {key} missing from the index"));
@@ -712,18 +763,21 @@ impl<S: Stm + Clone> ShardedKv<S> {
                                     value,
                                     node,
                                     tower,
+                                    deadline,
                                 });
                             } else {
                                 out[i] = None;
                             }
                         }
+                        BatchOp::Put(..) | BatchOp::PutTtl(..) => unreachable!("handled above"),
                     }
                 }
                 Ok(())
             })
             .expect("batch groups are never cancelled");
         // The group committed: resolve the write results, publish the slots
-        // of inserted nodes and retire everything the transaction displaced.
+        // of inserted nodes, settle the byte account and retire everything
+        // the transaction displaced.
         for effect in effects {
             match effect {
                 GroupEffect::PutInsert { op, put } => {
@@ -731,22 +785,53 @@ impl<S: Stm + Clone> ShardedKv<S> {
                     value_slots[put].mark_published();
                     node_slots[put].mark_published();
                     tower_slots[put].mark_published();
+                    let (_, value, _) = ops[op].as_put().expect("insert effect from a put");
+                    self.account_insert(value.len());
                 }
-                GroupEffect::PutUpdate { op, put, displaced } => {
-                    out[op] = Some(displaced.value());
+                GroupEffect::PutUpdate {
+                    op,
+                    put,
+                    displaced,
+                    old_deadline,
+                } => {
                     value_slots[put].mark_published();
+                    let old = displaced.value();
                     displaced.retire(thread.epoch());
+                    let (_, value, _) = ops[op].as_put().expect("update effect from a put");
+                    out[op] = self.settle_overwrite(old, old_deadline, value.len());
                 }
                 GroupEffect::Del {
                     op,
                     value,
                     node,
                     tower,
+                    deadline,
                 } => {
-                    out[op] = Some(value.value());
+                    let removed = value.value();
+                    self.account_remove(removed.len());
+                    out[op] = if deadline_expired(deadline, now) {
+                        self.note_expired();
+                        None
+                    } else {
+                        Some(removed)
+                    };
                     value.retire(thread.epoch());
                     node.retire(thread);
                     tower.retire(thread);
+                }
+            }
+        }
+        // Hit/miss accounting and frequency bumps for the group's reads,
+        // settled after the commit so conflict retries are not counted.
+        for &i in group {
+            if let BatchOp::Get(key) = ops[i] {
+                if out[i].is_some() {
+                    self.count_hit();
+                    if self.config().max_bytes.is_some() {
+                        map.bump_freq(key, thread);
+                    }
+                } else {
+                    self.count_miss();
                 }
             }
         }
@@ -766,7 +851,7 @@ mod tests {
             .iter()
             .map(|op| match op {
                 BatchOp::Get(k) => oracle.get(k).cloned(),
-                BatchOp::Put(k, v) => oracle.insert(*k, v.clone()),
+                BatchOp::Put(k, v) | BatchOp::PutTtl(k, v, _) => oracle.insert(*k, v.clone()),
                 BatchOp::Del(k) => oracle.remove(k),
             })
             .collect()

@@ -47,6 +47,17 @@
 //! CAS-based baseline in `lockfree::LockFreeKvMap`; EXPERIMENTS.md indexes
 //! the workloads.
 //!
+//! With a [`CacheConfig`] (see [`ShardedKv::with_config`]) the store runs
+//! as a **memory-capped cache**: every item carries a deadline word beside
+//! its value word (per-key TTL, lazily expired on read and reclaimed
+//! incrementally by a [`Reclaimer`] thread via [`ShardedKv::sweep_step`]),
+//! and a `max_bytes` budget drives CLOCK eviction over the per-bucket
+//! frequency byte ([`EvictionPolicy`]).  An expired key is never
+//! observable through any read surface; [`ShardedKv::live_bytes`] tracks
+//! the physical account and [`ShardedKv::cache_stats`] the
+//! hit/miss/expiry/eviction counters.  DESIGN.md § "TTL and eviction" has
+//! the full design.
+//!
 //! # Examples
 //!
 //! Point operations and cross-shard read-modify-write:
@@ -109,13 +120,15 @@ pub mod batch;
 pub mod map;
 pub mod router;
 pub mod store;
+pub mod ttl;
 pub mod value;
 pub mod wire;
 
 pub use batch::{BatchOp, BatchRequest, BatchResponse, MultiBatch};
 pub use map::{MapStats, NodeSlot, RetiredNode, StmHashMap, BUCKET_SLOTS};
 pub use router::ShardRouter;
-pub use store::{ShardedKv, MAX_RMW_KEYS};
+pub use store::{ShardedKv, ITEM_OVERHEAD_BYTES, MAX_RMW_KEYS};
+pub use ttl::{CacheConfig, CacheStats, Clock, EvictionPolicy, Reclaimer, SweepOutcome};
 pub use value::{RetiredValue, Value, ValueCell, ValueSlot, MAX_VALUE_LEN};
 
 /// Errors the store's fallible operations report instead of panicking.

@@ -9,12 +9,17 @@
 //! compares tags before dereferencing and mismatched slots cost no cache
 //! miss.  The stat word links to a heap-allocated *overflow bucket* once a
 //! bucket's 8th key arrives (512-byte aligned, freeing bits 1..=8 of the
-//! link as a reserved frequency-counter byte for the future TTL/eviction
-//! work; bit 0 stays clear for the `val` layout's lock bit in both word
-//! kinds).  A zero item word is an empty slot; a stat word with no pointer
-//! bits ends the chain.  Each `Node` holds only the immutable key and one
-//! transactional cell with the **value word** (inline payload or
-//! [`crate::ValueCell`] pointer; see [`crate::value`]).
+//! link as the per-bucket **frequency byte** the eviction policy consults —
+//! saturating bump on hit, periodic halving by the reclaimer; bit 0 stays
+//! clear for the `val` layout's lock bit in both word kinds).  A zero item
+//! word is an empty slot; a stat word with no pointer bits ends the chain.
+//! Each `Node` holds the immutable key and two transactional cells: the
+//! **value word** (inline payload or [`crate::ValueCell`] pointer; see
+//! [`crate::value`]) and the **deadline word** (the key's expiry time in
+//! milliseconds shifted past the lock bit; zero = never expires — see
+//! `encode_deadline`).  The map stores deadlines without interpreting
+//! them; expiry policy (lazy expiry on read, background sweeps, byte-budget
+//! eviction) lives in [`crate::ShardedKv`].
 //!
 //! Every slot is still a single STM word, so the short-transaction
 //! protocols, orec mapping, and the value-word ownership contract carry
@@ -25,10 +30,11 @@
 //! Operations exist in two shapes, selected by [`ApiMode`]:
 //!
 //! * **Short** (the SpecTM usage) — the slot scan uses single-location
-//!   reads with tag filtering; `get` validates (slot, value) with a
-//!   two-location read-only transaction; `put` on an existing key is a
-//!   two-location read-write transaction; `del` clears the slot and
-//!   captures the value in a two-location read-write transaction; a fresh
+//!   reads with tag filtering; `get` validates (slot, value, deadline) with
+//!   a three-location read-only transaction; `put` on an existing key is a
+//!   three-location read-write transaction; `del` clears the slot and
+//!   captures the value and deadline in a three-location read-write
+//!   transaction; a fresh
 //!   insert is a **combined RO/RW transaction** over all 8 words of the
 //!   home bucket — 7 item words and the stat word validated read-only
 //!   (proving the key absent from the whole single-bucket chain at the
@@ -81,12 +87,25 @@ const TAG_MASK: Word = 0x3E;
 /// Mask recovering the node pointer from an item word.
 const ITEM_PTR_MASK: Word = !(TAG_MASK | 1);
 
-/// Bits 1..=8 of a stat word: the reserved frequency-counter byte (always
-/// zero until the TTL/eviction work lands; preserved by chain updates).
+/// Bits 1..=8 of a stat word: the per-bucket frequency-counter byte the
+/// eviction policy reads (saturating bump on hit, halved by the reclaimer's
+/// periodic decay; preserved by chain updates).
 const FREQ_MASK: Word = 0x1FE;
+
+/// Position of the frequency byte within a stat word (bit 0 stays clear
+/// for the `val` layout's lock bit).
+const FREQ_SHIFT: u32 = 1;
+
+/// Saturation ceiling of the 8-bit frequency counter.
+const FREQ_MAX: Word = 0xFF;
 
 /// Mask recovering the overflow-bucket pointer from a stat word.
 const CHAIN_PTR_MASK: Word = !(FREQ_MASK | 1);
+
+/// Shift applied to a deadline (milliseconds on the store's clock) to form
+/// a **deadline word**: bit 0 stays clear for the `val` layout's lock bit,
+/// and the all-zero word means "never expires".
+pub(crate) const DEADLINE_SHIFT: u32 = 1;
 
 /// Keys budgeted per bucket when sizing from a capacity hint: 7 slots at
 /// the ~0.75 target load factor.
@@ -113,15 +132,40 @@ const _: () = {
         CHAIN_PTR_MASK & 1 == 0,
         "chain pointer mask exposes the lock bit"
     );
+    assert!(
+        FREQ_MASK == FREQ_MAX << FREQ_SHIFT,
+        "frequency byte must fill the frequency mask exactly"
+    );
+    assert!(
+        DEADLINE_SHIFT >= 1,
+        "deadline words must keep the lock bit clear"
+    );
 };
 
-/// A chain node: the immutable key plus the transactional value word.
-/// 64-byte alignment keeps bits 0..=5 of its address clear, making room
-/// for the tag bits packed into the item word.
+/// Encodes an absolute expiry time (milliseconds on the store's clock) as a
+/// deadline word.  Zero means "never expires"; very large deadlines clamp
+/// rather than shifting into the lock bit.
+#[inline]
+pub(crate) fn encode_deadline(deadline_ms: u64) -> Word {
+    (deadline_ms.min((Word::MAX >> DEADLINE_SHIFT) as u64) as Word) << DEADLINE_SHIFT
+}
+
+/// Whether a deadline word has passed at `now_ms` (the zero word never
+/// does).
+#[inline]
+pub(crate) fn deadline_expired(deadline: Word, now_ms: u64) -> bool {
+    deadline != 0 && ((deadline >> DEADLINE_SHIFT) as u64) <= now_ms
+}
+
+/// A chain node: the immutable key plus two transactional words — the value
+/// word and the deadline word (zero for immortal items; see
+/// [`encode_deadline`]).  64-byte alignment keeps bits 0..=5 of its address
+/// clear, making room for the tag bits packed into the item word.
 #[repr(align(64))]
 struct Node<S: Stm> {
     key: u64,
     value: S::Cell,
+    deadline: S::Cell,
 }
 
 /// One 64-byte bucket: 7 item words and a stat word, contiguous so a probe
@@ -160,9 +204,9 @@ struct Candidate<'a, S: Stm> {
 
 /// Outcome of one attempt at the short update-in-place protocol.
 enum ShortUpdate {
-    /// The value word was overwritten; holds the displaced word, now owned
-    /// by this thread.
-    Updated(Word),
+    /// The value word was overwritten; holds the displaced value word (now
+    /// owned by this thread) and the deadline word it was stored under.
+    Updated(Word, Word),
     /// The slot no longer holds the candidate (the key was deleted, and
     /// possibly reinserted elsewhere); search again.
     Gone,
@@ -471,10 +515,11 @@ impl<S: Stm> StmHashMap<S> {
         (w & CHAIN_PTR_MASK) as *mut OverflowBucket<S>
     }
 
-    fn alloc_node(&self, key: u64, word: Word) -> *mut Node<S> {
+    fn alloc_node(&self, key: u64, word: Word, deadline: Word) -> *mut Node<S> {
         Box::into_raw(Box::new(Node {
             key,
             value: self.stm.new_cell(word),
+            deadline: self.stm.new_cell(deadline),
         }))
     }
 
@@ -486,9 +531,16 @@ impl<S: Stm> StmHashMap<S> {
 
     /// Returns the value stored under `key`.
     pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
+        self.get_entry(key, thread).map(|(value, _)| value)
+    }
+
+    /// [`StmHashMap::get`] plus the entry's deadline word — the store's
+    /// expiry-aware read (the map itself stores deadlines without
+    /// interpreting them; expiry policy lives in [`crate::ShardedKv`]).
+    pub(crate) fn get_entry(&self, key: u64, thread: &mut S::Thread) -> Option<(Value, Word)> {
         match self.mode {
             ApiMode::Short => self.get_short(key, thread),
-            ApiMode::Full | ApiMode::Fine => self.get_full(key, thread),
+            ApiMode::Full | ApiMode::Fine => self.get_entry_full(key, thread),
         }
     }
 
@@ -501,10 +553,26 @@ impl<S: Stm> StmHashMap<S> {
     ) -> Result<Option<Value>, KvError> {
         check_len(value)?;
         let mut slot = ValueSlot::new();
-        Ok(match self.mode {
-            ApiMode::Short => self.put_short(key, value, &mut slot, thread),
-            ApiMode::Full | ApiMode::Fine => self.put_full(key, value, &mut slot, thread),
-        })
+        Ok(self
+            .put_entry(key, value, 0, &mut slot, thread)
+            .map(|(value, _)| value))
+    }
+
+    /// Insert-or-overwrite storing an explicit deadline word, returning the
+    /// displaced value and the deadline word it was stored under.  The
+    /// length must already be checked.
+    pub(crate) fn put_entry(
+        &self,
+        key: u64,
+        value: &[u8],
+        deadline: Word,
+        slot: &mut ValueSlot,
+        thread: &mut S::Thread,
+    ) -> Option<(Value, Word)> {
+        match self.mode {
+            ApiMode::Short => self.put_short(key, value, deadline, slot, thread),
+            ApiMode::Full | ApiMode::Fine => self.put_full(key, value, deadline, slot, thread),
+        }
     }
 
     /// Overwrites the value under an **existing** `key`, returning the
@@ -520,37 +588,45 @@ impl<S: Stm> StmHashMap<S> {
     ) -> Result<Option<Value>, KvError> {
         check_len(value)?;
         let mut slot = ValueSlot::new();
-        Ok(self.update_with_slot(key, value, &mut slot, thread))
+        Ok(self
+            .update_entry_with_slot(key, value, None, &mut slot, thread)
+            .map(|(value, _)| value))
     }
 
     /// [`StmHashMap::update`] with a caller-provided [`ValueSlot`], so a
     /// following [`StmHashMap::put_in`] of the same payload reuses the
-    /// encoding (the store's put fast path).  The length must already be
-    /// checked.
-    pub(crate) fn update_with_slot(
+    /// encoding (the store's put fast path).  `deadline` of `None`
+    /// preserves the entry's current deadline word; `Some(word)` installs a
+    /// new one.  Returns the displaced value and the deadline word it was
+    /// stored under.  The length must already be checked.
+    pub(crate) fn update_entry_with_slot(
         &self,
         key: u64,
         value: &[u8],
+        deadline: Option<Word>,
         slot: &mut ValueSlot,
         thread: &mut S::Thread,
-    ) -> Option<Value> {
+    ) -> Option<(Value, Word)> {
         match self.mode {
-            ApiMode::Short => self.update_short(key, value, slot, thread),
-            ApiMode::Full | ApiMode::Fine => self.update_full(key, value, slot, thread),
+            ApiMode::Short => self.update_short(key, value, deadline, slot, thread),
+            ApiMode::Full | ApiMode::Fine => {
+                self.update_entry_full(key, value, deadline, slot, thread)
+            }
         }
     }
 
-    /// [`StmHashMap::update_with_slot`] for callers that already hold an
-    /// epoch pin for the whole call (the batched pipeline): per-attempt pin
-    /// entry/exit is skipped; only a committed overwrite takes a nested
+    /// [`StmHashMap::update_entry_with_slot`] for callers that already hold
+    /// an epoch pin for the whole call (the batched pipeline): per-attempt
+    /// pin entry/exit is skipped; only a committed overwrite takes a nested
     /// (counter-bump) pin to retire the displaced word.
-    pub(crate) fn update_with_slot_pinned(
+    pub(crate) fn update_entry_with_slot_pinned(
         &self,
         key: u64,
         value: &[u8],
+        deadline: Option<Word>,
         slot: &mut ValueSlot,
         thread: &mut S::Thread,
-    ) -> Option<Value> {
+    ) -> Option<(Value, Word)> {
         debug_assert!(thread.epoch().is_pinned(), "update_pinned without a pin");
         match self.mode {
             ApiMode::Short => {
@@ -561,8 +637,8 @@ impl<S: Stm> StmHashMap<S> {
                         thread.backoff().wait();
                     }
                     attempts += 1;
-                    if let Ok(displaced) = self.try_update_attempt(key, word, thread) {
-                        return displaced.map(|old| {
+                    if let Ok(displaced) = self.try_update_attempt(key, word, deadline, thread) {
+                        return displaced.map(|(old, old_deadline)| {
                             slot.mark_published();
                             // SAFETY: the committed overwrite displaced
                             // `old`, making this thread its exclusive owner.
@@ -570,20 +646,27 @@ impl<S: Stm> StmHashMap<S> {
                             let pin = thread.epoch().pin();
                             // SAFETY: as above; pinned readers are protected.
                             unsafe { retire_value(old, &pin) };
-                            previous
+                            (previous, old_deadline)
                         });
                     }
                 }
             }
-            ApiMode::Full | ApiMode::Fine => self.update_full(key, value, slot, thread),
+            ApiMode::Full | ApiMode::Fine => {
+                self.update_entry_full(key, value, deadline, slot, thread)
+            }
         }
     }
 
     /// Removes `key`, returning the value it held.
     pub fn del(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
+        self.del_entry(key, thread).map(|(value, _)| value)
+    }
+
+    /// [`StmHashMap::del`] plus the removed entry's deadline word.
+    pub(crate) fn del_entry(&self, key: u64, thread: &mut S::Thread) -> Option<(Value, Word)> {
         match self.mode {
             ApiMode::Short => self.del_short(key, thread),
-            ApiMode::Full | ApiMode::Fine => self.del_full(key, thread),
+            ApiMode::Full | ApiMode::Fine => self.del_entry_full(key, thread),
         }
     }
 
@@ -718,7 +801,7 @@ impl<S: Stm> StmHashMap<S> {
         self.scan_overflow_short(Self::chain(stat), key, tag, thread)
     }
 
-    fn get_short(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
+    fn get_short(&self, key: u64, thread: &mut S::Thread) -> Option<(Value, Word)> {
         let mut attempts = 0u32;
         loop {
             if attempts > 0 {
@@ -736,30 +819,36 @@ impl<S: Stm> StmHashMap<S> {
     /// failed and the caller should retry.  The caller must hold an epoch
     /// pin for the duration of the attempt.
     #[inline]
-    fn try_get_short(&self, key: u64, thread: &mut S::Thread) -> Result<Option<Value>, ()> {
+    fn try_get_short(&self, key: u64, thread: &mut S::Thread) -> Result<Option<(Value, Word)>, ()> {
         let Some(c) = self.find_short(key, thread) else {
             return Ok(None);
         };
-        // Membership and value must be observed together: a two-location
-        // read-only short transaction over (slot, value).
+        // Membership, value and deadline must be observed together: a
+        // three-location read-only short transaction over (slot, value,
+        // deadline).
         let w = thread.ro_read(0, c.cell);
         if w != c.word {
             return Err(());
         }
         let value = thread.ro_read(1, &c.node.value);
-        if !thread.ro_is_valid(2) {
+        let deadline = thread.ro_read(2, &c.node.deadline);
+        if !thread.ro_is_valid(3) {
             return Err(());
         }
         // SAFETY: the caller's pin predates any retirement of the cell
         // behind the validated word, so it cannot have been freed yet.
-        Ok(Some(unsafe { decode_value(value) }))
+        Ok(Some((unsafe { decode_value(value) }, deadline)))
     }
 
-    /// [`StmHashMap::get`] for callers that already hold an epoch pin for
-    /// the whole call (the batched pipeline, which enters the epoch once
+    /// [`StmHashMap::get_entry`] for callers that already hold an epoch pin
+    /// for the whole call (the batched pipeline, which enters the epoch once
     /// per batch): per-attempt pin entry/exit is skipped entirely.  In
     /// Full mode this simply forwards — `atomic` nests its pins cheaply.
-    pub(crate) fn get_pinned(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
+    pub(crate) fn get_entry_pinned(
+        &self,
+        key: u64,
+        thread: &mut S::Thread,
+    ) -> Option<(Value, Word)> {
         debug_assert!(thread.epoch().is_pinned(), "get_pinned without a pin");
         match self.mode {
             ApiMode::Short => {
@@ -774,18 +863,21 @@ impl<S: Stm> StmHashMap<S> {
                     }
                 }
             }
-            ApiMode::Full | ApiMode::Fine => self.get_full(key, thread),
+            ApiMode::Full | ApiMode::Fine => self.get_entry_full(key, thread),
         }
     }
 
-    /// One attempt at the update-in-place protocol: a two-location short
-    /// read-write transaction over (slot, value).  Re-reading the slot both
-    /// checks membership and guards against a concurrent delete committing
-    /// between the scan and the write.  The caller must hold an epoch pin.
+    /// One attempt at the update-in-place protocol: a three-location short
+    /// read-write transaction over (slot, value, deadline).  Re-reading the
+    /// slot both checks membership and guards against a concurrent delete
+    /// committing between the scan and the write.  A `deadline` of `None`
+    /// preserves the entry's deadline by writing back the word just read.
+    /// The caller must hold an epoch pin.
     fn try_update_short(
         &self,
         c: &Candidate<'_, S>,
         word: Word,
+        deadline: Option<Word>,
         thread: &mut S::Thread,
     ) -> ShortUpdate {
         let w = thread.rw_read(0, c.cell);
@@ -798,11 +890,13 @@ impl<S: Stm> StmHashMap<S> {
             return ShortUpdate::Gone;
         }
         let old = thread.rw_read(1, &c.node.value);
-        if !thread.rw_is_valid(2) {
+        let old_deadline = thread.rw_read(2, &c.node.deadline);
+        if !thread.rw_is_valid(3) {
             return ShortUpdate::Retry;
         }
-        if thread.rw_commit(2, &[c.word, word]) {
-            ShortUpdate::Updated(old)
+        let new_deadline = deadline.unwrap_or(old_deadline);
+        if thread.rw_commit(3, &[c.word, word, new_deadline]) {
+            ShortUpdate::Updated(old, old_deadline)
         } else {
             ShortUpdate::Retry
         }
@@ -812,9 +906,10 @@ impl<S: Stm> StmHashMap<S> {
         &self,
         key: u64,
         value: &[u8],
+        deadline: Word,
         slot: &mut ValueSlot,
         thread: &mut S::Thread,
-    ) -> Option<Value> {
+    ) -> Option<(Value, Word)> {
         let word = slot.encode_once(value);
         let h = hash_key(key);
         let tag = tag_of(h);
@@ -860,15 +955,15 @@ impl<S: Stm> StmHashMap<S> {
                 candidate = self.scan_overflow_short(chain, key, tag, thread);
             }
             if let Some(c) = candidate {
-                match self.try_update_short(&c, word, thread) {
-                    ShortUpdate::Updated(old) => {
+                match self.try_update_short(&c, word, Some(deadline), thread) {
+                    ShortUpdate::Updated(old, old_deadline) => {
                         slot.mark_published();
                         // SAFETY: the committed overwrite displaced `old`,
                         // making this thread its exclusive owner.
                         let previous = unsafe { decode_value(old) };
                         // SAFETY: as above; pinned readers are protected.
                         unsafe { retire_value(old, &pin) };
-                        return Some(previous);
+                        return Some((previous, old_deadline));
                     }
                     ShortUpdate::Gone | ShortUpdate::Retry => {
                         drop(pin);
@@ -884,10 +979,10 @@ impl<S: Stm> StmHashMap<S> {
                 // short API.
                 drop(pin);
                 drop(scratch);
-                return self.put_full(key, value, slot, thread);
+                return self.put_full(key, value, deadline, slot, thread);
             }
             if scratch.ptr.is_null() {
-                scratch.ptr = self.alloc_node(key, word);
+                scratch.ptr = self.alloc_node(key, word, deadline);
             }
             let tagged = scratch.ptr as Word | tag;
             let committed = if let Some(e) = empty {
@@ -922,21 +1017,22 @@ impl<S: Stm> StmHashMap<S> {
 
     /// One attempt of the update-only protocol (scan + the
     /// [`StmHashMap::try_update_short`] dispatch): `Ok(None)` means the key
-    /// is absent, `Ok(Some(old))` a committed overwrite that displaced
-    /// `old` — now owned by this thread, which must decode and retire it —
-    /// and `Err(())` a validation or commit failure to retry.  The caller
-    /// must hold an epoch pin for the whole attempt.
+    /// is absent, `Ok(Some((old, old_deadline)))` a committed overwrite
+    /// that displaced `old` — now owned by this thread, which must decode
+    /// and retire it — and `Err(())` a validation or commit failure to
+    /// retry.  The caller must hold an epoch pin for the whole attempt.
     fn try_update_attempt(
         &self,
         key: u64,
         word: Word,
+        deadline: Option<Word>,
         thread: &mut S::Thread,
-    ) -> Result<Option<Word>, ()> {
+    ) -> Result<Option<(Word, Word)>, ()> {
         let Some(c) = self.find_short(key, thread) else {
             return Ok(None);
         };
-        match self.try_update_short(&c, word, thread) {
-            ShortUpdate::Updated(old) => Ok(Some(old)),
+        match self.try_update_short(&c, word, deadline, thread) {
+            ShortUpdate::Updated(old, old_deadline) => Ok(Some((old, old_deadline))),
             // The slot changed under us: the key may be gone or freshly
             // reinserted elsewhere — re-search either way.
             ShortUpdate::Gone | ShortUpdate::Retry => Err(()),
@@ -950,9 +1046,10 @@ impl<S: Stm> StmHashMap<S> {
         &self,
         key: u64,
         value: &[u8],
+        deadline: Option<Word>,
         slot: &mut ValueSlot,
         thread: &mut S::Thread,
-    ) -> Option<Value> {
+    ) -> Option<(Value, Word)> {
         let word = slot.encode_once(value);
         let mut attempts = 0u32;
         loop {
@@ -961,21 +1058,21 @@ impl<S: Stm> StmHashMap<S> {
             }
             attempts += 1;
             let pin = thread.epoch().pin();
-            if let Ok(displaced) = self.try_update_attempt(key, word, thread) {
-                return displaced.map(|old| {
+            if let Ok(displaced) = self.try_update_attempt(key, word, deadline, thread) {
+                return displaced.map(|(old, old_deadline)| {
                     slot.mark_published();
                     // SAFETY: the committed overwrite displaced `old`,
                     // making this thread its exclusive owner.
                     let previous = unsafe { decode_value(old) };
                     // SAFETY: as above; pinned readers are protected.
                     unsafe { retire_value(old, &pin) };
-                    previous
+                    (previous, old_deadline)
                 });
             }
         }
     }
 
-    fn del_short(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
+    fn del_short(&self, key: u64, thread: &mut S::Thread) -> Option<(Value, Word)> {
         let mut attempts = 0u32;
         loop {
             if attempts > 0 {
@@ -984,9 +1081,10 @@ impl<S: Stm> StmHashMap<S> {
             attempts += 1;
             let pin = thread.epoch().pin();
             let c = self.find_short(key, thread)?;
-            // A two-location short transaction: clear the slot and capture
-            // the value, atomically.  Works at any chain depth — no
-            // predecessor pointer exists in the bucket layout.
+            // A three-location short transaction: clear the slot and
+            // capture the value and deadline, atomically.  Works at any
+            // chain depth — no predecessor pointer exists in the bucket
+            // layout.
             let w = thread.rw_read(0, c.cell);
             if !thread.rw_is_valid(1) {
                 drop(pin);
@@ -999,11 +1097,12 @@ impl<S: Stm> StmHashMap<S> {
                 continue;
             }
             let value = thread.rw_read(1, &c.node.value);
-            if !thread.rw_is_valid(2) {
+            let deadline = thread.rw_read(2, &c.node.deadline);
+            if !thread.rw_is_valid(3) {
                 drop(pin);
                 continue;
             }
-            if thread.rw_commit(2, &[0, value]) {
+            if thread.rw_commit(3, &[0, value, deadline]) {
                 // SAFETY: the committed delete cleared the slot, so the
                 // node is unreachable for new scans; pinned readers are
                 // protected.
@@ -1013,9 +1112,87 @@ impl<S: Stm> StmHashMap<S> {
                 let previous = unsafe { decode_value(value) };
                 // SAFETY: as above.
                 unsafe { retire_value(value, &pin) };
-                return Some(previous);
+                return Some((previous, deadline));
             }
             drop(pin);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Frequency byte and sweep support (the store's eviction machinery)
+    // ------------------------------------------------------------------
+
+    /// Current value of home bucket `idx`'s frequency byte (one
+    /// single-location read).
+    pub(crate) fn bucket_freq(&self, idx: usize, thread: &mut S::Thread) -> u8 {
+        let stat = thread.single_read(&self.buckets[idx].stat);
+        ((stat & FREQ_MASK) >> FREQ_SHIFT) as u8
+    }
+
+    /// Best-effort saturating bump of `key`'s home-bucket frequency byte:
+    /// one single-location short read-write transaction, no retry — a lost
+    /// bump under contention is fine (the counter is a popularity
+    /// heuristic, not a count).
+    pub(crate) fn bump_freq(&self, key: u64, thread: &mut S::Thread) {
+        let home = self.home_bucket(hash_key(key));
+        let stat = thread.rw_read(0, &home.stat);
+        if !thread.rw_is_valid(1) {
+            return;
+        }
+        if (stat & FREQ_MASK) >> FREQ_SHIFT >= FREQ_MAX {
+            thread.rw_abort(1);
+            return;
+        }
+        let _ = thread.rw_commit(1, &[stat + (1 << FREQ_SHIFT)]);
+    }
+
+    /// Best-effort halving of home bucket `idx`'s frequency byte — the
+    /// reclaimer's periodic decay.  One attempt, no retry.
+    pub(crate) fn halve_freq(&self, idx: usize, thread: &mut S::Thread) {
+        let cell = &self.buckets[idx].stat;
+        let stat = thread.rw_read(0, cell);
+        if !thread.rw_is_valid(1) {
+            return;
+        }
+        let freq = (stat & FREQ_MASK) >> FREQ_SHIFT;
+        if freq == 0 {
+            thread.rw_abort(1);
+            return;
+        }
+        let halved = (stat & !FREQ_MASK) | ((freq >> 1) << FREQ_SHIFT);
+        let _ = thread.rw_commit(1, &[halved]);
+    }
+
+    /// Collects `(key, deadline word)` for every item currently chained
+    /// under home bucket `idx` via single-location reads — the reclaimer's
+    /// best-effort sweep snapshot.  Each candidate must be re-checked
+    /// inside the transaction that removes it (the snapshot can be stale by
+    /// the time the removal runs).
+    pub(crate) fn collect_bucket_entries(
+        &self,
+        idx: usize,
+        thread: &mut S::Thread,
+        out: &mut Vec<(u64, Word)>,
+    ) {
+        out.clear();
+        let _pin = thread.epoch().pin();
+        let mut bucket: &Bucket<S> = &self.buckets[idx];
+        loop {
+            for cell in &bucket.item {
+                let w = thread.single_read(cell);
+                if w != 0 {
+                    // SAFETY: `w` was read from a reachable slot under the
+                    // pin; retired nodes cannot be freed while pinned.
+                    let node = unsafe { &*Self::node(w) };
+                    out.push((node.key, thread.single_read(&node.deadline)));
+                }
+            }
+            let p = Self::chain(thread.single_read(&bucket.stat));
+            if p.is_null() {
+                break;
+            }
+            // SAFETY: overflow buckets live until the map is dropped.
+            bucket = unsafe { &(*p).bucket };
         }
     }
 
@@ -1023,24 +1200,26 @@ impl<S: Stm> StmHashMap<S> {
     // Traditional-transaction implementation
     // ------------------------------------------------------------------
 
-    fn get_full(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
+    fn get_entry_full(&self, key: u64, thread: &mut S::Thread) -> Option<(Value, Word)> {
         thread
-            .atomic(|tx| self.read_in(key, tx))
+            .atomic(|tx| self.read_entry_in(key, tx))
             .expect("get_full is never cancelled")
     }
 
     /// Body of a full-mode insert-or-update inside the caller's
     /// transaction.  `slot` carries the speculative node (and overflow
     /// bucket) across conflict retries; `word` is the pre-encoded value
-    /// word.  Returns the displaced word on overwrite (owned by the caller
-    /// once the transaction commits).
+    /// word and `deadline` the deadline word to install.  Returns the
+    /// displaced value word and its deadline word on overwrite (owned by
+    /// the caller once the transaction commits).
     fn put_body(
         &self,
         key: u64,
         word: Word,
+        deadline: Word,
         slot: &mut NodeSlot<S>,
         tx: &mut FullTx<'_, S::Thread>,
-    ) -> TxResult<Option<Word>> {
+    ) -> TxResult<Option<(Word, Word)>> {
         slot.chain_used = false;
         let h = hash_key(key);
         let tag = tag_of(h);
@@ -1059,8 +1238,10 @@ impl<S: Stm> StmHashMap<S> {
                     let node = unsafe { &*Self::node(w) };
                     if node.key == key {
                         let old = tx.read(&node.value)?;
+                        let old_deadline = tx.read(&node.deadline)?;
                         tx.write(&node.value, word)?;
-                        return Ok(Some(old));
+                        tx.write(&node.deadline, deadline)?;
+                        return Ok(Some((old, old_deadline)));
                     }
                 }
             }
@@ -1071,11 +1252,12 @@ impl<S: Stm> StmHashMap<S> {
                 // and stat word of the chain is in the read set, so the
                 // commit validates exclusion.
                 if slot.ptr.is_null() {
-                    slot.ptr = self.alloc_node(key, word);
+                    slot.ptr = self.alloc_node(key, word, deadline);
                 }
                 // SAFETY: still private until the commit publishes it.
                 let node = unsafe { &*slot.ptr };
                 S::poke(&node.value, word);
+                S::poke(&node.deadline, deadline);
                 let tagged = slot.ptr as Word | tag;
                 if let Some(cell) = empty_cell {
                     tx.write(cell, tagged)?;
@@ -1101,19 +1283,20 @@ impl<S: Stm> StmHashMap<S> {
         &self,
         key: u64,
         value: &[u8],
+        deadline: Word,
         slot: &mut ValueSlot,
         thread: &mut S::Thread,
-    ) -> Option<Value> {
+    ) -> Option<(Value, Word)> {
         let word = slot.encode_once(value);
         let mut node_slot = NodeSlot::<S>::new();
         let previous = thread
-            .atomic(|tx| self.put_body(key, word, &mut node_slot, tx))
+            .atomic(|tx| self.put_body(key, word, deadline, &mut node_slot, tx))
             .expect("put_full is never cancelled");
         // Whether by insert or by overwrite, the committed attempt stored
         // the slot's word.
         slot.mark_published();
         match previous {
-            Some(old) => {
+            Some((old, old_deadline)) => {
                 // The speculative allocations were not published (the
                 // committed outcome was an overwrite); `node_slot`'s drop
                 // frees them.
@@ -1124,7 +1307,7 @@ impl<S: Stm> StmHashMap<S> {
                 let out = unsafe { decode_value(old) };
                 // SAFETY: as above.
                 unsafe { retire_value(old, &pin) };
-                Some(out)
+                Some((out, old_deadline))
             }
             None => {
                 node_slot.mark_published();
@@ -1134,19 +1317,20 @@ impl<S: Stm> StmHashMap<S> {
     }
 
     /// Full-mode update-only path: one transaction running the
-    /// [`StmHashMap::write_in`] walk.
-    fn update_full(
+    /// [`StmHashMap::write_entry_in`] walk.
+    fn update_entry_full(
         &self,
         key: u64,
         value: &[u8],
+        deadline: Option<Word>,
         slot: &mut ValueSlot,
         thread: &mut S::Thread,
-    ) -> Option<Value> {
-        let mut displaced: Option<RetiredValue> = None;
+    ) -> Option<(Value, Word)> {
+        let mut displaced: Option<(RetiredValue, Word)> = None;
         let wrote = thread
             .atomic(|tx| {
                 displaced = None;
-                displaced = self.write_in(key, value, slot, tx)?;
+                displaced = self.write_entry_in(key, value, deadline, slot, tx)?;
                 Ok(displaced.is_some())
             })
             .expect("update is never cancelled");
@@ -1154,15 +1338,17 @@ impl<S: Stm> StmHashMap<S> {
             return None;
         }
         slot.mark_published();
-        let displaced = displaced.take().expect("wrote implies a displaced word");
+        let (displaced, old_deadline) = displaced.take().expect("wrote implies a displaced word");
         let out = displaced.value();
         displaced.retire(thread.epoch());
-        Some(out)
+        Some((out, old_deadline))
     }
 
     /// Inserts or updates `key` inside an already-running full transaction,
     /// regardless of this instance's [`ApiMode`].  Returns the displaced old
-    /// value (`None` means a fresh node was inserted).
+    /// value and the deadline word it was stored under (`None` means a
+    /// fresh node was inserted).  `deadline` is the deadline word to store
+    /// (`0` = never expires; see `encode_deadline`).
     ///
     /// `slot` carries the speculative allocations across conflict retries
     /// of the enclosing transaction (see [`NodeSlot`] for the publication
@@ -1175,26 +1361,33 @@ impl<S: Stm> StmHashMap<S> {
         &self,
         key: u64,
         value: &[u8],
+        deadline: Word,
         value_slot: &mut ValueSlot,
         slot: &mut NodeSlot<S>,
         tx: &mut FullTx<'_, S::Thread>,
-    ) -> TxResult<Option<RetiredValue>> {
+    ) -> TxResult<Option<(RetiredValue, Word)>> {
         debug_assert!(value.len() <= MAX_VALUE_LEN);
         if !slot.ptr.is_null() {
             // SAFETY: the slot's node is still private to this thread.
             debug_assert_eq!(unsafe { (*slot.ptr).key }, key, "one NodeSlot per key");
         }
         let word = value_slot.encode_once(value);
-        Ok(self.put_body(key, word, slot, tx)?.map(RetiredValue::new))
+        Ok(self
+            .put_body(key, word, deadline, slot, tx)?
+            .map(|(old, old_deadline)| (RetiredValue::new(old), old_deadline)))
     }
 
-    /// Body of a full-mode delete inside the caller's transaction.  Returns
-    /// the captured value word and the detached node pointer.
+    /// Body of a full-mode delete inside the caller's transaction.  With
+    /// `only_expired = Some(now_ms)` the delete happens only if the entry's
+    /// deadline has passed at `now_ms` (the reclaimer's re-check; `None`
+    /// removes unconditionally).  Returns the captured value word, the
+    /// deadline word, and the detached node pointer.
     fn del_body(
         &self,
         key: u64,
+        only_expired: Option<u64>,
         tx: &mut FullTx<'_, S::Thread>,
-    ) -> TxResult<Option<(Word, *mut Node<S>)>> {
+    ) -> TxResult<Option<(Word, Word, *mut Node<S>)>> {
         let h = hash_key(key);
         let tag = tag_of(h);
         let mut bucket: &Bucket<S> = self.home_bucket(h);
@@ -1205,9 +1398,15 @@ impl<S: Stm> StmHashMap<S> {
                     // SAFETY: see `put_body`.
                     let node = unsafe { &*Self::node(w) };
                     if node.key == key {
+                        let deadline = tx.read(&node.deadline)?;
+                        if let Some(now_ms) = only_expired {
+                            if !deadline_expired(deadline, now_ms) {
+                                return Ok(None);
+                            }
+                        }
                         let value = tx.read(&node.value)?;
                         tx.write(cell, 0)?;
-                        return Ok(Some((value, Self::node(w))));
+                        return Ok(Some((value, deadline, Self::node(w))));
                     }
                 }
             }
@@ -1220,11 +1419,11 @@ impl<S: Stm> StmHashMap<S> {
         }
     }
 
-    fn del_full(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
+    fn del_entry_full(&self, key: u64, thread: &mut S::Thread) -> Option<(Value, Word)> {
         let removed = thread
-            .atomic(|tx| self.del_body(key, tx))
+            .atomic(|tx| self.del_body(key, None, tx))
             .expect("del_full is never cancelled");
-        removed.map(|(value, detached)| {
+        removed.map(|(value, deadline, detached)| {
             let pin = thread.epoch().pin();
             // SAFETY: the committed transaction cleared the node's slot; it
             // is unreachable for new transactions.
@@ -1234,23 +1433,39 @@ impl<S: Stm> StmHashMap<S> {
             let out = unsafe { decode_value(value) };
             // SAFETY: as above.
             unsafe { retire_value(value, &pin) };
-            out
+            (out, deadline)
         })
     }
 
     /// Removes `key` inside an already-running full transaction, regardless
-    /// of this instance's [`ApiMode`].  Returns the captured value and the
+    /// of this instance's [`ApiMode`].  Returns the captured value, the
     /// detached node (both to be retired **after** the transaction commits;
-    /// see [`RetiredValue`] and [`RetiredNode`]), or `None` if the key was
-    /// absent.
+    /// see [`RetiredValue`] and [`RetiredNode`]), and the entry's deadline
+    /// word, or `None` if the key was absent.
     pub fn del_in(
         &self,
         key: u64,
         tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Option<(RetiredValue, RetiredNode<S>, Word)>> {
+        Ok(self.del_body(key, None, tx)?.map(|(value, deadline, ptr)| {
+            (RetiredValue::new(value), RetiredNode { ptr }, deadline)
+        }))
+    }
+
+    /// [`StmHashMap::del_in`] gated on expiry: removes `key` only if its
+    /// deadline has passed at `now_ms`, returning `None` when the key is
+    /// absent **or still live** — the transactional re-check behind the
+    /// store's lazy expiry and the background reclaimer (their sweep
+    /// snapshots may be stale by the time the removal runs).
+    pub(crate) fn del_expired_in(
+        &self,
+        key: u64,
+        now_ms: u64,
+        tx: &mut FullTx<'_, S::Thread>,
     ) -> TxResult<Option<(RetiredValue, RetiredNode<S>)>> {
         Ok(self
-            .del_body(key, tx)?
-            .map(|(value, ptr)| (RetiredValue::new(value), RetiredNode { ptr })))
+            .del_body(key, Some(now_ms), tx)?
+            .map(|(value, _, ptr)| (RetiredValue::new(value), RetiredNode { ptr })))
     }
 
     // ------------------------------------------------------------------
@@ -1260,6 +1475,16 @@ impl<S: Stm> StmHashMap<S> {
     /// Reads the value under `key` inside an already-running full
     /// transaction (the building block of cross-shard read-modify-write).
     pub fn read_in(&self, key: u64, tx: &mut FullTx<'_, S::Thread>) -> TxResult<Option<Value>> {
+        Ok(self.read_entry_in(key, tx)?.map(|(value, _)| value))
+    }
+
+    /// [`StmHashMap::read_in`] plus the entry's deadline word — the store's
+    /// expiry-aware composed read.
+    pub(crate) fn read_entry_in(
+        &self,
+        key: u64,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Option<(Value, Word)>> {
         let h = hash_key(key);
         let tag = tag_of(h);
         let mut bucket: &Bucket<S> = self.home_bucket(h);
@@ -1272,10 +1497,11 @@ impl<S: Stm> StmHashMap<S> {
                     let node = unsafe { &*Self::node(w) };
                     if node.key == key {
                         let word = tx.read(&node.value)?;
+                        let deadline = tx.read(&node.deadline)?;
                         // SAFETY: the attempt's epoch pin predates any
                         // retirement of the cell behind a word this read
                         // validated.
-                        return Ok(Some(unsafe { decode_value(word) }));
+                        return Ok(Some((unsafe { decode_value(word) }, deadline)));
                     }
                 }
             }
@@ -1306,6 +1532,23 @@ impl<S: Stm> StmHashMap<S> {
         slot: &mut ValueSlot,
         tx: &mut FullTx<'_, S::Thread>,
     ) -> TxResult<Option<RetiredValue>> {
+        Ok(self
+            .write_entry_in(key, value, None, slot, tx)?
+            .map(|(retired, _)| retired))
+    }
+
+    /// [`StmHashMap::write_in`] with deadline control: `None` preserves the
+    /// entry's deadline word (a read-modify-write must not refresh a TTL),
+    /// `Some(word)` installs a new one.  Also returns the deadline word the
+    /// displaced value was stored under.
+    pub(crate) fn write_entry_in(
+        &self,
+        key: u64,
+        value: &[u8],
+        deadline: Option<Word>,
+        slot: &mut ValueSlot,
+        tx: &mut FullTx<'_, S::Thread>,
+    ) -> TxResult<Option<(RetiredValue, Word)>> {
         debug_assert!(value.len() <= MAX_VALUE_LEN);
         let h = hash_key(key);
         let tag = tag_of(h);
@@ -1318,8 +1561,12 @@ impl<S: Stm> StmHashMap<S> {
                     let node = unsafe { &*Self::node(w) };
                     if node.key == key {
                         let old = tx.read(&node.value)?;
+                        let old_deadline = tx.read(&node.deadline)?;
                         tx.write(&node.value, slot.encode(value))?;
-                        return Ok(Some(RetiredValue::new(old)));
+                        if let Some(d) = deadline {
+                            tx.write(&node.deadline, d)?;
+                        }
+                        return Ok(Some((RetiredValue::new(old), old_deadline)));
                     }
                 }
             }

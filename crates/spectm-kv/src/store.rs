@@ -26,12 +26,42 @@
 //! [`crate::ValueCell`]s); every operation that displaces a word retires it
 //! through the epoch collector after its transaction commits, per the
 //! [`crate::RetiredValue`] contract.
+//!
+//! # TTL, byte budget, eviction
+//!
+//! Configured through [`CacheConfig`] (see [`ShardedKv::with_config`]), the
+//! store runs as a bounded cache.  The *mechanism* lives in the map — every
+//! item stores a deadline word beside its value word, every home bucket a
+//! frequency byte in its stat word — and the *policy* lives here:
+//!
+//! * **Expiry is lazy plus swept.**  Reads treat a passed deadline as a
+//!   miss and immediately remove the corpse (a full transaction over the
+//!   shard and its index, re-checking the deadline); the background sweep
+//!   ([`ShardedKv::sweep_step`], usually driven by a
+//!   [`crate::ttl::Reclaimer`] thread) walks buckets incrementally and
+//!   removes what reads never touch.  An expired key is therefore never
+//!   *observable* — but may remain physically present until one of the two
+//!   removals reaches it.
+//! * **Accounting is physical.**  [`ShardedKv::live_bytes`] charges
+//!   [`ITEM_OVERHEAD_BYTES`] plus the payload length for every item
+//!   physically present — including expired-but-unswept ones — and every
+//!   mutation settles its delta right after its transaction commits, riding
+//!   the same displaced-ownership hook that retires value words.
+//! * **Eviction is budget-driven CLOCK.**  When `max_bytes` is set and the
+//!   account exceeds it, the sweep empties buckets at the cursor;
+//!   [`EvictionPolicy::Freq`] gives buckets with a non-zero frequency byte
+//!   a second chance (halving the counter), so under skewed traffic the hot
+//!   set survives.  Writes may overshoot between sweeps; the invariant is
+//!   *at-or-under budget after a sweep*.
 
-use spectm::{Stm, StmThread};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spectm::{Stm, StmThread, Word};
 use spectm_ds::{ApiMode, StmSkipList, TowerSlot};
 
-use crate::map::{MapStats, NodeSlot, StmHashMap};
+use crate::map::{deadline_expired, encode_deadline, MapStats, NodeSlot, StmHashMap};
 use crate::router::ShardRouter;
+use crate::ttl::{CacheConfig, CacheStats, EvictionPolicy, SweepOutcome};
 use crate::value::{RetiredValue, Value, ValueSlot, MAX_VALUE_LEN};
 use crate::KvError;
 
@@ -41,6 +71,25 @@ use crate::KvError;
 /// batched operations of [`crate::batch`] have no key limit — they pipeline
 /// per-shard instead of opening one transaction over everything.
 pub const MAX_RMW_KEYS: usize = 8;
+
+/// Fixed per-item overhead charged against the byte budget beside the
+/// payload length: the 64-byte chain node, its share of the bucket array
+/// and the ordered-index tower, and allocator slack.  A deliberately blunt
+/// constant — the budget bounds memory to first order; it is not an
+/// allocator audit.
+pub const ITEM_OVERHEAD_BYTES: u64 = 128;
+
+/// Bytes one item of `len` payload bytes charges to the account.
+#[inline]
+fn item_cost(len: usize) -> u64 {
+    ITEM_OVERHEAD_BYTES + len as u64
+}
+
+/// Upper bound on eviction visits per sweep, in whole-table passes: the
+/// frequency byte needs at most 8 halvings (`log2(255)`) to reach zero, one
+/// more visit empties the bucket, and one pass of slack absorbs concurrent
+/// frequency bumps.
+const MAX_EVICTION_PASSES: usize = 10;
 
 /// A sharded, concurrent `u64 -> bytes` store over one STM instance.
 ///
@@ -52,14 +101,46 @@ pub struct ShardedKv<S: Stm + Clone> {
     /// Per-shard ordered key index, kept transactionally consistent with
     /// the hash shard of the same position (see the module docs).
     indexes: Vec<StmSkipList<S>>,
+    config: CacheConfig,
+    /// Whether reads maintain hit/miss counters and frequency bytes — set
+    /// when the configuration enables any cache behaviour, so the plain
+    /// store pays nothing for them.
+    track: bool,
+    /// Physical live-byte account (see the module docs).
+    live_bytes: AtomicU64,
+    /// Sweep position over the flattened `(shard, bucket)` space.
+    cursor: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expired: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl<S: Stm + Clone> ShardedKv<S> {
     /// Creates a store with `shards` shards (rounded up to a power of two),
     /// each sized for about `capacity_per_shard` keys (see
     /// [`StmHashMap::new`] — a hint targeting the ~0.75 bucket load factor,
-    /// not a limit), all driven in `mode`.
+    /// not a limit), all driven in `mode`.  Cache behaviour (TTL, byte
+    /// budget) is disabled; use [`ShardedKv::with_config`] for that.
     pub fn new(stm: &S, shards: usize, capacity_per_shard: usize, mode: ApiMode) -> Self {
+        Self::with_config(
+            stm,
+            shards,
+            capacity_per_shard,
+            mode,
+            CacheConfig::default(),
+        )
+    }
+
+    /// [`ShardedKv::new`] with explicit cache behaviour: byte budget,
+    /// default TTL, eviction policy, clock.
+    pub fn with_config(
+        stm: &S,
+        shards: usize,
+        capacity_per_shard: usize,
+        mode: ApiMode,
+        config: CacheConfig,
+    ) -> Self {
         let router = ShardRouter::new(shards);
         let shards: Vec<StmHashMap<S>> = (0..router.shard_count())
             .map(|_| StmHashMap::new(stm, capacity_per_shard, mode))
@@ -67,11 +148,20 @@ impl<S: Stm + Clone> ShardedKv<S> {
         let indexes = (0..router.shard_count())
             .map(|_| StmSkipList::new(stm, mode))
             .collect();
+        let track = config.max_bytes.is_some() || config.default_ttl_ms > 0;
         Self {
             stm: stm.clone(),
             router,
             shards,
             indexes,
+            config,
+            track,
+            live_bytes: AtomicU64::new(0),
+            cursor: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -88,6 +178,13 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total home buckets across all shards — the cycle length of the
+    /// sweep cursor, so `sweep_step(bucket_count(), ..)` is one full
+    /// expiry pass over the table.
+    pub fn bucket_count(&self) -> usize {
+        self.shards.iter().map(|s| s.bucket_count()).sum()
     }
 
     /// The router assigning keys to shards.
@@ -113,6 +210,115 @@ impl<S: Stm + Clone> ShardedKv<S> {
         &self.indexes[shard]
     }
 
+    /// The cache configuration this store was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Milliseconds on the store's clock — the time base of every deadline.
+    #[inline]
+    pub fn now_ms(&self) -> u64 {
+        self.config.clock.now_ms()
+    }
+
+    /// Current physical live-byte account: [`ITEM_OVERHEAD_BYTES`] plus
+    /// payload length for every item physically present (expired items
+    /// count until a read or the sweep removes them).
+    #[inline]
+    pub fn live_bytes(&self) -> u64 {
+        // ORDERING: relaxed statistics counter; per-operation deltas are
+        // settled after their transactions commit, and exact readings are
+        // only expected at quiescent points.
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cache counters.  Hits and misses are only maintained
+    /// when the configuration enables cache behaviour (a byte budget or a
+    /// default TTL).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            // ORDERING: relaxed statistics counters, read at reporting
+            // points (each line below likewise).
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed), // ORDERING: as above.
+            expired: self.expired.load(Ordering::Relaxed), // ORDERING: as above.
+            evicted: self.evicted.load(Ordering::Relaxed), // ORDERING: as above.
+            live_bytes: self.live_bytes(),
+        }
+    }
+
+    /// The deadline word for a put carrying `ttl_ms` (`None` = the
+    /// configured default TTL; `0` = immortal, the memcached convention).
+    #[inline]
+    pub(crate) fn deadline_for(&self, ttl_ms: Option<u64>) -> Word {
+        let ttl = ttl_ms.unwrap_or(self.config.default_ttl_ms);
+        if ttl == 0 {
+            0
+        } else {
+            encode_deadline(self.now_ms().saturating_add(ttl))
+        }
+    }
+
+    /// Whether `deadline` (a word from the map) has passed.  Reads the
+    /// clock only for mortal entries, so immortal traffic never pays for a
+    /// time source.
+    #[inline]
+    pub(crate) fn entry_expired(&self, deadline: Word) -> bool {
+        deadline != 0 && deadline_expired(deadline, self.now_ms())
+    }
+
+    /// Charges one freshly inserted item to the account.
+    #[inline]
+    pub(crate) fn account_insert(&self, len: usize) {
+        // ORDERING: relaxed statistics counter (see `live_bytes`).
+        self.live_bytes.fetch_add(item_cost(len), Ordering::Relaxed);
+    }
+
+    /// Settles an overwrite: the item stays, only the payload length moved.
+    #[inline]
+    pub(crate) fn account_overwrite(&self, old_len: usize, new_len: usize) {
+        if new_len >= old_len {
+            self.live_bytes
+                // ORDERING: relaxed statistics counter (see `live_bytes`).
+                .fetch_add((new_len - old_len) as u64, Ordering::Relaxed);
+        } else {
+            self.live_bytes
+                // ORDERING: relaxed statistics counter (see `live_bytes`).
+                .fetch_sub((old_len - new_len) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Credits one physically removed item back to the account.
+    #[inline]
+    pub(crate) fn account_remove(&self, len: usize) {
+        // ORDERING: relaxed statistics counter (see `live_bytes`).
+        self.live_bytes.fetch_sub(item_cost(len), Ordering::Relaxed);
+    }
+
+    /// Records that an expired-but-unswept entry was physically removed or
+    /// overwritten.
+    #[inline]
+    pub(crate) fn note_expired(&self) {
+        // ORDERING: relaxed statistics counter (see `cache_stats`).
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_hit(&self) {
+        if self.track {
+            // ORDERING: relaxed statistics counter (see `cache_stats`).
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_miss(&self) {
+        if self.track {
+            // ORDERING: relaxed statistics counter (see `cache_stats`).
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Returns the value stored under `key` (a short transaction on the
     /// owning shard).
     ///
@@ -131,7 +337,109 @@ impl<S: Stm + Clone> ShardedKv<S> {
     /// assert_eq!(store.get(7, &mut thread), Some(Value::new(b"seventy")));
     /// ```
     pub fn get(&self, key: u64, thread: &mut S::Thread) -> Option<Value> {
-        self.shard(key).get(key, thread)
+        self.get_routed(self.router.route(key), key, thread)
+    }
+
+    /// [`ShardedKv::get`] with the shard already resolved — the expiry-aware
+    /// read shared with the batched pipeline.  A passed deadline is a miss:
+    /// the corpse is removed on the spot (full transaction over the shard
+    /// and its index, re-checking the deadline) and `None` returned.  Live
+    /// hits bump the home bucket's frequency byte when a byte budget is
+    /// configured.
+    pub(crate) fn get_routed(
+        &self,
+        shard: usize,
+        key: u64,
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        debug_assert_eq!(shard, self.router.route(key));
+        match self.shards[shard].get_entry(key, thread) {
+            Some((value, deadline)) => {
+                if self.entry_expired(deadline) {
+                    self.expire_routed(shard, key, thread);
+                    self.count_miss();
+                    return None;
+                }
+                if self.config.max_bytes.is_some() {
+                    self.shards[shard].bump_freq(key, thread);
+                }
+                self.count_hit();
+                Some(value)
+            }
+            None => {
+                self.count_miss();
+                None
+            }
+        }
+    }
+
+    /// [`ShardedKv::get_routed`] for callers that already hold an epoch pin
+    /// for the whole call (the batched pipeline).
+    pub(crate) fn get_routed_pinned(
+        &self,
+        shard: usize,
+        key: u64,
+        thread: &mut S::Thread,
+    ) -> Option<Value> {
+        debug_assert_eq!(shard, self.router.route(key));
+        match self.shards[shard].get_entry_pinned(key, thread) {
+            Some((value, deadline)) => {
+                if self.entry_expired(deadline) {
+                    self.expire_routed(shard, key, thread);
+                    self.count_miss();
+                    return None;
+                }
+                if self.config.max_bytes.is_some() {
+                    self.shards[shard].bump_freq(key, thread);
+                }
+                self.count_hit();
+                Some(value)
+            }
+            None => {
+                self.count_miss();
+                None
+            }
+        }
+    }
+
+    /// Physically removes `key` if (and only if) its deadline has passed —
+    /// the removal half of lazy expiry and of the sweep's expiry pass.  The
+    /// deadline is re-checked inside the transaction, so a concurrent
+    /// refresh or a racing remover turns this into a no-op.  Returns whether
+    /// this call removed the entry.
+    fn expire_routed(&self, shard: usize, key: u64, thread: &mut S::Thread) -> bool {
+        let now = self.now_ms();
+        let mut removed = None;
+        let mut retired_tower = None;
+        let found = thread
+            .atomic(|tx| {
+                removed = None;
+                retired_tower = None;
+                let Some((value, node)) = self.shards[shard].del_expired_in(key, now, tx)? else {
+                    return Ok(false);
+                };
+                removed = Some((value, node));
+                retired_tower = self.indexes[shard].remove_in(key, tx)?;
+                debug_assert!(
+                    retired_tower.is_some(),
+                    "key {key} was in the shard but not the index"
+                );
+                Ok(true)
+            })
+            .expect("expiry is never cancelled");
+        if !found {
+            return false;
+        }
+        let (value, node) = removed.take().expect("committed expiry captured a node");
+        self.account_remove(value.value().len());
+        // ORDERING: relaxed statistics counter (see `cache_stats`).
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        value.retire(thread.epoch());
+        node.retire(thread);
+        if let Some(tower) = retired_tower {
+            tower.retire(thread);
+        }
+        true
     }
 
     /// Stores `value` under `key`, returning the previous value if present,
@@ -164,23 +472,39 @@ impl<S: Stm + Clone> ShardedKv<S> {
         value: &[u8],
         thread: &mut S::Thread,
     ) -> Result<Option<Value>, KvError> {
+        self.put_with_ttl(key, value, None, thread)
+    }
+
+    /// [`ShardedKv::put`] with an explicit TTL: `None` applies the
+    /// configured default, `Some(0)` makes the entry immortal (the
+    /// memcached convention), `Some(ms)` expires it `ms` milliseconds from
+    /// now on the store's clock.  Overwriting always installs the new
+    /// deadline — a put is a full refresh of the entry.
+    pub fn put_with_ttl(
+        &self,
+        key: u64,
+        value: &[u8],
+        ttl_ms: Option<u64>,
+        thread: &mut S::Thread,
+    ) -> Result<Option<Value>, KvError> {
         if value.len() > MAX_VALUE_LEN {
             return Err(KvError::ValueTooLarge { len: value.len() });
         }
-        Ok(self.put_routed(self.router.route(key), key, value, thread))
+        Ok(self.put_routed(self.router.route(key), key, value, ttl_ms, thread))
     }
 
-    /// [`ShardedKv::put`] with the shard already resolved and the length
-    /// already checked — the body shared by the single-key path and the
-    /// batched pipeline (`crate::batch`), which routes once per batch.
+    /// [`ShardedKv::put_with_ttl`] with the shard already resolved and the
+    /// length already checked — the body shared by the single-key path and
+    /// the batched pipeline (`crate::batch`), which routes once per batch.
     pub(crate) fn put_routed(
         &self,
         shard: usize,
         key: u64,
         value: &[u8],
+        ttl_ms: Option<u64>,
         thread: &mut S::Thread,
     ) -> Option<Value> {
-        self.put_routed_impl(shard, key, value, thread, false)
+        self.put_routed_impl(shard, key, value, ttl_ms, thread, false)
     }
 
     /// [`ShardedKv::put_routed`] for callers that already hold an epoch pin
@@ -192,9 +516,10 @@ impl<S: Stm + Clone> ShardedKv<S> {
         shard: usize,
         key: u64,
         value: &[u8],
+        ttl_ms: Option<u64>,
         thread: &mut S::Thread,
     ) -> Option<Value> {
-        self.put_routed_impl(shard, key, value, thread, true)
+        self.put_routed_impl(shard, key, value, ttl_ms, thread, true)
     }
 
     fn put_routed_impl(
@@ -202,21 +527,36 @@ impl<S: Stm + Clone> ShardedKv<S> {
         shard: usize,
         key: u64,
         value: &[u8],
+        ttl_ms: Option<u64>,
         thread: &mut S::Thread,
         pinned: bool,
     ) -> Option<Value> {
         debug_assert!(value.len() <= MAX_VALUE_LEN);
         debug_assert_eq!(shard, self.router.route(key));
+        let deadline = self.deadline_for(ttl_ms);
         let mut value_slot = ValueSlot::new();
         // Fast path: overwrite an existing key — membership (and thus the
-        // ordered index) is unchanged.
+        // ordered index) is unchanged.  The new deadline rides the same
+        // short transaction.
         let updated = if pinned {
-            self.shards[shard].update_with_slot_pinned(key, value, &mut value_slot, thread)
+            self.shards[shard].update_entry_with_slot_pinned(
+                key,
+                value,
+                Some(deadline),
+                &mut value_slot,
+                thread,
+            )
         } else {
-            self.shards[shard].update_with_slot(key, value, &mut value_slot, thread)
+            self.shards[shard].update_entry_with_slot(
+                key,
+                value,
+                Some(deadline),
+                &mut value_slot,
+                thread,
+            )
         };
-        if let Some(old) = updated {
-            return Some(old);
+        if let Some((old, old_deadline)) = updated {
+            return self.settle_overwrite(old, old_deadline, value.len());
         }
         // Slow path: the key looked absent — insert it into the hash map
         // and the index in one transaction.  A concurrent insert may win
@@ -224,12 +564,18 @@ impl<S: Stm + Clone> ShardedKv<S> {
         // and the index is left alone.
         let mut node_slot = NodeSlot::new();
         let mut tower_slot = TowerSlot::new();
-        let mut displaced: Option<RetiredValue> = None;
+        let mut displaced: Option<(RetiredValue, Word)> = None;
         let inserted = thread
             .atomic(|tx| {
                 displaced = None;
-                displaced =
-                    self.shards[shard].put_in(key, value, &mut value_slot, &mut node_slot, tx)?;
+                displaced = self.shards[shard].put_in(
+                    key,
+                    value,
+                    deadline,
+                    &mut value_slot,
+                    &mut node_slot,
+                    tx,
+                )?;
                 if displaced.is_none() {
                     let linked = self.indexes[shard].insert_in(key, 0, &mut tower_slot, tx)?;
                     debug_assert!(linked, "key {key} was in the index but not the shard");
@@ -243,13 +589,34 @@ impl<S: Stm + Clone> ShardedKv<S> {
         if inserted {
             node_slot.mark_published();
             tower_slot.mark_published();
+            self.account_insert(value.len());
             None
         } else {
-            let displaced = displaced.take().expect("overwrite displaced a word");
+            let (displaced, old_deadline) = displaced.take().expect("overwrite displaced a word");
             let old = displaced.value();
             displaced.retire(thread.epoch());
-            Some(old)
+            self.settle_overwrite(old, old_deadline, value.len())
         }
+    }
+
+    /// Books a committed overwrite and derives its logical result: the
+    /// byte account moves by the payload delta, and a displaced value whose
+    /// deadline had already passed was not observable — the put behaved as
+    /// an insert over a corpse, so the caller reports `None` (and the
+    /// corpse counts as expired).
+    pub(crate) fn settle_overwrite(
+        &self,
+        old: Value,
+        old_deadline: Word,
+        new_len: usize,
+    ) -> Option<Value> {
+        self.account_overwrite(old.len(), new_len);
+        if self.entry_expired(old_deadline) {
+            // ORDERING: relaxed statistics counter (see `cache_stats`).
+            self.expired.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(old)
     }
 
     /// Removes `key`, returning the value it held.  One full transaction
@@ -261,22 +628,45 @@ impl<S: Stm + Clone> ShardedKv<S> {
     }
 
     /// [`ShardedKv::del`] with the shard already resolved (see
-    /// [`ShardedKv::put_routed`]).
+    /// [`ShardedKv::put_routed`]).  Deleting an expired-but-unswept entry
+    /// removes it physically but reports `None` — the caller never learns a
+    /// dead key still existed.
     pub(crate) fn del_routed(
         &self,
         shard: usize,
         key: u64,
         thread: &mut S::Thread,
     ) -> Option<Value> {
+        let (out, deadline) = self.remove_routed(shard, key, thread)?;
+        if self.entry_expired(deadline) {
+            // ORDERING: relaxed statistics counter (see `cache_stats`).
+            self.expired.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(out)
+    }
+
+    /// Physically removes `key` from the shard and its index (one full
+    /// transaction), settles the byte account, and returns the removed
+    /// value with the deadline word it was stored under.  The shared
+    /// removal body under [`ShardedKv::del_routed`] and the sweep's
+    /// eviction — policy (expired? evicted? report the value?) stays with
+    /// the caller.
+    fn remove_routed(
+        &self,
+        shard: usize,
+        key: u64,
+        thread: &mut S::Thread,
+    ) -> Option<(Value, Word)> {
         debug_assert_eq!(shard, self.router.route(key));
         let mut removed = None;
         let mut retired_tower = None;
-        let found = thread
+        let deadline = thread
             .atomic(|tx| {
                 removed = None;
                 retired_tower = None;
-                let Some((value, node)) = self.shards[shard].del_in(key, tx)? else {
-                    return Ok(false);
+                let Some((value, node, deadline)) = self.shards[shard].del_in(key, tx)? else {
+                    return Ok(None);
                 };
                 removed = Some((value, node));
                 retired_tower = self.indexes[shard].remove_in(key, tx)?;
@@ -284,20 +674,18 @@ impl<S: Stm + Clone> ShardedKv<S> {
                     retired_tower.is_some(),
                     "key {key} was in the shard but not the index"
                 );
-                Ok(true)
+                Ok(Some(deadline))
             })
-            .expect("del is never cancelled");
-        if !found {
-            return None;
-        }
+            .expect("del is never cancelled")?;
         let (value, node) = removed.take().expect("committed delete captured a node");
         let out = value.value();
+        self.account_remove(out.len());
         value.retire(thread.epoch());
         node.retire(thread);
         if let Some(tower) = retired_tower {
             tower.retire(thread);
         }
-        Some(out)
+        Some((out, deadline))
     }
 
     /// Atomically reads every key in `keys` inside **one full transaction**
@@ -316,12 +704,18 @@ impl<S: Stm + Clone> ShardedKv<S> {
         if keys.len() > MAX_RMW_KEYS {
             return Err(KvError::TooManyKeys { len: keys.len() });
         }
+        let now = self.now_ms();
         Ok(thread
             .atomic(|tx| {
                 let mut vals = Vec::with_capacity(keys.len());
                 for &key in keys {
-                    match self.shard(key).read_in(key, tx)? {
-                        Some(v) => vals.push(v),
+                    match self.shard(key).read_entry_in(key, tx)? {
+                        // An expired entry is absent; physical removal is
+                        // left to lazy expiry and the sweep.
+                        Some((_, deadline)) if deadline_expired(deadline, now) => {
+                            return Ok(None);
+                        }
+                        Some((v, _)) => vals.push(v),
                         None => return Ok(None),
                     }
                 }
@@ -352,15 +746,22 @@ impl<S: Stm + Clone> ShardedKv<S> {
         if keys.len() > MAX_RMW_KEYS {
             return Err(KvError::TooManyKeys { len: keys.len() });
         }
+        let now = self.now_ms();
         let mut slots: Vec<ValueSlot> = (0..keys.len()).map(|_| ValueSlot::new()).collect();
-        let mut displaced: Vec<RetiredValue> = Vec::with_capacity(keys.len());
+        let mut displaced: Vec<(RetiredValue, usize)> = Vec::with_capacity(keys.len());
         let mut oversize: Option<usize> = None;
         let outcome = thread.atomic(|tx| {
             displaced.clear();
             let mut vals = Vec::with_capacity(keys.len());
             for &key in keys {
-                match self.shard(key).read_in(key, tx)? {
-                    Some(v) => vals.push(v),
+                match self.shard(key).read_entry_in(key, tx)? {
+                    // An expired entry is absent, and absence makes the
+                    // whole rmw a total no-op; physical removal is left to
+                    // lazy expiry and the sweep.
+                    Some((_, deadline)) if deadline_expired(deadline, now) => {
+                        return Ok(false);
+                    }
+                    Some((v, _)) => vals.push(v),
                     None => return Ok(false),
                 }
             }
@@ -372,10 +773,12 @@ impl<S: Stm + Clone> ShardedKv<S> {
             for ((slot, &key), val) in slots.iter_mut().zip(keys).zip(&vals) {
                 // The key was read above inside this same transaction, so
                 // the write cannot miss (opacity keeps the chain stable for
-                // the duration of the attempt).
+                // the duration of the attempt).  `write_in` preserves the
+                // entry's deadline: a read-modify-write must not refresh a
+                // TTL.
                 let old = self.shard(key).write_in(key, val, slot, tx)?;
                 debug_assert!(old.is_some(), "key {key} vanished within the transaction");
-                displaced.extend(old);
+                displaced.extend(old.map(|o| (o, val.len())));
             }
             Ok(true)
         });
@@ -388,7 +791,8 @@ impl<S: Stm + Clone> ShardedKv<S> {
                 for slot in &mut slots {
                     slot.mark_published();
                 }
-                for old in displaced.drain(..) {
+                for (old, new_len) in displaced.drain(..) {
+                    self.account_overwrite(old.value().len(), new_len);
                     old.retire(thread.epoch());
                 }
                 Ok(true)
@@ -453,6 +857,7 @@ impl<S: Stm + Clone> ShardedKv<S> {
         if limit == 0 {
             return Vec::new();
         }
+        let now = self.now_ms();
         thread
             .atomic(|tx| {
                 let mut runs = Vec::with_capacity(self.shards.len());
@@ -460,7 +865,7 @@ impl<S: Stm + Clone> ShardedKv<S> {
                     // Each shard may contribute up to `limit` of the merged
                     // result, so every run must be that deep.
                     let keys = index.collect_tail_keys_in(start, limit, tx)?;
-                    runs.push(Self::read_run(shard, keys, tx)?);
+                    runs.push(Self::read_run(shard, keys, now, tx)?);
                 }
                 Ok(Self::merge_runs(runs, limit))
             })
@@ -474,12 +879,13 @@ impl<S: Stm + Clone> ShardedKv<S> {
         if start >= end {
             return Vec::new();
         }
+        let now = self.now_ms();
         thread
             .atomic(|tx| {
                 let mut runs = Vec::with_capacity(self.shards.len());
                 for (index, shard) in self.indexes.iter().zip(&self.shards) {
                     let keys = index.collect_keys_in(start, end, usize::MAX, tx)?;
-                    runs.push(Self::read_run(shard, keys, tx)?);
+                    runs.push(Self::read_run(shard, keys, now, tx)?);
                 }
                 Ok(Self::merge_runs(runs, usize::MAX))
             })
@@ -488,18 +894,25 @@ impl<S: Stm + Clone> ShardedKv<S> {
 
     /// Reads the value for every key of one per-shard run inside the scan's
     /// transaction.  The index invariant guarantees each key is present in
-    /// the hash shard at the transaction's serialization point.
+    /// the hash shard at the transaction's serialization point; entries
+    /// whose deadline has passed at `now_ms` are skipped (so a scan that
+    /// lands between an expiry and its sweep may return fewer than `limit`
+    /// pairs even when more live keys follow — the same contract as a
+    /// concurrent delete).
     fn read_run(
         shard: &StmHashMap<S>,
         keys: Vec<u64>,
+        now_ms: u64,
         tx: &mut spectm::FullTx<'_, S::Thread>,
     ) -> spectm::TxResult<Vec<(u64, Value)>> {
         let mut run = Vec::with_capacity(keys.len());
         for key in keys {
-            let value = shard.read_in(key, tx)?;
-            debug_assert!(value.is_some(), "index key {key} missing from its shard");
-            if let Some(value) = value {
-                run.push((key, value));
+            let entry = shard.read_entry_in(key, tx)?;
+            debug_assert!(entry.is_some(), "index key {key} missing from its shard");
+            if let Some((value, deadline)) = entry {
+                if !deadline_expired(deadline, now_ms) {
+                    run.push((key, value));
+                }
             }
         }
         Ok(run)
@@ -556,6 +969,90 @@ impl<S: Stm + Clone> ShardedKv<S> {
             stats.merge(&shard.stats());
         }
         stats
+    }
+
+    // ------------------------------------------------------------------
+    // The sweep: incremental expiry + budget eviction
+    // ------------------------------------------------------------------
+
+    /// One increment of the background sweep, callable from any registered
+    /// thread (the [`crate::ttl::Reclaimer`] drives it from its own; tests
+    /// call it directly for determinism).
+    ///
+    /// Two passes share a persistent cursor over the flattened
+    /// `(shard, home bucket)` space:
+    ///
+    /// 1. **Expiry** — visits up to `max_buckets` buckets, removing every
+    ///    entry whose deadline has passed (re-checked transactionally).  A
+    ///    saturated frequency byte is halved here so further hits still
+    ///    move it.
+    /// 2. **Eviction** — only while [`ShardedKv::live_bytes`] exceeds the
+    ///    configured budget: walks on from the cursor emptying buckets.
+    ///    Under [`EvictionPolicy::Freq`] a bucket with a non-zero frequency
+    ///    byte is spared and halved (CLOCK second chance — this is also the
+    ///    frequency decay); under [`EvictionPolicy::Fifo`] the cursor's
+    ///    bucket is emptied regardless.  Bounded by
+    ///    enough whole-table passes to drain every counter, so a sweep
+    ///    always ends at-or-under budget unless concurrent writers outrun
+    ///    it.
+    pub fn sweep_step(&self, max_buckets: usize, thread: &mut S::Thread) -> SweepOutcome {
+        let per_shard = self.shards[0].bucket_count();
+        debug_assert!(self.shards.iter().all(|s| s.bucket_count() == per_shard));
+        let total = per_shard * self.shards.len();
+        let now = self.now_ms();
+        let mut outcome = SweepOutcome::default();
+        let mut scratch: Vec<(u64, Word)> = Vec::new();
+        for _ in 0..max_buckets.min(total) {
+            let (shard, bucket) = self.advance_cursor(per_shard, total);
+            outcome.scanned += 1;
+            self.shards[shard].collect_bucket_entries(bucket, thread, &mut scratch);
+            for &(key, deadline) in &scratch {
+                if deadline_expired(deadline, now) && self.expire_routed(shard, key, thread) {
+                    outcome.expired += 1;
+                }
+            }
+            if self.shards[shard].bucket_freq(bucket, thread) == u8::MAX {
+                self.shards[shard].halve_freq(bucket, thread);
+            }
+        }
+        let Some(budget) = self.config.max_bytes else {
+            return outcome;
+        };
+        let mut visited = 0;
+        while self.live_bytes() > budget && visited < MAX_EVICTION_PASSES * total {
+            visited += 1;
+            let (shard, bucket) = self.advance_cursor(per_shard, total);
+            if self.config.policy == EvictionPolicy::Freq
+                && self.shards[shard].bucket_freq(bucket, thread) > 0
+            {
+                self.shards[shard].halve_freq(bucket, thread);
+                continue;
+            }
+            self.shards[shard].collect_bucket_entries(bucket, thread, &mut scratch);
+            for &(key, deadline) in &scratch {
+                if deadline_expired(deadline, now) {
+                    if self.expire_routed(shard, key, thread) {
+                        outcome.expired += 1;
+                    }
+                } else if self.remove_routed(shard, key, thread).is_some() {
+                    // ORDERING: relaxed statistics counter (see
+                    // `cache_stats`).
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                    outcome.evicted += 1;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Claims the next sweep position, returning `(shard, home bucket)`.
+    #[inline]
+    fn advance_cursor(&self, per_shard: usize, total: usize) -> (usize, usize) {
+        // ORDERING: the cursor is a work-distribution hint shared between
+        // sweepers; a duplicate or skipped bucket only changes which sweep
+        // visits it.
+        let pos = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % total;
+        (pos / per_shard, pos % per_shard)
     }
 
     /// Checks the index invariant at quiescence: every shard's index holds
@@ -768,5 +1265,240 @@ mod tests {
                 len: MAX_VALUE_LEN + 1
             })
         );
+    }
+
+    use crate::ttl::{CacheConfig, Clock, EvictionPolicy};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    /// A small cache-mode store on a hand-driven clock (advance time by
+    /// storing into the returned counter).
+    /// Moves the shared manual clock to `ms`.
+    fn set_now(now: &AtomicU64, ms: u64) {
+        // ORDERING: single-writer test clock; nothing synchronizes
+        // through it.
+        now.store(ms, Ordering::Relaxed);
+    }
+
+    fn cache_store(
+        max_bytes: Option<u64>,
+        default_ttl_ms: u64,
+        policy: EvictionPolicy,
+    ) -> (ShardedKv<ValShort>, Arc<AtomicU64>) {
+        let stm = ValShort::new();
+        let now = Arc::new(AtomicU64::new(0));
+        let config = CacheConfig {
+            max_bytes,
+            default_ttl_ms,
+            policy,
+            clock: Clock::manual(&now),
+        };
+        (
+            ShardedKv::with_config(&stm, 2, 64, ApiMode::Short, config),
+            now,
+        )
+    }
+
+    #[test]
+    fn expiry_is_lazy_on_get_and_counted() {
+        let (store, now) = cache_store(None, 0, EvictionPolicy::Freq);
+        let mut t = store.register();
+        store.put_with_ttl(7, b"soon", Some(100), &mut t).unwrap();
+        store.put_with_ttl(8, b"immortal", Some(0), &mut t).unwrap();
+        assert_eq!(store.get(7, &mut t), Some(Value::new(b"soon")));
+
+        set_now(&now, 99);
+        assert_eq!(
+            store.get(7, &mut t),
+            Some(Value::new(b"soon")),
+            "just before the deadline"
+        );
+        // The deadline itself is expired: a TTL of N ms means the entry
+        // lives while `now < put_time + N`.
+        set_now(&now, 100);
+        assert_eq!(store.get(7, &mut t), None, "at the deadline");
+        assert_eq!(store.get(7, &mut t), None, "corpse stays gone");
+        assert_eq!(store.get(8, &mut t), Some(Value::new(b"immortal")));
+        assert_eq!(store.cache_stats().expired, 1);
+        // The corpse's bytes were released by the lazy removal.
+        assert_eq!(
+            store.live_bytes(),
+            ITEM_OVERHEAD_BYTES + b"immortal".len() as u64
+        );
+        store.assert_index_consistent();
+    }
+
+    #[test]
+    fn expired_entries_hide_from_scans() {
+        let (store, now) = cache_store(None, 0, EvictionPolicy::Freq);
+        let mut t = store.register();
+        for k in 0..16u64 {
+            let ttl = if k % 2 == 0 { Some(50) } else { Some(0) };
+            store
+                .put_with_ttl(k, &k.to_le_bytes(), ttl, &mut t)
+                .unwrap();
+        }
+        assert_eq!(store.scan(0, usize::MAX, &mut t).len(), 16);
+        set_now(&now, 51);
+        let run = store.scan(0, usize::MAX, &mut t);
+        assert_eq!(run.len(), 8);
+        assert!(run.iter().all(|(k, _)| k % 2 == 1), "expired keys scanned");
+    }
+
+    #[test]
+    fn default_ttl_applies_to_plain_puts() {
+        let (store, now) = cache_store(None, 50, EvictionPolicy::Freq);
+        let mut t = store.register();
+        store.put(1, b"defaulted", &mut t).unwrap();
+        store.put_with_ttl(2, b"longer", Some(500), &mut t).unwrap();
+        store.put_with_ttl(3, b"forever", Some(0), &mut t).unwrap();
+        set_now(&now, 51);
+        assert_eq!(store.get(1, &mut t), None, "default TTL ignored");
+        assert_eq!(store.get(2, &mut t), Some(Value::new(b"longer")));
+        assert_eq!(store.get(3, &mut t), Some(Value::new(b"forever")));
+        // Cache mode is on (default TTL), so reads are tallied.
+        let stats = store.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn overwrite_refreshes_the_deadline() {
+        let (store, now) = cache_store(None, 0, EvictionPolicy::Freq);
+        let mut t = store.register();
+        store.put_with_ttl(9, b"v1", Some(100), &mut t).unwrap();
+        set_now(&now, 80);
+        store.put_with_ttl(9, b"v2", Some(100), &mut t).unwrap();
+        set_now(&now, 160);
+        assert_eq!(
+            store.get(9, &mut t),
+            Some(Value::new(b"v2")),
+            "the overwrite restarted the clock"
+        );
+        set_now(&now, 181);
+        assert_eq!(store.get(9, &mut t), None);
+    }
+
+    #[test]
+    fn rmw_preserves_the_deadline() {
+        let (store, now) = cache_store(None, 0, EvictionPolicy::Freq);
+        let mut t = store.register();
+        store
+            .put_with_ttl(4, &10u64.to_le_bytes(), Some(100), &mut t)
+            .unwrap();
+        assert!(store.rmw_add(&[4], 5, &mut t).unwrap());
+        assert_eq!(store.get(4, &mut t).unwrap().as_u64(), 15);
+        // An in-place update is not a refresh: the original deadline holds.
+        set_now(&now, 101);
+        assert_eq!(store.get(4, &mut t), None);
+        // And an rmw never resurrects a corpse.
+        assert!(!store.rmw_add(&[4], 5, &mut t).unwrap());
+    }
+
+    #[test]
+    fn sweep_reclaims_expired_entries_in_bulk() {
+        let (store, now) = cache_store(None, 0, EvictionPolicy::Freq);
+        let mut t = store.register();
+        for k in 0..64u64 {
+            store
+                .put_with_ttl(k, &k.to_le_bytes(), Some(30), &mut t)
+                .unwrap();
+        }
+        let full = store.bucket_count();
+        // Nothing is due yet: a full pass scans but removes nothing.
+        let outcome = store.sweep_step(full, &mut t);
+        assert_eq!((outcome.expired, outcome.evicted), (0, 0));
+        assert!(store.live_bytes() > 0);
+
+        set_now(&now, 31);
+        let outcome = store.sweep_step(full, &mut t);
+        assert_eq!(outcome.expired, 64);
+        assert_eq!(store.live_bytes(), 0);
+        assert_eq!(store.cache_stats().expired, 64);
+        assert!(store.scan(0, usize::MAX, &mut t).is_empty());
+        store.assert_index_consistent();
+    }
+
+    #[test]
+    fn byte_budget_accounting_tracks_put_overwrite_del() {
+        let (store, _now) = cache_store(Some(1 << 20), 0, EvictionPolicy::Freq);
+        let mut t = store.register();
+        let item = |len: u64| ITEM_OVERHEAD_BYTES + len;
+        store.put(1, &[0u8; 64], &mut t).unwrap();
+        assert_eq!(store.live_bytes(), item(64));
+        // Overwrite re-accounts to the new length, in either direction.
+        store.put(1, &[0u8; 8], &mut t).unwrap();
+        assert_eq!(store.live_bytes(), item(8));
+        store.put(1, &[0u8; 200], &mut t).unwrap();
+        assert_eq!(store.live_bytes(), item(200));
+        store.put(2, &[0u8; 16], &mut t).unwrap();
+        assert_eq!(store.live_bytes(), item(200) + item(16));
+        store.del(1, &mut t);
+        assert_eq!(store.live_bytes(), item(16));
+        store.del(2, &mut t);
+        assert_eq!(store.live_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_drains_to_the_budget() {
+        let budget = 40 * (ITEM_OVERHEAD_BYTES + 8);
+        let (store, _now) = cache_store(Some(budget), 0, EvictionPolicy::Freq);
+        let mut t = store.register();
+        for k in 0..200u64 {
+            store.put(k, &k.to_le_bytes(), &mut t).unwrap();
+        }
+        assert!(
+            store.live_bytes() > budget,
+            "writes overshoot between sweeps"
+        );
+        store.sweep_step(store.bucket_count(), &mut t);
+        let stats = store.cache_stats();
+        assert!(
+            stats.live_bytes <= budget,
+            "sweep left {} live bytes over the {budget} budget",
+            stats.live_bytes
+        );
+        assert!(stats.evicted > 0);
+        assert_eq!(stats.expired, 0, "nothing had a TTL");
+        // The survivors are intact and consistent with the ordered index.
+        for (k, v) in store.scan(0, usize::MAX, &mut t) {
+            assert_eq!(v.as_u64(), k);
+        }
+        store.assert_index_consistent();
+    }
+
+    #[test]
+    fn fifo_eviction_ignores_frequency() {
+        let budget = 10 * (ITEM_OVERHEAD_BYTES + 8);
+        let (store, _now) = cache_store(Some(budget), 0, EvictionPolicy::Fifo);
+        let mut t = store.register();
+        for k in 0..100u64 {
+            store.put(k, &k.to_le_bytes(), &mut t).unwrap();
+        }
+        // Touch everything so every home bucket is frequency-marked; FIFO
+        // must evict regardless.
+        for k in 0..100u64 {
+            store.get(k, &mut t);
+        }
+        store.sweep_step(store.bucket_count(), &mut t);
+        let stats = store.cache_stats();
+        assert!(stats.live_bytes <= budget);
+        assert!(stats.evicted > 0);
+    }
+
+    #[test]
+    fn counters_stay_dark_outside_cache_mode() {
+        let stm = ValShort::new();
+        let store = ShardedKv::new(&stm, 2, 64, ApiMode::Short);
+        let mut t = store.register();
+        store.put(1, b"x", &mut t).unwrap();
+        store.get(1, &mut t);
+        store.get(2, &mut t);
+        let stats = store.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        // Accounting still runs (it is cheap and keeps `with_config`
+        // migrations honest), but nothing expires or evicts.
+        assert_eq!(store.live_bytes(), ITEM_OVERHEAD_BYTES + 1);
+        let outcome = store.sweep_step(store.bucket_count(), &mut t);
+        assert_eq!((outcome.expired, outcome.evicted), (0, 0));
     }
 }

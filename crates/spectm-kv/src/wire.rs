@@ -27,9 +27,10 @@
 //!
 //! ```text
 //! +--------------+----- per operation, count times ---------------------+
-//! | count: u32   | opcode: u8 | key: u64 LE | [vlen: u32 LE | v bytes]  |
+//! | count: u32   | opcode: u8 | key: u64 LE | [op-specific fields]      |
 //! +--------------+------------------------------------------------------+
-//!   opcode: 0 = GET, 1 = PUT (vlen/value present), 2 = DEL
+//!   opcode: 0 = GET, 1 = PUT (vlen: u32 LE | v bytes), 2 = DEL,
+//!           3 = PUT_TTL (ttl_ms: u64 LE | vlen: u32 LE | v bytes)
 //!   count <= MAX_WIRE_OPS, vlen <= MAX_VALUE_LEN
 //! ```
 //!
@@ -68,9 +69,10 @@ use crate::value::{Value, MAX_VALUE_LEN};
 /// [`MAX_VALUE_LEN`].
 pub const MAX_WIRE_OPS: usize = 128;
 
-/// Worst-case per-operation wire cost: opcode + key + value-length header
-/// (a get or delete costs less; this bounds a put).
-const MAX_OP_WIRE_LEN: usize = 1 + 8 + 4 + MAX_VALUE_LEN;
+/// Worst-case per-operation wire cost: opcode + key + TTL + value-length
+/// header (a get, delete, or plain put costs less; this bounds a
+/// put-with-TTL).
+const MAX_OP_WIRE_LEN: usize = 1 + 8 + 8 + 4 + MAX_VALUE_LEN;
 
 /// Largest legal frame body, in bytes: the operation count plus
 /// [`MAX_WIRE_OPS`] worst-case operations.  Every legal request *and*
@@ -86,6 +88,9 @@ const PREFIX_LEN: usize = 4;
 const OP_GET: u8 = 0;
 const OP_PUT: u8 = 1;
 const OP_DEL: u8 = 2;
+/// Put carrying an explicit TTL in milliseconds (`0` = never expires,
+/// overriding any server-side default).
+pub(crate) const OP_PUT_TTL: u8 = 3;
 
 /// Response result tags.
 const TAG_ABSENT: u8 = 0;
@@ -213,6 +218,14 @@ pub fn encode_request(ops: &[BatchOp], out: &mut Vec<u8>) -> Result<(), WireErro
             BatchOp::Del(key) => {
                 out.push(OP_DEL);
                 out.extend_from_slice(&key.to_le_bytes());
+            }
+            BatchOp::PutTtl(key, value, ttl_ms) => {
+                check_value_len(value.len()).inspect_err(|_| out.truncate(start))?;
+                out.push(OP_PUT_TTL);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&ttl_ms.to_le_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                out.extend_from_slice(value);
             }
         }
     }
@@ -346,6 +359,11 @@ pub fn decode_request_append(body: &[u8], req: &mut BatchRequest) -> Result<usiz
                 req.put(key, cur.bytes(len)?)
             }
             OP_DEL => req.del(key),
+            OP_PUT_TTL => {
+                let ttl_ms = cur.u64()?;
+                let len = cur.value_len()?;
+                req.put_ttl(key, cur.bytes(len)?, ttl_ms)
+            }
             opcode => return Err(WireError::BadOpcode { opcode }),
         };
     }
@@ -610,6 +628,9 @@ mod tests {
             BatchOp::put(9, &[0xABu8; 100]),
             BatchOp::put(10, &vec![0x5Au8; 4096]),
             BatchOp::Del(11),
+            BatchOp::put_ttl(12, b"fresh", 30_000),
+            BatchOp::put_ttl(13, b"immortal", 0),
+            BatchOp::put_ttl(14, &vec![0xC3u8; 512], u64::MAX),
         ];
         assert_eq!(roundtrip_request(&ops), ops);
         assert_eq!(roundtrip_request(&[]), vec![]);
@@ -652,6 +673,22 @@ mod tests {
         );
         let at_max = vec![BatchOp::put(1, &vec![3u8; MAX_VALUE_LEN])];
         assert_eq!(roundtrip_request(&at_max), at_max);
+
+        // The TTL-carrying put enforces the same boundary: the encoder
+        // rejects one byte past MAX_VALUE_LEN before the `as u32` cast and
+        // leaves no partial frame behind, while exactly MAX_VALUE_LEN
+        // roundtrips.
+        let huge_ttl = BatchOp::PutTtl(2, Value::new(&vec![0u8; MAX_VALUE_LEN + 1]), 5_000);
+        out.clear();
+        assert_eq!(
+            encode_request(std::slice::from_ref(&huge_ttl), &mut out),
+            Err(WireError::ValueTooLarge {
+                len: MAX_VALUE_LEN as u64 + 1
+            })
+        );
+        assert!(out.is_empty(), "failed encode must not leave partial bytes");
+        let at_max_ttl = vec![BatchOp::put_ttl(2, &vec![4u8; MAX_VALUE_LEN], 5_000)];
+        assert_eq!(roundtrip_request(&at_max_ttl), at_max_ttl);
     }
 
     #[test]

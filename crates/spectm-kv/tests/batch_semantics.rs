@@ -50,7 +50,10 @@ fn op_from(kind: u8, key: u64, draw: u64) -> BatchOp {
     match kind % 4 {
         0 => BatchOp::Get(key),
         1 => BatchOp::Del(key),
-        _ => BatchOp::put(key, &payload(key, draw)),
+        2 => BatchOp::put(key, &payload(key, draw)),
+        // An explicit never-expires TTL must behave exactly like a plain
+        // put through the whole batch pipeline.
+        _ => BatchOp::put_ttl(key, &payload(key, draw), 0),
     }
 }
 
@@ -61,7 +64,7 @@ fn oracle_results(ops: &[BatchOp], oracle: &mut BTreeMap<u64, Value>) -> Vec<Opt
     ops.iter()
         .map(|op| match op {
             BatchOp::Get(k) => oracle.get(k).cloned(),
-            BatchOp::Put(k, v) => oracle.insert(*k, v.clone()),
+            BatchOp::Put(k, v) | BatchOp::PutTtl(k, v, _) => oracle.insert(*k, v.clone()),
             BatchOp::Del(k) => oracle.remove(k),
         })
         .collect()

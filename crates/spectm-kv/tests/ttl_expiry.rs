@@ -1,0 +1,290 @@
+//! TTL observability: an expired entry must never be returned through
+//! **any** read surface — `get`, `scan`, `execute_batch`, or the wire
+//! codec path — no matter how the clock, the operations and the sweeps
+//! interleave.
+//!
+//! Two layers:
+//!
+//! * A proptest drives a random schedule of TTL'd puts, deletes, clock
+//!   advances and sweep steps on a manually driven clock against a
+//!   `BTreeMap` oracle, checking every read surface after every step.
+//! * A barrier-started multi-threaded run (the [`common`] scaffolding)
+//!   races workers against the background [`Reclaimer`] while a dedicated
+//!   thread advances the clock, asserting that a key known to be past its
+//!   deadline is never observed and an immortal key never disappears.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use common::run_workers;
+use proptest::prelude::*;
+use spectm::variants::ValShort;
+use spectm::Stm;
+use spectm_ds::ApiMode;
+use spectm_kv::wire;
+use spectm_kv::{BatchOp, BatchRequest, BatchResponse, CacheConfig, Clock, Reclaimer, ShardedKv};
+
+const RANGE: u64 = 24;
+
+/// Deterministic payload for `(key, draw)` sweeping the inline and
+/// out-of-line value regimes.
+fn payload(key: u64, draw: u64) -> Vec<u8> {
+    let len = (draw % 49) as usize;
+    (0..len)
+        .map(|i| (key as u8).wrapping_mul(167) ^ (draw as u8) ^ (i as u8).wrapping_mul(59))
+        .collect()
+}
+
+/// Reads the manual clock.
+fn clock_now(clock: &AtomicU64) -> u64 {
+    // ORDERING: the manual clock is a monotonic test counter; every
+    // assertion bounds itself with its own read, so Relaxed suffices.
+    clock.load(Ordering::Relaxed)
+}
+
+/// Advances the manual clock by `ms`.
+fn clock_advance(clock: &AtomicU64, ms: u64) {
+    // ORDERING: see `clock_now`.
+    clock.fetch_add(ms, Ordering::Relaxed);
+}
+
+/// Oracle entry: bytes plus absolute deadline (`0` = immortal).
+type Oracle = BTreeMap<u64, (Vec<u8>, u64)>;
+
+/// Whether the oracle considers `key` observable at `now`.
+fn observable(oracle: &Oracle, key: u64, now: u64) -> Option<&[u8]> {
+    oracle.get(&key).and_then(|(bytes, deadline)| {
+        (*deadline == 0 || *deadline > now).then_some(bytes.as_slice())
+    })
+}
+
+/// Reads every key over the wire codec path — encode the request frame,
+/// decode it server-side, execute, encode the response, decode it
+/// client-side — and checks each result against the oracle.
+fn check_wire_surface(
+    store: &ShardedKv<ValShort>,
+    t: &mut <ValShort as Stm>::Thread,
+    oracle: &Oracle,
+    now: u64,
+) {
+    let ops: Vec<BatchOp> = (0..RANGE).map(BatchOp::Get).collect();
+    let mut frame = Vec::new();
+    wire::encode_request(&ops, &mut frame).unwrap();
+    let mut req = BatchRequest::new();
+    wire::decode_request(&frame[4..], &mut req).unwrap();
+    let mut resp = BatchResponse::new();
+    store.execute_batch_into(&mut req, &mut resp, t).unwrap();
+    let mut resp_frame = Vec::new();
+    wire::encode_response(&resp, &mut resp_frame).unwrap();
+    let mut decoded = BatchResponse::new();
+    wire::decode_response(&resp_frame[4..], &mut decoded).unwrap();
+    for (key, result) in (0..RANGE).zip(&decoded) {
+        match observable(oracle, key, now) {
+            Some(bytes) => assert_eq!(
+                result.as_ref().map(|v| v.as_ref()),
+                Some(bytes),
+                "wire get of live key {key} at {now}ms"
+            ),
+            None => assert_eq!(*result, None, "wire get exposed dead key {key} at {now}ms"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random schedules of TTL'd writes, clock advances, deletes and
+    /// sweeps: after every step, `get`, `scan`, `execute_batch` and the
+    /// wire path agree with the oracle and never expose an expired entry.
+    #[test]
+    fn expired_entries_are_unobservable_on_every_surface(
+        steps in proptest::collection::vec((0u8..6, 0u64..RANGE, 0u64..1 << 60), 1..60),
+    ) {
+        let stm = ValShort::new();
+        let now_ms = Arc::new(AtomicU64::new(0));
+        let config = CacheConfig {
+            clock: Clock::manual(&now_ms),
+            ..CacheConfig::default()
+        };
+        let store = ShardedKv::with_config(&stm, 2, 16, ApiMode::Short, config);
+        let mut t = store.register();
+        let mut oracle: Oracle = BTreeMap::new();
+
+        for (op, key, draw) in steps {
+            let now = clock_now(&now_ms);
+            match op {
+                // A put with a short TTL, a long TTL, or none (immortal).
+                0 => {
+                    let ttl = draw % 8; // 0 = immortal, else 1..=7 ms
+                    let bytes = payload(key, draw);
+                    store.put_with_ttl(key, &bytes, Some(ttl), &mut t).unwrap();
+                    let deadline = if ttl == 0 { 0 } else { now + ttl };
+                    oracle.insert(key, (bytes, deadline));
+                }
+                // Time passes.
+                1 => {
+                    clock_advance(&now_ms, draw % 5);
+                }
+                // A delete (possibly of an expired corpse: reports None
+                // either way, and the key stays gone).
+                2 => {
+                    let expect = observable(&oracle, key, now).map(<[u8]>::to_vec);
+                    let got = store.del(key, &mut t).map(|v| v.as_ref().to_vec());
+                    prop_assert_eq!(got, expect, "del of key {} at {}ms", key, now);
+                    oracle.remove(&key);
+                }
+                // A sweep step changes nothing observable, ever.
+                3 => {
+                    store.sweep_step((draw % 64) as usize, &mut t);
+                }
+                // Point get.
+                4 => {
+                    let got = store.get(key, &mut t);
+                    let expect = observable(&oracle, key, now);
+                    prop_assert_eq!(
+                        got.as_ref().map(|v| v.as_ref()),
+                        expect,
+                        "get of key {} at {}ms",
+                        key,
+                        now
+                    );
+                }
+                // Batched gets through `execute_batch`.
+                _ => {
+                    let ops: Vec<BatchOp> = (0..RANGE).map(BatchOp::Get).collect();
+                    let results = store.execute_batch(&ops, &mut t).unwrap();
+                    for (k, result) in (0..RANGE).zip(&results) {
+                        prop_assert_eq!(
+                            result.as_ref().map(|v| v.as_ref()),
+                            observable(&oracle, k, now),
+                            "batched get of key {} at {}ms",
+                            k,
+                            now
+                        );
+                    }
+                }
+            }
+            // The full-table surfaces hold after every step: the scan shows
+            // exactly the observable oracle, and the wire path agrees.
+            let now = clock_now(&now_ms);
+            let scanned: Vec<(u64, Vec<u8>)> = store
+                .scan(0, usize::MAX, &mut t)
+                .into_iter()
+                .map(|(k, v)| (k, v.as_ref().to_vec()))
+                .collect();
+            let visible: Vec<(u64, Vec<u8>)> = oracle
+                .iter()
+                .filter(|(k, _)| observable(&oracle, **k, now).is_some())
+                .map(|(k, (bytes, _))| (*k, bytes.clone()))
+                .collect();
+            prop_assert_eq!(scanned, visible, "scan at {}ms", now);
+            check_wire_surface(&store, &mut t, &oracle, now);
+        }
+        store.assert_index_consistent();
+    }
+}
+
+/// Workers over disjoint key ranges race the background reclaimer and a
+/// clock-advancer thread.  Every worker tracks a conservative deadline
+/// upper bound per key, so "this key is past its deadline for sure" and
+/// "this key is immortal" are both assertable despite the concurrency.
+#[test]
+fn racing_reclaimer_never_exposes_expired_entries() {
+    const WORKERS: u64 = 3;
+    const KEYS_PER_WORKER: u64 = 48;
+    const OPS: usize = 2_500;
+
+    let stm = ValShort::new();
+    let now_ms = Arc::new(AtomicU64::new(0));
+    let config = CacheConfig {
+        clock: Clock::manual(&now_ms),
+        ..CacheConfig::default()
+    };
+    let store = Arc::new(ShardedKv::with_config(&stm, 4, 64, ApiMode::Short, config));
+    let reclaimer = Reclaimer::spawn(Arc::clone(&store), Duration::from_micros(200), 64);
+    // Immortal entries must survive everything; the shared oracle records
+    // them (workers write disjoint ranges, so entries never conflict).
+    let immortal: Mutex<BTreeMap<u64, Vec<u8>>> = Mutex::new(BTreeMap::new());
+
+    // Worker 0 is the clock: everyone else runs the workload.
+    run_workers(WORKERS + 1, 0xDEAD_0011, |tid, rng| {
+        if tid == 0 {
+            for _ in 0..OPS {
+                clock_advance(&now_ms, 1);
+                std::thread::yield_now();
+            }
+            return;
+        }
+        let mut t = store.register();
+        let base = (tid - 1) * KEYS_PER_WORKER;
+        // key -> (bytes, deadline upper bound; 0 = immortal), absent = gone.
+        let mut local: BTreeMap<u64, (Vec<u8>, u64)> = BTreeMap::new();
+        for _ in 0..OPS {
+            let draw = rng.next();
+            let key = base + draw % KEYS_PER_WORKER;
+            match draw % 8 {
+                0 | 1 => {
+                    let ttl = (draw >> 32) % 4; // 0 = immortal, else 1..=3 ms
+                    let bytes = payload(key, draw);
+                    store.put_with_ttl(key, &bytes, Some(ttl), &mut t).unwrap();
+                    // The put computed its deadline from a clock reading no
+                    // later than now: this bound is conservative.
+                    let after = clock_now(&now_ms);
+                    let hi = if ttl == 0 { 0 } else { after + ttl };
+                    if ttl == 0 {
+                        immortal.lock().unwrap().insert(key, bytes.clone());
+                    } else {
+                        immortal.lock().unwrap().remove(&key);
+                    }
+                    local.insert(key, (bytes, hi));
+                }
+                2 => {
+                    store.del(key, &mut t);
+                    local.remove(&key);
+                    immortal.lock().unwrap().remove(&key);
+                }
+                _ => {
+                    let before = clock_now(&now_ms);
+                    let got = store.get(key, &mut t);
+                    match local.get(&key) {
+                        None => assert_eq!(got, None, "deleted key {key} observed"),
+                        Some((bytes, 0)) => {
+                            let got = got.unwrap_or_else(|| panic!("immortal key {key} vanished"));
+                            assert_eq!(got.as_ref(), &bytes[..], "immortal key {key} bytes");
+                        }
+                        Some((bytes, hi)) => {
+                            if *hi <= before {
+                                // Past its deadline for sure: must be gone.
+                                assert_eq!(
+                                    got, None,
+                                    "key {key} expired by {hi}ms still visible at {before}ms"
+                                );
+                                local.remove(&key);
+                            } else if let Some(v) = got {
+                                assert_eq!(v.as_ref(), &bytes[..], "live key {key} bytes");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    reclaimer.stop();
+
+    // Quiescent endgame: advance past every possible deadline, run a full
+    // sweep, and only the immortal entries may remain.
+    clock_advance(&now_ms, 1_000);
+    let mut t = store.register();
+    store.sweep_step(store.bucket_count(), &mut t);
+    let remaining: BTreeMap<u64, Vec<u8>> = store
+        .scan(0, usize::MAX, &mut t)
+        .into_iter()
+        .map(|(k, v)| (k, v.as_ref().to_vec()))
+        .collect();
+    assert_eq!(remaining, *immortal.lock().unwrap());
+    store.assert_index_consistent();
+}

@@ -8,7 +8,7 @@ use std::time::Duration;
 use spectm::variants::ValShort;
 use spectm::Stm;
 use spectm_ds::ApiMode;
-use spectm_kv::ShardedKv;
+use spectm_kv::{CacheConfig, EvictionPolicy, Reclaimer, ShardedKv};
 use spectm_serve::Server;
 
 const USAGE: &str = "\
@@ -25,6 +25,11 @@ Options:
                       accepts are rejected (default 1024)
   --shards N          store shards (default 16)
   --capacity N        per-shard capacity hint in keys (default 65536)
+  --max-bytes N       live-byte budget; the background reclaimer evicts
+                      down to it (default: no budget, nothing is evicted)
+  --default-ttl-ms N  TTL for puts that carry none; 0 = entries never
+                      expire by default (default 0)
+  --policy P          eviction victim selection, freq or fifo (default freq)
   --port-file PATH    write the bound address to PATH once listening
   --run-for-ms N      serve for N ms, then shut down cleanly (default: forever)
   --help              print this help
@@ -52,6 +57,9 @@ fn main() {
     let mut max_conns_per_worker = spectm_serve::server::DEFAULT_MAX_CONNS_PER_WORKER;
     let mut shards = 16usize;
     let mut capacity = 1usize << 16;
+    let mut max_bytes: Option<u64> = None;
+    let mut default_ttl_ms = 0u64;
+    let mut policy = EvictionPolicy::Freq;
     let mut port_file: Option<String> = None;
     let mut run_for_ms: Option<u64> = None;
 
@@ -63,6 +71,15 @@ fn main() {
             "--max-conns-per-worker" => max_conns_per_worker = parse(&arg, args.next()),
             "--shards" => shards = parse(&arg, args.next()),
             "--capacity" => capacity = parse(&arg, args.next()),
+            "--max-bytes" => max_bytes = Some(parse(&arg, args.next())),
+            "--default-ttl-ms" => default_ttl_ms = parse(&arg, args.next()),
+            "--policy" => {
+                policy = match parse::<String>(&arg, args.next()).as_str() {
+                    "freq" => EvictionPolicy::Freq,
+                    "fifo" => EvictionPolicy::Fifo,
+                    other => die(&format!("bad value {other:?} for --policy")),
+                }
+            }
             "--port-file" => port_file = Some(parse(&arg, args.next())),
             "--run-for-ms" => run_for_ms = Some(parse(&arg, args.next())),
             "--help" | "-h" => {
@@ -80,8 +97,35 @@ fn main() {
     }
 
     let stm = ValShort::new();
-    let store = Arc::new(ShardedKv::new(&stm, shards, capacity, ApiMode::Short));
-    let server = match Server::start_with(store, addr.as_str(), workers, max_conns_per_worker) {
+    let config = CacheConfig {
+        max_bytes,
+        default_ttl_ms,
+        policy,
+        ..CacheConfig::default()
+    };
+    let cache_enabled = max_bytes.is_some() || default_ttl_ms > 0;
+    let store = Arc::new(ShardedKv::with_config(
+        &stm,
+        shards,
+        capacity,
+        ApiMode::Short,
+        config,
+    ));
+    // One expiry pass over the whole table every ~40ms, in 5ms increments;
+    // the eviction phase inside each step already drains to the budget.
+    let reclaimer = cache_enabled.then(|| {
+        Reclaimer::spawn(
+            Arc::clone(&store),
+            Duration::from_millis(5),
+            (store.bucket_count() / 8).max(64),
+        )
+    });
+    let server = match Server::start_with(
+        Arc::clone(&store),
+        addr.as_str(),
+        workers,
+        max_conns_per_worker,
+    ) {
         Ok(server) => server,
         Err(e) => die(&format!("cannot bind {addr}: {e}")),
     };
@@ -101,10 +145,21 @@ fn main() {
         },
     }
     let stats = server.shutdown();
+    if let Some(reclaimer) = reclaimer {
+        reclaimer.stop();
+        // Final full sweep at quiescence: with the workers gone nothing can
+        // outrun it, so afterwards the accounting invariant holds —
+        // live_bytes is at or under the budget — and the smoke can assert
+        // it straight off the stats line.
+        let mut thread = store.register();
+        store.sweep_step(store.bucket_count(), &mut thread);
+    }
+    let cache = store.cache_stats();
     // key=value tokens so shell smokes can awk out any field by name.
     println!(
         "served connections={} batches={} ops={} dispatches={} mean_frames={:.2} \
-         wire_errors={} io_errors={} rejected={}",
+         wire_errors={} io_errors={} rejected={} hits={} misses={} hit_rate={:.4} \
+         expired={} evicted={} live_bytes={}",
         stats.connections,
         stats.batches,
         stats.ops,
@@ -113,5 +168,11 @@ fn main() {
         stats.wire_errors,
         stats.io_errors,
         stats.conns_rejected,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate(),
+        cache.expired,
+        cache.evicted,
+        cache.live_bytes,
     );
 }

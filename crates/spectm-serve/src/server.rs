@@ -112,7 +112,8 @@ pub struct StatsSnapshot {
     /// mid-frame).  Nothing from such a frame reaches the store.
     pub wire_errors: u64,
     /// Local socket-configuration failures (`set_nonblocking`,
-    /// `set_nodelay`) — connections dropped or degraded for reasons that
+    /// `set_nodelay`) and connections dropped because no worker queue
+    /// could take them — connections dropped or degraded for reasons that
     /// are the server's, not the peer's.
     pub io_errors: u64,
     /// Connections dropped at admission because the worker was at its
@@ -357,9 +358,10 @@ impl Server {
             .collect::<io::Result<Vec<_>>>()?;
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("serve-acceptor".to_string())
-                .spawn(move || acceptor_loop(&listener, &txs, &shutdown))?
+                .spawn(move || acceptor_loop(&listener, &txs, &shutdown, &stats))?
         };
         Ok(Self {
             local_addr,
@@ -410,25 +412,26 @@ impl Drop for Server {
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, txs: &[Sender<TcpStream>], shutdown: &AtomicBool) {
+fn acceptor_loop(
+    listener: &TcpListener,
+    txs: &[Sender<TcpStream>],
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+) {
     let mut next = 0usize;
     // ORDERING: shutdown flag only; see Server::stop.
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Round-robin across workers; a worker whose queue is gone
-                // hands the stream back, so try each once before giving up.
-                let mut stream = Some(stream);
-                for _ in 0..txs.len() {
-                    let tx = &txs[next];
-                    next = (next + 1) % txs.len();
-                    match tx.send(stream.take().expect("stream handed back on error")) {
-                        Ok(()) => break,
-                        Err(mpsc::SendError(back)) => stream = Some(back),
-                    }
-                }
-                if stream.is_some() {
-                    return; // every worker is gone
+                if let Err(refused) = dispatch_to_worker(stream, txs, &mut next) {
+                    // Every worker queue is gone: the connection cannot be
+                    // served.  Count the drop and stop accepting — closing
+                    // the listener makes further connects fail fast instead
+                    // of queueing behind a server that will never answer.
+                    // ORDERING: monotonic counter; see ServerStats::snapshot.
+                    stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                    drop(refused);
+                    return;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
@@ -437,6 +440,24 @@ fn acceptor_loop(listener: &TcpListener, txs: &[Sender<TcpStream>], shutdown: &A
             Err(_) => std::thread::sleep(POLL),
         }
     }
+}
+
+/// Offers `item` to each worker queue exactly once, round-robin starting
+/// at `*next`.  A worker whose receiving end is gone hands the item back
+/// inside the send error; the acceptor must *keep trying the rest* rather
+/// than unwrap mid-loop — a panic here kills the acceptor thread and the
+/// server silently stops accepting (the bug this replaces).  Returns the
+/// item if every worker refused it, so the caller decides the drop policy.
+fn dispatch_to_worker<T>(mut item: T, txs: &[Sender<T>], next: &mut usize) -> Result<(), T> {
+    for _ in 0..txs.len() {
+        let tx = &txs[*next];
+        *next = (*next + 1) % txs.len();
+        match tx.send(item) {
+            Ok(()) => return Ok(()),
+            Err(mpsc::SendError(back)) => item = back,
+        }
+    }
+    Err(item)
 }
 
 /// One worker: a poll loop multiplexing up to `max_conns` connections.
@@ -666,4 +687,51 @@ fn read_frames(conn: &mut Conn, slot: usize, multi: &mut MultiBatch) -> bool {
         conn.state = ConnState::Executing;
     }
     progressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a worker whose receiver is gone hands the item back
+    /// through the send error.  The dispatcher must fall through to the
+    /// next worker — the old inline loop unwrapped an `Option` on exactly
+    /// this path, and a panic here kills the acceptor thread, after which
+    /// the server silently stops accepting.
+    #[test]
+    fn dispatch_skips_dead_workers_without_panicking() {
+        let (tx_dead, rx_dead) = mpsc::channel::<u32>();
+        let (tx_live, rx_live) = mpsc::channel::<u32>();
+        drop(rx_dead);
+        let txs = [tx_dead, tx_live];
+        let mut next = 0;
+        assert_eq!(dispatch_to_worker(7, &txs, &mut next), Ok(()));
+        assert_eq!(rx_live.recv(), Ok(7));
+    }
+
+    /// With every worker gone the item comes back to the caller (which
+    /// counts the drop) instead of being lost or panicking.
+    #[test]
+    fn dispatch_returns_the_item_when_every_worker_is_gone() {
+        let (tx_a, rx_a) = mpsc::channel::<u32>();
+        let (tx_b, rx_b) = mpsc::channel::<u32>();
+        drop((rx_a, rx_b));
+        let mut next = 1;
+        assert_eq!(dispatch_to_worker(9, &[tx_a, tx_b], &mut next), Err(9));
+    }
+
+    /// The round-robin cursor keeps rotating across calls so load spreads
+    /// instead of pinning to worker zero.
+    #[test]
+    fn dispatch_round_robins_across_live_workers() {
+        let (tx_a, rx_a) = mpsc::channel::<u32>();
+        let (tx_b, rx_b) = mpsc::channel::<u32>();
+        let txs = [tx_a, tx_b];
+        let mut next = 0;
+        for item in 0..4u32 {
+            assert_eq!(dispatch_to_worker(item, &txs, &mut next), Ok(()));
+        }
+        assert_eq!((rx_a.try_recv(), rx_a.try_recv()), (Ok(0), Ok(2)));
+        assert_eq!((rx_b.try_recv(), rx_b.try_recv()), (Ok(1), Ok(3)));
+    }
 }

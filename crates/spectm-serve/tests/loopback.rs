@@ -39,7 +39,9 @@ fn oracle_replay(ops: &[BatchOp], oracle: &mut BTreeMap<u64, Vec<u8>>) -> Vec<Op
     ops.iter()
         .map(|op| match op {
             BatchOp::Get(key) => oracle.get(key).cloned(),
-            BatchOp::Put(key, value) => oracle.insert(*key, value.to_vec()),
+            BatchOp::Put(key, value) | BatchOp::PutTtl(key, value, _) => {
+                oracle.insert(*key, value.to_vec())
+            }
             BatchOp::Del(key) => oracle.remove(key),
         })
         .collect()

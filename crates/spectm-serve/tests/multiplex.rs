@@ -268,7 +268,9 @@ proptest! {
                     .iter()
                     .map(|op| match op {
                         BatchOp::Get(k) => oracle.get(k).cloned(),
-                        BatchOp::Put(k, v) => oracle.insert(*k, v.clone()),
+                        BatchOp::Put(k, v) | BatchOp::PutTtl(k, v, _) => {
+                            oracle.insert(*k, v.clone())
+                        }
                         BatchOp::Del(k) => oracle.remove(k),
                     })
                     .collect();

@@ -447,6 +447,45 @@ pub fn check_bit_layout(
                 ),
             );
         }
+        // The eviction clock reads the frequency byte by shift-and-mask;
+        // the three constants must describe the same bit field or the
+        // policy silently reads garbage (or always-zero) frequencies.
+        let freq_shift = require(&map, map_path, "const", "FREQ_SHIFT", &mut missing);
+        let freq_max = require(&map, map_path, "const", "FREQ_MAX", &mut missing);
+        if let (Some(freq_shift), Some(freq_max)) = (freq_shift, freq_max) {
+            if (freq_max + 1) & freq_max != 0 {
+                fail(
+                    map_path,
+                    format!("FREQ_MAX ({freq_max:#x}) is not a contiguous all-ones field"),
+                );
+            }
+            if freq != freq_max << freq_shift {
+                fail(
+                    map_path,
+                    format!(
+                        "FREQ_MASK ({freq:#x}) is not FREQ_MAX << FREQ_SHIFT ({:#x}): the \
+                         frequency-byte extraction would drop bits",
+                        freq_max << freq_shift
+                    ),
+                );
+            }
+        }
+        // The TTL deadline word shares the val layout with value words, so
+        // its payload must stay clear of bit 0 (the lock bit) — a shift of
+        // zero would let a millisecond count toggle locks.
+        if let Some(deadline_shift) =
+            require(&map, map_path, "const", "DEADLINE_SHIFT", &mut missing)
+        {
+            if deadline_shift < 1 {
+                fail(
+                    map_path,
+                    format!(
+                        "DEADLINE_SHIFT ({deadline_shift}) must leave bit 0 clear: the \
+                         deadline word shares the val layout's lock bit"
+                    ),
+                );
+            }
+        }
         // Cross-file: out-of-line *value words* (a ValueCell pointer with
         // the word.rs tag bits clear) are stored through the same map
         // cells, so the node alignment that frees the item-word tag bits
@@ -533,7 +572,10 @@ mod tests {
         const TAG_MASK: Word = 0x3E;
         const ITEM_PTR_MASK: Word = !(TAG_MASK | 1);
         const FREQ_MASK: Word = 0x1FE;
+        const FREQ_SHIFT: u32 = 1;
+        const FREQ_MAX: Word = 0xFF;
         const CHAIN_PTR_MASK: Word = !(FREQ_MASK | 1);
+        pub(crate) const DEADLINE_SHIFT: u32 = 1;
         #[repr(align(64))]
         struct Node<S: Stm> { key: u64 }
         #[repr(align(64))]
@@ -585,6 +627,34 @@ mod tests {
         let bad = GOOD_MAP.replace("!(TAG_MASK | 1)", "!(0x7E | 1)");
         let msgs = findings(GOOD_WORD, &bad);
         assert!(msgs.iter().any(|m| m.contains("partition")), "{msgs:?}");
+    }
+
+    #[test]
+    fn frequency_field_mismatch_fires() {
+        // Widening the mask without moving FREQ_MAX along with it means the
+        // extraction and the saturation test disagree about the field.
+        let bad = GOOD_MAP
+            .replace("FREQ_MASK: Word = 0x1FE", "FREQ_MASK: Word = 0x3FE")
+            .replace("!(FREQ_MASK | 1)", "!(0x3FE | 1)");
+        let msgs = findings(GOOD_WORD, &bad);
+        assert!(
+            msgs.iter().any(|m| m.contains("FREQ_MAX << FREQ_SHIFT")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn non_contiguous_freq_max_fires() {
+        let bad = GOOD_MAP.replace("FREQ_MAX: Word = 0xFF", "FREQ_MAX: Word = 0xFD");
+        let msgs = findings(GOOD_WORD, &bad);
+        assert!(msgs.iter().any(|m| m.contains("contiguous")), "{msgs:?}");
+    }
+
+    #[test]
+    fn zero_deadline_shift_fires() {
+        let bad = GOOD_MAP.replace("DEADLINE_SHIFT: u32 = 1", "DEADLINE_SHIFT: u32 = 0");
+        let msgs = findings(GOOD_WORD, &bad);
+        assert!(msgs.iter().any(|m| m.contains("lock bit")), "{msgs:?}");
     }
 
     #[test]

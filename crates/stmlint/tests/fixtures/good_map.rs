@@ -5,7 +5,10 @@ pub const BUCKET_SLOTS: usize = 7;
 const TAG_MASK: Word = 0x3E;
 const ITEM_PTR_MASK: Word = !(TAG_MASK | 1);
 const FREQ_MASK: Word = 0x1FE;
+const FREQ_SHIFT: u32 = 1;
+const FREQ_MAX: Word = 0xFF;
 const CHAIN_PTR_MASK: Word = !(FREQ_MASK | 1);
+pub(crate) const DEADLINE_SHIFT: u32 = 1;
 
 #[repr(align(64))]
 struct Node<S: Stm> {
